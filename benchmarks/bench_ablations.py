@@ -1,0 +1,120 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. Structured generation (§4.2): constrained decoding vs iterative
+   re-prompting vs a single unconstrained attempt.
+2. Consistency checks (§4.2): extraction with and without the
+   completeness/soundness checks.
+3. Alignment rounds (§4.3): divergences remaining after each round of
+   the repair loop.
+"""
+
+import pytest
+
+from repro.alignment import align_module, diff_traces, TraceBuilder
+from repro.cloud import make_cloud
+from repro.core import wrangled_docs
+from repro.extraction import run_checks, run_extraction
+from repro.llm import make_llm, synthesize_with_reprompt
+from repro.spec import SpecSyntaxError
+
+
+@pytest.fixture(scope="module")
+def ec2_docs():
+    return wrangled_docs("ec2")
+
+
+def test_ablation_structured_generation(benchmark, ec2_docs):
+    """Constrained decoding needs one attempt per resource; re-prompting
+    needs more; a single unconstrained attempt loses resources."""
+
+    def measure():
+        outcomes = {}
+        for mode, max_attempts in (
+            ("constrained", 4), ("reprompt", 4), ("reprompt", 1),
+        ):
+            llm = make_llm(mode, seed=7)
+            attempts = 0
+            failed = 0
+            for res in ec2_docs.resources:
+                try:
+                    result = synthesize_with_reprompt(
+                        llm, res, max_attempts=max_attempts
+                    )
+                    attempts += result.attempts
+                except SpecSyntaxError:
+                    failed += 1
+                    attempts += max_attempts
+            label = mode if max_attempts > 1 else "single_attempt"
+            outcomes[label] = (attempts, failed)
+        return outcomes
+
+    outcomes = benchmark(measure)
+    print("\nAblation — structured generation (28 EC2 resources)")
+    for label, (attempts, failed) in outcomes.items():
+        print(f"  {label:16} llm_attempts={attempts:3} "
+              f"unparseable_resources={failed}")
+    constrained_attempts, constrained_failed = outcomes["constrained"]
+    reprompt_attempts, reprompt_failed = outcomes["reprompt"]
+    single_attempts, single_failed = outcomes["single_attempt"]
+    assert constrained_attempts == 28 and constrained_failed == 0
+    assert reprompt_attempts > 28 and reprompt_failed == 0
+    assert single_failed > 0
+
+
+def test_ablation_consistency_checks(benchmark, ec2_docs):
+    """Without checks, constrained-generation faults survive into the
+    executable spec; with checks, targeted correction removes them."""
+
+    def measure():
+        with_checks = run_extraction("ec2", mode="constrained", seed=7,
+                                     service_doc=ec2_docs)
+        without = run_extraction("ec2", mode="constrained", seed=7,
+                                 service_doc=ec2_docs,
+                                 checks_enabled=False)
+        return (
+            len(run_checks(with_checks.module, ec2_docs)),
+            len(run_checks(without.module, ec2_docs)),
+            len(with_checks.initial_violations),
+        )
+
+    surviving_with, surviving_without, caught = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print("\nAblation — consistency checks")
+    print(f"  violations injected & caught: {caught}")
+    print(f"  surviving with checks:    {surviving_with}")
+    print(f"  surviving without checks: {surviving_without}")
+    assert surviving_with == 0
+    assert surviving_without > 0
+
+
+def test_ablation_alignment_rounds(benchmark, ec2_docs):
+    """Divergences remaining after each round of the repair loop."""
+
+    def measure():
+        remaining = {}
+        for rounds in (0, 1, 2, 3):
+            outcome = run_extraction("ec2", mode="constrained", seed=7,
+                                     service_doc=ec2_docs)
+            if rounds:
+                align_module(
+                    outcome.module, outcome.notfound_codes, ec2_docs,
+                    make_llm("constrained", seed=7),
+                    cloud_factory=lambda: make_cloud("ec2"),
+                    max_rounds=rounds,
+                )
+            builder = TraceBuilder(outcome.module)
+            traces, __ = builder.build_all()
+            from repro.interpreter import Emulator
+            emulator = Emulator(outcome.module, outcome.notfound_codes)
+            report = diff_traces(make_cloud("ec2"), emulator, traces)
+            remaining[rounds] = len(report.divergences)
+        return remaining
+
+    remaining = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nAblation — alignment rounds vs remaining divergences")
+    for rounds, divergences in remaining.items():
+        print(f"  rounds={rounds}  divergences={divergences}")
+    assert remaining[0] > 0
+    assert remaining[3] == 0
+    assert remaining[0] >= remaining[1] >= remaining[2] >= remaining[3]

@@ -1,0 +1,49 @@
+"""§4.1: symbolic preprocessing beats shoving the whole PDF at the LLM.
+
+"This preprocessing can build resource-specific information, reducing
+the amount of context that the LLMs have to process and improving the
+generation accuracy."  Measures the prompt context per resource with
+and without wrangling: the whole rendered corpus vs the wrangled
+per-resource slice the pipeline actually sends.
+"""
+
+from repro.docs import build_catalog, render_docs, wrangle
+from repro.llm.prompting import build_prompt
+
+
+def _tokens(text: str) -> int:
+    return max(1, len(text) // 4)
+
+
+def test_context_reduction(benchmark):
+    def measure():
+        table = {}
+        for service in ("ec2", "dynamodb", "network_firewall"):
+            catalog = build_catalog(service)
+            pages = render_docs(catalog)
+            corpus_tokens = sum(_tokens(page.text) for page in pages)
+            docs = wrangle(pages, provider=catalog.provider,
+                           service=service)
+            per_resource = [
+                _tokens(build_prompt(res)) for res in docs.resources
+            ]
+            table[service] = (
+                corpus_tokens,
+                max(per_resource),
+                sum(per_resource) / len(per_resource),
+            )
+        return table
+
+    table = benchmark(measure)
+    print("\n§4.1 — prompt context per resource (tokens)")
+    print(f"{'service':20} {'full corpus':>12} {'max/resource':>13} "
+          f"{'mean/resource':>14} {'reduction':>10}")
+    for service, (corpus, biggest, mean) in table.items():
+        print(f"{service:20} {corpus:>12} {biggest:>13} {mean:>14.0f} "
+              f"{corpus / mean:>9.0f}x")
+        # The per-resource slice must be much smaller than the corpus an
+        # unstructured (RAG-free) prompt would need.  The worst case is
+        # a service dominated by one resource (DynamoDB's table holds
+        # 30 of its 57 APIs), where even the biggest slice still wins.
+        assert mean * 5 < corpus
+        assert biggest < corpus

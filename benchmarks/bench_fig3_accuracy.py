@@ -1,0 +1,55 @@
+"""Fig. 3: accuracy of learned emulators across scenarios.
+
+Measures response alignment against the cloud for 4 traces in each of
+3 scenarios (provisioning, state updates, edge cases), for the three
+variants §5 compares.  Paper: the D2C baseline aligns in only 3 of 12
+traces; the full workflow with alignment has no divergence; the
+no-alignment variant sits in between.
+"""
+
+from repro.scenarios import evaluation_traces
+
+PAPER_D2C_ALIGNED = 3
+PAPER_TOTAL = 12
+
+
+def test_fig3_accuracy(benchmark, evaluation_setup):
+    def score_all():
+        return {
+            variant: evaluation_setup.score(variant)
+            for variant in ("learned_aligned", "learned_no_align", "d2c")
+        }
+
+    results = benchmark.pedantic(score_all, rounds=1, iterations=1)
+
+    print("\nFig. 3 — trace alignment per scenario "
+          "(aligned/total)")
+    scenarios = ("provisioning", "state_updates", "edge_cases")
+    header = f"{'variant':18}" + "".join(f"{s:>16}" for s in scenarios)
+    print(header + f"{'total':>10}")
+    for variant, accuracy in results.items():
+        cells = ""
+        for scenario in scenarios:
+            aligned, total = accuracy.per_scenario[scenario]
+            cells += f"{aligned}/{total}".rjust(16)
+        aligned, total = accuracy.total
+        print(f"{variant:18}{cells}{f'{aligned}/{total}':>10}")
+
+    aligned, total = results["d2c"].total
+    assert (aligned, total) == (PAPER_D2C_ALIGNED, PAPER_TOTAL)
+    full, __ = results["learned_aligned"].total
+    assert full == PAPER_TOTAL
+    middle, __ = results["learned_no_align"].total
+    assert PAPER_D2C_ALIGNED < middle < PAPER_TOTAL
+
+
+def test_fig3_trace_execution_speed(benchmark, evaluation_setup):
+    """Throughput of the trace-alignment measurement itself."""
+    traces = [t for t in evaluation_traces() if t.service == "ec2"]
+
+    def run():
+        return evaluation_setup.score("learned_aligned", traces)
+
+    accuracy = benchmark(run)
+    aligned, total = accuracy.total
+    assert aligned == total

@@ -1,0 +1,73 @@
+"""Performance of the emulator framework itself.
+
+Not a paper figure, but a property a usable emulator must have: mock
+API calls must be fast enough for frictionless local test loops.
+Measures single-call latency through the full interpreter stack and
+the throughput of the alignment differ.
+"""
+
+from repro.alignment import diff_traces, TraceBuilder
+from repro.cloud import make_cloud
+from repro.scenarios import evaluation_traces, run_trace
+
+
+def test_invoke_latency(benchmark, learned_builds):
+    emulator = learned_builds["ec2"].make_backend()
+    vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+    params = {"VpcId": vpc.data["id"]}
+
+    result = benchmark(emulator.invoke, "DescribeVpcs", params)
+    assert result.success
+
+
+def test_create_heavy_workload(benchmark, learned_builds):
+    """A create-modify-delete churn loop through the SM interpreter."""
+    emulator = learned_builds["ec2"].make_backend()
+
+    def churn():
+        vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        emulator.invoke(
+            "ModifySubnetAttribute",
+            {"SubnetId": subnet.data["id"], "MapPublicIpOnLaunch": True},
+        )
+        emulator.invoke("DeleteSubnet", {"SubnetId": subnet.data["id"]})
+        emulator.invoke("DeleteVpc", {"VpcId": vpc.data["id"]})
+        return len(emulator.registry)
+
+    leftover = benchmark(churn)
+    assert leftover == 0
+
+
+def test_trace_replay_throughput(benchmark, learned_builds):
+    emulator = learned_builds["ec2"].make_backend()
+    trace = next(
+        t for t in evaluation_traces() if t.name == "provision_network"
+    )
+
+    run = benchmark(run_trace, emulator, trace)
+    assert all(r.response.success for r in run.results)
+
+
+def test_differential_pass_throughput(benchmark, learned_builds):
+    """One full symbolic-trace differential pass over the EC2 module."""
+    module = learned_builds["ec2"].module
+    notfound = learned_builds["ec2"].extraction.notfound_codes
+
+    def one_pass():
+        from repro.interpreter import Emulator
+
+        builder = TraceBuilder(module)
+        traces, __ = builder.build_all(probes=False)
+        report = diff_traces(
+            make_cloud("ec2"), Emulator(module, notfound), traces
+        )
+        return report
+
+    report = benchmark.pedantic(one_pass, rounds=1, iterations=1)
+    print(f"\nDifferential pass: {report.compared} traces, "
+          f"{len(report.divergences)} divergence(s)")
+    assert report.compared > 200

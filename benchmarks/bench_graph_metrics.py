@@ -1,0 +1,38 @@
+"""§4.4 complexity metrics over the SM interaction graph.
+
+The extracted specification comprises a graph of interacting state
+machines; node counts and edge density give objective complexity
+numbers for comparing services.
+"""
+
+from repro.core import wrangled_docs
+from repro.extraction import extraction_order, graph_metrics
+
+
+def test_graph_metrics(benchmark):
+    def compute():
+        return {
+            service: graph_metrics(wrangled_docs(service))
+            for service in ("ec2", "network_firewall", "dynamodb",
+                            "azure_network")
+        }
+
+    metrics = benchmark(compute)
+    print("\n§4.4 — SM interaction graph metrics")
+    print(f"{'service':20} {'nodes':>6} {'edges':>6} {'density':>9} "
+          f"{'external':>9}")
+    for service, m in metrics.items():
+        print(f"{service:20} {m['nodes']:>6} {m['edges']:>6} "
+              f"{m['edge_density']:>9.3f} "
+              f"{len(m['external_references']):>9}")
+    assert metrics["ec2"]["nodes"] == 28
+    assert metrics["ec2"]["edges"] > metrics["network_firewall"]["edges"]
+    # NFW references the VPC, which lives outside its own docs.
+    assert "vpc" in metrics["network_firewall"]["external_references"]
+
+
+def test_extraction_order_is_fast_and_valid(benchmark):
+    docs = wrangled_docs("ec2")
+    order = benchmark(extraction_order, docs)
+    position = {name: index for index, name in enumerate(order)}
+    assert position["vpc"] < position["subnet"] < position["instance"]

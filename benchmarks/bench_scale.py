@@ -1,0 +1,79 @@
+"""Scale behaviour of the emulator framework.
+
+A gym for agents (§4.4) and a CI test backend both imply thousands of
+live mock resources; the framework must stay fast as the registry
+grows.  Measures bulk creation, lookups at depth, and the cost of a
+dependency check scanning a large child list.
+"""
+
+from repro.core import build_learned_emulator
+
+FLEET = 500
+
+
+def _populated_backend(build):
+    emulator = build.make_backend()
+    vpc = emulator.invoke("CreateVpc",
+                          {"CidrBlock": "10.0.0.0/16"})
+    assert vpc.success, vpc.error_message
+    vpc_id = vpc.data["id"]
+    subnet_ids = []
+    for index in range(FLEET):
+        third = index // 4
+        offset = (index % 4) * 64
+        subnet = emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc_id,
+             "CidrBlock": f"10.0.{third}.{offset}/26"},
+        )
+        assert subnet.success, subnet.error_message
+        subnet_ids.append(subnet.data["id"])
+    return emulator, vpc_id, subnet_ids
+
+
+def test_bulk_creation(benchmark, learned_builds):
+    build = learned_builds["ec2"]
+
+    def create_fleet():
+        emulator, __, subnet_ids = _populated_backend(build)
+        return len(emulator.registry), subnet_ids
+
+    (count, subnet_ids) = benchmark.pedantic(create_fleet, rounds=1,
+                                             iterations=1)
+    assert count == FLEET + 1
+    assert len(set(subnet_ids)) == FLEET
+
+
+def test_lookup_in_large_registry(benchmark, learned_builds):
+    build = learned_builds["ec2"]
+    emulator, __, subnet_ids = _populated_backend(build)
+    target = subnet_ids[FLEET // 2]
+
+    response = benchmark(emulator.invoke, "DescribeSubnets",
+                         {"SubnetId": target})
+    assert response.success
+
+
+def test_dependency_check_scans_large_list(benchmark, learned_builds):
+    """DeleteVpc must reject while 500 subnet CIDRs are tracked —
+    and answer quickly."""
+    build = learned_builds["ec2"]
+    emulator, vpc_id, __ = _populated_backend(build)
+
+    response = benchmark(emulator.invoke, "DeleteVpc", {"VpcId": vpc_id})
+    assert response.error_code == "DependencyViolation"
+
+
+def test_overlap_check_against_many_siblings(benchmark, learned_builds):
+    """Subnet creation checks its CIDR against every tracked sibling."""
+    build = learned_builds["ec2"]
+    emulator, vpc_id, __ = _populated_backend(build)
+
+    def conflicting_create():
+        return emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc_id, "CidrBlock": "10.0.0.0/24"},
+        )
+
+    response = benchmark(conflicting_create)
+    assert response.error_code == "InvalidSubnet.Conflict"

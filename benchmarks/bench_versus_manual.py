@@ -1,0 +1,60 @@
+"""§5 "Versus manual engineering": coverage of learned vs handcrafted.
+
+Paper: Moto covers 11% of Network Firewall APIs (LocalStack none); the
+learned prototype captures all 45 through automated generation, and
+all EC2 and DynamoDB calls (of the modeled resources — see
+EXPERIMENTS.md for the interpretation).
+"""
+
+from repro.analysis import backend_coverage, catalog_coverage, moto_coverage
+from repro.baselines import build_moto_like
+
+
+def test_versus_manual_coverage(benchmark, learned_builds):
+    def compute():
+        table = []
+        for service in ("ec2", "dynamodb", "network_firewall"):
+            learned = learned_builds[service].make_backend()
+            table.append((
+                service,
+                moto_coverage(service),
+                catalog_coverage(service, learned),
+            ))
+        return table
+
+    table = benchmark(compute)
+    print("\n§5 versus manual engineering — API coverage")
+    print(f"{'service':20} {'handcrafted':>16} {'learned':>16}")
+    for service, moto_row, learned_row in table:
+        moto_text = f"{moto_row.emulated}/{moto_row.total}"
+        learned_text = f"{learned_row.emulated}/{learned_row.total}"
+        print(f"{service:20} {moto_text:>16} {learned_text:>16}")
+
+    by_service = {service: (m, l) for service, m, l in table}
+    nfw_moto, nfw_learned = by_service["network_firewall"]
+    assert nfw_moto.emulated == 5 and nfw_moto.total == 45
+    assert nfw_learned.emulated == 45 and nfw_learned.total == 45
+    # All documented EC2 and DynamoDB calls are captured.
+    for service in ("ec2", "dynamodb"):
+        __, learned_row = by_service[service]
+        assert learned_row.emulated == learned_row.total
+
+
+def test_learned_nfw_covers_full_inventory(benchmark, learned_builds):
+    """Against the *full* 45-API inventory, not just the catalog."""
+    emulator = learned_builds["network_firewall"].make_backend()
+    row = benchmark(backend_coverage, "network_firewall", emulator)
+    assert (row.emulated, row.total) == (45, 45)
+
+
+def test_moto_misses_delete_firewall(benchmark):
+    """The paper's concrete example: CreateFirewall() but not
+    DeleteFirewall()."""
+
+    def check():
+        moto = build_moto_like("network_firewall")
+        return (moto.supports("CreateFirewall"),
+                moto.supports("DeleteFirewall"))
+
+    has_create, has_delete = benchmark(check)
+    assert has_create and not has_delete

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive artifacts (learned emulators, evaluation setups) are built
+once per session; each bench then measures and reports its own
+table/figure.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the reproduced tables alongside the timings.
+"""
+
+import pytest
+
+from repro.core import build_learned_emulator, EvaluationSetup
+
+
+@pytest.fixture(scope="session")
+def learned_builds():
+    """Learned emulators (constrained + aligned) for every AWS service."""
+    return {
+        service: build_learned_emulator(service, mode="constrained", seed=7)
+        for service in ("ec2", "network_firewall", "dynamodb")
+    }
+
+
+@pytest.fixture(scope="session")
+def evaluation_setup():
+    """Backends and clouds for the Fig. 3 accuracy measurement."""
+    setup = EvaluationSetup(seed=7)
+    setup.prepare()
+    return setup

@@ -1,0 +1,99 @@
+"""Extending a learned emulator with a hand-authored resource.
+
+A downstream team often needs one internal service (a deploy queue, a
+feature-flag store) emulated next to the learned cloud.  The fluent
+spec builder produces the same executable SMs the LLM does, so custom
+resources plug into the same module — and the JSON wire endpoint makes
+the whole thing answer like a cloud API server.
+
+    python examples/extend_with_custom_resource.py
+"""
+
+import json
+
+from repro.core import build_learned_emulator
+from repro.interpreter import Emulator, JsonEndpoint
+from repro.spec import ast, sm
+
+
+def deploy_queue_spec() -> ast.SMSpec:
+    """An internal deploy queue, written with the fluent builder."""
+    return (
+        sm("deploy_queue", doc="An internal deployment pipeline queue.")
+        .state("environment", "enum(staging, production)",
+               default="staging")
+        .state("frozen", "bool", default=False)
+        .state("deploys", "list")
+        .create("CreateDeployQueue")
+            .param("environment", "str")
+            .check('!exists(environment) || environment in '
+                   '["staging", "production"]',
+                   code="InvalidEnvironment")
+            .write("environment", "environment")
+        .modify("SubmitDeploy")
+            .param("deploy_queue_id", "str")
+            .param("build_id", "str")
+            .require("deploy_queue_id")
+            .require("build_id")
+            .check("self.frozen == false", code="QueueFrozen",
+                   message="queue {id} is frozen for {environment}")
+            .check("!contains(deploys, build_id)",
+                   code="DuplicateDeploy")
+            .write("deploys", "append(deploys, build_id)")
+        .modify("FreezeQueue")
+            .param("deploy_queue_id", "str")
+            .write("frozen", "true")
+        .describe("DescribeDeployQueue")
+            .param("deploy_queue_id", "str")
+            .read("environment")
+            .read("frozen")
+            .read("deploys")
+        .done()
+    )
+
+
+def main() -> None:
+    print("Learning the EC2 emulator, then splicing in a custom SM ...")
+    build = build_learned_emulator("ec2")
+    module = build.module
+    module.add(deploy_queue_spec())
+    emulator = Emulator(module,
+                        notfound_codes=build.extraction.notfound_codes)
+    print(f"  module now has {len(module.machines)} SMs "
+          f"({module.machines['deploy_queue'].complexity} complexity "
+          "for the custom one)")
+
+    print("\nTalking to it through the JSON wire endpoint:")
+    endpoint = JsonEndpoint(backend=emulator)
+
+    def call(action: str, **parameters):
+        reply = endpoint.handle(json.dumps({
+            "Action": action, "Parameters": parameters,
+        }))
+        body = json.loads(reply)
+        request_id = body["ResponseMetadata"]["RequestId"][:13]
+        if JsonEndpoint.is_error(body):
+            print(f"  [{request_id}] {action}: "
+                  f"{body['Error']['Code']} — {body['Error']['Message']}")
+        else:
+            data = {k: v for k, v in body.items()
+                    if k != "ResponseMetadata"}
+            print(f"  [{request_id}] {action}: {data}")
+        return body
+
+    queue = call("CreateDeployQueue", Environment="production")
+    queue_id = queue["id"]
+    call("SubmitDeploy", DeployQueueId=queue_id, BuildId="build-401")
+    call("SubmitDeploy", DeployQueueId=queue_id, BuildId="build-401")
+    call("FreezeQueue", DeployQueueId=queue_id)
+    call("SubmitDeploy", DeployQueueId=queue_id, BuildId="build-402")
+    call("DescribeDeployQueue", DeployQueueId=queue_id)
+
+    # The learned EC2 surface answers through the same front door.
+    vpc = call("CreateVpc", CidrBlock="10.0.0.0/16")
+    call("DeleteVpc", VpcId=vpc["id"])
+    call("DeleteVpc", VpcId=vpc["id"])  # idempotence check: NotFound
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Automated alignment (§4.3): symbolic classes, guided traces,
+differential execution, diagnosis, repair, and the closed loop.
+"""
+
+from .accuracy import measure_accuracy, ScenarioAccuracy
+from .compare import (
+    compare_responses,
+    compare_runs,
+    normalize_value,
+    StepComparison,
+    TraceComparison,
+)
+from .diagnose import (
+    apply_repair,
+    diagnose,
+    Diagnosis,
+    DOC_GAP,
+    Repair,
+    SPEC_ERROR,
+    UNKNOWN,
+)
+from .differ import diff_traces, DiffReport, Divergence
+from .errordecode import ErrorDecoder, ErrorExplanation
+from .fuzz import FuzzReport, RandomFuzzer
+from .loop import align_module, AlignmentReport, AlignmentRound
+from .symbolic import (
+    AssertPattern,
+    classify_assert,
+    ClassCoverage,
+    module_classes,
+    SymbolicClass,
+    transition_classes,
+)
+from .tracegen import OMIT, SkipClass, TraceBuilder
+
+__all__ = [
+    "align_module",
+    "AlignmentReport",
+    "AlignmentRound",
+    "apply_repair",
+    "AssertPattern",
+    "ClassCoverage",
+    "classify_assert",
+    "compare_responses",
+    "compare_runs",
+    "diagnose",
+    "Diagnosis",
+    "diff_traces",
+    "DiffReport",
+    "Divergence",
+    "DOC_GAP",
+    "ErrorDecoder",
+    "ErrorExplanation",
+    "FuzzReport",
+    "measure_accuracy",
+    "RandomFuzzer",
+    "module_classes",
+    "normalize_value",
+    "OMIT",
+    "Repair",
+    "ScenarioAccuracy",
+    "SkipClass",
+    "SPEC_ERROR",
+    "StepComparison",
+    "SymbolicClass",
+    "TraceBuilder",
+    "TraceComparison",
+    "transition_classes",
+    "UNKNOWN",
+]

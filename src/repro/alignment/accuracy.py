@@ -1,0 +1,71 @@
+"""Scenario accuracy measurement: the numbers behind Fig. 3.
+
+A trace "aligns" when every step's response matches the reference
+cloud's on success/failure, error code, and (for successes) response
+payload.  Accuracy is reported per scenario, as the paper plots it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scenarios.model import Trace
+from .differ import diff_traces
+
+
+@dataclass
+class ScenarioAccuracy:
+    """Aligned/total per scenario plus the per-trace verdicts."""
+
+    emulator_name: str
+    per_scenario: dict[str, tuple[int, int]] = field(default_factory=dict)
+    per_trace: dict[str, bool] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total(self) -> tuple[int, int]:
+        aligned = sum(a for a, __ in self.per_scenario.values())
+        count = sum(t for __, t in self.per_scenario.values())
+        return aligned, count
+
+    def summary(self) -> str:
+        aligned, count = self.total
+        parts = [f"{self.emulator_name}: {aligned}/{count} traces aligned"]
+        for scenario in sorted(self.per_scenario):
+            a, t = self.per_scenario[scenario]
+            parts.append(f"  {scenario}: {a}/{t}")
+        return "\n".join(parts)
+
+
+def measure_accuracy(
+    emulator_name: str,
+    backends: dict[str, object],
+    clouds: dict[str, object],
+    traces: list[Trace],
+) -> ScenarioAccuracy:
+    """Run each trace on its service's cloud and emulator; score alignment.
+
+    ``backends`` and ``clouds`` map service name to backend instance.
+    Traces whose service the emulator does not provide count as
+    misaligned (coverage failures are fidelity failures for a DevOps
+    program).
+    """
+    result = ScenarioAccuracy(emulator_name=emulator_name)
+    for trace in traces:
+        cloud = clouds[trace.service]
+        backend = backends.get(trace.service)
+        aligned = False
+        reason = "service not emulated"
+        if backend is not None:
+            report = diff_traces(cloud, backend, [trace])
+            aligned = report.aligned == 1
+            if not aligned and report.divergences:
+                divergence = report.divergences[0]
+                reason = f"{divergence.api}: {divergence.reason}"
+        a, t = result.per_scenario.get(trace.scenario, (0, 0))
+        result.per_scenario[trace.scenario] = (a + (1 if aligned else 0),
+                                               t + 1)
+        result.per_trace[trace.name] = aligned
+        if not aligned:
+            result.failures[trace.name] = reason
+    return result

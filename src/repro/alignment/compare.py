@@ -1,0 +1,139 @@
+"""Response and trace comparison (the differ's core).
+
+Alignment means: permissible behaviours produce the same effects in
+emulator and cloud, and forbidden behaviours fail in both with the same
+error *code* (§4.3).  Error messages are developer-facing prose and
+deliberately not compared.
+
+Resource identifiers differ across backends by design (the emulator
+counts, the cloud hashes), so values are normalized before comparison:
+identifiers bound by the trace map to their symbolic names, and any
+remaining opaque tokens (freshly assigned addresses, association ids)
+compare by presence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..interpreter.errors import ApiResponse
+from ..scenarios.model import TraceRun
+
+#: Matches both backends' generated identifiers: ``subnet-00000001``,
+#: ``vpc-0f3a9c2be1d4``, ``public_ip-0...`` etc.
+_TOKEN = re.compile(r"^[A-Za-z_]{1,40}-[0-9a-f]{6,}$")
+
+_OPAQUE = "<token>"
+
+
+def normalize_value(value: object, env_inverse: dict[str, str]) -> object:
+    """Replace backend-specific identifiers with comparable forms."""
+    if isinstance(value, str):
+        if value in env_inverse:
+            return "$" + env_inverse[value]
+        if _TOKEN.match(value):
+            return _OPAQUE
+        return value
+    if isinstance(value, list):
+        return [normalize_value(item, env_inverse) for item in value]
+    if isinstance(value, dict):
+        return {
+            key: normalize_value(item, env_inverse)
+            for key, item in value.items()
+        }
+    return value
+
+
+@dataclass(frozen=True)
+class StepComparison:
+    """The verdict for one step of a trace."""
+
+    api: str
+    aligned: bool
+    reason: str = ""
+
+
+def compare_responses(
+    reference: ApiResponse,
+    candidate: ApiResponse,
+    reference_env: dict[str, str],
+    candidate_env: dict[str, str],
+    api: str = "",
+) -> StepComparison:
+    """Compare one cloud response against one emulator response."""
+    if reference.success != candidate.success:
+        expected = "success" if reference.success else (
+            f"failure ({reference.error_code})"
+        )
+        got = "success" if candidate.success else (
+            f"failure ({candidate.error_code})"
+        )
+        return StepComparison(api, False,
+                              f"expected {expected}, got {got}")
+    if not reference.success:
+        if reference.error_code != candidate.error_code:
+            return StepComparison(
+                api, False,
+                f"error code mismatch: cloud={reference.error_code!r} "
+                f"emulator={candidate.error_code!r}",
+            )
+        return StepComparison(api, True)
+    ref_inverse = {v: k for k, v in reference_env.items()}
+    cand_inverse = {v: k for k, v in candidate_env.items()}
+    for key, ref_value in reference.data.items():
+        if key not in candidate.data:
+            return StepComparison(
+                api, False, f"response field {key!r} missing from emulator"
+            )
+        ref_norm = normalize_value(ref_value, ref_inverse)
+        cand_norm = normalize_value(candidate.data[key], cand_inverse)
+        if ref_norm != cand_norm:
+            return StepComparison(
+                api, False,
+                f"response field {key!r} differs: cloud={ref_norm!r} "
+                f"emulator={cand_norm!r}",
+            )
+    return StepComparison(api, True)
+
+
+@dataclass
+class TraceComparison:
+    """The verdict for a whole trace."""
+
+    trace_name: str
+    steps: list[StepComparison]
+
+    @property
+    def aligned(self) -> bool:
+        return all(step.aligned for step in self.steps)
+
+    @property
+    def first_divergence(self) -> StepComparison | None:
+        for step in self.steps:
+            if not step.aligned:
+                return step
+        return None
+
+    @property
+    def divergent_step_index(self) -> int:
+        for index, step in enumerate(self.steps):
+            if not step.aligned:
+                return index
+        return -1
+
+
+def compare_runs(reference: TraceRun, candidate: TraceRun) -> TraceComparison:
+    """Compare a trace's run on the cloud against its run on an emulator."""
+    steps: list[StepComparison] = []
+    for ref_step, cand_step in zip(reference.results, candidate.results):
+        steps.append(
+            compare_responses(
+                ref_step.response,
+                cand_step.response,
+                reference.env,
+                candidate.env,
+                api=ref_step.api,
+            )
+        )
+    return TraceComparison(trace_name=reference.trace.name, steps=steps)

@@ -1,0 +1,268 @@
+"""Divergence diagnosis and repair (§4.3).
+
+For each divergence the LLM is fed the delta and asked: is the
+difference attributable to the extracted spec, or to the cloud
+documentation?
+
+- If the violated behaviour appears in the documentation, the spec
+  dropped it — a *spec error*; the repair is targeted regeneration of
+  the resource from its documentation.
+- If the documentation never mentions it, it is a *documentation gap*;
+  the repair learns the rule from the cloud's error message (real
+  clouds describe the violated condition in their error text) and
+  splices the corresponding assert into the transition.
+- Spurious or miscoded asserts are identified by the emulator's own
+  error code and removed or recoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..docs.model import Rule, ServiceDoc
+from ..llm.client import SimulatedLLM
+from ..llm.synthesis import attribute_state_type, RuleCompiler, SpecSynthesizer
+from ..llm.faults import FaultModel, PERFECT_PROFILE
+from ..spec import ast
+from .differ import Divergence
+
+DOC_GAP = "doc_gap"
+SPEC_ERROR = "spec_error"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class Diagnosis:
+    """The verdict for one divergence."""
+
+    kind: str
+    divergence: Divergence
+    sm: str = ""
+    api: str = ""
+    learned_rule: Rule | None = None
+    detail: str = ""
+
+
+def _rule_documented(service_doc: ServiceDoc, api: str, learned: Rule) -> bool:
+    entry = service_doc.find_api(api)
+    if entry is None:
+        return False
+    __, api_doc = entry
+    return any(
+        behaviour.kind == learned.kind
+        and behaviour.as_dict() == learned.as_dict()
+        for behaviour in api_doc.documented_rules()
+    )
+
+
+def diagnose(
+    divergence: Divergence,
+    module: ast.SpecModule,
+    service_doc: ServiceDoc,
+    llm: SimulatedLLM,
+) -> Diagnosis:
+    """Attribute a divergence to the spec or to the documentation."""
+    entry = module.transition_index().get(divergence.api)
+    if entry is None:
+        return Diagnosis(UNKNOWN, divergence,
+                         detail=f"no transition for API {divergence.api}")
+    sm_name, __ = entry
+
+    if divergence.emulator_too_permissive:
+        learned = llm.diagnose_error_message(
+            divergence.cloud_response.error_message
+        )
+        if learned is None:
+            return Diagnosis(
+                UNKNOWN, divergence, sm=sm_name, api=divergence.api,
+                detail="cloud error message carries no recoverable rule",
+            )
+        learned = learned.with_fields(
+            code=divergence.cloud_response.error_code
+        )
+        if _rule_documented(service_doc, divergence.api, learned):
+            return Diagnosis(
+                SPEC_ERROR, divergence, sm=sm_name, api=divergence.api,
+                learned_rule=learned,
+                detail="documented check missing from the extracted spec",
+            )
+        return Diagnosis(
+            DOC_GAP, divergence, sm=sm_name, api=divergence.api,
+            learned_rule=learned,
+            detail="cloud enforces a rule the documentation omits",
+        )
+
+    if divergence.emulator_too_strict or divergence.wrong_error_code:
+        return Diagnosis(
+            SPEC_ERROR, divergence, sm=sm_name, api=divergence.api,
+            detail="spurious or miscoded assert in the extracted spec",
+        )
+    return Diagnosis(
+        SPEC_ERROR, divergence, sm=sm_name, api=divergence.api,
+        detail="response payload mismatch; regenerate from documentation",
+    )
+
+
+@dataclass
+class Repair:
+    """One applied fix."""
+
+    kind: str  # 'learned_assert' | 'regenerated' | 'removed_assert' | 'recoded_assert'
+    sm: str
+    api: str
+    detail: str = ""
+
+
+def apply_repair(
+    diagnosis: Diagnosis,
+    module: ast.SpecModule,
+    service_doc: ServiceDoc,
+    seed: int = 7,
+) -> Repair | None:
+    """Mutate the module to close one diagnosed divergence."""
+    if diagnosis.kind == UNKNOWN:
+        return None
+    spec = module.get(diagnosis.sm)
+    if spec is None:
+        return None
+    transition = spec.transitions.get(diagnosis.api)
+    if transition is None:
+        return None
+    divergence = diagnosis.divergence
+
+    if divergence.emulator_too_strict:
+        return _remove_assert(diagnosis, spec, transition)
+    if divergence.wrong_error_code:
+        return _recode_assert(diagnosis, spec, transition)
+    if diagnosis.kind == DOC_GAP and diagnosis.learned_rule is not None:
+        return _insert_learned_assert(diagnosis, module, service_doc)
+    # Spec errors with documentation backing: targeted regeneration.
+    return _regenerate(diagnosis, module, service_doc, seed)
+
+
+def _remove_assert(
+    diagnosis: Diagnosis, spec: ast.SMSpec, transition: ast.Transition
+) -> Repair | None:
+    bad_code = diagnosis.divergence.emulator_response.error_code
+    body = list(transition.body)
+    for index, stmt in enumerate(body):
+        if isinstance(stmt, ast.Assert) and stmt.error_code == bad_code:
+            del body[index]
+            transition.body = tuple(body)
+            return Repair(
+                "removed_assert", diagnosis.sm, diagnosis.api,
+                detail=f"removed assert raising {bad_code!r}",
+            )
+    return None
+
+
+def _recode_assert(
+    diagnosis: Diagnosis, spec: ast.SMSpec, transition: ast.Transition
+) -> Repair | None:
+    old = diagnosis.divergence.emulator_response.error_code
+    new = diagnosis.divergence.cloud_response.error_code
+    body = list(transition.body)
+    changed = False
+    for index, stmt in enumerate(body):
+        if isinstance(stmt, ast.Assert) and stmt.error_code == old:
+            body[index] = replace(stmt, error_code=new)
+            changed = True
+            break
+    if not changed:
+        return None
+    transition.body = tuple(body)
+    return Repair("recoded_assert", diagnosis.sm, diagnosis.api,
+                  detail=f"recoded assert {old!r} -> {new!r}")
+
+
+def _insert_learned_assert(
+    diagnosis: Diagnosis,
+    module: ast.SpecModule,
+    service_doc: ServiceDoc,
+) -> Repair | None:
+    entry = service_doc.find_api(diagnosis.api)
+    if entry is None:
+        return None
+    res, api_doc = entry
+    spec = module.get(diagnosis.sm)
+    transition = spec.transitions[diagnosis.api]
+    learned = diagnosis.learned_rule
+    assert learned is not None
+    # Restore any state variable the learned rule constrains but the
+    # spec lacks (e.g. an attribute a faulty generation dropped).
+    mentioned = {
+        str(value) for key, value in learned.fields
+        if key in ("attr",)
+    }
+    for attribute in res.attributes:
+        if attribute.name in mentioned and spec.state_type(
+            attribute.name
+        ) is None:
+            default = (
+                ast.Literal(attribute.default)
+                if attribute.default is not None else None
+            )
+            spec.states.append(
+                ast.StateDecl(attribute.name,
+                              attribute_state_type(attribute), default)
+            )
+    compiler = RuleCompiler(res, api_doc, set(spec.state_names()))
+    statements = compiler.compile(learned)
+    transition.body = tuple(statements) + transition.body
+    return Repair(
+        "learned_assert", diagnosis.sm, diagnosis.api,
+        detail=f"learned {learned.kind} from cloud error message",
+    )
+
+
+def _regenerate(
+    diagnosis: Diagnosis,
+    module: ast.SpecModule,
+    service_doc: ServiceDoc,
+    seed: int,
+) -> Repair | None:
+    try:
+        res = service_doc.resource(diagnosis.sm)
+    except KeyError:
+        return None
+    synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE, seed=seed))
+    fresh, __ = synthesizer.synthesize_sm(res)
+    old = module.get(diagnosis.sm)
+    if old is not None:
+        # Preserve helper transitions patched in by linking, and any
+        # asserts previously learned through alignment.
+        for name, transition in old.transitions.items():
+            if name.startswith("_") and name not in fresh.transitions:
+                fresh.transitions[name] = transition
+        for decl in old.states:
+            if fresh.state_type(decl.name) is None:
+                fresh.states.append(decl)
+        _carry_learned_asserts(old, fresh)
+    module.add(fresh)
+    return Repair("regenerated", diagnosis.sm, diagnosis.api,
+                  detail="regenerated resource from documentation")
+
+
+def _carry_learned_asserts(old: ast.SMSpec, fresh: ast.SMSpec) -> None:
+    """Keep previously learned (undocumented) asserts across regeneration.
+
+    An assert whose error code the fresh generation does not produce for
+    the same transition is assumed to be alignment-learned and carried
+    forward.
+    """
+    for name, old_transition in old.transitions.items():
+        fresh_transition = fresh.transitions.get(name)
+        if fresh_transition is None:
+            continue
+        fresh_codes = {
+            stmt.error_code
+            for stmt in fresh_transition.statements()
+            if isinstance(stmt, ast.Assert)
+        }
+        carried = tuple(
+            stmt for stmt in old_transition.body
+            if isinstance(stmt, ast.Assert)
+            and stmt.error_code not in fresh_codes
+        )
+        if carried:
+            fresh_transition.body = carried + fresh_transition.body

@@ -1,0 +1,96 @@
+"""Differential execution: run traces on both backends, find divergence.
+
+Each generated trace runs on the reference cloud and on the emulator;
+the comparator reports the first step where behaviour differs, together
+with both responses — the "delta" that diagnosis feeds to the LLM
+(§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interpreter.errors import ApiResponse
+from ..scenarios.model import run_trace, Trace
+from .compare import compare_runs, TraceComparison
+
+
+@dataclass
+class Divergence:
+    """One behavioural difference between emulator and cloud."""
+
+    trace: Trace
+    step_index: int
+    api: str
+    reason: str
+    cloud_response: ApiResponse
+    emulator_response: ApiResponse
+    resolved_params: dict = field(default_factory=dict)
+
+    @property
+    def emulator_too_permissive(self) -> bool:
+        """The emulator accepted what the cloud rejects: a missing check."""
+        return self.emulator_response.success and not (
+            self.cloud_response.success
+        )
+
+    @property
+    def emulator_too_strict(self) -> bool:
+        """The emulator rejected what the cloud accepts: a spurious check."""
+        return self.cloud_response.success and not (
+            self.emulator_response.success
+        )
+
+    @property
+    def wrong_error_code(self) -> bool:
+        return (
+            not self.cloud_response.success
+            and not self.emulator_response.success
+            and self.cloud_response.error_code
+            != self.emulator_response.error_code
+        )
+
+    @property
+    def data_mismatch(self) -> bool:
+        return self.cloud_response.success and self.emulator_response.success
+
+
+@dataclass
+class DiffReport:
+    """The outcome of one differential pass over a trace set."""
+
+    compared: int = 0
+    aligned: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    comparisons: list[TraceComparison] = field(default_factory=list)
+
+    @property
+    def alignment_ratio(self) -> float:
+        return self.aligned / self.compared if self.compared else 1.0
+
+
+def diff_traces(cloud, emulator, traces: list[Trace]) -> DiffReport:
+    """Run every trace on both backends and collect divergences."""
+    report = DiffReport()
+    for trace in traces:
+        cloud_run = run_trace(cloud, trace)
+        emulator_run = run_trace(emulator, trace)
+        comparison = compare_runs(cloud_run, emulator_run)
+        report.compared += 1
+        report.comparisons.append(comparison)
+        if comparison.aligned:
+            report.aligned += 1
+            continue
+        index = comparison.divergent_step_index
+        report.divergences.append(
+            Divergence(
+                trace=trace,
+                step_index=index,
+                api=cloud_run.results[index].api,
+                reason=comparison.steps[index].reason,
+                cloud_response=cloud_run.results[index].response,
+                emulator_response=emulator_run.results[index].response,
+                resolved_params=cloud_run.results[index].resolved_params,
+            )
+        )
+    return report

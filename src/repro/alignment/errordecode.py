@@ -1,0 +1,236 @@
+"""Rich error decoding (§4.3, last paragraph).
+
+Error codes must match the cloud exactly; error *messages* are for
+developers, and the emulator can do better than the cloud — decode the
+failure against the SM specification and the live emulated state to
+name the root cause and suggest concrete repairs ("delete subnet
+subnet-1 before deleting vpc-1").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interpreter.emulator import Emulator, normalize_key
+from ..interpreter.errors import ApiResponse
+from ..spec import ast
+from .symbolic import classify_assert, transition_asserts
+
+
+@dataclass
+class ErrorExplanation:
+    """A decoded failure: cause plus actionable repairs."""
+
+    code: str
+    summary: str
+    root_cause: str = ""
+    suggested_actions: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"{self.code}: {self.summary}"]
+        if self.root_cause:
+            lines.append(f"Root cause: {self.root_cause}")
+        for action in self.suggested_actions:
+            lines.append(f"  - {action}")
+        return "\n".join(lines)
+
+
+class ErrorDecoder:
+    """Decodes failed responses against the spec and live state."""
+
+    def __init__(self, emulator: Emulator):
+        self.emulator = emulator
+        self.module = emulator.module
+
+    def explain(
+        self, api: str, params: dict, response: ApiResponse
+    ) -> ErrorExplanation:
+        if response.success:
+            return ErrorExplanation(code="", summary="the call succeeded")
+        explanation = ErrorExplanation(
+            code=response.error_code,
+            summary=response.error_message or "the call failed",
+        )
+        entry = self.module.transition_index().get(api)
+        if entry is None:
+            explanation.root_cause = f"{api} is not a known API"
+            explanation.suggested_actions.append(
+                "check the action name against the service's API reference"
+            )
+            return explanation
+        sm_name, transition = entry
+        spec = self.module.machines[sm_name]
+        candidates = []
+        for stmt in transition_asserts(transition):
+            if stmt.error_code != response.error_code:
+                continue
+            pattern = classify_assert(spec, transition, stmt)
+            if pattern.kind == "guarded":
+                pattern = pattern["inner"]  # type: ignore[assignment]
+            candidates.append(pattern)
+        if not candidates:
+            self._decode_framework_error(explanation, sm_name, params)
+            return explanation
+        # Several asserts may share an error code (three different
+        # dependency checks on DeleteVpc, say); decode the one the live
+        # state actually violates.
+        state = self._subject_state(spec, params) or {}
+        chosen = candidates[0]
+        for pattern in candidates:
+            if self._pattern_violated(pattern, state):
+                chosen = pattern
+                break
+        self._decode_pattern(explanation, chosen, spec, params)
+        return explanation
+
+    @staticmethod
+    def _pattern_violated(pattern, state: dict) -> bool:
+        kind = pattern.kind
+        if kind == "list_empty":
+            return bool(state.get(str(pattern["attr"])))
+        if kind == "attr_unset":
+            return bool(state.get(str(pattern["attr"])))
+        if kind == "attr_set":
+            return not state.get(str(pattern["attr"]))
+        if kind == "attr_equals":
+            return state.get(str(pattern["attr"])) != pattern["value"]
+        if kind == "attr_differs":
+            return state.get(str(pattern["attr"])) == pattern["value"]
+        return False
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _subject_state(self, spec: ast.SMSpec, params: dict) -> dict | None:
+        key = normalize_key(f"{spec.name}_id")
+        request = {normalize_key(k): v for k, v in params.items()}
+        subject_id = request.get(key)
+        if subject_id is None:
+            return None
+        instance = self.emulator.registry.get(str(subject_id))
+        return dict(instance.state) if instance is not None else None
+
+    def _decode_pattern(self, explanation, pattern, spec, params) -> None:
+        kind = pattern.kind
+        state = self._subject_state(spec, params) or {}
+        if kind == "list_empty":
+            attr = str(pattern["attr"])
+            blocking = state.get(attr) or []
+            explanation.root_cause = (
+                f"the {spec.name} still references {len(blocking)} "
+                f"dependent resource(s) in its '{attr}' list"
+            )
+            for item in blocking[:5]:
+                explanation.suggested_actions.append(
+                    f"delete or detach {item} first"
+                )
+            return
+        if kind == "attr_unset":
+            attr = str(pattern["attr"])
+            holder = state.get(attr)
+            explanation.root_cause = (
+                f"'{attr}' is still set"
+                + (f" (to {holder})" if holder else "")
+            )
+            explanation.suggested_actions.append(
+                f"clear the association on '{attr}' before retrying"
+            )
+            return
+        if kind == "attr_set":
+            attr = str(pattern["attr"])
+            explanation.root_cause = f"'{attr}' is not set on the resource"
+            explanation.suggested_actions.append(
+                f"establish '{attr}' first (create or associate the "
+                "depended-on resource)"
+            )
+            return
+        if kind == "attr_equals":
+            attr = str(pattern["attr"])
+            wanted = pattern["value"]
+            current = state.get(attr)
+            explanation.root_cause = (
+                f"'{attr}' is {current!r}, but this API requires {wanted!r}"
+            )
+            driver = self._writer_api(spec, attr, wanted)
+            if driver:
+                explanation.suggested_actions.append(
+                    f"call {driver} to bring '{attr}' to {wanted!r}"
+                )
+            return
+        if kind == "one_of":
+            explanation.root_cause = (
+                f"parameter '{pattern['param']}' must be one of "
+                f"{list(pattern['values'])}"
+            )
+            return
+        if kind in ("valid_cidr", "prefix_between", "cidr_within",
+                    "no_overlap"):
+            explanation.root_cause = (
+                f"parameter '{pattern['param']}' is not an acceptable "
+                "CIDR block for this operation"
+            )
+            explanation.suggested_actions.append(
+                "choose an IPv4 CIDR inside the parent range with a "
+                "netmask the service accepts"
+            )
+            return
+        if kind == "require_param":
+            explanation.root_cause = (
+                f"required parameter '{pattern['param']}' is missing"
+            )
+            return
+        if kind == "param_implies_attr":
+            explanation.root_cause = (
+                f"setting '{pattern['param']}' to {pattern['value']!r} "
+                f"requires '{pattern['attr']}' to be "
+                f"{pattern['attr_value']!r} first"
+            )
+            driver = self._writer_api(spec, str(pattern["attr"]),
+                                      pattern["attr_value"])
+            if driver:
+                explanation.suggested_actions.append(
+                    f"call {driver} first"
+                )
+            return
+        explanation.root_cause = "a documented constraint was violated"
+
+    def _decode_framework_error(self, explanation, sm_name, params) -> None:
+        if "NotFound" in explanation.code or explanation.code.endswith(
+            "NotFoundException"
+        ):
+            # Prefer the resource type named by the error code itself:
+            # a CreateSubnet can fail with InvalidVpcID.NotFound when
+            # the *reference*, not the subject, is missing.
+            named = sm_name
+            if explanation.code.startswith("Invalid") and (
+                explanation.code.endswith("ID.NotFound")
+            ):
+                camel = explanation.code[len("Invalid"):-len("ID.NotFound")]
+                named = "".join(
+                    ("_" + c.lower()) if c.isupper() else c for c in camel
+                ).lstrip("_")
+            explanation.root_cause = (
+                f"the referenced {named} does not exist (it may have "
+                "been deleted, or the identifier is from another account "
+                "or region)"
+            )
+            explanation.suggested_actions.append(
+                f"list existing {named} resources and re-check the id"
+            )
+        elif explanation.code == "MissingParameter":
+            explanation.root_cause = (
+                f"the request must identify the target {sm_name}"
+            )
+
+    def _writer_api(self, spec: ast.SMSpec, attr: str, value: object) -> str:
+        for transition in spec.transitions.values():
+            if transition.name.startswith("_") or transition.is_stub:
+                continue
+            for stmt in transition.statements():
+                if (
+                    isinstance(stmt, ast.Write)
+                    and stmt.state == attr
+                    and isinstance(stmt.value, ast.Literal)
+                    and stmt.value.value == value
+                ):
+                    return transition.name
+        return ""

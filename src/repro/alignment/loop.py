@@ -1,0 +1,114 @@
+"""The closed alignment loop (§4.3): trace, diff, diagnose, repair,
+repeat — continuously improving emulator fidelity against the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cloud.engine import ReferenceCloud
+from ..docs.model import ServiceDoc
+from ..interpreter.emulator import Emulator
+from ..llm.client import SimulatedLLM
+from ..spec import ast
+from ..spec.validator import collect_violations
+from .diagnose import apply_repair, diagnose, Diagnosis, Repair
+from .differ import diff_traces, DiffReport
+from .symbolic import ClassCoverage
+from .tracegen import TraceBuilder
+
+
+@dataclass
+class AlignmentRound:
+    """One iteration of the loop."""
+
+    index: int
+    traces: int
+    diff: DiffReport
+    diagnoses: list[Diagnosis] = field(default_factory=list)
+    repairs: list[Repair] = field(default_factory=list)
+    coverage: ClassCoverage | None = None
+
+
+@dataclass
+class AlignmentReport:
+    """The loop's outcome."""
+
+    rounds: list[AlignmentRound] = field(default_factory=list)
+    converged: bool = False
+    validator_violations: list[str] = field(default_factory=list)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(len(r.diff.divergences) for r in self.rounds)
+
+    @property
+    def total_repairs(self) -> int:
+        return sum(len(r.repairs) for r in self.rounds)
+
+    @property
+    def doc_gaps_learned(self) -> int:
+        return sum(
+            1
+            for round_ in self.rounds
+            for repair in round_.repairs
+            if repair.kind == "learned_assert"
+        )
+
+
+def align_module(
+    module: ast.SpecModule,
+    notfound_codes: dict[str, str],
+    service_doc: ServiceDoc,
+    llm: SimulatedLLM,
+    cloud_factory=None,
+    cloud_seed: int = 11,
+    max_rounds: int = 4,
+) -> AlignmentReport:
+    """Run the alignment loop in place on ``module``.
+
+    Each round symbolically enumerates the current spec's equivalence
+    classes, generates one guided trace per class, diffs emulator
+    against a fresh *real* cloud, and repairs every diagnosed
+    divergence.  Convergence = a round with no divergences.
+
+    ``service_doc`` is the wrangled documentation (what diagnosis
+    consults to attribute divergence to spec vs docs); ``cloud_factory``
+    builds the ground-truth backend.  The two are distinct on purpose:
+    the cloud enforces behaviour the documentation may not mention.
+    When ``cloud_factory`` is omitted, the reference cloud for the
+    module's service catalog is used.
+    """
+    if cloud_factory is None:
+        from ..docs import build_catalog
+
+        catalog = build_catalog(module.service)
+        cloud_factory = lambda: ReferenceCloud(catalog, seed=cloud_seed)  # noqa: E731
+    report = AlignmentReport()
+    for round_index in range(max_rounds):
+        builder = TraceBuilder(module)
+        traces, coverage = builder.build_all()
+        cloud = cloud_factory()
+        emulator = Emulator(module, notfound_codes=notfound_codes)
+        diff = diff_traces(cloud, emulator, traces)
+        round_report = AlignmentRound(
+            index=round_index, traces=len(traces), diff=diff,
+            coverage=coverage,
+        )
+        report.rounds.append(round_report)
+        if not diff.divergences:
+            report.converged = True
+            break
+        repaired_targets: set[tuple[str, str]] = set()
+        for divergence in diff.divergences:
+            diagnosis = diagnose(divergence, module, service_doc, llm)
+            round_report.diagnoses.append(diagnosis)
+            key = (diagnosis.sm, diagnosis.api)
+            if key in repaired_targets:
+                continue
+            repair = apply_repair(diagnosis, module, service_doc)
+            if repair is not None:
+                round_report.repairs.append(repair)
+                repaired_targets.add(key)
+    report.validator_violations = collect_violations(module)
+    return report

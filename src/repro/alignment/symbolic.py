@@ -1,0 +1,347 @@
+"""Symbolic passes over SMs (§4.3).
+
+The search space of API behaviours is divided into symbolically
+equivalent classes based on the check/assert conditions of each state
+transition: for every transition there is one *all-pass* class, plus
+one class per assert in which exactly that assert is violated.  The
+trace generator then builds one guided test per class.
+
+Asserts are classified by structural pattern matching against the
+shapes the rule compiler emits; the classification exposes the
+predicate's meaning (which parameter or state variable it constrains
+and how), which is what lets the generator construct passing and
+violating inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spec import ast
+
+
+@dataclass(frozen=True)
+class AssertPattern:
+    """The recognized meaning of one assert."""
+
+    kind: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def __getitem__(self, key: str) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+
+def _pattern(kind: str, **fields: object) -> AssertPattern:
+    return AssertPattern(kind, tuple(sorted(fields.items())))
+
+
+def _is_exists(pred: ast.Pred) -> str | None:
+    """Matches ``exists(name)``; returns the name."""
+    if (
+        isinstance(pred, ast.Truthy)
+        and isinstance(pred.expr, ast.Func)
+        and pred.expr.name == "exists"
+        and len(pred.expr.args) == 1
+        and isinstance(pred.expr.args[0], ast.Name)
+    ):
+        return pred.expr.args[0].ident
+    return None
+
+
+def _name_of(expr: ast.Expr) -> str | None:
+    return expr.ident if isinstance(expr, ast.Name) else None
+
+
+def _is_param(spec: ast.SMSpec, transition: ast.Transition, name: str) -> bool:
+    return any(p.name == name for p in transition.params)
+
+
+def _is_state(spec: ast.SMSpec, name: str) -> bool:
+    return spec.state_type(name) is not None
+
+
+def _strip_self_expr(expr: ast.Expr) -> ast.Expr:
+    """Normalize ``self.attr`` to a bare name for pattern matching."""
+    if isinstance(expr, ast.Attr):
+        if isinstance(expr.base, ast.SelfRef):
+            return ast.Name(expr.attr)
+        return ast.Attr(_strip_self_expr(expr.base), expr.attr)
+    if isinstance(expr, ast.Func):
+        return ast.Func(
+            expr.name, tuple(_strip_self_expr(arg) for arg in expr.args)
+        )
+    if isinstance(expr, ast.ListExpr):
+        return ast.ListExpr(
+            tuple(_strip_self_expr(item) for item in expr.items)
+        )
+    return expr
+
+
+def _strip_self_pred(pred: ast.Pred) -> ast.Pred:
+    if isinstance(pred, ast.Truthy):
+        return ast.Truthy(_strip_self_expr(pred.expr))
+    if isinstance(pred, ast.Not):
+        return ast.Not(_strip_self_pred(pred.pred))
+    if isinstance(pred, ast.And):
+        return ast.And(_strip_self_pred(pred.left),
+                       _strip_self_pred(pred.right))
+    if isinstance(pred, ast.Or):
+        return ast.Or(_strip_self_pred(pred.left),
+                      _strip_self_pred(pred.right))
+    if isinstance(pred, ast.Compare):
+        return ast.Compare(pred.op, _strip_self_expr(pred.left),
+                           _strip_self_expr(pred.right))
+    return pred
+
+
+def classify_assert(
+    spec: ast.SMSpec, transition: ast.Transition, stmt: ast.Assert
+) -> AssertPattern:
+    """Recognize the symbolic meaning of an assert's predicate."""
+    pred = _strip_self_pred(stmt.pred)
+
+    exists_name = _is_exists(pred)
+    if exists_name is not None:
+        if _is_param(spec, transition, exists_name):
+            return _pattern("require_param", param=exists_name)
+        return _pattern("attr_set", attr=exists_name)
+
+    if isinstance(pred, ast.Not):
+        inner = _is_exists(pred.pred)
+        if inner is not None:
+            if _is_state(spec, inner):
+                return _pattern("attr_unset", attr=inner)
+            return _pattern("param_absent", param=inner)
+        if (
+            isinstance(pred.pred, ast.Truthy)
+            and isinstance(pred.pred.expr, ast.Func)
+            and pred.pred.expr.name == "cidr_overlaps_any"
+        ):
+            args = pred.pred.expr.args
+            if (
+                len(args) == 2
+                and isinstance(args[0], ast.Name)
+                and isinstance(args[1], ast.Attr)
+                and isinstance(args[1].base, ast.Name)
+            ):
+                return _pattern(
+                    "no_overlap",
+                    param=args[0].ident,
+                    ref=args[1].base.ident,
+                    list_attr=args[1].attr,
+                )
+        if (
+            isinstance(pred.pred, ast.Truthy)
+            and isinstance(pred.pred.expr, ast.Func)
+            and pred.pred.expr.name == "contains"
+        ):
+            args = pred.pred.expr.args
+            if len(args) == 2 and isinstance(args[0], ast.Name) and isinstance(
+                args[1], ast.Name
+            ):
+                return _pattern("not_in_collection",
+                                attr=args[0].ident, param=args[1].ident)
+
+    if isinstance(pred, ast.Truthy) and isinstance(pred.expr, ast.Func):
+        func = pred.expr
+        if func.name == "valid_cidr" and isinstance(func.args[0], ast.Name):
+            return _pattern("valid_cidr", param=func.args[0].ident)
+        if func.name == "cidr_within":
+            inner, outer = func.args
+            if (
+                isinstance(inner, ast.Name)
+                and isinstance(outer, ast.Attr)
+                and isinstance(outer.base, ast.Name)
+            ):
+                return _pattern(
+                    "cidr_within",
+                    param=inner.ident,
+                    ref=outer.base.ident,
+                    ref_attr=outer.attr,
+                )
+        if func.name == "contains":
+            container, item = func.args
+            if isinstance(container, ast.Name) and isinstance(item, ast.Name):
+                return _pattern("in_collection",
+                                attr=container.ident, param=item.ident)
+
+    if isinstance(pred, ast.Compare):
+        left, right = pred.left, pred.right
+        if pred.op == "in" and isinstance(left, ast.Name) and isinstance(
+            right, ast.ListExpr
+        ):
+            members = tuple(
+                item.value for item in right.items
+                if isinstance(item, ast.Literal)
+            )
+            return _pattern("one_of", param=left.ident, values=members)
+        if pred.op in ("==", "!=") and isinstance(left, ast.Name):
+            name = left.ident
+            if isinstance(right, ast.Literal) and _is_state(spec, name):
+                kind = "attr_equals" if pred.op == "==" else "attr_differs"
+                return _pattern(kind, attr=name, value=right.value)
+            if isinstance(right, ast.Attr) and isinstance(right.base, ast.Name):
+                return _pattern(
+                    "matches_ref",
+                    attr=name,
+                    ref=right.base.ident,
+                    ref_attr=right.attr,
+                )
+        if (
+            pred.op == "=="
+            and isinstance(left, ast.Func)
+            and left.name == "len"
+            and isinstance(left.args[0], ast.Name)
+            and isinstance(right, ast.Literal)
+            and right.value == 0
+        ):
+            return _pattern("list_empty", attr=left.args[0].ident)
+        if (
+            pred.op == "=="
+            and isinstance(left, ast.Attr)
+            and isinstance(left.base, ast.Name)
+            and isinstance(right, ast.Literal)
+        ):
+            return _pattern(
+                "ref_attr_equals",
+                ref=left.base.ident,
+                ref_attr=left.attr,
+                value=right.value,
+            )
+
+    # Guarded forms: Or(Not(exists(p)), inner) — optional-parameter
+    # checks; classify the inner predicate and mark the guard.
+    if isinstance(pred, ast.Or):
+        guard = pred.left
+        if isinstance(guard, ast.Not):
+            guarded_param = _is_exists(guard.pred)
+            if guarded_param is not None:
+                inner = classify_assert(
+                    spec, transition, ast.Assert(pred.right, stmt.error_code)
+                )
+                return _pattern(
+                    "guarded",
+                    param=guarded_param,
+                    inner=inner,
+                )
+        # check_param_implies_attr: Or(Or(!exists(p), p != v), attr == av)
+        if isinstance(pred.left, ast.Or) and isinstance(
+            pred.right, ast.Compare
+        ):
+            left_or = pred.left
+            if (
+                isinstance(left_or.left, ast.Not)
+                and _is_exists(left_or.left.pred) is not None
+                and isinstance(left_or.right, ast.Compare)
+                and left_or.right.op == "!="
+                and isinstance(left_or.right.left, ast.Name)
+                and isinstance(left_or.right.right, ast.Literal)
+                and pred.right.op == "=="
+                and isinstance(pred.right.left, ast.Name)
+                and isinstance(pred.right.right, ast.Literal)
+            ):
+                return _pattern(
+                    "param_implies_attr",
+                    param=left_or.right.left.ident,
+                    value=left_or.right.right.value,
+                    attr=pred.right.left.ident,
+                    attr_value=pred.right.right.value,
+                )
+
+    # Range form: And(prefix_len(p) >= lo, prefix_len(p) <= hi)
+    if isinstance(pred, ast.And):
+        left, right = pred.left, pred.right
+        if (
+            isinstance(left, ast.Compare)
+            and isinstance(right, ast.Compare)
+            and isinstance(left.left, ast.Func)
+            and left.left.name == "prefix_len"
+            and isinstance(left.left.args[0], ast.Name)
+            and isinstance(left.right, ast.Literal)
+            and isinstance(right.right, ast.Literal)
+        ):
+            return _pattern(
+                "prefix_between",
+                param=left.left.args[0].ident,
+                lo=left.right.value,
+                hi=right.right.value,
+            )
+
+    return _pattern("opaque")
+
+
+@dataclass(frozen=True)
+class SymbolicClass:
+    """One equivalence class of a transition's behaviour."""
+
+    sm: str
+    transition: str
+    #: Index of the targeted assert in the flattened statement list, or
+    #: -1 for the all-pass class.
+    assert_index: int
+    pattern: AssertPattern | None
+    error_code: str = ""
+
+    @property
+    def is_all_pass(self) -> bool:
+        return self.assert_index < 0
+
+
+def transition_asserts(transition: ast.Transition) -> list[ast.Assert]:
+    return [
+        stmt for stmt in transition.statements()
+        if isinstance(stmt, ast.Assert)
+    ]
+
+
+def transition_classes(
+    spec: ast.SMSpec, transition: ast.Transition
+) -> list[SymbolicClass]:
+    """All symbolic classes of one transition: all-pass + one per assert."""
+    classes = [
+        SymbolicClass(spec.name, transition.name, -1, None)
+    ]
+    for index, stmt in enumerate(transition_asserts(transition)):
+        classes.append(
+            SymbolicClass(
+                spec.name,
+                transition.name,
+                index,
+                classify_assert(spec, transition, stmt),
+                error_code=stmt.error_code,
+            )
+        )
+    return classes
+
+
+def module_classes(module: ast.SpecModule) -> list[SymbolicClass]:
+    """Symbolic classes of every public transition in a module."""
+    classes: list[SymbolicClass] = []
+    for spec in module.machines.values():
+        for transition in spec.transitions.values():
+            if transition.name.startswith("_") or transition.is_stub:
+                continue
+            classes.extend(transition_classes(spec, transition))
+    return classes
+
+
+@dataclass
+class ClassCoverage:
+    """Bookkeeping for which classes the generator could reach (§6)."""
+
+    covered: list[SymbolicClass] = field(default_factory=list)
+    skipped: list[tuple[SymbolicClass, str]] = field(default_factory=list)
+
+    @property
+    def coverage_ratio(self) -> float:
+        total = len(self.covered) + len(self.skipped)
+        return len(self.covered) / total if total else 1.0

@@ -1,0 +1,851 @@
+"""Guided trace generation from symbolic classes (§4.3).
+
+For each symbolic class the builder constructs a minimal API trace:
+recursively create the subject and its references, drive state
+preconditions via transitions that establish them, then invoke the
+target transition with parameters chosen to pass every assert — or to
+violate exactly the targeted one.
+
+Coverage is deliberately partial: classes whose violation cannot be
+constructed from the SM structure are skipped and reported, matching
+the paper's §6 position that alignment hardens frequently executed
+paths without completeness guarantees.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from ..interpreter.evaluator import evaluate_defaults
+from ..scenarios.model import Trace, TraceStep
+from ..spec import ast
+from .symbolic import (
+    AssertPattern,
+    classify_assert,
+    ClassCoverage,
+    module_classes,
+    SymbolicClass,
+    transition_asserts,
+)
+
+
+class SkipClass(Exception):
+    """The builder cannot construct a trace for this class."""
+
+
+#: Sentinel override: omit this parameter from the request.
+OMIT = object()
+
+_MAX_DEPTH = 6
+
+
+@dataclass
+class _Context:
+    """Per-trace construction state."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+    #: symbol -> SM type
+    types: dict[str, str] = field(default_factory=dict)
+    #: symbol -> creation parameter values
+    created_with: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: symbol -> approximate (symbolic) state
+    state: dict[str, dict[str, object]] = field(default_factory=dict)
+    counter: int = 0
+
+    def fresh_symbol(self, sm_name: str) -> str:
+        self.counter += 1
+        return f"{sm_name}_{self.counter}"
+
+
+class TraceBuilder:
+    """Builds one guided trace per symbolic class of a module."""
+
+    def __init__(self, module: ast.SpecModule):
+        self.module = module
+        self._cidr_pool = 0
+
+    # -- public -----------------------------------------------------------
+
+    def build_class_trace(self, cls: SymbolicClass) -> Trace:
+        """Build the trace for one symbolic class (raises SkipClass)."""
+        ctx = _Context()
+        spec = self.module.machines[cls.sm]
+        transition = spec.transitions[cls.transition]
+        asserts = transition_asserts(transition)
+        target = asserts[cls.assert_index] if not cls.is_all_pass else None
+
+        if transition.category == "create":
+            subject = ""
+        else:
+            subject = self._create_resource(ctx, cls.sm, depth=0)
+
+        overrides: dict[str, object] = {}
+        if target is not None:
+            pattern = classify_assert(spec, transition, target)
+            overrides = self._violation_setup(
+                ctx, spec, transition, pattern, subject
+            )
+        params = self._solve_params(
+            ctx, spec, transition, subject, overrides,
+            skip_precondition=target is not None
+            and classify_assert(spec, transition, target).kind
+            in ("attr_equals", "attr_differs"),
+        )
+        ctx.steps.append(
+            TraceStep(
+                transition.name,
+                params,
+                expect_success=(True if target is None else False),
+            )
+        )
+        suffix = "pass" if cls.is_all_pass else f"violate_{cls.assert_index}"
+        return Trace(
+            name=f"align_{cls.sm}_{cls.transition}_{suffix}",
+            service=self.module.service,
+            scenario="alignment",
+            steps=tuple(ctx.steps),
+        )
+
+    def build_all(
+        self, classes: list[SymbolicClass] | None = None,
+        probes: bool = True,
+    ) -> tuple[list[Trace], ClassCoverage]:
+        """Build traces for every (constructible) class of the module."""
+        coverage = ClassCoverage()
+        traces: list[Trace] = []
+        for cls in classes if classes is not None else module_classes(
+            self.module
+        ):
+            try:
+                traces.append(self.build_class_trace(cls))
+            except SkipClass as skip:
+                coverage.skipped.append((cls, str(skip)))
+            else:
+                coverage.covered.append(cls)
+        if probes:
+            traces.extend(self.build_probe_traces())
+        return traces, coverage
+
+    def build_probe_traces(self) -> list[Trace]:
+        """Semantic-check mining probes (§4.3).
+
+        Assert-derived classes can only test checks the spec already
+        contains; missing checks need exploration.  For every modify
+        transition, probe each optional boolean parameter (set to true)
+        against every reachable boolean state configuration of the
+        subject — minimal traces that surface context-dependent rules
+        the documentation omitted (e.g. DNS hostnames requiring DNS
+        support).
+        """
+        traces: list[Trace] = []
+        seen: set[tuple] = set()
+        for spec in self.module.machines.values():
+            bool_attrs = [
+                decl.name for decl in spec.states
+                if decl.type.kind == "bool"
+            ][:4]
+            for transition in spec.transitions.values():
+                if transition.category != "modify" or transition.is_stub:
+                    continue
+                if transition.name.startswith("_"):
+                    continue
+                optional_bools = [
+                    p.name for p in transition.params
+                    if p.type.kind == "bool"
+                ][:4]
+                for param_name in optional_bools:
+                    for attr in bool_attrs:
+                        for value in (True, False):
+                            key = (spec.name, transition.name, param_name,
+                                   attr, value)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            trace = self._build_probe(
+                                spec, transition, param_name, attr, value
+                            )
+                            if trace is not None:
+                                traces.append(trace)
+        return traces
+
+    def _build_probe(
+        self,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        param_name: str,
+        attr: str,
+        attr_value: bool,
+    ) -> Trace | None:
+        ctx = _Context()
+        try:
+            subject = self._create_resource(ctx, spec.name, depth=0)
+            if ctx.state.get(subject, {}).get(attr) != attr_value:
+                self._drive_attr_to(ctx, subject, attr, attr_value, depth=1)
+            params = self._solve_params(
+                ctx, spec, transition, subject,
+                overrides={param_name: True},
+            )
+        except SkipClass:
+            return None
+        ctx.steps.append(TraceStep(transition.name, params))
+        flag = "t" if attr_value else "f"
+        return Trace(
+            name=(f"probe_{spec.name}_{transition.name}_{param_name}"
+                  f"__{attr}_{flag}"),
+            service=self.module.service,
+            scenario="alignment_probe",
+            steps=tuple(ctx.steps),
+        )
+
+    # -- creation ------------------------------------------------------------
+
+    def _create_transition(self, sm_name: str) -> ast.Transition:
+        spec = self.module.machines.get(sm_name)
+        if spec is None:
+            raise SkipClass(f"no SM for resource type {sm_name!r}")
+        for transition in spec.transitions.values():
+            if transition.category == "create" and not transition.is_stub:
+                return transition
+        raise SkipClass(f"resource type {sm_name!r} has no create API")
+
+    def _create_resource(
+        self,
+        ctx: _Context,
+        sm_name: str,
+        depth: int,
+        overrides: dict[str, object] | None = None,
+    ) -> str:
+        if depth > _MAX_DEPTH:
+            raise SkipClass("reference chain too deep")
+        spec = self.module.machines[sm_name]
+        transition = self._create_transition(sm_name)
+        params = self._solve_params(
+            ctx, spec, transition, subject="", overrides=overrides or {},
+            depth=depth,
+        )
+        symbol = ctx.fresh_symbol(sm_name)
+        ctx.steps.append(TraceStep(transition.name, params, bind=symbol))
+        ctx.types[symbol] = sm_name
+        ctx.created_with[symbol] = {
+            key: value for key, value in params.items()
+        }
+        ctx.state[symbol] = evaluate_defaults(spec)
+        self._apply_writes(ctx, symbol, spec, transition, params)
+        return symbol
+
+    # -- parameter solving ------------------------------------------------------
+
+    def _solve_params(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        subject: str,
+        overrides: dict[str, object],
+        depth: int = 0,
+        skip_precondition: bool = False,
+    ) -> dict[str, object]:
+        patterns = [
+            classify_assert(spec, transition, stmt)
+            for stmt in transition_asserts(transition)
+        ]
+        required = {
+            str(p["param"]) for p in patterns if p.kind == "require_param"
+        }
+        by_param: dict[str, list[AssertPattern]] = {}
+        for pattern in patterns:
+            inner = pattern
+            if pattern.kind == "guarded":
+                inner = pattern["inner"]  # type: ignore[assignment]
+            param_name = inner.get("param")
+            if isinstance(param_name, str):
+                by_param.setdefault(param_name, []).append(inner)
+
+        subject_key = f"{spec.name}_id"
+        params: dict[str, object] = {}
+        for param in transition.params:
+            if param.name in overrides:
+                value = overrides[param.name]
+                if value is not OMIT:
+                    params[param.name] = value
+                continue
+            if param.name == subject_key:
+                if subject:
+                    params[param.name] = f"${subject}"
+                continue
+            if param.name not in required:
+                continue
+            params[param.name] = self._pass_value(
+                ctx, spec, transition, param, by_param.get(param.name, []),
+                params, depth,
+            )
+
+        if not skip_precondition:
+            self._drive_preconditions(
+                ctx, spec, transition, subject, patterns, params, depth
+            )
+        return params
+
+    def _pass_value(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        param,
+        patterns: list[AssertPattern],
+        solved: dict[str, object],
+        depth: int,
+    ) -> object:
+        if param.type.kind == "sm":
+            target = param.type.sm_name
+            if not target:
+                raise SkipClass(f"untyped SM parameter {param.name!r}")
+            symbol = self._create_resource(ctx, target, depth + 1)
+            return f"${symbol}"
+        for pattern in patterns:
+            if pattern.kind == "one_of":
+                values = pattern["values"]
+                if values:
+                    return values[0]  # type: ignore[index]
+            if pattern.kind in ("valid_cidr", "prefix_between", "cidr_within",
+                                "no_overlap"):
+                return self._pass_cidr(ctx, patterns, solved)
+        if param.type.kind == "int":
+            return 100
+        if param.type.kind == "bool":
+            return True
+        return f"v-{param.name}"
+
+    def _pass_cidr(
+        self,
+        ctx: _Context,
+        patterns: list[AssertPattern],
+        solved: dict[str, object],
+    ) -> str:
+        lo, hi = 16, 28
+        parent_symbol = ""
+        parent_attr = ""
+        for pattern in patterns:
+            if pattern.kind == "prefix_between":
+                lo = int(pattern["lo"])  # type: ignore[arg-type]
+                hi = int(pattern["hi"])  # type: ignore[arg-type]
+            if pattern.kind in ("cidr_within", "no_overlap"):
+                ref_param = str(pattern["ref"])
+                ref_value = solved.get(ref_param)
+                if isinstance(ref_value, str) and ref_value.startswith("$"):
+                    parent_symbol = ref_value[1:]
+                if pattern.kind == "cidr_within":
+                    parent_attr = str(pattern["ref_attr"])
+        if parent_symbol:
+            parent_cidr = self._creation_cidr(ctx, parent_symbol, parent_attr)
+            if parent_cidr:
+                return self._carve(ctx, parent_symbol, parent_cidr,
+                                   prefix=max(lo, 24))
+        self._cidr_pool += 1
+        prefix = max(lo, min(hi, 16))
+        return f"10.{100 + self._cidr_pool}.0.0/{prefix}"
+
+    def _creation_cidr(
+        self, ctx: _Context, symbol: str, attr: str
+    ) -> str | None:
+        """The CIDR the referenced resource was created with."""
+        created = ctx.created_with.get(symbol, {})
+        spec = self.module.machines.get(ctx.types.get(symbol, ""), None)
+        if spec is not None and attr:
+            create = next(
+                (t for t in spec.transitions.values()
+                 if t.category == "create"), None,
+            )
+            if create is not None:
+                for stmt in create.statements():
+                    if (
+                        isinstance(stmt, ast.Write)
+                        and stmt.state == attr
+                        and isinstance(stmt.value, ast.Name)
+                    ):
+                        value = created.get(stmt.value.ident)
+                        if isinstance(value, str):
+                            return value
+        for value in created.values():
+            if isinstance(value, str) and "/" in value:
+                return value
+        return None
+
+    def _carve(
+        self, ctx: _Context, parent_symbol: str, parent_cidr: str,
+        prefix: int = 24,
+    ) -> str:
+        """A fresh sub-block of the parent's CIDR."""
+        try:
+            network = ipaddress.IPv4Network(parent_cidr, strict=False)
+        except ValueError:
+            self._cidr_pool += 1
+            return f"10.{100 + self._cidr_pool}.0.0/{prefix}"
+        prefix = max(prefix, network.prefixlen + 1)
+        carved = ctx.created_with[parent_symbol].setdefault(
+            "__carved__", 0
+        )
+        ctx.created_with[parent_symbol]["__carved__"] = carved + 1  # type: ignore[assignment]
+        subnets = network.subnets(new_prefix=min(prefix, 30))
+        for index, block in enumerate(subnets):
+            if index == carved:
+                return str(block)
+        return str(network)
+
+    # -- symbolic state ---------------------------------------------------------
+
+    def _apply_writes(
+        self,
+        ctx: _Context,
+        symbol: str,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        params: dict[str, object],
+    ) -> None:
+        state = ctx.state.setdefault(symbol, {})
+        for stmt in transition.statements():
+            if isinstance(stmt, ast.Write):
+                if isinstance(stmt.value, ast.Literal):
+                    state[stmt.state] = stmt.value.value
+                elif isinstance(stmt.value, ast.Name):
+                    if stmt.value.ident in params:
+                        state[stmt.state] = params[stmt.value.ident]
+                elif (
+                    isinstance(stmt.value, ast.Func)
+                    and stmt.value.name == "append"
+                ):
+                    items = list(state.get(stmt.state) or [])
+                    items.append("<item>")
+                    state[stmt.state] = items
+            elif isinstance(stmt, ast.Call) and stmt.transition.startswith(
+                "_Track_"
+            ):
+                target_symbol = self._call_target_symbol(stmt, params)
+                if target_symbol:
+                    list_attr = stmt.transition[len("_Track_"):]
+                    target_state = ctx.state.setdefault(target_symbol, {})
+                    items = list(target_state.get(list_attr) or [])
+                    items.append("<item>")
+                    target_state[list_attr] = items
+
+    def _call_target_symbol(
+        self, stmt: ast.Call, params: dict[str, object]
+    ) -> str:
+        if isinstance(stmt.target, ast.Name):
+            value = params.get(stmt.target.ident)
+            if isinstance(value, str) and value.startswith("$"):
+                return value[1:]
+        return ""
+
+    # -- precondition driving -----------------------------------------------------
+
+    def _drive_preconditions(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        subject: str,
+        patterns: list[AssertPattern],
+        params: dict[str, object],
+        depth: int,
+    ) -> None:
+        if not subject:
+            return
+        for pattern in patterns:
+            if pattern.kind == "attr_equals":
+                self._drive_attr_to(
+                    ctx, subject, str(pattern["attr"]), pattern["value"],
+                    depth,
+                )
+            elif pattern.kind == "ref_attr_equals":
+                ref_param = str(pattern["ref"])
+                value = params.get(ref_param)
+                if isinstance(value, str) and value.startswith("$"):
+                    self._drive_attr_to(
+                        ctx, value[1:], str(pattern["ref_attr"]),
+                        pattern["value"], depth,
+                    )
+
+    def _drive_attr_to(
+        self,
+        ctx: _Context,
+        symbol: str,
+        attr: str,
+        value: object,
+        depth: int,
+        forbid: str = "",
+    ) -> None:
+        """Invoke whatever transition establishes ``attr == value``."""
+        state = ctx.state.get(symbol, {})
+        if state.get(attr) == value:
+            return
+        sm_name = ctx.types.get(symbol, "")
+        spec = self.module.machines.get(sm_name)
+        if spec is None:
+            raise SkipClass(f"cannot drive state of unknown SM {sm_name!r}")
+        driver = self._find_writer(spec, attr, value, forbid)
+        if driver is None:
+            raise SkipClass(
+                f"no transition on {sm_name} establishes {attr}={value!r}"
+            )
+        transition, param_name = driver
+        overrides: dict[str, object] = {}
+        if param_name:
+            overrides[param_name] = value
+        driver_params = self._solve_params(
+            ctx, spec, transition, subject=symbol, overrides=overrides,
+            depth=depth + 1,
+        )
+        ctx.steps.append(TraceStep(transition.name, driver_params))
+        self._apply_writes(ctx, symbol, spec, transition, driver_params)
+        if ctx.state.get(symbol, {}).get(attr) != value:
+            ctx.state.setdefault(symbol, {})[attr] = value
+
+    def _find_writer(
+        self, spec: ast.SMSpec, attr: str, value: object, forbid: str = ""
+    ) -> tuple[ast.Transition, str] | None:
+        """A transition writing ``value`` (or a parameter) into ``attr``."""
+        fallback: tuple[ast.Transition, str] | None = None
+        for transition in spec.transitions.values():
+            if transition.is_stub or transition.name == forbid:
+                continue
+            if transition.category in ("create", "destroy"):
+                continue
+            for stmt in transition.statements():
+                if not isinstance(stmt, ast.Write) or stmt.state != attr:
+                    continue
+                if isinstance(stmt.value, ast.Literal) and (
+                    stmt.value.value == value
+                ):
+                    return transition, ""
+                if isinstance(stmt.value, ast.Name) and any(
+                    p.name == stmt.value.ident for p in transition.params
+                ):
+                    fallback = (transition, stmt.value.ident)
+        return fallback
+
+    # -- violation construction ------------------------------------------------------
+
+    def _violation_setup(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        pattern: AssertPattern,
+        subject: str,
+    ) -> dict[str, object]:
+        """Steps + parameter overrides that violate exactly one assert."""
+        kind = pattern.kind
+        if kind == "guarded":
+            inner = pattern["inner"]
+            overrides = self._violation_setup(
+                ctx, spec, transition, inner, subject  # type: ignore[arg-type]
+            )
+            # The guard passes when the parameter is present, which the
+            # inner violation guarantees by supplying a bad value.
+            if str(pattern["param"]) not in overrides:
+                raise SkipClass("guarded assert without parameter handle")
+            return overrides
+        if kind == "require_param":
+            return {str(pattern["param"]): OMIT}
+        if kind == "one_of":
+            return {str(pattern["param"]): "zz-invalid-choice"}
+        if kind == "valid_cidr":
+            return {str(pattern["param"]): "not-a-cidr"}
+        if kind == "prefix_between":
+            return {str(pattern["param"]): self._violating_prefix(ctx, spec,
+                                                                  transition)}
+        if kind == "cidr_within":
+            return {str(pattern["param"]): "192.168.250.0/24"}
+        if kind == "no_overlap":
+            return self._violate_overlap(ctx, spec, transition, pattern)
+        if kind == "attr_equals":
+            self._drive_attr_away(ctx, subject, str(pattern["attr"]),
+                                  pattern["value"], transition.name)
+            return {}
+        if kind == "attr_differs":
+            self._drive_attr_to(ctx, subject, str(pattern["attr"]),
+                                pattern["value"], 0, forbid=transition.name)
+            return {}
+        if kind == "attr_unset":
+            self._drive_attr_set(ctx, subject, str(pattern["attr"]),
+                                 transition.name)
+            return {}
+        if kind == "attr_set":
+            state = ctx.state.get(subject, {})
+            if state.get(str(pattern["attr"])):
+                raise SkipClass("attribute is set after creation; cannot "
+                                "construct the unset violation")
+            return {}
+        if kind == "list_empty":
+            self._violate_list_empty(ctx, subject, str(pattern["attr"]))
+            return {}
+        if kind == "in_collection":
+            # Fresh collections are empty, so a direct call violates.
+            return {str(pattern["param"]): "v-absent"}
+        if kind == "not_in_collection":
+            return self._violate_not_in_collection(ctx, spec, transition,
+                                                   pattern, subject)
+        if kind == "matches_ref":
+            return self._violate_matches_ref(ctx, spec, transition, pattern)
+        if kind == "ref_attr_equals":
+            return self._violate_ref_attr(ctx, spec, transition, pattern)
+        if kind == "param_implies_attr":
+            self._drive_attr_away(ctx, subject, str(pattern["attr"]),
+                                  pattern["attr_value"], transition.name)
+            return {str(pattern["param"]): pattern["value"]}
+        raise SkipClass(f"no violation strategy for pattern {kind!r}")
+
+    def _violating_prefix(
+        self, ctx: _Context, spec: ast.SMSpec, transition: ast.Transition
+    ) -> str:
+        """A syntactically valid CIDR whose prefix is out of range.
+
+        If a containment assert is also present, carve the /30 from the
+        parent so only the prefix check is violated.
+        """
+        for stmt in transition_asserts(transition):
+            pattern = classify_assert(spec, transition, stmt)
+            if pattern.kind == "guarded":
+                pattern = pattern["inner"]  # type: ignore[assignment]
+            if pattern.kind == "cidr_within":
+                # The reference will be created by _solve_params later;
+                # use the conventional first pool block it will pick.
+                break
+        self._cidr_pool += 1
+        return f"10.{100 + self._cidr_pool}.0.0/30"
+
+    def _violate_overlap(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        pattern: AssertPattern,
+    ) -> dict[str, object]:
+        """Create a sibling with the same CIDR first."""
+        if transition.category != "create":
+            raise SkipClass("overlap violation only constructed for creates")
+        params = self._solve_params(ctx, spec, transition, subject="",
+                                    overrides={}, depth=1)
+        cidr_param = str(pattern["param"])
+        cidr_value = params.get(cidr_param)
+        if not isinstance(cidr_value, str):
+            raise SkipClass("could not solve a passing CIDR to duplicate")
+        symbol = ctx.fresh_symbol(spec.name)
+        ctx.steps.append(TraceStep(transition.name, params, bind=symbol))
+        ctx.types[symbol] = spec.name
+        ctx.created_with[symbol] = dict(params)
+        ctx.state[symbol] = evaluate_defaults(spec)
+        self._apply_writes(ctx, symbol, spec, transition, params)
+        # Reuse the same reference and the same CIDR for the violation.
+        overrides: dict[str, object] = {cidr_param: cidr_value}
+        ref_param = str(pattern["ref"])
+        if isinstance(params.get(ref_param), str):
+            overrides[ref_param] = params[ref_param]
+        return overrides
+
+    def _violate_not_in_collection(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        pattern: AssertPattern,
+        subject: str,
+    ) -> dict[str, object]:
+        """Run the adding transition once, then repeat the value."""
+        value = "v-duplicate"
+        params = self._solve_params(
+            ctx, spec, transition, subject,
+            overrides={str(pattern["param"]): value},
+            skip_precondition=True,
+        )
+        ctx.steps.append(TraceStep(transition.name, params))
+        self._apply_writes(ctx, subject, spec, transition, params)
+        return {str(pattern["param"]): value}
+
+    def _violate_matches_ref(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        pattern: AssertPattern,
+    ) -> dict[str, object]:
+        """Create the reference with a deliberately different attribute."""
+        ref_param_name = str(pattern["ref"])
+        ref_type = ""
+        for param in transition.params:
+            if param.name == ref_param_name and param.type.kind == "sm":
+                ref_type = param.type.sm_name
+        if not ref_type:
+            raise SkipClass("matches_ref target is not an SM parameter")
+        ref_spec = self.module.machines.get(ref_type)
+        if ref_spec is None:
+            raise SkipClass(f"no SM for reference type {ref_type!r}")
+        create = self._create_transition(ref_type)
+        setter = ""
+        for stmt in create.statements():
+            if (
+                isinstance(stmt, ast.Write)
+                and stmt.state == str(pattern["ref_attr"])
+                and isinstance(stmt.value, ast.Name)
+            ):
+                setter = stmt.value.ident
+        if not setter:
+            raise SkipClass("reference attribute is not set from a create "
+                            "parameter")
+        symbol = self._create_resource(
+            ctx, ref_type, depth=1, overrides={setter: "v-mismatched"}
+        )
+        return {ref_param_name: f"${symbol}"}
+
+    def _violate_ref_attr(
+        self,
+        ctx: _Context,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        pattern: AssertPattern,
+    ) -> dict[str, object]:
+        """Drive the referenced resource away from the required value."""
+        ref_param_name = str(pattern["ref"])
+        ref_type = ""
+        for param in transition.params:
+            if param.name == ref_param_name and param.type.kind == "sm":
+                ref_type = param.type.sm_name
+        if not ref_type:
+            raise SkipClass("ref_attr target is not an SM parameter")
+        symbol = self._create_resource(ctx, ref_type, depth=1)
+        self._drive_attr_away(ctx, symbol, str(pattern["ref_attr"]),
+                              pattern["value"], transition.name)
+        return {ref_param_name: f"${symbol}"}
+
+    def _drive_attr_away(
+        self, ctx: _Context, symbol: str, attr: str, value: object,
+        forbid: str,
+    ) -> None:
+        """Ensure the symbol's ``attr`` differs from ``value``."""
+        if not symbol:
+            raise SkipClass("violation requires an existing subject")
+        state = ctx.state.get(symbol, {})
+        if state.get(attr) != value:
+            return
+        sm_name = ctx.types.get(symbol, "")
+        spec = self.module.machines.get(sm_name)
+        if spec is None:
+            raise SkipClass(f"cannot drive state of unknown SM {sm_name!r}")
+        for transition in spec.transitions.values():
+            if transition.is_stub or transition.name == forbid:
+                continue
+            if transition.category in ("create", "destroy"):
+                continue
+            for stmt in transition.statements():
+                if (
+                    isinstance(stmt, ast.Write)
+                    and stmt.state == attr
+                    and isinstance(stmt.value, ast.Literal)
+                    and stmt.value.value != value
+                ):
+                    params = self._solve_params(
+                        ctx, spec, transition, subject=symbol, overrides={},
+                        depth=1,
+                    )
+                    ctx.steps.append(TraceStep(transition.name, params))
+                    self._apply_writes(ctx, symbol, spec, transition, params)
+                    if ctx.state.get(symbol, {}).get(attr) != value:
+                        return
+        # A boolean attribute may be drivable through a parameter write.
+        if isinstance(value, bool):
+            driver = self._find_writer(spec, attr, not value)
+            if driver is not None:
+                transition, param_name = driver
+                overrides = {param_name: (not value)} if param_name else {}
+                params = self._solve_params(
+                    ctx, spec, transition, subject=symbol,
+                    overrides=overrides, depth=1,
+                )
+                ctx.steps.append(TraceStep(transition.name, params))
+                ctx.state.setdefault(symbol, {})[attr] = not value
+                return
+        raise SkipClass(
+            f"no transition on {sm_name} drives {attr} away from {value!r}"
+        )
+
+    def _drive_attr_set(
+        self, ctx: _Context, symbol: str, attr: str, forbid: str
+    ) -> None:
+        """Ensure the symbol's reference attribute is set."""
+        if not symbol:
+            raise SkipClass("violation requires an existing subject")
+        state = ctx.state.get(symbol, {})
+        if state.get(attr):
+            return
+        sm_name = ctx.types.get(symbol, "")
+        spec = self.module.machines.get(sm_name)
+        if spec is None:
+            raise SkipClass(f"cannot drive state of unknown SM {sm_name!r}")
+        for transition in spec.transitions.values():
+            if transition.is_stub or transition.name == forbid:
+                continue
+            for stmt in transition.statements():
+                if (
+                    isinstance(stmt, ast.Write)
+                    and stmt.state == attr
+                    and isinstance(stmt.value, ast.Name)
+                    and any(
+                        p.name == stmt.value.ident and p.type.kind == "sm"
+                        for p in transition.params
+                    )
+                ):
+                    params = self._solve_params(
+                        ctx, spec, transition, subject=symbol, overrides={},
+                        depth=1,
+                    )
+                    ref_param = stmt.value.ident
+                    if ref_param not in params:
+                        ref_type = next(
+                            p.type.sm_name for p in transition.params
+                            if p.name == ref_param
+                        )
+                        ref_symbol = self._create_resource(ctx, ref_type, 1)
+                        params[ref_param] = f"${ref_symbol}"
+                    ctx.steps.append(TraceStep(transition.name, params))
+                    self._apply_writes(ctx, symbol, spec, transition, params)
+                    ctx.state.setdefault(symbol, {})[attr] = "<set>"
+                    return
+        raise SkipClass(f"no transition on {sm_name} sets {attr}")
+
+    def _violate_list_empty(
+        self, ctx: _Context, subject: str, attr: str
+    ) -> None:
+        """Create a child whose creation tracks into the subject's list."""
+        if not subject:
+            raise SkipClass("violation requires an existing subject")
+        subject_type = ctx.types.get(subject, "")
+        helper = f"_Track_{attr}"
+        for spec in self.module.machines.values():
+            for transition in spec.transitions.values():
+                if transition.category != "create" or transition.is_stub:
+                    continue
+                for stmt in transition.statements():
+                    if (
+                        isinstance(stmt, ast.Call)
+                        and stmt.transition == helper
+                        and isinstance(stmt.target, ast.Name)
+                    ):
+                        ref_param = stmt.target.ident
+                        matches = any(
+                            p.name == ref_param
+                            and p.type.kind == "sm"
+                            and p.type.sm_name == subject_type
+                            for p in transition.params
+                        )
+                        if not matches:
+                            continue
+                        self._create_resource(
+                            ctx, spec.name, depth=1,
+                            overrides={ref_param: f"${subject}"},
+                        )
+                        return
+        raise SkipClass(
+            f"no create on any SM tracks into {subject_type}.{attr}"
+        )

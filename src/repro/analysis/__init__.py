@@ -1,0 +1,88 @@
+"""Analyses the learned formal model enables (§4.4): complexity
+quantification, coverage accounting, anti-pattern detection, the cloud
+gym, and multi-cloud comparison.
+"""
+
+from .agents import (
+    DecoderGuidedAgent,
+    EpisodeResult,
+    forgetful_instance_plan,
+    PlanStep,
+    public_subnet_plan,
+    ScriptedAgent,
+)
+from .antipatterns import (
+    AmbiguityTracker,
+    analyze_module,
+    AntiPattern,
+    long_modify_chains,
+    missing_destroy,
+    wide_transitions,
+)
+from .complexity import (
+    complexity_cdf,
+    ComplexityComparison,
+    module_complexities,
+    SMComplexity,
+)
+from .coverage import (
+    backend_coverage,
+    catalog_coverage,
+    CoverageRow,
+    moto_coverage,
+    table1_rows,
+)
+from .gym import (
+    CloudGym,
+    GymTask,
+    public_subnet_task,
+    running_instance_task,
+    StepOutcome,
+)
+from .multicloud import (
+    ApiPairing,
+    AWS_AZURE_EQUIVALENCES,
+    AWS_GCP_EQUIVALENCES,
+    check_profile,
+    compare_aws_azure,
+    compare_aws_gcp,
+    compare_resources,
+    ServiceComparison,
+)
+
+__all__ = [
+    "AmbiguityTracker",
+    "DecoderGuidedAgent",
+    "EpisodeResult",
+    "forgetful_instance_plan",
+    "PlanStep",
+    "public_subnet_plan",
+    "ScriptedAgent",
+    "analyze_module",
+    "AntiPattern",
+    "ApiPairing",
+    "AWS_AZURE_EQUIVALENCES",
+    "AWS_GCP_EQUIVALENCES",
+    "backend_coverage",
+    "compare_aws_gcp",
+    "catalog_coverage",
+    "check_profile",
+    "CloudGym",
+    "compare_aws_azure",
+    "compare_resources",
+    "complexity_cdf",
+    "ComplexityComparison",
+    "CoverageRow",
+    "GymTask",
+    "long_modify_chains",
+    "missing_destroy",
+    "module_complexities",
+    "moto_coverage",
+    "public_subnet_task",
+    "running_instance_task",
+    "ServiceComparison",
+    "SMComplexity",
+    "StepOutcome",
+    "table1_rows",
+    "wide_transitions",
+]

@@ -1,0 +1,193 @@
+"""Reference agents for the cloud gym (§4.4).
+
+The gym exists to train DevOps agents; these two reference policies
+bound the difficulty of a task and demonstrate the error-decoding loop:
+
+- :class:`ScriptedAgent` replays a fixed plan (an expert trajectory);
+- :class:`DecoderGuidedAgent` follows a plan but, on failure, consults
+  the §4.3 error decoder and applies simple recovery tactics (create a
+  missing dependency, run a suggested driver API, fix a bad parameter),
+  the way an LLM agent would read the error message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alignment.errordecode import ErrorDecoder
+from .gym import CloudGym
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One intended action; ``$name`` params resolve to earlier ids."""
+
+    api: str
+    params: dict
+    bind: str = ""
+
+
+@dataclass
+class EpisodeResult:
+    """What an agent run produced."""
+
+    solved: bool
+    steps_used: int
+    total_reward: float
+    recoveries: int = 0
+    transcript: list[tuple[str, bool]] = field(default_factory=list)
+
+
+def _resolve(params: dict, env: dict[str, str]) -> dict:
+    resolved = {}
+    for key, value in params.items():
+        if isinstance(value, str) and value.startswith("$"):
+            resolved[key] = env.get(value[1:], f"dangling-{value[1:]}")
+        else:
+            resolved[key] = value
+    return resolved
+
+
+class ScriptedAgent:
+    """Replays a plan verbatim; no recovery."""
+
+    def __init__(self, plan: list[PlanStep]):
+        self.plan = plan
+
+    def run(self, gym: CloudGym) -> EpisodeResult:
+        gym.reset()
+        env: dict[str, str] = {}
+        total_reward = 0.0
+        for step in self.plan:
+            outcome = gym.step(step.api, _resolve(step.params, env))
+            total_reward += outcome.reward
+            if step.bind and outcome.response.success:
+                env[step.bind] = str(outcome.response.data.get("id", ""))
+            if outcome.done:
+                break
+        return EpisodeResult(
+            solved=gym.solved,
+            steps_used=gym.steps_used,
+            total_reward=total_reward,
+            transcript=list(gym.history),
+        )
+
+
+class DecoderGuidedAgent:
+    """Follows a plan and recovers from failures via decoded errors.
+
+    Recovery tactics, applied in order when a step fails:
+
+    1. the decoder names a driver API ("call StopInstances ...") —
+       invoke it on the subject, then retry;
+    2. the error is a missing reference — create the dependency using
+       the recovery factory for that resource type, then retry;
+    3. otherwise give up on the step (and usually the episode).
+    """
+
+    def __init__(self, plan: list[PlanStep],
+                 recovery_factories: dict[str, PlanStep] | None = None,
+                 max_retries: int = 2):
+        self.plan = plan
+        self.recovery_factories = dict(recovery_factories or {})
+        self.max_retries = max_retries
+
+    def _driver_from(self, explanation) -> str:
+        for action in explanation.suggested_actions:
+            if action.startswith("call "):
+                return action.split()[1]
+        return ""
+
+    def _missing_type(self, explanation) -> str:
+        marker = "the referenced "
+        if explanation.root_cause.startswith(marker):
+            return explanation.root_cause[len(marker):].split()[0]
+        return ""
+
+    def run(self, gym: CloudGym) -> EpisodeResult:
+        gym.reset()
+        decoder = ErrorDecoder(gym.emulator)
+        env: dict[str, str] = {}
+        total_reward = 0.0
+        recoveries = 0
+        for step in self.plan:
+            retries = 0
+            while True:
+                params = _resolve(step.params, env)
+                outcome = gym.step(step.api, params)
+                total_reward += outcome.reward
+                if outcome.response.success:
+                    if step.bind:
+                        env[step.bind] = str(
+                            outcome.response.data.get("id", "")
+                        )
+                    break
+                if retries >= self.max_retries or outcome.done:
+                    break
+                retries += 1
+                explanation = decoder.explain(step.api, params,
+                                              outcome.response)
+                driver = self._driver_from(explanation)
+                if driver:
+                    recoveries += 1
+                    recovery = gym.step(driver, params)
+                    total_reward += recovery.reward
+                    continue
+                missing = self._missing_type(explanation)
+                factory = self.recovery_factories.get(missing)
+                if factory is not None:
+                    recoveries += 1
+                    created = gym.step(
+                        factory.api, _resolve(factory.params, env)
+                    )
+                    total_reward += created.reward
+                    if factory.bind and created.response.success:
+                        env[factory.bind] = str(
+                            created.response.data.get("id", "")
+                        )
+                    continue
+                break
+            if gym.solved or gym.steps_used >= gym.task.max_steps:
+                break
+        return EpisodeResult(
+            solved=gym.solved,
+            steps_used=gym.steps_used,
+            total_reward=total_reward,
+            recoveries=recoveries,
+            transcript=list(gym.history),
+        )
+
+
+def public_subnet_plan() -> list[PlanStep]:
+    """The expert plan for :func:`repro.analysis.gym.public_subnet_task`."""
+    return [
+        PlanStep("CreateVpc", {"CidrBlock": "10.0.0.0/16"}, bind="vpc"),
+        PlanStep("CreateSubnet",
+                 {"VpcId": "$vpc", "CidrBlock": "10.0.1.0/24"},
+                 bind="subnet"),
+        PlanStep("ModifySubnetAttribute",
+                 {"SubnetId": "$subnet", "MapPublicIpOnLaunch": True}),
+        PlanStep("CreateInternetGateway", {}, bind="igw"),
+        PlanStep("AttachInternetGateway",
+                 {"InternetGatewayId": "$igw", "VpcId": "$vpc"}),
+    ]
+
+
+def forgetful_instance_plan() -> list[PlanStep]:
+    """A plan with two classic mistakes, for exercising recovery:
+    it resizes a *running* instance (needs StopInstances first)."""
+    return [
+        PlanStep("CreateVpc", {"CidrBlock": "10.0.0.0/16"}, bind="vpc"),
+        PlanStep("CreateSubnet",
+                 {"VpcId": "$vpc", "CidrBlock": "10.0.1.0/24"},
+                 bind="subnet"),
+        PlanStep("RunInstances",
+                 {"SubnetId": "$subnet", "ImageId": "ami-1",
+                  "InstanceType": "t2.micro"}, bind="instance"),
+        PlanStep("ModifyInstanceAttribute",
+                 {"InstanceId": "$instance", "InstanceType": "m5.large"}),
+        PlanStep("AllocateAddress", {}, bind="eip"),
+        PlanStep("StartInstances", {"InstanceId": "$instance"}),
+        PlanStep("AssociateAddress",
+                 {"ElasticIpId": "$eip", "InstanceId": "$instance"}),
+    ]

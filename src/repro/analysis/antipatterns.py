@@ -1,0 +1,121 @@
+"""Documentation-engineering analysis: API anti-patterns (§4.4).
+
+By analyzing the extracted specifications we can detect design smells:
+a modify() requiring a long chain of cross-resource updates, APIs whose
+documentation repeatedly leads generation astray (ambiguity), and
+asymmetric lifecycles (create without destroy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spec import ast
+
+
+@dataclass(frozen=True)
+class AntiPattern:
+    """One detected design smell."""
+
+    kind: str
+    sm: str
+    api: str
+    detail: str
+
+
+def long_modify_chains(
+    module: ast.SpecModule, max_calls: int = 1
+) -> list[AntiPattern]:
+    """modify() APIs that fan out into multiple cross-SM updates."""
+    findings = []
+    for sm_name, spec in module.machines.items():
+        for transition in spec.transitions.values():
+            if transition.category != "modify":
+                continue
+            if transition.name.startswith("_"):
+                continue
+            calls = sum(
+                1 for stmt in transition.statements()
+                if isinstance(stmt, ast.Call)
+            )
+            if calls > max_calls:
+                findings.append(
+                    AntiPattern(
+                        "long_modify_chain", sm_name, transition.name,
+                        f"modify() updates {calls} other state machines",
+                    )
+                )
+    return findings
+
+
+def missing_destroy(module: ast.SpecModule) -> list[AntiPattern]:
+    """Resources that can be created but never destroyed."""
+    findings = []
+    for sm_name, spec in module.machines.items():
+        categories = {
+            t.category for t in spec.transitions.values()
+            if not t.name.startswith("_")
+        }
+        if "create" in categories and "destroy" not in categories:
+            findings.append(
+                AntiPattern(
+                    "missing_destroy", sm_name, "",
+                    "resource has create APIs but no destroy API",
+                )
+            )
+    return findings
+
+
+def wide_transitions(
+    module: ast.SpecModule, max_params: int = 6
+) -> list[AntiPattern]:
+    """APIs with very wide signatures — hard to document and to use."""
+    findings = []
+    for sm_name, spec in module.machines.items():
+        for transition in spec.transitions.values():
+            if transition.name.startswith("_"):
+                continue
+            if len(transition.params) > max_params:
+                findings.append(
+                    AntiPattern(
+                        "wide_signature", sm_name, transition.name,
+                        f"{len(transition.params)} request parameters",
+                    )
+                )
+    return findings
+
+
+@dataclass
+class AmbiguityTracker:
+    """Flags documentation that repeatedly leads generation astray.
+
+    §4.4: "documentation that consistently leads the AI to generate
+    incorrect logic may be flagged as ambiguous and in need of
+    refinement".  Fed by the extraction pipeline's correction log and
+    the alignment loop's spec-error diagnoses.
+    """
+
+    incidents: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, sm: str, api: str) -> None:
+        key = (sm, api)
+        self.incidents[key] = self.incidents.get(key, 0) + 1
+
+    def flagged(self, threshold: int = 2) -> list[AntiPattern]:
+        return [
+            AntiPattern(
+                "ambiguous_documentation", sm, api,
+                f"generation required {count} corrections",
+            )
+            for (sm, api), count in sorted(self.incidents.items())
+            if count >= threshold
+        ]
+
+
+def analyze_module(module: ast.SpecModule) -> list[AntiPattern]:
+    """All static anti-pattern analyses over one specification."""
+    findings: list[AntiPattern] = []
+    findings.extend(long_modify_chains(module))
+    findings.extend(missing_destroy(module))
+    findings.extend(wide_transitions(module))
+    return findings

@@ -1,0 +1,108 @@
+"""Quantifying cloud complexity from extracted specifications (§4.4).
+
+The extracted specification is a graph of interacting state machines;
+counting state variables and transitions per SM gives an objective
+complexity measure of cloud services (Fig. 4 plots its CDF per
+service), and graph metrics (nodes, edge density) compare services —
+e.g. AWS Lambda vs Azure Functions in the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spec import ast
+
+
+@dataclass(frozen=True)
+class SMComplexity:
+    """Complexity of one state machine."""
+
+    sm: str
+    states: int
+    transitions: int
+
+    @property
+    def total(self) -> int:
+        """The paper's metric: #state variables + #transitions."""
+        return self.states + self.transitions
+
+
+def module_complexities(module: ast.SpecModule) -> list[SMComplexity]:
+    """Per-SM complexity, public transitions only (helpers are an
+    artifact of linking, not of the documented service)."""
+    result = []
+    for name, spec in module.machines.items():
+        public = [
+            t for t in spec.transitions.values()
+            if not t.name.startswith("_")
+        ]
+        result.append(
+            SMComplexity(sm=name, states=len(spec.states),
+                         transitions=len(public))
+        )
+    return sorted(result, key=lambda c: c.total)
+
+
+def complexity_cdf(module: ast.SpecModule) -> list[tuple[int, float]]:
+    """The (complexity, cumulative fraction) series Fig. 4 plots."""
+    complexities = sorted(c.total for c in module_complexities(module))
+    count = len(complexities)
+    if count == 0:
+        return []
+    series: list[tuple[int, float]] = []
+    for index, value in enumerate(complexities, start=1):
+        series.append((value, index / count))
+    # Collapse duplicate x-values, keeping the highest cumulative y.
+    collapsed: dict[int, float] = {}
+    for value, fraction in series:
+        collapsed[value] = fraction
+    return sorted(collapsed.items())
+
+
+@dataclass
+class ComplexityComparison:
+    """Cross-service complexity comparison (§4.4's analysis)."""
+
+    per_service: dict[str, list[SMComplexity]] = field(default_factory=dict)
+
+    def add(self, service: str, module: ast.SpecModule) -> None:
+        self.per_service[service] = module_complexities(module)
+
+    def summary(self) -> dict[str, dict]:
+        table: dict[str, dict] = {}
+        for service, complexities in self.per_service.items():
+            totals = [c.total for c in complexities]
+            table[service] = {
+                "machines": len(totals),
+                "min": min(totals) if totals else 0,
+                "max": max(totals) if totals else 0,
+                "mean": sum(totals) / len(totals) if totals else 0.0,
+                "median": sorted(totals)[len(totals) // 2] if totals else 0,
+            }
+        return table
+
+    def stochastic_dominance(self, left: str, right: str) -> bool:
+        """True when ``left``'s complexity CDF lies right of ``right``'s.
+
+        "The SMs in the EC2 service are more complex than others": at
+        every cumulative fraction, the left service's complexity
+        quantile is at least the right's.
+        """
+        left_totals = sorted(c.total for c in self.per_service[left])
+        right_totals = sorted(c.total for c in self.per_service[right])
+        if not left_totals or not right_totals:
+            return False
+        for q in range(1, 10):
+            fraction = q / 10
+            left_q = left_totals[
+                min(len(left_totals) - 1,
+                    int(fraction * len(left_totals)))
+            ]
+            right_q = right_totals[
+                min(len(right_totals) - 1,
+                    int(fraction * len(right_totals)))
+            ]
+            if left_q < right_q:
+                return False
+        return True

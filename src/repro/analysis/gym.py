@@ -1,0 +1,149 @@
+"""Cloud gym: a no-cost, zero-risk environment for cloud agents (§4.4).
+
+The emulation framework doubles as a playground for training AI agents
+that do DevOps work.  The gym wraps a learned emulator in the familiar
+reset/step/observe loop: actions are cloud API invocations, the
+observation is the live resource inventory, and tasks score goal
+predicates over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..interpreter.emulator import Emulator
+from ..interpreter.errors import ApiResponse
+
+
+@dataclass(frozen=True)
+class GymTask:
+    """A goal for an agent: reach a resource configuration."""
+
+    name: str
+    description: str
+    #: goal(observation) -> fraction of the goal achieved in [0, 1].
+    goal: Callable[[dict], float]
+    max_steps: int = 50
+
+
+@dataclass
+class StepOutcome:
+    """The gym's response to one action."""
+
+    response: ApiResponse
+    observation: dict
+    reward: float
+    done: bool
+    steps_used: int
+
+
+@dataclass
+class CloudGym:
+    """An episodic environment over a learned emulator."""
+
+    emulator: Emulator
+    task: GymTask
+    steps_used: int = 0
+    _last_score: float = 0.0
+    history: list[tuple[str, bool]] = field(default_factory=list)
+
+    def reset(self) -> dict:
+        self.emulator.reset()
+        self.steps_used = 0
+        self._last_score = 0.0
+        self.history = []
+        return self.observe()
+
+    def observe(self) -> dict:
+        """The current resource inventory: type -> [instance views]."""
+        observation: dict = {}
+        for instance in self.emulator.registry.instances.values():
+            view = {"id": instance.id, **instance.state}
+            observation.setdefault(instance.type_name, []).append(view)
+        return observation
+
+    def step(self, api: str, params: dict | None = None) -> StepOutcome:
+        """Invoke one cloud API as the agent's action.
+
+        Reward is the *increase* in goal completion this step achieved,
+        minus a small per-step cost so shorter solutions score higher.
+        """
+        if self.steps_used >= self.task.max_steps:
+            raise RuntimeError("episode is over; call reset()")
+        response = self.emulator.invoke(api, params or {})
+        self.steps_used += 1
+        self.history.append((api, response.success))
+        observation = self.observe()
+        score = self.task.goal(observation)
+        reward = (score - self._last_score) - 0.01
+        self._last_score = score
+        done = score >= 1.0 or self.steps_used >= self.task.max_steps
+        return StepOutcome(
+            response=response,
+            observation=observation,
+            reward=reward,
+            done=done,
+            steps_used=self.steps_used,
+        )
+
+    @property
+    def solved(self) -> bool:
+        return self._last_score >= 1.0
+
+
+def _has(observation: dict, kind: str, predicate=None) -> bool:
+    for view in observation.get(kind, []):
+        if predicate is None or predicate(view):
+            return True
+    return False
+
+
+def public_subnet_task() -> GymTask:
+    """The gym's quickstart task: a VPC with an internet-facing subnet.
+
+    Goal state: a VPC exists, a subnet exists inside it with
+    MapPublicIpOnLaunch enabled, and an internet gateway is attached.
+    """
+
+    def goal(observation: dict) -> float:
+        score = 0.0
+        if _has(observation, "vpc"):
+            score += 0.25
+        if _has(observation, "subnet"):
+            score += 0.25
+        if _has(observation, "subnet",
+                lambda v: v.get("map_public_ip_on_launch") is True):
+            score += 0.25
+        if _has(observation, "internet_gateway", lambda v: v.get("vpc")):
+            score += 0.25
+        return score
+
+    return GymTask(
+        name="public_subnet",
+        description="Create a VPC with a public subnet and an attached "
+                    "internet gateway.",
+        goal=goal,
+    )
+
+
+def running_instance_task() -> GymTask:
+    """A harder task: a running instance with an associated Elastic IP."""
+
+    def goal(observation: dict) -> float:
+        score = 0.0
+        if _has(observation, "subnet"):
+            score += 0.25
+        if _has(observation, "instance",
+                lambda v: v.get("state") == "running"):
+            score += 0.35
+        if _has(observation, "elastic_ip", lambda v: v.get("instance")):
+            score += 0.4
+        return score
+
+    return GymTask(
+        name="running_instance",
+        description="Launch an instance and associate an Elastic IP "
+                    "with it.",
+        goal=goal,
+    )

@@ -1,0 +1,155 @@
+"""Multi-cloud analysis: formal comparison of equivalent services (§4.4).
+
+Because both providers' documentation reduce to the same SM formalism,
+equivalent services become formally comparable: does Azure's
+``createOrUpdateVirtualMachine`` enforce the same class of dependency
+checks as AWS's ``RunInstances``?  The comparison matches transitions
+by category and by the *kinds* of checks they carry, surfacing
+portability hazards where one cloud checks something the other does
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alignment.symbolic import classify_assert, transition_asserts
+from ..spec import ast
+
+
+def check_profile(spec: ast.SMSpec, transition: ast.Transition) -> set[str]:
+    """The set of check *kinds* a transition enforces."""
+    kinds = set()
+    for stmt in transition_asserts(transition):
+        pattern = classify_assert(spec, transition, stmt)
+        if pattern.kind == "guarded":
+            pattern = pattern["inner"]  # type: ignore[assignment]
+        kinds.add(pattern.kind)
+    return kinds
+
+
+@dataclass(frozen=True)
+class ApiPairing:
+    """One matched API pair across two clouds."""
+
+    left_api: str
+    right_api: str
+    category: str
+    shared_checks: tuple[str, ...]
+    left_only: tuple[str, ...]
+    right_only: tuple[str, ...]
+
+    @property
+    def portable(self) -> bool:
+        """No one-sided checks: a program valid on one cloud stays valid."""
+        return not self.left_only and not self.right_only
+
+
+@dataclass
+class ServiceComparison:
+    """Cross-cloud comparison of two equivalent resources."""
+
+    left_sm: str
+    right_sm: str
+    pairings: list[ApiPairing] = field(default_factory=list)
+
+    @property
+    def portability_ratio(self) -> float:
+        if not self.pairings:
+            return 1.0
+        portable = sum(1 for pairing in self.pairings if pairing.portable)
+        return portable / len(self.pairings)
+
+
+def compare_resources(
+    left_module: ast.SpecModule,
+    right_module: ast.SpecModule,
+    left_sm: str,
+    right_sm: str,
+) -> ServiceComparison:
+    """Pair up the two resources' APIs by category and compare checks.
+
+    Categories pair create-to-create, destroy-to-destroy, etc.; within a
+    category APIs pair in definition order (cloud resources expose one
+    API per lifecycle verb in practice).
+    """
+    comparison = ServiceComparison(left_sm=left_sm, right_sm=right_sm)
+    left = left_module.machines[left_sm]
+    right = right_module.machines[right_sm]
+
+    def by_category(spec: ast.SMSpec) -> dict[str, list[ast.Transition]]:
+        table: dict[str, list[ast.Transition]] = {}
+        for transition in spec.transitions.values():
+            if transition.name.startswith("_") or transition.is_stub:
+                continue
+            table.setdefault(transition.category, []).append(transition)
+        return table
+
+    left_table = by_category(left)
+    right_table = by_category(right)
+    for category in ("create", "destroy", "describe", "modify"):
+        for left_t, right_t in zip(
+            left_table.get(category, []), right_table.get(category, [])
+        ):
+            left_checks = check_profile(left, left_t)
+            right_checks = check_profile(right, right_t)
+            comparison.pairings.append(
+                ApiPairing(
+                    left_api=left_t.name,
+                    right_api=right_t.name,
+                    category=category,
+                    shared_checks=tuple(sorted(left_checks & right_checks)),
+                    left_only=tuple(sorted(left_checks - right_checks)),
+                    right_only=tuple(sorted(right_checks - left_checks)),
+                )
+            )
+    return comparison
+
+
+#: The AWS-resource -> Azure-resource equivalences the multi-cloud
+#: analysis uses (the "universal emulator" mapping of §4.4).
+AWS_AZURE_EQUIVALENCES = (
+    ("vpc", "virtual_network"),
+    ("subnet", "subnet"),
+    ("elastic_ip", "public_ip_address"),
+    ("network_interface", "network_interface"),
+    ("security_group", "network_security_group"),
+    ("instance", "virtual_machine"),
+)
+
+#: AWS-resource -> GCP-resource equivalences.
+AWS_GCP_EQUIVALENCES = (
+    ("vpc", "network"),
+    ("subnet", "subnetwork"),
+    ("elastic_ip", "address"),
+    ("security_group", "firewall_rule"),
+    ("instance", "instance"),
+    ("volume", "disk"),
+)
+
+
+def _compare_pairs(
+    left_module: ast.SpecModule,
+    right_module: ast.SpecModule,
+    pairs,
+) -> list[ServiceComparison]:
+    return [
+        compare_resources(left_module, right_module, left_sm, right_sm)
+        for left_sm, right_sm in pairs
+        if left_sm in left_module.machines
+        and right_sm in right_module.machines
+    ]
+
+
+def compare_aws_azure(
+    aws_module: ast.SpecModule, azure_module: ast.SpecModule
+) -> list[ServiceComparison]:
+    """Compare every equivalent AWS/Azure resource pair."""
+    return _compare_pairs(aws_module, azure_module, AWS_AZURE_EQUIVALENCES)
+
+
+def compare_aws_gcp(
+    aws_module: ast.SpecModule, gcp_module: ast.SpecModule
+) -> list[ServiceComparison]:
+    """Compare every equivalent AWS/GCP resource pair."""
+    return _compare_pairs(aws_module, gcp_module, AWS_GCP_EQUIVALENCES)

@@ -1,0 +1,14 @@
+"""The paper's comparison baselines: the handcrafted (Moto-like)
+emulator with Table 1's coverage, and the direct-to-code generator.
+"""
+
+from .d2c import build_d2c_emulator, D2CCodeGenerator, D2CEmulator
+from .moto_like import build_moto_like, MotoLikeEmulator
+
+__all__ = [
+    "build_d2c_emulator",
+    "build_moto_like",
+    "D2CCodeGenerator",
+    "D2CEmulator",
+    "MotoLikeEmulator",
+]

@@ -1,0 +1,514 @@
+"""The direct-to-code (D2C) baseline (§5).
+
+The same LLM is prompted to generate emulation logic *directly* from
+cloud documentation — no SM grammar, no consistency checks, no
+alignment.  The simulation mirrors that: the documented rules pass
+through the ``direct`` fault profile (which drops the subtle checks and
+uncommon attributes §5 reports D2C missing), and the surviving rules
+are translated to plain Python handler *source code* that is exec'd
+and dispatched per API.
+
+Two deliberate properties of naive generated code are preserved:
+
+- checks and effects run interleaved in documentation order, so a
+  mid-handler failure leaves partial state behind (no transactions);
+- dropped checks fail *silently* — the handler returns success where
+  the cloud errors (the "dangerous state inconsistency" of §5).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from ..docs.model import ApiDoc, ResourceDoc, Rule, ServiceDoc
+from ..interpreter.errors import ApiResponse
+from ..llm.faults import DIRECT_PROFILE, FaultModel
+
+
+def _normalize(key: str) -> str:
+    return key.replace("_", "").replace("-", "").lower()
+
+
+# --------------------------------------------------------------------------
+# Runtime helpers available to generated handler code.
+# --------------------------------------------------------------------------
+
+
+def _rt_valid_cidr(value):
+    if not isinstance(value, str) or "/" not in value:
+        return False
+    try:
+        ipaddress.IPv4Network(value, strict=False)
+    except ValueError:
+        return False
+    return True
+
+
+def _rt_prefix_len(value):
+    if not _rt_valid_cidr(value):
+        return -1
+    return ipaddress.IPv4Network(value, strict=False).prefixlen
+
+
+def _rt_overlaps_any(value, blocks):
+    if not _rt_valid_cidr(value):
+        return False
+    net = ipaddress.IPv4Network(value, strict=False)
+    for other in blocks or []:
+        if _rt_valid_cidr(other) and net.overlaps(
+            ipaddress.IPv4Network(other, strict=False)
+        ):
+            return True
+    return False
+
+
+def _rt_within(value, outer):
+    if not (_rt_valid_cidr(value) and _rt_valid_cidr(outer)):
+        return False
+    return ipaddress.IPv4Network(value, strict=False).subnet_of(
+        ipaddress.IPv4Network(outer, strict=False)
+    )
+
+
+_RUNTIME = {
+    "valid_cidr": _rt_valid_cidr,
+    "prefix_len": _rt_prefix_len,
+    "overlaps_any": _rt_overlaps_any,
+    "cidr_within": _rt_within,
+}
+
+
+@dataclass
+class GeneratedHandler:
+    """One API's generated Python handler."""
+
+    api: str
+    resource: str
+    source: str
+    func: object = None
+
+
+class D2CCodeGenerator:
+    """Translates (faulted) documented rules into Python handler source."""
+
+    def __init__(self, fault_model: FaultModel):
+        self.fault_model = fault_model
+
+    def generate(self, res: ResourceDoc, api: ApiDoc,
+                 kept_attributes: list[str]) -> GeneratedHandler:
+        decision = self.fault_model.decide_api(
+            res.name, api.name, api.documented_rules(), api.category,
+            kept_attributes,
+        )
+        lines = [
+            f"def handler(cloud, params):",
+            f"    # generated from documentation for {res.name}.{api.name}",
+        ]
+        if api.category == "create":
+            lines.append(f"    entity = cloud.new_entity('{res.name}')")
+        else:
+            lines.append(
+                f"    entity = cloud.find(params, '{res.name}')"
+            )
+            lines.append("    if isinstance(entity, dict) is False:")
+            lines.append("        return entity  # error response")
+        lines.append("    data = {}")
+        known = set(kept_attributes)
+        for behaviour in api.documented_rules():
+            if behaviour in decision.dropped_rules:
+                continue
+            code = behaviour.error_code
+            if behaviour in decision.miscoded_rules:
+                code = self.fault_model.generic_code()
+            lines.extend(
+                "    " + line
+                for line in self._rule_lines(res, behaviour, code, known)
+            )
+        if decision.describe_write_attr:
+            lines.append(
+                f"    entity['state'][{decision.describe_write_attr!r}] = None"
+            )
+        if api.category == "destroy":
+            lines.append("    cloud.delete(entity)")
+        if api.category == "create":
+            lines.append("    data.setdefault('id', entity['id'])")
+            lines.append(
+                f"    data.setdefault('{res.name}_id', entity['id'])"
+            )
+        lines.append("    return cloud.ok(data)")
+        return GeneratedHandler(api=api.name, resource=res.name,
+                                source="\n".join(lines))
+
+    def _rule_lines(self, res: ResourceDoc, behaviour: Rule, code: str,
+                    known: set[str]) -> list[str]:
+        kind = behaviour.kind
+        get = lambda key: str(behaviour[key])  # noqa: E731
+        # Request keys are normalized before dispatch; generated lookups
+        # must use the normalized spelling.
+        req = lambda key: _normalize(str(behaviour[key]))  # noqa: E731
+        fail = f"return cloud.fail({code!r})"
+        if kind == "require_param":
+            return [f"if params.get({req('param')!r}) is None:",
+                    f"    {fail}"]
+        if kind == "require_one_of":
+            values = tuple(behaviour["values"])  # type: ignore[arg-type]
+            return [
+                f"value = params.get({req('param')!r})",
+                f"if value is not None and value not in {values!r}:",
+                f"    {fail}",
+            ]
+        if kind == "check_valid_cidr":
+            return [
+                f"value = params.get({req('param')!r})",
+                "if value is not None and not valid_cidr(value):",
+                f"    {fail}",
+            ]
+        if kind == "check_prefix_between":
+            lo, hi = int(behaviour["lo"]), int(behaviour["hi"])  # type: ignore[arg-type]
+            return [
+                f"value = params.get({req('param')!r})",
+                "if value is not None and not "
+                f"({lo} <= prefix_len(value) <= {hi}):",
+                f"    {fail}",
+            ]
+        if kind == "check_cidr_within":
+            return [
+                f"ref = cloud.find_ref(params, {get('ref')!r})",
+                f"if ref is None or not cidr_within("
+                f"params.get({req('param')!r}), "
+                f"ref['state'].get({get('ref_attr')!r})):",
+                f"    {fail}",
+            ]
+        if kind == "check_no_overlap":
+            return [
+                f"ref = cloud.find_ref(params, {get('ref')!r})",
+                f"if ref is not None and overlaps_any("
+                f"params.get({req('param')!r}), "
+                f"ref['state'].get({get('list_attr')!r})):",
+                f"    {fail}",
+            ]
+        if kind == "check_attr_is":
+            return [
+                f"if entity['state'].get({get('attr')!r}) != "
+                f"{behaviour['value']!r}:",
+                f"    {fail}",
+            ]
+        if kind == "check_attr_is_not":
+            return [
+                f"if entity['state'].get({get('attr')!r}) == "
+                f"{behaviour['value']!r}:",
+                f"    {fail}",
+            ]
+        if kind == "check_attr_set":
+            return [f"if not entity['state'].get({get('attr')!r}):",
+                    f"    {fail}"]
+        if kind == "check_attr_unset":
+            return [f"if entity['state'].get({get('attr')!r}):",
+                    f"    {fail}"]
+        if kind == "check_list_empty":
+            return [f"if entity['state'].get({get('attr')!r}):",
+                    f"    {fail}"]
+        if kind == "check_attr_matches_ref":
+            return [
+                f"ref = cloud.find_ref(params, {get('ref')!r})",
+                f"if ref is None or entity['state'].get({get('attr')!r}) "
+                f"!= ref['state'].get({get('ref_attr')!r}):",
+                f"    {fail}",
+            ]
+        if kind == "check_ref_attr_is":
+            return [
+                f"ref = cloud.find_ref(params, {get('ref')!r})",
+                f"if ref is None or ref['state'].get({get('ref_attr')!r}) "
+                f"!= {behaviour['value']!r}:",
+                f"    {fail}",
+            ]
+        if kind == "check_in_list":
+            return [
+                f"if params.get({req('param')!r}) not in "
+                f"(entity['state'].get({get('attr')!r}) or []):",
+                f"    {fail}",
+            ]
+        if kind == "check_not_in_list":
+            return [
+                f"if params.get({req('param')!r}) in "
+                f"(entity['state'].get({get('attr')!r}) or []):",
+                f"    {fail}",
+            ]
+        if kind == "check_in_map":
+            return [
+                f"if params.get({req('key_param')!r}) not in "
+                f"(entity['state'].get({get('attr')!r}) or {{}}):",
+                f"    {fail}",
+            ]
+        if kind == "check_param_implies_attr":
+            return [
+                f"if params.get({req('param')!r}) == "
+                f"{behaviour['value']!r} and "
+                f"entity['state'].get({get('attr')!r}) != "
+                f"{behaviour['attr_value']!r}:",
+                f"    {fail}",
+            ]
+        # -- effects --------------------------------------------------
+        if kind in ("set_attr_param", "link_ref"):
+            attr = get("attr")
+            if attr not in known:
+                return []
+            source = "link_ref" if kind == "link_ref" else "set"
+            return [
+                f"value = params.get({req('param')!r})",
+                "if value is not None:",
+                f"    entity['state'][{attr!r}] = value  # {source}",
+            ]
+        if kind == "set_attr_const":
+            attr = get("attr")
+            if attr not in known:
+                return []
+            return [f"entity['state'][{attr!r}] = {behaviour['value']!r}"]
+        if kind == "set_attr_fresh":
+            attr = get("attr")
+            if attr not in known:
+                return []
+            return [f"entity['state'][{attr!r}] = cloud.fresh({attr!r})"]
+        if kind == "clear_attr":
+            attr = get("attr")
+            if attr not in known:
+                return []
+            return [f"entity['state'][{attr!r}] = None"]
+        if kind == "read_attr":
+            attr = get("attr")
+            if attr not in known:
+                return []
+            return [f"data[{attr!r}] = entity['state'].get({attr!r})"]
+        if kind == "append_to_attr":
+            attr = get("attr")
+            return [
+                f"items = list(entity['state'].get({attr!r}) or [])",
+                f"items.append(params.get({req('param')!r}))",
+                f"entity['state'][{attr!r}] = items",
+            ]
+        if kind == "remove_from_attr":
+            attr = get("attr")
+            return [
+                f"items = list(entity['state'].get({attr!r}) or [])",
+                f"value = params.get({req('param')!r})",
+                "if value in items:",
+                "    items.remove(value)",
+                f"entity['state'][{attr!r}] = items",
+            ]
+        if kind == "map_put":
+            attr = get("attr")
+            return [
+                f"mapping = dict(entity['state'].get({attr!r}) or {{}})",
+                f"mapping[params.get({req('key_param')!r})] = "
+                f"params.get({req('value_param')!r})",
+                f"entity['state'][{attr!r}] = mapping",
+            ]
+        if kind == "map_remove":
+            attr = get("attr")
+            return [
+                f"mapping = dict(entity['state'].get({attr!r}) or {{}})",
+                f"mapping.pop(params.get({req('key_param')!r}), None)",
+                f"entity['state'][{attr!r}] = mapping",
+            ]
+        if kind == "map_read":
+            attr = get("attr")
+            return [
+                f"mapping = entity['state'].get({attr!r}) or {{}}",
+                f"data['value'] = mapping.get(params.get({req('key_param')!r}))",
+            ]
+        if kind == "call_ref":
+            return [
+                f"ref = cloud.find_ref(params, {get('param')!r})",
+                "if ref is not None:",
+                f"    cloud.call(ref, {get('transition')!r}, entity)",
+            ]
+        if kind == "call_attr":
+            return [
+                f"target_id = entity['state'].get({get('attr')!r})",
+                "target = cloud.entity(target_id)",
+                "if target is not None:",
+                f"    cloud.call(target, {get('transition')!r}, entity)",
+            ]
+        if kind == "track_in_ref":
+            return [
+                f"ref = cloud.find_ref(params, {get('param')!r})",
+                "if ref is not None:",
+                f"    items = list(ref['state'].get({get('list_attr')!r}) "
+                "or [])",
+                f"    items.append(cloud.source(entity, params, "
+                f"{get('source')!r}))",
+                f"    ref['state'][{get('list_attr')!r}] = items",
+            ]
+        if kind == "untrack_in_attr":
+            return [
+                f"target = cloud.entity(entity['state'].get({get('attr')!r}))",
+                "if target is not None:",
+                f"    items = list(target['state'].get("
+                f"{get('list_attr')!r}) or [])",
+                f"    value = cloud.source(entity, params, "
+                f"{get('source')!r})",
+                "    if value in items:",
+                "        items.remove(value)",
+                f"    target['state'][{get('list_attr')!r}] = items",
+            ]
+        return [f"# unsupported rule kind {kind!r} skipped"]
+
+
+@dataclass
+class D2CEmulator:
+    """The direct-to-code emulator: exec'd generated handlers + a dict
+    store, with no grammar, checks, transactions or alignment."""
+
+    service_doc: ServiceDoc
+    seed: int = 7
+    handlers: dict[str, GeneratedHandler] = field(default_factory=dict)
+    store: dict[str, dict] = field(default_factory=dict)
+    notfound: dict[str, str] = field(default_factory=dict)
+    defaults: dict[str, dict] = field(default_factory=dict)
+    _counter: int = 0
+
+    def __post_init__(self) -> None:
+        fault_model = FaultModel(DIRECT_PROFILE, seed=self.seed)
+        generator = D2CCodeGenerator(fault_model)
+        self._subject_keys: dict[str, str] = {}
+        self._api_category: dict[str, str] = {}
+        for res in self.service_doc.resources:
+            dropped = fault_model.decide_attributes(
+                res.name, [a.name for a in res.attributes]
+            )
+            kept = [a for a in res.attributes if a.name not in dropped]
+            self.notfound[res.name] = res.notfound_code or (
+                "Invalid"
+                + "".join(p.capitalize() for p in res.name.split("_"))
+                + "ID.NotFound"
+            )
+            state: dict = {}
+            for attribute in kept:
+                value = attribute.default
+                if value is None and attribute.type == "List":
+                    value = []
+                if value is None and attribute.type == "Map":
+                    value = {}
+                state[attribute.name] = value
+            self.defaults[res.name] = state
+            for api in res.apis:
+                handler = generator.generate(res, api,
+                                             [a.name for a in kept])
+                namespace = dict(_RUNTIME)
+                exec(handler.source, namespace)  # noqa: S102 - generated code
+                handler.func = namespace["handler"]
+                self.handlers[api.name] = handler
+                self._api_category[api.name] = api.category
+
+    # -- backend surface ----------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return sorted(self.handlers)
+
+    def supports(self, api: str) -> bool:
+        return api in self.handlers
+
+    def reset(self) -> None:
+        self.store = {}
+        self._counter = 0
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        handler = self.handlers.get(api)
+        if handler is None:
+            return ApiResponse.fail("InvalidAction", f"unknown action {api}")
+        request = {_normalize(k): v for k, v in (params or {}).items()}
+        if (
+            self._api_category.get(api) == "describe"
+            and not request
+        ):
+            ids = sorted(
+                entity["id"] for entity in self.store.values()
+                if entity["type"] == handler.resource
+            )
+            return ApiResponse.ok({"ids": ids, "count": len(ids)})
+        self._current_resource = handler.resource
+        result = handler.func(self, request)
+        if isinstance(result, ApiResponse):
+            return result
+        return ApiResponse.fail("InternalError", "generated handler crashed")
+
+    # -- generated-code runtime surface ------------------------------------------
+
+    def ok(self, data: dict) -> ApiResponse:
+        return ApiResponse.ok(data)
+
+    def fail(self, code: str, message: str = "") -> ApiResponse:
+        return ApiResponse.fail(code, message or "request failed")
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"d2c-{prefix}-{self._counter:06d}"
+
+    def new_entity(self, resource: str) -> dict:
+        self._counter += 1
+        entity = {
+            "id": f"{resource}-d2c{self._counter:08d}",
+            "type": resource,
+            "state": dict(self.defaults.get(resource, {})),
+        }
+        self.store[entity["id"]] = entity
+        return entity
+
+    def entity(self, entity_id: object) -> dict | None:
+        if entity_id is None:
+            return None
+        return self.store.get(str(entity_id))
+
+    def find(self, params: dict, resource: str):
+        value = params.get(_normalize(f"{resource}_id"))
+        if value is None:
+            return ApiResponse.fail(
+                "MissingParameter",
+                f"The request must contain the parameter {resource}_id",
+            )
+        entity = self.store.get(str(value))
+        if entity is None or entity["type"] != resource:
+            return ApiResponse.fail(
+                self.notfound.get(resource, "ResourceNotFoundException"),
+                f"The {resource} ID '{value}' does not exist",
+            )
+        return entity
+
+    def find_ref(self, params: dict, param_name: str) -> dict | None:
+        value = params.get(_normalize(param_name))
+        if value is None:
+            return None
+        return self.store.get(str(value))
+
+    def delete(self, entity: dict) -> None:
+        self.store.pop(entity["id"], None)
+
+    def source(self, entity: dict, params: dict, name: str):
+        if name == "id":
+            return entity["id"]
+        value = params.get(_normalize(name))
+        if value is not None:
+            return value
+        return entity["state"].get(name)
+
+    def call(self, target: dict, api: str, caller: dict) -> None:
+        handler = self.handlers.get(api)
+        if handler is None:
+            return
+        request = {_normalize(f"{target['type']}_id"): target["id"]}
+        entry = self.service_doc.find_api(api)
+        if entry is not None:
+            for param in entry[1].params:
+                if param.type == "Reference" and param.ref == caller["type"]:
+                    request[_normalize(param.name)] = caller["id"]
+        handler.func(self, request)
+
+    def generated_source(self, api: str) -> str:
+        """The Python source the 'LLM' generated for one API."""
+        return self.handlers[api].source
+
+
+def build_d2c_emulator(service_doc: ServiceDoc, seed: int = 7) -> D2CEmulator:
+    """Generate and load the D2C emulator for one service's docs."""
+    return D2CEmulator(service_doc=service_doc, seed=seed)

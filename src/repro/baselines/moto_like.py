@@ -1,0 +1,346 @@
+"""The handcrafted-emulator baseline (Moto, §2 and Table 1).
+
+A manually engineered mock with exactly the per-service API coverage
+Table 1 reports (EC2 177/571, DynamoDB 39/57, Network Firewall 5/45,
+EKS 15/58).  Core VPC networking, instances and DynamoDB tables are
+implemented by hand; the long tail of covered APIs responds with
+generic mock state, and everything outside the coverage list fails
+with ``InvalidAction`` — which is how incomplete emulator coverage
+manifests to a DevOps program.
+
+The implementation deliberately reproduces the known fidelity bug the
+paper cites: ``DeleteVpc`` succeeds even when the VPC still contains an
+internet gateway, where the real cloud returns ``DependencyViolation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..docs.inventory import moto_emulated
+from ..interpreter.errors import ApiResponse
+
+
+def _normalize(key: str) -> str:
+    return key.replace("_", "").replace("-", "").lower()
+
+
+@dataclass
+class MotoLikeEmulator:
+    """Handcrafted partial emulator for one service."""
+
+    service: str
+    resources: dict[str, dict] = field(default_factory=dict)
+    _counter: int = 0
+
+    def __post_init__(self) -> None:
+        self._emulated = set(moto_emulated(self.service))
+
+    # -- backend surface --------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return sorted(self._emulated)
+
+    def supports(self, api: str) -> bool:
+        return api in self._emulated
+
+    def reset(self) -> None:
+        self.resources = {}
+        self._counter = 0
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        if api not in self._emulated:
+            return ApiResponse.fail(
+                "InvalidAction",
+                f"The action {api} is not valid for this endpoint.",
+            )
+        request = {_normalize(k): v for k, v in (params or {}).items()}
+        handler = getattr(self, f"_api_{api}", None)
+        if handler is not None:
+            return handler(request)
+        return self._generic_mock(api, request)
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _new(self, kind: str, state: dict | None = None) -> dict:
+        self._counter += 1
+        resource = {
+            "id": f"{kind}-moto{self._counter:06d}",
+            "type": kind,
+            "state": dict(state or {}),
+        }
+        self.resources[resource["id"]] = resource
+        return resource
+
+    def _get(self, request: dict, kind: str):
+        value = request.get(_normalize(f"{kind}_id"))
+        if value is None:
+            return ApiResponse.fail(
+                "MissingParameter",
+                f"The request must contain the parameter {kind}_id",
+            )
+        resource = self.resources.get(str(value))
+        if resource is None or resource["type"] != kind:
+            camel = "".join(p.capitalize() for p in kind.split("_"))
+            return ApiResponse.fail(
+                f"Invalid{camel}ID.NotFound",
+                f"The {kind} ID '{value}' does not exist",
+            )
+        return resource
+
+    def _generic_mock(self, api: str, request: dict) -> ApiResponse:
+        """The catch-all mock: record a blob, answer success.
+
+        This mirrors how handcrafted emulators stub rarely-used APIs —
+        "responding ... by adding a mock name, state and location to
+        the internal state" (§2) without enforcing real semantics.
+        """
+        if api.startswith(("Describe", "Get", "List")):
+            return ApiResponse.ok({"mock": True})
+        if api.startswith(("Create", "Allocate", "Run", "Start", "Put")):
+            resource = self._new("mock")
+            return ApiResponse.ok({"id": resource["id"], "mock": True})
+        return ApiResponse.ok({"mock": True})
+
+    # -- EC2 core, hand-written --------------------------------------------------
+
+    def _api_CreateVpc(self, request: dict) -> ApiResponse:
+        cidr = request.get("cidrblock")
+        if cidr is None:
+            return ApiResponse.fail("MissingParameter",
+                                    "CidrBlock is required")
+        vpc = self._new("vpc", {
+            "cidr_block": cidr,
+            "state": "available",
+            "instance_tenancy": request.get("instancetenancy", "default"),
+            "enable_dns_support": True,
+            "enable_dns_hostnames": False,
+            "gateways": [],
+            "subnet_cidrs": [],
+            "endpoints": [],
+        })
+        return ApiResponse.ok({"id": vpc["id"], "vpc_id": vpc["id"]})
+
+    def _api_DeleteVpc(self, request: dict) -> ApiResponse:
+        vpc = self._get(request, "vpc")
+        if isinstance(vpc, ApiResponse):
+            return vpc
+        # KNOWN BUG (kept deliberately, §2): the real cloud rejects this
+        # with DependencyViolation while gateways remain attached; this
+        # handcrafted implementation forgot the check.
+        self.resources.pop(vpc["id"], None)
+        return ApiResponse.ok({})
+
+    def _api_DescribeVpcs(self, request: dict) -> ApiResponse:
+        vpc = self._get(request, "vpc")
+        if isinstance(vpc, ApiResponse):
+            return vpc
+        return ApiResponse.ok(dict(vpc["state"]))
+
+    def _api_CreateSubnet(self, request: dict) -> ApiResponse:
+        vpc = self._get(request, "vpc")
+        if isinstance(vpc, ApiResponse):
+            return vpc
+        cidr = request.get("cidrblock")
+        if cidr is None:
+            return ApiResponse.fail("MissingParameter",
+                                    "CidrBlock is required")
+        subnet = self._new("subnet", {
+            "cidr_block": cidr,
+            "vpc": vpc["id"],
+            "state": "available",
+            "map_public_ip_on_launch": False,
+            "availability_zone": request.get("availabilityzone"),
+            "interfaces": [],
+            "instances": [],
+        })
+        vpc["state"]["subnet_cidrs"].append(cidr)
+        return ApiResponse.ok({"id": subnet["id"],
+                               "subnet_id": subnet["id"]})
+
+    def _api_DeleteSubnet(self, request: dict) -> ApiResponse:
+        subnet = self._get(request, "subnet")
+        if isinstance(subnet, ApiResponse):
+            return subnet
+        vpc = self.resources.get(subnet["state"].get("vpc", ""))
+        if vpc is not None:
+            cidrs = vpc["state"].get("subnet_cidrs", [])
+            if subnet["state"]["cidr_block"] in cidrs:
+                cidrs.remove(subnet["state"]["cidr_block"])
+        self.resources.pop(subnet["id"], None)
+        return ApiResponse.ok({})
+
+    def _api_DescribeSubnets(self, request: dict) -> ApiResponse:
+        subnet = self._get(request, "subnet")
+        if isinstance(subnet, ApiResponse):
+            return subnet
+        return ApiResponse.ok(dict(subnet["state"]))
+
+    def _api_ModifySubnetAttribute(self, request: dict) -> ApiResponse:
+        subnet = self._get(request, "subnet")
+        if isinstance(subnet, ApiResponse):
+            return subnet
+        value = request.get("mappubliciponlaunch")
+        if value is not None:
+            subnet["state"]["map_public_ip_on_launch"] = value
+        return ApiResponse.ok({})
+
+    def _api_CreateInternetGateway(self, request: dict) -> ApiResponse:
+        igw = self._new("internet_gateway", {"vpc": None,
+                                             "state": "detached"})
+        return ApiResponse.ok({
+            "id": igw["id"], "internet_gateway_id": igw["id"],
+        })
+
+    def _api_AttachInternetGateway(self, request: dict) -> ApiResponse:
+        igw = self._get(request, "internet_gateway")
+        if isinstance(igw, ApiResponse):
+            return igw
+        vpc = self._get(request, "vpc")
+        if isinstance(vpc, ApiResponse):
+            return vpc
+        if igw["state"].get("vpc"):
+            return ApiResponse.fail("Resource.AlreadyAssociated",
+                                    "already attached")
+        igw["state"]["vpc"] = vpc["id"]
+        igw["state"]["state"] = "attached"
+        vpc["state"]["gateways"].append(igw["id"])
+        return ApiResponse.ok({})
+
+    def _api_DetachInternetGateway(self, request: dict) -> ApiResponse:
+        igw = self._get(request, "internet_gateway")
+        if isinstance(igw, ApiResponse):
+            return igw
+        vpc = self.resources.get(igw["state"].get("vpc") or "")
+        if vpc is not None and igw["id"] in vpc["state"].get("gateways", []):
+            vpc["state"]["gateways"].remove(igw["id"])
+        igw["state"]["vpc"] = None
+        igw["state"]["state"] = "detached"
+        return ApiResponse.ok({})
+
+    def _api_RunInstances(self, request: dict) -> ApiResponse:
+        subnet = self._get(request, "subnet")
+        if isinstance(subnet, ApiResponse):
+            return subnet
+        instance = self._new("instance", {
+            "state": "running",
+            "instance_type": request.get("instancetype"),
+            "image_id": request.get("imageid"),
+            "subnet": subnet["id"],
+        })
+        subnet["state"]["instances"].append(instance["id"])
+        return ApiResponse.ok({
+            "id": instance["id"], "instance_id": instance["id"],
+        })
+
+    def _api_DescribeInstances(self, request: dict) -> ApiResponse:
+        instance = self._get(request, "instance")
+        if isinstance(instance, ApiResponse):
+            return instance
+        return ApiResponse.ok(dict(instance["state"]))
+
+    def _api_StopInstances(self, request: dict) -> ApiResponse:
+        instance = self._get(request, "instance")
+        if isinstance(instance, ApiResponse):
+            return instance
+        instance["state"]["state"] = "stopped"
+        return ApiResponse.ok({})
+
+    def _api_StartInstances(self, request: dict) -> ApiResponse:
+        instance = self._get(request, "instance")
+        if isinstance(instance, ApiResponse):
+            return instance
+        # Another fidelity gap: no IncorrectInstanceState enforcement.
+        instance["state"]["state"] = "running"
+        return ApiResponse.ok({})
+
+    # -- DynamoDB core, hand-written --------------------------------------------
+
+    def _api_CreateTable(self, request: dict) -> ApiResponse:
+        name = request.get("tablename")
+        if name is None:
+            return ApiResponse.fail("ValidationException",
+                                    "TableName is required")
+        table = self._new("table", {
+            "table_name": name,
+            "billing_mode": request.get("billingmode", "PROVISIONED"),
+            "status": "ACTIVE",
+            "items": {},
+        })
+        return ApiResponse.ok({"id": table["id"], "table_id": table["id"]})
+
+    def _api_DeleteTable(self, request: dict) -> ApiResponse:
+        table = self._get(request, "table")
+        if isinstance(table, ApiResponse):
+            return table
+        self.resources.pop(table["id"], None)
+        return ApiResponse.ok({})
+
+    def _api_DescribeTable(self, request: dict) -> ApiResponse:
+        table = self._get(request, "table")
+        if isinstance(table, ApiResponse):
+            return table
+        return ApiResponse.ok(dict(table["state"]))
+
+    def _api_PutItem(self, request: dict) -> ApiResponse:
+        table = self._get(request, "table")
+        if isinstance(table, ApiResponse):
+            return table
+        key = request.get("itemkey")
+        if key is None:
+            return ApiResponse.fail("ValidationException",
+                                    "item key is required")
+        table["state"]["items"][key] = request.get("itemvalue")
+        return ApiResponse.ok({})
+
+    def _api_GetItem(self, request: dict) -> ApiResponse:
+        table = self._get(request, "table")
+        if isinstance(table, ApiResponse):
+            return table
+        key = request.get("itemkey")
+        return ApiResponse.ok(
+            {"value": table["state"]["items"].get(key)}
+        )
+
+    # -- Network Firewall: the 5 covered APIs -------------------------------------
+
+    def _api_CreateFirewallPolicy(self, request: dict) -> ApiResponse:
+        policy = self._new("firewall_policy", {
+            "policy_name": request.get("policyname"),
+        })
+        return ApiResponse.ok({
+            "id": policy["id"], "firewall_policy_id": policy["id"],
+        })
+
+    def _api_DescribeFirewallPolicy(self, request: dict) -> ApiResponse:
+        policy = self._get(request, "firewall_policy")
+        if isinstance(policy, ApiResponse):
+            return policy
+        return ApiResponse.ok(dict(policy["state"]))
+
+    def _api_CreateFirewall(self, request: dict) -> ApiResponse:
+        firewall = self._new("firewall", {
+            "firewall_name": request.get("firewallname"),
+            "firewall_policy": request.get("firewallpolicyid"),
+        })
+        return ApiResponse.ok({
+            "id": firewall["id"], "firewall_id": firewall["id"],
+        })
+
+    def _api_DescribeFirewall(self, request: dict) -> ApiResponse:
+        firewall = self._get(request, "firewall")
+        if isinstance(firewall, ApiResponse):
+            return firewall
+        return ApiResponse.ok(dict(firewall["state"]))
+
+    def _api_ListFirewalls(self, request: dict) -> ApiResponse:
+        ids = sorted(
+            resource["id"] for resource in self.resources.values()
+            if resource["type"] == "firewall"
+        )
+        return ApiResponse.ok({"ids": ids, "count": len(ids)})
+
+
+def build_moto_like(service: str) -> MotoLikeEmulator:
+    """The handcrafted baseline for one service."""
+    return MotoLikeEmulator(service=service)

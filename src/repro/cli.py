@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``build``      learn an emulator from a service's documentation and
+                 (optionally) save it to a directory;
+- ``coverage``   print Table 1 (handcrafted-emulator coverage);
+- ``evaluate``   print Fig. 3 (trace alignment per variant);
+- ``complexity`` print Fig. 4 data (SM complexity per service);
+- ``traces``     run the evaluation traces for one service against the
+                 cloud and a learned emulator;
+- ``decode``     demonstrate rich error decoding on a saved emulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .docs import CATALOGS
+
+AWS_SERVICES = ("ec2", "network_firewall", "dynamodb")
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .core import build_learned_emulator
+    from .core.store import save_build
+
+    build = build_learned_emulator(
+        args.service, mode=args.mode, seed=args.seed,
+        align=not args.no_align,
+    )
+    print(f"service:   {args.service}")
+    print(f"machines:  {len(build.module.machines)}")
+    print(f"apis:      {build.api_count}")
+    print(f"llm calls: {build.llm.usage.requests} "
+          f"({build.llm.usage.prompt_tokens} prompt tokens)")
+    if build.alignment is not None:
+        print(f"alignment: {len(build.alignment.rounds)} round(s), "
+              f"{build.alignment.total_repairs} repair(s), "
+              f"converged={build.alignment.converged}")
+    if args.out:
+        path = save_build(build, args.out)
+        print(f"saved to:  {path}")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from .analysis import table1_rows
+
+    print(f"{'Service':20} {'APIs':>6} {'Emulated':>9} {'Coverage':>9}")
+    for row in table1_rows():
+        print(f"{row.service:20} {row.total:>6} {row.emulated:>9} "
+              f"{row.percent:>8}%")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .core import run_fig3_evaluation
+
+    results = run_fig3_evaluation(seed=args.seed)
+    scenarios = ("provisioning", "state_updates", "edge_cases")
+    print(f"{'variant':18}" + "".join(f"{s:>16}" for s in scenarios)
+          + f"{'total':>10}")
+    for variant, accuracy in results.items():
+        cells = ""
+        for scenario in scenarios:
+            aligned, total = accuracy.per_scenario[scenario]
+            cells += f"{aligned}/{total}".rjust(16)
+        aligned, total = accuracy.total
+        print(f"{variant:18}{cells}{f'{aligned}/{total}':>10}")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    from .analysis import ComplexityComparison
+    from .core import build_learned_emulator
+
+    comparison = ComplexityComparison()
+    services = [args.service] if args.service else list(AWS_SERVICES)
+    for service in services:
+        build = build_learned_emulator(service, align=False)
+        comparison.add(service, build.module)
+    print(f"{'service':20} {'SMs':>4} {'median':>8} {'mean':>7} {'max':>5}")
+    for service, stats in comparison.summary().items():
+        print(f"{service:20} {stats['machines']:>4} "
+              f"{stats['median']:>8} {stats['mean']:>7.1f} "
+              f"{stats['max']:>5}")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .alignment import diff_traces
+    from .cloud import make_cloud
+    from .core import build_learned_emulator
+    from .scenarios import azure_traces, evaluation_traces, gcp_traces
+
+    if args.service == "azure_network":
+        traces = azure_traces()
+    elif args.service == "gcp_compute":
+        traces = gcp_traces()
+    else:
+        traces = [
+            t for t in evaluation_traces() if t.service == args.service
+        ]
+    if not traces:
+        print(f"no traces for service {args.service!r}", file=sys.stderr)
+        return 1
+    build = build_learned_emulator(args.service, seed=args.seed)
+    report = diff_traces(
+        make_cloud(args.service), build.make_backend(), traces
+    )
+    for comparison in report.comparisons:
+        status = "aligned" if comparison.aligned else "DIVERGED"
+        print(f"{comparison.trace_name:36} {status}")
+        if not comparison.aligned:
+            divergence = comparison.first_divergence
+            print(f"    {divergence.api}: {divergence.reason}")
+    print(f"\n{report.aligned}/{report.compared} traces aligned")
+    return 0 if report.aligned == report.compared else 2
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from .alignment import ErrorDecoder
+    from .core.store import load_module
+
+    saved = load_module(args.directory)
+    emulator = saved.make_backend()
+    decoder = ErrorDecoder(emulator)
+    params: dict = {}
+    for pair in args.params or []:
+        key, __, value = pair.partition("=")
+        params[key] = value
+    response = emulator.invoke(args.api, params)
+    if response.success:
+        print("call succeeded:", response.data)
+        return 0
+    print(decoder.explain(args.api, params, response).render())
+    return 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core.report import generate_report
+
+    text = generate_report(seed=args.seed,
+                           include_multicloud=not args.no_multicloud)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learned cloud emulators (HotNets '25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="learn an emulator for a service")
+    build.add_argument("service", choices=sorted(CATALOGS))
+    build.add_argument("--mode", default="constrained",
+                       choices=("constrained", "reprompt", "direct",
+                                "perfect"))
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--no-align", action="store_true")
+    build.add_argument("--out", help="directory to save the emulator to")
+    build.set_defaults(func=_cmd_build)
+
+    coverage = sub.add_parser("coverage", help="print Table 1")
+    coverage.set_defaults(func=_cmd_coverage)
+
+    evaluate = sub.add_parser("evaluate", help="print Fig. 3")
+    evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    complexity = sub.add_parser("complexity", help="print Fig. 4 data")
+    complexity.add_argument("service", nargs="?",
+                            choices=sorted(CATALOGS))
+    complexity.set_defaults(func=_cmd_complexity)
+
+    traces = sub.add_parser("traces",
+                            help="run a service's evaluation traces")
+    traces.add_argument("service", choices=sorted(CATALOGS))
+    traces.add_argument("--seed", type=int, default=7)
+    traces.set_defaults(func=_cmd_traces)
+
+    report = sub.add_parser("report",
+                            help="generate the full reproduction report")
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--out", help="write the Markdown to a file")
+    report.add_argument("--no-multicloud", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    decode = sub.add_parser("decode",
+                            help="explain a failing call on a saved "
+                                 "emulator")
+    decode.add_argument("directory")
+    decode.add_argument("api")
+    decode.add_argument("params", nargs="*", metavar="key=value")
+    decode.set_defaults(func=_cmd_decode)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Reference clouds: the ground truth for alignment and accuracy.
+
+:class:`ReferenceCloud` executes a service catalog's full behaviour
+(documented and undocumented) with an implementation disjoint from the
+SM interpreter.  ``make_cloud`` builds one per service, including the
+Azure-flavoured backend used by the multi-cloud experiment.
+"""
+
+from typing import Protocol
+
+from ..docs import build_catalog
+from ..interpreter.errors import ApiResponse
+from .engine import Entity, ReferenceCloud
+
+
+class CloudBackend(Protocol):
+    """What trace running requires of any backend (cloud or emulator)."""
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        ...  # pragma: no cover - protocol
+
+    def supports(self, api: str) -> bool:
+        ...  # pragma: no cover - protocol
+
+    def reset(self) -> None:
+        ...  # pragma: no cover - protocol
+
+
+def make_cloud(service: str, seed: int = 11) -> ReferenceCloud:
+    """Build the reference cloud for a service catalog."""
+    return ReferenceCloud(build_catalog(service), seed=seed)
+
+
+__all__ = ["CloudBackend", "Entity", "make_cloud", "ReferenceCloud"]

@@ -1,0 +1,467 @@
+"""The reference cloud: the ground truth the emulator is aligned against.
+
+The paper aligns emulators against the *actual* cloud.  Offline, this
+engine plays that role: it enforces every behaviour in the service
+catalog — including the rules documentation omits — with an
+implementation deliberately disjoint from the SM interpreter:
+
+- entities are plain dicts, not state machines;
+- identifiers are AWS-style hex strings (``vpc-0f3a9c...``), not the
+  emulator's counters, so differs cannot cheat by comparing ids;
+- cross-resource effects mutate the target entity directly instead of
+  going through helper transitions;
+- checks evaluate with its own predicate code (its own CIDR logic).
+
+Error messages describe the violated condition in the documentation's
+own prose, the way real cloud errors describe their cause; the
+alignment phase parses these messages to learn undocumented rules
+(§4.3: alignment "enables us to learn how the cloud produces error
+logs").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import ipaddress
+from copy import deepcopy
+from dataclasses import dataclass, field
+
+from ..docs.model import ApiDoc, ResourceDoc, Rule, ServiceDoc
+from ..docs.prose import render_rule
+from ..interpreter.errors import ApiResponse
+
+
+class _CloudFailure(Exception):
+    """Internal control flow for a failed check."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        self.message = message
+        super().__init__(code)
+
+
+def _normalize(key: str) -> str:
+    return key.replace("_", "").replace("-", "").lower()
+
+
+def _camel_to_prefix(name: str) -> str:
+    parts = name.split("_")
+    if len(name) > 12:
+        return "".join(part[0] for part in parts)
+    return name
+
+
+@dataclass
+class Entity:
+    """One live cloud resource: a typed bag of attributes."""
+
+    id: str
+    type: str
+    state: dict = field(default_factory=dict)
+
+
+def _default_state(res: ResourceDoc) -> dict:
+    state: dict = {}
+    for attribute in res.attributes:
+        value: object = attribute.default
+        if value is None and attribute.type == "List":
+            value = []
+        if value is None and attribute.type == "Map":
+            value = {}
+        state[attribute.name] = value
+    return state
+
+
+class ReferenceCloud:
+    """Executes a service catalog's full behaviour, documented or not."""
+
+    def __init__(self, service_doc: ServiceDoc, seed: int = 11):
+        self.doc = service_doc
+        self.seed = seed
+        self.entities: dict[str, Entity] = {}
+        self._counter = 0
+        self._index: dict[str, tuple[ResourceDoc, ApiDoc]] = {}
+        for res in service_doc.resources:
+            for api in res.apis:
+                self._index[api.name] = (res, api)
+
+    # -- public backend surface ------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return sorted(self._index)
+
+    def supports(self, api: str) -> bool:
+        return api in self._index
+
+    def reset(self) -> None:
+        self.entities = {}
+        self._counter = 0
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        params = params or {}
+        entry = self._index.get(api)
+        if entry is None:
+            return ApiResponse.fail(
+                "InvalidAction",
+                f"The action {api} is not valid for this endpoint.",
+            )
+        res, api_doc = entry
+        if api_doc.category == "describe" and not api_doc.params:
+            ids = sorted(
+                entity.id for entity in self.entities.values()
+                if entity.type == res.name
+            )
+            return ApiResponse.ok({"ids": ids, "count": len(ids)})
+
+        request = {_normalize(k): v for k, v in params.items()}
+        snapshot = deepcopy(self.entities)
+        try:
+            refs = self._resolve_references(api_doc, request)
+            subject = self._resolve_subject(res, api_doc, request)
+            data = self._execute(res, api_doc, subject, request, refs)
+        except _CloudFailure as failure:
+            self.entities = snapshot
+            return ApiResponse.fail(failure.code, failure.message)
+        if api_doc.category == "destroy":
+            self.entities.pop(subject.id, None)
+        if api_doc.category == "create":
+            data.setdefault("id", subject.id)
+            data.setdefault(f"{res.name}_id", subject.id)
+        return ApiResponse.ok(data)
+
+    # -- resolution -------------------------------------------------------------
+
+    def _notfound_code(self, res_name: str) -> str:
+        for res in self.doc.resources:
+            if res.name == res_name and res.notfound_code:
+                return res.notfound_code
+        camel = "".join(part.capitalize() for part in res_name.split("_"))
+        return f"Invalid{camel}ID.NotFound"
+
+    def _fresh_id(self, res_name: str) -> str:
+        self._counter += 1
+        digest = hashlib.sha256(
+            f"{self.seed}:{res_name}:{self._counter}".encode()
+        ).hexdigest()[:12]
+        return f"{_camel_to_prefix(res_name)}-0{digest}"
+
+    def _resolve_references(
+        self, api_doc: ApiDoc, request: dict
+    ) -> dict[str, Entity]:
+        refs: dict[str, Entity] = {}
+        for param in api_doc.params:
+            if param.type != "Reference":
+                continue
+            value = request.get(_normalize(param.name))
+            if value is None:
+                continue
+            entity = self.entities.get(str(value))
+            if entity is None or (param.ref and entity.type != param.ref):
+                raise _CloudFailure(
+                    self._notfound_code(param.ref or "resource"),
+                    f"The ID '{value}' does not exist",
+                )
+            refs[param.name] = entity
+        return refs
+
+    def _resolve_subject(
+        self, res: ResourceDoc, api_doc: ApiDoc, request: dict
+    ) -> Entity:
+        if api_doc.category == "create":
+            entity = Entity(
+                id=self._fresh_id(res.name),
+                type=res.name,
+                state=_default_state(res),
+            )
+            self.entities[entity.id] = entity
+            return entity
+        subject_key = _normalize(f"{res.name}_id")
+        value = request.get(subject_key)
+        if value is None:
+            raise _CloudFailure(
+                "MissingParameter",
+                f"The request must contain the parameter {res.name}_id",
+            )
+        entity = self.entities.get(str(value))
+        if entity is None or entity.type != res.name:
+            raise _CloudFailure(
+                self._notfound_code(res.name),
+                f"The {res.name} ID '{value}' does not exist",
+            )
+        return entity
+
+    # -- execution -----------------------------------------------------------------
+
+    def _execute(
+        self,
+        res: ResourceDoc,
+        api_doc: ApiDoc,
+        subject: Entity,
+        request: dict,
+        refs: dict[str, Entity],
+    ) -> dict:
+        def param_value(name: str):
+            return request.get(_normalize(name))
+
+        # All checks run before any effect, regardless of documented
+        # interleaving: cloud APIs validate, then act.
+        for behaviour in api_doc.rules:
+            if behaviour.is_check:
+                self._check(behaviour, subject, param_value, refs)
+        data: dict = {}
+        for behaviour in api_doc.rules:
+            if not behaviour.is_check:
+                self._apply(behaviour, res, api_doc, subject, param_value,
+                            refs, data)
+        return data
+
+    def _fail(self, behaviour: Rule) -> None:
+        raise _CloudFailure(behaviour.error_code, render_rule(behaviour))
+
+    def _check(self, behaviour: Rule, subject: Entity, param_value, refs) -> None:
+        kind = behaviour.kind
+        if kind == "require_param":
+            if param_value(str(behaviour["param"])) is None:
+                self._fail(behaviour)
+        elif kind == "require_one_of":
+            value = param_value(str(behaviour["param"]))
+            if value is not None and value not in tuple(behaviour["values"]):  # type: ignore[arg-type]
+                self._fail(behaviour)
+        elif kind == "check_valid_cidr":
+            value = param_value(str(behaviour["param"]))
+            if value is not None and not self._is_cidr(value):
+                self._fail(behaviour)
+        elif kind == "check_prefix_between":
+            value = param_value(str(behaviour["param"]))
+            if value is None:
+                return
+            prefix = self._prefix(value)
+            if prefix is None or not (
+                int(behaviour["lo"]) <= prefix <= int(behaviour["hi"])  # type: ignore[arg-type]
+            ):
+                self._fail(behaviour)
+        elif kind == "check_cidr_within":
+            value = param_value(str(behaviour["param"]))
+            ref = refs.get(str(behaviour["ref"]))
+            if value is None or ref is None:
+                self._fail(behaviour)
+                return
+            outer = ref.state.get(str(behaviour["ref_attr"]))
+            if not (self._is_cidr(value) and self._is_cidr(outer)):
+                self._fail(behaviour)
+                return
+            inner_net = ipaddress.IPv4Network(value, strict=False)
+            outer_net = ipaddress.IPv4Network(outer, strict=False)
+            if not inner_net.subnet_of(outer_net):
+                self._fail(behaviour)
+        elif kind == "check_no_overlap":
+            value = param_value(str(behaviour["param"]))
+            ref = refs.get(str(behaviour["ref"]))
+            if ref is None or value is None or not self._is_cidr(value):
+                return
+            blocks = ref.state.get(str(behaviour["list_attr"])) or []
+            net = ipaddress.IPv4Network(value, strict=False)
+            for other in blocks:
+                if self._is_cidr(other) and net.overlaps(
+                    ipaddress.IPv4Network(other, strict=False)
+                ):
+                    self._fail(behaviour)
+        elif kind == "check_attr_is":
+            if subject.state.get(str(behaviour["attr"])) != behaviour["value"]:
+                self._fail(behaviour)
+        elif kind == "check_attr_is_not":
+            if subject.state.get(str(behaviour["attr"])) == behaviour["value"]:
+                self._fail(behaviour)
+        elif kind == "check_attr_set":
+            value = subject.state.get(str(behaviour["attr"]))
+            if value is None or value == "":
+                self._fail(behaviour)
+        elif kind == "check_attr_unset":
+            value = subject.state.get(str(behaviour["attr"]))
+            if not (value is None or value == ""):
+                self._fail(behaviour)
+        elif kind == "check_list_empty":
+            if subject.state.get(str(behaviour["attr"])):
+                self._fail(behaviour)
+        elif kind == "check_attr_matches_ref":
+            ref = refs.get(str(behaviour["ref"]))
+            if ref is None:
+                self._fail(behaviour)
+                return
+            mine = subject.state.get(str(behaviour["attr"]))
+            theirs = ref.state.get(str(behaviour["ref_attr"]))
+            if mine != theirs:
+                self._fail(behaviour)
+        elif kind == "check_ref_attr_is":
+            ref = refs.get(str(behaviour["ref"]))
+            if ref is None:
+                self._fail(behaviour)
+                return
+            if ref.state.get(str(behaviour["ref_attr"])) != behaviour["value"]:
+                self._fail(behaviour)
+        elif kind == "check_in_list":
+            value = param_value(str(behaviour["param"]))
+            items = subject.state.get(str(behaviour["attr"])) or []
+            if value not in items:
+                self._fail(behaviour)
+        elif kind == "check_not_in_list":
+            value = param_value(str(behaviour["param"]))
+            items = subject.state.get(str(behaviour["attr"])) or []
+            if value in items:
+                self._fail(behaviour)
+        elif kind == "check_in_map":
+            key = param_value(str(behaviour["key_param"]))
+            mapping = subject.state.get(str(behaviour["attr"])) or {}
+            if key not in mapping:
+                self._fail(behaviour)
+        elif kind == "check_param_implies_attr":
+            value = param_value(str(behaviour["param"]))
+            if value is not None and value == behaviour["value"]:
+                if subject.state.get(str(behaviour["attr"])) != behaviour[
+                    "attr_value"
+                ]:
+                    self._fail(behaviour)
+        else:
+            raise AssertionError(f"unhandled check kind {kind}")
+
+    def _apply(
+        self,
+        behaviour: Rule,
+        res: ResourceDoc,
+        api_doc: ApiDoc,
+        subject: Entity,
+        param_value,
+        refs: dict[str, Entity],
+        data: dict,
+    ) -> None:
+        kind = behaviour.kind
+        if kind == "set_attr_param":
+            value = param_value(str(behaviour["param"]))
+            if value is not None:
+                subject.state[str(behaviour["attr"])] = value
+        elif kind == "set_attr_const":
+            subject.state[str(behaviour["attr"])] = behaviour["value"]
+        elif kind == "set_attr_fresh":
+            subject.state[str(behaviour["attr"])] = self._fresh_id(
+                str(behaviour["attr"])
+            )
+        elif kind == "clear_attr":
+            subject.state[str(behaviour["attr"])] = None
+        elif kind == "read_attr":
+            attr = str(behaviour["attr"])
+            data[attr] = deepcopy(subject.state.get(attr))
+        elif kind == "link_ref":
+            ref = refs.get(str(behaviour["param"]))
+            if ref is not None:
+                subject.state[str(behaviour["attr"])] = ref.id
+        elif kind == "call_ref":
+            ref = refs.get(str(behaviour["param"]))
+            if ref is not None:
+                self._call(ref, str(behaviour["transition"]), subject)
+        elif kind == "call_attr":
+            target_id = subject.state.get(str(behaviour["attr"]))
+            target = self.entities.get(str(target_id)) if target_id else None
+            if target is not None:
+                self._call(target, str(behaviour["transition"]), subject)
+        elif kind == "append_to_attr":
+            value = param_value(str(behaviour["param"]))
+            if value is not None:
+                items = list(subject.state.get(str(behaviour["attr"])) or [])
+                items.append(value)
+                subject.state[str(behaviour["attr"])] = items
+        elif kind == "remove_from_attr":
+            value = param_value(str(behaviour["param"]))
+            items = list(subject.state.get(str(behaviour["attr"])) or [])
+            if value in items:
+                items.remove(value)
+            subject.state[str(behaviour["attr"])] = items
+        elif kind == "map_put":
+            key = param_value(str(behaviour["key_param"]))
+            value = param_value(str(behaviour["value_param"]))
+            mapping = dict(subject.state.get(str(behaviour["attr"])) or {})
+            mapping[key] = value
+            subject.state[str(behaviour["attr"])] = mapping
+        elif kind == "map_remove":
+            key = param_value(str(behaviour["key_param"]))
+            mapping = dict(subject.state.get(str(behaviour["attr"])) or {})
+            mapping.pop(key, None)
+            subject.state[str(behaviour["attr"])] = mapping
+        elif kind == "map_read":
+            key = param_value(str(behaviour["key_param"]))
+            mapping = subject.state.get(str(behaviour["attr"])) or {}
+            data["value"] = deepcopy(mapping.get(key))
+        elif kind == "track_in_ref":
+            ref = refs.get(str(behaviour["param"]))
+            if ref is not None:
+                source = self._source_value(behaviour, subject, param_value)
+                items = list(
+                    ref.state.get(str(behaviour["list_attr"])) or []
+                )
+                items.append(source)
+                ref.state[str(behaviour["list_attr"])] = items
+        elif kind == "untrack_in_attr":
+            target_id = subject.state.get(str(behaviour["attr"]))
+            target = self.entities.get(str(target_id)) if target_id else None
+            if target is not None:
+                source = self._source_value(behaviour, subject, param_value)
+                items = list(
+                    target.state.get(str(behaviour["list_attr"])) or []
+                )
+                if source in items:
+                    items.remove(source)
+                target.state[str(behaviour["list_attr"])] = items
+        else:
+            raise AssertionError(f"unhandled effect kind {kind}")
+
+    def _source_value(self, behaviour: Rule, subject: Entity, param_value):
+        source = str(behaviour["source"])
+        if source == "id":
+            return subject.id
+        value = param_value(source)
+        if value is not None:
+            return value
+        return subject.state.get(source)
+
+    def _call(self, target: Entity, transition: str, caller: Entity) -> None:
+        """Run another resource's operation on ``target`` (bidirectional
+        association).  The caller's identity binds to the operation's
+        first reference parameter."""
+        entry = self._index.get(transition)
+        if entry is None:
+            return
+        __, api_doc = entry
+        request: dict = {f"{target.type}_id": target.id}
+        for param in api_doc.params:
+            if param.type == "Reference" and param.ref == caller.type:
+                request[param.name] = caller.id
+        refs = self._resolve_references(
+            api_doc, {_normalize(k): v for k, v in request.items()}
+        )
+        def call_param(name: str):
+            return request.get(name) or request.get(_normalize(name))
+        for behaviour in api_doc.rules:
+            if behaviour.is_check:
+                self._check(behaviour, target, call_param, refs)
+        data: dict = {}
+        for behaviour in api_doc.rules:
+            if not behaviour.is_check:
+                self._apply(behaviour, None, api_doc, target, call_param,
+                            refs, data)
+
+    # -- local predicate helpers (independent of interpreter builtins) -----
+
+    @staticmethod
+    def _is_cidr(value: object) -> bool:
+        if not isinstance(value, str) or "/" not in value:
+            return False
+        try:
+            ipaddress.IPv4Network(value, strict=False)
+        except ValueError:
+            return False
+        return True
+
+    @classmethod
+    def _prefix(cls, value: object) -> int | None:
+        if not cls._is_cidr(value):
+            return None
+        return ipaddress.IPv4Network(value, strict=False).prefixlen

@@ -1,0 +1,34 @@
+"""The public API of the learned-cloud-emulator reproduction."""
+
+from .builder import build_learned_emulator, LearnedEmulatorBuild
+from .store import (
+    load_module,
+    save_build,
+    save_module,
+    SavedEmulator,
+    StoreError,
+)
+from .evaluation import (
+    EVALUATION_SERVICES,
+    EvaluationSetup,
+    run_fig3_evaluation,
+    run_multicloud_evaluation,
+    VARIANTS,
+    wrangled_docs,
+)
+
+__all__ = [
+    "build_learned_emulator",
+    "EVALUATION_SERVICES",
+    "EvaluationSetup",
+    "LearnedEmulatorBuild",
+    "load_module",
+    "run_fig3_evaluation",
+    "save_build",
+    "save_module",
+    "SavedEmulator",
+    "StoreError",
+    "run_multicloud_evaluation",
+    "VARIANTS",
+    "wrangled_docs",
+]

@@ -1,0 +1,84 @@
+"""Top-level builder: documentation in, aligned learned emulator out.
+
+This is the public entry point a downstream user calls (Fig. 2 end to
+end): wrangle the provider's documentation, extract SM specs with the
+(simulated) LLM, link and check them, then run the automated alignment
+loop against the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..alignment.loop import align_module, AlignmentReport
+from ..cloud import make_cloud
+from ..docs import build_catalog, render_docs, wrangle
+from ..docs.model import ServiceDoc
+from ..extraction.pipeline import ExtractionOutcome, run_extraction
+from ..interpreter.emulator import Emulator
+from ..llm.client import make_llm, SimulatedLLM
+
+
+@dataclass
+class LearnedEmulatorBuild:
+    """Everything the build produced, plus a backend factory."""
+
+    service: str
+    extraction: ExtractionOutcome
+    alignment: AlignmentReport | None
+    llm: SimulatedLLM
+
+    @property
+    def module(self):
+        return self.extraction.module
+
+    @property
+    def api_count(self) -> int:
+        return len(self.module.api_names())
+
+    def make_backend(self) -> Emulator:
+        """A fresh emulator instance over the learned specification."""
+        return Emulator(self.module,
+                        notfound_codes=self.extraction.notfound_codes)
+
+
+def build_learned_emulator(
+    service: str = "ec2",
+    mode: str = "constrained",
+    seed: int = 7,
+    align: bool = True,
+    checks_enabled: bool = True,
+    alignment_rounds: int = 4,
+    service_doc: ServiceDoc | None = None,
+) -> LearnedEmulatorBuild:
+    """Run the full learned-emulator workflow for one service.
+
+    ``mode`` selects the generation configuration (``constrained``,
+    ``reprompt``, ``direct``, ``perfect``); ``align=False`` stops after
+    extraction + checks (the "without alignment" variant of §5).
+    """
+    llm = make_llm(mode, seed=seed)
+    if service_doc is None:
+        catalog = build_catalog(service)
+        service_doc = wrangle(
+            render_docs(catalog), provider=catalog.provider, service=service
+        )
+    extraction = run_extraction(
+        service=service,
+        llm=llm,
+        service_doc=service_doc,
+        checks_enabled=checks_enabled,
+    )
+    alignment: AlignmentReport | None = None
+    if align:
+        alignment = align_module(
+            extraction.module,
+            extraction.notfound_codes,
+            service_doc,
+            llm,
+            cloud_factory=lambda: make_cloud(service),
+            max_rounds=alignment_rounds,
+        )
+    return LearnedEmulatorBuild(
+        service=service, extraction=extraction, alignment=alignment, llm=llm
+    )

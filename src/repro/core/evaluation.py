@@ -1,0 +1,108 @@
+"""The paper's evaluation harness (§5): variant construction + scoring.
+
+Builds the three emulator variants Fig. 3 compares — the learned
+emulator with alignment, the learned emulator without alignment, and
+the direct-to-code baseline — across the services the traces touch,
+and measures response alignment per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alignment.accuracy import measure_accuracy, ScenarioAccuracy
+from ..baselines.d2c import build_d2c_emulator
+from ..baselines.moto_like import build_moto_like
+from ..cloud import make_cloud
+from ..docs import build_catalog, render_docs, wrangle
+from ..scenarios import azure_traces, evaluation_traces, gcp_traces
+from ..scenarios.model import Trace
+from .builder import build_learned_emulator
+
+#: The services the Fig. 3 traces exercise.
+EVALUATION_SERVICES = ("ec2", "network_firewall", "dynamodb")
+
+VARIANTS = ("learned_aligned", "learned_no_align", "d2c")
+
+
+def wrangled_docs(service: str):
+    """Documentation corpus for one service, via render + wrangle."""
+    catalog = build_catalog(service)
+    return wrangle(render_docs(catalog), provider=catalog.provider,
+                   service=service)
+
+
+@dataclass
+class EvaluationSetup:
+    """All backends + clouds needed to score the Fig. 3 traces."""
+
+    seed: int = 7
+    services: tuple[str, ...] = EVALUATION_SERVICES
+    clouds: dict = field(default_factory=dict)
+    backends: dict = field(default_factory=dict)
+    builds: dict = field(default_factory=dict)
+
+    def prepare(self, variants: tuple[str, ...] = VARIANTS) -> None:
+        for service in self.services:
+            self.clouds[service] = make_cloud(service)
+        for variant in variants:
+            per_service = {}
+            for service in self.services:
+                per_service[service] = self._build_backend(variant, service)
+            self.backends[variant] = per_service
+
+    def _build_backend(self, variant: str, service: str):
+        if variant == "d2c":
+            return build_d2c_emulator(wrangled_docs(service), seed=self.seed)
+        if variant == "moto":
+            return build_moto_like(service)
+        align = variant == "learned_aligned"
+        build = build_learned_emulator(
+            service, mode="constrained", seed=self.seed, align=align
+        )
+        self.builds[(variant, service)] = build
+        return build.make_backend()
+
+    def score(
+        self, variant: str, traces: list[Trace] | None = None
+    ) -> ScenarioAccuracy:
+        return measure_accuracy(
+            variant,
+            self.backends[variant],
+            self.clouds,
+            traces if traces is not None else evaluation_traces(),
+        )
+
+
+def run_fig3_evaluation(seed: int = 7) -> dict[str, ScenarioAccuracy]:
+    """Reproduce Fig. 3: accuracy of each variant across scenarios."""
+    setup = EvaluationSetup(seed=seed)
+    setup.prepare()
+    return {variant: setup.score(variant) for variant in VARIANTS}
+
+
+def run_multicloud_evaluation(
+    seed: int = 7, service: str = "azure_network"
+) -> dict[str, ScenarioAccuracy]:
+    """Reproduce §5 multi-cloud: the same workflow on another provider.
+
+    ``service`` selects the provider catalog: ``azure_network`` (the
+    paper's replication) or ``gcp_compute`` (our extension along the
+    same axis).
+    """
+    traces = azure_traces() if service == "azure_network" else gcp_traces()
+    clouds = {service: make_cloud(service)}
+    results: dict[str, ScenarioAccuracy] = {}
+    for variant in ("learned_aligned", "learned_no_align", "d2c"):
+        if variant == "d2c":
+            backend = build_d2c_emulator(wrangled_docs(service), seed=seed)
+        else:
+            build = build_learned_emulator(
+                service, mode="constrained", seed=seed,
+                align=variant == "learned_aligned",
+            )
+            backend = build.make_backend()
+        results[variant] = measure_accuracy(
+            variant, {service: backend}, clouds, traces
+        )
+    return results

@@ -1,0 +1,149 @@
+"""One-shot reproduction report: every table and figure as Markdown.
+
+``generate_report()`` runs the complete evaluation (Table 1, Fig. 3,
+Fig. 4, versus-manual, multi-cloud, alignment internals) and renders a
+self-contained Markdown document — the machine-generated counterpart
+of EXPERIMENTS.md.  Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import (
+    catalog_coverage,
+    ComplexityComparison,
+    moto_coverage,
+    table1_rows,
+)
+from .builder import build_learned_emulator
+from .evaluation import run_fig3_evaluation, run_multicloud_evaluation
+
+
+@dataclass
+class ReportData:
+    """The raw measurements a report is rendered from."""
+
+    seed: int
+    table1: list = field(default_factory=list)
+    fig3: dict = field(default_factory=dict)
+    fig4_summary: dict = field(default_factory=dict)
+    versus_manual: list = field(default_factory=list)
+    multicloud: dict = field(default_factory=dict)
+    alignment: dict = field(default_factory=dict)
+
+
+def collect_report_data(seed: int = 7,
+                        include_multicloud: bool = True) -> ReportData:
+    """Run every experiment and collect its numbers."""
+    data = ReportData(seed=seed)
+    data.table1 = table1_rows()
+    data.fig3 = run_fig3_evaluation(seed=seed)
+
+    comparison = ComplexityComparison()
+    builds = {}
+    for service in ("ec2", "network_firewall", "dynamodb"):
+        build = build_learned_emulator(service, mode="constrained",
+                                       seed=seed)
+        builds[service] = build
+        comparison.add(service, build.module)
+        data.alignment[service] = {
+            "rounds": len(build.alignment.rounds),
+            "repairs": build.alignment.total_repairs,
+            "doc_gaps": build.alignment.doc_gaps_learned,
+            "converged": build.alignment.converged,
+        }
+        data.versus_manual.append((
+            service,
+            moto_coverage(service),
+            catalog_coverage(service, build.make_backend()),
+        ))
+    data.fig4_summary = comparison.summary()
+
+    if include_multicloud:
+        for service in ("azure_network", "gcp_compute"):
+            data.multicloud[service] = run_multicloud_evaluation(
+                seed=seed, service=service
+            )
+    return data
+
+
+def render_report(data: ReportData) -> str:
+    """Render collected measurements as Markdown."""
+    lines: list[str] = []
+    emit = lines.append
+    emit("# Reproduction report — A Case for Learned Cloud Emulators")
+    emit("")
+    emit(f"Deterministic run at seed {data.seed}.")
+    emit("")
+
+    emit("## Table 1 — handcrafted emulator coverage")
+    emit("")
+    emit("| Service | APIs | Emulated | Coverage |")
+    emit("|---|---:|---:|---:|")
+    for row in data.table1:
+        emit(f"| {row.service} | {row.total} | {row.emulated} | "
+             f"{row.percent}% |")
+    emit("")
+
+    emit("## Fig. 3 — trace alignment per scenario")
+    emit("")
+    scenarios = ("provisioning", "state_updates", "edge_cases")
+    emit("| Variant | " + " | ".join(scenarios) + " | total |")
+    emit("|---|" + "---|" * (len(scenarios) + 1))
+    for variant, accuracy in data.fig3.items():
+        cells = []
+        for scenario in scenarios:
+            aligned, total = accuracy.per_scenario[scenario]
+            cells.append(f"{aligned}/{total}")
+        aligned, total = accuracy.total
+        emit(f"| {variant} | " + " | ".join(cells)
+             + f" | **{aligned}/{total}** |")
+    emit("")
+
+    emit("## Fig. 4 — SM complexity per service")
+    emit("")
+    emit("| Service | SMs | median | mean | max |")
+    emit("|---|---:|---:|---:|---:|")
+    for service, stats in data.fig4_summary.items():
+        emit(f"| {service} | {stats['machines']} | {stats['median']} | "
+             f"{stats['mean']:.1f} | {stats['max']} |")
+    emit("")
+
+    emit("## §5 versus manual engineering")
+    emit("")
+    emit("| Service | handcrafted | learned |")
+    emit("|---|---:|---:|")
+    for service, moto_row, learned_row in data.versus_manual:
+        emit(f"| {service} | {moto_row.emulated}/{moto_row.total} | "
+             f"{learned_row.emulated}/{learned_row.total} |")
+    emit("")
+
+    if data.multicloud:
+        emit("## §5 multi-cloud replication")
+        emit("")
+        emit("| Provider catalog | variant | aligned |")
+        emit("|---|---|---:|")
+        for service, results in data.multicloud.items():
+            for variant, accuracy in results.items():
+                aligned, total = accuracy.total
+                emit(f"| {service} | {variant} | {aligned}/{total} |")
+        emit("")
+
+    emit("## Alignment internals (§4.3)")
+    emit("")
+    emit("| Service | rounds | repairs | doc gaps learned | converged |")
+    emit("|---|---:|---:|---:|---|")
+    for service, stats in data.alignment.items():
+        emit(f"| {service} | {stats['rounds']} | {stats['repairs']} | "
+             f"{stats['doc_gaps']} | {stats['converged']} |")
+    emit("")
+    return "\n".join(lines)
+
+
+def generate_report(seed: int = 7, include_multicloud: bool = True) -> str:
+    """Collect and render the full reproduction report."""
+    return render_report(
+        collect_report_data(seed=seed,
+                            include_multicloud=include_multicloud)
+    )

@@ -1,0 +1,104 @@
+"""The documentation substrate: catalogs, renderers and the wrangler.
+
+The workflow (Fig. 2) starts from provider documentation.  This package
+holds structured catalogs for EC2 (28 resources), Network Firewall (8),
+DynamoDB (7), EKS, and an Azure networking service; renderers that turn
+them into provider-style *text* pages (AWS PDF layout, Azure web
+layout); and the wrangler that parses rendered pages back — the
+symbolic preprocessing step of §4.1.
+"""
+
+from .catalog_azure import build_azure_catalog
+from .catalog_ddb import build_ddb_catalog
+from .catalog_ec2 import build_ec2_catalog
+from .catalog_eks import build_eks_catalog
+from .catalog_gcp import build_gcp_catalog
+from .catalog_nfw import build_nfw_catalog
+from .catalog_s3 import build_s3_catalog
+from .inventory import coverage, inventory, moto_emulated
+from .model import (
+    ApiDoc,
+    ApiParam,
+    AttributeDoc,
+    DocPage,
+    ResourceDoc,
+    Rule,
+    RULE_KINDS,
+    rule,
+    ServiceDoc,
+    undocumented,
+)
+from .prose import parse_rule, render_rule, TEMPLATES
+from .render_aws import render_aws_docs
+from .render_azure import render_azure_docs
+from .render_gcp import render_gcp_docs
+from .wrangle import (
+    AwsDocParser,
+    AzureDocParser,
+    GcpDocParser,
+    wrangle,
+    WrangleError,
+)
+
+#: Catalog builders by service name.
+CATALOGS = {
+    "ec2": build_ec2_catalog,
+    "network_firewall": build_nfw_catalog,
+    "dynamodb": build_ddb_catalog,
+    "eks": build_eks_catalog,
+    "azure_network": build_azure_catalog,
+    "gcp_compute": build_gcp_catalog,
+    "s3": build_s3_catalog,
+}
+
+
+def build_catalog(service: str) -> ServiceDoc:
+    """Build the documentation catalog for a service by name."""
+    return CATALOGS[service]()
+
+
+def render_docs(service_doc: ServiceDoc) -> list[DocPage]:
+    """Render a catalog with the provider-appropriate layout."""
+    if service_doc.provider == "azure":
+        return render_azure_docs(service_doc)
+    if service_doc.provider == "gcp":
+        return render_gcp_docs(service_doc)
+    return render_aws_docs(service_doc)
+
+
+__all__ = [
+    "ApiDoc",
+    "ApiParam",
+    "AttributeDoc",
+    "AwsDocParser",
+    "AzureDocParser",
+    "build_azure_catalog",
+    "build_catalog",
+    "build_ddb_catalog",
+    "build_ec2_catalog",
+    "build_eks_catalog",
+    "build_gcp_catalog",
+    "build_nfw_catalog",
+    "build_s3_catalog",
+    "GcpDocParser",
+    "render_gcp_docs",
+    "CATALOGS",
+    "coverage",
+    "DocPage",
+    "inventory",
+    "moto_emulated",
+    "parse_rule",
+    "render_aws_docs",
+    "render_azure_docs",
+    "render_docs",
+    "render_rule",
+    "ResourceDoc",
+    "Rule",
+    "rule",
+    "RULE_KINDS",
+    "ServiceDoc",
+    "TEMPLATES",
+    "undocumented",
+    "wrangle",
+    "WrangleError",
+]

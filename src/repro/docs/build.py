@@ -1,0 +1,158 @@
+"""Helpers for authoring documentation catalogs compactly.
+
+Cloud APIs are heavily patterned (§3: create/destroy/describe/modify),
+so the catalogs build most APIs from these combinators and hand-write
+only the genuinely service-specific behaviour.
+"""
+
+from __future__ import annotations
+
+from .model import ApiDoc, ApiParam, AttributeDoc, ResourceDoc, Rule, rule
+
+
+def attr(
+    name: str,
+    type: str = "String",
+    enum: tuple[str, ...] = (),
+    default: object = None,
+    ref: str = "",
+) -> AttributeDoc:
+    return AttributeDoc(
+        name=name, type=type, enum_values=tuple(enum), default=default, ref=ref
+    )
+
+
+def param(
+    name: str, type: str = "String", required: bool = False, ref: str = ""
+) -> ApiParam:
+    return ApiParam(name=name, type=type, required=required, ref=ref)
+
+
+def api(
+    name: str,
+    category: str,
+    params: list[ApiParam] | None = None,
+    rules: list[Rule] | None = None,
+    desc: str = "",
+) -> ApiDoc:
+    return ApiDoc(
+        name=name,
+        category=category,
+        params=list(params or []),
+        rules=list(rules or []),
+        description=desc,
+    )
+
+
+def require_rules(params: list[ApiParam]) -> list[Rule]:
+    """``MissingParameter`` checks for every required parameter."""
+    return [
+        rule("require_param", param=p.name, code="MissingParameter")
+        for p in params
+        if p.required
+    ]
+
+
+def set_rules(params: list[ApiParam], attrs: set[str]) -> list[Rule]:
+    """``set_attr_param`` for every parameter that names an attribute."""
+    rules: list[Rule] = []
+    for p in params:
+        if p.name in attrs:
+            if p.ref:
+                rules.append(rule("link_ref", attr=p.name, param=p.name))
+            else:
+                rules.append(rule("set_attr_param", attr=p.name, param=p.name))
+    return rules
+
+
+def make_create(
+    resource: str,
+    verb: str,
+    params: list[ApiParam],
+    attrs: list[AttributeDoc],
+    extra_rules: list[Rule] | None = None,
+    desc: str = "",
+) -> ApiDoc:
+    """A create-class API: required-param checks, then attribute writes."""
+    attr_names = {a.name for a in attrs}
+    rules = require_rules(params) + list(extra_rules or []) + set_rules(
+        params, attr_names
+    )
+    return api(verb, "create", params, rules, desc)
+
+
+def make_delete(
+    resource: str,
+    verb: str,
+    guard_rules: list[Rule] | None = None,
+    desc: str = "",
+) -> ApiDoc:
+    """A destroy-class API guarded by dependency checks."""
+    id_param = param(f"{resource}_id", required=True)
+    rules = require_rules([id_param]) + list(guard_rules or [])
+    return api(verb, "destroy", [id_param], rules, desc)
+
+
+def make_describe(
+    resource: str,
+    verb: str,
+    attrs: list[AttributeDoc],
+    desc: str = "",
+) -> ApiDoc:
+    """A describe-class API returning every documented attribute."""
+    id_param = param(f"{resource}_id", required=True)
+    rules = [rule("read_attr", attr=a.name) for a in attrs]
+    return api(verb, "describe", [id_param], rules, desc)
+
+
+def make_list(resource: str, verb: str, desc: str = "") -> ApiDoc:
+    """A list-class API: enumerates all resources of the type.
+
+    Modelled as a parameterless describe; the framework answers it from
+    the registry without running a transition body.
+    """
+    return api(
+        verb, "describe", [], [],
+        desc or f"Lists all {resource.replace('_', ' ')} resources.",
+    )
+
+
+def make_modify(
+    resource: str,
+    verb: str,
+    attr_name: str,
+    value_param: str = "",
+    pre_rules: list[Rule] | None = None,
+    param_type: str = "String",
+    desc: str = "",
+) -> ApiDoc:
+    """A modify-class API setting one attribute from one parameter."""
+    source = value_param or attr_name
+    params = [
+        param(f"{resource}_id", required=True),
+        param(source, type=param_type),
+    ]
+    rules = (
+        require_rules(params)
+        + list(pre_rules or [])
+        + [rule("set_attr_param", attr=attr_name, param=source)]
+    )
+    return api(verb, "modify", params, rules, desc)
+
+
+def resource(
+    name: str,
+    attrs: list[AttributeDoc],
+    apis: list[ApiDoc],
+    parent: str = "",
+    desc: str = "",
+    notfound: str = "",
+) -> ResourceDoc:
+    return ResourceDoc(
+        name=name,
+        attributes=list(attrs),
+        apis=list(apis),
+        parent=parent,
+        description=desc,
+        notfound_code=notfound,
+    )

@@ -1,0 +1,569 @@
+"""An Azure-flavoured documentation catalog for multi-cloud emulation (§5).
+
+The paper replicates the workflow on Azure and reports that the main
+extra effort is documentation wrangling — Azure scatters definitions
+across per-resource web pages rather than one PDF.  This catalog models
+Azure's networking core (virtual networks, subnets, public IPs, NICs,
+NSGs, VMs) with Azure's own API naming (camelCase operations,
+createOrUpdate verbs) and error vocabulary, rendered through
+:mod:`repro.docs.render_azure` into the web-page layout.
+"""
+
+from __future__ import annotations
+
+from .build import api, attr, param, resource
+from .model import rule, ServiceDoc
+
+NOTFOUND = "ResourceNotFound"
+
+VM_SIZES = ("Standard_B1s", "Standard_B2s", "Standard_D2s_v3")
+
+
+def _virtual_network() -> "resource":
+    attrs = [
+        attr("address_space"),
+        attr("location"),
+        attr("provisioning_state", "Enum", enum=("Updating", "Succeeded"),
+             default="Updating"),
+        attr("subnet_prefixes", "List"),
+        attr("peerings", "List"),
+    ]
+    create = api(
+        "createOrUpdateVirtualNetwork",
+        "create",
+        [param("address_space", required=True), param("location",
+                                                      required=True)],
+        [
+            rule("require_param", param="address_space",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="location", code="InvalidRequestFormat"),
+            rule("check_valid_cidr", param="address_space",
+                 code="InvalidAddressPrefixFormat"),
+            rule("set_attr_param", attr="address_space",
+                 param="address_space"),
+            rule("set_attr_param", attr="location", param="location"),
+            rule("set_attr_const", attr="provisioning_state",
+                 value="Succeeded"),
+        ],
+        desc="Creates or updates a virtual network in the specified "
+             "resource group.",
+    )
+    delete = api(
+        "deleteVirtualNetwork",
+        "destroy",
+        [param("virtual_network_id", required=True)],
+        [
+            rule("require_param", param="virtual_network_id",
+                 code="InvalidRequestFormat"),
+            rule("check_list_empty", attr="subnet_prefixes",
+                 code="InUseSubnetCannotBeDeleted"),
+        ],
+        desc="Deletes the specified virtual network. The network must "
+             "contain no subnets.",
+    )
+    get = api(
+        "getVirtualNetwork",
+        "describe",
+        [param("virtual_network_id", required=True)],
+        [rule("read_attr", attr="address_space"),
+         rule("read_attr", attr="location"),
+         rule("read_attr", attr="provisioning_state")],
+        desc="Gets the specified virtual network.",
+    )
+    return resource(
+        "virtual_network",
+        attrs,
+        [create, delete, get],
+        desc="An isolated network in Azure, analogous to an AWS VPC.",
+        notfound=NOTFOUND,
+    )
+
+
+def _subnet() -> "resource":
+    attrs = [
+        attr("address_prefix"),
+        attr("virtual_network", "Reference", ref="virtual_network"),
+        attr("provisioning_state", "Enum", enum=("Updating", "Succeeded"),
+             default="Updating"),
+        attr("ip_configurations", "List"),
+    ]
+    create = api(
+        "createOrUpdateSubnet",
+        "create",
+        [
+            param("virtual_network_id", "Reference", required=True,
+                  ref="virtual_network"),
+            param("address_prefix", required=True),
+        ],
+        [
+            rule("require_param", param="virtual_network_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="address_prefix",
+                 code="InvalidRequestFormat"),
+            rule("check_valid_cidr", param="address_prefix",
+                 code="InvalidAddressPrefixFormat"),
+            rule("check_prefix_between", param="address_prefix", lo=8, hi=29,
+                 code="InvalidAddressPrefixFormat"),
+            rule("check_cidr_within", param="address_prefix",
+                 ref="virtual_network_id", ref_attr="address_space",
+                 code="SubnetNotInVnet"),
+            rule("check_no_overlap", param="address_prefix",
+                 ref="virtual_network_id", list_attr="subnet_prefixes",
+                 code="NetcfgSubnetRangesOverlap"),
+            rule("link_ref", attr="virtual_network",
+                 param="virtual_network_id"),
+            rule("set_attr_param", attr="address_prefix",
+                 param="address_prefix"),
+            rule("track_in_ref", param="virtual_network_id",
+                 list_attr="subnet_prefixes", source="address_prefix"),
+            rule("set_attr_const", attr="provisioning_state",
+                 value="Succeeded"),
+        ],
+        desc="Creates or updates a subnet in the specified virtual network.",
+    )
+    delete = api(
+        "deleteSubnet",
+        "destroy",
+        [param("subnet_id", required=True)],
+        [
+            rule("require_param", param="subnet_id",
+                 code="InvalidRequestFormat"),
+            rule("check_list_empty", attr="ip_configurations",
+                 code="InUseSubnetCannotBeDeleted"),
+            rule("untrack_in_attr", attr="virtual_network",
+                 list_attr="subnet_prefixes", source="address_prefix"),
+        ],
+        desc="Deletes the specified subnet. All IP configurations must be "
+             "removed first.",
+    )
+    get = api(
+        "getSubnet",
+        "describe",
+        [param("subnet_id", required=True)],
+        [rule("read_attr", attr="address_prefix"),
+         rule("read_attr", attr="provisioning_state")],
+        desc="Gets the specified subnet.",
+    )
+    return resource(
+        "subnet",
+        attrs,
+        [create, delete, get],
+        parent="virtual_network",
+        desc="An address range within a virtual network.",
+        notfound=NOTFOUND,
+    )
+
+
+def _public_ip_address() -> "resource":
+    attrs = [
+        attr("location"),
+        attr("allocation_method", "Enum", enum=("Static", "Dynamic"),
+             default="Dynamic"),
+        attr("ip_address"),
+        attr("ip_configuration", "Reference", ref="network_interface"),
+    ]
+    create = api(
+        "createOrUpdatePublicIPAddress",
+        "create",
+        [param("location", required=True), param("allocation_method")],
+        [
+            rule("require_param", param="location",
+                 code="InvalidRequestFormat"),
+            rule("require_one_of", param="allocation_method",
+                 values=("Static", "Dynamic"), code="InvalidRequestFormat"),
+            rule("set_attr_param", attr="location", param="location"),
+            rule("set_attr_param", attr="allocation_method",
+                 param="allocation_method"),
+            rule("set_attr_fresh", attr="ip_address"),
+        ],
+        desc="Creates or updates a public IP address resource.",
+    )
+    delete = api(
+        "deletePublicIPAddress",
+        "destroy",
+        [param("public_ip_address_id", required=True)],
+        [
+            rule("require_param", param="public_ip_address_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_unset", attr="ip_configuration",
+                 code="PublicIPAddressCannotBeDeleted"),
+        ],
+        desc="Deletes the specified public IP address. The address must "
+             "not be attached to an IP configuration.",
+    )
+    get = api(
+        "getPublicIPAddress",
+        "describe",
+        [param("public_ip_address_id", required=True)],
+        [rule("read_attr", attr="ip_address"),
+         rule("read_attr", attr="allocation_method"),
+         rule("read_attr", attr="ip_configuration")],
+        desc="Gets the specified public IP address.",
+    )
+    return resource(
+        "public_ip_address",
+        attrs,
+        [create, delete, get],
+        desc="A public IP address assignable to a network interface.",
+        notfound=NOTFOUND,
+    )
+
+
+def _network_interface() -> "resource":
+    attrs = [
+        attr("subnet", "Reference", ref="subnet"),
+        attr("location"),
+        attr("public_ip", "Reference", ref="public_ip_address"),
+        attr("virtual_machine", "Reference", ref="virtual_machine"),
+        attr("network_security_group", "Reference",
+             ref="network_security_group"),
+    ]
+    create = api(
+        "createOrUpdateNetworkInterface",
+        "create",
+        [
+            param("subnet_id", "Reference", required=True, ref="subnet"),
+            param("location", required=True),
+        ],
+        [
+            rule("require_param", param="subnet_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="location",
+                 code="InvalidRequestFormat"),
+            rule("link_ref", attr="subnet", param="subnet_id"),
+            rule("set_attr_param", attr="location", param="location"),
+            rule("track_in_ref", param="subnet_id",
+                 list_attr="ip_configurations", source="id"),
+        ],
+        desc="Creates or updates a network interface in a subnet.",
+    )
+    associate_ip = api(
+        "associatePublicIPAddress",
+        "modify",
+        [
+            param("network_interface_id", required=True),
+            param("public_ip_address_id", "Reference", required=True,
+                  ref="public_ip_address"),
+        ],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="public_ip_address_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_unset", attr="public_ip",
+                 code="PublicIPAddressInUse"),
+            rule("check_attr_matches_ref", attr="location",
+                 ref="public_ip_address_id", ref_attr="location",
+                 code="LocationMismatch"),
+            rule("link_ref", attr="public_ip", param="public_ip_address_id"),
+            rule("call_ref", param="public_ip_address_id",
+                 transition="attachIPConfiguration"),
+        ],
+        desc="Associates a public IP address with the network interface. "
+             "Both resources must be in the same location.",
+    )
+    dissociate_ip = api(
+        "dissociatePublicIPAddress",
+        "modify",
+        [param("network_interface_id", required=True)],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_set", attr="public_ip",
+                 code="PublicIPAddressNotAssociated"),
+            rule("call_attr", attr="public_ip",
+                 transition="detachIPConfiguration"),
+            rule("clear_attr", attr="public_ip"),
+        ],
+        desc="Removes the public IP association from the network interface.",
+    )
+    delete = api(
+        "deleteNetworkInterface",
+        "destroy",
+        [param("network_interface_id", required=True)],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_unset", attr="virtual_machine",
+                 code="NicInUse"),
+            rule("check_attr_unset", attr="public_ip",
+                 code="PublicIPAddressInUse"),
+            rule("untrack_in_attr", attr="subnet",
+                 list_attr="ip_configurations", source="id"),
+        ],
+        desc="Deletes the specified network interface. It must be detached "
+             "from any virtual machine and public IP first.",
+    )
+    get = api(
+        "getNetworkInterface",
+        "describe",
+        [param("network_interface_id", required=True)],
+        [rule("read_attr", attr="location"),
+         rule("read_attr", attr="public_ip"),
+         rule("read_attr", attr="virtual_machine")],
+        desc="Gets the specified network interface.",
+    )
+    return resource(
+        "network_interface",
+        attrs,
+        [create, associate_ip, dissociate_ip, delete, get],
+        parent="subnet",
+        desc="A network interface card usable by a virtual machine.",
+        notfound=NOTFOUND,
+    )
+
+
+def _network_security_group() -> "resource":
+    attrs = [
+        attr("location"),
+        attr("security_rules", "List"),
+    ]
+    create = api(
+        "createOrUpdateNetworkSecurityGroup",
+        "create",
+        [param("location", required=True)],
+        [
+            rule("require_param", param="location",
+                 code="InvalidRequestFormat"),
+            rule("set_attr_param", attr="location", param="location"),
+        ],
+        desc="Creates or updates a network security group.",
+    )
+    add_rule = api(
+        "createSecurityRule",
+        "modify",
+        [
+            param("network_security_group_id", required=True),
+            param("rule_name", required=True),
+        ],
+        [
+            rule("require_param", param="network_security_group_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="rule_name",
+                 code="InvalidRequestFormat"),
+            rule("check_not_in_list", param="rule_name",
+                 attr="security_rules", code="SecurityRuleAlreadyExists"),
+            rule("append_to_attr", attr="security_rules", param="rule_name"),
+        ],
+        desc="Adds a security rule to the network security group.",
+    )
+    remove_rule = api(
+        "deleteSecurityRule",
+        "modify",
+        [
+            param("network_security_group_id", required=True),
+            param("rule_name", required=True),
+        ],
+        [
+            rule("require_param", param="network_security_group_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="rule_name",
+                 code="InvalidRequestFormat"),
+            rule("check_in_list", param="rule_name", attr="security_rules",
+                 code="SecurityRuleNotFound"),
+            rule("remove_from_attr", attr="security_rules",
+                 param="rule_name"),
+        ],
+        desc="Removes a security rule from the network security group.",
+    )
+    delete = api(
+        "deleteNetworkSecurityGroup",
+        "destroy",
+        [param("network_security_group_id", required=True)],
+        [
+            rule("require_param", param="network_security_group_id",
+                 code="InvalidRequestFormat"),
+        ],
+        desc="Deletes the specified network security group.",
+    )
+    get = api(
+        "getNetworkSecurityGroup",
+        "describe",
+        [param("network_security_group_id", required=True)],
+        [rule("read_attr", attr="security_rules"),
+         rule("read_attr", attr="location")],
+        desc="Gets the specified network security group.",
+    )
+    return resource(
+        "network_security_group",
+        attrs,
+        [create, add_rule, remove_rule, delete, get],
+        desc="A set of security rules filtering network traffic.",
+        notfound=NOTFOUND,
+    )
+
+
+def _virtual_machine() -> "resource":
+    attrs = [
+        attr("vm_size", "Enum", enum=VM_SIZES, default="Standard_B1s"),
+        attr("location"),
+        attr("power_state", "Enum",
+             enum=("starting", "running", "deallocating", "deallocated"),
+             default="starting"),
+        attr("network_interface", "Reference", ref="network_interface"),
+    ]
+    create = api(
+        "createOrUpdateVirtualMachine",
+        "create",
+        [
+            param("network_interface_id", "Reference", required=True,
+                  ref="network_interface"),
+            param("vm_size", required=True),
+            param("location", required=True),
+        ],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="vm_size", code="InvalidRequestFormat"),
+            rule("require_param", param="location",
+                 code="InvalidRequestFormat"),
+            rule("require_one_of", param="vm_size", values=VM_SIZES,
+                 code="InvalidParameter"),
+            rule("link_ref", attr="network_interface",
+                 param="network_interface_id"),
+            rule("call_ref", param="network_interface_id",
+                 transition="attachVirtualMachine"),
+            rule("set_attr_param", attr="vm_size", param="vm_size"),
+            rule("set_attr_param", attr="location", param="location"),
+            rule("set_attr_const", attr="power_state", value="running"),
+        ],
+        desc="Creates or updates a virtual machine using an existing "
+             "network interface.",
+    )
+    start = api(
+        "startVirtualMachine",
+        "modify",
+        [param("virtual_machine_id", required=True)],
+        [
+            rule("require_param", param="virtual_machine_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_is", attr="power_state", value="deallocated",
+                 code="OperationNotAllowed"),
+            rule("set_attr_const", attr="power_state", value="running"),
+        ],
+        desc="Starts a deallocated virtual machine.",
+    )
+    deallocate = api(
+        "deallocateVirtualMachine",
+        "modify",
+        [param("virtual_machine_id", required=True)],
+        [
+            rule("require_param", param="virtual_machine_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_is", attr="power_state", value="running",
+                 code="OperationNotAllowed"),
+            rule("set_attr_const", attr="power_state", value="deallocated"),
+        ],
+        desc="Shuts down the virtual machine and releases its compute "
+             "resources.",
+    )
+    resize = api(
+        "resizeVirtualMachine",
+        "modify",
+        [param("virtual_machine_id", required=True), param("vm_size",
+                                                           required=True)],
+        [
+            rule("require_param", param="virtual_machine_id",
+                 code="InvalidRequestFormat"),
+            rule("require_param", param="vm_size", code="InvalidRequestFormat"),
+            rule("require_one_of", param="vm_size", values=VM_SIZES,
+                 code="InvalidParameter"),
+            rule("check_attr_is", attr="power_state", value="deallocated",
+                 code="OperationNotAllowed"),
+            rule("set_attr_param", attr="vm_size", param="vm_size"),
+        ],
+        desc="Changes the size of a deallocated virtual machine.",
+    )
+    delete = api(
+        "deleteVirtualMachine",
+        "destroy",
+        [param("virtual_machine_id", required=True)],
+        [
+            rule("require_param", param="virtual_machine_id",
+                 code="InvalidRequestFormat"),
+            rule("check_attr_is", attr="power_state", value="deallocated",
+                 code="OperationNotAllowed"),
+            rule("call_attr", attr="network_interface",
+                 transition="detachVirtualMachine"),
+        ],
+        desc="Deletes the specified virtual machine. The machine must be "
+             "deallocated first.",
+    )
+    get = api(
+        "getVirtualMachine",
+        "describe",
+        [param("virtual_machine_id", required=True)],
+        [rule("read_attr", attr="power_state"),
+         rule("read_attr", attr="vm_size"),
+         rule("read_attr", attr="location")],
+        desc="Gets the specified virtual machine.",
+    )
+    return resource(
+        "virtual_machine",
+        attrs,
+        [create, start, deallocate, resize, delete, get],
+        desc="A compute instance in Azure.",
+        notfound=NOTFOUND,
+    )
+
+
+def _helper_transitions() -> list["resource"]:
+    """Reverse-direction operations documented on the target resources.
+
+    Azure's docs describe IP-configuration attachment from both sides;
+    we document the receiving side's operations so cross-resource calls
+    resolve (the specification-linking step patches these together).
+    """
+    ip_attach = api(
+        "attachIPConfiguration",
+        "modify",
+        [param("nic_ref", "Reference", ref="network_interface")],
+        [rule("link_ref", attr="ip_configuration", param="nic_ref")],
+        desc="Records the owning IP configuration on the public IP address.",
+    )
+    ip_detach = api(
+        "detachIPConfiguration",
+        "modify",
+        [],
+        [rule("clear_attr", attr="ip_configuration")],
+        desc="Clears the owning IP configuration of the public IP address.",
+    )
+    nic_attach = api(
+        "attachVirtualMachine",
+        "modify",
+        [param("vm_ref", "Reference", ref="virtual_machine")],
+        [rule("link_ref", attr="virtual_machine", param="vm_ref")],
+        desc="Records the attached virtual machine on the network interface.",
+    )
+    nic_detach = api(
+        "detachVirtualMachine",
+        "modify",
+        [],
+        [rule("clear_attr", attr="virtual_machine")],
+        desc="Clears the attached virtual machine of the network interface.",
+    )
+    return [(ip_attach, ip_detach), (nic_attach, nic_detach)]
+
+
+def build_azure_catalog() -> ServiceDoc:
+    """The Azure networking/compute catalog used for multi-cloud emulation."""
+    resources = [
+        _virtual_network(),
+        _subnet(),
+        _public_ip_address(),
+        _network_interface(),
+        _network_security_group(),
+        _virtual_machine(),
+    ]
+    (ip_attach, ip_detach), (nic_attach, nic_detach) = _helper_transitions()
+    for res in resources:
+        if res.name == "public_ip_address":
+            res.apis.extend([ip_attach, ip_detach])
+        if res.name == "network_interface":
+            res.apis.extend([nic_attach, nic_detach])
+    return ServiceDoc(
+        name="azure_network",
+        provider="azure",
+        resources=resources,
+        description="Azure Virtual Network and Compute REST reference.",
+    )

@@ -1,0 +1,604 @@
+"""The DynamoDB documentation catalog: 7 resources, 57 APIs (Table 1).
+
+DynamoDB's error convention differs from EC2's: resources are addressed
+by name and missing resources raise ``ResourceNotFoundException``
+rather than ``Invalid*ID.NotFound``.  The catalog carries this as the
+per-resource not-found code, which extraction passes to the emulator —
+one of the provider-specific behaviours the paper's approach has to
+learn rather than hard-code.
+"""
+
+from __future__ import annotations
+
+from .build import (
+    api,
+    attr,
+    make_create,
+    make_delete,
+    make_describe,
+    make_list,
+    make_modify,
+    param,
+    resource,
+)
+from .model import rule, ServiceDoc
+
+NOTFOUND = "ResourceNotFoundException"
+
+BILLING_MODES = ("PROVISIONED", "PAY_PER_REQUEST")
+
+
+def _table() -> "resource":
+    attrs = [
+        attr("table_name"),
+        attr("billing_mode", "Enum", enum=BILLING_MODES,
+             default="PROVISIONED"),
+        attr("read_capacity", "Integer", default=5),
+        attr("write_capacity", "Integer", default=5),
+        attr("status", "Enum", enum=("CREATING", "ACTIVE", "DELETING"),
+             default="CREATING"),
+        attr("items", "Map"),
+        attr("ttl_enabled", "Boolean", default=False),
+        attr("pitr_enabled", "Boolean", default=False),
+        attr("stream_enabled", "Boolean", default=False),
+        attr("deletion_protection", "Boolean", default=False),
+        attr("tags", "Map"),
+        attr("insights_enabled", "Boolean", default=False),
+        attr("replica_auto_scaling", "Boolean", default=False),
+    ]
+    create = make_create(
+        "table",
+        "CreateTable",
+        [
+            param("table_name", required=True),
+            param("billing_mode"),
+            param("read_capacity", "Integer"),
+            param("write_capacity", "Integer"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="billing_mode",
+                 values=BILLING_MODES, code="ValidationException"),
+            rule("set_attr_const", attr="status", value="ACTIVE"),
+        ],
+        desc="Creates a new table in your account.",
+    )
+    delete = make_delete(
+        "table",
+        "DeleteTable",
+        guard_rules=[
+            rule("check_attr_is", attr="deletion_protection", value=False,
+                 code="ValidationException"),
+            rule("check_attr_is", attr="status", value="ACTIVE",
+                 code="ResourceInUseException"),
+        ],
+        desc="Deletes the specified table. Deletion protection must be "
+             "disabled.",
+    )
+    update = api(
+        "UpdateTable",
+        "modify",
+        [
+            param("table_id", required=True),
+            param("billing_mode"),
+            param("read_capacity", "Integer"),
+            param("write_capacity", "Integer"),
+            param("deletion_protection", "Boolean"),
+        ],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_one_of", param="billing_mode",
+                 values=BILLING_MODES, code="ValidationException"),
+            rule("set_attr_param", attr="billing_mode", param="billing_mode"),
+            rule("set_attr_param", attr="read_capacity",
+                 param="read_capacity"),
+            rule("set_attr_param", attr="write_capacity",
+                 param="write_capacity"),
+            rule("set_attr_param", attr="deletion_protection",
+                 param="deletion_protection"),
+        ],
+        desc="Modifies the provisioned throughput or billing settings of a "
+             "table.",
+    )
+    describe = make_describe("table", "DescribeTable", attrs)
+    listing = make_list("table", "ListTables")
+
+    put_item = api(
+        "PutItem", "modify",
+        [param("table_id", required=True), param("item_key", required=True),
+         param("item_value")],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="item_key", code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="ACTIVE",
+                 code="ResourceNotFoundException"),
+            rule("map_put", attr="items", key_param="item_key",
+                 value_param="item_value"),
+        ],
+        desc="Creates or replaces an item in the table.",
+    )
+    get_item = api(
+        "GetItem", "describe",
+        [param("table_id", required=True), param("item_key", required=True)],
+        [rule("map_read", attr="items", key_param="item_key")],
+        desc="Returns the attributes of the item with the given key.",
+    )
+    update_item = api(
+        "UpdateItem", "modify",
+        [param("table_id", required=True), param("item_key", required=True),
+         param("item_value")],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="item_key", code="MissingParameter"),
+            rule("check_in_map", attr="items", key_param="item_key",
+                 code="ConditionalCheckFailedException"),
+            rule("map_put", attr="items", key_param="item_key",
+                 value_param="item_value"),
+        ],
+        desc="Edits an existing item's attributes.",
+    )
+    delete_item = api(
+        "DeleteItem", "modify",
+        [param("table_id", required=True), param("item_key", required=True)],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="item_key", code="MissingParameter"),
+            rule("check_in_map", attr="items", key_param="item_key",
+                 code="ConditionalCheckFailedException"),
+            rule("map_remove", attr="items", key_param="item_key"),
+        ],
+        desc="Deletes a single item by primary key.",
+    )
+    query = api(
+        "Query", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Finds items based on primary key values.",
+    )
+    scan = api(
+        "Scan", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Returns every item in the table.",
+    )
+    batch_get = api(
+        "BatchGetItem", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Returns the attributes of multiple items.",
+    )
+    batch_write = api(
+        "BatchWriteItem", "modify",
+        [param("table_id", required=True), param("item_key", required=True),
+         param("item_value")],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="item_key", code="MissingParameter"),
+            rule("map_put", attr="items", key_param="item_key",
+                 value_param="item_value"),
+        ],
+        desc="Puts or deletes multiple items in one call.",
+    )
+    transact_get = api(
+        "TransactGetItems", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Atomically retrieves multiple items.",
+    )
+    transact_write = api(
+        "TransactWriteItems", "modify",
+        [param("table_id", required=True), param("item_key", required=True),
+         param("item_value")],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="item_key", code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="ACTIVE",
+                 code="ResourceNotFoundException"),
+            rule("map_put", attr="items", key_param="item_key",
+                 value_param="item_value"),
+        ],
+        desc="Atomically writes multiple items.",
+    )
+    execute_statement = api(
+        "ExecuteStatement", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Runs a PartiQL statement against the table.",
+    )
+    batch_execute = api(
+        "BatchExecuteStatement", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Runs multiple PartiQL statements.",
+    )
+    execute_transaction = api(
+        "ExecuteTransaction", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="items")],
+        desc="Runs multiple PartiQL statements atomically.",
+    )
+    describe_ttl = api(
+        "DescribeTimeToLive", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="ttl_enabled")],
+        desc="Returns the table's time-to-live settings.",
+    )
+    update_ttl = make_modify(
+        "table", "UpdateTimeToLive", "ttl_enabled", param_type="Boolean",
+        desc="Enables or disables time-to-live for the table.",
+    )
+    describe_backups = api(
+        "DescribeContinuousBackups", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="pitr_enabled")],
+        desc="Returns the continuous backup and point-in-time recovery "
+             "status.",
+    )
+    update_backups = make_modify(
+        "table", "UpdateContinuousBackups", "pitr_enabled",
+        param_type="Boolean",
+        desc="Enables or disables point-in-time recovery.",
+    )
+    tag_resource = api(
+        "TagResource", "modify",
+        [param("table_id", required=True), param("tag_key", required=True),
+         param("tag_value")],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("map_put", attr="tags", key_param="tag_key",
+                 value_param="tag_value"),
+        ],
+        desc="Adds a tag to the table.",
+    )
+    untag_resource = api(
+        "UntagResource", "modify",
+        [param("table_id", required=True), param("tag_key", required=True)],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("check_in_map", attr="tags", key_param="tag_key",
+                 code="ResourceNotFoundException"),
+            rule("map_remove", attr="tags", key_param="tag_key"),
+        ],
+        desc="Removes a tag from the table.",
+    )
+    list_tags = api(
+        "ListTagsOfResource", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="tags")],
+        desc="Lists the tags on the table.",
+    )
+    enable_kinesis = make_modify(
+        "table", "EnableKinesisStreamingDestination", "stream_enabled",
+        param_type="Boolean",
+        desc="Starts streaming table changes to a Kinesis data stream.",
+    )
+    disable_kinesis = api(
+        "DisableKinesisStreamingDestination", "modify",
+        [param("table_id", required=True)],
+        [
+            rule("require_param", param="table_id", code="MissingParameter"),
+            rule("check_attr_is", attr="stream_enabled", value=True,
+                 code="ValidationException"),
+            rule("set_attr_const", attr="stream_enabled", value=False),
+        ],
+        desc="Stops streaming table changes to Kinesis.",
+    )
+    describe_kinesis = api(
+        "DescribeKinesisStreamingDestination", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="stream_enabled")],
+        desc="Returns the Kinesis streaming status of the table.",
+    )
+    describe_autoscaling = api(
+        "DescribeTableReplicaAutoScaling", "describe",
+        [param("table_id", required=True)],
+        [rule("read_attr", attr="replica_auto_scaling")],
+        desc="Describes the auto-scaling settings of the table's replicas.",
+    )
+    update_autoscaling = make_modify(
+        "table", "UpdateTableReplicaAutoScaling", "replica_auto_scaling",
+        param_type="Boolean",
+        desc="Updates the auto-scaling settings of the table's replicas.",
+    )
+    return resource(
+        "table",
+        attrs,
+        [create, delete, update, describe, listing, put_item, get_item,
+         update_item, delete_item, query, scan, batch_get, batch_write,
+         transact_get, transact_write, execute_statement, batch_execute,
+         execute_transaction, describe_ttl, update_ttl, describe_backups,
+         update_backups, tag_resource, untag_resource, list_tags,
+         enable_kinesis, disable_kinesis, describe_kinesis,
+         describe_autoscaling, update_autoscaling],
+        desc="A DynamoDB table: a collection of items addressed by key.",
+        notfound=NOTFOUND,
+    )
+
+
+def _backup() -> "resource":
+    attrs = [
+        attr("backup_name"),
+        attr("table", "Reference", ref="table"),
+        attr("status", "Enum", enum=("CREATING", "AVAILABLE", "DELETED"),
+             default="CREATING"),
+    ]
+    create = make_create(
+        "backup",
+        "CreateBackup",
+        [
+            param("table_id", "Reference", required=True, ref="table"),
+            param("backup_name", required=True),
+        ],
+        attrs,
+        extra_rules=[
+            rule("check_ref_attr_is", ref="table_id", ref_attr="status",
+                 value="ACTIVE", code="TableNotFoundException"),
+            rule("link_ref", attr="table", param="table_id"),
+            rule("set_attr_const", attr="status", value="AVAILABLE"),
+        ],
+        desc="Creates an on-demand backup of the specified table.",
+    )
+    delete = make_delete(
+        "backup",
+        "DeleteBackup",
+        guard_rules=[
+            rule("check_attr_is", attr="status", value="AVAILABLE",
+                 code="BackupInUseException"),
+        ],
+        desc="Deletes the specified backup.",
+    )
+    describe = make_describe("backup", "DescribeBackup", attrs)
+    listing = make_list("backup", "ListBackups")
+    restore = api(
+        "RestoreTableFromBackup", "modify",
+        [param("backup_id", required=True)],
+        [
+            rule("require_param", param="backup_id", code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="AVAILABLE",
+                 code="BackupInUseException"),
+        ],
+        desc="Creates a new table from an existing backup.",
+    )
+    restore_pitr = api(
+        "RestoreTableToPointInTime", "modify",
+        [param("backup_id", required=True)],
+        [
+            rule("require_param", param="backup_id", code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="AVAILABLE",
+                 code="BackupInUseException"),
+        ],
+        desc="Restores a table to a point in time.",
+    )
+    return resource(
+        "backup",
+        attrs,
+        [create, delete, describe, listing, restore, restore_pitr],
+        parent="table",
+        desc="An on-demand backup of a table.",
+        notfound="BackupNotFoundException",
+    )
+
+
+def _global_table() -> "resource":
+    attrs = [
+        attr("global_table_name"),
+        attr("regions", "List"),
+        attr("status", "Enum", enum=("CREATING", "ACTIVE"),
+             default="CREATING"),
+        attr("auto_scaling", "Boolean", default=False),
+    ]
+    create = make_create(
+        "global_table",
+        "CreateGlobalTable",
+        [param("global_table_name", required=True), param("region")],
+        attrs,
+        extra_rules=[
+            rule("set_attr_const", attr="status", value="ACTIVE"),
+            rule("append_to_attr", attr="regions", param="region"),
+        ],
+        desc="Creates a global table from existing replica tables.",
+    )
+    delete = make_delete("global_table", "DeleteGlobalTable",
+                         desc="Deletes the specified global table.")
+    describe = make_describe("global_table", "DescribeGlobalTable", attrs)
+    listing = make_list("global_table", "ListGlobalTables")
+    update = api(
+        "UpdateGlobalTable", "modify",
+        [param("global_table_id", required=True),
+         param("region", required=True)],
+        [
+            rule("require_param", param="global_table_id",
+                 code="MissingParameter"),
+            rule("require_param", param="region", code="MissingParameter"),
+            rule("check_not_in_list", param="region", attr="regions",
+                 code="ReplicaAlreadyExistsException"),
+            rule("append_to_attr", attr="regions", param="region"),
+        ],
+        desc="Adds a replica in a new region to the global table.",
+    )
+    describe_settings = api(
+        "DescribeGlobalTableSettings", "describe",
+        [param("global_table_id", required=True)],
+        [rule("read_attr", attr="regions"),
+         rule("read_attr", attr="auto_scaling")],
+        desc="Describes the region-specific settings of a global table.",
+    )
+    update_settings = make_modify(
+        "global_table", "UpdateGlobalTableSettings", "auto_scaling",
+        param_type="Boolean",
+        desc="Updates the settings of a global table.",
+    )
+    return resource(
+        "global_table",
+        attrs,
+        [create, delete, describe, listing, update, describe_settings,
+         update_settings],
+        desc="A multi-region, multi-active replicated table.",
+        notfound="GlobalTableNotFoundException",
+    )
+
+
+def _export_task() -> "resource":
+    attrs = [
+        attr("table", "Reference", ref="table"),
+        attr("s3_bucket"),
+        attr("status", "Enum", enum=("IN_PROGRESS", "COMPLETED", "CANCELLED"),
+             default="IN_PROGRESS"),
+    ]
+    export = make_create(
+        "export_task",
+        "ExportTableToPointInTime",
+        [
+            param("table_id", "Reference", required=True, ref="table"),
+            param("s3_bucket", required=True),
+        ],
+        attrs,
+        extra_rules=[
+            rule("check_ref_attr_is", ref="table_id", ref_attr="pitr_enabled",
+                 value=True, code="PointInTimeRecoveryUnavailableException"),
+            rule("link_ref", attr="table", param="table_id"),
+            rule("set_attr_const", attr="status", value="COMPLETED"),
+        ],
+        desc="Exports table data to an S3 bucket. Point-in-time recovery "
+             "must be enabled on the table.",
+    )
+    describe = make_describe("export_task", "DescribeExport", attrs)
+    listing = make_list("export_task", "ListExports")
+    cancel = api(
+        "CancelExportTask", "modify",
+        [param("export_task_id", required=True)],
+        [
+            rule("require_param", param="export_task_id",
+                 code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="IN_PROGRESS",
+                 code="ExportConflictException"),
+            rule("set_attr_const", attr="status", value="CANCELLED"),
+        ],
+        desc="Cancels an in-progress export.",
+    )
+    return resource(
+        "export_task",
+        attrs,
+        [export, describe, listing, cancel],
+        parent="table",
+        desc="An export of table data to S3.",
+        notfound="ExportNotFoundException",
+    )
+
+
+def _import_task() -> "resource":
+    attrs = [
+        attr("s3_bucket"),
+        attr("target_table_name"),
+        attr("status", "Enum", enum=("IN_PROGRESS", "COMPLETED", "CANCELLED"),
+             default="IN_PROGRESS"),
+    ]
+    start = make_create(
+        "import_task",
+        "ImportTable",
+        [param("s3_bucket", required=True),
+         param("target_table_name", required=True)],
+        attrs,
+        extra_rules=[rule("set_attr_const", attr="status", value="COMPLETED")],
+        desc="Imports table data from an S3 bucket into a new table.",
+    )
+    describe = make_describe("import_task", "DescribeImport", attrs)
+    listing = make_list("import_task", "ListImports")
+    cancel = api(
+        "CancelImportTask", "modify",
+        [param("import_task_id", required=True)],
+        [
+            rule("require_param", param="import_task_id",
+                 code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="IN_PROGRESS",
+                 code="ImportConflictException"),
+            rule("set_attr_const", attr="status", value="CANCELLED"),
+        ],
+        desc="Cancels an in-progress import.",
+    )
+    return resource(
+        "import_task",
+        attrs,
+        [start, describe, listing, cancel],
+        desc="An import of S3 data into a new table.",
+        notfound="ImportNotFoundException",
+    )
+
+
+def _resource_policy() -> "resource":
+    attrs = [
+        attr("table", "Reference", ref="table"),
+        attr("policy_document"),
+    ]
+    put = make_create(
+        "resource_policy",
+        "PutResourcePolicy",
+        [
+            param("table_id", "Reference", required=True, ref="table"),
+            param("policy_document", required=True),
+        ],
+        attrs,
+        extra_rules=[rule("link_ref", attr="table", param="table_id")],
+        desc="Attaches a resource-based policy to a table.",
+    )
+    get = make_describe("resource_policy", "GetResourcePolicy", attrs)
+    delete = make_delete("resource_policy", "DeleteResourcePolicy",
+                         desc="Deletes the resource-based policy of a table.")
+    return resource(
+        "resource_policy",
+        attrs,
+        [put, get, delete],
+        parent="table",
+        desc="A resource-based IAM policy attached to a table.",
+        notfound="PolicyNotFoundException",
+    )
+
+
+def _contributor_insights() -> "resource":
+    attrs = [
+        attr("table", "Reference", ref="table"),
+        attr("status", "Enum", enum=("ENABLED", "DISABLED"),
+             default="DISABLED"),
+    ]
+    update = make_create(
+        "contributor_insights",
+        "UpdateContributorInsights",
+        [param("table_id", "Reference", required=True, ref="table")],
+        attrs,
+        extra_rules=[
+            rule("link_ref", attr="table", param="table_id"),
+            rule("set_attr_const", attr="status", value="ENABLED"),
+        ],
+        desc="Enables CloudWatch Contributor Insights for a table.",
+    )
+    describe = make_describe("contributor_insights",
+                             "DescribeContributorInsights", attrs)
+    listing = make_list("contributor_insights", "ListContributorInsights")
+    return resource(
+        "contributor_insights",
+        attrs,
+        [update, describe, listing],
+        parent="table",
+        desc="Contributor Insights configuration for a table.",
+        notfound=NOTFOUND,
+    )
+
+
+def build_ddb_catalog() -> ServiceDoc:
+    """The full DynamoDB catalog: 7 resources, 57 APIs."""
+    return ServiceDoc(
+        name="dynamodb",
+        provider="aws",
+        resources=[
+            _table(),
+            _backup(),
+            _global_table(),
+            _export_task(),
+            _import_task(),
+            _resource_policy(),
+            _contributor_insights(),
+        ],
+        description="Amazon DynamoDB: a serverless key-value database.",
+    )

@@ -1,0 +1,1084 @@
+"""The EC2 documentation catalog: 28 resources, as in the paper's Fig. 4.
+
+Ten core resources (the VPC networking and compute primitives the
+paper's scenarios exercise) carry full behavioural documentation,
+including the subtle checks §5 calls out: VPC deletion dependency
+violations, subnet prefix-length limits, CIDR containment/overlap,
+instance state preconditions, `instance_tenancy` and
+`credit_specification` attributes, and the DNS support/hostnames
+context rule.  The remaining 18 follow the standard
+create/destroy/describe/modify pattern with lighter behaviour.
+
+Rules built with :func:`repro.docs.model.undocumented` are enforced by
+the real cloud but omitted from rendered documentation — the
+documentation-drift gap that only automated alignment (§4.3) closes.
+"""
+
+from __future__ import annotations
+
+from .build import (
+    api,
+    attr,
+    make_create,
+    make_delete,
+    make_describe,
+    make_modify,
+    param,
+    resource,
+)
+from .model import rule, ServiceDoc, undocumented
+
+#: Instance types the docs admit; anything else is rejected.
+INSTANCE_TYPES = ("t2.micro", "t3.micro", "t3.medium", "m5.large", "c5.large")
+
+#: Endpoint service names the docs admit.
+ENDPOINT_SERVICES = ("s3", "dynamodb", "kinesis", "secretsmanager")
+
+
+def _vpc() -> "resource":
+    attrs = [
+        attr("cidr_block"),
+        attr("state", "Enum", enum=("pending", "available"), default="pending"),
+        attr("instance_tenancy", "Enum", enum=("default", "dedicated"),
+             default="default"),
+        attr("enable_dns_support", "Boolean", default=True),
+        attr("enable_dns_hostnames", "Boolean", default=False),
+        attr("is_default", "Boolean", default=False),
+        attr("subnet_cidrs", "List"),
+        attr("gateways", "List"),
+        attr("endpoints", "List"),
+    ]
+    create = make_create(
+        "vpc",
+        "CreateVpc",
+        [param("cidr_block", required=True), param("instance_tenancy")],
+        attrs,
+        extra_rules=[
+            rule("check_valid_cidr", param="cidr_block",
+                 code="InvalidParameterValue"),
+            rule("check_prefix_between", param="cidr_block", lo=16, hi=28,
+                 code="InvalidVpc.Range"),
+            rule("require_one_of", param="instance_tenancy",
+                 values=("default", "dedicated"), code="InvalidParameterValue"),
+            rule("set_attr_const", attr="state", value="available"),
+        ],
+        desc="Creates a VPC with the specified IPv4 CIDR block.",
+    )
+    delete = make_delete(
+        "vpc",
+        "DeleteVpc",
+        guard_rules=[
+            rule("check_list_empty", attr="gateways", code="DependencyViolation"),
+            rule("check_list_empty", attr="endpoints", code="DependencyViolation"),
+            rule("check_list_empty", attr="subnet_cidrs",
+                 code="DependencyViolation"),
+        ],
+        desc="Deletes the specified VPC. All gateways, endpoints and subnets "
+             "must be deleted or detached first.",
+    )
+    modify = api(
+        "ModifyVpcAttribute",
+        "modify",
+        [
+            param("vpc_id", required=True),
+            param("enable_dns_support", "Boolean"),
+            param("enable_dns_hostnames", "Boolean"),
+        ],
+        [
+            rule("require_param", param="vpc_id", code="MissingParameter"),
+            # Real AWS rejects enabling DNS hostnames on a VPC whose DNS
+            # support is disabled; the docs never spell this out (§5's
+            # "lack of resource context" example), so only alignment
+            # against the cloud can teach an emulator this rule.
+            undocumented(
+                "check_param_implies_attr",
+                param="enable_dns_hostnames", value=True,
+                attr="enable_dns_support", attr_value=True,
+                code="InvalidParameterValue",
+            ),
+            rule("set_attr_param", attr="enable_dns_support",
+                 param="enable_dns_support"),
+            rule("set_attr_param", attr="enable_dns_hostnames",
+                 param="enable_dns_hostnames"),
+        ],
+        desc="Modifies the DNS attributes of the specified VPC.",
+    )
+    modify_tenancy = api(
+        "ModifyVpcTenancy",
+        "modify",
+        [param("vpc_id", required=True), param("instance_tenancy")],
+        [
+            rule("require_param", param="vpc_id", code="MissingParameter"),
+            rule("require_one_of", param="instance_tenancy",
+                 values=("default",), code="InvalidParameterValue"),
+            rule("set_attr_param", attr="instance_tenancy",
+                 param="instance_tenancy"),
+        ],
+        desc="Modifies the instance tenancy of the specified VPC. Tenancy "
+             "can only be changed to 'default'.",
+    )
+    describe = make_describe("vpc", "DescribeVpcs", attrs)
+    describe_attribute = api(
+        "DescribeVpcAttribute",
+        "describe",
+        [param("vpc_id", required=True)],
+        [
+            rule("read_attr", attr="enable_dns_support"),
+            rule("read_attr", attr="enable_dns_hostnames"),
+        ],
+        desc="Describes the DNS attributes of the specified VPC.",
+    )
+    return resource(
+        "vpc",
+        attrs,
+        [create, delete, describe, describe_attribute, modify, modify_tenancy],
+        desc="A virtual private cloud: an isolated virtual network.",
+        notfound="InvalidVpcID.NotFound",
+    )
+
+
+def _subnet() -> "resource":
+    attrs = [
+        attr("cidr_block"),
+        attr("vpc", "Reference", ref="vpc"),
+        attr("state", "Enum", enum=("pending", "available"), default="pending"),
+        attr("availability_zone"),
+        attr("map_public_ip_on_launch", "Boolean", default=False),
+        attr("interfaces", "List"),
+        attr("instances", "List"),
+    ]
+    create = make_create(
+        "subnet",
+        "CreateSubnet",
+        [
+            param("vpc_id", "Reference", required=True, ref="vpc"),
+            param("cidr_block", required=True),
+            param("availability_zone"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("check_valid_cidr", param="cidr_block",
+                 code="InvalidParameterValue"),
+            # AWS subnets must be between /16 and /28; a /29 request must
+            # be rejected (the shallow-validation example of §5).
+            rule("check_prefix_between", param="cidr_block", lo=16, hi=28,
+                 code="InvalidSubnet.Range"),
+            rule("check_cidr_within", param="cidr_block", ref="vpc_id",
+                 ref_attr="cidr_block", code="InvalidSubnet.Range"),
+            rule("check_no_overlap", param="cidr_block", ref="vpc_id",
+                 list_attr="subnet_cidrs", code="InvalidSubnet.Conflict"),
+            rule("set_attr_const", attr="state", value="available"),
+            rule("link_ref", attr="vpc", param="vpc_id"),
+            rule("track_in_ref", param="vpc_id", list_attr="subnet_cidrs",
+                 source="cidr_block"),
+        ],
+        desc="Creates a subnet in the specified VPC.",
+    )
+    delete = make_delete(
+        "subnet",
+        "DeleteSubnet",
+        guard_rules=[
+            rule("check_list_empty", attr="interfaces",
+                 code="DependencyViolation"),
+            rule("check_list_empty", attr="instances",
+                 code="DependencyViolation"),
+            rule("untrack_in_attr", attr="vpc", list_attr="subnet_cidrs",
+                 source="cidr_block"),
+        ],
+        desc="Deletes the specified subnet. All instances and network "
+             "interfaces in the subnet must be terminated first.",
+    )
+    modify = api(
+        "ModifySubnetAttribute",
+        "modify",
+        [
+            param("subnet_id", required=True),
+            param("map_public_ip_on_launch", "Boolean"),
+        ],
+        [
+            rule("require_param", param="subnet_id", code="MissingParameter"),
+            rule("set_attr_param", attr="map_public_ip_on_launch",
+                 param="map_public_ip_on_launch"),
+        ],
+        desc="Modifies the attributes of the specified subnet, e.g. whether "
+             "instances launched into it receive a public IPv4 address.",
+    )
+    describe = make_describe("subnet", "DescribeSubnets", attrs)
+    return resource(
+        "subnet",
+        attrs,
+        [create, delete, describe, modify],
+        parent="vpc",
+        desc="A range of IP addresses in a VPC, tied to one availability zone.",
+        notfound="InvalidSubnetID.NotFound",
+    )
+
+
+def _internet_gateway() -> "resource":
+    attrs = [attr("vpc", "Reference", ref="vpc"),
+             attr("state", "Enum", enum=("detached", "attached"),
+                  default="detached")]
+    create = make_create(
+        "internet_gateway", "CreateInternetGateway", [], attrs,
+        desc="Creates an internet gateway for use with a VPC.",
+    )
+    attach = api(
+        "AttachInternetGateway",
+        "modify",
+        [
+            param("internet_gateway_id", required=True),
+            param("vpc_id", "Reference", required=True, ref="vpc"),
+        ],
+        [
+            rule("require_param", param="internet_gateway_id",
+                 code="MissingParameter"),
+            rule("require_param", param="vpc_id", code="MissingParameter"),
+            rule("check_attr_unset", attr="vpc",
+                 code="Resource.AlreadyAssociated"),
+            rule("link_ref", attr="vpc", param="vpc_id"),
+            rule("set_attr_const", attr="state", value="attached"),
+            rule("track_in_ref", param="vpc_id", list_attr="gateways",
+                 source="id"),
+        ],
+        desc="Attaches an internet gateway to a VPC, enabling connectivity "
+             "between the internet and the VPC.",
+    )
+    detach = api(
+        "DetachInternetGateway",
+        "modify",
+        [param("internet_gateway_id", required=True)],
+        [
+            rule("require_param", param="internet_gateway_id",
+                 code="MissingParameter"),
+            rule("check_attr_set", attr="vpc", code="Gateway.NotAttached"),
+            rule("untrack_in_attr", attr="vpc", list_attr="gateways",
+                 source="id"),
+            rule("clear_attr", attr="vpc"),
+            rule("set_attr_const", attr="state", value="detached"),
+        ],
+        desc="Detaches an internet gateway from its VPC.",
+    )
+    delete = make_delete(
+        "internet_gateway",
+        "DeleteInternetGateway",
+        guard_rules=[
+            rule("check_attr_unset", attr="vpc", code="DependencyViolation"),
+        ],
+        desc="Deletes the specified internet gateway. The gateway must be "
+             "detached from its VPC first.",
+    )
+    describe = make_describe("internet_gateway", "DescribeInternetGateways",
+                             attrs)
+    return resource(
+        "internet_gateway",
+        attrs,
+        [create, attach, detach, delete, describe],
+        desc="A gateway that connects a VPC to the internet.",
+        notfound="InvalidInternetGatewayID.NotFound",
+    )
+
+
+def _instance() -> "resource":
+    attrs = [
+        attr("state", "Enum",
+             enum=("pending", "running", "stopping", "stopped", "terminated"),
+             default="pending"),
+        attr("instance_type"),
+        attr("image_id"),
+        attr("key_name"),
+        attr("subnet", "Reference", ref="subnet"),
+        attr("instance_tenancy", "Enum", enum=("default", "dedicated"),
+             default="default"),
+        attr("credit_specification", "Enum", enum=("standard", "unlimited"),
+             default="standard"),
+        attr("public_ip"),
+    ]
+    run = make_create(
+        "instance",
+        "RunInstances",
+        [
+            param("subnet_id", "Reference", required=True, ref="subnet"),
+            param("image_id", required=True),
+            param("instance_type", required=True),
+            param("key_name"),
+            param("instance_tenancy"),
+            param("credit_specification"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="instance_type",
+                 values=INSTANCE_TYPES, code="InvalidParameterValue"),
+            rule("require_one_of", param="instance_tenancy",
+                 values=("default", "dedicated"), code="InvalidParameterValue"),
+            rule("require_one_of", param="credit_specification",
+                 values=("standard", "unlimited"), code="InvalidParameterValue"),
+            rule("set_attr_const", attr="state", value="running"),
+            rule("link_ref", attr="subnet", param="subnet_id"),
+            rule("track_in_ref", param="subnet_id", list_attr="instances",
+                 source="id"),
+        ],
+        desc="Launches an instance into the specified subnet.",
+    )
+    start = api(
+        "StartInstances",
+        "modify",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            # The real cloud rejects starting a non-stopped instance with
+            # IncorrectInstanceState, but the API reference omits this —
+            # the exact silent-success trap §5 reports for D2C.
+            undocumented("check_attr_is", attr="state", value="stopped",
+                         code="IncorrectInstanceState"),
+            rule("set_attr_const", attr="state", value="running"),
+        ],
+        desc="Starts a stopped instance.",
+    )
+    stop = api(
+        "StopInstances",
+        "modify",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("check_attr_is", attr="state", value="running",
+                 code="IncorrectInstanceState"),
+            rule("set_attr_const", attr="state", value="stopped"),
+        ],
+        desc="Stops a running instance.",
+    )
+    terminate = api(
+        "TerminateInstances",
+        "modify",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("check_attr_is_not", attr="state", value="terminated",
+                 code="IncorrectInstanceState"),
+            rule("untrack_in_attr", attr="subnet", list_attr="instances",
+                 source="id"),
+            rule("clear_attr", attr="subnet"),
+            rule("set_attr_const", attr="state", value="terminated"),
+        ],
+        desc="Terminates the specified instance. Terminated instances remain "
+             "visible for a while with state 'terminated'.",
+    )
+    modify_attribute = api(
+        "ModifyInstanceAttribute",
+        "modify",
+        [param("instance_id", required=True), param("instance_type")],
+        [
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("check_attr_is", attr="state", value="stopped",
+                 code="IncorrectInstanceState"),
+            rule("require_one_of", param="instance_type",
+                 values=INSTANCE_TYPES, code="InvalidParameterValue"),
+            rule("set_attr_param", attr="instance_type",
+                 param="instance_type"),
+        ],
+        desc="Modifies an attribute of a stopped instance.",
+    )
+    modify_credit = api(
+        "ModifyInstanceCreditSpecification",
+        "modify",
+        [param("instance_id", required=True), param("credit_specification")],
+        [
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("require_param", param="credit_specification",
+                 code="MissingParameter"),
+            rule("require_one_of", param="credit_specification",
+                 values=("standard", "unlimited"), code="InvalidParameterValue"),
+            rule("set_attr_param", attr="credit_specification",
+                 param="credit_specification"),
+        ],
+        desc="Modifies the credit option for CPU usage of a burstable "
+             "performance instance.",
+    )
+    describe = make_describe("instance", "DescribeInstances", attrs)
+    describe_status = api(
+        "DescribeInstanceStatus",
+        "describe",
+        [param("instance_id", required=True)],
+        [rule("read_attr", attr="state")],
+        desc="Describes the status of the specified instance.",
+    )
+    return resource(
+        "instance",
+        attrs,
+        [run, start, stop, terminate, modify_attribute, modify_credit,
+         describe, describe_status],
+        parent="subnet",
+        desc="A virtual machine launched from an image into a subnet.",
+        notfound="InvalidInstanceID.NotFound",
+    )
+
+
+def _elastic_ip() -> "resource":
+    attrs = [
+        attr("public_ip"),
+        attr("domain", "Enum", enum=("vpc", "standard"), default="vpc"),
+        attr("instance", "Reference", ref="instance"),
+        attr("association_id"),
+    ]
+    allocate = make_create(
+        "elastic_ip",
+        "AllocateAddress",
+        [],
+        attrs,
+        extra_rules=[
+            rule("set_attr_fresh", attr="public_ip"),
+            rule("set_attr_const", attr="domain", value="vpc"),
+        ],
+        desc="Allocates an Elastic IP address for use in a VPC.",
+    )
+    associate = api(
+        "AssociateAddress",
+        "modify",
+        [
+            param("elastic_ip_id", required=True),
+            param("instance_id", "Reference", required=True, ref="instance"),
+        ],
+        [
+            rule("require_param", param="elastic_ip_id",
+                 code="MissingParameter"),
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("check_attr_unset", attr="instance",
+                 code="Resource.AlreadyAssociated"),
+            rule("check_ref_attr_is", ref="instance_id", ref_attr="state",
+                 value="running", code="IncorrectInstanceState"),
+            rule("link_ref", attr="instance", param="instance_id"),
+            rule("set_attr_fresh", attr="association_id"),
+        ],
+        desc="Associates an Elastic IP address with a running instance.",
+    )
+    disassociate = api(
+        "DisassociateAddress",
+        "modify",
+        [param("elastic_ip_id", required=True)],
+        [
+            rule("require_param", param="elastic_ip_id",
+                 code="MissingParameter"),
+            rule("check_attr_set", attr="instance",
+                 code="InvalidAssociationID.NotFound"),
+            rule("clear_attr", attr="instance"),
+            rule("clear_attr", attr="association_id"),
+        ],
+        desc="Disassociates an Elastic IP address from its instance.",
+    )
+    release = make_delete(
+        "elastic_ip",
+        "ReleaseAddress",
+        guard_rules=[
+            rule("check_attr_unset", attr="instance",
+                 code="InvalidIPAddress.InUse"),
+        ],
+        desc="Releases the specified Elastic IP address. The address must "
+             "not be associated with an instance.",
+    )
+    describe = make_describe("elastic_ip", "DescribeAddresses", attrs)
+    return resource(
+        "elastic_ip",
+        attrs,
+        [allocate, associate, disassociate, release, describe],
+        desc="A static public IPv4 address for dynamic cloud computing.",
+        notfound="InvalidAllocationID.NotFound",
+    )
+
+
+def _network_interface() -> "resource":
+    attrs = [
+        attr("subnet", "Reference", ref="subnet"),
+        attr("description"),
+        attr("status", "Enum", enum=("available", "in_use"),
+             default="available"),
+        attr("attachment", "Reference", ref="instance"),
+    ]
+    create = make_create(
+        "network_interface",
+        "CreateNetworkInterface",
+        [
+            param("subnet_id", "Reference", required=True, ref="subnet"),
+            param("description"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("link_ref", attr="subnet", param="subnet_id"),
+            rule("track_in_ref", param="subnet_id", list_attr="interfaces",
+                 source="id"),
+        ],
+        desc="Creates a network interface in the specified subnet.",
+    )
+    attach = api(
+        "AttachNetworkInterface",
+        "modify",
+        [
+            param("network_interface_id", required=True),
+            param("instance_id", "Reference", required=True, ref="instance"),
+        ],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="MissingParameter"),
+            rule("require_param", param="instance_id", code="MissingParameter"),
+            rule("check_attr_unset", attr="attachment",
+                 code="Resource.AlreadyAssociated"),
+            rule("link_ref", attr="attachment", param="instance_id"),
+            rule("set_attr_const", attr="status", value="in_use"),
+        ],
+        desc="Attaches a network interface to an instance.",
+    )
+    detach = api(
+        "DetachNetworkInterface",
+        "modify",
+        [param("network_interface_id", required=True)],
+        [
+            rule("require_param", param="network_interface_id",
+                 code="MissingParameter"),
+            rule("check_attr_set", attr="attachment",
+                 code="InvalidAttachmentID.NotFound"),
+            rule("clear_attr", attr="attachment"),
+            rule("set_attr_const", attr="status", value="available"),
+        ],
+        desc="Detaches a network interface from its instance.",
+    )
+    delete = make_delete(
+        "network_interface",
+        "DeleteNetworkInterface",
+        guard_rules=[
+            rule("check_attr_unset", attr="attachment",
+                 code="InvalidNetworkInterface.InUse"),
+            rule("untrack_in_attr", attr="subnet", list_attr="interfaces",
+                 source="id"),
+        ],
+        desc="Deletes the specified network interface. The interface must "
+             "be detached first.",
+    )
+    describe = make_describe("network_interface", "DescribeNetworkInterfaces",
+                             attrs)
+    modify = make_modify(
+        "network_interface", "ModifyNetworkInterfaceAttribute", "description",
+        desc="Modifies the description of a network interface.",
+    )
+    return resource(
+        "network_interface",
+        attrs,
+        [create, attach, detach, delete, describe, modify],
+        parent="subnet",
+        desc="A virtual network card attachable to an instance.",
+        notfound="InvalidNetworkInterfaceID.NotFound",
+    )
+
+
+def _security_group() -> "resource":
+    attrs = [
+        attr("group_name"),
+        attr("description"),
+        attr("vpc", "Reference", ref="vpc"),
+        attr("ingress_rules", "List"),
+        attr("egress_rules", "List"),
+    ]
+    create = make_create(
+        "security_group",
+        "CreateSecurityGroup",
+        [
+            param("group_name", required=True),
+            param("description", required=True),
+            param("vpc_id", "Reference", required=True, ref="vpc"),
+        ],
+        attrs,
+        extra_rules=[rule("link_ref", attr="vpc", param="vpc_id")],
+        desc="Creates a security group in the specified VPC.",
+    )
+    authorize_ingress = api(
+        "AuthorizeSecurityGroupIngress",
+        "modify",
+        [param("security_group_id", required=True), param("cidr", required=True)],
+        [
+            rule("require_param", param="security_group_id",
+                 code="MissingParameter"),
+            rule("require_param", param="cidr", code="MissingParameter"),
+            rule("check_valid_cidr", param="cidr", code="InvalidParameterValue"),
+            rule("check_not_in_list", param="cidr", attr="ingress_rules",
+                 code="InvalidPermission.Duplicate"),
+            rule("append_to_attr", attr="ingress_rules", param="cidr"),
+        ],
+        desc="Adds an inbound rule to the specified security group.",
+    )
+    revoke_ingress = api(
+        "RevokeSecurityGroupIngress",
+        "modify",
+        [param("security_group_id", required=True), param("cidr", required=True)],
+        [
+            rule("require_param", param="security_group_id",
+                 code="MissingParameter"),
+            rule("require_param", param="cidr", code="MissingParameter"),
+            rule("check_in_list", param="cidr", attr="ingress_rules",
+                 code="InvalidPermission.NotFound"),
+            rule("remove_from_attr", attr="ingress_rules", param="cidr"),
+        ],
+        desc="Removes an inbound rule from the specified security group.",
+    )
+    authorize_egress = api(
+        "AuthorizeSecurityGroupEgress",
+        "modify",
+        [param("security_group_id", required=True), param("cidr", required=True)],
+        [
+            rule("require_param", param="security_group_id",
+                 code="MissingParameter"),
+            rule("require_param", param="cidr", code="MissingParameter"),
+            rule("check_valid_cidr", param="cidr", code="InvalidParameterValue"),
+            rule("check_not_in_list", param="cidr", attr="egress_rules",
+                 code="InvalidPermission.Duplicate"),
+            rule("append_to_attr", attr="egress_rules", param="cidr"),
+        ],
+        desc="Adds an outbound rule to the specified security group.",
+    )
+    revoke_egress = api(
+        "RevokeSecurityGroupEgress",
+        "modify",
+        [param("security_group_id", required=True), param("cidr", required=True)],
+        [
+            rule("require_param", param="security_group_id",
+                 code="MissingParameter"),
+            rule("require_param", param="cidr", code="MissingParameter"),
+            rule("check_in_list", param="cidr", attr="egress_rules",
+                 code="InvalidPermission.NotFound"),
+            rule("remove_from_attr", attr="egress_rules", param="cidr"),
+        ],
+        desc="Removes an outbound rule from the specified security group.",
+    )
+    delete = make_delete("security_group", "DeleteSecurityGroup",
+                         desc="Deletes the specified security group.")
+    describe = make_describe("security_group", "DescribeSecurityGroups", attrs)
+    return resource(
+        "security_group",
+        attrs,
+        [create, authorize_ingress, revoke_ingress, authorize_egress,
+         revoke_egress, delete, describe],
+        parent="vpc",
+        desc="A virtual firewall controlling traffic for instances.",
+        notfound="InvalidGroupID.NotFound",
+    )
+
+
+def _route_table() -> "resource":
+    attrs = [
+        attr("vpc", "Reference", ref="vpc"),
+        attr("routes", "List"),
+        attr("associations", "List"),
+    ]
+    create = make_create(
+        "route_table",
+        "CreateRouteTable",
+        [param("vpc_id", "Reference", required=True, ref="vpc")],
+        attrs,
+        extra_rules=[rule("link_ref", attr="vpc", param="vpc_id")],
+        desc="Creates a route table for the specified VPC.",
+    )
+    create_route = api(
+        "CreateRoute",
+        "modify",
+        [
+            param("route_table_id", required=True),
+            param("destination_cidr", required=True),
+        ],
+        [
+            rule("require_param", param="route_table_id",
+                 code="MissingParameter"),
+            rule("require_param", param="destination_cidr",
+                 code="MissingParameter"),
+            rule("check_valid_cidr", param="destination_cidr",
+                 code="InvalidParameterValue"),
+            rule("check_not_in_list", param="destination_cidr", attr="routes",
+                 code="RouteAlreadyExists"),
+            rule("append_to_attr", attr="routes", param="destination_cidr"),
+        ],
+        desc="Creates a route in the specified route table.",
+    )
+    delete_route = api(
+        "DeleteRoute",
+        "modify",
+        [
+            param("route_table_id", required=True),
+            param("destination_cidr", required=True),
+        ],
+        [
+            rule("require_param", param="route_table_id",
+                 code="MissingParameter"),
+            rule("require_param", param="destination_cidr",
+                 code="MissingParameter"),
+            rule("check_in_list", param="destination_cidr", attr="routes",
+                 code="InvalidRoute.NotFound"),
+            rule("remove_from_attr", attr="routes", param="destination_cidr"),
+        ],
+        desc="Deletes a route from the specified route table.",
+    )
+    associate = api(
+        "AssociateRouteTable",
+        "modify",
+        [
+            param("route_table_id", required=True),
+            param("subnet_id", required=True),
+        ],
+        [
+            rule("require_param", param="route_table_id",
+                 code="MissingParameter"),
+            rule("require_param", param="subnet_id", code="MissingParameter"),
+            rule("check_not_in_list", param="subnet_id", attr="associations",
+                 code="Resource.AlreadyAssociated"),
+            rule("append_to_attr", attr="associations", param="subnet_id"),
+        ],
+        desc="Associates a subnet with the specified route table.",
+    )
+    disassociate = api(
+        "DisassociateRouteTable",
+        "modify",
+        [
+            param("route_table_id", required=True),
+            param("subnet_id", required=True),
+        ],
+        [
+            rule("require_param", param="route_table_id",
+                 code="MissingParameter"),
+            rule("require_param", param="subnet_id", code="MissingParameter"),
+            rule("check_in_list", param="subnet_id", attr="associations",
+                 code="InvalidAssociationID.NotFound"),
+            rule("remove_from_attr", attr="associations", param="subnet_id"),
+        ],
+        desc="Disassociates a subnet from the specified route table.",
+    )
+    delete = make_delete(
+        "route_table",
+        "DeleteRouteTable",
+        guard_rules=[
+            rule("check_list_empty", attr="associations",
+                 code="DependencyViolation"),
+        ],
+        desc="Deletes the specified route table. The table must have no "
+             "subnet associations.",
+    )
+    describe = make_describe("route_table", "DescribeRouteTables", attrs)
+    return resource(
+        "route_table",
+        attrs,
+        [create, create_route, delete_route, associate, disassociate, delete,
+         describe],
+        parent="vpc",
+        desc="A set of routes determining where traffic from a subnet goes.",
+        notfound="InvalidRouteTableID.NotFound",
+    )
+
+
+def _nat_gateway() -> "resource":
+    attrs = [
+        attr("subnet", "Reference", ref="subnet"),
+        attr("elastic_ip", "Reference", ref="elastic_ip"),
+        attr("state", "Enum", enum=("pending", "available", "deleted"),
+             default="pending"),
+        attr("connectivity_type", "Enum", enum=("public", "private"),
+             default="public"),
+    ]
+    create = make_create(
+        "nat_gateway",
+        "CreateNatGateway",
+        [
+            param("subnet_id", "Reference", required=True, ref="subnet"),
+            param("elastic_ip_id", "Reference", ref="elastic_ip"),
+            param("connectivity_type"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="connectivity_type",
+                 values=("public", "private"), code="InvalidParameterValue"),
+            rule("set_attr_const", attr="state", value="available"),
+            rule("link_ref", attr="subnet", param="subnet_id"),
+            rule("link_ref", attr="elastic_ip", param="elastic_ip_id"),
+        ],
+        desc="Creates a NAT gateway in the specified subnet.",
+    )
+    delete = make_delete("nat_gateway", "DeleteNatGateway",
+                         desc="Deletes the specified NAT gateway.")
+    describe = make_describe("nat_gateway", "DescribeNatGateways", attrs)
+    return resource(
+        "nat_gateway",
+        attrs,
+        [create, delete, describe],
+        parent="subnet",
+        desc="A gateway that lets instances in private subnets reach the "
+             "internet.",
+        notfound="NatGatewayNotFound",
+    )
+
+
+def _vpc_endpoint() -> "resource":
+    attrs = [
+        attr("vpc", "Reference", ref="vpc"),
+        attr("service_name"),
+        attr("state", "Enum", enum=("pending", "available"),
+             default="pending"),
+        attr("policy_document"),
+    ]
+    create = make_create(
+        "vpc_endpoint",
+        "CreateVpcEndpoint",
+        [
+            param("vpc_id", "Reference", required=True, ref="vpc"),
+            param("service_name", required=True),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="service_name",
+                 values=ENDPOINT_SERVICES, code="InvalidServiceName"),
+            rule("set_attr_const", attr="state", value="available"),
+            rule("link_ref", attr="vpc", param="vpc_id"),
+            rule("track_in_ref", param="vpc_id", list_attr="endpoints",
+                 source="id"),
+        ],
+        desc="Creates a VPC endpoint for the specified service.",
+    )
+    delete = make_delete(
+        "vpc_endpoint",
+        "DeleteVpcEndpoints",
+        guard_rules=[
+            rule("untrack_in_attr", attr="vpc", list_attr="endpoints",
+                 source="id"),
+        ],
+        desc="Deletes the specified VPC endpoint.",
+    )
+    describe = make_describe("vpc_endpoint", "DescribeVpcEndpoints", attrs)
+    modify = make_modify(
+        "vpc_endpoint", "ModifyVpcEndpoint", "policy_document",
+        desc="Modifies the policy document of a VPC endpoint.",
+    )
+    return resource(
+        "vpc_endpoint",
+        attrs,
+        [create, delete, describe, modify],
+        parent="vpc",
+        desc="A private connection between a VPC and a supported service.",
+        notfound="InvalidVpcEndpointId.NotFound",
+    )
+
+
+def _standard(
+    name: str,
+    verb_stem: str,
+    extra_attrs: list | None = None,
+    parent: str = "",
+    create_params: list | None = None,
+    extra_apis: list | None = None,
+    desc: str = "",
+) -> "resource":
+    """A standard peripheral EC2 resource.
+
+    Even EC2's peripheral resources are attribute-heavy (availability
+    zone, tags, owner, creation time, tracked associations) and expose
+    several lifecycle verbs — which is why EC2's state machines come
+    out more complex than other services' in Fig. 4.
+    """
+    attrs = [
+        attr("name"),
+        attr("state", "Enum", enum=("pending", "available"),
+             default="pending"),
+        attr("description"),
+        attr("availability_zone"),
+        attr("owner_id"),
+        attr("tags", "Map"),
+        attr("associations", "List"),
+    ] + list(extra_attrs or [])
+    params = list(create_params or [param("name", required=True),
+                                    param("description"),
+                                    param("availability_zone")])
+    create = make_create(
+        name, f"Create{verb_stem}", params, attrs,
+        extra_rules=[
+            rule("set_attr_const", attr="state", value="available"),
+            rule("set_attr_fresh", attr="owner_id"),
+        ],
+        desc=desc or f"Creates a {name.replace('_', ' ')}.",
+    )
+    delete = make_delete(
+        name, f"Delete{verb_stem}",
+        guard_rules=[
+            rule("check_list_empty", attr="associations",
+                 code="DependencyViolation"),
+        ],
+        desc=f"Deletes the specified {name.replace('_', ' ')}. The resource "
+             "must have no remaining associations.",
+    )
+    plural = verb_stem + ("es" if verb_stem.endswith("s") else "s")
+    describe = make_describe(name, f"Describe{plural}", attrs)
+    modify = make_modify(
+        name, f"Modify{verb_stem}Attribute", "description",
+        desc=f"Modifies the description of a {name.replace('_', ' ')}.",
+    )
+    tag = api(
+        f"Tag{verb_stem}", "modify",
+        [param(f"{name}_id", required=True),
+         param("tag_key", required=True), param("tag_value")],
+        [
+            rule("require_param", param=f"{name}_id",
+                 code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("map_put", attr="tags", key_param="tag_key",
+                 value_param="tag_value"),
+        ],
+        desc=f"Adds or overwrites a tag on the {name.replace('_', ' ')}.",
+    )
+    untag = api(
+        f"Untag{verb_stem}", "modify",
+        [param(f"{name}_id", required=True),
+         param("tag_key", required=True)],
+        [
+            rule("require_param", param=f"{name}_id",
+                 code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("check_in_map", attr="tags", key_param="tag_key",
+                 code="InvalidTag.NotFound"),
+            rule("map_remove", attr="tags", key_param="tag_key"),
+        ],
+        desc=f"Removes a tag from the {name.replace('_', ' ')}.",
+    )
+    apis = [create, delete, describe, modify, tag, untag] + list(
+        extra_apis or []
+    )
+    return resource(name, attrs, apis, parent=parent, desc=desc)
+
+
+def _volume_extra_apis() -> list:
+    """Attach/detach lifecycle for volumes."""
+    attach = api(
+        "AttachVolume", "modify",
+        [param("volume_id", required=True),
+         param("instance_id", "Reference", required=True, ref="instance"),
+         param("device")],
+        [
+            rule("require_param", param="volume_id", code="MissingParameter"),
+            rule("require_param", param="instance_id",
+                 code="MissingParameter"),
+            rule("check_attr_unset", attr="attachment",
+                 code="VolumeInUse"),
+            rule("check_ref_attr_is", ref="instance_id", ref_attr="state",
+                 value="running", code="IncorrectInstanceState"),
+            rule("link_ref", attr="attachment", param="instance_id"),
+            rule("set_attr_param", attr="device", param="device"),
+        ],
+        desc="Attaches a volume to a running instance.",
+    )
+    detach = api(
+        "DetachVolume", "modify",
+        [param("volume_id", required=True)],
+        [
+            rule("require_param", param="volume_id", code="MissingParameter"),
+            rule("check_attr_set", attr="attachment",
+                 code="IncorrectState"),
+            rule("clear_attr", attr="attachment"),
+            rule("clear_attr", attr="device"),
+        ],
+        desc="Detaches a volume from its instance.",
+    )
+    return [attach, detach]
+
+
+def _peripheral_resources() -> list:
+    """The 18 standard-pattern EC2 resources."""
+    return [
+        _standard("volume", "Volume",
+                  extra_attrs=[attr("size", "Integer"),
+                               attr("volume_type",
+                                    "Enum", enum=("gp2", "gp3", "io1"),
+                                    default="gp2"),
+                               attr("iops", "Integer"),
+                               attr("encrypted", "Boolean", default=False),
+                               attr("attachment", "Reference",
+                                    ref="instance"),
+                               attr("device")],
+                  extra_apis=_volume_extra_apis(),
+                  desc="A block storage volume attachable to instances."),
+        _standard("snapshot", "Snapshot",
+                  extra_attrs=[attr("volume", "Reference", ref="volume"),
+                               attr("progress", "Integer", default=100),
+                               attr("encrypted", "Boolean", default=False)],
+                  desc="A point-in-time copy of a volume."),
+        _standard("key_pair", "KeyPair",
+                  desc="A public/private key pair for instance login."),
+        _standard("network_acl", "NetworkAcl", parent="vpc",
+                  extra_attrs=[attr("entries", "List")],
+                  desc="An optional stateless firewall layer for subnets."),
+        _standard("vpc_peering_connection", "VpcPeeringConnection",
+                  extra_attrs=[attr("accepter_vpc", "Reference", ref="vpc"),
+                               attr("requester_vpc", "Reference", ref="vpc")],
+                  desc="A networking connection between two VPCs."),
+        _standard("dhcp_options", "DhcpOptions",
+                  desc="DHCP option sets for a VPC."),
+        _standard("customer_gateway", "CustomerGateway",
+                  extra_attrs=[attr("bgp_asn", "Integer"),
+                               attr("ip_address")],
+                  desc="Your side of a VPN connection."),
+        _standard("vpn_gateway", "VpnGateway",
+                  extra_attrs=[attr("vpc", "Reference", ref="vpc")],
+                  desc="The cloud side of a VPN connection."),
+        _standard("vpn_connection", "VpnConnection",
+                  extra_attrs=[attr("customer_gateway", "Reference",
+                                    ref="customer_gateway"),
+                               attr("vpn_gateway", "Reference",
+                                    ref="vpn_gateway")],
+                  desc="A VPN connection between a VPC and a remote network."),
+        _standard("transit_gateway", "TransitGateway",
+                  desc="A network transit hub interconnecting VPCs."),
+        _standard("transit_gateway_attachment", "TransitGatewayAttachment",
+                  extra_attrs=[attr("transit_gateway", "Reference",
+                                    ref="transit_gateway"),
+                               attr("vpc", "Reference", ref="vpc")],
+                  desc="An attachment between a transit gateway and a VPC."),
+        _standard("launch_template", "LaunchTemplate",
+                  extra_attrs=[attr("instance_type"),
+                               attr("image_id")],
+                  desc="Launch parameters for instances, stored as a template."),
+        _standard("placement_group", "PlacementGroup",
+                  extra_attrs=[attr("strategy", "Enum",
+                                    enum=("cluster", "spread", "partition"),
+                                    default="cluster")],
+                  desc="A logical grouping of instances."),
+        _standard("image", "Image",
+                  extra_attrs=[attr("instance", "Reference", ref="instance"),
+                               attr("architecture")],
+                  desc="An Amazon machine image."),
+        _standard("flow_log", "FlowLog", parent="vpc",
+                  extra_attrs=[attr("vpc", "Reference", ref="vpc"),
+                               attr("traffic_type", "Enum",
+                                    enum=("ACCEPT", "REJECT", "ALL"),
+                                    default="ALL")],
+                  desc="Captures IP traffic metadata for a VPC."),
+        _standard("egress_only_internet_gateway", "EgressOnlyInternetGateway",
+                  extra_attrs=[attr("vpc", "Reference", ref="vpc")],
+                  desc="An IPv6-only outbound internet gateway."),
+        _standard("prefix_list", "PrefixList",
+                  extra_attrs=[attr("entries", "List"),
+                               attr("max_entries", "Integer")],
+                  desc="A named set of CIDR blocks."),
+        _standard("carrier_gateway", "CarrierGateway", parent="vpc",
+                  extra_attrs=[attr("vpc", "Reference", ref="vpc")],
+                  desc="A gateway for Wavelength Zone carrier traffic."),
+    ]
+
+
+def build_ec2_catalog() -> ServiceDoc:
+    """The full EC2 documentation catalog (28 resources)."""
+    resources = [
+        _vpc(),
+        _subnet(),
+        _internet_gateway(),
+        _instance(),
+        _elastic_ip(),
+        _network_interface(),
+        _security_group(),
+        _route_table(),
+        _nat_gateway(),
+        _vpc_endpoint(),
+    ] + _peripheral_resources()
+    return ServiceDoc(
+        name="ec2",
+        provider="aws",
+        resources=resources,
+        description="Amazon Elastic Compute Cloud: compute instances and "
+                    "the virtual networking around them.",
+    )

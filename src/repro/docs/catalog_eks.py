@@ -1,0 +1,380 @@
+"""The EKS documentation catalog: 58 APIs (Table 1).
+
+EKS appears in the paper's Table 1 as an example of incomplete manual
+coverage (Moto emulates 15 of 58 APIs).  The catalog documents all 58
+so the learned pipeline can be compared against the handcrafted
+baseline on the same inventory.
+"""
+
+from __future__ import annotations
+
+from .build import (
+    api,
+    attr,
+    make_create,
+    make_delete,
+    make_describe,
+    make_list,
+    make_modify,
+    param,
+    resource,
+)
+from .model import rule, ServiceDoc
+
+NOTFOUND = "ResourceNotFoundException"
+
+KUBERNETES_VERSIONS = ("1.27", "1.28", "1.29", "1.30")
+
+
+def _cluster() -> "resource":
+    attrs = [
+        attr("cluster_name"),
+        attr("version", "Enum", enum=KUBERNETES_VERSIONS, default="1.29"),
+        attr("status", "Enum", enum=("CREATING", "ACTIVE", "DELETING"),
+             default="CREATING"),
+        attr("endpoint_public_access", "Boolean", default=True),
+        attr("tags", "Map"),
+        attr("node_groups", "List"),
+        attr("registered", "Boolean", default=False),
+    ]
+    create = make_create(
+        "cluster",
+        "CreateCluster",
+        [param("cluster_name", required=True), param("version")],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="version",
+                 values=KUBERNETES_VERSIONS, code="InvalidParameterException"),
+            rule("set_attr_const", attr="status", value="ACTIVE"),
+        ],
+        desc="Creates an EKS control plane.",
+    )
+    delete = make_delete(
+        "cluster",
+        "DeleteCluster",
+        guard_rules=[
+            rule("check_list_empty", attr="node_groups",
+                 code="ResourceInUseException"),
+        ],
+        desc="Deletes the specified cluster. All node groups must be "
+             "deleted first.",
+    )
+    describe = make_describe("cluster", "DescribeCluster", attrs)
+    listing = make_list("cluster", "ListClusters")
+    update_config = make_modify(
+        "cluster", "UpdateClusterConfig", "endpoint_public_access",
+        param_type="Boolean",
+        desc="Updates the endpoint access configuration of the cluster.",
+    )
+    update_version = api(
+        "UpdateClusterVersion", "modify",
+        [param("cluster_id", required=True), param("version", required=True)],
+        [
+            rule("require_param", param="cluster_id", code="MissingParameter"),
+            rule("require_param", param="version", code="MissingParameter"),
+            rule("require_one_of", param="version",
+                 values=KUBERNETES_VERSIONS, code="InvalidParameterException"),
+            rule("check_attr_is", attr="status", value="ACTIVE",
+                 code="ResourceInUseException"),
+            rule("set_attr_param", attr="version", param="version"),
+        ],
+        desc="Updates the Kubernetes version of the cluster.",
+    )
+    describe_versions = make_list("cluster", "DescribeClusterVersions")
+    register = api(
+        "RegisterCluster", "modify",
+        [param("cluster_id", required=True)],
+        [
+            rule("require_param", param="cluster_id", code="MissingParameter"),
+            rule("check_attr_is", attr="registered", value=False,
+                 code="ResourceInUseException"),
+            rule("set_attr_const", attr="registered", value=True),
+        ],
+        desc="Connects an external Kubernetes cluster to EKS.",
+    )
+    deregister = api(
+        "DeregisterCluster", "modify",
+        [param("cluster_id", required=True)],
+        [
+            rule("require_param", param="cluster_id", code="MissingParameter"),
+            rule("check_attr_is", attr="registered", value=True,
+                 code="ResourceNotFoundException"),
+            rule("set_attr_const", attr="registered", value=False),
+        ],
+        desc="Disconnects a registered external cluster from EKS.",
+    )
+    tag = api(
+        "TagResource", "modify",
+        [param("cluster_id", required=True), param("tag_key", required=True),
+         param("tag_value")],
+        [
+            rule("require_param", param="cluster_id", code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("map_put", attr="tags", key_param="tag_key",
+                 value_param="tag_value"),
+        ],
+        desc="Adds a tag to the cluster.",
+    )
+    untag = api(
+        "UntagResource", "modify",
+        [param("cluster_id", required=True), param("tag_key", required=True)],
+        [
+            rule("require_param", param="cluster_id", code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("check_in_map", attr="tags", key_param="tag_key",
+                 code="NotFoundException"),
+            rule("map_remove", attr="tags", key_param="tag_key"),
+        ],
+        desc="Removes a tag from the cluster.",
+    )
+    list_tags = api(
+        "ListTagsForResource", "describe",
+        [param("cluster_id", required=True)],
+        [rule("read_attr", attr="tags")],
+        desc="Lists the tags on the cluster.",
+    )
+    update_access = make_modify(
+        "cluster", "UpdateAccessConfig", "endpoint_public_access",
+        param_type="Boolean",
+        desc="Updates the access configuration of the cluster endpoint.",
+    )
+    describe_update = api(
+        "DescribeUpdate", "describe",
+        [param("cluster_id", required=True)],
+        [rule("read_attr", attr="version"), rule("read_attr", attr="status")],
+        desc="Describes an in-flight update to the cluster.",
+    )
+    list_updates = make_list("cluster", "ListUpdates")
+    return resource(
+        "cluster",
+        attrs,
+        [create, delete, describe, listing, update_config, update_version,
+         describe_versions, register, deregister, tag, untag, list_tags,
+         update_access, describe_update, list_updates],
+        desc="A managed Kubernetes control plane.",
+        notfound=NOTFOUND,
+    )
+
+
+def _node_group() -> "resource":
+    attrs = [
+        attr("node_group_name"),
+        attr("cluster", "Reference", ref="cluster"),
+        attr("instance_type"),
+        attr("desired_size", "Integer", default=2),
+        attr("status", "Enum", enum=("CREATING", "ACTIVE", "DELETING"),
+             default="CREATING"),
+        attr("version", "Enum", enum=KUBERNETES_VERSIONS, default="1.29"),
+    ]
+    create = make_create(
+        "node_group",
+        "CreateNodegroup",
+        [
+            param("cluster_id", "Reference", required=True, ref="cluster"),
+            param("node_group_name", required=True),
+            param("instance_type"),
+            param("desired_size", "Integer"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("check_ref_attr_is", ref="cluster_id", ref_attr="status",
+                 value="ACTIVE", code="ResourceInUseException"),
+            rule("link_ref", attr="cluster", param="cluster_id"),
+            rule("track_in_ref", param="cluster_id", list_attr="node_groups",
+                 source="id"),
+            rule("set_attr_const", attr="status", value="ACTIVE"),
+        ],
+        desc="Creates a managed node group for the specified cluster.",
+    )
+    delete = make_delete(
+        "node_group",
+        "DeleteNodegroup",
+        guard_rules=[
+            rule("untrack_in_attr", attr="cluster", list_attr="node_groups",
+                 source="id"),
+        ],
+        desc="Deletes the specified node group.",
+    )
+    describe = make_describe("node_group", "DescribeNodegroup", attrs)
+    listing = make_list("node_group", "ListNodegroups")
+    update_config = make_modify(
+        "node_group", "UpdateNodegroupConfig", "desired_size",
+        param_type="Integer",
+        desc="Updates the scaling configuration of the node group.",
+    )
+    update_version = api(
+        "UpdateNodegroupVersion", "modify",
+        [param("node_group_id", required=True), param("version")],
+        [
+            rule("require_param", param="node_group_id",
+                 code="MissingParameter"),
+            rule("require_one_of", param="version",
+                 values=KUBERNETES_VERSIONS, code="InvalidParameterException"),
+            rule("set_attr_param", attr="version", param="version"),
+        ],
+        desc="Updates the Kubernetes version of the node group.",
+    )
+    return resource(
+        "node_group",
+        attrs,
+        [create, delete, describe, listing, update_config, update_version],
+        parent="cluster",
+        desc="A group of managed worker nodes in a cluster.",
+        notfound=NOTFOUND,
+    )
+
+
+def _simple_eks(
+    name: str,
+    stem: str,
+    extra_attrs: list,
+    verbs: tuple[str, ...],
+    parent: str = "cluster",
+    plural: str = "",
+) -> "resource":
+    """An EKS sub-resource following the standard verb pattern."""
+    attrs = [
+        attr("cluster", "Reference", ref="cluster"),
+        attr("status", "Enum", enum=("CREATING", "ACTIVE"),
+             default="CREATING"),
+    ] + list(extra_attrs)
+    apis = []
+    if "create" in verbs:
+        apis.append(make_create(
+            name, f"Create{stem}",
+            [param("cluster_id", "Reference", required=True, ref="cluster"),
+             param("name", required=True)],
+            attrs,
+            extra_rules=[
+                rule("link_ref", attr="cluster", param="cluster_id"),
+                rule("set_attr_const", attr="status", value="ACTIVE"),
+            ],
+        ))
+    if "associate" in verbs:
+        apis.append(make_create(
+            name, f"Associate{stem}",
+            [param("cluster_id", "Reference", required=True, ref="cluster"),
+             param("name", required=True)],
+            attrs,
+            extra_rules=[
+                rule("link_ref", attr="cluster", param="cluster_id"),
+                rule("set_attr_const", attr="status", value="ACTIVE"),
+            ],
+        ))
+    if "delete" in verbs:
+        apis.append(make_delete(name, f"Delete{stem}"))
+    if "disassociate" in verbs:
+        apis.append(make_delete(name, f"Disassociate{stem}"))
+    if "describe" in verbs:
+        apis.append(make_describe(name, f"Describe{stem}", attrs))
+    if "update" in verbs:
+        apis.append(make_modify(name, f"Update{stem}", "status"))
+    if "list" in verbs:
+        apis.append(make_list(name, f"List{plural or stem + 's'}"))
+    return resource(name, attrs, apis, parent=parent,
+                    notfound=NOTFOUND)
+
+
+def build_eks_catalog() -> ServiceDoc:
+    """The full EKS catalog: 58 APIs."""
+    fargate = _simple_eks(
+        "fargate_profile", "FargateProfile",
+        [attr("pod_execution_role")],
+        ("create", "delete", "describe", "list"),
+    )
+    addon = _simple_eks(
+        "addon", "Addon",
+        [attr("addon_version")],
+        ("create", "delete", "describe", "update", "list"),
+    )
+    addon.apis.append(make_list("addon", "DescribeAddonVersions"))
+    addon.apis.append(api(
+        "DescribeAddonConfiguration", "describe",
+        [param("addon_id", required=True)],
+        [rule("read_attr", attr="addon_version")],
+        desc="Returns the configuration options of an addon version.",
+    ))
+    idp = _simple_eks(
+        "identity_provider_config", "IdentityProviderConfig",
+        [attr("issuer_url")],
+        ("associate", "disassociate", "describe", "list"),
+    )
+    access_entry = _simple_eks(
+        "access_entry", "AccessEntry",
+        [attr("principal_arn"), attr("policies", "List")],
+        ("create", "delete", "describe", "update", "list",),
+        plural="AccessEntries",
+    )
+    access_entry.apis.extend([
+        api(
+            "AssociateAccessPolicy", "modify",
+            [param("access_entry_id", required=True),
+             param("policy_arn", required=True)],
+            [
+                rule("require_param", param="access_entry_id",
+                     code="MissingParameter"),
+                rule("require_param", param="policy_arn",
+                     code="MissingParameter"),
+                rule("check_not_in_list", param="policy_arn", attr="policies",
+                     code="ResourceInUseException"),
+                rule("append_to_attr", attr="policies", param="policy_arn"),
+            ],
+            desc="Associates an access policy with an access entry.",
+        ),
+        api(
+            "DisassociateAccessPolicy", "modify",
+            [param("access_entry_id", required=True),
+             param("policy_arn", required=True)],
+            [
+                rule("require_param", param="access_entry_id",
+                     code="MissingParameter"),
+                rule("require_param", param="policy_arn",
+                     code="MissingParameter"),
+                rule("check_in_list", param="policy_arn", attr="policies",
+                     code="ResourceNotFoundException"),
+                rule("remove_from_attr", attr="policies", param="policy_arn"),
+            ],
+            desc="Removes an access policy from an access entry.",
+        ),
+        api(
+            "ListAssociatedAccessPolicies", "describe",
+            [param("access_entry_id", required=True)],
+            [rule("read_attr", attr="policies")],
+            desc="Lists the policies associated with an access entry.",
+        ),
+        make_list("access_entry", "ListAccessPolicies"),
+    ])
+    pod_identity = _simple_eks(
+        "pod_identity_association", "PodIdentityAssociation",
+        [attr("service_account")],
+        ("create", "delete", "describe", "update", "list"),
+    )
+    subscription = _simple_eks(
+        "eks_anywhere_subscription", "EksAnywhereSubscription",
+        [attr("term", "Integer", default=12)],
+        ("create", "delete", "describe", "update", "list"),
+        parent="",
+    )
+    insight = _simple_eks(
+        "insight", "Insight",
+        [attr("category")],
+        ("describe", "list"),
+    )
+    insight.apis.append(make_modify("insight", "UpdateInsightStatus",
+                                    "status"))
+    return ServiceDoc(
+        name="eks",
+        provider="aws",
+        resources=[
+            _cluster(),
+            _node_group(),
+            fargate,
+            addon,
+            idp,
+            access_entry,
+            pod_identity,
+            subscription,
+            insight,
+        ],
+        description="Amazon Elastic Kubernetes Service.",
+    )

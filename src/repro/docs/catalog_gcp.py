@@ -1,0 +1,567 @@
+"""A GCP-flavoured documentation catalog: the third provider.
+
+The paper argues the approach is provider-agnostic ("a universal
+emulator", §4.4) and that the provider-specific effort concentrates in
+documentation wrangling (§5).  GCP exercises that: its reference
+material is organised as REST *discovery* pages (one per resource,
+methods listed as ``compute.networks.insert``), with its own error
+vocabulary (camelCase reasons like ``resourceInUseByAnotherResource``)
+and its own lifecycle verbs (insert/delete/get, stop = TERMINATED).
+
+Method identifiers are dotted in GCP's documentation; the wrangler
+normalizes ``compute.networks.insert`` to the identifier
+``networks_insert`` (see :class:`repro.docs.wrangle.GcpDocParser`).
+"""
+
+from __future__ import annotations
+
+from .build import api, attr, param, resource
+from .model import rule, ServiceDoc
+
+NOTFOUND = "notFound"
+
+MACHINE_TYPES = ("e2-micro", "e2-small", "n2-standard-2")
+
+
+def _network() -> "resource":
+    attrs = [
+        attr("ipv4_range"),
+        attr("auto_create_subnetworks", "Boolean", default=False),
+        attr("subnetwork_ranges", "List"),
+        attr("firewall_rules", "List"),
+        attr("routing_mode", "Enum", enum=("REGIONAL", "GLOBAL"),
+             default="REGIONAL"),
+    ]
+    insert = api(
+        "networks_insert",
+        "create",
+        [param("ipv4_range", required=True), param("routing_mode")],
+        [
+            rule("require_param", param="ipv4_range", code="required"),
+            rule("check_valid_cidr", param="ipv4_range", code="invalid"),
+            rule("require_one_of", param="routing_mode",
+                 values=("REGIONAL", "GLOBAL"), code="invalid"),
+            rule("set_attr_param", attr="ipv4_range", param="ipv4_range"),
+            rule("set_attr_param", attr="routing_mode",
+                 param="routing_mode"),
+        ],
+        desc="Creates a VPC network in the specified project.",
+    )
+    delete = api(
+        "networks_delete",
+        "destroy",
+        [param("network_id", required=True)],
+        [
+            rule("require_param", param="network_id", code="required"),
+            rule("check_list_empty", attr="subnetwork_ranges",
+                 code="resourceInUseByAnotherResource"),
+            rule("check_list_empty", attr="firewall_rules",
+                 code="resourceInUseByAnotherResource"),
+        ],
+        desc="Deletes the specified network. All subnetworks and firewall "
+             "rules must be deleted first.",
+    )
+    get = api(
+        "networks_get",
+        "describe",
+        [param("network_id", required=True)],
+        [rule("read_attr", attr="ipv4_range"),
+         rule("read_attr", attr="routing_mode"),
+         rule("read_attr", attr="auto_create_subnetworks")],
+        desc="Returns the specified network.",
+    )
+    patch = api(
+        "networks_patch",
+        "modify",
+        [param("network_id", required=True), param("routing_mode")],
+        [
+            rule("require_param", param="network_id", code="required"),
+            rule("require_one_of", param="routing_mode",
+                 values=("REGIONAL", "GLOBAL"), code="invalid"),
+            rule("set_attr_param", attr="routing_mode",
+                 param="routing_mode"),
+        ],
+        desc="Patches the specified network.",
+    )
+    listing = api("networks_list", "describe", [], [],
+                  "Retrieves the list of networks in the project.")
+    return resource(
+        "network",
+        attrs,
+        [insert, delete, get, patch, listing],
+        desc="A VPC network: the GCP analogue of an AWS VPC.",
+        notfound=NOTFOUND,
+    )
+
+
+def _subnetwork() -> "resource":
+    attrs = [
+        attr("ip_cidr_range"),
+        attr("network", "Reference", ref="network"),
+        attr("region"),
+        attr("private_ip_google_access", "Boolean", default=False),
+        attr("instances", "List"),
+    ]
+    insert = api(
+        "subnetworks_insert",
+        "create",
+        [
+            param("network_id", "Reference", required=True, ref="network"),
+            param("ip_cidr_range", required=True),
+            param("region", required=True),
+        ],
+        [
+            rule("require_param", param="network_id", code="required"),
+            rule("require_param", param="ip_cidr_range", code="required"),
+            rule("require_param", param="region", code="required"),
+            rule("check_valid_cidr", param="ip_cidr_range", code="invalid"),
+            rule("check_prefix_between", param="ip_cidr_range", lo=8, hi=29,
+                 code="invalid"),
+            rule("check_cidr_within", param="ip_cidr_range",
+                 ref="network_id", ref_attr="ipv4_range",
+                 code="invalid"),
+            rule("check_no_overlap", param="ip_cidr_range",
+                 ref="network_id", list_attr="subnetwork_ranges",
+                 code="invalidIPCidrRange"),
+            rule("link_ref", attr="network", param="network_id"),
+            rule("set_attr_param", attr="ip_cidr_range",
+                 param="ip_cidr_range"),
+            rule("set_attr_param", attr="region", param="region"),
+            rule("track_in_ref", param="network_id",
+                 list_attr="subnetwork_ranges", source="ip_cidr_range"),
+        ],
+        desc="Creates a subnetwork in the specified network and region.",
+    )
+    delete = api(
+        "subnetworks_delete",
+        "destroy",
+        [param("subnetwork_id", required=True)],
+        [
+            rule("require_param", param="subnetwork_id", code="required"),
+            rule("check_list_empty", attr="instances",
+                 code="resourceInUseByAnotherResource"),
+            rule("untrack_in_attr", attr="network",
+                 list_attr="subnetwork_ranges", source="ip_cidr_range"),
+        ],
+        desc="Deletes the specified subnetwork. All instances must be "
+             "deleted first.",
+    )
+    get = api(
+        "subnetworks_get",
+        "describe",
+        [param("subnetwork_id", required=True)],
+        [rule("read_attr", attr="ip_cidr_range"),
+         rule("read_attr", attr="region"),
+         rule("read_attr", attr="private_ip_google_access")],
+        desc="Returns the specified subnetwork.",
+    )
+    patch = api(
+        "subnetworks_patch",
+        "modify",
+        [param("subnetwork_id", required=True),
+         param("private_ip_google_access", "Boolean")],
+        [
+            rule("require_param", param="subnetwork_id", code="required"),
+            rule("set_attr_param", attr="private_ip_google_access",
+                 param="private_ip_google_access"),
+        ],
+        desc="Patches the specified subnetwork, e.g. toggling private "
+             "Google access.",
+    )
+    return resource(
+        "subnetwork",
+        attrs,
+        [insert, delete, get, patch],
+        parent="network",
+        desc="A regional IP range within a VPC network.",
+        notfound=NOTFOUND,
+    )
+
+
+def _address() -> "resource":
+    attrs = [
+        attr("address"),
+        attr("region"),
+        attr("status", "Enum", enum=("RESERVED", "IN_USE"),
+             default="RESERVED"),
+        attr("user", "Reference", ref="instance"),
+    ]
+    insert = api(
+        "addresses_insert",
+        "create",
+        [param("region", required=True)],
+        [
+            rule("require_param", param="region", code="required"),
+            rule("set_attr_param", attr="region", param="region"),
+            rule("set_attr_fresh", attr="address"),
+        ],
+        desc="Reserves a static external IP address in a region.",
+    )
+    delete = api(
+        "addresses_delete",
+        "destroy",
+        [param("address_id", required=True)],
+        [
+            rule("require_param", param="address_id", code="required"),
+            rule("check_attr_is", attr="status", value="RESERVED",
+                 code="resourceInUseByAnotherResource"),
+        ],
+        desc="Deletes the specified address. The address must not be in "
+             "use by an instance.",
+    )
+    get = api(
+        "addresses_get",
+        "describe",
+        [param("address_id", required=True)],
+        [rule("read_attr", attr="address"),
+         rule("read_attr", attr="status"),
+         rule("read_attr", attr="region")],
+        desc="Returns the specified address.",
+    )
+    attach = api(
+        "addresses_attach",
+        "modify",
+        [
+            param("address_id", required=True),
+            param("instance_id", "Reference", required=True,
+                  ref="instance"),
+        ],
+        [
+            rule("require_param", param="address_id", code="required"),
+            rule("require_param", param="instance_id", code="required"),
+            rule("check_attr_is", attr="status", value="RESERVED",
+                 code="resourceInUseByAnotherResource"),
+            rule("check_attr_matches_ref", attr="region",
+                 ref="instance_id", ref_attr="region",
+                 code="invalidRegion"),
+            rule("link_ref", attr="user", param="instance_id"),
+            rule("set_attr_const", attr="status", value="IN_USE"),
+        ],
+        desc="Attaches the address to an instance in the same region.",
+    )
+    detach = api(
+        "addresses_detach",
+        "modify",
+        [param("address_id", required=True)],
+        [
+            rule("require_param", param="address_id", code="required"),
+            rule("check_attr_is", attr="status", value="IN_USE",
+                 code="invalid"),
+            rule("clear_attr", attr="user"),
+            rule("set_attr_const", attr="status", value="RESERVED"),
+        ],
+        desc="Detaches the address from its instance.",
+    )
+    return resource(
+        "address",
+        attrs,
+        [insert, delete, get, attach, detach],
+        desc="A reserved static external IP address.",
+        notfound=NOTFOUND,
+    )
+
+
+def _instance() -> "resource":
+    attrs = [
+        attr("machine_type", "Enum", enum=MACHINE_TYPES,
+             default="e2-micro"),
+        attr("status", "Enum",
+             enum=("PROVISIONING", "RUNNING", "STOPPING", "TERMINATED"),
+             default="PROVISIONING"),
+        attr("subnetwork", "Reference", ref="subnetwork"),
+        attr("region"),
+        attr("labels", "Map"),
+    ]
+    insert = api(
+        "instances_insert",
+        "create",
+        [
+            param("subnetwork_id", "Reference", required=True,
+                  ref="subnetwork"),
+            param("machine_type", required=True),
+            param("region"),
+        ],
+        [
+            rule("require_param", param="subnetwork_id", code="required"),
+            rule("require_param", param="machine_type", code="required"),
+            rule("require_one_of", param="machine_type",
+                 values=MACHINE_TYPES, code="invalid"),
+            rule("link_ref", attr="subnetwork", param="subnetwork_id"),
+            rule("set_attr_param", attr="machine_type",
+                 param="machine_type"),
+            rule("set_attr_param", attr="region", param="region"),
+            rule("set_attr_const", attr="status", value="RUNNING"),
+            rule("track_in_ref", param="subnetwork_id",
+                 list_attr="instances", source="id"),
+        ],
+        desc="Creates an instance in the specified subnetwork.",
+    )
+    delete = api(
+        "instances_delete",
+        "destroy",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="required"),
+            rule("check_attr_is", attr="status", value="TERMINATED",
+                 code="resourceNotReady"),
+            rule("untrack_in_attr", attr="subnetwork",
+                 list_attr="instances", source="id"),
+        ],
+        desc="Deletes the specified instance. The instance must be "
+             "stopped (TERMINATED) first.",
+    )
+    get = api(
+        "instances_get",
+        "describe",
+        [param("instance_id", required=True)],
+        [rule("read_attr", attr="status"),
+         rule("read_attr", attr="machine_type"),
+         rule("read_attr", attr="region")],
+        desc="Returns the specified instance.",
+    )
+    start = api(
+        "instances_start",
+        "modify",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="required"),
+            rule("check_attr_is", attr="status", value="TERMINATED",
+                 code="resourceNotReady"),
+            rule("set_attr_const", attr="status", value="RUNNING"),
+        ],
+        desc="Starts a stopped instance.",
+    )
+    stop = api(
+        "instances_stop",
+        "modify",
+        [param("instance_id", required=True)],
+        [
+            rule("require_param", param="instance_id", code="required"),
+            rule("check_attr_is", attr="status", value="RUNNING",
+                 code="resourceNotReady"),
+            rule("set_attr_const", attr="status", value="TERMINATED"),
+        ],
+        desc="Stops a running instance.",
+    )
+    set_machine_type = api(
+        "instances_setMachineType",
+        "modify",
+        [param("instance_id", required=True),
+         param("machine_type", required=True)],
+        [
+            rule("require_param", param="instance_id", code="required"),
+            rule("require_param", param="machine_type", code="required"),
+            rule("require_one_of", param="machine_type",
+                 values=MACHINE_TYPES, code="invalid"),
+            rule("check_attr_is", attr="status", value="TERMINATED",
+                 code="resourceNotReady"),
+            rule("set_attr_param", attr="machine_type",
+                 param="machine_type"),
+        ],
+        desc="Changes the machine type of a stopped instance.",
+    )
+    set_labels = api(
+        "instances_setLabels",
+        "modify",
+        [param("instance_id", required=True),
+         param("label_key", required=True), param("label_value")],
+        [
+            rule("require_param", param="instance_id", code="required"),
+            rule("require_param", param="label_key", code="required"),
+            rule("map_put", attr="labels", key_param="label_key",
+                 value_param="label_value"),
+        ],
+        desc="Sets a label on the instance.",
+    )
+    return resource(
+        "instance",
+        attrs,
+        [insert, delete, get, start, stop, set_machine_type, set_labels],
+        parent="subnetwork",
+        desc="A Compute Engine virtual machine.",
+        notfound=NOTFOUND,
+    )
+
+
+def _firewall_rule() -> "resource":
+    attrs = [
+        attr("network", "Reference", ref="network"),
+        attr("direction", "Enum", enum=("INGRESS", "EGRESS"),
+             default="INGRESS"),
+        attr("priority", "Integer", default=1000),
+        attr("source_ranges", "List"),
+        attr("disabled", "Boolean", default=False),
+    ]
+    insert = api(
+        "firewalls_insert",
+        "create",
+        [
+            param("network_id", "Reference", required=True, ref="network"),
+            param("direction"),
+            param("priority", "Integer"),
+        ],
+        [
+            rule("require_param", param="network_id", code="required"),
+            rule("require_one_of", param="direction",
+                 values=("INGRESS", "EGRESS"), code="invalid"),
+            rule("link_ref", attr="network", param="network_id"),
+            rule("set_attr_param", attr="direction", param="direction"),
+            rule("set_attr_param", attr="priority", param="priority"),
+            rule("track_in_ref", param="network_id",
+                 list_attr="firewall_rules", source="id"),
+        ],
+        desc="Creates a firewall rule on the specified network.",
+    )
+    delete = api(
+        "firewalls_delete",
+        "destroy",
+        [param("firewall_rule_id", required=True)],
+        [
+            rule("require_param", param="firewall_rule_id",
+                 code="required"),
+            rule("untrack_in_attr", attr="network",
+                 list_attr="firewall_rules", source="id"),
+        ],
+        desc="Deletes the specified firewall rule.",
+    )
+    get = api(
+        "firewalls_get",
+        "describe",
+        [param("firewall_rule_id", required=True)],
+        [rule("read_attr", attr="direction"),
+         rule("read_attr", attr="priority"),
+         rule("read_attr", attr="disabled")],
+        desc="Returns the specified firewall rule.",
+    )
+    add_range = api(
+        "firewalls_addSourceRange",
+        "modify",
+        [param("firewall_rule_id", required=True),
+         param("source_range", required=True)],
+        [
+            rule("require_param", param="firewall_rule_id",
+                 code="required"),
+            rule("require_param", param="source_range", code="required"),
+            rule("check_valid_cidr", param="source_range", code="invalid"),
+            rule("check_not_in_list", param="source_range",
+                 attr="source_ranges", code="duplicate"),
+            rule("append_to_attr", attr="source_ranges",
+                 param="source_range"),
+        ],
+        desc="Adds a source range to the firewall rule.",
+    )
+    patch = api(
+        "firewalls_patch",
+        "modify",
+        [param("firewall_rule_id", required=True),
+         param("disabled", "Boolean")],
+        [
+            rule("require_param", param="firewall_rule_id",
+                 code="required"),
+            rule("set_attr_param", attr="disabled", param="disabled"),
+        ],
+        desc="Patches the specified firewall rule.",
+    )
+    return resource(
+        "firewall_rule",
+        attrs,
+        [insert, delete, get, add_range, patch],
+        parent="network",
+        desc="A VPC firewall rule.",
+        notfound=NOTFOUND,
+    )
+
+
+def _disk() -> "resource":
+    attrs = [
+        attr("size_gb", "Integer", default=10),
+        attr("disk_type", "Enum", enum=("pd-standard", "pd-ssd"),
+             default="pd-standard"),
+        attr("user", "Reference", ref="instance"),
+        attr("region"),
+    ]
+    insert = api(
+        "disks_insert",
+        "create",
+        [param("size_gb", "Integer"), param("disk_type"),
+         param("region", required=True)],
+        [
+            rule("require_param", param="region", code="required"),
+            rule("require_one_of", param="disk_type",
+                 values=("pd-standard", "pd-ssd"), code="invalid"),
+            rule("set_attr_param", attr="size_gb", param="size_gb"),
+            rule("set_attr_param", attr="disk_type", param="disk_type"),
+            rule("set_attr_param", attr="region", param="region"),
+        ],
+        desc="Creates a persistent disk.",
+    )
+    delete = api(
+        "disks_delete",
+        "destroy",
+        [param("disk_id", required=True)],
+        [
+            rule("require_param", param="disk_id", code="required"),
+            rule("check_attr_unset", attr="user",
+                 code="resourceInUseByAnotherResource"),
+        ],
+        desc="Deletes the specified disk. The disk must be detached "
+             "first.",
+    )
+    get = api(
+        "disks_get",
+        "describe",
+        [param("disk_id", required=True)],
+        [rule("read_attr", attr="size_gb"),
+         rule("read_attr", attr="disk_type"),
+         rule("read_attr", attr="user")],
+        desc="Returns the specified disk.",
+    )
+    attach = api(
+        "disks_attach",
+        "modify",
+        [param("disk_id", required=True),
+         param("instance_id", "Reference", required=True, ref="instance")],
+        [
+            rule("require_param", param="disk_id", code="required"),
+            rule("require_param", param="instance_id", code="required"),
+            rule("check_attr_unset", attr="user",
+                 code="resourceInUseByAnotherResource"),
+            rule("link_ref", attr="user", param="instance_id"),
+        ],
+        desc="Attaches the disk to an instance.",
+    )
+    detach = api(
+        "disks_detach",
+        "modify",
+        [param("disk_id", required=True)],
+        [
+            rule("require_param", param="disk_id", code="required"),
+            rule("check_attr_set", attr="user", code="invalid"),
+            rule("clear_attr", attr="user"),
+        ],
+        desc="Detaches the disk from its instance.",
+    )
+    return resource(
+        "disk",
+        attrs,
+        [insert, delete, get, attach, detach],
+        desc="A persistent disk volume.",
+        notfound=NOTFOUND,
+    )
+
+
+def build_gcp_catalog() -> ServiceDoc:
+    """The GCP Compute Engine networking catalog (6 resources)."""
+    return ServiceDoc(
+        name="gcp_compute",
+        provider="gcp",
+        resources=[
+            _network(),
+            _subnetwork(),
+            _address(),
+            _instance(),
+            _firewall_rule(),
+            _disk(),
+        ],
+        description="Google Compute Engine: VPC networks and instances.",
+    )

@@ -1,0 +1,386 @@
+"""An S3-flavoured object-storage catalog.
+
+Storage emulation is the other big third-party-emulator domain the
+paper cites (Azurite for Azure Storage).  This catalog exercises
+behaviours the networking services don't: keyed object maps with
+versioning toggles, multipart upload lifecycles, bucket policies, and
+the classic BucketNotEmpty deletion guard.
+"""
+
+from __future__ import annotations
+
+from .build import (
+    api,
+    attr,
+    make_create,
+    make_delete,
+    make_describe,
+    make_list,
+    make_modify,
+    param,
+    resource,
+)
+from .model import rule, ServiceDoc
+
+NOTFOUND = "NoSuchBucket"
+
+STORAGE_CLASSES = ("STANDARD", "STANDARD_IA", "GLACIER")
+
+
+def _bucket() -> "resource":
+    attrs = [
+        attr("bucket_name"),
+        attr("region"),
+        attr("objects", "Map"),
+        attr("versioning", "Enum", enum=("Suspended", "Enabled"),
+             default="Suspended"),
+        attr("public_access_blocked", "Boolean", default=True),
+        attr("policy_document"),
+        attr("lifecycle_rules", "List"),
+        attr("tags", "Map"),
+    ]
+    create = make_create(
+        "bucket",
+        "CreateBucket",
+        [param("bucket_name", required=True), param("region")],
+        attrs,
+        desc="Creates a new bucket in the specified region.",
+    )
+    delete = make_delete(
+        "bucket",
+        "DeleteBucket",
+        guard_rules=[
+            rule("check_list_empty", attr="objects", code="BucketNotEmpty"),
+        ],
+        desc="Deletes the specified bucket. All objects must be deleted "
+             "first.",
+    )
+    head = make_describe("bucket", "HeadBucket", attrs)
+    listing = make_list("bucket", "ListBuckets")
+
+    put_object = api(
+        "PutObject", "modify",
+        [param("bucket_id", required=True), param("object_key",
+                                                  required=True),
+         param("body")],
+        [
+            rule("require_param", param="bucket_id",
+                 code="MissingParameter"),
+            rule("require_param", param="object_key",
+                 code="MissingParameter"),
+            rule("map_put", attr="objects", key_param="object_key",
+                 value_param="body"),
+        ],
+        desc="Adds an object to the bucket.",
+    )
+    get_object = api(
+        "GetObject", "describe",
+        [param("bucket_id", required=True),
+         param("object_key", required=True)],
+        [
+            rule("check_in_map", attr="objects", key_param="object_key",
+                 code="NoSuchKey"),
+            rule("map_read", attr="objects", key_param="object_key"),
+        ],
+        desc="Retrieves an object from the bucket.",
+    )
+    delete_object = api(
+        "DeleteObject", "modify",
+        [param("bucket_id", required=True),
+         param("object_key", required=True)],
+        [
+            rule("require_param", param="bucket_id",
+                 code="MissingParameter"),
+            rule("require_param", param="object_key",
+                 code="MissingParameter"),
+            rule("check_in_map", attr="objects", key_param="object_key",
+                 code="NoSuchKey"),
+            rule("map_remove", attr="objects", key_param="object_key"),
+        ],
+        desc="Removes an object from the bucket.",
+    )
+    list_objects = api(
+        "ListObjectsV2", "describe",
+        [param("bucket_id", required=True)],
+        [rule("read_attr", attr="objects")],
+        desc="Lists the objects in the bucket.",
+    )
+    put_versioning = api(
+        "PutBucketVersioning", "modify",
+        [param("bucket_id", required=True), param("versioning")],
+        [
+            rule("require_param", param="bucket_id",
+                 code="MissingParameter"),
+            rule("require_one_of", param="versioning",
+                 values=("Suspended", "Enabled"),
+                 code="IllegalVersioningConfigurationException"),
+            rule("set_attr_param", attr="versioning", param="versioning"),
+        ],
+        desc="Sets the versioning state of the bucket.",
+    )
+    get_versioning = api(
+        "GetBucketVersioning", "describe",
+        [param("bucket_id", required=True)],
+        [rule("read_attr", attr="versioning")],
+        desc="Returns the versioning state of the bucket.",
+    )
+    put_public_access = make_modify(
+        "bucket", "PutPublicAccessBlock", "public_access_blocked",
+        param_type="Boolean",
+        desc="Configures the bucket's public access block.",
+    )
+    put_tagging = api(
+        "PutBucketTagging", "modify",
+        [param("bucket_id", required=True), param("tag_key",
+                                                  required=True),
+         param("tag_value")],
+        [
+            rule("require_param", param="bucket_id",
+                 code="MissingParameter"),
+            rule("require_param", param="tag_key", code="MissingParameter"),
+            rule("map_put", attr="tags", key_param="tag_key",
+                 value_param="tag_value"),
+        ],
+        desc="Adds a tag to the bucket.",
+    )
+    return resource(
+        "bucket",
+        attrs,
+        [create, delete, head, listing, put_object, get_object,
+         delete_object, list_objects, put_versioning, get_versioning,
+         put_public_access, put_tagging],
+        desc="A container for objects stored in the cloud.",
+        notfound=NOTFOUND,
+    )
+
+
+def _multipart_upload() -> "resource":
+    attrs = [
+        attr("bucket", "Reference", ref="bucket"),
+        attr("object_key"),
+        attr("parts", "List"),
+        attr("status", "Enum",
+             enum=("IN_PROGRESS", "COMPLETED", "ABORTED"),
+             default="IN_PROGRESS"),
+        attr("storage_class", "Enum", enum=STORAGE_CLASSES,
+             default="STANDARD"),
+    ]
+    create = make_create(
+        "multipart_upload",
+        "CreateMultipartUpload",
+        [
+            param("bucket_id", "Reference", required=True, ref="bucket"),
+            param("object_key", required=True),
+            param("storage_class"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="storage_class",
+                 values=STORAGE_CLASSES, code="InvalidStorageClass"),
+            rule("link_ref", attr="bucket", param="bucket_id"),
+        ],
+        desc="Initiates a multipart upload to the specified bucket.",
+    )
+    upload_part = api(
+        "UploadPart", "modify",
+        [param("multipart_upload_id", required=True),
+         param("part_number", required=True)],
+        [
+            rule("require_param", param="multipart_upload_id",
+                 code="MissingParameter"),
+            rule("require_param", param="part_number",
+                 code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="IN_PROGRESS",
+                 code="NoSuchUpload"),
+            rule("check_not_in_list", param="part_number", attr="parts",
+                 code="InvalidPart"),
+            rule("append_to_attr", attr="parts", param="part_number"),
+        ],
+        desc="Uploads a part in an in-progress multipart upload.",
+    )
+    complete = api(
+        "CompleteMultipartUpload", "modify",
+        [param("multipart_upload_id", required=True)],
+        [
+            rule("require_param", param="multipart_upload_id",
+                 code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="IN_PROGRESS",
+                 code="NoSuchUpload"),
+            rule("check_attr_set", attr="object_key",
+                 code="InvalidRequest"),
+            rule("set_attr_const", attr="status", value="COMPLETED"),
+        ],
+        desc="Completes a multipart upload, assembling its parts.",
+    )
+    abort = api(
+        "AbortMultipartUpload", "modify",
+        [param("multipart_upload_id", required=True)],
+        [
+            rule("require_param", param="multipart_upload_id",
+                 code="MissingParameter"),
+            rule("check_attr_is", attr="status", value="IN_PROGRESS",
+                 code="NoSuchUpload"),
+            rule("set_attr_const", attr="status", value="ABORTED"),
+        ],
+        desc="Aborts an in-progress multipart upload.",
+    )
+    listing = make_list("multipart_upload", "ListMultipartUploads")
+    describe = make_describe("multipart_upload", "ListParts", attrs)
+    return resource(
+        "multipart_upload",
+        attrs,
+        [create, upload_part, complete, abort, listing, describe],
+        parent="bucket",
+        desc="An in-progress multipart upload.",
+        notfound="NoSuchUpload",
+    )
+
+
+def _bucket_policy() -> "resource":
+    attrs = [
+        attr("bucket", "Reference", ref="bucket"),
+        attr("policy_document"),
+        attr("effect", "Enum", enum=("Allow", "Deny"), default="Allow"),
+    ]
+    put = make_create(
+        "bucket_policy",
+        "PutBucketPolicy",
+        [
+            param("bucket_id", "Reference", required=True, ref="bucket"),
+            param("policy_document", required=True),
+            param("effect"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="effect",
+                 values=("Allow", "Deny"), code="MalformedPolicy"),
+            rule("check_ref_attr_is", ref="bucket_id",
+                 ref_attr="public_access_blocked", value=False,
+                 code="AccessDenied"),
+            rule("link_ref", attr="bucket", param="bucket_id"),
+        ],
+        desc="Attaches a policy to a bucket. The bucket's public access "
+             "block must be disabled first.",
+    )
+    get = make_describe("bucket_policy", "GetBucketPolicy", attrs)
+    delete = make_delete("bucket_policy", "DeleteBucketPolicy",
+                         desc="Removes the policy from the bucket.")
+    return resource(
+        "bucket_policy",
+        attrs,
+        [put, get, delete],
+        parent="bucket",
+        desc="A resource-based access policy for a bucket.",
+        notfound="NoSuchBucketPolicy",
+    )
+
+
+def _lifecycle_configuration() -> "resource":
+    attrs = [
+        attr("bucket", "Reference", ref="bucket"),
+        attr("rules", "List"),
+        attr("status", "Enum", enum=("Enabled", "Disabled"),
+             default="Enabled"),
+    ]
+    put = make_create(
+        "lifecycle_configuration",
+        "PutBucketLifecycleConfiguration",
+        [param("bucket_id", "Reference", required=True, ref="bucket")],
+        attrs,
+        extra_rules=[
+            rule("link_ref", attr="bucket", param="bucket_id"),
+            rule("track_in_ref", param="bucket_id",
+                 list_attr="lifecycle_rules", source="id"),
+        ],
+        desc="Creates a lifecycle configuration for the bucket.",
+    )
+    add_rule = api(
+        "AddLifecycleRule", "modify",
+        [param("lifecycle_configuration_id", required=True),
+         param("rule_name", required=True)],
+        [
+            rule("require_param", param="lifecycle_configuration_id",
+                 code="MissingParameter"),
+            rule("require_param", param="rule_name",
+                 code="MissingParameter"),
+            rule("check_not_in_list", param="rule_name", attr="rules",
+                 code="InvalidArgument"),
+            rule("append_to_attr", attr="rules", param="rule_name"),
+        ],
+        desc="Adds a rule to the lifecycle configuration.",
+    )
+    get = make_describe("lifecycle_configuration",
+                        "GetBucketLifecycleConfiguration", attrs)
+    delete = make_delete(
+        "lifecycle_configuration",
+        "DeleteBucketLifecycle",
+        guard_rules=[
+            rule("untrack_in_attr", attr="bucket",
+                 list_attr="lifecycle_rules", source="id"),
+        ],
+        desc="Deletes the lifecycle configuration from the bucket.",
+    )
+    return resource(
+        "lifecycle_configuration",
+        attrs,
+        [put, add_rule, get, delete],
+        parent="bucket",
+        desc="Rules that manage the lifecycle of a bucket's objects.",
+        notfound="NoSuchLifecycleConfiguration",
+    )
+
+
+def _access_point() -> "resource":
+    attrs = [
+        attr("access_point_name"),
+        attr("bucket", "Reference", ref="bucket"),
+        attr("network_origin", "Enum", enum=("Internet", "VPC"),
+             default="Internet"),
+        attr("status", "Enum", enum=("CREATING", "READY"),
+             default="CREATING"),
+    ]
+    create = make_create(
+        "access_point",
+        "CreateAccessPoint",
+        [
+            param("access_point_name", required=True),
+            param("bucket_id", "Reference", required=True, ref="bucket"),
+            param("network_origin"),
+        ],
+        attrs,
+        extra_rules=[
+            rule("require_one_of", param="network_origin",
+                 values=("Internet", "VPC"), code="InvalidRequest"),
+            rule("link_ref", attr="bucket", param="bucket_id"),
+            rule("set_attr_const", attr="status", value="READY"),
+        ],
+        desc="Creates an access point for the specified bucket.",
+    )
+    delete = make_delete("access_point", "DeleteAccessPoint",
+                         desc="Deletes the specified access point.")
+    get = make_describe("access_point", "GetAccessPoint", attrs)
+    listing = make_list("access_point", "ListAccessPoints")
+    return resource(
+        "access_point",
+        attrs,
+        [create, delete, get, listing],
+        parent="bucket",
+        desc="A named network endpoint attached to a bucket.",
+        notfound="NoSuchAccessPoint",
+    )
+
+
+def build_s3_catalog() -> ServiceDoc:
+    """The S3-flavoured object storage catalog (5 resources)."""
+    return ServiceDoc(
+        name="s3",
+        provider="aws",
+        resources=[
+            _bucket(),
+            _multipart_upload(),
+            _bucket_policy(),
+            _lifecycle_configuration(),
+            _access_point(),
+        ],
+        description="Amazon Simple Storage Service: object storage.",
+    )

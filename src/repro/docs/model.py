@@ -1,0 +1,225 @@
+"""Documentation model: resources, APIs, attributes and behaviour rules.
+
+Cloud documentation is semi-structured (§4.1): indexed by resource,
+with ordered request/response information per API, and behaviour
+described in stylized prose ("Fails with DependencyViolation if ...").
+We model a corpus as structured catalogs that *render* to provider-
+style text pages; the wrangler and the (simulated) LLM then work from
+the rendered text, never from the catalog objects — so the parsing
+problem is real, not a pass-through.
+
+A :class:`Rule` is one documented behaviour of an API.  Rules marked
+``documented=False`` model the documentation-drift problem of §4.3:
+the real cloud enforces them but the docs never mention them, so only
+the alignment phase can learn them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: The behaviour-rule vocabulary.  Each kind has a prose template in
+#: :mod:`repro.docs.prose` (render + parse) and a compilation rule in
+#: the synthesizer (rules → SM statements) and in the reference cloud
+#: (rules → direct execution).
+RULE_KINDS = (
+    # effects
+    "set_attr_param",      # attr, param
+    "set_attr_const",      # attr, value
+    "set_attr_fresh",      # attr                  (cloud-assigned identifier)
+    "clear_attr",          # attr
+    "append_to_attr",      # attr, param
+    "remove_from_attr",    # attr, param
+    "map_put",             # attr, key_param, value_param
+    "map_remove",          # attr, key_param
+    "map_read",            # attr, key_param
+    "read_attr",           # attr
+    "link_ref",            # attr, param           (store reference)
+    "call_ref",            # param, transition     (invoke on referenced SM)
+    "call_attr",           # attr, transition      (invoke on stored ref)
+    "track_in_ref",        # param, list_attr, source  (append to ref's list)
+    "untrack_in_attr",     # attr, list_attr, source   (remove from stored ref's list)
+    # parameter checks
+    "require_param",       # param, code
+    "require_one_of",      # param, values, code
+    "check_valid_cidr",    # param, code
+    "check_prefix_between",  # param, lo, hi, code
+    "check_cidr_within",   # param, ref, ref_attr, code
+    "check_no_overlap",    # param, ref, list_attr, code
+    # state checks
+    "check_attr_is",       # attr, value, code
+    "check_attr_is_not",   # attr, value, code
+    "check_attr_set",      # attr, code
+    "check_attr_unset",    # attr, code
+    "check_list_empty",    # attr, code
+    "check_attr_matches_ref",  # attr, ref, ref_attr, code
+    "check_ref_attr_is",   # ref, ref_attr, value, code
+    "check_in_list",       # param, attr, code
+    "check_not_in_list",   # param, attr, code
+    "check_in_map",        # attr, key_param, code
+    "check_param_implies_attr",  # param, value, attr, attr_value, code
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One documented (or undocumented) behaviour of an API."""
+
+    kind: str
+    fields: tuple[tuple[str, object], ...]
+    documented: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown rule kind: {self.kind!r}")
+
+    def __getitem__(self, key: str) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict:
+        return dict(self.fields)
+
+    def with_fields(self, **updates: object) -> "Rule":
+        merged = dict(self.fields)
+        merged.update(updates)
+        return replace(self, fields=tuple(sorted(merged.items())))
+
+    @property
+    def is_check(self) -> bool:
+        return self.kind.startswith(("check_", "require_"))
+
+    @property
+    def error_code(self) -> str:
+        return str(self.get("code", "")) if self.is_check else ""
+
+
+def rule(kind: str, documented: bool = True, **fields: object) -> Rule:
+    """Convenience constructor: ``rule("set_attr_param", attr=..., param=...)``."""
+    return Rule(kind=kind, fields=tuple(sorted(fields.items())), documented=documented)
+
+
+def undocumented(kind: str, **fields: object) -> Rule:
+    """A behaviour the cloud enforces but the documentation omits (§4.3)."""
+    return rule(kind, documented=False, **fields)
+
+
+#: Documentation parameter types, as providers spell them.
+PARAM_TYPES = ("String", "Integer", "Boolean", "List", "Map", "Reference")
+
+
+@dataclass(frozen=True)
+class ApiParam:
+    """One request parameter of a documented API."""
+
+    name: str
+    type: str = "String"
+    required: bool = False
+    #: For ``Reference`` params: the resource type the identifier names.
+    ref: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in PARAM_TYPES:
+            raise ValueError(f"unknown param type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class AttributeDoc:
+    """One resource attribute, as documented."""
+
+    name: str
+    type: str = "String"  # String | Integer | Boolean | Enum | List | Map | Reference
+    enum_values: tuple[str, ...] = ()
+    default: object = None
+    ref: str = ""
+
+
+@dataclass
+class ApiDoc:
+    """One API of a resource: signature, errors, behaviour."""
+
+    name: str
+    category: str  # create | destroy | describe | modify
+    params: list[ApiParam] = field(default_factory=list)
+    rules: list[Rule] = field(default_factory=list)
+    description: str = ""
+
+    def documented_rules(self) -> list[Rule]:
+        return [r for r in self.rules if r.documented]
+
+    def error_codes(self) -> list[str]:
+        codes: list[str] = []
+        for r in self.rules:
+            if r.documented and r.is_check and r.error_code not in codes:
+                codes.append(r.error_code)
+        return codes
+
+
+@dataclass
+class ResourceDoc:
+    """One cloud resource type: its attributes, hierarchy and APIs."""
+
+    name: str
+    attributes: list[AttributeDoc] = field(default_factory=list)
+    apis: list[ApiDoc] = field(default_factory=list)
+    parent: str = ""
+    description: str = ""
+    notfound_code: str = ""
+
+    def api(self, name: str) -> ApiDoc:
+        for api in self.apis:
+            if api.name == name:
+                return api
+        raise KeyError(name)
+
+    def api_names(self) -> list[str]:
+        return [api.name for api in self.apis]
+
+
+@dataclass
+class ServiceDoc:
+    """A service's full documentation catalog."""
+
+    name: str
+    provider: str = "aws"
+    resources: list[ResourceDoc] = field(default_factory=list)
+    description: str = ""
+
+    def resource(self, name: str) -> ResourceDoc:
+        for res in self.resources:
+            if res.name == name:
+                return res
+        raise KeyError(name)
+
+    def resource_names(self) -> list[str]:
+        return [res.name for res in self.resources]
+
+    def api_names(self) -> list[str]:
+        names: list[str] = []
+        for res in self.resources:
+            names.extend(res.api_names())
+        return names
+
+    def find_api(self, api_name: str) -> tuple[ResourceDoc, ApiDoc] | None:
+        for res in self.resources:
+            for api in res.apis:
+                if api.name == api_name:
+                    return res, api
+        return None
+
+
+@dataclass(frozen=True)
+class DocPage:
+    """One rendered page of provider documentation."""
+
+    number: int
+    title: str
+    text: str

@@ -1,0 +1,235 @@
+"""Prose rendering and parsing of behaviour rules.
+
+Cloud docs describe behaviour in stylized natural language.  Each rule
+kind has one sentence template here; the renderer produces the sentence
+and the parser recovers the rule from it with an auto-derived regex.
+The corpus renderers emit these sentences into pages, and the wrangler
+and simulated LLM must parse them back out of surrounding page
+structure — so documentation really is the only channel between the
+catalog and the synthesizer, as in the paper's workflow (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import Rule, rule
+
+#: Sentence template per rule kind.  Attribute and parameter names are
+#: backtick-quoted, the way API references typeset identifiers.
+TEMPLATES: dict[str, str] = {
+    "set_attr_param": (
+        "Sets the `{attr}` attribute to the value of the `{param}` "
+        "request parameter."
+    ),
+    "set_attr_const": "Sets the `{attr}` attribute to `{value}`.",
+    "set_attr_fresh": (
+        "Assigns a freshly generated identifier to the `{attr}` attribute."
+    ),
+    "clear_attr": "Clears the `{attr}` attribute.",
+    "append_to_attr": "Appends the value of `{param}` to the `{attr}` list.",
+    "remove_from_attr": "Removes the value of `{param}` from the `{attr}` list.",
+    "map_put": (
+        "Stores the value of `{value_param}` under the key given by "
+        "`{key_param}` in the `{attr}` map."
+    ),
+    "map_remove": (
+        "Removes the entry keyed by `{key_param}` from the `{attr}` map."
+    ),
+    "map_read": (
+        "Returns the entry of the `{attr}` map keyed by `{key_param}` in "
+        "the response."
+    ),
+    "read_attr": "Returns the `{attr}` attribute in the response.",
+    "link_ref": (
+        "Stores a reference to the resource identified by `{param}` in "
+        "the `{attr}` attribute."
+    ),
+    "call_ref": (
+        "Notifies the resource identified by `{param}` by triggering its "
+        "{transition} operation."
+    ),
+    "call_attr": (
+        "Notifies the resource referenced by the `{attr}` attribute by "
+        "triggering its {transition} operation."
+    ),
+    "track_in_ref": (
+        "Records the value of `{source}` in the `{list_attr}` list of the "
+        "resource identified by `{param}`."
+    ),
+    "untrack_in_attr": (
+        "Removes the value of `{source}` from the `{list_attr}` list of "
+        "the resource referenced by the `{attr}` attribute."
+    ),
+    "require_param": (
+        "Fails with the error code {code} if the `{param}` request "
+        "parameter is missing."
+    ),
+    "require_one_of": (
+        "Fails with the error code {code} unless the `{param}` request "
+        "parameter is one of: {values}."
+    ),
+    "check_valid_cidr": (
+        "Fails with the error code {code} if the `{param}` request "
+        "parameter is not a valid IPv4 CIDR block."
+    ),
+    "check_prefix_between": (
+        "Fails with the error code {code} if the netmask prefix length of "
+        "`{param}` is smaller than /{lo} or larger than /{hi}."
+    ),
+    "check_cidr_within": (
+        "Fails with the error code {code} if the CIDR block in `{param}` "
+        "does not lie within the `{ref_attr}` of the resource identified "
+        "by `{ref}`."
+    ),
+    "check_no_overlap": (
+        "Fails with the error code {code} if the CIDR block in `{param}` "
+        "overlaps an entry in the `{list_attr}` list of the resource "
+        "identified by `{ref}`."
+    ),
+    "check_attr_is": (
+        "Fails with the error code {code} unless the `{attr}` attribute "
+        "is `{value}`."
+    ),
+    "check_attr_is_not": (
+        "Fails with the error code {code} if the `{attr}` attribute is "
+        "`{value}`."
+    ),
+    "check_attr_set": (
+        "Fails with the error code {code} unless the `{attr}` attribute "
+        "is set."
+    ),
+    "check_attr_unset": (
+        "Fails with the error code {code} while the `{attr}` attribute is "
+        "still set."
+    ),
+    "check_list_empty": (
+        "Fails with the error code {code} while the `{attr}` list is not "
+        "empty."
+    ),
+    "check_attr_matches_ref": (
+        "Fails with the error code {code} unless the `{attr}` attribute "
+        "equals the `{ref_attr}` attribute of the resource identified by "
+        "`{ref}`."
+    ),
+    "check_ref_attr_is": (
+        "Fails with the error code {code} unless the `{ref_attr}` "
+        "attribute of the resource identified by `{ref}` is `{value}`."
+    ),
+    "check_in_list": (
+        "Fails with the error code {code} unless the value of `{param}` "
+        "is present in the `{attr}` list."
+    ),
+    "check_not_in_list": (
+        "Fails with the error code {code} if the value of `{param}` is "
+        "already present in the `{attr}` list."
+    ),
+    "check_in_map": (
+        "Fails with the error code {code} unless the `{attr}` map contains "
+        "an entry keyed by `{key_param}`."
+    ),
+    "check_param_implies_attr": (
+        "If the `{param}` request parameter is `{value}`, fails with the "
+        "error code {code} unless the `{attr}` attribute is `{attr_value}`."
+    ),
+}
+
+#: Regex fragment per template field.
+_FIELD_PATTERNS = {
+    "attr": r"(?P<attr>[A-Za-z_][A-Za-z0-9_]*)",
+    "param": r"(?P<param>[A-Za-z_][A-Za-z0-9_]*)",
+    "source": r"(?P<source>[A-Za-z_][A-Za-z0-9_]*)",
+    "list_attr": r"(?P<list_attr>[A-Za-z_][A-Za-z0-9_]*)",
+    "ref": r"(?P<ref>[A-Za-z_][A-Za-z0-9_]*)",
+    "ref_attr": r"(?P<ref_attr>[A-Za-z_][A-Za-z0-9_]*)",
+    "transition": r"(?P<transition>[A-Za-z][A-Za-z0-9_]*)",
+    "key_param": r"(?P<key_param>[A-Za-z_][A-Za-z0-9_]*)",
+    "value_param": r"(?P<value_param>[A-Za-z_][A-Za-z0-9_]*)",
+    "code": r"(?P<code>[A-Za-z][A-Za-z0-9._]*)",
+    "value": r"(?P<value>[^`]+)",
+    "attr_value": r"(?P<attr_value>[^`]+)",
+    "values": r"(?P<values>'[^']*'(?:, '[^']*')*)",
+    "lo": r"(?P<lo>\d+)",
+    "hi": r"(?P<hi>\d+)",
+}
+
+_PLACEHOLDER = re.compile(r"\{(\w+)\}")
+
+
+def _compile(template: str) -> re.Pattern[str]:
+    pattern = ""
+    position = 0
+    for match in _PLACEHOLDER.finditer(template):
+        pattern += re.escape(template[position : match.start()])
+        pattern += _FIELD_PATTERNS[match.group(1)]
+        position = match.end()
+    pattern += re.escape(template[position:])
+    return re.compile("^" + pattern + "$")
+
+
+_COMPILED: list[tuple[str, re.Pattern[str]]] = [
+    (kind, _compile(template)) for kind, template in TEMPLATES.items()
+]
+
+
+def _encode_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    return str(value)
+
+
+def _decode_value(text: str) -> object:
+    stripped = text.strip()
+    if stripped == "true":
+        return True
+    if stripped == "false":
+        return False
+    if stripped == "null":
+        return None
+    if re.fullmatch(r"-?\d+", stripped):
+        return int(stripped)
+    return stripped
+
+
+def render_rule(behaviour: Rule) -> str:
+    """Render one rule to its documentation sentence."""
+    template = TEMPLATES[behaviour.kind]
+    fields = behaviour.as_dict()
+    rendered: dict[str, str] = {}
+    for key, value in fields.items():
+        if key in ("value", "attr_value"):
+            rendered[key] = _encode_value(value)
+        elif key == "values":
+            rendered[key] = ", ".join(f"'{item}'" for item in value)  # type: ignore[union-attr]
+        else:
+            rendered[key] = str(value)
+    return template.format(**rendered)
+
+
+def parse_rule(sentence: str) -> Rule | None:
+    """Parse one documentation sentence back into a rule.
+
+    Returns ``None`` for sentences that are not behaviour statements
+    (narrative text, headings), which the caller skips.
+    """
+    text = " ".join(sentence.split())
+    for kind, pattern in _COMPILED:
+        match = pattern.match(text)
+        if match is None:
+            continue
+        fields: dict[str, object] = {}
+        for key, value in match.groupdict().items():
+            if key in ("value", "attr_value"):
+                fields[key] = _decode_value(value)
+            elif key == "values":
+                fields[key] = tuple(
+                    item.strip().strip("'") for item in value.split(",")
+                )
+            elif key in ("lo", "hi"):
+                fields[key] = int(value)
+            else:
+                fields[key] = value
+        return rule(kind, **fields)
+    return None

@@ -1,0 +1,118 @@
+"""Render a service catalog as AWS-style API reference pages.
+
+AWS documents each service as a large PDF with clear pagination and
+marked sections indexed on resource names (§4.1).  The renderer
+produces that layout: one page per resource carrying its attribute
+table, followed by one page per API with signature, behaviour and error
+list.  Rules marked undocumented are *not* rendered — the cloud
+behaves in ways these pages never mention.
+"""
+
+from __future__ import annotations
+
+from .model import ApiDoc, DocPage, ResourceDoc, ServiceDoc
+from .prose import render_rule
+
+HEADER = "{title}\nAPI Reference\n"
+
+
+def _render_attribute(a) -> str:
+    type_text = a.type
+    if a.type == "Enum" and a.enum_values:
+        type_text = "Enum: " + " | ".join(a.enum_values)
+    if a.type == "Reference" and a.ref:
+        type_text = f"Reference -> {a.ref}"
+    line = f"- {a.name} ({type_text})"
+    if a.default is not None:
+        if isinstance(a.default, bool):
+            default_text = "true" if a.default else "false"
+        else:
+            default_text = str(a.default)
+        line += f" [default: {default_text}]"
+    return line
+
+
+def _render_param(p) -> str:
+    requiredness = "required" if p.required else "optional"
+    type_text = p.type
+    if p.type == "Reference" and p.ref:
+        type_text = f"Reference -> {p.ref}"
+    return f"- {p.name} ({type_text}, {requiredness})"
+
+
+def _render_api_page(
+    service: ServiceDoc, res: ResourceDoc, api: ApiDoc, number: int
+) -> DocPage:
+    lines = [
+        HEADER.format(title=service.description or service.name),
+        f"Resource: {res.name}",
+        f"Action: {api.name}",
+        f"Category: {api.category}",
+        f"Page {number}",
+        "",
+    ]
+    if api.description:
+        lines.append(api.description)
+        lines.append("")
+    lines.append("Request Parameters")
+    if api.params:
+        lines.extend(_render_param(p) for p in api.params)
+    else:
+        lines.append("- (none)")
+    lines.append("")
+    lines.append("Behavior")
+    documented = api.documented_rules()
+    if documented:
+        for index, behaviour in enumerate(documented, start=1):
+            lines.append(f"{index}. {render_rule(behaviour)}")
+    else:
+        lines.append("1. This action has no documented side effects.")
+    lines.append("")
+    lines.append("Errors")
+    codes = api.error_codes()
+    if codes:
+        lines.extend(f"- {code}" for code in codes)
+    else:
+        lines.append("- (none)")
+    return DocPage(number=number, title=f"{res.name}:{api.name}",
+                   text="\n".join(lines))
+
+
+def _render_resource_page(
+    service: ServiceDoc, res: ResourceDoc, number: int
+) -> DocPage:
+    lines = [
+        HEADER.format(title=service.description or service.name),
+        f"Resource: {res.name}",
+        f"Page {number}",
+        "",
+    ]
+    if res.description:
+        lines.append(res.description)
+        lines.append("")
+    parent = res.parent or "- (top-level resource)"
+    lines.append(f"Contained in: {parent}")
+    if res.notfound_code:
+        lines.append(f"Not-found error code: {res.notfound_code}")
+    lines.append("")
+    lines.append("Attributes")
+    for attribute in res.attributes:
+        lines.append(_render_attribute(attribute))
+    lines.append("")
+    lines.append("Actions")
+    for api in res.apis:
+        lines.append(f"- {api.name}")
+    return DocPage(number=number, title=res.name, text="\n".join(lines))
+
+
+def render_aws_docs(service: ServiceDoc) -> list[DocPage]:
+    """Render the catalog into the full list of documentation pages."""
+    pages: list[DocPage] = []
+    number = 1
+    for res in service.resources:
+        pages.append(_render_resource_page(service, res, number))
+        number += 1
+        for api in res.apis:
+            pages.append(_render_api_page(service, res, api, number))
+            number += 1
+    return pages

@@ -1,0 +1,81 @@
+"""Render a service catalog as Azure-style web reference pages.
+
+Unlike AWS's single paginated PDF, Azure scatters reference material
+across per-resource web pages with markdown structure (§4.1, §5
+"Multi-cloud": the primary additional effort lies in documentation
+wrangling).  One page per resource; properties as a table; operations
+as headed sections with bulleted behaviour.
+"""
+
+from __future__ import annotations
+
+from .model import DocPage, ResourceDoc, ServiceDoc
+from .prose import render_rule
+
+
+def _default_text(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _type_text(attribute) -> str:
+    if attribute.type == "Enum" and attribute.enum_values:
+        return "Enum: " + " | ".join(attribute.enum_values)
+    if attribute.type == "Reference" and attribute.ref:
+        return f"Reference -> {attribute.ref}"
+    return attribute.type
+
+
+def _render_resource(service: ServiceDoc, res: ResourceDoc,
+                     number: int) -> DocPage:
+    lines = [
+        f"# {service.description or service.name}",
+        f"## {res.name}",
+        "",
+    ]
+    if res.description:
+        lines.append(res.description)
+        lines.append("")
+    lines.append(f"> Parent resource: {res.parent or 'none'}")
+    if res.notfound_code:
+        lines.append(f"> Error for missing resource: {res.notfound_code}")
+    lines.append("")
+    lines.append("### Properties")
+    lines.append("| name | type | default |")
+    lines.append("| --- | --- | --- |")
+    for attribute in res.attributes:
+        lines.append(
+            f"| {attribute.name} | {_type_text(attribute)} | "
+            f"{_default_text(attribute.default)} |"
+        )
+    lines.append("")
+    for api in res.apis:
+        lines.append(f"### Operation {api.name} ({api.category})")
+        if api.description:
+            lines.append(api.description)
+        lines.append("")
+        lines.append("Parameters:")
+        for p in api.params:
+            requiredness = "required" if p.required else "optional"
+            type_text = p.type
+            if p.type == "Reference" and p.ref:
+                type_text = f"Reference -> {p.ref}"
+            lines.append(f"- {p.name}: {type_text} ({requiredness})")
+        if not api.params:
+            lines.append("- (none)")
+        lines.append("")
+        for behaviour in api.documented_rules():
+            lines.append("* " + render_rule(behaviour))
+        lines.append("")
+    return DocPage(number=number, title=res.name, text="\n".join(lines))
+
+
+def render_azure_docs(service: ServiceDoc) -> list[DocPage]:
+    """Render the catalog into per-resource Azure web pages."""
+    return [
+        _render_resource(service, res, index + 1)
+        for index, res in enumerate(service.resources)
+    ]

@@ -1,0 +1,95 @@
+"""Render a service catalog as GCP-style REST discovery pages.
+
+GCP documents Compute Engine as per-resource REST reference pages:
+each resource page lists its representation (fields + types) and its
+methods with dotted identifiers (``compute.networks.insert``).  The
+layout differs from both AWS's PDF and Azure's markdown pages, giving
+the wrangler its third provider-specific format (§4.1).
+"""
+
+from __future__ import annotations
+
+from .model import DocPage, ResourceDoc, ServiceDoc
+from .prose import render_rule
+
+
+def _field_type(attribute) -> str:
+    if attribute.type == "Enum" and attribute.enum_values:
+        return "enum[" + ", ".join(attribute.enum_values) + "]"
+    if attribute.type == "Reference" and attribute.ref:
+        return f"resourceLink({attribute.ref})"
+    return attribute.type.lower()
+
+
+def _default_text(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _dotted_method(service: ServiceDoc, api_name: str) -> str:
+    """The dotted method id GCP docs display for an internal name:
+    ``networks_insert`` renders as ``compute.networks.insert``."""
+    collection, __, verb = api_name.partition("_")
+    return f"compute.{collection}.{verb}"
+
+
+def _render_resource(service: ServiceDoc, res: ResourceDoc,
+                     number: int) -> DocPage:
+    lines = [
+        f"REST Resource: {res.name}",
+        f"Service: {service.description or service.name}",
+        "",
+    ]
+    if res.description:
+        lines.append(res.description)
+        lines.append("")
+    lines.append(f"parentResource: {res.parent or '(none)'}")
+    if res.notfound_code:
+        lines.append(f"missingResourceReason: {res.notfound_code}")
+    lines.append("")
+    lines.append("Resource representation:")
+    lines.append("{")
+    for attribute in res.attributes:
+        default = _default_text(attribute.default)
+        suffix = f"  // default: {default}" if default else ""
+        lines.append(
+            f'  "{attribute.name}": {_field_type(attribute)},{suffix}'
+        )
+    lines.append("}")
+    lines.append("")
+    lines.append("Methods:")
+    for api in res.apis:
+        lines.append(f"- {_dotted_method(service, api.name)}")
+    lines.append("")
+    for api in res.apis:
+        lines.append(f"Method: {_dotted_method(service, api.name)}")
+        lines.append(f"kind: {api.category}")
+        if api.description:
+            lines.append(api.description)
+        lines.append("Request fields:")
+        for p in api.params:
+            requiredness = "required" if p.required else "optional"
+            type_text = p.type.lower()
+            if p.type == "Reference" and p.ref:
+                type_text = f"resourceLink({p.ref})"
+            lines.append(f"  {p.name}: {type_text} [{requiredness}]")
+        if not api.params:
+            lines.append("  (none)")
+        lines.append("Semantics:")
+        for behaviour in api.documented_rules():
+            lines.append(f"  > {render_rule(behaviour)}")
+        if not api.documented_rules():
+            lines.append("  > This method has no documented side effects.")
+        lines.append("")
+    return DocPage(number=number, title=res.name, text="\n".join(lines))
+
+
+def render_gcp_docs(service: ServiceDoc) -> list[DocPage]:
+    """Render the catalog into per-resource discovery pages."""
+    return [
+        _render_resource(service, res, index + 1)
+        for index, res in enumerate(service.resources)
+    ]

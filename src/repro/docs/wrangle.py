@@ -1,0 +1,409 @@
+"""Documentation wrangling: parse rendered provider pages back into a
+structured corpus (§4.1).
+
+This is the symbolic preprocessing step the paper proposes instead of
+RAG: cloud docs are semi-structured with a set template indexed by
+resource type, so a parser can rebuild per-resource information and
+hand the LLM a small, focused context per resource.
+
+Each provider has its own pagination and layout, hence one parser per
+provider (the paper's Azure/GCP point); both produce the same
+:class:`~repro.docs.model.ServiceDoc` shape.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import (
+    ApiDoc,
+    ApiParam,
+    AttributeDoc,
+    DocPage,
+    ResourceDoc,
+    ServiceDoc,
+)
+from .prose import parse_rule
+
+
+class WrangleError(Exception):
+    """The pages do not follow the expected documentation template."""
+
+
+_ATTR_LINE = re.compile(
+    r"- (?P<name>\w+) \((?P<type>[^)]+)\)(?: \[default: (?P<default>[^\]]*)\])?"
+)
+_PARAM_LINE = re.compile(
+    r"- (?P<name>\w+) \((?P<type>[^,]+), (?P<req>required|optional)\)"
+)
+_BEHAVIOR_LINE = re.compile(r"\d+\. (?P<sentence>.*)")
+
+
+def _decode_default(text: str | None) -> object:
+    if text is None:
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    return text
+
+
+def _decode_attr_type(text: str) -> tuple[str, tuple[str, ...], str]:
+    """Returns (type, enum_values, ref)."""
+    if text.startswith("Enum"):
+        values: tuple[str, ...] = ()
+        if ":" in text:
+            values = tuple(v.strip() for v in text.split(":", 1)[1].split("|"))
+        return "Enum", values, ""
+    if text.startswith("Reference"):
+        ref = text.split("->", 1)[1].strip() if "->" in text else ""
+        return "Reference", (), ref
+    return text.strip(), (), ""
+
+
+class AwsDocParser:
+    """Parses AWS-PDF-style pages (see :mod:`repro.docs.render_aws`)."""
+
+    def parse(self, pages: list[DocPage], service: str = "",
+              provider: str = "aws") -> ServiceDoc:
+        doc = ServiceDoc(name=service, provider=provider)
+        current: ResourceDoc | None = None
+        for page in pages:
+            lines = page.text.splitlines()
+            fields = _page_fields(lines)
+            if "Action" in fields:
+                if current is None or fields.get("Resource") != current.name:
+                    current = self._resource_for(doc, fields.get("Resource", ""))
+                current.apis.append(self._parse_api_page(lines, fields))
+            elif "Resource" in fields:
+                current = self._parse_resource_page(lines, fields)
+                doc.resources.append(current)
+        if not doc.resources:
+            raise WrangleError("no resource pages found")
+        return doc
+
+    def _resource_for(self, doc: ServiceDoc, name: str) -> ResourceDoc:
+        for res in doc.resources:
+            if res.name == name:
+                return res
+        # An API page arrived before its resource page; AWS PDFs are
+        # ordered, but tolerate shuffled input.
+        res = ResourceDoc(name=name)
+        doc.resources.append(res)
+        return res
+
+    def _parse_resource_page(
+        self, lines: list[str], fields: dict[str, str]
+    ) -> ResourceDoc:
+        res = ResourceDoc(name=fields["Resource"])
+        contained = fields.get("Contained in", "")
+        if contained and not contained.startswith("-"):
+            res.parent = contained
+        res.notfound_code = fields.get("Not-found error code", "")
+        in_attrs = False
+        for line in lines:
+            stripped = line.strip()
+            if stripped == "Attributes":
+                in_attrs = True
+                continue
+            if stripped == "Actions":
+                in_attrs = False
+                continue
+            if in_attrs:
+                match = _ATTR_LINE.match(stripped)
+                if match:
+                    type_name, enum_values, ref = _decode_attr_type(
+                        match.group("type")
+                    )
+                    res.attributes.append(
+                        AttributeDoc(
+                            name=match.group("name"),
+                            type=type_name,
+                            enum_values=enum_values,
+                            default=_decode_default(match.group("default")),
+                            ref=ref,
+                        )
+                    )
+        return res
+
+    def _parse_api_page(
+        self, lines: list[str], fields: dict[str, str]
+    ) -> ApiDoc:
+        api = ApiDoc(name=fields["Action"], category=fields.get("Category", ""))
+        section = ""
+        description: list[str] = []
+        for line in lines:
+            stripped = line.strip()
+            if stripped in ("Request Parameters", "Behavior", "Errors"):
+                section = stripped
+                continue
+            if section == "" and stripped and ":" not in stripped and not (
+                stripped.startswith("Page")
+            ):
+                description.append(stripped)
+            elif section == "Request Parameters":
+                match = _PARAM_LINE.match(stripped)
+                if match:
+                    type_text = match.group("type")
+                    ref = ""
+                    if type_text.startswith("Reference"):
+                        if "->" in type_text:
+                            ref = type_text.split("->", 1)[1].strip()
+                        type_text = "Reference"
+                    api.params.append(
+                        ApiParam(
+                            name=match.group("name"),
+                            type=type_text.strip(),
+                            required=match.group("req") == "required",
+                            ref=ref,
+                        )
+                    )
+            elif section == "Behavior":
+                match = _BEHAVIOR_LINE.match(stripped)
+                if match:
+                    behaviour = parse_rule(match.group("sentence"))
+                    if behaviour is not None:
+                        api.rules.append(behaviour)
+        api.description = " ".join(description).strip()
+        return api
+
+
+def _page_fields(lines: list[str]) -> dict[str, str]:
+    """Extract ``Key: value`` header fields from a page."""
+    fields: dict[str, str] = {}
+    for line in lines:
+        stripped = line.strip()
+        if ": " in stripped:
+            key, value = stripped.split(": ", 1)
+            if key in ("Resource", "Action", "Category", "Contained in",
+                       "Not-found error code", "Operation", "Parent resource",
+                       "Error for missing resource"):
+                fields[key] = value.strip()
+        elif stripped.startswith("Contained in:"):
+            fields["Contained in"] = stripped.split(":", 1)[1].strip()
+    return fields
+
+
+class AzureDocParser:
+    """Parses Azure-web-style pages (see :mod:`repro.docs.render_azure`).
+
+    Azure distributes reference material across per-resource web pages
+    with markdown-ish structure instead of one paginated PDF; this
+    parser handles that layout and emits the same ServiceDoc shape.
+    """
+
+    _OPERATION = re.compile(r"### Operation (?P<name>\w+) \((?P<cat>\w+)\)")
+    _PROPERTY = re.compile(
+        r"\| (?P<name>\w+) \| (?P<type>[^|]+) \| (?P<default>[^|]*) \|"
+    )
+    _AZ_PARAM = re.compile(
+        r"- (?P<name>\w+): (?P<type>[^(]+) \((?P<req>required|optional)\)"
+    )
+
+    def parse(self, pages: list[DocPage], service: str = "",
+              provider: str = "azure") -> ServiceDoc:
+        doc = ServiceDoc(name=service, provider=provider)
+        for page in pages:
+            doc.resources.append(self._parse_resource(page))
+        if not doc.resources:
+            raise WrangleError("no resource pages found")
+        return doc
+
+    def _parse_resource(self, page: DocPage) -> ResourceDoc:
+        res = ResourceDoc(name="")
+        api: ApiDoc | None = None
+        for line in page.text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("## ") and not res.name:
+                res.name = stripped[3:].strip()
+                continue
+            if stripped.startswith("> Parent resource:"):
+                parent = stripped.split(":", 1)[1].strip()
+                res.parent = "" if parent == "none" else parent
+                continue
+            if stripped.startswith("> Error for missing resource:"):
+                res.notfound_code = stripped.split(":", 1)[1].strip()
+                continue
+            operation = self._OPERATION.match(stripped)
+            if operation:
+                api = ApiDoc(name=operation.group("name"),
+                             category=operation.group("cat"))
+                res.apis.append(api)
+                continue
+            if api is None:
+                prop = self._PROPERTY.match(stripped)
+                if prop and prop.group("name") != "name":
+                    type_name, enum_values, ref = _decode_attr_type(
+                        prop.group("type").strip()
+                    )
+                    default_text = prop.group("default").strip()
+                    res.attributes.append(
+                        AttributeDoc(
+                            name=prop.group("name"),
+                            type=type_name,
+                            enum_values=enum_values,
+                            default=_decode_default(default_text or None),
+                            ref=ref,
+                        )
+                    )
+                continue
+            match = self._AZ_PARAM.match(stripped)
+            if match:
+                type_text = match.group("type").strip()
+                ref = ""
+                if type_text.startswith("Reference"):
+                    if "->" in type_text:
+                        ref = type_text.split("->", 1)[1].strip()
+                    type_text = "Reference"
+                api.params.append(
+                    ApiParam(
+                        name=match.group("name"),
+                        type=type_text,
+                        required=match.group("req") == "required",
+                        ref=ref,
+                    )
+                )
+                continue
+            if stripped.startswith("* "):
+                behaviour = parse_rule(stripped[2:])
+                if behaviour is not None:
+                    api.rules.append(behaviour)
+        if not res.name:
+            raise WrangleError(f"page {page.number} has no resource heading")
+        return res
+
+
+class GcpDocParser:
+    """Parses GCP-discovery-style pages (see :mod:`repro.docs.render_gcp`).
+
+    GCP lists dotted method ids (``compute.networks.insert``); the
+    parser normalizes them to grammar-legal identifiers
+    (``networks_insert``), the identifier convention every downstream
+    stage uses.
+    """
+
+    # The type may itself contain commas (enum[a, b, c]); the trailing
+    # comma before the optional default comment delimits it.
+    _FIELD = re.compile(
+        r'"(?P<name>\w+)": (?P<type>.+),(?:\s*// default: '
+        r"(?P<default>.*))?$"
+    )
+    _METHOD = re.compile(r"Method: compute\.(?P<collection>\w+)\."
+                         r"(?P<verb>\w+)")
+    _REQUEST_FIELD = re.compile(
+        r"(?P<name>\w+): (?P<type>[^\[]+) \[(?P<req>required|optional)\]"
+    )
+
+    def parse(self, pages: list[DocPage], service: str = "",
+              provider: str = "gcp") -> ServiceDoc:
+        doc = ServiceDoc(name=service, provider=provider)
+        for page in pages:
+            doc.resources.append(self._parse_resource(page))
+        if not doc.resources:
+            raise WrangleError("no resource pages found")
+        return doc
+
+    @staticmethod
+    def _decode_type(text: str) -> tuple[str, tuple[str, ...], str]:
+        text = text.strip()
+        if text.startswith("enum["):
+            values = tuple(
+                v.strip() for v in text[len("enum["):-1].split(",")
+            )
+            return "Enum", values, ""
+        if text.startswith("resourceLink("):
+            return "Reference", (), text[len("resourceLink("):-1]
+        table = {"string": "String", "integer": "Integer",
+                 "boolean": "Boolean", "list": "List", "map": "Map"}
+        return table.get(text, "String"), (), ""
+
+    def _parse_resource(self, page: DocPage) -> ResourceDoc:
+        res = ResourceDoc(name="")
+        api: ApiDoc | None = None
+        section = ""
+        for line in page.text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("REST Resource:"):
+                res.name = stripped.split(":", 1)[1].strip()
+                continue
+            if stripped.startswith("parentResource:"):
+                parent = stripped.split(":", 1)[1].strip()
+                res.parent = "" if parent == "(none)" else parent
+                continue
+            if stripped.startswith("missingResourceReason:"):
+                res.notfound_code = stripped.split(":", 1)[1].strip()
+                continue
+            method = self._METHOD.match(stripped)
+            if method:
+                api = ApiDoc(
+                    name=f"{method.group('collection')}_"
+                         f"{method.group('verb')}",
+                    category="",
+                )
+                res.apis.append(api)
+                section = ""
+                continue
+            if api is not None and stripped.startswith("kind:"):
+                api.category = stripped.split(":", 1)[1].strip()
+                continue
+            if stripped == "Request fields:":
+                section = "request"
+                continue
+            if stripped == "Semantics:":
+                section = "semantics"
+                continue
+            if api is None:
+                field_match = self._FIELD.search(stripped)
+                if field_match:
+                    type_name, enum_values, ref = self._decode_type(
+                        field_match.group("type")
+                    )
+                    default_text = (field_match.group("default") or "").strip()
+                    res.attributes.append(
+                        AttributeDoc(
+                            name=field_match.group("name"),
+                            type=type_name,
+                            enum_values=enum_values,
+                            default=_decode_default(default_text or None),
+                            ref=ref,
+                        )
+                    )
+                continue
+            if section == "request":
+                request_match = self._REQUEST_FIELD.match(stripped)
+                if request_match:
+                    type_name, __, ref = self._decode_type(
+                        request_match.group("type")
+                    )
+                    api.params.append(
+                        ApiParam(
+                            name=request_match.group("name"),
+                            type=type_name,
+                            required=request_match.group("req")
+                            == "required",
+                            ref=ref,
+                        )
+                    )
+                continue
+            if section == "semantics" and stripped.startswith("> "):
+                behaviour = parse_rule(stripped[2:])
+                if behaviour is not None:
+                    api.rules.append(behaviour)
+        if not res.name:
+            raise WrangleError(f"page {page.number} has no REST Resource "
+                               "heading")
+        return res
+
+
+def wrangle(pages: list[DocPage], provider: str, service: str = "") -> ServiceDoc:
+    """Parse rendered pages with the provider-appropriate parser."""
+    if provider == "aws":
+        return AwsDocParser().parse(pages, service=service)
+    if provider == "azure":
+        return AzureDocParser().parse(pages, service=service)
+    if provider == "gcp":
+        return GcpDocParser().parse(pages, service=service)
+    raise WrangleError(f"no documentation parser for provider {provider!r}")

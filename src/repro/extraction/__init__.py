@@ -1,0 +1,49 @@
+"""Specification extraction: dependency analysis, incremental
+generation, linking, consistency checks, and the full pipeline (§4.2).
+"""
+
+from .checks import (
+    call_reachability_violations,
+    CheckViolation,
+    completeness_violations,
+    create_no_destroy_violations,
+    describe_readonly_violations,
+    error_code_violations,
+    run_checks,
+)
+from .dependency import (
+    build_dependency_graph,
+    extraction_order,
+    graph_metrics,
+    resource_references,
+    transitive_dependencies,
+)
+from .incremental import (
+    extract_incrementally,
+    ExtractionState,
+    regenerate_resource,
+)
+from .linking import link_module, LinkResult
+from .pipeline import ExtractionOutcome, run_extraction
+
+__all__ = [
+    "build_dependency_graph",
+    "call_reachability_violations",
+    "CheckViolation",
+    "completeness_violations",
+    "create_no_destroy_violations",
+    "describe_readonly_violations",
+    "error_code_violations",
+    "extract_incrementally",
+    "extraction_order",
+    "ExtractionOutcome",
+    "ExtractionState",
+    "graph_metrics",
+    "link_module",
+    "LinkResult",
+    "regenerate_resource",
+    "resource_references",
+    "run_checks",
+    "run_extraction",
+    "transitive_dependencies",
+]

@@ -1,0 +1,225 @@
+"""Consistency checks on extracted specifications (§4.2).
+
+Two families, as the paper defines them:
+
+- **Completeness** over resource-type coverage: if resource A depends
+  on resource B, both must be present in the specification — computed
+  as a transitive closure over the dependency graph.
+- **Soundness** against semantically-invalid generation, via template
+  checks against the documentation's behavioural requirements:
+  a ``describe()`` must not modify state; ``call()`` targets must be
+  reachable in the SM's dependency hierarchy; assert error codes must
+  come from the documented error list; every documented error code
+  must be enforceable by some assert; a ``create()`` must not trigger
+  destroy transitions.
+
+The checks are deliberately template-based and *partial* (the paper
+manually captures "a limited set"); behaviours they cannot see — e.g.
+a dropped check whose error code another assert still carries — are
+exactly what the alignment phase exists to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..docs.model import ServiceDoc
+from ..spec import ast
+from .dependency import resource_references
+
+
+@dataclass(frozen=True)
+class CheckViolation:
+    """One consistency-check failure, attributable to a resource/API."""
+
+    resource: str
+    api: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        location = f"{self.resource}.{self.api}" if self.api else self.resource
+        return f"[{self.check}] {location}: {self.detail}"
+
+
+def completeness_violations(
+    module: ast.SpecModule, service_doc: ServiceDoc
+) -> list[CheckViolation]:
+    """Every documented resource, and every dependency, must have an SM."""
+    violations: list[CheckViolation] = []
+    documented = {res.name for res in service_doc.resources}
+    generated = set(module.machines)
+    for missing in sorted(documented - generated):
+        violations.append(
+            CheckViolation(missing, "", "completeness",
+                           "documented resource has no state machine")
+        )
+    for res in service_doc.resources:
+        for ref in sorted(resource_references(res)):
+            if ref in documented and ref not in generated:
+                violations.append(
+                    CheckViolation(
+                        res.name, "", "completeness",
+                        f"dependency {ref!r} has no state machine",
+                    )
+                )
+    return violations
+
+
+def _writes_and_calls(transition: ast.Transition) -> tuple[int, int]:
+    writes = calls = 0
+    for stmt in transition.statements():
+        if isinstance(stmt, ast.Write):
+            writes += 1
+        elif isinstance(stmt, ast.Call):
+            calls += 1
+    return writes, calls
+
+
+def describe_readonly_violations(
+    module: ast.SpecModule,
+) -> list[CheckViolation]:
+    """A describe() API must not modify state (§4.2's example check)."""
+    violations: list[CheckViolation] = []
+    for sm_name, spec in module.machines.items():
+        for transition in spec.transitions.values():
+            if transition.category != "describe" or transition.is_stub:
+                continue
+            writes, calls = _writes_and_calls(transition)
+            if writes or calls:
+                violations.append(
+                    CheckViolation(
+                        sm_name, transition.name, "describe_readonly",
+                        f"describe() performs {writes} write(s) and "
+                        f"{calls} call(s)",
+                    )
+                )
+    return violations
+
+
+def call_reachability_violations(
+    module: ast.SpecModule,
+) -> list[CheckViolation]:
+    """call() may only target SMs reachable in the dependency hierarchy."""
+    violations: list[CheckViolation] = []
+    for sm_name, spec in module.machines.items():
+        reachable = spec.referenced_sms() | {sm_name}
+        for transition in spec.transitions.values():
+            for stmt in transition.statements():
+                if not isinstance(stmt, ast.Call):
+                    continue
+                target_type = _static_target_type(spec, transition, stmt)
+                if target_type and target_type not in reachable:
+                    violations.append(
+                        CheckViolation(
+                            sm_name, transition.name, "call_reachability",
+                            f"call targets {target_type!r}, which is not in "
+                            "this SM's dependency hierarchy",
+                        )
+                    )
+    return violations
+
+
+def _static_target_type(
+    spec: ast.SMSpec, transition: ast.Transition, stmt: ast.Call
+) -> str:
+    if isinstance(stmt.target, ast.SelfRef):
+        return spec.name
+    if isinstance(stmt.target, ast.Name):
+        for param in transition.params:
+            if param.name == stmt.target.ident and param.type.kind == "sm":
+                return param.type.sm_name
+        declared = spec.state_type(stmt.target.ident)
+        if declared is not None and declared.kind == "sm":
+            return declared.sm_name
+    return ""
+
+
+def error_code_violations(
+    module: ast.SpecModule, service_doc: ServiceDoc
+) -> list[CheckViolation]:
+    """Assert codes must be documented; documented codes must be asserted.
+
+    The first direction catches wrong-code hallucinations ("failure to
+    return the specific error codes required by client-side tooling",
+    §5); the second catches dropped checks whose code no other assert
+    in the same API carries.
+    """
+    violations: list[CheckViolation] = []
+    for res in service_doc.resources:
+        spec = module.get(res.name)
+        if spec is None:
+            continue
+        for api in res.apis:
+            transition = spec.transitions.get(api.name)
+            if transition is None or transition.is_stub:
+                violations.append(
+                    CheckViolation(res.name, api.name, "api_coverage",
+                                   "documented API has no transition")
+                )
+                continue
+            documented = set(api.error_codes())
+            asserted = {
+                stmt.error_code
+                for stmt in transition.statements()
+                if isinstance(stmt, ast.Assert)
+            }
+            for code in sorted(asserted - documented):
+                violations.append(
+                    CheckViolation(
+                        res.name, api.name, "undocumented_error_code",
+                        f"assert raises {code!r}, which the documentation "
+                        "never mentions for this API",
+                    )
+                )
+            for code in sorted(documented - asserted):
+                violations.append(
+                    CheckViolation(
+                        res.name, api.name, "missing_error_code",
+                        f"documentation promises {code!r}, but no assert "
+                        "raises it",
+                    )
+                )
+    return violations
+
+
+def create_no_destroy_violations(
+    module: ast.SpecModule,
+) -> list[CheckViolation]:
+    """Resource creation must not trigger destroy transitions (§1's
+    example: creation APIs should not be allowed to delete parents)."""
+    violations: list[CheckViolation] = []
+    for sm_name, spec in module.machines.items():
+        for transition in spec.transitions.values():
+            if transition.category != "create":
+                continue
+            for stmt in transition.statements():
+                if not isinstance(stmt, ast.Call):
+                    continue
+                target_type = _static_target_type(spec, transition, stmt)
+                callee_spec = module.get(target_type) if target_type else None
+                if callee_spec is None:
+                    continue
+                callee = callee_spec.transitions.get(stmt.transition)
+                if callee is not None and callee.category == "destroy":
+                    violations.append(
+                        CheckViolation(
+                            sm_name, transition.name, "create_destroys",
+                            f"create() calls destroy transition "
+                            f"{target_type}.{stmt.transition}",
+                        )
+                    )
+    return violations
+
+
+def run_checks(
+    module: ast.SpecModule, service_doc: ServiceDoc
+) -> list[CheckViolation]:
+    """All consistency checks, in the order the pipeline applies them."""
+    violations: list[CheckViolation] = []
+    violations.extend(completeness_violations(module, service_doc))
+    violations.extend(describe_readonly_violations(module))
+    violations.extend(call_reachability_violations(module))
+    violations.extend(error_code_violations(module, service_doc))
+    violations.extend(create_no_destroy_violations(module))
+    return violations

@@ -1,0 +1,96 @@
+"""Resource-level dependency graphs (§4.2).
+
+Extraction iterates over resources in dependency order so that, as far
+as possible, an SM's references point at already-generated machines;
+whatever remains (cycles, helper transitions) is patched by the
+linking pass.  The same graph powers the completeness check (via
+transitive closure) and the §4.4 complexity metrics (nodes, edge
+density).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..docs.model import ResourceDoc, ServiceDoc
+
+
+def resource_references(res: ResourceDoc) -> set[str]:
+    """Every resource type ``res`` depends on, per its documentation."""
+    refs: set[str] = set()
+    if res.parent:
+        refs.add(res.parent)
+    for attribute in res.attributes:
+        if attribute.type == "Reference" and attribute.ref:
+            refs.add(attribute.ref)
+    for api in res.apis:
+        for param in api.params:
+            if param.type == "Reference" and param.ref:
+                refs.add(param.ref)
+    refs.discard(res.name)
+    return refs
+
+
+def build_dependency_graph(service_doc: ServiceDoc) -> nx.DiGraph:
+    """Directed graph: edge A -> B when A depends on B."""
+    graph = nx.DiGraph()
+    for res in service_doc.resources:
+        graph.add_node(res.name)
+    known = {res.name for res in service_doc.resources}
+    for res in service_doc.resources:
+        for ref in resource_references(res):
+            if ref in known:
+                graph.add_edge(res.name, ref)
+            else:
+                # Cross-service reference (e.g. a firewall's VPC); keep
+                # the node so completeness can flag it when required.
+                graph.add_node(ref, external=True)
+                graph.add_edge(res.name, ref)
+    return graph
+
+
+def extraction_order(service_doc: ServiceDoc) -> list[str]:
+    """Resources ordered dependencies-first (cycles broken arbitrarily)."""
+    graph = build_dependency_graph(service_doc)
+    local = {res.name for res in service_doc.resources}
+    subgraph = graph.subgraph(local).copy()
+    try:
+        order = list(nx.topological_sort(subgraph))
+    except nx.NetworkXUnfeasible:
+        # Cycles exist (mutually referencing resources): condense and
+        # order the strongly connected components instead.
+        condensed = nx.condensation(subgraph)
+        order = []
+        for component_id in nx.topological_sort(condensed):
+            order.extend(sorted(condensed.nodes[component_id]["members"]))
+    # topological_sort yields dependents before dependencies for our
+    # edge direction; reverse to build bottom-up.
+    order.reverse()
+    return order
+
+
+def transitive_dependencies(service_doc: ServiceDoc, root: str) -> set[str]:
+    """The transitive closure of ``root``'s dependencies."""
+    graph = build_dependency_graph(service_doc)
+    if root not in graph:
+        return set()
+    return set(nx.descendants(graph, root))
+
+
+def graph_metrics(service_doc: ServiceDoc) -> dict:
+    """Objective complexity metrics over the SM interaction graph (§4.4)."""
+    graph = build_dependency_graph(service_doc)
+    local = {res.name for res in service_doc.resources}
+    subgraph = graph.subgraph(local)
+    node_count = subgraph.number_of_nodes()
+    edge_count = subgraph.number_of_edges()
+    possible = node_count * (node_count - 1)
+    return {
+        "nodes": node_count,
+        "edges": edge_count,
+        "edge_density": (edge_count / possible) if possible else 0.0,
+        "external_references": sorted(
+            node for node, data in graph.nodes(data=True)
+            if data.get("external")
+        ),
+    }

@@ -1,0 +1,90 @@
+"""Incremental, multi-pass spec extraction (§4.2).
+
+The LLM iterates over resources in dependency order, generating one SM
+at a time.  Cross-SM effects (list maintenance on a parent, association
+callbacks) compile to calls into helper transitions that may not exist
+yet; those are recorded as :class:`HelperRequirement` stubs for the
+linking pass to patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..docs.model import ServiceDoc
+from ..llm.client import SimulatedLLM
+from ..llm.prompting import synthesize_with_reprompt, SynthesisResult
+from ..llm.synthesis import HelperRequirement
+from ..spec import ast
+from .dependency import extraction_order
+
+
+@dataclass
+class ExtractionState:
+    """Everything the per-resource passes produced, pre-linking."""
+
+    service: str
+    provider: str
+    specs: dict[str, ast.SMSpec] = field(default_factory=dict)
+    helper_requirements: list[HelperRequirement] = field(default_factory=list)
+    results: dict[str, SynthesisResult] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(result.attempts for result in self.results.values())
+
+    @property
+    def reprompted_resources(self) -> list[str]:
+        return [
+            name for name, result in self.results.items()
+            if result.attempts > 1
+        ]
+
+
+def extract_incrementally(
+    llm: SimulatedLLM,
+    service_doc: ServiceDoc,
+    max_attempts: int = 4,
+) -> ExtractionState:
+    """Generate one SM per documented resource, dependencies first."""
+    state = ExtractionState(
+        service=service_doc.name, provider=service_doc.provider
+    )
+    state.order = extraction_order(service_doc)
+    by_name = {res.name: res for res in service_doc.resources}
+    for name in state.order:
+        resource = by_name[name]
+        result = synthesize_with_reprompt(llm, resource, max_attempts)
+        state.specs[name] = result.spec
+        state.results[name] = result
+        state.helper_requirements.extend(result.report.helpers_needed)
+    return state
+
+
+def regenerate_resource(
+    llm: SimulatedLLM,
+    service_doc: ServiceDoc,
+    state: ExtractionState,
+    resource_name: str,
+) -> None:
+    """Targeted correction: regenerate one resource cleanly (§4.2).
+
+    Used by the pipeline when consistency checks flag a resource; the
+    regenerated SM replaces the faulty one in place, and its helper
+    requirements are re-recorded.
+    """
+    resource = service_doc.resource(resource_name)
+    from ..llm.prompting import build_prompt
+    from ..spec.parser import parse_sm
+
+    prompt = build_prompt(resource, feedback="consistency check failed")
+    text, report = llm.regenerate_clean(resource, prompt)
+    spec = parse_sm(text)
+    state.specs[resource_name] = spec
+    state.results[resource_name] = SynthesisResult(
+        spec=spec, report=report, attempts=1
+    )
+    # Helper requirements are value objects; duplicates from the first
+    # pass are deduplicated by the linking pass.
+    state.helper_requirements.extend(report.helpers_needed)

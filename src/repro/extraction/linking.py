@@ -1,0 +1,72 @@
+"""Specification linking (§4.2).
+
+The incrementally generated "modules" are spliced together: helper
+transitions required by cross-SM calls are patched into their target
+machines, per-resource not-found error codes are collected from the
+documentation, and the result is one executable
+:class:`~repro.spec.ast.SpecModule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..docs.model import ServiceDoc
+from ..spec import ast
+from ..spec.types import StateType
+from .incremental import ExtractionState
+
+
+@dataclass
+class LinkResult:
+    """The linked module plus metadata extraction needs downstream."""
+
+    module: ast.SpecModule
+    notfound_codes: dict[str, str] = field(default_factory=dict)
+    patched_helpers: list[str] = field(default_factory=list)
+    unresolved: list[str] = field(default_factory=list)
+
+
+def link_module(state: ExtractionState, service_doc: ServiceDoc) -> LinkResult:
+    """Splice the per-resource SMs into one executable module."""
+    module = ast.SpecModule(service=state.service, provider=state.provider)
+    for name in state.order:
+        module.add(state.specs[name])
+
+    result = LinkResult(module=module)
+
+    seen: set[tuple[str, str]] = set()
+    for helper in state.helper_requirements:
+        key = (helper.target, helper.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        target = module.get(helper.target)
+        if target is None:
+            result.unresolved.append(
+                f"helper {helper.name} requires unknown SM {helper.target!r}"
+            )
+            continue
+        if helper.name not in target.transitions:
+            target.transitions[helper.name] = helper.build()
+            result.patched_helpers.append(f"{helper.target}.{helper.name}")
+        # The helper mutates a list attribute; if generation dropped it,
+        # restore the state variable so the spliced module is executable.
+        if target.state_type(helper.list_attr) is None:
+            target.states.append(
+                ast.StateDecl(helper.list_attr, StateType("list"), None)
+            )
+
+    for res in service_doc.resources:
+        if res.notfound_code:
+            result.notfound_codes[res.name] = res.notfound_code
+
+    # Any transition still marked as a stub after splicing is an
+    # unpatched forward declaration — linking must surface it.
+    for sm_name, spec in module.machines.items():
+        for transition in spec.transitions.values():
+            if transition.is_stub:
+                result.unresolved.append(
+                    f"unlinked stub {sm_name}.{transition.name}"
+                )
+    return result

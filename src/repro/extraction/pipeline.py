@@ -1,0 +1,107 @@
+"""The end-to-end extraction pipeline (Fig. 2, left half).
+
+documentation wrangling -> incremental extraction -> specification
+linking -> consistency checks -> targeted correction -> an executable
+emulator.  Alignment (the right half of Fig. 2) lives in
+:mod:`repro.alignment` and consumes this pipeline's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..docs import build_catalog, render_docs, wrangle
+from ..docs.model import ServiceDoc
+from ..interpreter.emulator import Emulator
+from ..llm.client import make_llm, SimulatedLLM
+from ..spec import ast
+from ..spec.validator import collect_violations
+from .checks import CheckViolation, run_checks
+from .incremental import extract_incrementally, ExtractionState, regenerate_resource
+from .linking import link_module, LinkResult
+
+
+@dataclass
+class ExtractionOutcome:
+    """Everything the pipeline produced for one service."""
+
+    service: str
+    module: ast.SpecModule
+    notfound_codes: dict[str, str]
+    state: ExtractionState
+    link: LinkResult
+    initial_violations: list[CheckViolation] = field(default_factory=list)
+    remaining_violations: list[CheckViolation] = field(default_factory=list)
+    corrected_resources: list[str] = field(default_factory=list)
+    validator_violations: list[str] = field(default_factory=list)
+
+    def build_emulator(self) -> Emulator:
+        """Instantiate a fresh emulator over the extracted module."""
+        return Emulator(self.module, notfound_codes=self.notfound_codes)
+
+    @property
+    def total_llm_attempts(self) -> int:
+        return self.state.total_attempts
+
+
+def run_extraction(
+    service: str = "ec2",
+    mode: str = "constrained",
+    seed: int = 7,
+    llm: SimulatedLLM | None = None,
+    service_doc: ServiceDoc | None = None,
+    checks_enabled: bool = True,
+    correction_rounds: int = 3,
+    max_attempts: int = 4,
+) -> ExtractionOutcome:
+    """Run the full pipeline for one service.
+
+    ``service_doc`` overrides the built-in catalog (used in tests);
+    otherwise the catalog is built, rendered to provider text, and
+    wrangled back — the LLM only ever sees what documentation pages
+    carry.
+    """
+    if service_doc is None:
+        catalog = build_catalog(service)
+        pages = render_docs(catalog)
+        service_doc = wrangle(pages, provider=catalog.provider,
+                              service=service)
+        # Not-found codes and undocumented behaviours live outside the
+        # page text only in the sense that wrangling recovers them from
+        # the header fields; behaviour rules come from prose alone.
+    if llm is None:
+        llm = make_llm(mode, seed=seed)
+
+    state = extract_incrementally(llm, service_doc, max_attempts=max_attempts)
+    link = link_module(state, service_doc)
+    outcome = ExtractionOutcome(
+        service=service,
+        module=link.module,
+        notfound_codes=link.notfound_codes,
+        state=state,
+        link=link,
+    )
+
+    if not checks_enabled:
+        outcome.validator_violations = collect_violations(link.module)
+        return outcome
+
+    violations = run_checks(link.module, service_doc)
+    outcome.initial_violations = list(violations)
+    rounds = 0
+    while violations and rounds < correction_rounds:
+        flagged = sorted({v.resource for v in violations if v.resource})
+        for resource_name in flagged:
+            if resource_name in state.specs:
+                regenerate_resource(llm, service_doc, state, resource_name)
+                if resource_name not in outcome.corrected_resources:
+                    outcome.corrected_resources.append(resource_name)
+        link = link_module(state, service_doc)
+        outcome.module = link.module
+        outcome.notfound_codes = link.notfound_codes
+        outcome.link = link
+        violations = run_checks(link.module, service_doc)
+        rounds += 1
+    outcome.remaining_violations = violations
+    outcome.validator_violations = collect_violations(outcome.module)
+    return outcome

@@ -1,0 +1,45 @@
+"""The emulator framework: executes SM specs as a mock cloud (§4.2).
+
+The framework is the "one-time engineering effort" the paper describes:
+a generic interpreter for the SM grammar.  All service-specific
+behaviour comes from specs; nothing here knows what a VPC is.
+"""
+
+from .builtins import PURE_BUILTINS
+from .emulator import Emulator, normalize_key
+from .endpoint import JsonEndpoint, ProtocolError
+from .errors import (
+    ApiResponse,
+    CloudError,
+    default_notfound_code,
+    DEPENDENCY_VIOLATION,
+    INTERNAL_FAILURE,
+    INVALID_PARAMETER,
+    MISSING_PARAMETER,
+    UNKNOWN_API,
+)
+from .evaluator import Evaluator, evaluate_defaults, MAX_CALL_DEPTH
+from .machine import Handle, MachineInstance, Registry, Transaction
+
+__all__ = [
+    "ApiResponse",
+    "CloudError",
+    "default_notfound_code",
+    "DEPENDENCY_VIOLATION",
+    "Emulator",
+    "Evaluator",
+    "evaluate_defaults",
+    "Handle",
+    "INTERNAL_FAILURE",
+    "INVALID_PARAMETER",
+    "JsonEndpoint",
+    "MachineInstance",
+    "ProtocolError",
+    "MAX_CALL_DEPTH",
+    "MISSING_PARAMETER",
+    "normalize_key",
+    "PURE_BUILTINS",
+    "Registry",
+    "Transaction",
+    "UNKNOWN_API",
+]

@@ -1,0 +1,161 @@
+"""Implementations of the spec language's builtin functions.
+
+The builtins give predicates the domain vocabulary that cloud
+constraints need (CIDR arithmetic, membership, existence) while keeping
+the grammar itself tiny.  Everything here is pure; ``new_id`` and
+``now`` take their effects from the evaluation context so that emulator
+runs are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+def valid_cidr(value: object) -> bool:
+    """True when ``value`` is a syntactically valid IPv4 CIDR block."""
+    if not isinstance(value, str):
+        return False
+    try:
+        ipaddress.IPv4Network(value, strict=False)
+    except ValueError:
+        return False
+    return "/" in value
+
+
+def valid_ip(value: object) -> bool:
+    """True when ``value`` is a valid IPv4 address."""
+    if not isinstance(value, str):
+        return False
+    try:
+        ipaddress.IPv4Address(value)
+    except ValueError:
+        return False
+    return True
+
+
+def prefix_len(value: object) -> int:
+    """Prefix length of a CIDR block; -1 when the block is invalid.
+
+    Returning a sentinel instead of raising keeps predicates total,
+    which symbolic execution (§4.3) depends on.
+    """
+    if not valid_cidr(value):
+        return -1
+    return ipaddress.IPv4Network(value, strict=False).prefixlen
+
+
+def cidr_within(inner: object, outer: object) -> bool:
+    """True when CIDR ``inner`` is wholly contained in CIDR ``outer``."""
+    if not (valid_cidr(inner) and valid_cidr(outer)):
+        return False
+    inner_net = ipaddress.IPv4Network(inner, strict=False)
+    outer_net = ipaddress.IPv4Network(outer, strict=False)
+    return inner_net.subnet_of(outer_net)
+
+
+def cidr_overlaps(left: object, right: object) -> bool:
+    """True when two CIDR blocks overlap."""
+    if not (valid_cidr(left) and valid_cidr(right)):
+        return False
+    left_net = ipaddress.IPv4Network(left, strict=False)
+    right_net = ipaddress.IPv4Network(right, strict=False)
+    return left_net.overlaps(right_net)
+
+
+def length(value: object) -> int:
+    """``len`` over lists, maps and strings; 0 for null."""
+    if value is None:
+        return 0
+    if isinstance(value, (list, dict, str, tuple, set)):
+        return len(value)
+    return 0
+
+
+def contains(container: object, item: object) -> bool:
+    """Membership over lists/maps/strings; false for null containers."""
+    if container is None:
+        return False
+    if isinstance(container, dict):
+        return item in container
+    if isinstance(container, (list, tuple, set, str)):
+        return item in container
+    return False
+
+
+def exists(value: object) -> bool:
+    """True when a value is present (non-null, non-empty-string)."""
+    return value is not None and value != ""
+
+
+def lookup(mapping: object, key: object) -> object:
+    """Map lookup that is total (null on missing key / non-map)."""
+    if isinstance(mapping, dict):
+        return mapping.get(key)
+    return None
+
+
+def concat(*parts: object) -> str:
+    """String concatenation; nulls render as empty strings."""
+    return "".join("" if part is None else str(part) for part in parts)
+
+
+def cidr_overlaps_any(block: object, blocks: object) -> bool:
+    """True when ``block`` overlaps any CIDR in the list ``blocks``.
+
+    The grammar has no loops (by design), so membership-style CIDR
+    checks against a sibling list are a builtin.
+    """
+    if not isinstance(blocks, (list, tuple)):
+        return False
+    return any(cidr_overlaps(block, other) for other in blocks)
+
+
+def append(items: object, item: object) -> list:
+    """Return a new list with ``item`` appended (lists are values)."""
+    base = list(items) if isinstance(items, (list, tuple)) else []
+    base.append(item)
+    return base
+
+
+def remove(items: object, item: object) -> list:
+    """Return a new list with the first occurrence of ``item`` removed."""
+    base = list(items) if isinstance(items, (list, tuple)) else []
+    if item in base:
+        base.remove(item)
+    return base
+
+
+def put(mapping: object, key: object, value: object) -> dict:
+    """Return a new map with ``key`` set to ``value``."""
+    base = dict(mapping) if isinstance(mapping, dict) else {}
+    base[key] = value
+    return base
+
+
+def drop(mapping: object, key: object) -> dict:
+    """Return a new map without ``key``."""
+    base = dict(mapping) if isinstance(mapping, dict) else {}
+    base.pop(key, None)
+    return base
+
+
+#: Pure builtins keyed by their spec-language name.  ``new_id`` and
+#: ``now`` are context-bound and provided by the evaluator.
+PURE_BUILTINS = {
+    "valid_cidr": valid_cidr,
+    "valid_ip": valid_ip,
+    "prefix_len": prefix_len,
+    "cidr_within": cidr_within,
+    "cidr_overlaps": cidr_overlaps,
+    "cidr_overlaps_any": cidr_overlaps_any,
+    "len": length,
+    "contains": contains,
+    "exists": exists,
+    "lookup": lookup,
+    "concat": concat,
+    "append": append,
+    "remove": remove,
+    "put": put,
+    "drop": drop,
+}

@@ -1,0 +1,197 @@
+"""The emulator front-end: cloud API in, API response out.
+
+This is the component a DevOps program talks to instead of the real
+cloud.  It dispatches each API call to the owning SM's transition
+(via the module's transition index), manages instance lifecycle
+(create/destroy categories), binds request parameters, and wraps
+evaluation in a transaction so failures roll back atomically.
+"""
+
+from __future__ import annotations
+
+from ..spec import ast
+from .errors import (
+    ApiResponse,
+    CloudError,
+    default_notfound_code,
+    INVALID_PARAMETER,
+    MISSING_PARAMETER,
+    UNKNOWN_API,
+)
+from .evaluator import Evaluator, evaluate_defaults
+from .machine import Handle, Registry, Transaction
+
+
+def normalize_key(key: str) -> str:
+    """Normalize a parameter key: ``VpcId`` == ``vpc_id`` == ``vpcid``."""
+    return key.replace("_", "").replace("-", "").lower()
+
+
+class Emulator:
+    """Executes a spec module as a mock cloud.
+
+    Parameters
+    ----------
+    module:
+        The executable specification (one service's SMs).
+    notfound_codes:
+        Per-resource-type overrides for the not-found error code, as
+        extracted from documentation (e.g. DynamoDB uses
+        ``ResourceNotFoundException`` instead of the EC2-style
+        ``InvalidVpcID.NotFound``).
+    """
+
+    def __init__(
+        self,
+        module: ast.SpecModule,
+        notfound_codes: dict[str, str] | None = None,
+    ):
+        self.module = module
+        self.notfound_codes = dict(notfound_codes or {})
+        self.registry = Registry()
+        self._index = module.transition_index()
+
+    # -- public API ------------------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        """Every public cloud API this emulator responds to."""
+        return sorted(
+            name for name in self._index if not name.startswith("_")
+        )
+
+    def supports(self, api: str) -> bool:
+        return api in self._index and not api.startswith("_")
+
+    def reset(self) -> None:
+        """Drop all emulated resources (fresh mock cloud)."""
+        self.registry = Registry()
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        """Invoke a cloud API against the mock backend."""
+        params = params or {}
+        entry = self._index.get(api)
+        if api.startswith("_"):
+            entry = None  # helper transitions are not externally callable
+        if entry is None:
+            return ApiResponse.fail(
+                UNKNOWN_API, f"The action {api} is not valid for this endpoint."
+            )
+        sm_name, transition = entry
+        spec = self.module.machines[sm_name]
+        # List-class APIs: describe transitions with no parameters
+        # enumerate all instances of the resource type.
+        if transition.category == "describe" and not transition.params:
+            ids = sorted(
+                instance.id for instance in self.registry.of_type(sm_name)
+            )
+            return ApiResponse.ok({"ids": ids, "count": len(ids)})
+        txn = Transaction(self.registry)
+        evaluator = Evaluator(txn, self.module.machines, self.registry)
+        try:
+            subject, args = self._bind(spec, transition, params, txn)
+            payload = evaluator.run_transition(subject, transition, args)
+            if transition.category == "destroy":
+                txn.mark_deleted(subject.id)
+            if transition.category == "create" or txn.is_created_here(subject.id):
+                payload.setdefault("id", subject.id)
+                payload.setdefault(f"{sm_name}_id", subject.id)
+        except CloudError as error:
+            return error.to_response()
+        txn.commit()
+        return ApiResponse.ok(payload)
+
+    # -- binding ---------------------------------------------------------------
+
+    def _notfound(self, sm_name: str) -> str:
+        return self.notfound_codes.get(sm_name, default_notfound_code(sm_name))
+
+    def _bind(
+        self,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        params: dict,
+        txn: Transaction,
+    ) -> tuple[Handle, dict[str, object]]:
+        """Resolve the subject instance and bind request parameters."""
+        request = {normalize_key(key): value for key, value in params.items()}
+        args: dict[str, object] = {}
+        for param in transition.params:
+            value = request.get(normalize_key(param.name))
+            if value is not None and param.type.kind == "sm":
+                value = self._resolve_reference(param.type.sm_name, value, txn)
+            # Scalar parameters are deliberately not type-checked here:
+            # cloud APIs validate *semantics* (via the documented
+            # checks), and a framework-level type error would diverge
+            # from cloud behaviour the documentation never promises.
+            args[param.name] = value
+
+        if transition.category == "create":
+            parent_id = self._find_parent(spec, args)
+            instance = self.registry.create(
+                spec, evaluate_defaults(spec), parent_id=parent_id
+            )
+            txn.create(instance)
+            return Handle(txn, instance.id), args
+
+        subject_id = self._subject_id(spec, transition, request, args)
+        if subject_id is None:
+            raise CloudError(
+                MISSING_PARAMETER,
+                f"The request must contain the parameter {spec.name}_id",
+            )
+        if isinstance(subject_id, Handle):
+            return subject_id, args
+        instance = txn.instance(str(subject_id))
+        if instance is None or instance.type_name != spec.name:
+            raise CloudError(
+                self._notfound(spec.name),
+                f"The {spec.name} ID '{subject_id}' does not exist",
+            )
+        return Handle(txn, instance.id), args
+
+    def _resolve_reference(self, sm_name: str, value: object, txn: Transaction):
+        if isinstance(value, Handle):
+            return value
+        if not isinstance(value, str):
+            raise CloudError(
+                INVALID_PARAMETER, f"Expected a resource identifier, got {value!r}"
+            )
+        instance = txn.instance(value)
+        if instance is None or (sm_name and instance.type_name != sm_name):
+            raise CloudError(
+                self._notfound(sm_name or "resource"),
+                f"The ID '{value}' does not exist",
+            )
+        return Handle(txn, instance.id)
+
+    def _find_parent(self, spec: ast.SMSpec, args: dict[str, object]) -> str:
+        if not spec.parent:
+            return ""
+        for value in args.values():
+            if isinstance(value, Handle) and value.spec.name == spec.parent:
+                return value.id
+        return ""
+
+    def _subject_id(
+        self,
+        spec: ast.SMSpec,
+        transition: ast.Transition,
+        request: dict,
+        args: dict[str, object],
+    ):
+        id_key = normalize_key(f"{spec.name}_id")
+        # Preferred: a declared parameter named <sm>_id.
+        for param in transition.params:
+            if normalize_key(param.name) == id_key and args.get(param.name):
+                return args[param.name]
+        # Next: a declared parameter typed SM<own-type>.
+        for param in transition.params:
+            if (
+                param.type.kind == "sm"
+                and param.type.sm_name == spec.name
+                and isinstance(args.get(param.name), Handle)
+            ):
+                return args[param.name]
+        # Last resort: the raw request carries the id even though the
+        # generated signature omitted it (a fault alignment can detect).
+        return request.get(id_key)

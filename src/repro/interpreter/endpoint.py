@@ -1,0 +1,114 @@
+"""A wire-protocol envelope over any backend.
+
+Emulators "mimic the cloud by exposing identical API interfaces" (§2):
+DevOps tooling talks a JSON envelope (action + parameters) and expects
+request ids, typed error envelopes and consistent metadata.  This layer
+wraps any backend — learned emulator, reference cloud, baseline — in
+that shape, so a client cannot tell which it is speaking to except
+through behaviour (which is the whole point of alignment).
+
+The envelope follows the query-API convention::
+
+    request:  {"Action": "CreateVpc", "Parameters": {"CidrBlock": ...}}
+    success:  {"ResponseMetadata": {"RequestId": ...}, <data fields>}
+    failure:  {"ResponseMetadata": {"RequestId": ...},
+               "Error": {"Code": ..., "Message": ...}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from .errors import ApiResponse
+
+
+class ProtocolError(Exception):
+    """The request envelope itself is malformed."""
+
+
+@dataclass
+class JsonEndpoint:
+    """A JSON front door for one backend.
+
+    Request ids are deterministic (a hash of the endpoint seed and the
+    request counter) so recorded traffic replays byte-identically.
+    """
+
+    backend: object
+    seed: int = 1
+    _counter: int = field(default=0, repr=False)
+
+    def _request_id(self) -> str:
+        self._counter += 1
+        digest = hashlib.sha256(
+            f"{self.seed}:{self._counter}".encode()
+        ).hexdigest()
+        return (f"{digest[:8]}-{digest[8:12]}-{digest[12:16]}-"
+                f"{digest[16:20]}-{digest[20:32]}")
+
+    # -- dict envelope -----------------------------------------------------
+
+    def dispatch(self, request: dict) -> dict:
+        """Handle one decoded request envelope."""
+        if not isinstance(request, dict):
+            raise ProtocolError("request must be a JSON object")
+        action = request.get("Action")
+        if not isinstance(action, str) or not action:
+            raise ProtocolError("request must carry a string 'Action'")
+        parameters = request.get("Parameters", {})
+        if parameters is None:
+            parameters = {}
+        if not isinstance(parameters, dict):
+            raise ProtocolError("'Parameters' must be a JSON object")
+        response = self.backend.invoke(action, parameters)
+        return self._envelope(response)
+
+    def _envelope(self, response: ApiResponse) -> dict:
+        body: dict = {
+            "ResponseMetadata": {"RequestId": self._request_id()},
+        }
+        if response.success:
+            body.update(response.data)
+        else:
+            body["Error"] = {
+                "Code": response.error_code,
+                "Message": response.error_message,
+            }
+        return body
+
+    # -- text envelope -----------------------------------------------------------
+
+    def handle(self, payload: str) -> str:
+        """Handle one JSON-encoded request; always returns valid JSON.
+
+        Envelope problems come back as a 400-style ``SerializationError``
+        rather than an exception: wire front doors don't crash on bad
+        input.
+        """
+        try:
+            request = json.loads(payload)
+        except json.JSONDecodeError as error:
+            return json.dumps({
+                "ResponseMetadata": {"RequestId": self._request_id()},
+                "Error": {
+                    "Code": "SerializationException",
+                    "Message": f"could not parse request: {error.msg}",
+                },
+            })
+        try:
+            body = self.dispatch(request)
+        except ProtocolError as error:
+            body = {
+                "ResponseMetadata": {"RequestId": self._request_id()},
+                "Error": {
+                    "Code": "SerializationException",
+                    "Message": str(error),
+                },
+            }
+        return json.dumps(body)
+
+    @staticmethod
+    def is_error(body: dict) -> bool:
+        return "Error" in body

@@ -1,0 +1,73 @@
+"""Cloud-style errors and API responses.
+
+Both the learned emulator and the reference cloud speak this response
+type, which is what makes differential alignment (§4.3) a pure data
+comparison.  Error *codes* are part of the contract (client tooling
+switches on them); error *messages* are for humans and may differ
+(§4.3's hypothesis), so alignment compares codes only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """The uniform result of one cloud API invocation."""
+
+    success: bool
+    data: dict = field(default_factory=dict)
+    error_code: str = ""
+    error_message: str = ""
+
+    @classmethod
+    def ok(cls, data: dict | None = None) -> "ApiResponse":
+        return cls(success=True, data=dict(data or {}))
+
+    @classmethod
+    def fail(cls, code: str, message: str = "") -> "ApiResponse":
+        return cls(success=False, error_code=code, error_message=message)
+
+    def outcome(self) -> tuple[bool, str]:
+        """The part of a response that alignment compares."""
+        return (self.success, self.error_code if not self.success else "")
+
+
+class CloudError(Exception):
+    """An API failure carrying a cloud error code.
+
+    Raised inside transition evaluation (failed ``assert``) and by the
+    framework itself (unknown API, resource not found, bad parameters).
+    The emulator converts it to a failed :class:`ApiResponse`; state
+    changes of the failing transition are rolled back atomically.
+    """
+
+    def __init__(self, code: str, message: str = ""):
+        self.code = code
+        self.message = message
+        super().__init__(f"{code}: {message}" if message else code)
+
+    def to_response(self) -> ApiResponse:
+        return ApiResponse.fail(self.code, self.message)
+
+
+# Framework-level error codes (AWS-flavoured defaults).
+UNKNOWN_API = "InvalidAction"
+MISSING_PARAMETER = "MissingParameter"
+INVALID_PARAMETER = "InvalidParameterValue"
+DEPENDENCY_VIOLATION = "DependencyViolation"
+INTERNAL_FAILURE = "InternalFailure"
+
+
+def default_notfound_code(sm_name: str) -> str:
+    """AWS-style not-found code for a resource type.
+
+    ``vpc`` → ``InvalidVpcID.NotFound``; multi-word resource names are
+    camel-cased (``internet_gateway`` → ``InvalidInternetGatewayID.NotFound``).
+    Services that use a different convention (DynamoDB's
+    ``ResourceNotFoundException``) override this per-module via the
+    extraction pipeline, which reads the code from the documentation.
+    """
+    camel = "".join(part.capitalize() for part in sm_name.split("_"))
+    return f"Invalid{camel}ID.NotFound"

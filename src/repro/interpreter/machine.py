@@ -1,0 +1,192 @@
+"""Runtime state machines, transactions and handles.
+
+Every cloud resource is one :class:`MachineInstance` — an SM spec plus
+its current state variables (§3).  Transitions execute inside a
+:class:`Transaction` so that a failed ``assert`` rolls back *all* state
+effects, including those made through cross-SM ``call``s: cloud APIs
+are atomic, and the paper's alignment methodology assumes failed calls
+leave no trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spec import ast
+from .errors import CloudError, INTERNAL_FAILURE
+
+
+@dataclass
+class MachineInstance:
+    """One live resource: identity, spec, and committed state."""
+
+    id: str
+    spec: ast.SMSpec
+    state: dict[str, object] = field(default_factory=dict)
+    parent_id: str = ""
+
+    @property
+    def type_name(self) -> str:
+        return self.spec.name
+
+
+class Transaction:
+    """Copy-on-write overlay over a registry for one API invocation.
+
+    Reads see pending writes; :meth:`commit` publishes writes, creations
+    and deletions atomically.  Abandoning the transaction (on a
+    :class:`CloudError`) leaves the registry untouched.
+    """
+
+    def __init__(self, registry: "Registry"):
+        self.registry = registry
+        self._writes: dict[str, dict[str, object]] = {}
+        self._created: dict[str, MachineInstance] = {}
+        self._deleted: set[str] = set()
+
+    # -- instance access -----------------------------------------------------
+
+    def instance(self, instance_id: str) -> MachineInstance | None:
+        if instance_id in self._deleted:
+            return None
+        if instance_id in self._created:
+            return self._created[instance_id]
+        return self.registry.instances.get(instance_id)
+
+    def get_state(self, instance_id: str, name: str) -> object:
+        pending = self._writes.get(instance_id)
+        if pending is not None and name in pending:
+            return pending[name]
+        instance = self.instance(instance_id)
+        if instance is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
+        return instance.state.get(name)
+
+    def set_state(self, instance_id: str, name: str, value: object) -> None:
+        if self.instance(instance_id) is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
+        self._writes.setdefault(instance_id, {})[name] = value
+
+    def create(self, instance: MachineInstance) -> None:
+        self._created[instance.id] = instance
+
+    def mark_deleted(self, instance_id: str) -> None:
+        self._deleted.add(instance_id)
+
+    def is_created_here(self, instance_id: str) -> bool:
+        return instance_id in self._created
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> None:
+        for instance in self._created.values():
+            self.registry.instances[instance.id] = instance
+        for instance_id, writes in self._writes.items():
+            if instance_id in self._deleted:
+                continue
+            target = self.registry.instances.get(instance_id)
+            if target is None:
+                target = self._created.get(instance_id)
+            if target is not None:
+                target.state.update(writes)
+        for instance_id in self._deleted:
+            self.registry.instances.pop(instance_id, None)
+
+
+class Handle:
+    """A transaction-scoped reference to a machine instance.
+
+    This is what ``self`` and SM-typed values evaluate to inside a
+    transition body; attribute access reads through the transaction
+    overlay so cross-SM calls observe each other's pending writes.
+    """
+
+    __slots__ = ("txn", "instance_id")
+
+    def __init__(self, txn: Transaction, instance_id: str):
+        self.txn = txn
+        self.instance_id = instance_id
+
+    @property
+    def id(self) -> str:
+        return self.instance_id
+
+    @property
+    def spec(self) -> ast.SMSpec:
+        instance = self.txn.instance(self.instance_id)
+        if instance is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling handle {self.instance_id}")
+        return instance.spec
+
+    def get(self, name: str) -> object:
+        if name == "id":
+            return self.instance_id
+        return self.txn.get_state(self.instance_id, name)
+
+    def set(self, name: str, value: object) -> None:
+        self.txn.set_state(self.instance_id, name, value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Handle):
+            return self.instance_id == other.instance_id
+        if isinstance(other, str):
+            return self.instance_id == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.instance_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Handle({self.instance_id})"
+
+
+class Registry:
+    """All live resources of one emulated cloud, plus ID generation.
+
+    IDs are deterministic per resource type (``vpc-00000001``), so two
+    runs of the same DevOps program produce identical traces — a
+    property both the tests and the alignment differ rely on.
+    """
+
+    def __init__(self):
+        self.instances: dict[str, MachineInstance] = {}
+        self._counters: dict[str, int] = {}
+
+    def new_id(self, sm_name: str) -> str:
+        count = self._counters.get(sm_name, 0) + 1
+        self._counters[sm_name] = count
+        prefix = "".join(part[0] for part in sm_name.split("_")) if len(
+            sm_name
+        ) > 12 else sm_name
+        return f"{prefix}-{count:08d}"
+
+    def create(
+        self, spec: ast.SMSpec, defaults: dict[str, object], parent_id: str = ""
+    ) -> MachineInstance:
+        instance = MachineInstance(
+            id=self.new_id(spec.name),
+            spec=spec,
+            state=dict(defaults),
+            parent_id=parent_id,
+        )
+        return instance
+
+    def get(self, instance_id: str) -> MachineInstance | None:
+        return self.instances.get(instance_id)
+
+    def of_type(self, sm_name: str) -> list[MachineInstance]:
+        return [
+            instance
+            for instance in self.instances.values()
+            if instance.type_name == sm_name
+        ]
+
+    def children_of(self, instance_id: str) -> list[MachineInstance]:
+        return [
+            instance
+            for instance in self.instances.values()
+            if instance.parent_id == instance_id
+        ]
+
+    def __len__(self) -> int:
+        return len(self.instances)

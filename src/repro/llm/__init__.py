@@ -1,0 +1,73 @@
+"""Simulated LLM layer: generation, fault models, prompting.
+
+The offline substitution for the paper's LLM (Gemini 2.5 Pro).  See
+DESIGN.md for the substitution argument; see :mod:`repro.llm.faults`
+for the fault taxonomy that reproduces §5's error categories.
+"""
+
+from .client import LLMClient, LLMUsage, make_llm, SimulatedLLM
+from .constrained import (
+    ConstrainedDecoder,
+    DecodeResult,
+    GrammarPrefixChecker,
+)
+from .faults import (
+    CONSTRAINED_PROFILE,
+    DIRECT_PROFILE,
+    FaultDecision,
+    FaultModel,
+    FaultProfile,
+    PERFECT_PROFILE,
+    REPROMPT_PROFILE,
+    SHALLOW_CHECK_KINDS,
+    SUBTLE_CHECK_KINDS,
+    UNCOMMON_ATTRIBUTES,
+)
+from .prompting import (
+    build_prompt,
+    GRAMMAR_SUMMARY,
+    SynthesisResult,
+    synthesize_with_reprompt,
+)
+from .synthesis import (
+    attribute_state_type,
+    GenerationReport,
+    HelperRequirement,
+    param_state_type,
+    RuleCompiler,
+    SpecSynthesizer,
+    track_helper_name,
+    untrack_helper_name,
+)
+
+__all__ = [
+    "attribute_state_type",
+    "build_prompt",
+    "CONSTRAINED_PROFILE",
+    "ConstrainedDecoder",
+    "DecodeResult",
+    "DIRECT_PROFILE",
+    "GrammarPrefixChecker",
+    "FaultDecision",
+    "FaultModel",
+    "FaultProfile",
+    "GenerationReport",
+    "GRAMMAR_SUMMARY",
+    "HelperRequirement",
+    "LLMClient",
+    "LLMUsage",
+    "make_llm",
+    "param_state_type",
+    "PERFECT_PROFILE",
+    "REPROMPT_PROFILE",
+    "RuleCompiler",
+    "SHALLOW_CHECK_KINDS",
+    "SimulatedLLM",
+    "SpecSynthesizer",
+    "SUBTLE_CHECK_KINDS",
+    "SynthesisResult",
+    "synthesize_with_reprompt",
+    "track_helper_name",
+    "UNCOMMON_ATTRIBUTES",
+    "untrack_helper_name",
+]

@@ -1,0 +1,150 @@
+"""The LLM client abstraction and its offline simulation.
+
+The paper's prototype prompts Gemini 2.5 Pro with cloud documentation
+and collects SM specs (or raw emulator code for the D2C baseline).
+This environment has no model API, so :class:`SimulatedLLM` stands in:
+it consumes the *rendered documentation text* (re-wrangled into one
+resource's context, per §4.1), translates it through the deterministic
+synthesizer, and perturbs the output according to a fault profile that
+reproduces the error taxonomy §5 measured.  Everything downstream —
+parsing, checks, linking, alignment, accuracy scoring — consumes the
+generated artifacts exactly as it would a real model's output.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..docs.model import ResourceDoc
+from ..docs.prose import parse_rule
+from .faults import (
+    CONSTRAINED_PROFILE,
+    DIRECT_PROFILE,
+    FaultModel,
+    FaultProfile,
+    PERFECT_PROFILE,
+    REPROMPT_PROFILE,
+)
+from .synthesis import GenerationReport, SpecSynthesizer
+
+
+@dataclass
+class LLMUsage:
+    """Token accounting, for the cost/latency aspects of §5."""
+
+    requests: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    def record(self, prompt: str, completion: str) -> None:
+        self.requests += 1
+        # The standard rough heuristic of ~4 characters per token.
+        self.prompt_tokens += max(1, len(prompt) // 4)
+        self.completion_tokens += max(1, len(completion) // 4)
+
+
+class LLMClient(Protocol):
+    """What the extraction pipeline requires of a language model."""
+
+    def generate_spec(self, resource: ResourceDoc, prompt: str,
+                      attempt: int = 0) -> tuple[str, GenerationReport]:
+        """Generate SM spec text for one resource's documentation."""
+        ...  # pragma: no cover - protocol
+
+    def diagnose_error_message(self, message: str):
+        """Recover a behaviour rule from a cloud error message, if any."""
+        ...  # pragma: no cover - protocol
+
+
+def _corrupt_syntax(text: str, attempt: int) -> str:
+    """Introduce a grammar violation, as unconstrained decoding can.
+
+    Drops one semicolon (varying with the attempt), which reliably
+    breaks the statement grammar while leaving the text plausible —
+    the kind of surface error re-prompting fixes.
+    """
+    positions = [match.start() for match in re.finditer(";", text)]
+    if not positions:
+        return text + " }"
+    victim = positions[attempt % len(positions)]
+    return text[:victim] + text[victim + 1:]
+
+
+@dataclass
+class SimulatedLLM:
+    """Deterministic stand-in for the paper's LLM (see DESIGN.md).
+
+    ``constrained`` selects constrained decoding (§4.2): the decoder
+    masks grammar-violating tokens, so output always parses regardless
+    of the fault profile's syntax-error rate.
+    """
+
+    profile: FaultProfile = CONSTRAINED_PROFILE
+    constrained: bool = True
+    seed: int = 7
+    usage: LLMUsage = field(default_factory=LLMUsage)
+
+    def __post_init__(self) -> None:
+        self._fault_model = FaultModel(self.profile, seed=self.seed)
+        self._synthesizer = SpecSynthesizer(self._fault_model)
+
+    # -- generation -------------------------------------------------------
+
+    def generate_spec(
+        self, resource: ResourceDoc, prompt: str, attempt: int = 0
+    ) -> tuple[str, GenerationReport]:
+        text, report = self._synthesizer.synthesize_text(
+            resource, attempt=attempt
+        )
+        if not self.constrained and self._fault_model.decide_syntax(
+            resource.name, attempt
+        ):
+            text = _corrupt_syntax(text, attempt)
+        self.usage.record(prompt, text)
+        return text, report
+
+    def regenerate_clean(
+        self, resource: ResourceDoc, prompt: str
+    ) -> tuple[str, GenerationReport]:
+        """Targeted correction (§4.2): regenerate with the violation
+        called out in the prompt, which the simulation models as a
+        fault-free pass for this resource."""
+        clean = SpecSynthesizer(FaultModel(PERFECT_PROFILE, seed=self.seed))
+        text, report = clean.synthesize_text(resource)
+        self.usage.record(prompt, text)
+        return text, report
+
+    # -- diagnosis ----------------------------------------------------------
+
+    def diagnose_error_message(self, message: str):
+        """Extract the violated behaviour from a cloud error message.
+
+        Cloud error messages describe the violated condition in prose;
+        alignment feeds the delta to the LLM, which maps it back to a
+        rule in the vocabulary (§4.3).  Returns ``None`` when the
+        message carries no actionable structure.
+        """
+        self.usage.record(message, "")
+        return parse_rule(message)
+
+
+def make_llm(mode: str, seed: int = 7) -> SimulatedLLM:
+    """Build a simulated LLM for one of the evaluation modes.
+
+    - ``constrained``: grammar-constrained decoding (our approach);
+    - ``reprompt``: same quality, but syntax enforced only by parse-
+      and-re-prompt (the prototype's §5 configuration);
+    - ``direct``: the D2C baseline's generation quality;
+    - ``perfect``: an oracle generator (used in tests and ablations).
+    """
+    if mode == "constrained":
+        return SimulatedLLM(CONSTRAINED_PROFILE, constrained=True, seed=seed)
+    if mode == "reprompt":
+        return SimulatedLLM(REPROMPT_PROFILE, constrained=False, seed=seed)
+    if mode == "direct":
+        return SimulatedLLM(DIRECT_PROFILE, constrained=False, seed=seed)
+    if mode == "perfect":
+        return SimulatedLLM(PERFECT_PROFILE, constrained=True, seed=seed)
+    raise ValueError(f"unknown LLM mode {mode!r}")

@@ -1,0 +1,197 @@
+"""Constrained decoding over the SM grammar (§4.2).
+
+"A more principled approach is to use constrained decoding, to
+constrain the next-token prediction process so that the token will only
+be generated if it does not violate predefined structures."
+
+:class:`GrammarPrefixChecker` decides whether a partial spec text is a
+*viable prefix* — extendable to a grammatically legal SM block — which
+is exactly the predicate a constrained decoder needs per candidate
+token.  :class:`ConstrainedDecoder` then demonstrates the mechanism:
+given a token stream (e.g. an unconstrained model's output, possibly
+corrupted), it masks every token that would make the prefix unviable,
+repairing surface errors the way token-masking does in real systems.
+
+The implementation checks viability by parsing the prefix and
+classifying the failure: an error *at the very end* of the prefix means
+the parser ran out of input while a legal continuation exists (viable);
+an error strictly inside the prefix means no continuation can fix it
+(not viable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spec.errors import SpecSyntaxError
+from ..spec.lexer import tokenize
+from ..spec.parser import Parser
+
+
+def _parse_prefix(text: str) -> tuple[str, SpecSyntaxError | None]:
+    """Parse a prefix; returns (status, error).
+
+    Status is ``complete`` (one SM, nothing after), ``trailing``
+    (a complete SM followed by extra tokens — dead for single-SM
+    generation), or ``error``.
+    """
+    try:
+        parser = Parser(text)
+        parser.parse_sm()
+    except SpecSyntaxError as error:
+        return "error", error
+    if parser.check("eof"):
+        return "complete", None
+    return "trailing", None
+
+
+def _last_token(text: str):
+    try:
+        tokens = tokenize(text)
+    except SpecSyntaxError:
+        return None
+    if len(tokens) <= 1:
+        return None
+    return tokens[-2]
+
+
+def _last_token_position(text: str) -> tuple[int, int]:
+    """Line/column where the last real token *starts*.
+
+    A prefix's final token may still be mid-word (``writ`` extending to
+    ``write``), so viability treats any parse error at or after the
+    last token's start as "the parser wanted more input".  This makes
+    the checker complete for true prefixes and approximate (may admit
+    some dead prefixes) for rejection — the safe direction for a
+    decoder mask.
+    """
+    try:
+        tokens = tokenize(text)
+    except SpecSyntaxError:
+        return (0, 0)
+    if len(tokens) <= 1:
+        return (1, 1)
+    last = tokens[-2]  # skip the EOF sentinel
+    return (last.line, last.column)
+
+
+class GrammarPrefixChecker:
+    """Decides whether a text is a viable prefix of a legal SM block."""
+
+    def is_complete(self, text: str) -> bool:
+        status, __ = _parse_prefix(text)
+        return status == "complete"
+
+    def is_viable_prefix(self, text: str) -> bool:
+        """True when some continuation makes ``text`` a legal SM."""
+        return self._viable(text, allow_strip=True)
+
+    def _viable(self, text: str, allow_strip: bool) -> bool:
+        if not text.strip():
+            return True
+        try:
+            tokenize(text)
+        except SpecSyntaxError as lex_error:
+            # An unterminated string/comment is completed by further
+            # characters, and a trailing half of a multi-character
+            # operator (`|` of `||`, `&` of `&&`) is completed by its
+            # other half; any other illegal character never is.
+            if "unterminated" in str(lex_error):
+                return True
+            return text.rstrip().endswith(("|", "&")) and (
+                "unexpected character" in str(lex_error)
+            )
+        status, error = _parse_prefix(text)
+        if status == "complete":
+            return True
+        if status == "trailing":
+            # A closed SM followed by more tokens cannot be repaired by
+            # any continuation (generation targets one SM block).
+            return False
+        assert error is not None
+        # The viability frontier: with the text ending mid-token, an
+        # error at the token's *start* may be the parser misreading an
+        # incomplete word; with trailing whitespace the last token is
+        # final, and only errors strictly after it are recoverable.
+        frontier_line, frontier_col = _last_token_position(text)
+        if text.rstrip() != text:
+            last = _last_token(text)
+            if last is not None:
+                frontier_col = last.column + len(last.text)
+        if error.line > frontier_line:
+            return True
+        if error.line == frontier_line and error.column >= frontier_col:
+            return True
+        # The trailing token may be an incomplete keyword or operator
+        # (``i`` extending to ``in``) that sent the parser down a wrong
+        # branch; a prefix whose partial last token is removed is still
+        # a true prefix, so retry without it.
+        if allow_strip:
+            stripped = self._without_last_token(text)
+            if stripped is not None:
+                return self._viable(stripped, allow_strip=False)
+        return False
+
+    @staticmethod
+    def _without_last_token(text: str) -> str | None:
+        try:
+            tokens = tokenize(text)
+        except SpecSyntaxError:
+            return None
+        if len(tokens) <= 1:
+            return None
+        last = tokens[-2]
+        if last.kind not in ("ident", "keyword", "number"):
+            return None
+        # Only strip when the token touches the end of the text (it may
+        # still be mid-word); a token followed by whitespace is final.
+        if text.rstrip() != text:
+            return None
+        lines = text.splitlines()
+        if last.line - 1 >= len(lines):
+            return None
+        return "\n".join(
+            lines[: last.line - 1] + [lines[last.line - 1][: last.column - 1]]
+        )
+
+
+@dataclass
+class DecodeResult:
+    """What constrained decoding produced."""
+
+    text: str
+    masked_tokens: list[str] = field(default_factory=list)
+
+    @property
+    def interventions(self) -> int:
+        return len(self.masked_tokens)
+
+
+class ConstrainedDecoder:
+    """Token-level grammar masking over a proposal stream.
+
+    ``decode`` consumes proposed chunks in order; a chunk that would
+    make the running prefix unviable is *masked* (skipped), modelling
+    the decoder suppressing grammar-violating tokens.  The result is
+    grammatically legal whenever the proposal stream contains a legal
+    spec interleaved with noise — which is the guarantee constrained
+    decoding buys over free generation.
+    """
+
+    def __init__(self):
+        self.checker = GrammarPrefixChecker()
+
+    def decode(self, proposed_chunks: list[str]) -> DecodeResult:
+        result = DecodeResult(text="")
+        for chunk in proposed_chunks:
+            candidate = result.text + chunk
+            if self.checker.is_viable_prefix(candidate):
+                result.text = candidate
+            else:
+                result.masked_tokens.append(chunk)
+        return result
+
+    @staticmethod
+    def chunk(text: str, size: int = 12) -> list[str]:
+        """Split text into pseudo-token chunks for decoding."""
+        return [text[i:i + size] for i in range(0, len(text), size)]

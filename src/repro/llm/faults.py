@@ -1,0 +1,209 @@
+"""Fault models for simulated LLM generation.
+
+The substitution for a real LLM (see DESIGN.md): generation quality is
+modelled as a seeded, deterministic fault process over the documented
+rules, with fault classes taken directly from the paper's §5 error
+taxonomy for direct-to-code generation:
+
+- *state errors*: missing state variables (``InstanceTenancy``,
+  ``CreditSpecification``), missing dependency checks (DeleteVpc with
+  gateways), missing resource-context rules (DNS hostnames vs support);
+- *transition errors*: silent success on state-precondition violations
+  (StartInstances on a running instance), shallow validation (CIDR
+  conflict caught but /29 prefix allowed), wrong error codes.
+
+The constrained (grammar-directed) profile exhibits only the small slip
+classes the SM abstraction cannot exclude by construction; the direct
+profile exhibits the full taxonomy at the rates that reproduce the
+paper's 3-of-12 trace alignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..docs.model import Rule
+
+#: Rule kinds whose omission constitutes a "subtle" miss — exactly the
+#: checks §5 reports D2C getting wrong.
+SUBTLE_CHECK_KINDS = (
+    "check_attr_is",            # state preconditions (IncorrectInstanceState)
+    "check_attr_is_not",
+    "check_list_empty",         # dependency violations (DeleteVpc)
+    "check_attr_unset",
+    "check_attr_set",
+    "check_prefix_between",     # /29 subnet prefix
+    "check_cidr_within",
+    "check_param_implies_attr",  # resource-context rules (DNS)
+    "check_ref_attr_is",
+    "check_attr_matches_ref",
+)
+
+#: Simple, surface-level checks that even direct generation gets right
+#: ("while it can check for simple CIDR conflicts...").
+SHALLOW_CHECK_KINDS = (
+    "require_param",
+    "require_one_of",
+    "check_valid_cidr",
+    "check_no_overlap",
+    "check_in_list",
+    "check_not_in_list",
+    "check_in_map",
+)
+
+#: Attributes of secondary prominence in docs, which direct generation
+#: tends to skip (§5's InstanceTenancy / CreditSpecification examples).
+UNCOMMON_ATTRIBUTES = (
+    "instance_tenancy",
+    "credit_specification",
+    "is_default",
+    "analysis_enabled",
+    "registered",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-class fault probabilities for one generation mode."""
+
+    name: str
+    drop_subtle_check: float = 0.0
+    drop_effect: float = 0.0
+    wrong_code: float = 0.0
+    drop_uncommon_attribute: float = 0.0
+    describe_writes: float = 0.0
+    syntax_error: float = 0.0
+
+
+#: Grammar-constrained generation: the SM abstraction prevents state-
+#: manipulation errors by design; what remains are rare rule slips that
+#: the consistency checks and alignment close.
+CONSTRAINED_PROFILE = FaultProfile(
+    name="constrained",
+    drop_subtle_check=0.06,
+    wrong_code=0.03,
+    describe_writes=0.02,
+)
+
+#: Constrained generation *without* constrained decoding: same semantic
+#: quality, but the raw text sometimes violates the grammar and must be
+#: re-prompted (§5: "we currently don't employ constrained decoding but
+#: enforce syntactic checks ... and re-prompt").
+REPROMPT_PROFILE = FaultProfile(
+    name="reprompt",
+    drop_subtle_check=0.06,
+    wrong_code=0.03,
+    describe_writes=0.02,
+    syntax_error=0.25,
+)
+
+#: Direct-to-code generation: no grammar to constrain state handling, so
+#: the full taxonomy appears at high rates for subtle rules.
+DIRECT_PROFILE = FaultProfile(
+    name="direct",
+    drop_subtle_check=0.9,
+    wrong_code=0.35,
+    drop_uncommon_attribute=0.95,
+    describe_writes=0.05,
+)
+
+#: A perfect generator (used for targeted correction and as an oracle).
+PERFECT_PROFILE = FaultProfile(name="perfect")
+
+
+def _chance(seed: int, *key: object) -> float:
+    """Deterministic pseudo-random float in [0, 1) for a keyed event."""
+    digest = hashlib.sha256(
+        ("|".join(str(part) for part in (seed,) + key)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class FaultDecision:
+    """What the fault model decided for one API's generation."""
+
+    dropped_rules: list[Rule] = field(default_factory=list)
+    miscoded_rules: list[Rule] = field(default_factory=list)
+    dropped_attributes: list[str] = field(default_factory=list)
+    describe_write_attr: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.dropped_rules
+            or self.miscoded_rules
+            or self.dropped_attributes
+            or self.describe_write_attr
+        )
+
+
+class FaultModel:
+    """Seeded fault injector for one generation run.
+
+    ``attempt`` differentiates re-prompts: a syntax error on attempt 0
+    usually disappears on attempt 1, modelling that re-prompting with
+    the parser's feedback fixes surface issues but leaves semantic
+    quality unchanged.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int = 7):
+        self.profile = profile
+        self.seed = seed
+
+    def decide_attributes(self, resource_name: str,
+                          attribute_names: list[str]) -> list[str]:
+        """Attributes the generator will omit from the SM's state."""
+        dropped = []
+        for name in attribute_names:
+            if name in UNCOMMON_ATTRIBUTES:
+                roll = _chance(self.seed, "attr", resource_name, name)
+                if roll < self.profile.drop_uncommon_attribute:
+                    dropped.append(name)
+        return dropped
+
+    def decide_api(
+        self,
+        resource_name: str,
+        api_name: str,
+        rules: list[Rule],
+        category: str,
+        attribute_names: list[str],
+        attempt: int = 0,
+    ) -> FaultDecision:
+        decision = FaultDecision()
+        for index, behaviour in enumerate(rules):
+            key = (resource_name, api_name, behaviour.kind, index)
+            if behaviour.kind in SUBTLE_CHECK_KINDS:
+                if _chance(self.seed, "drop", *key) < self.profile.drop_subtle_check:
+                    decision.dropped_rules.append(behaviour)
+                    continue
+                if _chance(self.seed, "code", *key) < self.profile.wrong_code:
+                    decision.miscoded_rules.append(behaviour)
+            elif not behaviour.is_check:
+                if _chance(self.seed, "effect", *key) < self.profile.drop_effect:
+                    decision.dropped_rules.append(behaviour)
+        if category == "describe" and attribute_names:
+            if (
+                _chance(self.seed, "dwrite", resource_name, api_name)
+                < self.profile.describe_writes
+            ):
+                decision.describe_write_attr = attribute_names[0]
+        return decision
+
+    def decide_syntax(self, resource_name: str, attempt: int) -> bool:
+        """Whether this attempt's raw text violates the grammar.
+
+        Rolled once per SM per attempt: unconstrained decoding either
+        produces a well-formed block or it doesn't; re-prompting with
+        the parse error usually fixes it on the next attempt.
+        """
+        return (
+            _chance(self.seed, "syntax", resource_name, attempt)
+            < self.profile.syntax_error
+        )
+
+    def generic_code(self) -> str:
+        """The unspecific error code a wrong-code fault substitutes."""
+        return "InternalError"

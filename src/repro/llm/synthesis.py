@@ -1,0 +1,620 @@
+"""Doc-to-spec synthesis: how the (simulated) LLM writes SM specs.
+
+This module is the deterministic "knowledge" core of the simulated
+LLM: given one wrangled resource's documentation, produce the SM spec
+text in the grammar of Fig. 1.  Behaviour rules compile to the
+grammar's primitives; cross-resource list maintenance compiles to
+``call``s into *helper transitions* on the target SM, which are left
+as requirements for the specification-linking pass (§4.2) — the same
+stub-and-patch structure the paper describes for incremental
+extraction.
+
+Fault injection (see :mod:`repro.llm.faults`) perturbs the rule list
+before compilation, so every downstream artifact — spec text, parsed
+AST, emulator behaviour — reflects the generation quality of the
+chosen mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..docs.model import ApiDoc, AttributeDoc, ResourceDoc, Rule
+from ..spec import ast
+from ..spec.serializer import serialize_sm
+from ..spec.types import (
+    ANY,
+    MAP,
+    Param,
+    StateType,
+    enum_of,
+    sm_of,
+)
+from .faults import FaultDecision, FaultModel, PERFECT_PROFILE
+
+
+def attribute_state_type(attribute: AttributeDoc) -> StateType:
+    """Map a documented attribute type onto the spec type system."""
+    if attribute.type == "Enum":
+        if attribute.enum_values:
+            return enum_of(*attribute.enum_values)
+        return StateType("enum")
+    if attribute.type == "Reference":
+        return sm_of(attribute.ref) if attribute.ref else StateType("sm")
+    table = {
+        "String": StateType("str"),
+        "Integer": StateType("int"),
+        "Boolean": StateType("bool"),
+        "List": StateType("list"),
+        "Map": MAP,
+    }
+    return table.get(attribute.type, ANY)
+
+
+def param_state_type(param) -> StateType:
+    """Map a documented request parameter type onto the spec type system."""
+    if param.type == "Reference":
+        return sm_of(param.ref) if param.ref else StateType("sm")
+    table = {
+        "String": StateType("str"),
+        "Integer": StateType("int"),
+        "Boolean": StateType("bool"),
+        "List": StateType("list"),
+        "Map": MAP,
+    }
+    return table.get(param.type, ANY)
+
+
+def track_helper_name(list_attr: str) -> str:
+    return f"_Track_{list_attr}"
+
+
+def untrack_helper_name(list_attr: str) -> str:
+    return f"_Untrack_{list_attr}"
+
+
+@dataclass(frozen=True)
+class HelperRequirement:
+    """A helper transition a generated SM needs on another SM.
+
+    ``target`` is the SM type that must carry the helper; during
+    incremental extraction it may not have been generated yet, so the
+    requirement is recorded and patched in by the linking pass.
+    """
+
+    target: str
+    name: str
+    list_attr: str
+    op: str  # 'track' | 'untrack'
+
+    def build(self) -> ast.Transition:
+        value_param = Param("value", ANY)
+        list_name = self.list_attr
+        if self.op == "track":
+            body: tuple[ast.Stmt, ...] = (
+                ast.Write(
+                    list_name,
+                    ast.Func(
+                        "append", (ast.Name(list_name), ast.Name("value"))
+                    ),
+                ),
+            )
+        else:
+            body = (
+                ast.Write(
+                    list_name,
+                    ast.Func(
+                        "remove", (ast.Name(list_name), ast.Name("value"))
+                    ),
+                ),
+            )
+        return ast.Transition(
+            name=self.name, params=(value_param,), body=body, category="modify"
+        )
+
+
+@dataclass
+class GenerationReport:
+    """What one resource's generation produced besides the text."""
+
+    resource: str
+    helpers_needed: list[HelperRequirement] = field(default_factory=list)
+    faults: dict[str, FaultDecision] = field(default_factory=dict)
+    dropped_attributes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.dropped_attributes and all(
+            decision.clean for decision in self.faults.values()
+        )
+
+
+def _literal(value: object) -> ast.Expr:
+    return ast.Literal(value)
+
+
+def _exists(name: str) -> ast.Pred:
+    return ast.Truthy(ast.Func("exists", (ast.Name(name),)))
+
+
+def _guarded(pred: ast.Pred, param_name: str, optional: bool) -> ast.Pred:
+    """Wrap a param-check so absent optional params pass it."""
+    if not optional:
+        return pred
+    return ast.Or(ast.Not(_exists(param_name)), pred)
+
+
+class RuleCompiler:
+    """Compiles documented behaviour rules into SM statements."""
+
+    def __init__(self, resource: ResourceDoc, api: ApiDoc,
+                 known_attributes: set[str]):
+        self.resource = resource
+        self.api = api
+        self.known_attributes = known_attributes
+        self.param_names = {p.name for p in api.params}
+        self.optional_params = {
+            p.name for p in api.params if not p.required
+        }
+        self.param_refs = {p.name: p.ref for p in api.params if p.ref}
+        self.attr_refs = {
+            a.name: a.ref for a in resource.attributes if a.ref
+        }
+        self.helpers: list[HelperRequirement] = []
+
+    def _attr_expr(self, attr: str) -> ast.Expr:
+        """Reference a state attribute unambiguously.
+
+        When a request parameter shares the attribute's name (common:
+        ``ModifyVpcAttribute(enable_dns_support)`` vs the attribute
+        ``enable_dns_support``), a bare name would resolve to the
+        parameter; ``self.attr`` pins the state variable.
+        """
+        if attr in self.param_names:
+            return ast.Attr(ast.SelfRef(), attr)
+        return ast.Name(attr)
+
+    def compile(self, behaviour: Rule, code_override: str = "") -> list[ast.Stmt]:
+        kind = behaviour.kind
+        handler = getattr(self, f"_compile_{kind}", None)
+        if handler is None:
+            raise ValueError(f"no compilation rule for {kind}")
+        statements = handler(behaviour)
+        if code_override:
+            statements = [
+                ast.Assert(stmt.pred, code_override, stmt.message)
+                if isinstance(stmt, ast.Assert)
+                else stmt
+                for stmt in statements
+            ]
+        return statements
+
+    # -- effects -----------------------------------------------------------
+
+    def _skip_unknown_attr(self, attr: str) -> bool:
+        """Effects on attributes the generator dropped are elided too."""
+        return attr not in self.known_attributes
+
+    def _compile_set_attr_param(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr, param = str(behaviour["attr"]), str(behaviour["param"])
+        if self._skip_unknown_attr(attr):
+            return []
+        write = ast.Write(attr, ast.Name(param))
+        if param in self.optional_params:
+            return [ast.If(_exists(param), (write,))]
+        return [write]
+
+    def _compile_set_attr_const(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [ast.Write(attr, _literal(behaviour["value"]))]
+
+    def _compile_set_attr_fresh(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [
+            ast.Write(attr, ast.Func("new_id", (_literal(attr),)))
+        ]
+
+    def _compile_clear_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [ast.Write(attr, _literal(None))]
+
+    def _compile_read_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [ast.Read(attr, attr)]
+
+    def _compile_link_ref(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr, param = str(behaviour["attr"]), str(behaviour["param"])
+        if self._skip_unknown_attr(attr):
+            return []
+        write = ast.Write(attr, ast.Name(param))
+        if param in self.optional_params:
+            return [ast.If(_exists(param), (write,))]
+        return [write]
+
+    def _compile_call_ref(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        call = ast.Call(
+            ast.Name(param), str(behaviour["transition"]), (ast.SelfRef(),)
+        )
+        if param in self.optional_params:
+            return [ast.If(_exists(param), (call,))]
+        return [call]
+
+    def _compile_call_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        call = ast.Call(
+            ast.Name(attr), str(behaviour["transition"]), (ast.SelfRef(),)
+        )
+        return [ast.If(_exists(attr), (call,))]
+
+    def _compile_append_to_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr, param = str(behaviour["attr"]), str(behaviour["param"])
+        if self._skip_unknown_attr(attr):
+            return []
+        write = ast.Write(
+            attr, ast.Func("append", (ast.Name(attr), ast.Name(param)))
+        )
+        if param in self.optional_params:
+            return [ast.If(_exists(param), (write,))]
+        return [write]
+
+    def _compile_remove_from_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr, param = str(behaviour["attr"]), str(behaviour["param"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [
+            ast.Write(
+                attr, ast.Func("remove", (ast.Name(attr), ast.Name(param)))
+            )
+        ]
+
+    def _compile_map_put(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [
+            ast.Write(
+                attr,
+                ast.Func(
+                    "put",
+                    (
+                        ast.Name(attr),
+                        ast.Name(str(behaviour["key_param"])),
+                        ast.Name(str(behaviour["value_param"])),
+                    ),
+                ),
+            )
+        ]
+
+    def _compile_map_remove(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [
+            ast.Write(
+                attr,
+                ast.Func(
+                    "drop",
+                    (ast.Name(attr), ast.Name(str(behaviour["key_param"]))),
+                ),
+            )
+        ]
+
+    def _compile_map_read(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        if self._skip_unknown_attr(attr):
+            return []
+        return [
+            ast.Emit(
+                "value",
+                ast.Func(
+                    "lookup",
+                    (ast.Name(attr), ast.Name(str(behaviour["key_param"]))),
+                ),
+            )
+        ]
+
+    def _compile_track_in_ref(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        list_attr = str(behaviour["list_attr"])
+        target = self.param_refs.get(param, "")
+        helper = HelperRequirement(
+            target=target,
+            name=track_helper_name(list_attr),
+            list_attr=list_attr,
+            op="track",
+        )
+        self.helpers.append(helper)
+        call = ast.Call(
+            ast.Name(param), helper.name,
+            (ast.Name(str(behaviour["source"])),),
+        )
+        if param in self.optional_params:
+            return [ast.If(_exists(param), (call,))]
+        return [call]
+
+    def _compile_untrack_in_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        attr = str(behaviour["attr"])
+        list_attr = str(behaviour["list_attr"])
+        target = self.attr_refs.get(attr, "")
+        helper = HelperRequirement(
+            target=target,
+            name=untrack_helper_name(list_attr),
+            list_attr=list_attr,
+            op="untrack",
+        )
+        self.helpers.append(helper)
+        call = ast.Call(
+            ast.Name(attr), helper.name,
+            (ast.Name(str(behaviour["source"])),),
+        )
+        return [ast.If(_exists(attr), (call,))]
+
+    # -- checks -------------------------------------------------------------
+
+    def _assert(self, pred: ast.Pred, behaviour: Rule) -> list[ast.Stmt]:
+        return [ast.Assert(pred, behaviour.error_code or "OperationFailure")]
+
+    def _compile_require_param(self, behaviour: Rule) -> list[ast.Stmt]:
+        return self._assert(_exists(str(behaviour["param"])), behaviour)
+
+    def _compile_require_one_of(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        values = tuple(behaviour["values"])  # type: ignore[arg-type]
+        members = ast.ListExpr(tuple(_literal(v) for v in values))
+        pred = _guarded(
+            ast.Compare("in", ast.Name(param), members), param, True
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_valid_cidr(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        pred = _guarded(
+            ast.Truthy(ast.Func("valid_cidr", (ast.Name(param),))),
+            param,
+            param in self.optional_params,
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_prefix_between(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        prefix = ast.Func("prefix_len", (ast.Name(param),))
+        in_range = ast.And(
+            ast.Compare(">=", prefix, _literal(int(behaviour["lo"]))),  # type: ignore[arg-type]
+            ast.Compare("<=", prefix, _literal(int(behaviour["hi"]))),  # type: ignore[arg-type]
+        )
+        pred = _guarded(in_range, param, param in self.optional_params)
+        return self._assert(pred, behaviour)
+
+    def _compile_check_cidr_within(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        ref = str(behaviour["ref"])
+        pred = ast.Truthy(
+            ast.Func(
+                "cidr_within",
+                (ast.Name(param),
+                 ast.Attr(ast.Name(ref), str(behaviour["ref_attr"]))),
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_no_overlap(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        ref = str(behaviour["ref"])
+        pred = ast.Not(
+            ast.Truthy(
+                ast.Func(
+                    "cidr_overlaps_any",
+                    (ast.Name(param),
+                     ast.Attr(ast.Name(ref), str(behaviour["list_attr"]))),
+                )
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_attr_is(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Compare(
+            "==", self._attr_expr(str(behaviour["attr"])),
+            _literal(behaviour["value"]),
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_attr_is_not(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Compare(
+            "!=", self._attr_expr(str(behaviour["attr"])),
+            _literal(behaviour["value"]),
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_attr_set(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Truthy(
+            ast.Func("exists", (self._attr_expr(str(behaviour["attr"])),))
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_attr_unset(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Not(
+            ast.Truthy(
+                ast.Func("exists",
+                         (self._attr_expr(str(behaviour["attr"])),))
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_list_empty(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Compare(
+            "==",
+            ast.Func("len", (self._attr_expr(str(behaviour["attr"])),)),
+            _literal(0),
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_attr_matches_ref(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Compare(
+            "==",
+            self._attr_expr(str(behaviour["attr"])),
+            ast.Attr(ast.Name(str(behaviour["ref"])),
+                     str(behaviour["ref_attr"])),
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_ref_attr_is(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Compare(
+            "==",
+            ast.Attr(ast.Name(str(behaviour["ref"])),
+                     str(behaviour["ref_attr"])),
+            _literal(behaviour["value"]),
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_in_list(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Truthy(
+            ast.Func(
+                "contains",
+                (self._attr_expr(str(behaviour["attr"])),
+                 ast.Name(str(behaviour["param"]))),
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_not_in_list(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Not(
+            ast.Truthy(
+                ast.Func(
+                    "contains",
+                    (self._attr_expr(str(behaviour["attr"])),
+                     ast.Name(str(behaviour["param"]))),
+                )
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_in_map(self, behaviour: Rule) -> list[ast.Stmt]:
+        pred = ast.Truthy(
+            ast.Func(
+                "contains",
+                (self._attr_expr(str(behaviour["attr"])),
+                 ast.Name(str(behaviour["key_param"]))),
+            )
+        )
+        return self._assert(pred, behaviour)
+
+    def _compile_check_param_implies_attr(self, behaviour: Rule) -> list[ast.Stmt]:
+        param = str(behaviour["param"])
+        pred = ast.Or(
+            ast.Or(
+                ast.Not(_exists(param)),
+                ast.Compare("!=", ast.Name(param),
+                            _literal(behaviour["value"])),
+            ),
+            ast.Compare("==", self._attr_expr(str(behaviour["attr"])),
+                        _literal(behaviour["attr_value"])),
+        )
+        return self._assert(pred, behaviour)
+
+
+class SpecSynthesizer:
+    """Generates SM spec text for one resource at a time.
+
+    This is the knowledge core behind :class:`repro.llm.SimulatedLLM`:
+    deterministic translation of wrangled documentation into the
+    grammar, perturbed by the active fault model.
+    """
+
+    def __init__(self, fault_model: FaultModel | None = None):
+        self.fault_model = fault_model or FaultModel(PERFECT_PROFILE)
+
+    def synthesize_sm(
+        self, res: ResourceDoc, attempt: int = 0
+    ) -> tuple[ast.SMSpec, GenerationReport]:
+        """Build the SM AST for one resource and report what happened."""
+        report = GenerationReport(resource=res.name)
+        report.dropped_attributes = self.fault_model.decide_attributes(
+            res.name, [a.name for a in res.attributes]
+        )
+        kept_attributes = [
+            a for a in res.attributes
+            if a.name not in report.dropped_attributes
+        ]
+        spec = ast.SMSpec(name=res.name, parent=res.parent,
+                          doc=res.description)
+        for attribute in kept_attributes:
+            default: ast.Expr | None = None
+            if attribute.default is not None:
+                default = ast.Literal(attribute.default)
+            spec.states.append(
+                ast.StateDecl(
+                    attribute.name,
+                    attribute_state_type(attribute),
+                    default,
+                )
+            )
+        known = {a.name for a in kept_attributes}
+        for api in res.apis:
+            transition, decision = self._synthesize_transition(
+                res, api, known, report, attempt
+            )
+            spec.transitions[transition.name] = transition
+            report.faults[api.name] = decision
+        return spec, report
+
+    def synthesize_text(
+        self, res: ResourceDoc, attempt: int = 0
+    ) -> tuple[str, GenerationReport]:
+        """Generate the SM as concrete spec text."""
+        spec, report = self.synthesize_sm(res, attempt=attempt)
+        return serialize_sm(spec), report
+
+    def _synthesize_transition(
+        self,
+        res: ResourceDoc,
+        api: ApiDoc,
+        known_attributes: set[str],
+        report: GenerationReport,
+        attempt: int,
+    ) -> tuple[ast.Transition, FaultDecision]:
+        decision = self.fault_model.decide_api(
+            res.name,
+            api.name,
+            api.documented_rules(),
+            api.category,
+            sorted(known_attributes),
+            attempt=attempt,
+        )
+        compiler = RuleCompiler(res, api, known_attributes)
+        checks: list[ast.Stmt] = []
+        effects: list[ast.Stmt] = []
+        for behaviour in api.documented_rules():
+            if behaviour in decision.dropped_rules:
+                continue
+            code_override = ""
+            if behaviour in decision.miscoded_rules:
+                code_override = self.fault_model.generic_code()
+            statements = compiler.compile(behaviour, code_override)
+            if behaviour.is_check:
+                checks.extend(statements)
+            else:
+                effects.extend(statements)
+        if decision.describe_write_attr:
+            effects.append(
+                ast.Write(decision.describe_write_attr, ast.Literal(None))
+            )
+        report.helpers_needed.extend(compiler.helpers)
+        params = tuple(
+            Param(p.name, param_state_type(p)) for p in api.params
+        )
+        transition = ast.Transition(
+            name=api.name,
+            params=params,
+            body=tuple(checks + effects),
+            category=api.category,
+        )
+        return transition, decision

@@ -1,0 +1,21 @@
+"""Evaluation scenarios: the traces behind Fig. 3 and §5."""
+
+from .catalog import (
+    azure_traces,
+    basic_functionality_trace,
+    evaluation_traces,
+    gcp_traces,
+)
+from .model import run_trace, StepResult, Trace, TraceRun, TraceStep
+
+__all__ = [
+    "azure_traces",
+    "basic_functionality_trace",
+    "evaluation_traces",
+    "gcp_traces",
+    "run_trace",
+    "StepResult",
+    "Trace",
+    "TraceRun",
+    "TraceStep",
+]

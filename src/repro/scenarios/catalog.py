@@ -1,0 +1,452 @@
+"""The evaluation traces: 3 scenarios x 4 traces (Fig. 3), the §5 basic-
+functionality DevOps program, and the Azure multi-cloud traces.
+
+The three scenarios follow §5 exactly: *provisioning*, *state updates*,
+and *edge cases that target subtle underspecified checks*.  The edge
+cases encode the paper's own examples: DeleteVpc with an attached
+internet gateway, StartInstances on a running instance, a /29 subnet
+prefix, and DNS hostnames on a VPC without DNS support.
+"""
+
+from __future__ import annotations
+
+from .model import Trace, TraceStep
+
+S = TraceStep
+
+
+def _provisioning() -> list[Trace]:
+    network = Trace(
+        name="provision_network",
+        service="ec2",
+        scenario="provisioning",
+        description="VPC + subnet + internet gateway, the §5 motivating "
+                    "workflow.",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.0.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.0.1.0/24",
+               "AvailabilityZone": "us-east-1a"}, bind="subnet"),
+            S("CreateInternetGateway", {}, bind="igw"),
+            S("AttachInternetGateway",
+              {"InternetGatewayId": "$igw", "VpcId": "$vpc"}),
+            S("DescribeVpcAttribute", {"VpcId": "$vpc"}),
+            S("DescribeSubnets", {"SubnetId": "$subnet"}),
+        ),
+    )
+    compute = Trace(
+        name="provision_compute",
+        service="ec2",
+        scenario="provisioning",
+        description="Instance launch plus an Elastic IP association.",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.1.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.1.0.0/24"}, bind="subnet"),
+            S("RunInstances",
+              {"SubnetId": "$subnet", "ImageId": "ami-12345678",
+               "InstanceType": "t2.micro"}, bind="instance"),
+            S("AllocateAddress", {}, bind="eip"),
+            S("AssociateAddress",
+              {"ElasticIpId": "$eip", "InstanceId": "$instance"}),
+            S("DescribeInstances", {"InstanceId": "$instance"}),
+        ),
+    )
+    firewall = Trace(
+        name="provision_firewall",
+        service="network_firewall",
+        scenario="provisioning",
+        description="Rule group -> policy -> firewall, the service Moto "
+                    "barely covers.",
+        steps=(
+            S("CreateRuleGroup",
+              {"GroupName": "web-rules", "Type": "STATEFUL",
+               "Capacity": 100}, bind="rule_group"),
+            S("CreateFirewallPolicy",
+              {"PolicyName": "policy-1", "RuleGroupId": "$rule_group"},
+              bind="firewall_policy"),
+            S("CreateFirewall",
+              {"FirewallName": "fw-1", "FirewallPolicyId": "$firewall_policy"},
+              bind="firewall"),
+            S("DescribeFirewall", {"FirewallId": "$firewall"}),
+        ),
+    )
+    database = Trace(
+        name="provision_database",
+        service="dynamodb",
+        scenario="provisioning",
+        description="Table creation plus basic item traffic.",
+        steps=(
+            S("CreateTable",
+              {"TableName": "orders", "BillingMode": "PAY_PER_REQUEST"},
+              bind="table"),
+            S("PutItem",
+              {"TableId": "$table", "ItemKey": "order-1",
+               "ItemValue": "pending"}),
+            S("GetItem", {"TableId": "$table", "ItemKey": "order-1"}),
+            S("DescribeTable", {"TableId": "$table"}),
+        ),
+    )
+    return [network, compute, firewall, database]
+
+
+def _state_updates() -> list[Trace]:
+    subnet_attribute = Trace(
+        name="update_subnet_attribute",
+        service="ec2",
+        scenario="state_updates",
+        description="The §5 basic-functionality program: enable "
+                    "MapPublicIpOnLaunch on a subnet.",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.2.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.2.3.0/24"}, bind="subnet"),
+            S("ModifySubnetAttribute",
+              {"SubnetId": "$subnet", "MapPublicIpOnLaunch": True}),
+            S("DescribeSubnets", {"SubnetId": "$subnet"}),
+        ),
+    )
+    instance_lifecycle = Trace(
+        name="update_instance_lifecycle",
+        service="ec2",
+        scenario="state_updates",
+        description="Stop, retype, recredit and restart an instance — "
+                    "exercises InstanceTenancy/CreditSpecification state.",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.3.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.3.0.0/24"}, bind="subnet"),
+            S("RunInstances",
+              {"SubnetId": "$subnet", "ImageId": "ami-12345678",
+               "InstanceType": "t2.micro",
+               "CreditSpecification": "unlimited"}, bind="instance"),
+            S("StopInstances", {"InstanceId": "$instance"}),
+            S("ModifyInstanceAttribute",
+              {"InstanceId": "$instance", "InstanceType": "m5.large"}),
+            S("ModifyInstanceCreditSpecification",
+              {"InstanceId": "$instance", "CreditSpecification": "standard"}),
+            S("DescribeInstances", {"InstanceId": "$instance"}),
+        ),
+    )
+    vpc_dns = Trace(
+        name="update_vpc_dns",
+        service="ec2",
+        scenario="state_updates",
+        description="Enable DNS support then DNS hostnames (legal order).",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.4.0.0/16"}, bind="vpc"),
+            S("ModifyVpcAttribute",
+              {"VpcId": "$vpc", "EnableDnsSupport": True}),
+            S("ModifyVpcAttribute",
+              {"VpcId": "$vpc", "EnableDnsHostnames": True}),
+            S("DescribeVpcAttribute", {"VpcId": "$vpc"}),
+            S("DescribeVpcs", {"VpcId": "$vpc"}),
+        ),
+    )
+    firewall_protection = Trace(
+        name="update_firewall_protection",
+        service="network_firewall",
+        scenario="state_updates",
+        description="Toggle delete protection around a DeleteFirewall.",
+        steps=(
+            S("CreateFirewallPolicy", {"PolicyName": "p2"},
+              bind="firewall_policy"),
+            S("CreateFirewall",
+              {"FirewallName": "fw-2",
+               "FirewallPolicyId": "$firewall_policy"}, bind="firewall"),
+            S("UpdateFirewallDeleteProtection",
+              {"FirewallId": "$firewall", "DeleteProtection": True}),
+            S("DeleteFirewall", {"FirewallId": "$firewall"},
+              expect_success=False),
+            S("UpdateFirewallDeleteProtection",
+              {"FirewallId": "$firewall", "DeleteProtection": False}),
+            S("DeleteFirewall", {"FirewallId": "$firewall"}),
+        ),
+    )
+    return [subnet_attribute, instance_lifecycle, vpc_dns,
+            firewall_protection]
+
+
+def _edge_cases() -> list[Trace]:
+    delete_vpc = Trace(
+        name="edge_delete_vpc_dependency",
+        service="ec2",
+        scenario="edge_cases",
+        description="DeleteVpc with an attached internet gateway must fail "
+                    "with DependencyViolation (the Moto bug of §2).",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.5.0.0/16"}, bind="vpc"),
+            S("CreateInternetGateway", {}, bind="igw"),
+            S("AttachInternetGateway",
+              {"InternetGatewayId": "$igw", "VpcId": "$vpc"}),
+            S("DeleteVpc", {"VpcId": "$vpc"}, expect_success=False),
+            S("DescribeVpcs", {"VpcId": "$vpc"}),
+        ),
+    )
+    start_running = Trace(
+        name="edge_start_running_instance",
+        service="ec2",
+        scenario="edge_cases",
+        description="StartInstances on a running instance must return "
+                    "IncorrectInstanceState, not silent success (§5).",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.6.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.6.0.0/24"}, bind="subnet"),
+            S("RunInstances",
+              {"SubnetId": "$subnet", "ImageId": "ami-12345678",
+               "InstanceType": "t2.micro"}, bind="instance"),
+            S("StartInstances", {"InstanceId": "$instance"},
+              expect_success=False),
+        ),
+    )
+    invalid_prefix = Trace(
+        name="edge_invalid_subnet_prefix",
+        service="ec2",
+        scenario="edge_cases",
+        description="A /29 subnet must be rejected even though its CIDR "
+                    "doesn't conflict (§5's shallow-validation example).",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.7.0.0/16"}, bind="vpc"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.7.0.0/29"},
+              expect_success=False),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.7.1.0/24"}, bind="subnet"),
+            S("CreateSubnet",
+              {"VpcId": "$vpc", "CidrBlock": "10.7.1.0/24"},
+              expect_success=False),
+        ),
+    )
+    dns_context = Trace(
+        name="edge_dns_context",
+        service="ec2",
+        scenario="edge_cases",
+        description="Enabling DNS hostnames while DNS support is disabled "
+                    "must fail (§5's resource-context example).",
+        steps=(
+            S("CreateVpc", {"CidrBlock": "10.8.0.0/16"}, bind="vpc"),
+            S("ModifyVpcAttribute",
+              {"VpcId": "$vpc", "EnableDnsSupport": False}),
+            S("ModifyVpcAttribute",
+              {"VpcId": "$vpc", "EnableDnsHostnames": True},
+              expect_success=False),
+        ),
+    )
+    return [delete_vpc, start_running, invalid_prefix, dns_context]
+
+
+def evaluation_traces() -> list[Trace]:
+    """The 12 traces behind Fig. 3 (3 scenarios x 4 traces)."""
+    return _provisioning() + _state_updates() + _edge_cases()
+
+
+def basic_functionality_trace() -> Trace:
+    """The §5 basic-functionality DevOps program."""
+    return _state_updates()[0]
+
+
+def gcp_traces() -> list[Trace]:
+    """Traces for the GCP replication of the multi-cloud experiment."""
+    provision = Trace(
+        name="gcp_provision_network",
+        service="gcp_compute",
+        scenario="provisioning",
+        description="Network + subnetwork + instance + static address.",
+        steps=(
+            S("networks_insert", {"Ipv4Range": "10.0.0.0/16"},
+              bind="network"),
+            S("subnetworks_insert",
+              {"NetworkId": "$network", "IpCidrRange": "10.0.1.0/24",
+               "Region": "us-central1"}, bind="subnetwork"),
+            S("instances_insert",
+              {"SubnetworkId": "$subnetwork", "MachineType": "e2-micro",
+               "Region": "us-central1"}, bind="instance"),
+            S("addresses_insert", {"Region": "us-central1"},
+              bind="address"),
+            S("addresses_attach",
+              {"AddressId": "$address", "InstanceId": "$instance"}),
+            S("instances_get", {"InstanceId": "$instance"}),
+        ),
+    )
+    lifecycle = Trace(
+        name="gcp_instance_lifecycle",
+        service="gcp_compute",
+        scenario="state_updates",
+        description="Stop, resize, restart a Compute Engine instance.",
+        steps=(
+            S("networks_insert", {"Ipv4Range": "10.1.0.0/16"},
+              bind="network"),
+            S("subnetworks_insert",
+              {"NetworkId": "$network", "IpCidrRange": "10.1.0.0/24",
+               "Region": "us-central1"}, bind="subnetwork"),
+            S("instances_insert",
+              {"SubnetworkId": "$subnetwork", "MachineType": "e2-micro"},
+              bind="instance"),
+            S("instances_stop", {"InstanceId": "$instance"}),
+            S("instances_setMachineType",
+              {"InstanceId": "$instance", "MachineType": "n2-standard-2"}),
+            S("instances_start", {"InstanceId": "$instance"}),
+            S("instances_get", {"InstanceId": "$instance"}),
+        ),
+    )
+    delete_in_use = Trace(
+        name="gcp_edge_network_in_use",
+        service="gcp_compute",
+        scenario="edge_cases",
+        description="Deleting a network that still has subnetworks must "
+                    "fail; so must an out-of-range subnetwork.",
+        steps=(
+            S("networks_insert", {"Ipv4Range": "10.2.0.0/16"},
+              bind="network"),
+            S("subnetworks_insert",
+              {"NetworkId": "$network", "IpCidrRange": "10.2.0.0/24",
+               "Region": "us-central1"}, bind="subnetwork"),
+            S("networks_delete", {"NetworkId": "$network"},
+              expect_success=False),
+            S("subnetworks_insert",
+              {"NetworkId": "$network", "IpCidrRange": "192.168.0.0/24",
+               "Region": "us-central1"}, expect_success=False),
+        ),
+    )
+    region_mismatch = Trace(
+        name="gcp_edge_region_mismatch",
+        service="gcp_compute",
+        scenario="edge_cases",
+        description="Attaching an address to an instance in another "
+                    "region must fail; starting a running instance must "
+                    "fail.",
+        steps=(
+            S("networks_insert", {"Ipv4Range": "10.3.0.0/16"},
+              bind="network"),
+            S("subnetworks_insert",
+              {"NetworkId": "$network", "IpCidrRange": "10.3.0.0/24",
+               "Region": "us-central1"}, bind="subnetwork"),
+            S("instances_insert",
+              {"SubnetworkId": "$subnetwork", "MachineType": "e2-micro",
+               "Region": "us-central1"}, bind="instance"),
+            S("addresses_insert", {"Region": "europe-west1"},
+              bind="address"),
+            S("addresses_attach",
+              {"AddressId": "$address", "InstanceId": "$instance"},
+              expect_success=False),
+            S("instances_start", {"InstanceId": "$instance"},
+              expect_success=False),
+        ),
+    )
+    return [provision, lifecycle, delete_in_use, region_mismatch]
+
+
+def azure_traces() -> list[Trace]:
+    """The Azure traces for the §5 multi-cloud replication."""
+    provision = Trace(
+        name="azure_provision_network",
+        service="azure_network",
+        scenario="provisioning",
+        description="VNet + subnet + public IP + NIC association.",
+        steps=(
+            S("createOrUpdateVirtualNetwork",
+              {"AddressSpace": "10.0.0.0/16", "Location": "eastus"},
+              bind="virtual_network"),
+            S("createOrUpdateSubnet",
+              {"VirtualNetworkId": "$virtual_network",
+               "AddressPrefix": "10.0.1.0/24"}, bind="subnet"),
+            S("createOrUpdatePublicIPAddress",
+              {"Location": "eastus", "AllocationMethod": "Static"},
+              bind="public_ip_address"),
+            S("createOrUpdateNetworkInterface",
+              {"SubnetId": "$subnet", "Location": "eastus"},
+              bind="network_interface"),
+            S("associatePublicIPAddress",
+              {"NetworkInterfaceId": "$network_interface",
+               "PublicIpAddressId": "$public_ip_address"}),
+            S("getNetworkInterface",
+              {"NetworkInterfaceId": "$network_interface"}),
+        ),
+    )
+    vm_lifecycle = Trace(
+        name="azure_vm_lifecycle",
+        service="azure_network",
+        scenario="state_updates",
+        description="VM create, deallocate, resize, restart.",
+        steps=(
+            S("createOrUpdateVirtualNetwork",
+              {"AddressSpace": "10.1.0.0/16", "Location": "westus"},
+              bind="virtual_network"),
+            S("createOrUpdateSubnet",
+              {"VirtualNetworkId": "$virtual_network",
+               "AddressPrefix": "10.1.0.0/24"}, bind="subnet"),
+            S("createOrUpdateNetworkInterface",
+              {"SubnetId": "$subnet", "Location": "westus"},
+              bind="network_interface"),
+            S("createOrUpdateVirtualMachine",
+              {"NetworkInterfaceId": "$network_interface",
+               "VmSize": "Standard_B1s", "Location": "westus"},
+              bind="virtual_machine"),
+            S("deallocateVirtualMachine",
+              {"VirtualMachineId": "$virtual_machine"}),
+            S("resizeVirtualMachine",
+              {"VirtualMachineId": "$virtual_machine",
+               "VmSize": "Standard_B2s"}),
+            S("startVirtualMachine",
+              {"VirtualMachineId": "$virtual_machine"}),
+            S("getVirtualMachine",
+              {"VirtualMachineId": "$virtual_machine"}),
+        ),
+    )
+    location_mismatch = Trace(
+        name="azure_edge_location_mismatch",
+        service="azure_network",
+        scenario="edge_cases",
+        description="Associating a public IP from another location must "
+                    "fail; deleting a VNet with subnets must fail.",
+        steps=(
+            S("createOrUpdateVirtualNetwork",
+              {"AddressSpace": "10.2.0.0/16", "Location": "eastus"},
+              bind="virtual_network"),
+            S("createOrUpdateSubnet",
+              {"VirtualNetworkId": "$virtual_network",
+               "AddressPrefix": "10.2.0.0/24"}, bind="subnet"),
+            S("createOrUpdateNetworkInterface",
+              {"SubnetId": "$subnet", "Location": "eastus"},
+              bind="network_interface"),
+            S("createOrUpdatePublicIPAddress",
+              {"Location": "westus"}, bind="public_ip_address"),
+            S("associatePublicIPAddress",
+              {"NetworkInterfaceId": "$network_interface",
+               "PublicIpAddressId": "$public_ip_address"},
+              expect_success=False),
+            S("deleteVirtualNetwork",
+              {"VirtualNetworkId": "$virtual_network"},
+              expect_success=False),
+        ),
+    )
+    vm_constraints = Trace(
+        name="azure_edge_vm_constraints",
+        service="azure_network",
+        scenario="edge_cases",
+        description="Overlapping subnets and deleting a running VM must "
+                    "both be rejected.",
+        steps=(
+            S("createOrUpdateVirtualNetwork",
+              {"AddressSpace": "10.3.0.0/16", "Location": "eastus"},
+              bind="virtual_network"),
+            S("createOrUpdateSubnet",
+              {"VirtualNetworkId": "$virtual_network",
+               "AddressPrefix": "10.3.0.0/24"}, bind="subnet"),
+            S("createOrUpdateSubnet",
+              {"VirtualNetworkId": "$virtual_network",
+               "AddressPrefix": "10.3.0.0/25"}, expect_success=False),
+            S("createOrUpdateNetworkInterface",
+              {"SubnetId": "$subnet", "Location": "eastus"},
+              bind="network_interface"),
+            S("createOrUpdateVirtualMachine",
+              {"NetworkInterfaceId": "$network_interface",
+               "VmSize": "Standard_B1s", "Location": "eastus"},
+              bind="virtual_machine"),
+            S("deleteVirtualMachine",
+              {"VirtualMachineId": "$virtual_machine"},
+              expect_success=False),
+        ),
+    )
+    return [provision, vm_lifecycle, location_mismatch, vm_constraints]

@@ -1,0 +1,105 @@
+"""Trace model: DevOps-program-like API call sequences.
+
+A trace is the unit of the paper's accuracy evaluation (§5): a short
+sequence of cloud API calls with data dependencies (later steps use
+identifiers returned by earlier ones).  The same trace runs against
+any backend — reference cloud, learned emulator, baselines — and the
+alignment comparator decides whether the responses match.
+
+Identifier flow is symbolic: a step may ``bind`` a name, and later
+parameters reference it as ``$name``; each backend resolves the symbol
+to its own concrete identifier, so backends with different id schemes
+are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interpreter.errors import ApiResponse
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One API invocation in a trace."""
+
+    api: str
+    params: dict = field(default_factory=dict)
+    #: Symbol to bind this step's returned resource id to.
+    bind: str = ""
+    #: The author's intent, for documentation and sanity checks; the
+    #: comparator uses the reference cloud, not this flag.
+    expect_success: bool | None = None
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A named API call sequence within one service."""
+
+    name: str
+    service: str
+    scenario: str  # provisioning | state_updates | edge_cases
+    steps: tuple[TraceStep, ...]
+    description: str = ""
+
+
+@dataclass
+class StepResult:
+    """The outcome of one step on one backend."""
+
+    api: str
+    response: ApiResponse
+    resolved_params: dict = field(default_factory=dict)
+
+
+@dataclass
+class TraceRun:
+    """A full trace execution on one backend."""
+
+    trace: Trace
+    results: list[StepResult] = field(default_factory=list)
+    #: symbol -> concrete id, as assigned by this backend.
+    env: dict[str, str] = field(default_factory=dict)
+
+
+def _resolve(value: object, env: dict[str, str]) -> object:
+    if isinstance(value, str) and value.startswith("$"):
+        symbol = value[1:]
+        if symbol not in env:
+            raise KeyError(f"trace references unbound symbol ${symbol}")
+        return env[symbol]
+    if isinstance(value, list):
+        return [_resolve(item, env) for item in value]
+    return value
+
+
+def run_trace(backend, trace: Trace, reset: bool = True) -> TraceRun:
+    """Execute a trace against a backend, threading bound identifiers.
+
+    A step that binds a symbol but fails (or returns no id) binds an
+    obviously-dangling identifier so downstream steps still execute —
+    both backends see the same dangling value, keeping runs comparable.
+    """
+    if reset:
+        backend.reset()
+    run = TraceRun(trace=trace)
+    for step in trace.steps:
+        params = {
+            key: _resolve(value, run.env)
+            for key, value in step.params.items()
+        }
+        response = backend.invoke(step.api, params)
+        run.results.append(
+            StepResult(api=step.api, response=response,
+                       resolved_params=params)
+        )
+        if step.bind:
+            bound = ""
+            if response.success:
+                bound = str(
+                    response.data.get("id")
+                    or response.data.get(f"{step.bind}_id")
+                    or ""
+                )
+            run.env[step.bind] = bound or f"dangling-{step.bind}"
+    return run

@@ -1,0 +1,111 @@
+"""The SM specification language (Fig. 1 of the paper).
+
+This package provides the grammar as a concrete textual DSL, with:
+
+- :mod:`repro.spec.lexer` / :mod:`repro.spec.parser` — text to AST;
+- :mod:`repro.spec.ast` — the hierarchy-of-state-machines model;
+- :mod:`repro.spec.types` — the state/parameter type system;
+- :mod:`repro.spec.validator` — static semantic checks;
+- :mod:`repro.spec.serializer` — AST back to text (round-trips).
+"""
+
+from .ast import (
+    And,
+    Assert,
+    Attr,
+    Call,
+    CATEGORIES,
+    Compare,
+    Emit,
+    Expr,
+    Func,
+    If,
+    ListExpr,
+    Literal,
+    Name,
+    Not,
+    Or,
+    Pred,
+    Read,
+    SelfRef,
+    SMSpec,
+    SpecModule,
+    StateDecl,
+    Stmt,
+    Transition,
+    Truthy,
+    Write,
+)
+from .builder import sm, SMBuilder, TransitionBuilder
+from .errors import SpecError, SpecSyntaxError, SpecValidationError
+from .parser import BUILTIN_FUNCTIONS, parse_module, parse_sm
+from .serializer import serialize_module, serialize_sm
+from .types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    MAP,
+    Param,
+    SM_REF,
+    STR,
+    StateType,
+    enum_of,
+    list_of,
+    sm_of,
+)
+from .validator import collect_violations, validate_module, validate_sm
+
+__all__ = [
+    "And",
+    "ANY",
+    "Assert",
+    "Attr",
+    "BOOL",
+    "BUILTIN_FUNCTIONS",
+    "Call",
+    "CATEGORIES",
+    "Compare",
+    "collect_violations",
+    "Emit",
+    "enum_of",
+    "Expr",
+    "FLOAT",
+    "Func",
+    "If",
+    "INT",
+    "ListExpr",
+    "list_of",
+    "Literal",
+    "MAP",
+    "Name",
+    "Not",
+    "Or",
+    "Param",
+    "parse_module",
+    "parse_sm",
+    "Pred",
+    "Read",
+    "SelfRef",
+    "serialize_module",
+    "serialize_sm",
+    "sm",
+    "SM_REF",
+    "SMBuilder",
+    "TransitionBuilder",
+    "sm_of",
+    "SMSpec",
+    "SpecError",
+    "SpecModule",
+    "SpecSyntaxError",
+    "SpecValidationError",
+    "StateDecl",
+    "StateType",
+    "Stmt",
+    "STR",
+    "Transition",
+    "Truthy",
+    "validate_module",
+    "validate_sm",
+    "Write",
+]

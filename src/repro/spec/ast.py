@@ -1,0 +1,436 @@
+"""Abstract syntax tree for the SM specification language.
+
+The shape follows Fig. 1 of the paper directly:
+
+.. code-block:: text
+
+    prog        ::= SM states transitions
+    states      ::= s1:t1, ..., sn:tn
+    transitions ::= expr | if pred then expr else expr
+    expr        ::= primitive | primitive, expr
+    primitive   ::= read(s, v) | write(s, v) | assert(pred) | call(transition)
+
+with the practical extensions the paper's own illustrative example uses:
+named transitions with typed parameters, attribute access on SM
+references (``nic_ref.loc``), the ``self`` handle passed through
+``call``, negation in predicates (``assert(!NIC)``), and an error-code
+annotation on asserts so failed assertions map to cloud error codes
+(the "specification linking" step of §4.2 fills these in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import Param, StateType
+
+# ---------------------------------------------------------------------------
+# Value expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for value expressions."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A literal string, number, boolean or null."""
+
+    value: object
+
+    def render(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return '"' + self.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A bare identifier.
+
+    Resolution is dynamic, mirroring the paper's symbolic treatment of
+    state: at evaluation time a name resolves to (in order) a local
+    variable / parameter, a state variable of the enclosing SM, or — if
+    spelled in CONSTANT_CASE — an enum symbol.
+    """
+
+    ident: str
+
+    def render(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class SelfRef(Expr):
+    """The ``self`` handle of the currently executing SM instance."""
+
+    def render(self) -> str:
+        return "self"
+
+
+@dataclass(frozen=True)
+class Attr(Expr):
+    """Attribute access on an SM reference: ``nic_ref.loc``."""
+
+    base: Expr
+    attr: str
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.base,)
+
+    def render(self) -> str:
+        return f"{self.base.render()}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    """A builtin function applied to arguments (``valid_cidr(block)``).
+
+    Builtins are the small domain vocabulary that predicates over cloud
+    state need: CIDR arithmetic, prefix lengths, list membership and
+    sizes.  The interpreter provides their implementations; the validator
+    rejects unknown names so the LLM cannot invent functions.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def render(self) -> str:
+        return f"{self.name}(" + ", ".join(a.render() for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """A literal list of expressions (``[a, b]``)."""
+
+    items: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.items
+
+    def render(self) -> str:
+        return "[" + ", ".join(item.render() for item in self.items) + "]"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Pred:
+    """Base class for predicates."""
+
+    def children(self) -> tuple[object, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Compare(Pred):
+    """A binary comparison: ``==  !=  <  <=  >  >=  in``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[object, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class Truthy(Pred):
+    """An expression used directly as a predicate (``assert(!NIC)``)."""
+
+    expr: Expr
+
+    def children(self) -> tuple[object, ...]:
+        return (self.expr,)
+
+    def render(self) -> str:
+        return self.expr.render()
+
+
+@dataclass(frozen=True)
+class Not(Pred):
+    pred: Pred
+
+    def children(self) -> tuple[object, ...]:
+        return (self.pred,)
+
+    def render(self) -> str:
+        inner = self.pred.render()
+        if isinstance(self.pred, (Compare, And, Or)):
+            return f"!({inner})"
+        return f"!{inner}"
+
+
+@dataclass(frozen=True)
+class And(Pred):
+    left: Pred
+    right: Pred
+
+    def children(self) -> tuple[object, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} && {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Or(Pred):
+    left: Pred
+    right: Pred
+
+    def children(self) -> tuple[object, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} || {self.right.render()})"
+
+
+# ---------------------------------------------------------------------------
+# Statements (the grammar's expr / primitive layer)
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for transition-body statements."""
+
+
+@dataclass(frozen=True)
+class Read(Stmt):
+    """``read(state, var)`` — read state variable into a local binding.
+
+    Per describe() semantics, every variable bound by ``read`` is also
+    included in the transition's API response payload under its own
+    name, which is how describe-class APIs surface resource attributes.
+    """
+
+    state: str
+    var: str
+
+    def render(self) -> str:
+        return f"read({self.state}, {self.var});"
+
+
+@dataclass(frozen=True)
+class Write(Stmt):
+    """``write(state, value)`` — assign a state variable."""
+
+    state: str
+    value: Expr
+
+    def render(self) -> str:
+        return f"write({self.state}, {self.value.render()});"
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """``assert(pred) : ErrorCode("message")`` — a guarded constraint.
+
+    When the predicate is false the transition fails atomically with the
+    annotated cloud error code.  The message is a template; ``{name}``
+    placeholders are interpolated from the evaluation scope.
+    """
+
+    pred: Pred
+    error_code: str = "OperationFailure"
+    message: str = ""
+
+    def render(self) -> str:
+        suffix = f" : {self.error_code}"
+        if self.message:
+            suffix += f'("{self.message}")'
+        return f"assert({self.pred.render()}){suffix};"
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """``call(target.Transition(args...))`` — trigger an external SM.
+
+    ``target`` must evaluate to an SM reference (a parameter, a state
+    variable holding a reference, or ``self`` for recursion).  The paper
+    uses this for bidirectional association, e.g.
+    ``call(nic_ref.AttachPublicIP(self))``.
+    """
+
+    target: Expr
+    transition: str
+    args: tuple[Expr, ...] = ()
+
+    def render(self) -> str:
+        argtext = ", ".join(a.render() for a in self.args)
+        return f"call({self.target.render()}.{self.transition}({argtext}));"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if pred then expr else expr`` from the grammar, with blocks."""
+
+    pred: Pred
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class Emit(Stmt):
+    """``emit(key, value)`` — add a field to the API response payload.
+
+    An extension primitive: create()-class APIs must return identifiers
+    and attributes they computed (``emit(vpcId, self.id)``), which plain
+    ``read`` cannot express for derived values.
+    """
+
+    key: str
+    value: Expr
+
+    def render(self) -> str:
+        return f"emit({self.key}, {self.value.render()});"
+
+
+# ---------------------------------------------------------------------------
+# Structure: transitions, state machines, modules
+# ---------------------------------------------------------------------------
+
+#: The four API categories the paper identifies (§3).
+CATEGORIES = ("create", "destroy", "describe", "modify")
+
+
+@dataclass
+class Transition:
+    """A named transition — one cloud API mapped onto this SM."""
+
+    name: str
+    params: tuple[Param, ...] = ()
+    body: tuple[Stmt, ...] = ()
+    category: str = ""
+    #: True while this transition is an unfinished stub left by the
+    #: incremental extraction pass (§4.2); linking must patch it.
+    is_stub: bool = False
+
+    def statements(self):
+        """Yield every statement in the body, descending into ifs."""
+        stack = list(self.body)
+        while stack:
+            stmt = stack.pop(0)
+            yield stmt
+            if isinstance(stmt, If):
+                stack = list(stmt.then) + list(stmt.orelse) + stack
+
+
+@dataclass
+class StateDecl:
+    """A typed state variable declaration (``status: enum``)."""
+
+    name: str
+    type: StateType
+    default: Expr | None = None
+
+    def render(self) -> str:
+        text = f"{self.name}: {self.type.render()}"
+        if self.default is not None:
+            text += f" = {self.default.render()}"
+        return text
+
+
+@dataclass
+class SMSpec:
+    """One state machine: a cloud resource type (§3).
+
+    ``parent`` names the containing resource type in the hierarchy of
+    state machines (e.g. a subnet is contained in a vpc); the hierarchy
+    scopes the impact of SM operations and powers the soundness checks.
+    """
+
+    name: str
+    states: list[StateDecl] = field(default_factory=list)
+    transitions: dict[str, Transition] = field(default_factory=dict)
+    parent: str = ""
+    doc: str = ""
+
+    def state_names(self) -> list[str]:
+        return [decl.name for decl in self.states]
+
+    def state_type(self, name: str) -> StateType | None:
+        for decl in self.states:
+            if decl.name == name:
+                return decl.type
+        return None
+
+    @property
+    def complexity(self) -> int:
+        """The paper's SM complexity metric: #state vars + #transitions."""
+        return len(self.states) + len(self.transitions)
+
+    def referenced_sms(self) -> set[str]:
+        """SM types this machine references through typed states/params."""
+        refs = set()
+        for decl in self.states:
+            if decl.type.kind == "sm" and decl.type.sm_name:
+                refs.add(decl.type.sm_name)
+            if (
+                decl.type.kind == "list"
+                and decl.type.element is not None
+                and decl.type.element.kind == "sm"
+                and decl.type.element.sm_name
+            ):
+                refs.add(decl.type.element.sm_name)
+        for transition in self.transitions.values():
+            for param in transition.params:
+                if param.type.kind == "sm" and param.type.sm_name:
+                    refs.add(param.type.sm_name)
+        if self.parent:
+            refs.add(self.parent)
+        return refs
+
+
+@dataclass
+class SpecModule:
+    """A set of SMs extracted for one cloud service.
+
+    This is the "executable specification" of §4.2: the artifact the
+    LLM produces and the interpreter executes.
+    """
+
+    service: str
+    provider: str = "aws"
+    machines: dict[str, SMSpec] = field(default_factory=dict)
+
+    def add(self, spec: SMSpec) -> None:
+        self.machines[spec.name] = spec
+
+    def get(self, name: str) -> SMSpec | None:
+        return self.machines.get(name)
+
+    def transition_index(self) -> dict[str, tuple[str, Transition]]:
+        """Map every transition (API) name to its owning SM.
+
+        Cloud API names are globally unique within a service, which is
+        what makes the flat API → SM dispatch of the emulator possible.
+        """
+        index: dict[str, tuple[str, Transition]] = {}
+        for sm_name, spec in self.machines.items():
+            for t_name, transition in spec.transitions.items():
+                index[t_name] = (sm_name, transition)
+        return index
+
+    def api_names(self) -> list[str]:
+        """Public API names: helper transitions (``_``-prefixed, added
+        by specification linking) are internal and excluded."""
+        return sorted(
+            name for name in self.transition_index()
+            if not name.startswith("_")
+        )

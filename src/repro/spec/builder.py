@@ -1,0 +1,211 @@
+"""A fluent Python API for authoring SM specs without the DSL.
+
+Downstream users extending a learned emulator (adding a custom
+resource, stubbing an internal service) shouldn't need to concatenate
+DSL strings.  The builder produces the same validated
+:class:`~repro.spec.ast.SMSpec` values the parser does, and
+serializes through the standard serializer::
+
+    spec = (
+        sm("queue")
+        .state("depth", "int", default=0)
+        .state("paused", "bool", default=False)
+        .create("CreateQueue")
+        .modify("SendMessage")
+            .require("queue_id")
+            .check("paused == false", code="QueuePaused")
+            .write("depth", "depth + 1")          # expressions parse
+        .done()
+    )
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SpecSyntaxError
+from .parser import Parser
+from .types import (
+    ANY,
+    Param,
+    StateType,
+    enum_of,
+    list_of,
+    sm_of,
+)
+from .validator import validate_sm
+
+
+def _parse_expr(text: str) -> ast.Expr:
+    parser = Parser(text)
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr
+
+
+def _parse_pred(text: str) -> ast.Pred:
+    parser = Parser(text)
+    pred = parser.parse_pred()
+    parser.expect("eof")
+    return pred
+
+
+def _state_type(spec: str | StateType) -> StateType:
+    if isinstance(spec, StateType):
+        return spec
+    text = spec.strip()
+    if text.startswith("enum(") and text.endswith(")"):
+        values = [v.strip() for v in text[5:-1].split(",") if v.strip()]
+        return enum_of(*values)
+    if text.startswith("SM<") and text.endswith(">"):
+        return sm_of(text[3:-1])
+    if text == "SM":
+        return StateType("sm")
+    if text.startswith("list<") and text.endswith(">"):
+        return list_of(_state_type(text[5:-1]))
+    simple = {
+        "str": StateType("str"), "string": StateType("str"),
+        "int": StateType("int"), "bool": StateType("bool"),
+        "float": StateType("float"), "list": StateType("list"),
+        "map": StateType("map"), "enum": StateType("enum"),
+        "any": ANY,
+    }
+    if text in simple:
+        return simple[text]
+    raise SpecSyntaxError(f"unknown type spelling {text!r}")
+
+
+class TransitionBuilder:
+    """Accumulates one transition's params and body."""
+
+    def __init__(self, parent: "SMBuilder", name: str, category: str):
+        self._parent = parent
+        self._name = name
+        self._category = category
+        self._params: list[Param] = []
+        self._body: list[ast.Stmt] = []
+
+    # -- signature ----------------------------------------------------------
+
+    def param(self, name: str, type: str | StateType = "any"
+              ) -> "TransitionBuilder":
+        self._params.append(Param(name, _state_type(type)))
+        return self
+
+    # -- statements -----------------------------------------------------------
+
+    def require(self, param_name: str,
+                code: str = "MissingParameter") -> "TransitionBuilder":
+        """Assert the parameter is present (declaring it if needed)."""
+        if all(p.name != param_name for p in self._params):
+            self._params.append(Param(param_name, ANY))
+        self._body.append(
+            ast.Assert(
+                ast.Truthy(ast.Func("exists", (ast.Name(param_name),))),
+                code,
+            )
+        )
+        return self
+
+    def check(self, predicate: str, code: str = "OperationFailure",
+              message: str = "") -> "TransitionBuilder":
+        self._body.append(ast.Assert(_parse_pred(predicate), code, message))
+        return self
+
+    def write(self, state: str, value: str) -> "TransitionBuilder":
+        self._body.append(ast.Write(state, _parse_expr(value)))
+        return self
+
+    def read(self, state: str, var: str = "") -> "TransitionBuilder":
+        self._body.append(ast.Read(state, var or state))
+        return self
+
+    def emit(self, key: str, value: str) -> "TransitionBuilder":
+        self._body.append(ast.Emit(key, _parse_expr(value)))
+        return self
+
+    def call(self, target: str, transition: str,
+             *args: str) -> "TransitionBuilder":
+        self._body.append(
+            ast.Call(
+                _parse_expr(target),
+                transition,
+                tuple(_parse_expr(a) for a in args),
+            )
+        )
+        return self
+
+    def when(self, predicate: str, then: list[ast.Stmt],
+             orelse: list[ast.Stmt] | None = None) -> "TransitionBuilder":
+        self._body.append(
+            ast.If(_parse_pred(predicate), tuple(then),
+                   tuple(orelse or ()))
+        )
+        return self
+
+    # -- chaining ---------------------------------------------------------------
+
+    def _build(self) -> ast.Transition:
+        return ast.Transition(
+            name=self._name,
+            params=tuple(self._params),
+            body=tuple(self._body),
+            category=self._category,
+        )
+
+    def __getattr__(self, name: str):
+        """Unknown attributes fall through to the SM builder, so a new
+        transition (or ``done``) can start without explicit closing."""
+        self._parent._commit(self)
+        return getattr(self._parent, name)
+
+
+class SMBuilder:
+    """Fluent construction of one state machine."""
+
+    def __init__(self, name: str, parent: str = "", doc: str = ""):
+        self._spec = ast.SMSpec(name=name, parent=parent, doc=doc)
+        self._open: TransitionBuilder | None = None
+
+    def _commit(self, transition: TransitionBuilder) -> None:
+        built = transition._build()
+        self._spec.transitions[built.name] = built
+        if self._open is transition:
+            self._open = None
+
+    def state(self, name: str, type: str | StateType = "str",
+              default: object = None) -> "SMBuilder":
+        decl_default = None if default is None else ast.Literal(default)
+        self._spec.states.append(
+            ast.StateDecl(name, _state_type(type), decl_default)
+        )
+        return self
+
+    def _transition(self, name: str, category: str) -> TransitionBuilder:
+        if self._open is not None:
+            self._commit(self._open)
+        self._open = TransitionBuilder(self, name, category)
+        return self._open
+
+    def create(self, name: str) -> TransitionBuilder:
+        return self._transition(name, "create")
+
+    def destroy(self, name: str) -> TransitionBuilder:
+        return self._transition(name, "destroy")
+
+    def describe(self, name: str) -> TransitionBuilder:
+        return self._transition(name, "describe")
+
+    def modify(self, name: str) -> TransitionBuilder:
+        return self._transition(name, "modify")
+
+    def done(self) -> ast.SMSpec:
+        """Finish, validate and return the SM."""
+        if self._open is not None:
+            self._commit(self._open)
+        validate_sm(self._spec)
+        return self._spec
+
+
+def sm(name: str, parent: str = "", doc: str = "") -> SMBuilder:
+    """Start building a state machine."""
+    return SMBuilder(name, parent=parent, doc=doc)

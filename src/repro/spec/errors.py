@@ -1,0 +1,38 @@
+"""Errors raised by the specification layer (lexing, parsing, validation)."""
+
+from __future__ import annotations
+
+
+class SpecError(Exception):
+    """Base class for all specification-layer errors."""
+
+
+class SpecSyntaxError(SpecError):
+    """The spec text does not conform to the grammar of Fig. 1.
+
+    The synthesis loop catches this to trigger re-prompting (§5:
+    "enforce syntactic checks in the interpreter and re-prompt in case
+    of issues").
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SpecValidationError(SpecError):
+    """The spec parsed but violates a static semantic rule.
+
+    Carries the list of individual violations so the correction loop can
+    target them one by one.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        super().__init__(
+            f"{len(self.violations)} validation violation(s): "
+            + "; ".join(self.violations[:5])
+            + ("; ..." if len(self.violations) > 5 else "")
+        )

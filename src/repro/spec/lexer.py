@@ -1,0 +1,129 @@
+"""Tokenizer for the SM specification language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SpecSyntaxError
+
+KEYWORDS = {
+    "SM",
+    "States",
+    "Transitions",
+    "if",
+    "then",
+    "else",
+    "self",
+    "true",
+    "false",
+    "null",
+    "contained_in",
+}
+
+#: Multi-character operators, longest first so ``==`` wins over ``=``.
+OPERATORS = ["==", "!=", "<=", ">=", "&&", "||", "<", ">", "=", "!", "@"]
+
+PUNCTUATION = "{}(),:;.[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'string' | 'number' | 'op' | 'punct' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, raising :class:`SpecSyntaxError` on bad input.
+
+    Comments run from ``//`` or ``/*``..``*/`` and are discarded, as the
+    paper's example specs are commented.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise SpecSyntaxError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    advance(2)
+                else:
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise SpecSyntaxError("unterminated string", start_line, start_col)
+            advance(1)
+            tokens.append(Token("string", "".join(chars), start_line, start_col))
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("number", text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line, col))
+            advance(1)
+            continue
+        raise SpecSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

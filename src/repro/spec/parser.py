@@ -1,0 +1,491 @@
+"""Recursive-descent parser for the SM specification language.
+
+Accepts both the compact form in the paper's Fig. 1 example (a
+``Transitions`` block that first lists API signatures, followed by the
+definitions) and the fully braced form the synthesizer emits.  Signature-
+only entries become *stub* transitions, which is exactly how incremental
+extraction (§4.2) leaves dependencies to be patched by the linking pass.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SpecSyntaxError
+from .lexer import Token, tokenize
+from .types import ANY, Param, StateType, enum_of, list_of, sm_of
+
+#: Builtin predicate/value functions available to specs.  The validator
+#: rejects anything else, which is one of the "aggressive constraints"
+#: the paper imposes on generation.
+BUILTIN_FUNCTIONS = {
+    "valid_cidr",
+    "prefix_len",
+    "cidr_within",
+    "cidr_overlaps",
+    "cidr_overlaps_any",
+    "valid_ip",
+    "len",
+    "contains",
+    "exists",
+    "lookup",
+    "concat",
+    "append",
+    "remove",
+    "put",
+    "drop",
+    "new_id",
+    "now",
+}
+
+
+class Parser:
+    """Parses one module (a sequence of SM blocks) from token stream."""
+
+    def __init__(self, source: str):
+        self.tokens: list[Token] = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise SpecSyntaxError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> SpecSyntaxError:
+        token = self.peek()
+        return SpecSyntaxError(message, token.line, token.column)
+
+    # -- module / SM level --------------------------------------------------
+
+    def parse_module(self, service: str = "", provider: str = "aws") -> ast.SpecModule:
+        module = ast.SpecModule(service=service, provider=provider)
+        while not self.check("eof"):
+            module.add(self.parse_sm())
+        return module
+
+    def parse_sm(self) -> ast.SMSpec:
+        self.expect("keyword", "SM")
+        name = self.expect("ident").text
+        parent = ""
+        if self.accept("keyword", "contained_in"):
+            parent = self.expect("ident").text
+        self.expect("punct", "{")
+        spec = ast.SMSpec(name=name, parent=parent)
+
+        while not self.check("punct", "}"):
+            if self.accept("keyword", "States"):
+                self.parse_states(spec)
+            elif self.accept("keyword", "Transitions"):
+                self.parse_transitions_block(spec)
+            elif self.check("ident") or self.check("op", "@"):
+                transition = self.parse_transition_definition()
+                spec.transitions[transition.name] = transition
+            else:
+                raise self.error("expected States, Transitions or a definition")
+        self.expect("punct", "}")
+        return spec
+
+    def parse_states(self, spec: ast.SMSpec) -> None:
+        braced = bool(self.accept("punct", "{"))
+        while True:
+            if braced and self.check("punct", "}"):
+                break
+            if not braced and (
+                self.check("keyword", "Transitions") or self.check("punct", "}")
+            ):
+                break
+            name = self.expect("ident").text
+            self.expect("punct", ":")
+            state_type = self.parse_type()
+            default = None
+            if self.accept("op", "="):
+                default = self.parse_expr()
+            spec.states.append(ast.StateDecl(name, state_type, default))
+            if not self.accept("punct", ","):
+                self.accept("punct", ";")
+        if braced:
+            self.expect("punct", "}")
+
+    def parse_transitions_block(self, spec: ast.SMSpec) -> None:
+        self.expect("punct", "{")
+        while not self.check("punct", "}"):
+            transition = self.parse_transition_definition()
+            existing = spec.transitions.get(transition.name)
+            if existing is None or existing.is_stub:
+                spec.transitions[transition.name] = transition
+        self.expect("punct", "}")
+
+    def parse_transition_definition(self) -> ast.Transition:
+        category = ""
+        if self.accept("op", "@"):
+            category = self.expect("ident").text
+            if category not in ast.CATEGORIES:
+                raise self.error(
+                    f"unknown category @{category}; expected one of "
+                    + ", ".join(ast.CATEGORIES)
+                )
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: list[Param] = []
+        while not self.check("punct", ")"):
+            param_name = self.expect("ident").text
+            param_type = ANY
+            if self.accept("punct", ":"):
+                param_type = self.parse_type()
+            params.append(Param(param_name, param_type))
+            if not self.check("punct", ")"):
+                self.expect("punct", ",")
+        self.expect("punct", ")")
+        if self.accept("punct", ";"):
+            # Signature-only declaration: an unfinished stub.
+            return ast.Transition(
+                name=name, params=tuple(params), category=category, is_stub=True
+            )
+        body = self.parse_block()
+        return ast.Transition(
+            name=name, params=tuple(params), body=tuple(body), category=category
+        )
+
+    # -- types --------------------------------------------------------------
+
+    def parse_type(self) -> StateType:
+        token = self.peek()
+        if token.kind == "keyword" and token.text == "SM":
+            self.advance()
+            if self.accept("op", "<"):
+                target = self.expect("ident").text
+                self.expect("op", ">")
+                return sm_of(target)
+            return StateType("sm")
+        name_token = self.expect("ident")
+        name = name_token.text
+        if name == "enum":
+            if self.accept("punct", "("):
+                values = [self.parse_enum_value()]
+                while self.accept("punct", ","):
+                    values.append(self.parse_enum_value())
+                self.expect("punct", ")")
+                return enum_of(*values)
+            return StateType("enum")
+        if name == "list":
+            if self.accept("op", "<"):
+                element = self.parse_type()
+                self.expect("op", ">")
+                return list_of(element)
+            return StateType("list")
+        if name in ("str", "string"):
+            return StateType("str")
+        if name in ("int", "integer"):
+            return StateType("int")
+        if name in ("bool", "boolean"):
+            return StateType("bool")
+        if name == "float":
+            return StateType("float")
+        if name == "map":
+            return StateType("map")
+        if name == "any":
+            return ANY
+        raise SpecSyntaxError(
+            f"unknown type {name!r}", name_token.line, name_token.column
+        )
+
+    def parse_enum_value(self) -> str:
+        """Enum symbols are usually identifiers, but versions ("1.27")
+        and dotted product names appear in real documentation too."""
+        token = self.peek()
+        if token.kind in ("ident", "string"):
+            self.advance()
+            text = token.text
+        elif token.kind == "number":
+            self.advance()
+            text = token.text
+        else:
+            raise self.error("expected an enum value")
+        # Allow a dotted continuation (1.27 lexes as one number, but
+        # identifiers like node.large arrive as ident '.' ident).
+        while self.check("punct", ".") and self.peek(1).kind in (
+            "ident", "number",
+        ):
+            self.advance()
+            text += "." + self.advance().text
+        return text
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("punct", "{")
+        statements: list[ast.Stmt] = []
+        while not self.check("punct", "}"):
+            statements.append(self.parse_statement())
+        self.expect("punct", "}")
+        return statements
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        token = self.expect("ident")
+        primitive = token.text
+        if primitive == "read":
+            self.expect("punct", "(")
+            state = self.expect("ident").text
+            self.expect("punct", ",")
+            var = self.expect("ident").text
+            self.expect("punct", ")")
+            self.expect("punct", ";")
+            return ast.Read(state, var)
+        if primitive == "write":
+            self.expect("punct", "(")
+            state = self.expect("ident").text
+            self.expect("punct", ",")
+            value = self.parse_expr()
+            self.expect("punct", ")")
+            self.expect("punct", ";")
+            return ast.Write(state, value)
+        if primitive == "emit":
+            self.expect("punct", "(")
+            key = self.expect("ident").text
+            self.expect("punct", ",")
+            value = self.parse_expr()
+            self.expect("punct", ")")
+            self.expect("punct", ";")
+            return ast.Emit(key, value)
+        if primitive == "assert":
+            self.expect("punct", "(")
+            pred = self.parse_pred()
+            self.expect("punct", ")")
+            error_code = "OperationFailure"
+            message = ""
+            if self.accept("punct", ":"):
+                error_code = self.parse_error_code()
+                if self.accept("punct", "("):
+                    message = self.expect("string").text
+                    self.expect("punct", ")")
+            self.expect("punct", ";")
+            return ast.Assert(pred, error_code, message)
+        if primitive == "call":
+            self.expect("punct", "(")
+            stmt = self.parse_call_interior()
+            self.expect("punct", ")")
+            self.expect("punct", ";")
+            return stmt
+        raise SpecSyntaxError(
+            f"unknown primitive {primitive!r}; expected read/write/assert/call/emit/if",
+            token.line,
+            token.column,
+        )
+
+    def parse_error_code(self) -> str:
+        """Error codes may be dotted, e.g. ``InvalidSubnet.Range``."""
+        code = self.expect("ident").text
+        while self.check("punct", ".") and self.peek(1).kind == "ident":
+            self.advance()
+            code += "." + self.expect("ident").text
+        return code
+
+    def parse_if(self) -> ast.Stmt:
+        self.expect("keyword", "if")
+        parenthesized = bool(self.accept("punct", "("))
+        pred = self.parse_pred()
+        if parenthesized:
+            self.expect("punct", ")")
+        self.accept("keyword", "then")
+        then = tuple(self.parse_block())
+        orelse: tuple[ast.Stmt, ...] = ()
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                orelse = (self.parse_if(),)
+            else:
+                orelse = tuple(self.parse_block())
+        return ast.If(pred, then, orelse)
+
+    def parse_call_interior(self) -> ast.Call:
+        """Parse ``target.Transition(args...)`` inside ``call( ... )``."""
+        expr = self.parse_primary()
+        segments: list[str] = []
+        args: tuple[ast.Expr, ...] | None = None
+        while self.check("punct", "."):
+            self.advance()
+            name = self.expect("ident").text
+            if self.check("punct", "("):
+                self.advance()
+                call_args: list[ast.Expr] = []
+                while not self.check("punct", ")"):
+                    call_args.append(self.parse_expr())
+                    if not self.check("punct", ")"):
+                        self.expect("punct", ",")
+                self.expect("punct", ")")
+                args = tuple(call_args)
+                segments.append(name)
+                break
+            segments.append(name)
+        if args is None:
+            raise self.error("call() requires target.Transition(args...)")
+        target: ast.Expr = expr
+        for segment in segments[:-1]:
+            target = ast.Attr(target, segment)
+        return ast.Call(target, segments[-1], args)
+
+    # -- predicates -----------------------------------------------------------
+
+    def parse_pred(self) -> ast.Pred:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Pred:
+        left = self.parse_and()
+        while self.accept("op", "||"):
+            left = ast.Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Pred:
+        left = self.parse_unary_pred()
+        while self.accept("op", "&&"):
+            left = ast.And(left, self.parse_unary_pred())
+        return left
+
+    def parse_unary_pred(self) -> ast.Pred:
+        if self.accept("op", "!"):
+            return ast.Not(self.parse_unary_pred())
+        if self.check("punct", "("):
+            # Could be a grouped predicate or a parenthesized expression
+            # beginning a comparison; backtrack on failure.
+            saved = self.pos
+            self.advance()
+            try:
+                pred = self.parse_pred()
+                self.expect("punct", ")")
+            except SpecSyntaxError:
+                if self.check("eof"):
+                    # Truncated input, not a mis-parse: the failure is
+                    # at the frontier, which prefix-viability checking
+                    # (constrained decoding) relies on seeing.
+                    raise
+                self.pos = saved
+            else:
+                if self.peek().kind == "op" and self.peek().text in (
+                    "==",
+                    "!=",
+                    "<",
+                    "<=",
+                    ">",
+                    ">=",
+                ):
+                    self.pos = saved
+                else:
+                    return pred
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Pred:
+        left = self.parse_expr()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_expr()
+            return ast.Compare(token.text, left, right)
+        if token.kind == "ident" and token.text == "in":
+            self.advance()
+            right = self.parse_expr()
+            return ast.Compare("in", left, right)
+        return ast.Truthy(left)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.check("punct", "."):
+            self.advance()
+            attr = self.expect("ident").text
+            expr = ast.Attr(expr, attr)
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.text)
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return ast.Literal(float(text) if "." in text else int(text))
+        if token.kind == "keyword":
+            if token.text == "self":
+                self.advance()
+                return ast.SelfRef()
+            if token.text == "true":
+                self.advance()
+                return ast.Literal(True)
+            if token.text == "false":
+                self.advance()
+                return ast.Literal(False)
+            if token.text == "null":
+                self.advance()
+                return ast.Literal(None)
+            raise self.error(f"unexpected keyword {token.text!r} in expression")
+        if token.kind == "punct" and token.text == "[":
+            self.advance()
+            items: list[ast.Expr] = []
+            while not self.check("punct", "]"):
+                items.append(self.parse_expr())
+                if not self.check("punct", "]"):
+                    self.expect("punct", ",")
+            self.expect("punct", "]")
+            return ast.ListExpr(tuple(items))
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.check("punct", "("):
+                self.advance()
+                args: list[ast.Expr] = []
+                while not self.check("punct", ")"):
+                    args.append(self.parse_expr())
+                    if not self.check("punct", ")"):
+                        self.expect("punct", ",")
+                self.expect("punct", ")")
+                return ast.Func(token.text, tuple(args))
+            return ast.Name(token.text)
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+
+def parse_module(source: str, service: str = "", provider: str = "aws") -> ast.SpecModule:
+    """Parse a full spec module (one or more SM blocks)."""
+    return Parser(source).parse_module(service=service, provider=provider)
+
+
+def parse_sm(source: str) -> ast.SMSpec:
+    """Parse a single SM block."""
+    parser = Parser(source)
+    spec = parser.parse_sm()
+    parser.expect("eof")
+    return spec

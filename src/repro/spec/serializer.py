@@ -1,0 +1,68 @@
+"""Render spec ASTs back to concrete syntax.
+
+``parse(serialize(spec))`` round-trips, which both the constrained
+decoder and the property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+INDENT = "  "
+
+
+def serialize_module(module: ast.SpecModule) -> str:
+    """Render every SM in the module, in insertion order."""
+    return "\n\n".join(serialize_sm(spec) for spec in module.machines.values())
+
+
+def serialize_sm(spec: ast.SMSpec) -> str:
+    lines: list[str] = []
+    header = f"SM {spec.name}"
+    if spec.parent:
+        header += f" contained_in {spec.parent}"
+    lines.append(header + " {")
+    if spec.doc:
+        lines.append(INDENT + "// " + spec.doc.replace("\n", " "))
+    lines.append(INDENT + "States {")
+    for decl in spec.states:
+        lines.append(INDENT * 2 + decl.render() + ",")
+    lines.append(INDENT + "}")
+    lines.append(INDENT + "Transitions {")
+    for transition in spec.transitions.values():
+        lines.extend(_serialize_transition(transition, depth=2))
+    lines.append(INDENT + "}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _serialize_transition(transition: ast.Transition, depth: int) -> list[str]:
+    pad = INDENT * depth
+    params = ", ".join(p.render() for p in transition.params)
+    lines: list[str] = []
+    if transition.category:
+        lines.append(f"{pad}@{transition.category}")
+    signature = f"{pad}{transition.name}({params})"
+    if transition.is_stub:
+        lines.append(signature + ";")
+        return lines
+    lines.append(signature + " {")
+    for stmt in transition.body:
+        lines.extend(_serialize_stmt(stmt, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def _serialize_stmt(stmt: ast.Stmt, depth: int) -> list[str]:
+    pad = INDENT * depth
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({stmt.pred.render()}) {{"]
+        for inner in stmt.then:
+            lines.extend(_serialize_stmt(inner, depth + 1))
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.orelse:
+                lines.extend(_serialize_stmt(inner, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    return [pad + stmt.render()]  # type: ignore[attr-defined]

@@ -1,0 +1,133 @@
+"""Type system for the state-machine specification language.
+
+The grammar in the paper (Fig. 1) declares each state variable with a
+type (``s : t``).  The illustrative example uses ``enum``, ``str`` and
+``SM`` (a reference to another state machine).  We support those plus the
+small set of scalar and container types that cloud documentation actually
+uses for resource attributes (booleans, integers, lists of identifiers,
+string maps for tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The type kinds a state variable or transition parameter may carry.
+KINDS = ("str", "int", "float", "bool", "enum", "sm", "list", "map", "any")
+
+
+def _is_versionish(value: str) -> bool:
+    """Version-style enum symbols ("1.27") spell without quotes."""
+    return all(part.isdigit() for part in value.split(".") if part)
+
+
+@dataclass(frozen=True)
+class StateType:
+    """The declared type of a state variable or transition parameter.
+
+    ``kind`` is one of :data:`KINDS`.  For ``enum`` types,
+    ``enum_values`` holds the permissible symbols.  For ``sm`` types,
+    ``sm_name`` optionally names the target state-machine type
+    (``SM<subnet>``); when empty the reference is untyped (plain ``SM``),
+    matching the paper's example.  For ``list`` types, ``element`` holds
+    the element type.
+    """
+
+    kind: str
+    enum_values: tuple[str, ...] = ()
+    sm_name: str = ""
+    element: "StateType | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown type kind: {self.kind!r}")
+
+    def render(self) -> str:
+        """Return the concrete-syntax spelling of this type."""
+        if self.kind == "enum" and self.enum_values:
+            spelled = []
+            for value in self.enum_values:
+                if value.replace("_", "").replace(".", "").isalnum() and (
+                    not value[0].isdigit() or _is_versionish(value)
+                ):
+                    spelled.append(value)
+                else:
+                    spelled.append('"' + value + '"')
+            return "enum(" + ", ".join(spelled) + ")"
+        if self.kind == "sm":
+            return f"SM<{self.sm_name}>" if self.sm_name else "SM"
+        if self.kind == "list":
+            inner = self.element.render() if self.element else "any"
+            return f"list<{inner}>"
+        return self.kind
+
+    def accepts(self, value: object) -> bool:
+        """Check whether a runtime ``value`` is compatible with this type.
+
+        ``None`` is accepted by every type: cloud resource attributes are
+        routinely absent until some API call sets them (e.g. a PublicIP's
+        NIC before association).
+        """
+        if value is None or self.kind == "any":
+            return True
+        if self.kind == "str":
+            return isinstance(value, str)
+        if self.kind == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.kind == "float":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.kind == "bool":
+            return isinstance(value, bool)
+        if self.kind == "enum":
+            return isinstance(value, str) and (
+                not self.enum_values or value in self.enum_values
+            )
+        if self.kind == "sm":
+            # Runtime SM references are resource identifiers (strings) or
+            # live machine handles; the interpreter enforces the latter.
+            return True
+        if self.kind == "list":
+            if not isinstance(value, list):
+                return False
+            if self.element is None:
+                return True
+            return all(self.element.accepts(item) for item in value)
+        if self.kind == "map":
+            return isinstance(value, dict)
+        raise AssertionError(f"unhandled kind {self.kind}")
+
+
+#: Convenience singletons for the common scalar types.
+STR = StateType("str")
+INT = StateType("int")
+FLOAT = StateType("float")
+BOOL = StateType("bool")
+ANY = StateType("any")
+MAP = StateType("map")
+SM_REF = StateType("sm")
+
+
+def enum_of(*values: str) -> StateType:
+    """Build an enum type over ``values``."""
+    return StateType("enum", enum_values=tuple(values))
+
+
+def sm_of(name: str) -> StateType:
+    """Build a typed SM reference (``SM<name>``)."""
+    return StateType("sm", sm_name=name)
+
+
+def list_of(element: StateType) -> StateType:
+    """Build a list type with the given element type."""
+    return StateType("list", element=element)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A typed transition parameter (``region: str``)."""
+
+    name: str
+    type: StateType = field(default=ANY)
+
+    def render(self) -> str:
+        return f"{self.name}: {self.type.render()}"

@@ -1,0 +1,182 @@
+"""Static semantic validation of parsed SM specs.
+
+The parser guarantees grammar conformance; this layer enforces the
+semantic rules that make a spec *executable*: every ``read``/``write``
+targets a declared state variable, every name is resolvable, builtin
+functions exist, and ``call`` targets are SM-typed.  These are the
+checks the prototype "enforces in the interpreter" to trigger
+re-prompting (§5); the higher-level completeness/soundness checks of
+§4.2 live in :mod:`repro.extraction.checks`.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SpecValidationError
+from .parser import BUILTIN_FUNCTIONS
+
+
+def _is_enum_symbol(name: str) -> bool:
+    """Enum symbols are spelled in CONSTANT_CASE (``ASSIGNED``, ``IDLE``)."""
+    return name.isupper() or (name.replace("_", "").isupper() and "_" in name)
+
+
+class SMValidator:
+    """Validates one SM, accumulating violations."""
+
+    def __init__(self, spec: ast.SMSpec, module: ast.SpecModule | None = None):
+        self.spec = spec
+        self.module = module
+        self.violations: list[str] = []
+
+    def run(self) -> list[str]:
+        self._check_state_decls()
+        for transition in self.spec.transitions.values():
+            if not transition.is_stub:
+                self._check_transition(transition)
+        return self.violations
+
+    def _flag(self, message: str) -> None:
+        self.violations.append(f"{self.spec.name}: {message}")
+
+    def _check_state_decls(self) -> None:
+        seen: set[str] = set()
+        for decl in self.spec.states:
+            if decl.name in seen:
+                self._flag(f"duplicate state variable {decl.name!r}")
+            seen.add(decl.name)
+            if decl.type.kind == "enum" and decl.default is not None:
+                if (
+                    isinstance(decl.default, ast.Name)
+                    and decl.type.enum_values
+                    and decl.default.ident not in decl.type.enum_values
+                    and not _is_enum_symbol(decl.default.ident)
+                ):
+                    self._flag(
+                        f"default {decl.default.ident!r} not in enum for {decl.name!r}"
+                    )
+
+    def _check_transition(self, transition: ast.Transition) -> None:
+        state_names = set(self.spec.state_names())
+        local_names = {param.name for param in transition.params}
+        context = f"{transition.name}"
+
+        for stmt in transition.statements():
+            if isinstance(stmt, ast.Read):
+                if stmt.state not in state_names:
+                    self._flag(f"{context}: read of undeclared state {stmt.state!r}")
+                local_names.add(stmt.var)
+            elif isinstance(stmt, ast.Write):
+                if stmt.state not in state_names:
+                    self._flag(f"{context}: write to undeclared state {stmt.state!r}")
+                self._check_expr(stmt.value, local_names, state_names, context)
+            elif isinstance(stmt, ast.Assert):
+                self._check_pred(stmt.pred, local_names, state_names, context)
+            elif isinstance(stmt, ast.Call):
+                self._check_call(stmt, local_names, state_names, context)
+            elif isinstance(stmt, ast.Emit):
+                self._check_expr(stmt.value, local_names, state_names, context)
+            elif isinstance(stmt, ast.If):
+                self._check_pred(stmt.pred, local_names, state_names, context)
+
+    def _check_call(
+        self,
+        stmt: ast.Call,
+        local_names: set[str],
+        state_names: set[str],
+        context: str,
+    ) -> None:
+        self._check_expr(stmt.target, local_names, state_names, context)
+        for arg in stmt.args:
+            self._check_expr(arg, local_names, state_names, context)
+        # Statically verify the target is SM-typed when the type is known.
+        if isinstance(stmt.target, ast.Name):
+            target_type = self._name_type(stmt.target.ident)
+            if target_type is not None and target_type.kind not in ("sm", "any"):
+                self._flag(
+                    f"{context}: call target {stmt.target.ident!r} is "
+                    f"{target_type.kind}, not an SM reference"
+                )
+            # If the target SM type and the module are known, the callee
+            # transition must exist on that SM.
+            if (
+                target_type is not None
+                and target_type.kind == "sm"
+                and target_type.sm_name
+                and self.module is not None
+            ):
+                callee = self.module.get(target_type.sm_name)
+                if callee is not None and stmt.transition not in callee.transitions:
+                    self._flag(
+                        f"{context}: call to unknown transition "
+                        f"{target_type.sm_name}.{stmt.transition}"
+                    )
+
+    def _name_type(self, name: str):
+        declared = self.spec.state_type(name)
+        if declared is not None:
+            return declared
+        for transition in self.spec.transitions.values():
+            for param in transition.params:
+                if param.name == name:
+                    return param.type
+        return None
+
+    def _check_expr(
+        self,
+        expr: ast.Expr,
+        local_names: set[str],
+        state_names: set[str],
+        context: str,
+    ) -> None:
+        if isinstance(expr, ast.Name):
+            ident = expr.ident
+            known = (
+                ident in local_names
+                or ident in state_names
+                or ident == "id"
+                or _is_enum_symbol(ident)
+            )
+            if not known:
+                self._flag(f"{context}: unresolved name {ident!r}")
+            return
+        if isinstance(expr, ast.Func):
+            if expr.name not in BUILTIN_FUNCTIONS:
+                self._flag(f"{context}: unknown builtin function {expr.name!r}")
+        for child in expr.children():
+            self._check_expr(child, local_names, state_names, context)
+
+    def _check_pred(
+        self,
+        pred: ast.Pred,
+        local_names: set[str],
+        state_names: set[str],
+        context: str,
+    ) -> None:
+        for child in pred.children():
+            if isinstance(child, ast.Pred):
+                self._check_pred(child, local_names, state_names, context)
+            elif isinstance(child, ast.Expr):
+                self._check_expr(child, local_names, state_names, context)
+
+
+def collect_violations(module: ast.SpecModule) -> list[str]:
+    """Validate every SM in the module; return all violations found."""
+    violations: list[str] = []
+    for spec in module.machines.values():
+        violations.extend(SMValidator(spec, module).run())
+    return violations
+
+
+def validate_module(module: ast.SpecModule) -> None:
+    """Raise :class:`SpecValidationError` if the module has violations."""
+    violations = collect_violations(module)
+    if violations:
+        raise SpecValidationError(violations)
+
+
+def validate_sm(spec: ast.SMSpec) -> None:
+    """Raise :class:`SpecValidationError` if a single SM has violations."""
+    violations = SMValidator(spec).run()
+    if violations:
+        raise SpecValidationError(violations)

@@ -1,0 +1,91 @@
+"""Tests for the gym reference agents."""
+
+import pytest
+
+from repro.analysis import CloudGym, public_subnet_task, running_instance_task
+from repro.analysis.agents import (
+    DecoderGuidedAgent,
+    forgetful_instance_plan,
+    PlanStep,
+    public_subnet_plan,
+    ScriptedAgent,
+)
+from repro.core import build_learned_emulator
+
+
+@pytest.fixture(scope="module")
+def build():
+    return build_learned_emulator("ec2", seed=7)
+
+
+class TestScriptedAgent:
+    def test_solves_public_subnet(self, build):
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=public_subnet_task())
+        result = ScriptedAgent(public_subnet_plan()).run(gym)
+        assert result.solved
+        assert result.steps_used == len(public_subnet_plan())
+        assert result.total_reward > 0.9
+
+    def test_broken_plan_does_not_solve(self, build):
+        plan = public_subnet_plan()[:-1]  # forget the gateway attach
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=public_subnet_task())
+        result = ScriptedAgent(plan).run(gym)
+        assert not result.solved
+
+
+class TestDecoderGuidedAgent:
+    def test_recovers_from_state_precondition(self, build):
+        """The plan resizes a running instance; the decoder names
+        StopInstances as the driver and the agent retries."""
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=running_instance_task())
+        agent = DecoderGuidedAgent(forgetful_instance_plan())
+        result = agent.run(gym)
+        assert result.solved
+        assert result.recoveries >= 1
+        apis = [api for api, __ in result.transcript]
+        assert "StopInstances" in apis  # learned from the error
+
+    def test_scripted_agent_leaves_the_resize_undone(self, build):
+        """Without recovery the resize step just fails: the instance
+        stays t2.micro and the transcript records the failures."""
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=running_instance_task())
+        result = ScriptedAgent(forgetful_instance_plan()).run(gym)
+        assert ("ModifyInstanceAttribute", False) in result.transcript
+        instances = gym.observe()["instance"]
+        assert instances[0]["instance_type"] == "t2.micro"
+
+    def test_decoder_agent_completes_the_resize(self, build):
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=running_instance_task())
+        DecoderGuidedAgent(forgetful_instance_plan()).run(gym)
+        instances = gym.observe()["instance"]
+        assert instances[0]["instance_type"] == "m5.large"
+
+    def test_recovery_factory_creates_missing_dependency(self, build):
+        """A plan referencing a VPC that was never created recovers via
+        the missing-resource factory."""
+        plan = [
+            PlanStep("CreateSubnet",
+                     {"VpcId": "$vpc", "CidrBlock": "10.0.1.0/24"},
+                     bind="subnet"),
+            PlanStep("ModifySubnetAttribute",
+                     {"SubnetId": "$subnet",
+                      "MapPublicIpOnLaunch": True}),
+            PlanStep("CreateInternetGateway", {}, bind="igw"),
+            PlanStep("AttachInternetGateway",
+                     {"InternetGatewayId": "$igw", "VpcId": "$vpc"}),
+        ]
+        factories = {
+            "vpc": PlanStep("CreateVpc", {"CidrBlock": "10.0.0.0/16"},
+                            bind="vpc"),
+        }
+        gym = CloudGym(emulator=build.make_backend(),
+                       task=public_subnet_task())
+        agent = DecoderGuidedAgent(plan, recovery_factories=factories)
+        result = agent.run(gym)
+        assert result.solved
+        assert result.recoveries >= 1

@@ -1,0 +1,289 @@
+"""Tests for the alignment machinery: comparator, symbolic classes,
+trace generation, diagnosis, the repair loop, and error decoding."""
+
+import pytest
+
+from repro.alignment import (
+    align_module,
+    classify_assert,
+    compare_responses,
+    diff_traces,
+    ErrorDecoder,
+    module_classes,
+    normalize_value,
+    TraceBuilder,
+)
+from repro.cloud import make_cloud
+from repro.core import build_learned_emulator, wrangled_docs
+from repro.interpreter import ApiResponse
+from repro.llm import make_llm
+from repro.scenarios import evaluation_traces, run_trace
+from repro.spec import parse_sm
+
+
+class TestComparator:
+    def test_success_vs_failure_diverges(self):
+        comparison = compare_responses(
+            ApiResponse.fail("DependencyViolation"),
+            ApiResponse.ok({}),
+            {}, {},
+        )
+        assert not comparison.aligned
+        assert "DependencyViolation" in comparison.reason
+
+    def test_error_codes_must_match(self):
+        comparison = compare_responses(
+            ApiResponse.fail("InvalidSubnet.Range"),
+            ApiResponse.fail("InvalidParameterValue"),
+            {}, {},
+        )
+        assert not comparison.aligned
+
+    def test_error_messages_do_not_matter(self):
+        comparison = compare_responses(
+            ApiResponse.fail("X", "cloud-flavoured message"),
+            ApiResponse.fail("X", "completely different words"),
+            {}, {},
+        )
+        assert comparison.aligned
+
+    def test_data_keys_compared(self):
+        comparison = compare_responses(
+            ApiResponse.ok({"state": "available"}),
+            ApiResponse.ok({}),
+            {}, {},
+        )
+        assert not comparison.aligned
+        assert "state" in comparison.reason
+
+    def test_bound_ids_compare_symbolically(self):
+        ref_env = {"vpc": "vpc-0abc123def45"}
+        emu_env = {"vpc": "vpc-00000001"}
+        comparison = compare_responses(
+            ApiResponse.ok({"vpc": "vpc-0abc123def45"}),
+            ApiResponse.ok({"vpc": "vpc-00000001"}),
+            ref_env, emu_env,
+        )
+        assert comparison.aligned
+
+    def test_unbound_tokens_compare_by_presence(self):
+        comparison = compare_responses(
+            ApiResponse.ok({"public_ip": "public_ip-0aa11bb22cc3"}),
+            ApiResponse.ok({"public_ip": "public_ip-00000007"}),
+            {}, {},
+        )
+        assert comparison.aligned
+
+    def test_plain_values_still_compared(self):
+        comparison = compare_responses(
+            ApiResponse.ok({"cidr": "10.0.0.0/16"}),
+            ApiResponse.ok({"cidr": "10.9.0.0/16"}),
+            {}, {},
+        )
+        assert not comparison.aligned
+
+    def test_normalize_recurses_into_containers(self):
+        env_inverse = {"subnet-00000001": "subnet"}
+        value = {"list": ["subnet-00000001", "plain"],
+                 "map": {"k": "subnet-00000001"}}
+        normalized = normalize_value(value, env_inverse)
+        assert normalized == {"list": ["$subnet", "plain"],
+                              "map": {"k": "$subnet"}}
+
+
+class TestSymbolicClassification:
+    def _pattern(self, body: str, states: str = "s: str", params: str = ""):
+        spec = parse_sm(
+            f"SM x {{ States {states} Transitions {{ "
+            f"@modify T({params}) {{ {body} }} }} }}"
+        )
+        transition = spec.transitions["T"]
+        stmt = next(
+            s for s in transition.statements()
+            if type(s).__name__ == "Assert"
+        )
+        return classify_assert(spec, transition, stmt)
+
+    def test_require_param(self):
+        pattern = self._pattern("assert(exists(v));", params="v: str")
+        assert pattern.kind == "require_param"
+
+    def test_attr_unset(self):
+        pattern = self._pattern("assert(!exists(s));")
+        assert pattern.kind == "attr_unset"
+
+    def test_attr_equals(self):
+        pattern = self._pattern(
+            'assert(state == "stopped");',
+            states="state: enum(running, stopped)",
+        )
+        assert pattern.kind == "attr_equals"
+        assert pattern["value"] == "stopped"
+
+    def test_self_attr_normalized(self):
+        pattern = self._pattern(
+            'assert(self.state == "stopped");',
+            states="state: enum(running, stopped)",
+        )
+        assert pattern.kind == "attr_equals"
+
+    def test_list_empty(self):
+        pattern = self._pattern(
+            "assert(len(children) == 0);", states="children: list"
+        )
+        assert pattern.kind == "list_empty"
+
+    def test_one_of(self):
+        pattern = self._pattern(
+            'assert(!exists(v) || v in ["a", "b"]);', params="v: str"
+        )
+        assert pattern.kind == "guarded"
+        assert pattern["inner"].kind == "one_of"
+
+    def test_prefix_between(self):
+        pattern = self._pattern(
+            "assert(prefix_len(c) >= 16 && prefix_len(c) <= 28);",
+            params="c: str",
+        )
+        assert pattern.kind == "prefix_between"
+        assert pattern["lo"] == 16
+
+    def test_matches_ref(self):
+        pattern = self._pattern(
+            "assert(zone == r.zone);", states="zone: str", params="r: SM<x>"
+        )
+        assert pattern.kind == "matches_ref"
+
+
+@pytest.fixture(scope="module")
+def aligned_ec2():
+    return build_learned_emulator("ec2", mode="constrained", seed=7)
+
+
+class TestTraceGeneration:
+    def test_every_transition_gets_an_all_pass_class(self, aligned_ec2):
+        classes = module_classes(aligned_ec2.module)
+        all_pass = {(c.sm, c.transition) for c in classes if c.is_all_pass}
+        public = {
+            (sm, t.name)
+            for sm, spec in aligned_ec2.module.machines.items()
+            for t in spec.transitions.values()
+            if not t.name.startswith("_")
+        }
+        assert all_pass == public
+
+    def test_high_class_coverage(self, aligned_ec2):
+        builder = TraceBuilder(aligned_ec2.module)
+        __, coverage = builder.build_all(probes=False)
+        assert coverage.coverage_ratio > 0.9
+
+    def test_generated_traces_align_after_alignment(self, aligned_ec2):
+        builder = TraceBuilder(aligned_ec2.module)
+        traces, __ = builder.build_all()
+        cloud = make_cloud("ec2")
+        emulator = aligned_ec2.make_backend()
+        report = diff_traces(cloud, emulator, traces)
+        assert report.divergences == []
+
+    def test_violation_traces_actually_fail_on_cloud(self, aligned_ec2):
+        builder = TraceBuilder(aligned_ec2.module)
+        traces, __ = builder.build_all(probes=False)
+        cloud = make_cloud("ec2")
+        failing = 0
+        for trace in traces:
+            if trace.name.endswith("_pass") or not trace.steps:
+                continue
+            run = run_trace(cloud, trace)
+            if not run.results[-1].response.success:
+                failing += 1
+        assert failing > 50  # most violation classes do violate
+
+
+class TestAlignmentLoop:
+    def test_learns_the_doc_gaps(self):
+        build = build_learned_emulator("ec2", mode="constrained", seed=7)
+        assert build.alignment is not None
+        assert build.alignment.converged
+        assert build.alignment.doc_gaps_learned >= 2
+
+    def test_aligned_emulator_passes_evaluation_traces(self, aligned_ec2):
+        cloud = make_cloud("ec2")
+        emulator = aligned_ec2.make_backend()
+        ec2_traces = [
+            t for t in evaluation_traces() if t.service == "ec2"
+        ]
+        report = diff_traces(cloud, emulator, ec2_traces)
+        assert report.aligned == len(ec2_traces)
+
+    def test_different_seeds_still_converge(self):
+        for seed in (1, 2, 3):
+            build = build_learned_emulator("ec2", mode="constrained",
+                                           seed=seed)
+            assert build.alignment.converged, f"seed {seed}"
+
+    def test_perfect_extraction_converges_fast(self):
+        build = build_learned_emulator("network_firewall", mode="perfect")
+        assert build.alignment.converged
+        assert build.alignment.total_repairs <= 1
+
+
+class TestErrorDecoder:
+    @pytest.fixture(scope="class")
+    def emulator(self, aligned_ec2):
+        return aligned_ec2.make_backend()
+
+    def test_dependency_violation_names_blockers(self, emulator):
+        decoder = ErrorDecoder(emulator)
+        vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        params = {"VpcId": vpc.data["id"]}
+        delete = emulator.invoke("DeleteVpc", params)
+        explanation = decoder.explain("DeleteVpc", params, delete)
+        assert explanation.code == "DependencyViolation"
+        assert "dependent resource" in explanation.root_cause
+        assert any(
+            "10.0.1.0/24" in action
+            for action in explanation.suggested_actions
+        )
+        assert subnet.success
+
+    def test_state_precondition_suggests_driver(self, emulator):
+        decoder = ErrorDecoder(emulator)
+        vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.1.0.0/16"})
+        subnet = emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.1.0.0/24"},
+        )
+        run = emulator.invoke(
+            "RunInstances",
+            {"SubnetId": subnet.data["id"], "ImageId": "ami-1",
+             "InstanceType": "t2.micro"},
+        )
+        params = {"InstanceId": run.data["id"],
+                  "InstanceType": "m5.large"}
+        modify = emulator.invoke("ModifyInstanceAttribute", params)
+        explanation = decoder.explain(
+            "ModifyInstanceAttribute", params, modify
+        )
+        assert "'state' is 'running'" in explanation.root_cause
+        assert any(
+            "StopInstances" in action
+            for action in explanation.suggested_actions
+        )
+
+    def test_notfound_decoded(self, emulator):
+        decoder = ErrorDecoder(emulator)
+        params = {"VpcId": "vpc-99999999"}
+        response = emulator.invoke("DescribeVpcs", params)
+        explanation = decoder.explain("DescribeVpcs", params, response)
+        assert "does not exist" in explanation.root_cause
+
+    def test_render_is_readable(self, emulator):
+        decoder = ErrorDecoder(emulator)
+        params = {"VpcId": "vpc-99999999"}
+        response = emulator.invoke("DeleteVpc", params)
+        text = decoder.explain("DeleteVpc", params, response).render()
+        assert text.startswith("InvalidVpcID.NotFound")

@@ -1,0 +1,82 @@
+"""Every catalog in the corpus runs the full pipeline to convergence.
+
+The scaling argument of the paper (one workflow, any service) asserted
+over the whole corpus: extraction, linking, checks, validator,
+alignment convergence, full catalog coverage, and a clean guided
+differential pass for all seven services.
+"""
+
+import pytest
+
+from repro.alignment import diff_traces, TraceBuilder
+from repro.analysis import catalog_coverage
+from repro.cloud import make_cloud
+from repro.core import build_learned_emulator
+from repro.docs import build_catalog, CATALOGS
+
+ALL_SERVICES = sorted(CATALOGS)
+
+
+@pytest.fixture(scope="module", params=ALL_SERVICES)
+def service_build(request):
+    return request.param, build_learned_emulator(
+        request.param, mode="constrained", seed=7
+    )
+
+
+class TestEveryService:
+    def test_every_documented_resource_has_an_sm(self, service_build):
+        service, build = service_build
+        catalog = build_catalog(service)
+        assert set(build.module.machines) == set(catalog.resource_names())
+
+    def test_no_spec_violations(self, service_build):
+        __, build = service_build
+        assert build.extraction.remaining_violations == []
+        assert build.extraction.validator_violations == []
+
+    def test_alignment_converges(self, service_build):
+        service, build = service_build
+        assert build.alignment is not None
+        assert build.alignment.converged, service
+
+    def test_full_catalog_coverage(self, service_build):
+        service, build = service_build
+        row = catalog_coverage(service, build.make_backend())
+        assert row.emulated == row.total, service
+
+    def test_guided_differential_pass_is_clean(self, service_build):
+        service, build = service_build
+        traces, coverage = TraceBuilder(build.module).build_all()
+        report = diff_traces(make_cloud(service), build.make_backend(),
+                             traces)
+        assert report.divergences == [], service
+        assert coverage.coverage_ratio > 0.8, service
+
+    def test_notfound_codes_are_provider_flavoured(self, service_build):
+        service, build = service_build
+        codes = set(build.extraction.notfound_codes.values())
+        if service in ("ec2",):
+            assert any(code.endswith(".NotFound") for code in codes)
+        if service == "dynamodb":
+            assert "ResourceNotFoundException" in codes
+        if service == "gcp_compute":
+            assert "notFound" in codes
+
+
+class TestCorpusShape:
+    """Catalog sizes pinned, so the corpus doesn't drift silently."""
+
+    @pytest.mark.parametrize("service,resources,apis", [
+        ("ec2", 28, 165),
+        ("network_firewall", 8, 45),
+        ("dynamodb", 7, 57),
+        ("eks", 9, 58),
+        ("azure_network", 6, 29),
+        ("gcp_compute", 6, 31),
+        ("s3", 5, 29),
+    ])
+    def test_catalog_sizes(self, service, resources, apis):
+        catalog = build_catalog(service)
+        assert len(catalog.resources) == resources
+        assert len(catalog.api_names()) == apis

@@ -1,0 +1,191 @@
+"""Tests for the handcrafted (Moto-like) and direct-to-code baselines."""
+
+import pytest
+
+from repro.baselines import build_d2c_emulator, build_moto_like
+from repro.cloud import make_cloud
+from repro.core import wrangled_docs
+from repro.docs import inventory, moto_emulated
+
+
+class TestMotoLike:
+    @pytest.fixture
+    def moto(self):
+        return build_moto_like("ec2")
+
+    def test_coverage_matches_table1(self):
+        for service, expected in (
+            ("ec2", 177), ("dynamodb", 39),
+            ("network_firewall", 5), ("eks", 15),
+        ):
+            moto = build_moto_like(service)
+            supported = sum(
+                1 for name in inventory(service) if moto.supports(name)
+            )
+            assert supported == expected, service
+
+    def test_uncovered_api_fails(self, moto):
+        uncovered = next(
+            name for name in inventory("ec2")
+            if name not in moto_emulated("ec2")
+        )
+        assert moto.invoke(uncovered, {}).error_code == "InvalidAction"
+
+    def test_nfw_has_create_but_not_delete_firewall(self):
+        moto = build_moto_like("network_firewall")
+        policy = moto.invoke("CreateFirewallPolicy", {"PolicyName": "p"})
+        firewall = moto.invoke(
+            "CreateFirewall",
+            {"FirewallName": "f", "FirewallPolicyId": policy.data["id"]},
+        )
+        assert firewall.success
+        delete = moto.invoke("DeleteFirewall",
+                             {"FirewallId": firewall.data["id"]})
+        assert delete.error_code == "InvalidAction"
+
+    def test_delete_vpc_bug_reproduced(self, moto):
+        """The §2 fidelity bug: the real cloud refuses, Moto deletes."""
+        vpc = moto.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        igw = moto.invoke("CreateInternetGateway", {})
+        attach = moto.invoke(
+            "AttachInternetGateway",
+            {"InternetGatewayId": igw.data["id"], "VpcId": vpc.data["id"]},
+        )
+        assert attach.success
+        delete = moto.invoke("DeleteVpc", {"VpcId": vpc.data["id"]})
+        assert delete.success  # the bug
+
+        cloud = make_cloud("ec2")
+        cloud_vpc = cloud.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        cloud_igw = cloud.invoke("CreateInternetGateway", {})
+        cloud.invoke(
+            "AttachInternetGateway",
+            {"InternetGatewayId": cloud_igw.data["id"],
+             "VpcId": cloud_vpc.data["id"]},
+        )
+        cloud_delete = cloud.invoke("DeleteVpc",
+                                    {"VpcId": cloud_vpc.data["id"]})
+        assert cloud_delete.error_code == "DependencyViolation"
+
+    def test_basic_lifecycle_works(self, moto):
+        vpc = moto.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = moto.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        modify = moto.invoke(
+            "ModifySubnetAttribute",
+            {"SubnetId": subnet.data["id"], "MapPublicIpOnLaunch": True},
+        )
+        assert modify.success
+        described = moto.invoke("DescribeSubnets",
+                                {"SubnetId": subnet.data["id"]})
+        assert described.data["map_public_ip_on_launch"] is True
+
+    def test_reset(self, moto):
+        moto.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        moto.reset()
+        assert moto.resources == {}
+
+
+class TestD2C:
+    @pytest.fixture(scope="class")
+    def d2c(self):
+        return build_d2c_emulator(wrangled_docs("ec2"), seed=7)
+
+    def test_covers_every_documented_api(self, d2c):
+        docs = wrangled_docs("ec2")
+        for name in docs.api_names():
+            assert d2c.supports(name), name
+
+    def test_generates_inspectable_python(self, d2c):
+        source = d2c.generated_source("CreateVpc")
+        assert "def handler(cloud, params):" in source
+        assert "cidrblock" in source
+        compile(source, "<generated>", "exec")
+
+    def test_happy_path_works(self, d2c):
+        d2c.reset()
+        vpc = d2c.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        assert vpc.success
+        subnet = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        assert subnet.success
+
+    def test_silent_success_on_start_running_instance(self, d2c):
+        """§5 transition error: the expected IncorrectInstanceState is
+        missing; D2C answers success."""
+        d2c.reset()
+        vpc = d2c.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        run = d2c.invoke(
+            "RunInstances",
+            {"SubnetId": subnet.data["id"], "ImageId": "ami-1",
+             "InstanceType": "t2.micro"},
+        )
+        start = d2c.invoke("StartInstances",
+                           {"InstanceId": run.data["id"]})
+        assert start.success  # the cloud would fail
+
+    def test_shallow_validation(self, d2c):
+        """§5: simple CIDR conflicts are caught, the /29 prefix is not."""
+        d2c.reset()
+        vpc = d2c.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        slash29 = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.0.0/29"},
+        )
+        assert slash29.success  # invalid prefix admitted
+        first = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        assert first.success
+        duplicate = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        assert duplicate.error_code == "InvalidSubnet.Conflict"
+
+    def test_missing_state_variables(self, d2c):
+        """§5 state error: InstanceTenancy/CreditSpecification absent."""
+        d2c.reset()
+        vpc = d2c.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = d2c.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        run = d2c.invoke(
+            "RunInstances",
+            {"SubnetId": subnet.data["id"], "ImageId": "ami-1",
+             "InstanceType": "t2.micro"},
+        )
+        described = d2c.invoke("DescribeInstances",
+                               {"InstanceId": run.data["id"]})
+        assert "instance_tenancy" not in described.data
+        assert "credit_specification" not in described.data
+
+    def test_delete_vpc_misses_dependency_check(self, d2c):
+        d2c.reset()
+        vpc = d2c.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        igw = d2c.invoke("CreateInternetGateway", {})
+        d2c.invoke(
+            "AttachInternetGateway",
+            {"InternetGatewayId": igw.data["id"], "VpcId": vpc.data["id"]},
+        )
+        delete = d2c.invoke("DeleteVpc", {"VpcId": vpc.data["id"]})
+        assert delete.success  # the cloud would refuse
+
+    def test_deterministic_generation(self):
+        docs = wrangled_docs("network_firewall")
+        first = build_d2c_emulator(docs, seed=3)
+        second = build_d2c_emulator(docs, seed=3)
+        for api in first.api_names():
+            assert first.generated_source(api) == second.generated_source(
+                api
+            )

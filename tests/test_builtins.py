@@ -1,0 +1,137 @@
+"""Tests for the interpreter's builtin functions, incl. property tests."""
+
+import ipaddress
+
+from hypothesis import given, strategies as st
+
+from repro.interpreter.builtins import (
+    append,
+    cidr_overlaps,
+    cidr_overlaps_any,
+    cidr_within,
+    concat,
+    contains,
+    drop,
+    exists,
+    length,
+    lookup,
+    prefix_len,
+    put,
+    remove,
+    valid_cidr,
+    valid_ip,
+)
+
+
+class TestCidr:
+    def test_valid_cidr_accepts_blocks(self):
+        assert valid_cidr("10.0.0.0/16")
+        assert valid_cidr("192.168.1.0/24")
+
+    def test_valid_cidr_rejects_garbage(self):
+        assert not valid_cidr("not-a-cidr")
+        assert not valid_cidr("10.0.0.1")  # no prefix
+        assert not valid_cidr("300.0.0.0/8")
+        assert not valid_cidr(None)
+        assert not valid_cidr(42)
+
+    def test_prefix_len(self):
+        assert prefix_len("10.0.0.0/16") == 16
+        assert prefix_len("10.0.0.0/29") == 29
+        assert prefix_len("junk") == -1
+
+    def test_within(self):
+        assert cidr_within("10.0.1.0/24", "10.0.0.0/16")
+        assert not cidr_within("10.1.0.0/24", "10.0.0.0/16")
+        assert not cidr_within("junk", "10.0.0.0/16")
+
+    def test_overlaps(self):
+        assert cidr_overlaps("10.0.0.0/24", "10.0.0.128/25")
+        assert not cidr_overlaps("10.0.0.0/24", "10.0.1.0/24")
+
+    def test_overlaps_any(self):
+        blocks = ["10.0.1.0/24", "10.0.2.0/24"]
+        assert cidr_overlaps_any("10.0.1.128/25", blocks)
+        assert not cidr_overlaps_any("10.0.3.0/24", blocks)
+        assert not cidr_overlaps_any("10.0.1.0/24", None)
+
+    def test_valid_ip(self):
+        assert valid_ip("10.1.2.3")
+        assert not valid_ip("10.1.2.3/32")
+        assert not valid_ip("hello")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_valid_cidr_total(self, address, prefix):
+        text = f"{ipaddress.IPv4Address(address)}/{prefix}"
+        assert valid_cidr(text)
+        assert prefix_len(text) == prefix
+
+    @given(st.integers(min_value=0, max_value=2**24 - 1))
+    def test_within_is_reflexive(self, network):
+        block = f"{ipaddress.IPv4Address(network * 256)}/24"
+        assert cidr_within(block, block)
+        assert cidr_overlaps(block, block)
+
+
+class TestCollections:
+    def test_append_returns_new_list(self):
+        original = [1, 2]
+        extended = append(original, 3)
+        assert extended == [1, 2, 3]
+        assert original == [1, 2]
+
+    def test_append_on_null(self):
+        assert append(None, "x") == ["x"]
+
+    def test_remove_first_occurrence_only(self):
+        assert remove([1, 2, 1], 1) == [2, 1]
+
+    def test_remove_missing_is_noop(self):
+        assert remove([1], 99) == [1]
+
+    def test_put_and_drop_are_persistent(self):
+        base = {"a": 1}
+        updated = put(base, "b", 2)
+        assert updated == {"a": 1, "b": 2}
+        assert base == {"a": 1}
+        assert drop(updated, "a") == {"b": 2}
+        assert drop({}, "missing") == {}
+
+    def test_lookup(self):
+        assert lookup({"k": "v"}, "k") == "v"
+        assert lookup({"k": "v"}, "absent") is None
+        assert lookup(None, "k") is None
+
+    def test_contains(self):
+        assert contains([1, 2], 2)
+        assert contains({"k": 1}, "k")
+        assert contains("hello", "ell")
+        assert not contains(None, "x")
+
+    def test_length(self):
+        assert length([1, 2, 3]) == 3
+        assert length({}) == 0
+        assert length(None) == 0
+        assert length("abc") == 3
+
+    def test_exists(self):
+        assert exists("x")
+        assert exists(0) is True  # zero is a real value
+        assert not exists(None)
+        assert not exists("")
+
+    def test_concat(self):
+        assert concat("a", "-", "b") == "a-b"
+        assert concat("a", None, "b") == "ab"
+
+    @given(st.lists(st.integers()), st.integers())
+    def test_append_then_remove_preserves_multiset(self, items, item):
+        result = remove(append(items, item), item)
+        assert sorted(result) == sorted(items)
+
+    @given(st.dictionaries(st.text(max_size=5), st.integers(), max_size=5),
+           st.text(max_size=5), st.integers())
+    def test_put_then_lookup(self, mapping, key, value):
+        assert lookup(put(mapping, key, value), key) == value
+        assert drop(put(mapping, key, value), key).get(key) is None

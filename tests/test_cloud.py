@@ -1,0 +1,289 @@
+"""Tests for the reference cloud: the alignment ground truth."""
+
+import pytest
+
+from repro.cloud import make_cloud
+
+
+@pytest.fixture
+def ec2():
+    return make_cloud("ec2")
+
+
+@pytest.fixture
+def nfw():
+    return make_cloud("network_firewall")
+
+
+@pytest.fixture
+def ddb():
+    return make_cloud("dynamodb")
+
+
+class TestIdentifierStyle:
+    def test_hex_style_ids(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        assert vpc.success
+        prefix, __, tail = vpc.data["id"].partition("-")
+        assert prefix == "vpc"
+        assert len(tail) >= 12
+        assert all(c in "0123456789abcdef" for c in tail)
+
+    def test_ids_differ_from_emulator_style(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        assert not vpc.data["id"].endswith("00000001")
+
+
+class TestVpcSemantics:
+    def test_invalid_cidr_rejected(self, ec2):
+        response = ec2.invoke("CreateVpc", {"CidrBlock": "banana"})
+        assert response.error_code == "InvalidParameterValue"
+
+    def test_out_of_range_prefix_rejected(self, ec2):
+        response = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/8"})
+        assert response.error_code == "InvalidVpc.Range"
+
+    def test_delete_vpc_with_gateway_is_dependency_violation(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        igw = ec2.invoke("CreateInternetGateway", {})
+        attach = ec2.invoke(
+            "AttachInternetGateway",
+            {"InternetGatewayId": igw.data["id"], "VpcId": vpc.data["id"]},
+        )
+        assert attach.success
+        delete = ec2.invoke("DeleteVpc", {"VpcId": vpc.data["id"]})
+        assert delete.error_code == "DependencyViolation"
+        # After detaching, deletion succeeds.
+        assert ec2.invoke(
+            "DetachInternetGateway",
+            {"InternetGatewayId": igw.data["id"]},
+        ).success
+        assert ec2.invoke("DeleteVpc", {"VpcId": vpc.data["id"]}).success
+
+    def test_error_message_carries_the_violated_rule(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = ec2.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        assert subnet.success
+        delete = ec2.invoke("DeleteVpc", {"VpcId": vpc.data["id"]})
+        assert "subnet_cidrs" in delete.error_message
+
+    def test_dns_hostnames_requires_dns_support(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        assert ec2.invoke(
+            "ModifyVpcAttribute",
+            {"VpcId": vpc.data["id"], "EnableDnsSupport": False},
+        ).success
+        hostnames = ec2.invoke(
+            "ModifyVpcAttribute",
+            {"VpcId": vpc.data["id"], "EnableDnsHostnames": True},
+        )
+        assert hostnames.error_code == "InvalidParameterValue"
+
+
+class TestSubnetSemantics:
+    @pytest.fixture
+    def vpc_id(self, ec2):
+        return ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"}).data["id"]
+
+    def test_slash_29_rejected(self, ec2, vpc_id):
+        response = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "10.0.0.0/29"}
+        )
+        assert response.error_code == "InvalidSubnet.Range"
+
+    def test_subnet_outside_vpc_rejected(self, ec2, vpc_id):
+        response = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "192.168.0.0/24"}
+        )
+        assert response.error_code == "InvalidSubnet.Range"
+
+    def test_overlap_rejected(self, ec2, vpc_id):
+        first = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "10.0.1.0/24"}
+        )
+        assert first.success
+        second = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "10.0.1.128/25"}
+        )
+        assert second.error_code == "InvalidSubnet.Conflict"
+
+    def test_delete_subnet_untracks_cidr(self, ec2, vpc_id):
+        subnet = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "10.0.1.0/24"}
+        )
+        assert ec2.invoke(
+            "DeleteSubnet", {"SubnetId": subnet.data["id"]}
+        ).success
+        again = ec2.invoke(
+            "CreateSubnet", {"VpcId": vpc_id, "CidrBlock": "10.0.1.0/24"}
+        )
+        assert again.success
+
+
+class TestInstanceSemantics:
+    @pytest.fixture
+    def instance_id(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        subnet = ec2.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        run = ec2.invoke(
+            "RunInstances",
+            {"SubnetId": subnet.data["id"], "ImageId": "ami-1",
+             "InstanceType": "t2.micro"},
+        )
+        return run.data["id"]
+
+    def test_start_running_instance_fails(self, ec2, instance_id):
+        response = ec2.invoke("StartInstances", {"InstanceId": instance_id})
+        assert response.error_code == "IncorrectInstanceState"
+
+    def test_stop_then_start(self, ec2, instance_id):
+        assert ec2.invoke("StopInstances",
+                          {"InstanceId": instance_id}).success
+        assert ec2.invoke("StartInstances",
+                          {"InstanceId": instance_id}).success
+
+    def test_modify_requires_stopped(self, ec2, instance_id):
+        modify = ec2.invoke(
+            "ModifyInstanceAttribute",
+            {"InstanceId": instance_id, "InstanceType": "m5.large"},
+        )
+        assert modify.error_code == "IncorrectInstanceState"
+
+    def test_terminated_instances_remain_describable(self, ec2, instance_id):
+        assert ec2.invoke("TerminateInstances",
+                          {"InstanceId": instance_id}).success
+        described = ec2.invoke("DescribeInstances",
+                               {"InstanceId": instance_id})
+        assert described.data["state"] == "terminated"
+
+    def test_atomicity_on_failed_call(self, ec2, instance_id):
+        """A failed call must leave no partial writes behind."""
+        eip = ec2.invoke("AllocateAddress", {})
+        ec2.invoke("StopInstances", {"InstanceId": instance_id})
+        associate = ec2.invoke(
+            "AssociateAddress",
+            {"ElasticIpId": eip.data["id"], "InstanceId": instance_id},
+        )
+        assert associate.error_code == "IncorrectInstanceState"
+        described = ec2.invoke(
+            "DescribeAddresses", {"ElasticIpId": eip.data["id"]}
+        )
+        assert described.data["instance"] is None
+        assert described.data["association_id"] is None
+
+
+class TestNetworkFirewallSemantics:
+    def test_delete_protected_firewall_fails(self, nfw):
+        policy = nfw.invoke("CreateFirewallPolicy", {"PolicyName": "p"})
+        firewall = nfw.invoke(
+            "CreateFirewall",
+            {"FirewallName": "f",
+             "FirewallPolicyId": policy.data["id"]},
+        )
+        assert nfw.invoke(
+            "UpdateFirewallDeleteProtection",
+            {"FirewallId": firewall.data["id"], "DeleteProtection": True},
+        ).success
+        delete = nfw.invoke("DeleteFirewall",
+                            {"FirewallId": firewall.data["id"]})
+        assert delete.error_code == "InvalidOperationException"
+
+    def test_policy_in_use_cannot_be_deleted(self, nfw):
+        policy = nfw.invoke("CreateFirewallPolicy", {"PolicyName": "p"})
+        nfw.invoke(
+            "CreateFirewall",
+            {"FirewallName": "f", "FirewallPolicyId": policy.data["id"]},
+        )
+        delete = nfw.invoke(
+            "DeleteFirewallPolicy",
+            {"FirewallPolicyId": policy.data["id"]},
+        )
+        assert delete.error_code == "InvalidOperationException"
+
+    def test_list_firewalls(self, nfw):
+        policy = nfw.invoke("CreateFirewallPolicy", {"PolicyName": "p"})
+        for name in ("a", "b"):
+            nfw.invoke(
+                "CreateFirewall",
+                {"FirewallName": name,
+                 "FirewallPolicyId": policy.data["id"]},
+            )
+        listing = nfw.invoke("ListFirewalls", {})
+        assert listing.data["count"] == 2
+
+
+class TestDynamoDbSemantics:
+    def test_item_lifecycle(self, ddb):
+        table = ddb.invoke("CreateTable", {"TableName": "t"})
+        table_id = table.data["id"]
+        assert ddb.invoke(
+            "PutItem",
+            {"TableId": table_id, "ItemKey": "k", "ItemValue": "v"},
+        ).success
+        got = ddb.invoke("GetItem", {"TableId": table_id, "ItemKey": "k"})
+        assert got.data["value"] == "v"
+        assert ddb.invoke(
+            "DeleteItem", {"TableId": table_id, "ItemKey": "k"}
+        ).success
+        missing = ddb.invoke(
+            "DeleteItem", {"TableId": table_id, "ItemKey": "k"}
+        )
+        assert missing.error_code == "ConditionalCheckFailedException"
+
+    def test_notfound_uses_dynamodb_convention(self, ddb):
+        response = ddb.invoke("DescribeTable", {"TableId": "table-0missing"})
+        assert response.error_code == "ResourceNotFoundException"
+
+    def test_deletion_protection(self, ddb):
+        table = ddb.invoke("CreateTable", {"TableName": "t"})
+        assert ddb.invoke(
+            "UpdateTable",
+            {"TableId": table.data["id"], "DeletionProtection": True},
+        ).success
+        delete = ddb.invoke("DeleteTable", {"TableId": table.data["id"]})
+        assert delete.error_code == "ValidationException"
+
+    def test_export_requires_pitr(self, ddb):
+        table = ddb.invoke("CreateTable", {"TableName": "t"})
+        export = ddb.invoke(
+            "ExportTableToPointInTime",
+            {"TableId": table.data["id"], "S3Bucket": "bucket"},
+        )
+        assert export.error_code == (
+            "PointInTimeRecoveryUnavailableException"
+        )
+        ddb.invoke(
+            "UpdateContinuousBackups",
+            {"TableId": table.data["id"], "PitrEnabled": True},
+        )
+        retry = ddb.invoke(
+            "ExportTableToPointInTime",
+            {"TableId": table.data["id"], "S3Bucket": "bucket"},
+        )
+        assert retry.success
+
+
+class TestFrameworkBehaviour:
+    def test_unknown_action(self, ec2):
+        assert ec2.invoke("SummonDragon", {}).error_code == "InvalidAction"
+
+    def test_reset(self, ec2):
+        ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        ec2.reset()
+        assert ec2.invoke("DescribeVpcs", {"VpcId": "vpc-0zzz"}).error_code \
+            == "InvalidVpcID.NotFound"
+
+    def test_reference_type_checked(self, ec2):
+        vpc = ec2.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        response = ec2.invoke(
+            "CreateSubnet",
+            {"VpcId": "vpc-0doesnotexist", "CidrBlock": "10.0.1.0/24"},
+        )
+        assert response.error_code == "InvalidVpcID.NotFound"
+        assert vpc.success

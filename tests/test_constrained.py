@@ -1,0 +1,121 @@
+"""Tests for grammar-prefix checking and constrained decoding (§4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import wrangled_docs
+from repro.llm import FaultModel, PERFECT_PROFILE, SpecSynthesizer
+from repro.llm.constrained import ConstrainedDecoder, GrammarPrefixChecker
+
+GOOD = (
+    "SM x { States s: str, n: enum(a, b) = a Transitions { "
+    '@modify T(x_id: str, v: str) { assert(exists(v)) : Bad("m"); '
+    "write(s, v); } } }"
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return GrammarPrefixChecker()
+
+
+@pytest.fixture(scope="module")
+def spec_texts():
+    synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+    texts = []
+    for service in ("network_firewall", "azure_network"):
+        for res in wrangled_docs(service).resources:
+            text, __ = synthesizer.synthesize_text(res)
+            texts.append(text)
+    return texts
+
+
+class TestPrefixChecker:
+    def test_complete_spec_is_complete(self, checker):
+        assert checker.is_complete(GOOD)
+        assert checker.is_viable_prefix(GOOD)
+
+    @settings(max_examples=80)
+    @given(cut=st.integers(min_value=0, max_value=len(GOOD)))
+    def test_every_true_prefix_is_viable(self, cut):
+        assert GrammarPrefixChecker().is_viable_prefix(GOOD[:cut])
+
+    def test_every_prefix_of_every_synthesized_spec(self, checker,
+                                                    spec_texts):
+        for text in spec_texts:
+            for cut in range(0, len(text), 3):
+                assert checker.is_viable_prefix(text[:cut]), (
+                    text[max(0, cut - 40):cut]
+                )
+
+    @pytest.mark.parametrize("dead", [
+        "SM x { States s str ,",        # missing colon, sealed by comma
+        "SM x { } trailing",            # content after a closed block
+        "SM x { States s: wibble ,",    # unknown type, comma follows
+        "SM x { States s: str Transitions { T() { s ",  # bare name stmt
+        "quack quack",                  # not an SM at all
+    ])
+    def test_dead_prefixes_rejected(self, checker, dead):
+        assert not checker.is_viable_prefix(dead)
+
+    def test_approximation_admits_extendable_last_tokens(self, checker):
+        """The checker is complete for true prefixes and approximate
+        for rejection: a dead prefix whose final token could still be
+        extending (`str` might become an identifier) is admitted."""
+        assert checker.is_viable_prefix("SM x { States s str")
+
+    def test_illegal_character_is_dead(self, checker):
+        assert not checker.is_viable_prefix("SM x { States # s: str")
+
+    def test_partial_operator_at_end_is_viable(self, checker):
+        assert checker.is_viable_prefix(
+            "SM x { States a: bool, b: bool Transitions { "
+            "T() { assert(a |"
+        )
+
+    def test_unterminated_string_is_viable(self, checker):
+        assert checker.is_viable_prefix(
+            'SM x { States s: str Transitions { T() { '
+            'assert(exists(s)) : C("unfinished'
+        )
+
+
+class TestConstrainedDecoder:
+    def test_clean_stream_untouched(self):
+        decoder = ConstrainedDecoder()
+        result = decoder.decode(decoder.chunk(GOOD, 10))
+        assert result.text == GOOD
+        assert result.interventions == 0
+
+    def test_garbage_chunks_masked(self):
+        decoder = ConstrainedDecoder()
+        chunks = decoder.chunk(GOOD, 10)
+        noisy = []
+        for index, chunk in enumerate(chunks):
+            noisy.append(chunk)
+            if index in (1, 4, 7):
+                noisy.append("#$%^GARBAGE")
+        result = decoder.decode(noisy)
+        assert result.interventions == 3
+        assert result.text == GOOD
+        assert GrammarPrefixChecker().is_complete(result.text)
+
+    def test_masking_over_synthesized_specs(self, spec_texts):
+        decoder = ConstrainedDecoder()
+        checker = GrammarPrefixChecker()
+        for text in spec_texts[:4]:
+            # Chunk at line boundaries: garbage injected *inside* a
+            # string literal is string content and cannot be masked —
+            # a property real token-masking decoders share.
+            chunks = [line + "\n" for line in text.splitlines()]
+            noisy = []
+            for index, chunk in enumerate(chunks):
+                noisy.append(chunk)
+                if index % 5 == 2:
+                    noisy.append("#@!bad-token!@#")
+            result = decoder.decode(noisy)
+            assert result.text.rstrip("\n") == text.rstrip("\n")
+            assert checker.is_complete(result.text)
+            assert result.interventions == sum(
+                1 for c in noisy if c == "#@!bad-token!@#"
+            )

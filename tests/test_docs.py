@@ -1,0 +1,277 @@
+"""Tests for the documentation substrate: prose, renderers, wrangler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.docs import (
+    build_catalog,
+    CATALOGS,
+    coverage,
+    inventory,
+    moto_emulated,
+    parse_rule,
+    render_docs,
+    render_rule,
+    rule,
+    RULE_KINDS,
+    TEMPLATES,
+    wrangle,
+)
+
+IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,15}", fullmatch=True)
+CODE = st.from_regex(r"[A-Z][A-Za-z0-9]{0,20}(\.[A-Z][A-Za-z0-9]{0,10})?",
+                     fullmatch=True)
+VALUE = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.from_regex(r"[A-Za-z][A-Za-z0-9_.-]{0,12}", fullmatch=True),
+)
+
+#: Strategy fields per rule kind, mirroring the vocabulary in model.py.
+_FIELDS_BY_KIND = {
+    "set_attr_param": {"attr": IDENT, "param": IDENT},
+    "set_attr_const": {"attr": IDENT, "value": VALUE},
+    "set_attr_fresh": {"attr": IDENT},
+    "clear_attr": {"attr": IDENT},
+    "append_to_attr": {"attr": IDENT, "param": IDENT},
+    "remove_from_attr": {"attr": IDENT, "param": IDENT},
+    "map_put": {"attr": IDENT, "key_param": IDENT, "value_param": IDENT},
+    "map_remove": {"attr": IDENT, "key_param": IDENT},
+    "map_read": {"attr": IDENT, "key_param": IDENT},
+    "read_attr": {"attr": IDENT},
+    "link_ref": {"attr": IDENT, "param": IDENT},
+    "call_ref": {"param": IDENT, "transition": IDENT},
+    "call_attr": {"attr": IDENT, "transition": IDENT},
+    "track_in_ref": {"param": IDENT, "list_attr": IDENT, "source": IDENT},
+    "untrack_in_attr": {"attr": IDENT, "list_attr": IDENT, "source": IDENT},
+    "require_param": {"param": IDENT, "code": CODE},
+    "require_one_of": {
+        "param": IDENT,
+        "values": st.lists(
+            st.from_regex(r"[A-Za-z0-9_.-]{1,10}", fullmatch=True),
+            min_size=1, max_size=4, unique=True,
+        ).map(tuple),
+        "code": CODE,
+    },
+    "check_valid_cidr": {"param": IDENT, "code": CODE},
+    "check_prefix_between": {
+        "param": IDENT,
+        "lo": st.integers(min_value=0, max_value=32),
+        "hi": st.integers(min_value=0, max_value=32),
+        "code": CODE,
+    },
+    "check_cidr_within": {"param": IDENT, "ref": IDENT, "ref_attr": IDENT,
+                          "code": CODE},
+    "check_no_overlap": {"param": IDENT, "ref": IDENT, "list_attr": IDENT,
+                         "code": CODE},
+    "check_attr_is": {"attr": IDENT, "value": VALUE, "code": CODE},
+    "check_attr_is_not": {"attr": IDENT, "value": VALUE, "code": CODE},
+    "check_attr_set": {"attr": IDENT, "code": CODE},
+    "check_attr_unset": {"attr": IDENT, "code": CODE},
+    "check_list_empty": {"attr": IDENT, "code": CODE},
+    "check_attr_matches_ref": {"attr": IDENT, "ref": IDENT,
+                               "ref_attr": IDENT, "code": CODE},
+    "check_ref_attr_is": {"ref": IDENT, "ref_attr": IDENT, "value": VALUE,
+                          "code": CODE},
+    "check_in_list": {"param": IDENT, "attr": IDENT, "code": CODE},
+    "check_not_in_list": {"param": IDENT, "attr": IDENT, "code": CODE},
+    "check_in_map": {"attr": IDENT, "key_param": IDENT, "code": CODE},
+    "check_param_implies_attr": {"param": IDENT, "value": VALUE,
+                                 "attr": IDENT, "attr_value": VALUE,
+                                 "code": CODE},
+}
+
+
+@st.composite
+def rules(draw):
+    kind = draw(st.sampled_from(sorted(_FIELDS_BY_KIND)))
+    fields = {
+        name: draw(strategy)
+        for name, strategy in _FIELDS_BY_KIND[kind].items()
+    }
+    return rule(kind, **fields)
+
+
+class TestProse:
+    def test_every_kind_has_a_template(self):
+        assert set(TEMPLATES) == set(RULE_KINDS)
+        assert set(_FIELDS_BY_KIND) == set(RULE_KINDS)
+
+    @given(rules())
+    def test_render_parse_round_trip(self, behaviour):
+        sentence = render_rule(behaviour)
+        recovered = parse_rule(sentence)
+        assert recovered is not None, sentence
+        assert recovered.kind == behaviour.kind
+        assert recovered.as_dict() == behaviour.as_dict()
+
+    def test_narrative_sentences_are_ignored(self):
+        assert parse_rule("A VPC is an isolated virtual network.") is None
+        assert parse_rule("") is None
+
+    def test_value_decoding(self):
+        sentence = render_rule(
+            rule("check_attr_is", attr="delete_protection", value=False,
+                 code="InvalidOperationException")
+        )
+        recovered = parse_rule(sentence)
+        assert recovered["value"] is False
+
+
+class TestCatalogShapes:
+    """The catalog sizes the paper reports (Fig. 4, §5)."""
+
+    def test_ec2_has_28_resources(self):
+        assert len(build_catalog("ec2").resources) == 28
+
+    def test_nfw_has_8_resources_45_apis(self):
+        catalog = build_catalog("network_firewall")
+        assert len(catalog.resources) == 8
+        assert len(catalog.api_names()) == 45
+
+    def test_ddb_has_7_resources_57_apis(self):
+        catalog = build_catalog("dynamodb")
+        assert len(catalog.resources) == 7
+        assert len(catalog.api_names()) == 57
+
+    def test_api_names_unique_within_service(self):
+        for name in CATALOGS:
+            names = build_catalog(name).api_names()
+            assert len(names) == len(set(names)), name
+
+    def test_every_api_has_category(self):
+        for name in CATALOGS:
+            for res in build_catalog(name).resources:
+                for api in res.apis:
+                    assert api.category in (
+                        "create", "destroy", "describe", "modify"
+                    ), f"{name}.{api.name}"
+
+    def test_reference_attributes_point_at_real_resources(self):
+        for name in CATALOGS:
+            catalog = build_catalog(name)
+            known = set(catalog.resource_names()) | {"vpc"}
+            for res in catalog.resources:
+                for attribute in res.attributes:
+                    if attribute.type == "Reference" and attribute.ref:
+                        assert attribute.ref in known, (
+                            f"{name}.{res.name}.{attribute.name} -> "
+                            f"{attribute.ref}"
+                        )
+
+    def test_undocumented_rules_exist_for_alignment(self):
+        ec2 = build_catalog("ec2")
+        hidden = [
+            behaviour
+            for res in ec2.resources
+            for api in res.apis
+            for behaviour in api.rules
+            if not behaviour.documented
+        ]
+        assert len(hidden) >= 2  # StartInstances + DNS hostnames at minimum
+
+
+class TestTable1Inventory:
+    """Exact reproduction of Table 1's counts."""
+
+    @pytest.mark.parametrize(
+        "service,total,emulated",
+        [
+            ("ec2", 571, 177),
+            ("dynamodb", 57, 39),
+            ("network_firewall", 45, 5),
+            ("eks", 58, 15),
+        ],
+    )
+    def test_counts(self, service, total, emulated):
+        got_total, got_emulated, __ = coverage(service)
+        assert got_total == total
+        assert got_emulated == emulated
+
+    def test_overall(self):
+        services = ("ec2", "dynamodb", "network_firewall", "eks")
+        total = sum(len(inventory(s)) for s in services)
+        emulated = sum(len(moto_emulated(s)) for s in services)
+        assert total == 731
+        assert emulated == 236
+        assert round(100 * emulated / total) == 32
+
+    def test_moto_nfw_has_create_but_not_delete_firewall(self):
+        emulated = moto_emulated("network_firewall")
+        assert "CreateFirewall" in emulated
+        assert "DeleteFirewall" not in emulated
+
+    def test_emulated_is_subset_of_inventory(self):
+        for service in ("ec2", "dynamodb", "network_firewall", "eks"):
+            assert set(moto_emulated(service)) <= set(inventory(service))
+
+
+class TestRenderWrangleRoundTrip:
+    """Catalog -> provider text -> wrangler recovers the documented corpus."""
+
+    @pytest.mark.parametrize("service", sorted(CATALOGS))
+    def test_round_trip(self, service):
+        catalog = build_catalog(service)
+        pages = render_docs(catalog)
+        recovered = wrangle(pages, provider=catalog.provider, service=service)
+
+        assert recovered.resource_names() == catalog.resource_names()
+        for res in catalog.resources:
+            got = recovered.resource(res.name)
+            assert got.parent == res.parent, res.name
+            assert got.notfound_code == res.notfound_code
+            assert [a.name for a in got.attributes] == [
+                a.name for a in res.attributes
+            ]
+            assert got.api_names() == res.api_names()
+
+    @pytest.mark.parametrize("service", sorted(CATALOGS))
+    def test_round_trip_recovers_documented_rules_only(self, service):
+        catalog = build_catalog(service)
+        pages = render_docs(catalog)
+        recovered = wrangle(pages, provider=catalog.provider, service=service)
+        for res in catalog.resources:
+            for api in res.apis:
+                got = recovered.resource(res.name).api(api.name)
+                want = [
+                    (b.kind, b.as_dict()) for b in api.documented_rules()
+                ]
+                have = [(b.kind, b.as_dict()) for b in got.rules]
+                assert have == want, f"{service}.{res.name}.{api.name}"
+
+    @pytest.mark.parametrize("service", sorted(CATALOGS))
+    def test_round_trip_recovers_params_and_types(self, service):
+        catalog = build_catalog(service)
+        pages = render_docs(catalog)
+        recovered = wrangle(pages, provider=catalog.provider, service=service)
+        for res in catalog.resources:
+            for api in res.apis:
+                got = recovered.resource(res.name).api(api.name)
+                assert [
+                    (p.name, p.type, p.required, p.ref) for p in got.params
+                ] == [
+                    (p.name, p.type, p.required, p.ref) for p in api.params
+                ], f"{service}.{res.name}.{api.name}"
+
+    def test_attribute_details_round_trip(self):
+        catalog = build_catalog("ec2")
+        pages = render_docs(catalog)
+        recovered = wrangle(pages, provider="aws", service="ec2")
+        vpc = recovered.resource("vpc")
+        state = next(a for a in vpc.attributes if a.name == "state")
+        assert state.type == "Enum"
+        assert state.enum_values == ("pending", "available")
+        assert state.default == "pending"
+        dns = next(a for a in vpc.attributes if a.name == "enable_dns_support")
+        assert dns.default is True
+
+    def test_undocumented_rules_absent_from_rendered_text(self):
+        catalog = build_catalog("ec2")
+        pages = render_docs(catalog)
+        full_text = "\n".join(page.text for page in pages)
+        # The StartInstances state precondition is enforced by the cloud
+        # but never rendered into documentation.
+        assert "IncorrectInstanceState" in full_text  # StopInstances has it
+        start_pages = [p for p in pages if p.title == "instance:StartInstances"]
+        assert len(start_pages) == 1
+        assert "IncorrectInstanceState" not in start_pages[0].text

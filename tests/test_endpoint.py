@@ -1,0 +1,138 @@
+"""Tests for the JSON wire envelope, plus metamorphic request tests."""
+
+import json
+
+import pytest
+
+from repro.cloud import make_cloud
+from repro.core import build_learned_emulator
+from repro.interpreter import JsonEndpoint, ProtocolError
+from repro.scenarios import evaluation_traces, run_trace
+
+
+@pytest.fixture(scope="module")
+def build():
+    return build_learned_emulator("network_firewall", seed=7)
+
+
+@pytest.fixture
+def endpoint(build):
+    return JsonEndpoint(backend=build.make_backend(), seed=1)
+
+
+class TestEnvelope:
+    def test_success_envelope(self, endpoint):
+        body = endpoint.dispatch({
+            "Action": "CreateFirewallPolicy",
+            "Parameters": {"PolicyName": "p"},
+        })
+        assert "ResponseMetadata" in body
+        assert body["ResponseMetadata"]["RequestId"]
+        assert body["id"].startswith("fp-")
+        assert not JsonEndpoint.is_error(body)
+
+    def test_error_envelope(self, endpoint):
+        body = endpoint.dispatch({
+            "Action": "DeleteFirewall",
+            "Parameters": {"FirewallId": "missing"},
+        })
+        assert JsonEndpoint.is_error(body)
+        assert body["Error"]["Code"] == "ResourceNotFoundException"
+        assert "does not exist" in body["Error"]["Message"]
+
+    def test_request_ids_are_unique_and_deterministic(self, build):
+        first = JsonEndpoint(backend=build.make_backend(), seed=1)
+        second = JsonEndpoint(backend=build.make_backend(), seed=1)
+        ids_first = [
+            first.dispatch({"Action": "ListFirewalls"})[
+                "ResponseMetadata"]["RequestId"]
+            for __ in range(3)
+        ]
+        ids_second = [
+            second.dispatch({"Action": "ListFirewalls"})[
+                "ResponseMetadata"]["RequestId"]
+            for __ in range(3)
+        ]
+        assert ids_first == ids_second
+        assert len(set(ids_first)) == 3
+
+    def test_malformed_envelopes_rejected(self, endpoint):
+        with pytest.raises(ProtocolError):
+            endpoint.dispatch(["not", "an", "object"])
+        with pytest.raises(ProtocolError):
+            endpoint.dispatch({"Parameters": {}})
+        with pytest.raises(ProtocolError):
+            endpoint.dispatch({"Action": "X", "Parameters": "oops"})
+
+    def test_text_handler_never_raises(self, endpoint):
+        garbage = endpoint.handle("{this is not json")
+        body = json.loads(garbage)
+        assert body["Error"]["Code"] == "SerializationException"
+        bad_shape = endpoint.handle(json.dumps({"Parameters": {}}))
+        assert json.loads(bad_shape)["Error"]["Code"] == (
+            "SerializationException"
+        )
+
+    def test_text_round_trip(self, endpoint):
+        reply = endpoint.handle(json.dumps({
+            "Action": "CreateFirewallPolicy",
+            "Parameters": {"PolicyName": "p"},
+        }))
+        body = json.loads(reply)
+        assert body["id"].startswith("fp-")
+
+    def test_endpoint_wraps_the_cloud_identically(self):
+        """The same front door fits the reference cloud: clients can't
+        tell emulator from cloud except by behaviour."""
+        endpoint = JsonEndpoint(backend=make_cloud("network_firewall"))
+        body = endpoint.dispatch({
+            "Action": "CreateFirewallPolicy",
+            "Parameters": {"PolicyName": "p"},
+        })
+        assert "ResponseMetadata" in body
+        assert not JsonEndpoint.is_error(body)
+
+
+class TestMetamorphicParameterCasing:
+    """Outcomes must be invariant to the client's key spelling —
+    CamelCase SDKs and snake_case SDKs see the same cloud."""
+
+    @pytest.fixture(scope="class")
+    def ec2(self):
+        return build_learned_emulator("ec2", seed=7)
+
+    @staticmethod
+    def _recase(params: dict, style: str) -> dict:
+        def snake(key: str) -> str:
+            out = []
+            for index, char in enumerate(key):
+                if char.isupper() and index:
+                    out.append("_")
+                out.append(char.lower())
+            return "".join(out)
+
+        if style == "snake":
+            return {snake(k): v for k, v in params.items()}
+        if style == "upper":
+            return {k.upper(): v for k, v in params.items()}
+        return dict(params)
+
+    @pytest.mark.parametrize("style", ["snake", "upper"])
+    def test_trace_outcomes_invariant_to_casing(self, ec2, style):
+        from dataclasses import replace
+
+        for trace in evaluation_traces():
+            if trace.service != "ec2":
+                continue
+            recased = replace(
+                trace,
+                steps=tuple(
+                    replace(step, params=self._recase(step.params, style))
+                    for step in trace.steps
+                ),
+            )
+            original = run_trace(ec2.make_backend(), trace)
+            variant = run_trace(ec2.make_backend(), recased)
+            assert [r.response for r in original.results] == [
+                r.response for r in variant.results
+            ], trace.name

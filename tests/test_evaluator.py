@@ -1,0 +1,231 @@
+"""Deeper evaluator semantics: the grammar's corners."""
+
+import pytest
+
+from repro.interpreter import Emulator
+from repro.spec import parse_module
+
+
+def emulator_for(source: str) -> Emulator:
+    return Emulator(parse_module(source, service="toy"))
+
+
+class TestControlFlow:
+    def test_else_if_chain(self):
+        emulator = emulator_for(
+            """
+            SM grader {
+              States { grade: str }
+              Transitions {
+                @create Make() { }
+                @modify Grade(grader_id: str, score: int) {
+                  if (score >= 90) { write(grade, "A"); }
+                  else if (score >= 50) { write(grade, "B"); }
+                  else { write(grade, "F"); }
+                }
+                @describe Show(grader_id: str) { read(grade, grade); }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {}).data["id"]
+        for score, expected in ((95, "A"), (60, "B"), (10, "F")):
+            emulator.invoke("Grade", {"GraderId": subject, "Score": score})
+            shown = emulator.invoke("Show", {"GraderId": subject})
+            assert shown.data["grade"] == expected
+
+    def test_emit_computes_derived_values(self):
+        emulator = emulator_for(
+            """
+            SM echo {
+              States { prefix: str }
+              Transitions {
+                @create Make(prefix: str) { write(prefix, prefix); }
+                @describe Ping(echo_id: str, word: str) {
+                  emit(combined, concat(prefix, "-", word));
+                  emit(size, len(word));
+                }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {"Prefix": "log"}).data["id"]
+        response = emulator.invoke("Ping", {"EchoId": subject,
+                                            "Word": "hello"})
+        assert response.data["combined"] == "log-hello"
+        assert response.data["size"] == 5
+
+    def test_self_attribute_disambiguates_param_shadowing(self):
+        emulator = emulator_for(
+            """
+            SM box {
+              States { mode: str = "closed" }
+              Transitions {
+                @create Make() { }
+                @modify SetMode(box_id: str, mode: str) {
+                  assert(self.mode != "locked") : BoxLocked;
+                  write(mode, mode);
+                }
+                @modify Lock(box_id: str) { write(mode, "locked"); }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {}).data["id"]
+        assert emulator.invoke(
+            "SetMode", {"BoxId": subject, "Mode": "open"}
+        ).success
+        emulator.invoke("Lock", {"BoxId": subject})
+        denied = emulator.invoke(
+            "SetMode", {"BoxId": subject, "Mode": "open"}
+        )
+        assert denied.error_code == "BoxLocked"
+
+
+class TestCrossSmCreation:
+    def test_call_on_type_name_creates_instance(self):
+        """§4.2: CreateDefaultVPC can call CreateSubnet on a type that
+        isn't instantiated yet — the call creates the child machine."""
+        emulator = emulator_for(
+            """
+            SM vpc {
+              States { children: int = 0 }
+              Transitions {
+                @create CreateDefaultVpc() {
+                  call(subnet.CreateDefaultSubnet(self));
+                  write(children, 1);
+                }
+                @describe ShowVpc(vpc_id: str) { read(children, children); }
+              }
+            }
+            SM subnet contained_in vpc {
+              States { vpc: SM<vpc> }
+              Transitions {
+                @create CreateDefaultSubnet(vpc_ref: SM<vpc>) {
+                  write(vpc, vpc_ref);
+                }
+              }
+            }
+            """
+        )
+        created = emulator.invoke("CreateDefaultVpc", {})
+        assert created.success
+        subnets = emulator.registry.of_type("subnet")
+        assert len(subnets) == 1
+        assert subnets[0].state["vpc"] == created.data["id"]
+        assert subnets[0].parent_id == created.data["id"]
+
+
+class TestMessages:
+    def test_assert_message_interpolation(self):
+        emulator = emulator_for(
+            """
+            SM quota {
+              States { used: int = 3, cap: int = 3 }
+              Transitions {
+                @create Make() { }
+                @modify Consume(quota_id: str) {
+                  assert(used < cap)
+                    : LimitExceeded("{used} of {cap} slots used on {id}");
+                }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {}).data["id"]
+        response = emulator.invoke("Consume", {"QuotaId": subject})
+        assert response.error_code == "LimitExceeded"
+        assert response.error_message == f"3 of 3 slots used on {subject}"
+
+    def test_unknown_placeholders_left_intact(self):
+        emulator = emulator_for(
+            """
+            SM x {
+              States { s: str }
+              Transitions {
+                @create Make() { }
+                @modify T(x_id: str) {
+                  assert(exists(s)) : Oops("missing {ghost}");
+                }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {}).data["id"]
+        response = emulator.invoke("T", {"XId": subject})
+        assert response.error_message == "missing {ghost}"
+
+
+class TestDefaults:
+    def test_enum_and_literal_defaults(self):
+        emulator = emulator_for(
+            """
+            SM d {
+              States {
+                mode: enum(on, off) = off,
+                count: int = 5,
+                flag: bool = true,
+                items: list,
+                tags: map,
+              }
+              Transitions {
+                @create Make() { }
+                @describe Show(d_id: str) {
+                  read(mode, mode);
+                  read(count, count);
+                  read(flag, flag);
+                  read(items, items);
+                  read(tags, tags);
+                }
+              }
+            }
+            """
+        )
+        subject = emulator.invoke("Make", {}).data["id"]
+        shown = emulator.invoke("Show", {"DId": subject}).data
+        assert shown == {"mode": "off", "count": 5, "flag": True,
+                         "items": [], "tags": {}}
+
+
+class TestListApis:
+    def test_parameterless_describe_enumerates(self):
+        emulator = emulator_for(
+            """
+            SM thing {
+              States { s: str }
+              Transitions {
+                @create Make() { }
+                @describe ListThings() { }
+              }
+            }
+            """
+        )
+        first = emulator.invoke("Make", {}).data["id"]
+        second = emulator.invoke("Make", {}).data["id"]
+        listing = emulator.invoke("ListThings", {})
+        assert listing.data["count"] == 2
+        assert listing.data["ids"] == sorted([first, second])
+
+    def test_listing_excludes_other_types_and_deleted(self):
+        emulator = emulator_for(
+            """
+            SM a {
+              States { s: str }
+              Transitions {
+                @create MakeA() { }
+                @destroy DropA(a_id: str) { }
+                @describe ListA() { }
+              }
+            }
+            SM b {
+              States { s: str }
+              Transitions { @create MakeB() { } }
+            }
+            """
+        )
+        kept = emulator.invoke("MakeA", {}).data["id"]
+        dropped = emulator.invoke("MakeA", {}).data["id"]
+        emulator.invoke("MakeB", {})
+        emulator.invoke("DropA", {"AId": dropped})
+        listing = emulator.invoke("ListA", {})
+        assert listing.data["ids"] == [kept]

@@ -1,0 +1,211 @@
+"""Tests for dependency analysis, incremental extraction, linking and
+consistency checks."""
+
+import pytest
+
+from repro.docs import build_catalog, render_docs, wrangle
+from repro.extraction import (
+    build_dependency_graph,
+    extraction_order,
+    graph_metrics,
+    resource_references,
+    run_checks,
+    run_extraction,
+    transitive_dependencies,
+)
+from repro.llm import make_llm
+from repro.spec import ast
+
+
+@pytest.fixture(scope="module")
+def ec2_docs():
+    catalog = build_catalog("ec2")
+    return wrangle(render_docs(catalog), provider="aws", service="ec2")
+
+
+@pytest.fixture(scope="module")
+def nfw_docs():
+    catalog = build_catalog("network_firewall")
+    return wrangle(render_docs(catalog), provider="aws",
+                   service="network_firewall")
+
+
+class TestDependencyGraph:
+    def test_subnet_depends_on_vpc(self, ec2_docs):
+        subnet = ec2_docs.resource("subnet")
+        assert "vpc" in resource_references(subnet)
+
+    def test_extraction_order_builds_dependencies_first(self, ec2_docs):
+        order = extraction_order(ec2_docs)
+        assert order.index("vpc") < order.index("subnet")
+        assert order.index("subnet") < order.index("instance")
+        assert order.index("instance") < order.index("elastic_ip")
+        assert set(order) == set(ec2_docs.resource_names())
+
+    def test_transitive_dependencies(self, ec2_docs):
+        deps = transitive_dependencies(ec2_docs, "instance")
+        assert "subnet" in deps
+        assert "vpc" in deps  # transitively, via subnet
+
+    def test_graph_metrics(self, ec2_docs):
+        metrics = graph_metrics(ec2_docs)
+        assert metrics["nodes"] == 28
+        assert metrics["edges"] > 10
+        assert 0 < metrics["edge_density"] < 1
+
+    def test_nfw_graph_smaller(self, ec2_docs, nfw_docs):
+        assert graph_metrics(nfw_docs)["nodes"] < graph_metrics(
+            ec2_docs
+        )["nodes"]
+
+    def test_cross_service_reference_marked_external(self, nfw_docs):
+        graph = build_dependency_graph(nfw_docs)
+        # The firewall's VPC lives in another service's documentation.
+        assert "vpc" in graph
+        assert graph.nodes["vpc"].get("external")
+
+
+class TestPipelinePerfect:
+    @pytest.fixture(scope="class")
+    def outcome(self, ec2_docs):
+        return run_extraction("ec2", mode="perfect", service_doc=ec2_docs)
+
+    def test_all_resources_extracted(self, outcome, ec2_docs):
+        assert set(outcome.module.machines) == set(
+            ec2_docs.resource_names()
+        )
+
+    def test_no_violations(self, outcome):
+        assert outcome.initial_violations == []
+        assert outcome.remaining_violations == []
+        assert outcome.validator_violations == []
+
+    def test_helpers_patched(self, outcome):
+        vpc = outcome.module.get("vpc")
+        assert "_Track_subnet_cidrs" in vpc.transitions
+        assert "_Untrack_subnet_cidrs" in vpc.transitions
+        assert "_Track_gateways" in vpc.transitions
+
+    def test_helpers_not_public(self, outcome):
+        assert all(
+            not name.startswith("_")
+            for name in outcome.module.api_names()
+        )
+        emulator = outcome.build_emulator()
+        direct = emulator.invoke("_Track_gateways", {"value": "x"})
+        assert direct.error_code == "InvalidAction"
+
+    def test_notfound_codes_collected(self, outcome):
+        assert outcome.notfound_codes["vpc"] == "InvalidVpcID.NotFound"
+
+    def test_no_stubs_remain(self, outcome):
+        for spec in outcome.module.machines.values():
+            assert not any(
+                t.is_stub for t in spec.transitions.values()
+            ), spec.name
+
+
+class TestConsistencyChecks:
+    def _module_with_fault(self, ec2_docs, mutate):
+        outcome = run_extraction("ec2", mode="perfect",
+                                 service_doc=ec2_docs,
+                                 checks_enabled=False)
+        mutate(outcome.module)
+        return run_checks(outcome.module, ec2_docs)
+
+    def test_clean_module_passes(self, ec2_docs):
+        violations = self._module_with_fault(ec2_docs, lambda m: None)
+        assert violations == []
+
+    def test_describe_with_write_flagged(self, ec2_docs):
+        def mutate(module):
+            transition = module.get("vpc").transitions["DescribeVpcs"]
+            transition.body = transition.body + (
+                ast.Write("state", ast.Literal("corrupted")),
+            )
+
+        violations = self._module_with_fault(ec2_docs, mutate)
+        assert any(v.check == "describe_readonly" for v in violations)
+
+    def test_missing_documented_code_flagged(self, ec2_docs):
+        def mutate(module):
+            transition = module.get("subnet").transitions["CreateSubnet"]
+            transition.body = tuple(
+                stmt for stmt in transition.body
+                if not (isinstance(stmt, ast.Assert)
+                        and stmt.error_code == "InvalidSubnet.Conflict")
+            )
+
+        violations = self._module_with_fault(ec2_docs, mutate)
+        assert any(
+            v.check == "missing_error_code"
+            and "InvalidSubnet.Conflict" in v.detail
+            for v in violations
+        )
+
+    def test_undocumented_code_flagged(self, ec2_docs):
+        def mutate(module):
+            transition = module.get("vpc").transitions["DeleteVpc"]
+            first = transition.body[0]
+            from dataclasses import replace
+            transition.body = (
+                replace(first, error_code="MadeUpError"),
+            ) + transition.body[1:]
+
+        violations = self._module_with_fault(ec2_docs, mutate)
+        assert any(
+            v.check in ("undocumented_error_code", "missing_error_code")
+            for v in violations
+        )
+
+    def test_missing_resource_flagged(self, ec2_docs):
+        def mutate(module):
+            del module.machines["subnet"]
+
+        violations = self._module_with_fault(ec2_docs, mutate)
+        kinds = {v.check for v in violations}
+        assert "completeness" in kinds
+
+    def test_dropped_duplicate_code_rule_slips_through(self, ec2_docs):
+        """DeleteVpc has three DependencyViolation guards; dropping one
+        leaves the code present, so the template checks cannot see it —
+        the gap alignment exists to close (§4.3)."""
+        def mutate(module):
+            transition = module.get("vpc").transitions["DeleteVpc"]
+            kept = []
+            dropped = False
+            for stmt in transition.body:
+                if (
+                    not dropped
+                    and isinstance(stmt, ast.Assert)
+                    and stmt.error_code == "DependencyViolation"
+                ):
+                    dropped = True
+                    continue
+                kept.append(stmt)
+            transition.body = tuple(kept)
+
+        violations = self._module_with_fault(ec2_docs, mutate)
+        assert violations == []
+
+
+class TestCorrectionLoop:
+    def test_constrained_faults_get_corrected(self, ec2_docs):
+        outcome = run_extraction("ec2", mode="constrained", seed=7,
+                                 service_doc=ec2_docs)
+        assert outcome.initial_violations  # faults were injected
+        assert outcome.remaining_violations == []
+        assert outcome.corrected_resources
+
+    def test_checks_disabled_leaves_faults(self, ec2_docs):
+        outcome = run_extraction("ec2", mode="constrained", seed=7,
+                                 service_doc=ec2_docs,
+                                 checks_enabled=False)
+        violations = run_checks(outcome.module, ec2_docs)
+        assert violations
+
+    def test_reprompt_mode_reaches_same_module_shape(self, ec2_docs):
+        llm = make_llm("reprompt", seed=7)
+        outcome = run_extraction("ec2", llm=llm, service_doc=ec2_docs)
+        assert len(outcome.module.machines) == 28
+        assert outcome.total_llm_attempts > 28  # some re-prompting happened

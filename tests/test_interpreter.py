@@ -1,0 +1,262 @@
+"""Tests for the emulator framework executing hand-written specs."""
+
+import pytest
+
+from repro.interpreter import Emulator
+from repro.spec import parse_module
+
+# A two-SM module modelled on the paper's §3 example, with full bodies:
+# a Public IP that can be associated with a NIC in the same zone.
+PUBLIC_IP_MODULE = """
+SM nic {
+  States {
+    zone: str,
+    public_ip: SM<public_ip>,
+    state: enum(available, in_use) = available,
+  }
+  Transitions {
+    @create
+    CreateNIC(zone: str) {
+      assert(exists(zone)) : MissingParameter("zone is required");
+      write(zone, zone);
+    }
+    @modify
+    AttachPublicIP(ip_ref: SM<public_ip>) {
+      write(public_ip, ip_ref);
+      write(state, IN_USE);
+    }
+    @modify
+    DetachPublicIP() {
+      write(public_ip, null);
+      write(state, AVAILABLE);
+    }
+    @describe
+    DescribeNIC(nic_id: str) {
+      read(zone, zone_value);
+      read(state, state_value);
+      read(public_ip, attached_ip);
+    }
+    @destroy
+    DeleteNIC(nic_id: str) {
+      assert(!public_ip) : DependencyViolation("NIC has an associated PublicIP");
+    }
+  }
+}
+
+SM public_ip {
+  States {
+    status: enum(assigned, idle) = idle,
+    zone: str,
+    NIC: SM<nic>,
+  }
+  Transitions {
+    @create
+    CreatePublicIP(region: str) {
+      assert(region == "us-east" || region == "us-west")
+        : InvalidParameterValue("region must be us-east or us-west");
+      write(status, ASSIGNED);
+      write(zone, region);
+    }
+    @modify
+    AssociateNIC(public_ip_id: str, nic_ref: SM<nic>) {
+      assert(exists(nic_ref)) : MissingParameter("nic_ref is required");
+      assert(zone == nic_ref.zone) : InvalidZone.Mismatch("zone mismatch");
+      call(nic_ref.AttachPublicIP(self));
+      write(NIC, nic_ref);
+    }
+    @describe
+    DescribePublicIP(public_ip_id: str) {
+      read(status, status_value);
+      read(zone, zone_value);
+    }
+    @destroy
+    DestroyPublicIP(public_ip_id: str) {
+      assert(!NIC) : DependencyViolation("PublicIP is still attached to a NIC");
+      write(status, IDLE);
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def emulator():
+    module = parse_module(PUBLIC_IP_MODULE, service="toy")
+    return Emulator(module)
+
+
+class TestLifecycle:
+    def test_create_returns_deterministic_id(self, emulator):
+        response = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        assert response.success
+        assert response.data["id"] == "public_ip-00000001"
+
+    def test_create_initializes_defaults_then_writes(self, emulator):
+        created = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        described = emulator.invoke(
+            "DescribePublicIP", {"public_ip_id": created.data["id"]}
+        )
+        assert described.data["status_value"] == "ASSIGNED"
+        assert described.data["zone_value"] == "us-east"
+
+    def test_create_rejects_bad_region(self, emulator):
+        response = emulator.invoke("CreatePublicIP", {"region": "mars-central"})
+        assert not response.success
+        assert response.error_code == "InvalidParameterValue"
+        # Nothing was created.
+        assert len(emulator.registry) == 0
+
+    def test_destroy_removes_resource(self, emulator):
+        created = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        ip_id = created.data["id"]
+        assert emulator.invoke("DestroyPublicIP", {"public_ip_id": ip_id}).success
+        followup = emulator.invoke("DescribePublicIP", {"public_ip_id": ip_id})
+        assert not followup.success
+        assert followup.error_code == "InvalidPublicIpID.NotFound"
+
+    def test_ids_are_sequential_per_type(self, emulator):
+        first = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        second = emulator.invoke("CreatePublicIP", {"region": "us-west"})
+        assert first.data["id"] != second.data["id"]
+        assert second.data["id"].endswith("2")
+
+
+class TestCrossSMCalls:
+    def _associate(self, emulator, ip_zone="us-east", nic_zone="us-east"):
+        ip = emulator.invoke("CreatePublicIP", {"region": ip_zone})
+        nic = emulator.invoke("CreateNIC", {"zone": nic_zone})
+        response = emulator.invoke(
+            "AssociateNIC",
+            {"public_ip_id": ip.data["id"], "nic_ref": nic.data["id"]},
+        )
+        return ip.data["id"], nic.data["id"], response
+
+    def test_association_is_bidirectional(self, emulator):
+        ip_id, nic_id, response = self._associate(emulator)
+        assert response.success
+        nic_view = emulator.invoke("DescribeNIC", {"nic_id": nic_id})
+        assert nic_view.data["attached_ip"] == ip_id
+        assert nic_view.data["state_value"] == "IN_USE"
+
+    def test_zone_mismatch_fails_with_annotated_code(self, emulator):
+        __, __, response = self._associate(emulator, "us-east", "us-west")
+        assert not response.success
+        assert response.error_code == "InvalidZone.Mismatch"
+
+    def test_failed_association_rolls_back_both_machines(self, emulator):
+        __, nic_id, response = self._associate(emulator, "us-east", "us-west")
+        assert not response.success
+        nic_view = emulator.invoke("DescribeNIC", {"nic_id": nic_id})
+        # The nested AttachPublicIP never ran, and even if evaluation
+        # order changed, rollback must keep the NIC untouched.
+        assert nic_view.data["state_value"] == "available"
+        assert nic_view.data["attached_ip"] is None
+
+    def test_destroy_blocked_while_attached(self, emulator):
+        ip_id, __, response = self._associate(emulator)
+        assert response.success
+        destroy = emulator.invoke("DestroyPublicIP", {"public_ip_id": ip_id})
+        assert not destroy.success
+        assert destroy.error_code == "DependencyViolation"
+        # The PublicIP must still exist afterwards.
+        assert emulator.invoke(
+            "DescribePublicIP", {"public_ip_id": ip_id}
+        ).success
+
+    def test_delete_nic_blocked_while_associated(self, emulator):
+        __, nic_id, response = self._associate(emulator)
+        assert response.success
+        delete = emulator.invoke("DeleteNIC", {"nic_id": nic_id})
+        assert not delete.success
+        assert delete.error_code == "DependencyViolation"
+
+
+class TestFrameworkErrors:
+    def test_unknown_api(self, emulator):
+        response = emulator.invoke("LaunchRocket", {})
+        assert not response.success
+        assert response.error_code == "InvalidAction"
+
+    def test_missing_subject_parameter(self, emulator):
+        response = emulator.invoke("DescribePublicIP", {})
+        assert not response.success
+        assert response.error_code == "MissingParameter"
+
+    def test_not_found_subject(self, emulator):
+        response = emulator.invoke(
+            "DescribePublicIP", {"public_ip_id": "public_ip-99999999"}
+        )
+        assert response.error_code == "InvalidPublicIpID.NotFound"
+
+    def test_reference_of_wrong_type_is_not_found(self, emulator):
+        ip = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        response = emulator.invoke(
+            "AssociateNIC",
+            {"public_ip_id": ip.data["id"], "nic_ref": ip.data["id"]},
+        )
+        assert not response.success
+        assert "NotFound" in response.error_code
+
+    def test_wrong_parameter_type_fails_via_semantic_check(self, emulator):
+        # No framework-level type errors: the documented region check
+        # rejects the value, matching how the cloud would behave.
+        response = emulator.invoke("CreatePublicIP", {"region": 42})
+        assert response.error_code == "InvalidParameterValue"
+        assert len(emulator.registry) == 0
+
+    def test_camelcase_parameter_keys_accepted(self, emulator):
+        ip = emulator.invoke("CreatePublicIP", {"Region": "us-east"})
+        assert ip.success
+        described = emulator.invoke(
+            "DescribePublicIP", {"PublicIpId": ip.data["id"]}
+        )
+        assert described.success
+
+    def test_reset_clears_state(self, emulator):
+        emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        emulator.reset()
+        assert len(emulator.registry) == 0
+        fresh = emulator.invoke("CreatePublicIP", {"region": "us-east"})
+        assert fresh.data["id"] == "public_ip-00000001"
+
+    def test_api_names_lists_all_transitions(self, emulator):
+        names = emulator.api_names()
+        assert "CreatePublicIP" in names
+        assert "AttachPublicIP" in names
+        assert len(names) == 9
+
+
+class TestRecursionGuard:
+    def test_mutual_calls_fail_deterministically(self):
+        module = parse_module(
+            """
+            SM ping {
+              States { peer: SM<pong> }
+              Transitions {
+                @create MakePing() { }
+                @modify BouncePing(ping_id: str, peer_ref: SM<pong>) {
+                  call(peer_ref.BouncePong(self));
+                }
+              }
+            }
+            SM pong {
+              States { peer: SM<ping> }
+              Transitions {
+                @create MakePong() { }
+                @modify BouncePong(pong_id: str, peer_ref: SM<ping>) {
+                  call(peer_ref.BouncePing(self));
+                }
+              }
+            }
+            """,
+            service="toy",
+        )
+        emulator = Emulator(module)
+        ping = emulator.invoke("MakePing", {})
+        pong = emulator.invoke("MakePong", {})
+        response = emulator.invoke(
+            "BouncePing",
+            {"ping_id": ping.data["id"], "peer_ref": pong.data["id"]},
+        )
+        assert not response.success
+        assert response.error_code == "InternalFailure"

@@ -1,0 +1,95 @@
+"""Edge-case tests for specification linking (§4.2)."""
+
+import pytest
+
+from repro.core import wrangled_docs
+from repro.extraction import extract_incrementally, link_module
+from repro.llm import (
+    HelperRequirement,
+    make_llm,
+    track_helper_name,
+    untrack_helper_name,
+)
+from repro.spec import ast
+
+
+@pytest.fixture()
+def state_and_docs():
+    docs = wrangled_docs("ec2")
+    llm = make_llm("perfect")
+    state = extract_incrementally(llm, docs)
+    return state, docs
+
+
+class TestHelperBuilding:
+    def test_track_helper_appends(self):
+        helper = HelperRequirement(
+            target="vpc", name=track_helper_name("subnet_cidrs"),
+            list_attr="subnet_cidrs", op="track",
+        )
+        transition = helper.build()
+        assert transition.name == "_Track_subnet_cidrs"
+        assert transition.category == "modify"
+        write = transition.body[0]
+        assert isinstance(write, ast.Write)
+        assert isinstance(write.value, ast.Func)
+        assert write.value.name == "append"
+
+    def test_untrack_helper_removes(self):
+        helper = HelperRequirement(
+            target="vpc", name=untrack_helper_name("subnet_cidrs"),
+            list_attr="subnet_cidrs", op="untrack",
+        )
+        write = helper.build().body[0]
+        assert write.value.name == "remove"
+
+
+class TestLinking:
+    def test_duplicate_requirements_patched_once(self, state_and_docs):
+        state, docs = state_and_docs
+        duplicates = [h for h in state.helper_requirements
+                      if h.target == "vpc"]
+        state.helper_requirements.extend(duplicates)
+        result = link_module(state, docs)
+        vpc = result.module.get("vpc")
+        helper_names = [
+            name for name in vpc.transitions if name.startswith("_")
+        ]
+        assert len(helper_names) == len(set(helper_names))
+
+    def test_unknown_target_reported_not_crashed(self, state_and_docs):
+        state, docs = state_and_docs
+        state.helper_requirements.append(
+            HelperRequirement(target="ghost_resource",
+                              name="_Track_things",
+                              list_attr="things", op="track")
+        )
+        result = link_module(state, docs)
+        assert any("ghost_resource" in item for item in result.unresolved)
+
+    def test_missing_list_attribute_restored(self, state_and_docs):
+        state, docs = state_and_docs
+        vpc = state.specs["vpc"]
+        vpc.states = [s for s in vpc.states if s.name != "gateways"]
+        result = link_module(state, docs)
+        restored = result.module.get("vpc").state_type("gateways")
+        assert restored is not None and restored.kind == "list"
+
+    def test_leftover_stub_reported(self, state_and_docs):
+        state, docs = state_and_docs
+        vpc = state.specs["vpc"]
+        vpc.transitions["PhantomApi"] = ast.Transition(
+            name="PhantomApi", is_stub=True
+        )
+        result = link_module(state, docs)
+        assert any("PhantomApi" in item for item in result.unresolved)
+
+    def test_notfound_codes_cover_every_resource_with_one(self,
+                                                          state_and_docs):
+        state, docs = state_and_docs
+        result = link_module(state, docs)
+        for res in docs.resources:
+            if res.notfound_code:
+                assert result.notfound_codes[res.name] == (
+                    res.notfound_code
+                )

@@ -1,0 +1,197 @@
+"""Tests for the simulated LLM: fault models, synthesis, prompting."""
+
+import pytest
+
+from repro.docs import build_catalog, render_docs, wrangle
+from repro.llm import (
+    build_prompt,
+    CONSTRAINED_PROFILE,
+    DIRECT_PROFILE,
+    FaultModel,
+    make_llm,
+    PERFECT_PROFILE,
+    SpecSynthesizer,
+    SUBTLE_CHECK_KINDS,
+    synthesize_with_reprompt,
+)
+from repro.spec import parse_sm, SpecSyntaxError, validate_sm
+from repro.spec.serializer import serialize_sm
+
+
+@pytest.fixture(scope="module")
+def ec2_docs():
+    catalog = build_catalog("ec2")
+    return wrangle(render_docs(catalog), provider="aws", service="ec2")
+
+
+@pytest.fixture(scope="module")
+def vpc_doc(ec2_docs):
+    return ec2_docs.resource("vpc")
+
+
+@pytest.fixture(scope="module")
+def subnet_doc(ec2_docs):
+    return ec2_docs.resource("subnet")
+
+
+class TestFaultModel:
+    def test_deterministic_across_instances(self, vpc_doc):
+        first = FaultModel(DIRECT_PROFILE, seed=3)
+        second = FaultModel(DIRECT_PROFILE, seed=3)
+        api = vpc_doc.api("DeleteVpc")
+        d1 = first.decide_api("vpc", "DeleteVpc", api.documented_rules(),
+                              "destroy", [])
+        d2 = second.decide_api("vpc", "DeleteVpc", api.documented_rules(),
+                               "destroy", [])
+        assert d1.dropped_rules == d2.dropped_rules
+        assert d1.miscoded_rules == d2.miscoded_rules
+
+    def test_seed_changes_decisions_somewhere(self, ec2_docs):
+        def decisions(seed):
+            model = FaultModel(DIRECT_PROFILE, seed=seed)
+            out = []
+            for res in ec2_docs.resources:
+                for api in res.apis:
+                    d = model.decide_api(res.name, api.name,
+                                         api.documented_rules(),
+                                         api.category, [])
+                    out.append(tuple(r.kind for r in d.dropped_rules))
+            return out
+
+        assert decisions(1) != decisions(2)
+
+    def test_perfect_profile_is_clean(self, ec2_docs):
+        model = FaultModel(PERFECT_PROFILE, seed=5)
+        for res in ec2_docs.resources:
+            assert model.decide_attributes(
+                res.name, [a.name for a in res.attributes]
+            ) == []
+            for api in res.apis:
+                decision = model.decide_api(
+                    res.name, api.name, api.documented_rules(),
+                    api.category, [a.name for a in res.attributes],
+                )
+                assert decision.clean
+
+    def test_direct_profile_drops_subtle_checks_broadly(self, ec2_docs):
+        model = FaultModel(DIRECT_PROFILE, seed=7)
+        subtle_total = dropped_total = 0
+        for res in ec2_docs.resources:
+            for api in res.apis:
+                rules = api.documented_rules()
+                subtle = [r for r in rules if r.kind in SUBTLE_CHECK_KINDS]
+                decision = model.decide_api(res.name, api.name, rules,
+                                            api.category, [])
+                subtle_total += len(subtle)
+                dropped_total += len(decision.dropped_rules)
+        assert subtle_total > 0
+        assert dropped_total / subtle_total > 0.7
+
+    def test_direct_profile_drops_uncommon_attributes(self, ec2_docs):
+        model = FaultModel(DIRECT_PROFILE, seed=7)
+        instance = ec2_docs.resource("instance")
+        dropped = model.decide_attributes(
+            "instance", [a.name for a in instance.attributes]
+        )
+        assert "instance_tenancy" in dropped
+        assert "credit_specification" in dropped
+        # Common attributes never drop.
+        assert "state" not in dropped
+
+
+class TestSynthesis:
+    def test_perfect_synthesis_parses_and_validates(self, ec2_docs):
+        synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+        for res in ec2_docs.resources:
+            text, report = synthesizer.synthesize_text(res)
+            spec = parse_sm(text)
+            validate_sm(spec)
+            assert report.clean
+            assert set(spec.transitions) == {a.name for a in res.apis}
+
+    def test_states_mirror_documented_attributes(self, vpc_doc):
+        synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+        spec, __ = synthesizer.synthesize_sm(vpc_doc)
+        assert spec.state_names() == [a.name for a in vpc_doc.attributes]
+        assert spec.state_type("enable_dns_support").kind == "bool"
+        assert spec.state_type("state").enum_values == (
+            "pending", "available",
+        )
+
+    def test_helper_requirements_recorded(self, subnet_doc):
+        synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+        __, report = synthesizer.synthesize_sm(subnet_doc)
+        targets = {(h.target, h.op) for h in report.helpers_needed}
+        assert ("vpc", "track") in targets
+        assert ("vpc", "untrack") in targets
+
+    def test_transition_categories_survive(self, vpc_doc):
+        synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+        spec, __ = synthesizer.synthesize_sm(vpc_doc)
+        assert spec.transitions["CreateVpc"].category == "create"
+        assert spec.transitions["DeleteVpc"].category == "destroy"
+        assert spec.transitions["DescribeVpcs"].category == "describe"
+
+    def test_round_trip_through_serializer(self, ec2_docs):
+        synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+        for res in ec2_docs.resources[:6]:
+            spec, __ = synthesizer.synthesize_sm(res)
+            text = serialize_sm(spec)
+            again = parse_sm(text)
+            assert serialize_sm(again) == text
+
+
+class TestPromptingLoop:
+    def test_constrained_never_needs_reprompts(self, ec2_docs):
+        llm = make_llm("constrained", seed=7)
+        for res in ec2_docs.resources:
+            result = synthesize_with_reprompt(llm, res)
+            assert result.attempts == 1
+
+    def test_reprompt_mode_recovers_from_syntax_errors(self, ec2_docs):
+        llm = make_llm("reprompt", seed=7)
+        attempts = []
+        for res in ec2_docs.resources:
+            result = synthesize_with_reprompt(llm, res, max_attempts=6)
+            attempts.append(result.attempts)
+        # The 25% syntax-fault rate must actually bite somewhere, and
+        # re-prompting must recover every time.
+        assert max(attempts) > 1
+
+    def test_prompt_contains_documentation_and_grammar(self, vpc_doc):
+        prompt = build_prompt(vpc_doc)
+        assert "SM" in prompt
+        assert "cidr_block" in prompt
+        assert "DependencyViolation" in prompt
+
+    def test_reprompt_feedback_included(self, vpc_doc):
+        prompt = build_prompt(vpc_doc, feedback="expected ';' at 3:4")
+        assert "failed to parse" in prompt
+
+    def test_usage_accounting(self, vpc_doc):
+        llm = make_llm("constrained", seed=7)
+        llm.generate_spec(vpc_doc, build_prompt(vpc_doc))
+        assert llm.usage.requests == 1
+        assert llm.usage.prompt_tokens > 100
+        assert llm.usage.completion_tokens > 50
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_llm("telepathy")
+
+
+class TestDiagnosisHelper:
+    def test_error_message_maps_back_to_rule(self):
+        llm = make_llm("constrained")
+        message = (
+            "Fails with the error code IncorrectInstanceState unless the "
+            "`state` attribute is `stopped`."
+        )
+        learned = llm.diagnose_error_message(message)
+        assert learned is not None
+        assert learned.kind == "check_attr_is"
+        assert learned["value"] == "stopped"
+
+    def test_unstructured_message_yields_none(self):
+        llm = make_llm("constrained")
+        assert llm.diagnose_error_message("something went wrong") is None

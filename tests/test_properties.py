@@ -1,0 +1,151 @@
+"""Cross-cutting property-based tests over the core machinery."""
+
+import pytest
+from hypothesis import given, HealthCheck, settings, strategies as st
+
+from repro.alignment import normalize_value
+from repro.core import wrangled_docs
+from repro.interpreter import Emulator
+from repro.llm import FaultModel, PERFECT_PROFILE, SpecSynthesizer
+from repro.spec import ast, parse_sm, serialize_sm
+from repro.spec.parser import parse_module
+
+
+@pytest.fixture(scope="module")
+def ec2_module():
+    docs = wrangled_docs("ec2")
+    synthesizer = SpecSynthesizer(FaultModel(PERFECT_PROFILE))
+    module = ast.SpecModule(service="ec2")
+    for res in docs.resources:
+        spec, __ = synthesizer.synthesize_sm(res)
+        module.add(spec)
+    return module
+
+
+class TestSerializerProperties:
+    def test_synthesized_specs_are_fixed_points(self, ec2_module):
+        """serialize . parse . serialize == serialize for every SM."""
+        for spec in ec2_module.machines.values():
+            text = serialize_sm(spec)
+            assert serialize_sm(parse_sm(text)) == text
+
+    def test_module_round_trip_preserves_structure(self, ec2_module):
+        from repro.spec import serialize_module
+
+        text = serialize_module(ec2_module)
+        again = parse_module(text, service="ec2")
+        assert set(again.machines) == set(ec2_module.machines)
+        for name, spec in ec2_module.machines.items():
+            other = again.machines[name]
+            assert other.state_names() == spec.state_names()
+            assert set(other.transitions) == set(spec.transitions)
+
+
+@st.composite
+def cidr_blocks(draw):
+    octets = draw(st.tuples(*[st.integers(0, 255)] * 2))
+    prefix = draw(st.integers(16, 28))
+    return f"{octets[0]}.{octets[1]}.0.0/{prefix}"
+
+
+class TestEmulatorInvariants:
+    """The emulator never crashes and never half-applies a call."""
+
+    @pytest.fixture(scope="class")
+    def emulator(self):
+        from repro.core import build_learned_emulator
+
+        build = build_learned_emulator("ec2", mode="perfect", align=False)
+        return build.make_backend()
+
+    @settings(max_examples=40,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(cidr=cidr_blocks(), junk=st.text(max_size=10))
+    def test_create_vpc_total(self, emulator, cidr, junk):
+        response = emulator.invoke(
+            "CreateVpc", {"CidrBlock": cidr, "Noise": junk}
+        )
+        assert response.success
+        assert response.data["id"].startswith("vpc-")
+
+    @settings(max_examples=40,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(params=st.dictionaries(
+        st.sampled_from(["VpcId", "CidrBlock", "SubnetId", "Junk"]),
+        st.one_of(st.none(), st.text(max_size=12), st.integers(),
+                  st.booleans()),
+        max_size=4,
+    ))
+    def test_arbitrary_params_never_crash(self, emulator, params):
+        for api in ("CreateVpc", "CreateSubnet", "DeleteVpc",
+                    "DescribeSubnets", "ModifyVpcAttribute"):
+            response = emulator.invoke(api, params)
+            assert isinstance(response.success, bool)
+            if not response.success:
+                assert response.error_code
+
+    @settings(max_examples=25,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(bad_cidr=st.text(max_size=12))
+    def test_failed_create_leaves_no_state(self, emulator, bad_cidr):
+        emulator.reset()
+        response = emulator.invoke("CreateVpc", {"CidrBlock": bad_cidr})
+        if not response.success:
+            assert len(emulator.registry) == 0
+
+    def test_failed_nested_call_is_atomic(self, emulator):
+        """Asserts failing after a cross-SM call must undo it."""
+        emulator.reset()
+        vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        # CreateSubnet tracks its CIDR into the VPC before a later
+        # assert could fail; verify a failing run left nothing behind.
+        emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        failed = emulator.invoke(
+            "CreateSubnet",
+            {"VpcId": vpc.data["id"], "CidrBlock": "10.0.1.0/24"},
+        )
+        assert not failed.success
+        # Exactly one subnet CIDR is tracked.
+        vpc_instance = emulator.registry.get(vpc.data["id"])
+        assert vpc_instance.state["subnet_cidrs"] == ["10.0.1.0/24"]
+
+
+class TestNormalizeProperties:
+    @settings(max_examples=60)
+    @given(value=st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(),
+                  st.text(max_size=15)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=5), children, max_size=3),
+        ),
+        max_leaves=10,
+    ))
+    def test_normalize_is_idempotent(self, value):
+        env: dict = {}
+        once = normalize_value(value, env)
+        assert normalize_value(once, env) == once
+
+    @given(st.integers(1, 10**8))
+    def test_generated_ids_normalize_to_token(self, n):
+        value = f"subnet-{n:08d}"
+        assert normalize_value(value, {}) == "<token>"
+
+
+class TestResponseDeterminism:
+    def test_same_program_same_responses(self):
+        from repro.core import build_learned_emulator
+        from repro.scenarios import evaluation_traces, run_trace
+
+        build = build_learned_emulator("ec2", mode="perfect", align=False)
+        for trace in evaluation_traces():
+            if trace.service != "ec2":
+                continue
+            first = run_trace(build.make_backend(), trace)
+            second = run_trace(build.make_backend(), trace)
+            assert [r.response for r in first.results] == [
+                r.response for r in second.results
+            ]

@@ -1,0 +1,134 @@
+"""Tests for the provider-specific page renderers (§4.1's formats)."""
+
+import pytest
+
+from repro.docs import (
+    build_azure_catalog,
+    build_ec2_catalog,
+    build_gcp_catalog,
+    render_aws_docs,
+    render_azure_docs,
+    render_docs,
+    render_gcp_docs,
+)
+
+
+@pytest.fixture(scope="module")
+def aws_pages():
+    return render_aws_docs(build_ec2_catalog())
+
+
+@pytest.fixture(scope="module")
+def azure_pages():
+    return render_azure_docs(build_azure_catalog())
+
+
+@pytest.fixture(scope="module")
+def gcp_pages():
+    return render_gcp_docs(build_gcp_catalog())
+
+
+class TestAwsLayout:
+    """AWS: one paginated reference, resource pages + one page per API."""
+
+    def test_pagination_is_sequential(self, aws_pages):
+        numbers = [page.number for page in aws_pages]
+        assert numbers == list(range(1, len(aws_pages) + 1))
+
+    def test_one_page_per_resource_plus_apis(self, aws_pages):
+        catalog = build_ec2_catalog()
+        expected = len(catalog.resources) + len(catalog.api_names())
+        assert len(aws_pages) == expected
+
+    def test_resource_page_structure(self, aws_pages):
+        vpc_page = next(p for p in aws_pages if p.title == "vpc")
+        assert "Resource: vpc" in vpc_page.text
+        assert "Attributes" in vpc_page.text
+        assert "Actions" in vpc_page.text
+        assert "Not-found error code: InvalidVpcID.NotFound" in (
+            vpc_page.text
+        )
+
+    def test_api_page_structure(self, aws_pages):
+        page = next(p for p in aws_pages if p.title == "vpc:CreateVpc")
+        for section in ("Request Parameters", "Behavior", "Errors"):
+            assert section in page.text
+        assert "Category: create" in page.text
+
+    def test_behaviour_sentences_numbered(self, aws_pages):
+        page = next(p for p in aws_pages if p.title == "vpc:DeleteVpc")
+        assert "1. " in page.text
+        assert "DependencyViolation" in page.text
+
+    def test_subnet_page_mentions_containment(self, aws_pages):
+        page = next(p for p in aws_pages if p.title == "subnet")
+        assert "Contained in: vpc" in page.text
+
+
+class TestAzureLayout:
+    """Azure: per-resource markdown web pages."""
+
+    def test_one_page_per_resource(self, azure_pages):
+        assert len(azure_pages) == len(build_azure_catalog().resources)
+
+    def test_markdown_structure(self, azure_pages):
+        page = next(p for p in azure_pages if p.title == "virtual_network")
+        assert page.text.startswith("# ")
+        assert "## virtual_network" in page.text
+        assert "### Properties" in page.text
+        assert "| name | type | default |" in page.text
+        assert "### Operation createOrUpdateVirtualNetwork (create)" in (
+            page.text
+        )
+
+    def test_behaviour_bullets(self, azure_pages):
+        page = next(p for p in azure_pages if p.title == "subnet")
+        assert "\n* " in page.text
+        assert "NetcfgSubnetRangesOverlap" in page.text
+
+
+class TestGcpLayout:
+    """GCP: REST discovery pages with dotted method ids."""
+
+    def test_one_page_per_resource(self, gcp_pages):
+        assert len(gcp_pages) == len(build_gcp_catalog().resources)
+
+    def test_discovery_structure(self, gcp_pages):
+        page = next(p for p in gcp_pages if p.title == "network")
+        assert "REST Resource: network" in page.text
+        assert "Resource representation:" in page.text
+        assert '"ipv4_range": string,' in page.text
+        assert "Method: compute.networks.insert" in page.text
+        assert "Semantics:" in page.text
+
+    def test_enum_fields_render_inline(self, gcp_pages):
+        page = next(p for p in gcp_pages if p.title == "instance")
+        assert "enum[PROVISIONING, RUNNING, STOPPING, TERMINATED]" in (
+            page.text
+        )
+
+    def test_reference_fields_render_as_links(self, gcp_pages):
+        page = next(p for p in gcp_pages if p.title == "subnetwork")
+        assert "resourceLink(network)" in page.text
+
+
+class TestDispatch:
+    def test_render_docs_picks_provider_layout(self):
+        azure = render_docs(build_azure_catalog())
+        assert azure[0].text.startswith("# ")
+        gcp = render_docs(build_gcp_catalog())
+        assert gcp[0].text.startswith("REST Resource:")
+        aws = render_docs(build_ec2_catalog())
+        assert "API Reference" in aws[0].text
+
+    def test_formats_are_mutually_unparseable(self):
+        """Each provider's parser rejects the others' layouts — the
+        wrangling really is provider-specific (§4.1)."""
+        from repro.docs import wrangle, WrangleError
+
+        azure_pages = render_azure_docs(build_azure_catalog())
+        with pytest.raises(WrangleError):
+            wrangle(azure_pages, provider="gcp")
+        gcp_pages = render_gcp_docs(build_gcp_catalog())
+        with pytest.raises(WrangleError):
+            wrangle(gcp_pages, provider="azure")

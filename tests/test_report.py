@@ -1,0 +1,43 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.core.report import (
+    collect_report_data,
+    generate_report,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(seed=7, include_multicloud=False)
+
+
+class TestReport:
+    def test_contains_every_experiment(self, report_text):
+        for heading in (
+            "Table 1", "Fig. 3", "Fig. 4", "versus manual",
+            "Alignment internals",
+        ):
+            assert heading in report_text
+
+    def test_headline_numbers_present(self, report_text):
+        assert "| overall | 731 | 236 | 32% |" in report_text
+        assert "**3/12**" in report_text      # D2C
+        assert "**12/12**" in report_text     # learned + alignment
+        assert "| network_firewall | 5/45 | 45/45 |" in report_text
+
+    def test_fig4_counts(self, report_text):
+        assert "| ec2 | 28 |" in report_text
+        assert "| network_firewall | 8 |" in report_text
+        assert "| dynamodb | 7 |" in report_text
+
+    def test_render_is_pure(self):
+        data = collect_report_data(seed=7, include_multicloud=False)
+        assert render_report(data) == render_report(data)
+
+    def test_report_is_markdown_tables(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.count("|") >= 3

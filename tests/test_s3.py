@@ -1,0 +1,154 @@
+"""Tests for the S3-flavoured storage service: the keyed-object domain."""
+
+import pytest
+
+from repro.alignment import diff_traces, TraceBuilder
+from repro.cloud import make_cloud
+from repro.core import build_learned_emulator
+
+
+@pytest.fixture(scope="module")
+def build():
+    return build_learned_emulator("s3", mode="constrained", seed=7)
+
+
+@pytest.fixture
+def emulator(build):
+    return build.make_backend()
+
+
+class TestPipeline:
+    def test_extraction_and_alignment(self, build):
+        assert len(build.module.machines) == 5
+        assert build.alignment is not None
+        assert build.alignment.converged
+
+    def test_full_differential_pass_is_clean(self, build):
+        traces, __ = TraceBuilder(build.module).build_all()
+        report = diff_traces(make_cloud("s3"), build.make_backend(),
+                             traces)
+        assert report.divergences == []
+
+
+class TestBucketSemantics:
+    def test_object_lifecycle(self, emulator):
+        bucket = emulator.invoke("CreateBucket", {"BucketName": "logs"})
+        bucket_id = bucket.data["id"]
+        assert emulator.invoke(
+            "PutObject",
+            {"BucketId": bucket_id, "ObjectKey": "a.txt",
+             "Body": "hello"},
+        ).success
+        got = emulator.invoke(
+            "GetObject", {"BucketId": bucket_id, "ObjectKey": "a.txt"}
+        )
+        assert got.data["value"] == "hello"
+        missing = emulator.invoke(
+            "GetObject", {"BucketId": bucket_id, "ObjectKey": "b.txt"}
+        )
+        assert missing.error_code == "NoSuchKey"
+
+    def test_bucket_not_empty_guard(self, emulator):
+        bucket = emulator.invoke("CreateBucket", {"BucketName": "b"})
+        bucket_id = bucket.data["id"]
+        emulator.invoke(
+            "PutObject",
+            {"BucketId": bucket_id, "ObjectKey": "k", "Body": "v"},
+        )
+        delete = emulator.invoke("DeleteBucket", {"BucketId": bucket_id})
+        assert delete.error_code == "BucketNotEmpty"
+        emulator.invoke(
+            "DeleteObject", {"BucketId": bucket_id, "ObjectKey": "k"}
+        )
+        assert emulator.invoke("DeleteBucket",
+                               {"BucketId": bucket_id}).success
+
+    def test_versioning_toggle(self, emulator):
+        bucket = emulator.invoke("CreateBucket", {"BucketName": "b"})
+        bad = emulator.invoke(
+            "PutBucketVersioning",
+            {"BucketId": bucket.data["id"], "Versioning": "Maybe"},
+        )
+        assert bad.error_code == (
+            "IllegalVersioningConfigurationException"
+        )
+        assert emulator.invoke(
+            "PutBucketVersioning",
+            {"BucketId": bucket.data["id"], "Versioning": "Enabled"},
+        ).success
+        state = emulator.invoke(
+            "GetBucketVersioning", {"BucketId": bucket.data["id"]}
+        )
+        assert state.data["versioning"] == "Enabled"
+
+
+class TestMultipartUpload:
+    @pytest.fixture
+    def upload(self, emulator):
+        bucket = emulator.invoke("CreateBucket", {"BucketName": "b"})
+        upload = emulator.invoke(
+            "CreateMultipartUpload",
+            {"BucketId": bucket.data["id"], "ObjectKey": "big.bin"},
+        )
+        return upload.data["id"]
+
+    def test_part_upload_and_complete(self, emulator, upload):
+        for part in ("1", "2", "3"):
+            assert emulator.invoke(
+                "UploadPart",
+                {"MultipartUploadId": upload, "PartNumber": part},
+            ).success
+        duplicate = emulator.invoke(
+            "UploadPart",
+            {"MultipartUploadId": upload, "PartNumber": "2"},
+        )
+        assert duplicate.error_code == "InvalidPart"
+        assert emulator.invoke(
+            "CompleteMultipartUpload", {"MultipartUploadId": upload}
+        ).success
+
+    def test_no_uploads_after_abort(self, emulator, upload):
+        assert emulator.invoke(
+            "AbortMultipartUpload", {"MultipartUploadId": upload}
+        ).success
+        late = emulator.invoke(
+            "UploadPart",
+            {"MultipartUploadId": upload, "PartNumber": "1"},
+        )
+        assert late.error_code == "NoSuchUpload"
+
+    def test_complete_twice_fails(self, emulator, upload):
+        emulator.invoke("CompleteMultipartUpload",
+                        {"MultipartUploadId": upload})
+        again = emulator.invoke("CompleteMultipartUpload",
+                                {"MultipartUploadId": upload})
+        assert again.error_code == "NoSuchUpload"
+
+
+class TestBucketPolicy:
+    def test_policy_requires_public_access_unblock(self, emulator):
+        bucket = emulator.invoke("CreateBucket", {"BucketName": "b"})
+        bucket_id = bucket.data["id"]
+        denied = emulator.invoke(
+            "PutBucketPolicy",
+            {"BucketId": bucket_id, "PolicyDocument": "{}"},
+        )
+        assert denied.error_code == "AccessDenied"
+        emulator.invoke(
+            "PutPublicAccessBlock",
+            {"BucketId": bucket_id, "PublicAccessBlocked": False},
+        )
+        allowed = emulator.invoke(
+            "PutBucketPolicy",
+            {"BucketId": bucket_id, "PolicyDocument": "{}"},
+        )
+        assert allowed.success
+
+    def test_cloud_agrees_on_policy_guard(self):
+        cloud = make_cloud("s3")
+        bucket = cloud.invoke("CreateBucket", {"BucketName": "b"})
+        denied = cloud.invoke(
+            "PutBucketPolicy",
+            {"BucketId": bucket.data["id"], "PolicyDocument": "{}"},
+        )
+        assert denied.error_code == "AccessDenied"

@@ -1,0 +1,222 @@
+"""Tests for the SM spec lexer and parser against the paper's example."""
+
+import pytest
+
+from repro.spec import (
+    Assert,
+    Call,
+    Compare,
+    If,
+    Name,
+    Not,
+    parse_module,
+    parse_sm,
+    Read,
+    SelfRef,
+    serialize_sm,
+    SpecSyntaxError,
+    Truthy,
+    Write,
+)
+
+PAPER_EXAMPLE = """
+SM public_ip {
+  States status: enum, zone: str, NIC: SM
+    Transitions {
+      CreatePublicIP(arg); //Creates PublicIP
+      AssociateNIC(arg); //attach with a NIC
+      DestroyPublicIP(); } //unassign
+    CreatePublicIP(region: str) {
+      write(status, ASSIGNED);
+      write(zone, region); }
+    AssociateNIC(nic_ref: SM) {
+      assert(zone == nic_ref.zone);
+      call(nic_ref.AttachPublicIP(self));
+      write(NIC, nic_ref); }
+    DestroyPublicIP() {
+      assert(!NIC);
+      write(status, IDLE); } }
+"""
+
+
+class TestPaperExample:
+    """The Fig. 1-style spec from §3 parses with its intended structure."""
+
+    def test_parses(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        assert spec.name == "public_ip"
+
+    def test_states(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        assert spec.state_names() == ["status", "zone", "NIC"]
+        assert spec.state_type("status").kind == "enum"
+        assert spec.state_type("zone").kind == "str"
+        assert spec.state_type("NIC").kind == "sm"
+
+    def test_transitions_defined_after_block_override_stubs(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        assert set(spec.transitions) == {
+            "CreatePublicIP",
+            "AssociateNIC",
+            "DestroyPublicIP",
+        }
+        assert not any(t.is_stub for t in spec.transitions.values())
+
+    def test_create_body(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        body = spec.transitions["CreatePublicIP"].body
+        assert isinstance(body[0], Write)
+        assert body[0].state == "status"
+        assert isinstance(body[0].value, Name)
+        assert body[0].value.ident == "ASSIGNED"
+
+    def test_associate_has_cross_sm_call_with_self(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        body = spec.transitions["AssociateNIC"].body
+        assert isinstance(body[0], Assert)
+        assert isinstance(body[0].pred, Compare)
+        call = body[1]
+        assert isinstance(call, Call)
+        assert call.transition == "AttachPublicIP"
+        assert isinstance(call.args[0], SelfRef)
+
+    def test_destroy_asserts_no_nic(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        body = spec.transitions["DestroyPublicIP"].body
+        assert isinstance(body[0], Assert)
+        assert isinstance(body[0].pred, Not)
+        assert isinstance(body[0].pred.pred, Truthy)
+
+    def test_complexity_metric(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        assert spec.complexity == 3 + 3
+
+
+class TestGrammarFeatures:
+    def test_contained_in_hierarchy(self):
+        spec = parse_sm(
+            "SM subnet contained_in vpc { States cidr: str Transitions { } }"
+        )
+        assert spec.parent == "vpc"
+
+    def test_enum_with_values_and_default(self):
+        spec = parse_sm(
+            "SM x { States state: enum(pending, available) = pending "
+            "Transitions { } }"
+        )
+        decl = spec.states[0]
+        assert decl.type.enum_values == ("pending", "available")
+        assert decl.default is not None
+
+    def test_typed_sm_reference(self):
+        spec = parse_sm("SM x { States v: SM<vpc> Transitions { } }")
+        assert spec.states[0].type.sm_name == "vpc"
+        assert spec.referenced_sms() == {"vpc"}
+
+    def test_error_code_annotation(self):
+        spec = parse_sm(
+            "SM x { States s: str Transitions { "
+            'T() { assert(s == "a") : DependencyViolation("still attached"); } } }'
+        )
+        stmt = spec.transitions["T"].body[0]
+        assert stmt.error_code == "DependencyViolation"
+        assert stmt.message == "still attached"
+
+    def test_dotted_error_code(self):
+        spec = parse_sm(
+            "SM x { States s: str Transitions { "
+            "T() { assert(!s) : InvalidSubnet.Range; } } }"
+        )
+        assert spec.transitions["T"].body[0].error_code == "InvalidSubnet.Range"
+
+    def test_if_else(self):
+        spec = parse_sm(
+            "SM x { States s: str Transitions { "
+            'T(v: str) { if (v == "a") { write(s, v); } else { read(s, out); } } } }'
+        )
+        stmt = spec.transitions["T"].body[0]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.then[0], Write)
+        assert isinstance(stmt.orelse[0], Read)
+
+    def test_category_annotation(self):
+        spec = parse_sm(
+            "SM x { States s: str Transitions { @create T() { write(s, null); } } }"
+        )
+        assert spec.transitions["T"].category == "create"
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_sm("SM x { States s: str Transitions { @banana T(); } }")
+
+    def test_builtin_function_in_predicate(self):
+        spec = parse_sm(
+            "SM x { States cidr: str Transitions { "
+            "T(c: str) { assert(valid_cidr(c) && prefix_len(c) <= 28) "
+            ": InvalidSubnet.Range; write(cidr, c); } } }"
+        )
+        assert spec.transitions["T"].body[0].error_code == "InvalidSubnet.Range"
+
+    def test_boolean_operators_precedence(self):
+        spec = parse_sm(
+            "SM x { States a: bool, b: bool, c: bool Transitions { "
+            "T() { assert(a && b || c); } } }"
+        )
+        pred = spec.transitions["T"].body[0].pred
+        # (a && b) || c
+        assert type(pred).__name__ == "Or"
+
+    def test_emit(self):
+        spec = parse_sm(
+            "SM x { States s: str Transitions { T() { emit(vpcId, id); } } }"
+        )
+        assert spec.transitions["T"].body[0].key == "vpcId"
+
+    def test_multiple_sms_in_module(self):
+        module = parse_module(
+            "SM a { States s: str Transitions { } } "
+            "SM b { States t: str Transitions { } }"
+        )
+        assert set(module.machines) == {"a", "b"}
+
+    def test_transition_index_maps_api_to_sm(self):
+        module = parse_module(
+            "SM a { States s: str Transitions { MakeA(); } } "
+            "SM b { States t: str Transitions { MakeB(); } }"
+        )
+        index = module.transition_index()
+        assert index["MakeA"][0] == "a"
+        assert index["MakeB"][0] == "b"
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "SM {",  # missing name
+            "SM x { States s str Transitions { } }",  # missing colon
+            "SM x { States s: str Transitions { T() { write(s); } } }",  # arity
+            "SM x { States s: str Transitions { T() { frobnicate(s, 1); } } }",
+            'SM x { States s: str Transitions { T() { write(s, "unterminated); } } }',
+            "SM x { States s: wibble Transitions { } }",  # unknown type
+            "SM x { States s: str Transitions { T() { call(s); } } }",  # bad call
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(SpecSyntaxError):
+            parse_sm(source)
+
+    def test_error_carries_location(self):
+        with pytest.raises(SpecSyntaxError) as exc_info:
+            parse_sm("SM x {\n  States s str\n}")
+        assert exc_info.value.line >= 2
+
+
+class TestRoundTrip:
+    def test_paper_example_round_trips(self):
+        spec = parse_sm(PAPER_EXAMPLE)
+        text = serialize_sm(spec)
+        again = parse_sm(text)
+        assert again.state_names() == spec.state_names()
+        assert set(again.transitions) == set(spec.transitions)
+        assert serialize_sm(again) == text

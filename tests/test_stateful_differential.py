@@ -1,0 +1,179 @@
+"""Stateful differential property testing: emulator vs cloud.
+
+A hypothesis state machine drives the *aligned* learned emulator and
+the reference cloud in lock-step through random—but id-coherent—EC2
+operation sequences. After every operation the outcomes must match
+(success, error code), and bound identifiers must stay positionally
+consistent. This is a much broader behavioural net than the fixed
+evaluation traces.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    rule,
+    RuleBasedStateMachine,
+)
+from hypothesis import strategies as st
+
+from repro.cloud import make_cloud
+from repro.core import build_learned_emulator
+
+_BUILD = build_learned_emulator("ec2", mode="constrained", seed=7)
+
+CIDRS = st.sampled_from([
+    "10.0.0.0/16", "10.1.0.0/16", "10.0.1.0/24", "10.0.2.0/24",
+    "10.0.0.0/29", "not-a-cidr", "192.168.1.0/24",
+])
+INSTANCE_TYPES = st.sampled_from(["t2.micro", "m5.large", "z9-bogus"])
+BOOLS = st.booleans()
+
+
+class DifferentialMachine(RuleBasedStateMachine):
+    """Each rule performs one API call on both backends and compares."""
+
+    vpcs = Bundle("vpcs")
+    subnets = Bundle("subnets")
+    instances = Bundle("instances")
+    gateways = Bundle("gateways")
+
+    def __init__(self):
+        super().__init__()
+        self.emulator = _BUILD.make_backend()
+        self.cloud = make_cloud("ec2")
+
+    def _both(self, api: str, cloud_params: dict, emulator_params: dict):
+        cloud_response = self.cloud.invoke(api, cloud_params)
+        emulator_response = self.emulator.invoke(api, emulator_params)
+        assert cloud_response.success == emulator_response.success, (
+            f"{api}: cloud={cloud_response.error_code or 'ok'} "
+            f"emulator={emulator_response.error_code or 'ok'} "
+            f"(cloud msg: {cloud_response.error_message})"
+        )
+        if not cloud_response.success:
+            assert cloud_response.error_code == (
+                emulator_response.error_code
+            ), api
+        return cloud_response, emulator_response
+
+    def _pair(self, cloud_response, emulator_response):
+        """A (cloud id, emulator id) pair for bundle storage."""
+        if cloud_response.success and "id" in cloud_response.data:
+            return (str(cloud_response.data["id"]),
+                    str(emulator_response.data["id"]))
+        return None
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(target=vpcs, cidr=CIDRS)
+    def create_vpc(self, cidr):
+        responses = self._both(
+            "CreateVpc", {"CidrBlock": cidr}, {"CidrBlock": cidr}
+        )
+        return self._pair(*responses) or ("dangling", "dangling")
+
+    @rule(target=subnets, vpc=vpcs, cidr=CIDRS)
+    def create_subnet(self, vpc, cidr):
+        cloud_vpc, emulator_vpc = vpc
+        responses = self._both(
+            "CreateSubnet",
+            {"VpcId": cloud_vpc, "CidrBlock": cidr},
+            {"VpcId": emulator_vpc, "CidrBlock": cidr},
+        )
+        return self._pair(*responses) or ("dangling", "dangling")
+
+    @rule(target=gateways)
+    def create_gateway(self):
+        responses = self._both("CreateInternetGateway", {}, {})
+        return self._pair(*responses) or ("dangling", "dangling")
+
+    @rule(gateway=gateways, vpc=vpcs)
+    def attach_gateway(self, gateway, vpc):
+        self._both(
+            "AttachInternetGateway",
+            {"InternetGatewayId": gateway[0], "VpcId": vpc[0]},
+            {"InternetGatewayId": gateway[1], "VpcId": vpc[1]},
+        )
+
+    @rule(gateway=gateways)
+    def detach_gateway(self, gateway):
+        self._both(
+            "DetachInternetGateway",
+            {"InternetGatewayId": gateway[0]},
+            {"InternetGatewayId": gateway[1]},
+        )
+
+    @rule(vpc=vpcs)
+    def delete_vpc(self, vpc):
+        self._both("DeleteVpc", {"VpcId": vpc[0]}, {"VpcId": vpc[1]})
+
+    @rule(subnet=subnets)
+    def delete_subnet(self, subnet):
+        self._both("DeleteSubnet", {"SubnetId": subnet[0]},
+                   {"SubnetId": subnet[1]})
+
+    @rule(target=instances, subnet=subnets, instance_type=INSTANCE_TYPES)
+    def run_instance(self, subnet, instance_type):
+        responses = self._both(
+            "RunInstances",
+            {"SubnetId": subnet[0], "ImageId": "ami-1",
+             "InstanceType": instance_type},
+            {"SubnetId": subnet[1], "ImageId": "ami-1",
+             "InstanceType": instance_type},
+        )
+        return self._pair(*responses) or ("dangling", "dangling")
+
+    @rule(instance=instances)
+    def stop_instance(self, instance):
+        self._both("StopInstances", {"InstanceId": instance[0]},
+                   {"InstanceId": instance[1]})
+
+    @rule(instance=instances)
+    def start_instance(self, instance):
+        self._both("StartInstances", {"InstanceId": instance[0]},
+                   {"InstanceId": instance[1]})
+
+    @rule(instance=instances)
+    def terminate_instance(self, instance):
+        self._both("TerminateInstances", {"InstanceId": instance[0]},
+                   {"InstanceId": instance[1]})
+
+    @rule(vpc=vpcs, support=BOOLS, hostnames=BOOLS)
+    def modify_vpc_dns(self, vpc, support, hostnames):
+        params0 = {"VpcId": vpc[0], "EnableDnsSupport": support,
+                   "EnableDnsHostnames": hostnames}
+        params1 = {"VpcId": vpc[1], "EnableDnsSupport": support,
+                   "EnableDnsHostnames": hostnames}
+        self._both("ModifyVpcAttribute", params0, params1)
+
+    @rule(vpc=vpcs)
+    def describe_vpc(self, vpc):
+        cloud_response, emulator_response = self._both(
+            "DescribeVpcs", {"VpcId": vpc[0]}, {"VpcId": vpc[1]}
+        )
+        if cloud_response.success:
+            # Scalar attributes must agree field by field.
+            for key, value in cloud_response.data.items():
+                if isinstance(value, (bool, int)) or (
+                    isinstance(value, str) and "-" not in value
+                ):
+                    assert emulator_response.data.get(key) == value, key
+
+
+DifferentialMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)
+
+TestDifferential = DifferentialMachine.TestCase
+
+
+@pytest.mark.parametrize("seed", [11, 22])
+def test_long_random_walk(seed):
+    """A longer scripted random walk with the fuzzer's machinery."""
+    from repro.alignment import RandomFuzzer
+
+    report = RandomFuzzer(_BUILD.module, seed=seed).run(
+        make_cloud("ec2"), _BUILD.make_backend(), budget=600
+    )
+    assert report.divergence_count == 0

@@ -1,0 +1,128 @@
+"""Tests for the persistence layer and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import build_learned_emulator
+from repro.core.store import (
+    load_module,
+    save_build,
+    save_module,
+    StoreError,
+)
+
+
+@pytest.fixture(scope="module")
+def nfw_build():
+    return build_learned_emulator("network_firewall", seed=7)
+
+
+class TestStore:
+    def test_save_and_reload(self, nfw_build, tmp_path):
+        save_build(nfw_build, tmp_path / "emu")
+        saved = load_module(tmp_path / "emu")
+        assert set(saved.module.machines) == set(
+            nfw_build.module.machines
+        )
+        assert saved.notfound_codes == (
+            nfw_build.extraction.notfound_codes
+        )
+        assert saved.manifest["aligned"] is True
+
+    def test_reloaded_emulator_behaves_identically(self, nfw_build,
+                                                   tmp_path):
+        save_build(nfw_build, tmp_path / "emu")
+        saved = load_module(tmp_path / "emu")
+        original = nfw_build.make_backend()
+        reloaded = saved.make_backend()
+        program = [
+            ("CreateFirewallPolicy", {"PolicyName": "p"}),
+            ("CreateFirewall",
+             {"FirewallName": "f",
+              "FirewallPolicyId": "fp-00000001"}),
+            ("DeleteFirewallPolicy", {"FirewallPolicyId": "fp-00000001"}),
+            ("DescribeFirewall", {"FirewallId": "firewall-00000001"}),
+        ]
+        for api, params in program:
+            assert original.invoke(api, params) == reloaded.invoke(
+                api, params
+            ), api
+
+    def test_spec_files_are_readable_dsl(self, nfw_build, tmp_path):
+        root = save_build(nfw_build, tmp_path / "emu")
+        spec_text = (root / "specs" / "firewall.sm").read_text()
+        assert spec_text.startswith("SM firewall")
+        assert "DeleteFirewall" in spec_text
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_module(tmp_path)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError):
+            load_module(tmp_path)
+
+    def test_version_mismatch_rejected(self, nfw_build, tmp_path):
+        root = save_build(nfw_build, tmp_path / "emu")
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError):
+            load_module(root)
+
+    def test_missing_spec_file_rejected(self, nfw_build, tmp_path):
+        root = save_build(nfw_build, tmp_path / "emu")
+        (root / "specs" / "firewall.sm").unlink()
+        with pytest.raises(StoreError):
+            load_module(root)
+
+    def test_save_module_direct(self, nfw_build, tmp_path):
+        save_module(nfw_build.module,
+                    nfw_build.extraction.notfound_codes,
+                    tmp_path / "m")
+        saved = load_module(tmp_path / "m")
+        assert saved.manifest["service"] == "network_firewall"
+
+
+class TestCli:
+    def test_coverage_table(self, capsys):
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "571" in out and "31%" in out
+
+    def test_build_and_save(self, capsys, tmp_path):
+        code = main([
+            "build", "network_firewall", "--out", str(tmp_path / "e"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "machines:  8" in out
+        assert (tmp_path / "e" / "manifest.json").exists()
+
+    def test_traces_command(self, capsys):
+        assert main(["traces", "network_firewall"]) == 0
+        out = capsys.readouterr().out
+        assert "aligned" in out
+
+    def test_decode_command(self, capsys, tmp_path):
+        main(["build", "network_firewall", "--out", str(tmp_path / "e")])
+        capsys.readouterr()
+        code = main([
+            "decode", str(tmp_path / "e"), "DeleteFirewall",
+            "FirewallId=missing",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "does not exist" in out
+
+    def test_complexity_single_service(self, capsys):
+        assert main(["complexity", "network_firewall"]) == 0
+        out = capsys.readouterr().out
+        assert "network_firewall" in out
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build", "skynet"])

@@ -1,0 +1,111 @@
+"""Tests for the static spec validator."""
+
+import pytest
+
+from repro.spec import (
+    collect_violations,
+    parse_module,
+    parse_sm,
+    SpecValidationError,
+    validate_module,
+    validate_sm,
+)
+
+
+def violations_of(source: str) -> list[str]:
+    return collect_violations(parse_module(source))
+
+
+class TestStateRules:
+    def test_clean_spec_passes(self):
+        validate_sm(parse_sm(
+            "SM x { States s: str Transitions { "
+            "@modify T(x_id: str, v: str) { write(s, v); } } }"
+        ))
+
+    def test_write_to_undeclared_state(self):
+        violations = violations_of(
+            "SM x { States s: str Transitions { T() { write(ghost, s); } } }"
+        )
+        assert any("undeclared state 'ghost'" in v for v in violations)
+
+    def test_read_of_undeclared_state(self):
+        violations = violations_of(
+            "SM x { States s: str Transitions { T() { read(ghost, out); } } }"
+        )
+        assert any("read of undeclared state" in v for v in violations)
+
+    def test_duplicate_state_names(self):
+        violations = violations_of(
+            "SM x { States s: str, s: int Transitions { } }"
+        )
+        assert any("duplicate state variable" in v for v in violations)
+
+
+class TestNameResolution:
+    def test_unresolved_name(self):
+        violations = violations_of(
+            "SM x { States s: str Transitions { T() { write(s, ghost); } } }"
+        )
+        assert any("unresolved name 'ghost'" in v for v in violations)
+
+    def test_enum_symbols_resolve(self):
+        assert violations_of(
+            "SM x { States s: str Transitions { T() { write(s, ACTIVE); } } }"
+        ) == []
+
+    def test_read_binds_a_local(self):
+        assert violations_of(
+            "SM x { States s: str, t: str Transitions { "
+            "T() { read(s, v); write(t, v); } } }"
+        ) == []
+
+    def test_params_resolve(self):
+        assert violations_of(
+            "SM x { States s: str Transitions { T(v: str) { write(s, v); } } }"
+        ) == []
+
+    def test_id_is_implicit(self):
+        assert violations_of(
+            "SM x { States s: str Transitions { T() { write(s, id); } } }"
+        ) == []
+
+
+class TestFunctionsAndCalls:
+    def test_unknown_builtin(self):
+        violations = violations_of(
+            "SM x { States s: str Transitions { "
+            "T(v: str) { assert(frob(v)); } } }"
+        )
+        assert any("unknown builtin" in v for v in violations)
+
+    def test_call_on_non_sm_value(self):
+        violations = violations_of(
+            "SM x { States s: str Transitions { "
+            "T(v: str) { call(v.Frob(self)); } } }"
+        )
+        assert any("not an SM reference" in v for v in violations)
+
+    def test_call_to_unknown_transition_cross_module(self):
+        violations = violations_of(
+            "SM a { States s: str Transitions { "
+            "T(r: SM<b>) { call(r.Ghost(self)); } } }"
+            "SM b { States t: str Transitions { Real(); } }"
+        )
+        assert any("unknown transition b.Ghost" in v for v in violations)
+
+    def test_call_to_known_transition_passes(self):
+        assert violations_of(
+            "SM a { States s: str Transitions { "
+            "T(r: SM<b>) { call(r.Real(self)); } } }"
+            "SM b { States t: str Transitions { "
+            "Real(peer: SM<a>) { write(t, peer); } } }"
+        ) == []
+
+    def test_validate_module_raises(self):
+        module = parse_module(
+            "SM x { States s: str Transitions { T() { write(ghost, s); } } }"
+        )
+        with pytest.raises(SpecValidationError) as exc_info:
+            validate_module(module)
+        assert exc_info.value.violations
