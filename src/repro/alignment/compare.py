@@ -18,6 +18,7 @@ import re
 from dataclasses import dataclass
 
 from ..interpreter.errors import ApiResponse
+from ..resilience.errors import TRANSIENT_CODES
 from ..scenarios.model import TraceRun
 
 #: Matches both backends' generated identifiers: ``subnet-00000001``,
@@ -25,6 +26,18 @@ from ..scenarios.model import TraceRun
 _TOKEN = re.compile(r"^[A-Za-z_]{1,40}-[0-9a-f]{6,}$")
 
 _OPAQUE = "<token>"
+
+
+def is_transient_failure(response: ApiResponse) -> bool:
+    """Whether a response is infrastructure weather, not behaviour.
+
+    Throttles, 5xx and timeouts say nothing about the specification
+    under alignment — a resilient client retries them, and the differ
+    must never hand one to diagnosis as if it were a semantic
+    divergence.  Both backends' *behavioural* error codes (not-found,
+    dependency violations, validation failures) are never transient.
+    """
+    return not response.success and response.error_code in TRANSIENT_CODES
 
 
 def normalize_value(value: object, env_inverse: dict[str, str]) -> object:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from ..interpreter.errors import ApiResponse
 from ..scenarios.model import run_trace, Trace
-from .compare import compare_runs, TraceComparison
+from .compare import compare_runs, is_transient_failure, TraceComparison
 
 
 @dataclass
@@ -63,14 +63,27 @@ class DiffReport:
     aligned: int = 0
     divergences: list[Divergence] = field(default_factory=list)
     comparisons: list[TraceComparison] = field(default_factory=list)
+    #: Divergent steps dropped because the cloud side failed
+    #: transiently (only counted when ``skip_transient`` is on).
+    transient_skips: int = 0
 
     @property
     def alignment_ratio(self) -> float:
         return self.aligned / self.compared if self.compared else 1.0
 
 
-def diff_traces(cloud, emulator, traces: list[Trace]) -> DiffReport:
-    """Run every trace on both backends and collect divergences."""
+def diff_traces(
+    cloud, emulator, traces: list[Trace], skip_transient: bool = False
+) -> DiffReport:
+    """Run every trace on both backends and collect divergences.
+
+    ``skip_transient`` is set by chaos-mode alignment: a divergent
+    step whose cloud response is a throttle/5xx/timeout that leaked
+    through the retry layer is weather, not behaviour — it is counted
+    in ``transient_skips`` instead of becoming a divergence, so the
+    repair machinery never "fixes" the spec against infrastructure
+    noise.
+    """
     report = DiffReport()
     for trace in traces:
         cloud_run = run_trace(cloud, trace)
@@ -82,6 +95,11 @@ def diff_traces(cloud, emulator, traces: list[Trace]) -> DiffReport:
             report.aligned += 1
             continue
         index = comparison.divergent_step_index
+        if skip_transient and is_transient_failure(
+            cloud_run.results[index].response
+        ):
+            report.transient_skips += 1
+            continue
         report.divergences.append(
             Divergence(
                 trace=trace,

@@ -1,5 +1,13 @@
 """The closed alignment loop (§4.3): trace, diff, diagnose, repair,
 repeat — continuously improving emulator fidelity against the cloud.
+
+The loop talks to the *real* cloud, so it is built to survive bad
+weather: under an active chaos profile the cloud is wrapped in the
+chaos + retry layers, transient divergences are skipped rather than
+repaired, completed rounds are checkpointed, and a fault that escapes
+mid-round resumes the loop at the failed round instead of restarting
+from scratch.  Everything absorbed is accounted in the report's
+:class:`~repro.resilience.stats.ResilienceStats`.
 """
 
 from __future__ import annotations
@@ -10,6 +18,17 @@ from ..cloud.engine import ReferenceCloud
 from ..docs.model import ServiceDoc
 from ..interpreter.emulator import Emulator
 from ..llm.client import SimulatedLLM
+from ..resilience.chaos import (
+    ChaosEngine,
+    ChaosLLM,
+    ChaosProfile,
+    ChaosProxy,
+    resolve_profile,
+)
+from ..resilience.errors import ResilienceError
+from ..resilience.policy import RetryPolicy
+from ..resilience.resilient import ResilientBackend, ResilientLLM
+from ..resilience.stats import ResilienceStats
 from ..spec import ast
 from ..spec.validator import collect_violations
 from .diagnose import apply_repair, diagnose, Diagnosis, Repair
@@ -28,6 +47,28 @@ class AlignmentRound:
     diagnoses: list[Diagnosis] = field(default_factory=list)
     repairs: list[Repair] = field(default_factory=list)
     coverage: ClassCoverage | None = None
+    #: Set when the round was abandoned after repeated faults: the
+    #: loop degraded past it instead of crashing the whole run.
+    faulted: str = ""
+
+
+@dataclass
+class AlignmentCheckpoint:
+    """Progress ledger: which rounds completed, what each one cost.
+
+    A mid-round fault rolls the loop back to this ledger — completed
+    rounds (and the repairs they applied to the module) are never
+    redone; only the interrupted round re-runs.
+    """
+
+    completed_rounds: list[int] = field(default_factory=list)
+    #: round index -> times it was restarted after a fault.
+    restarts: dict[int, int] = field(default_factory=dict)
+
+    def record_fault(self, round_index: int) -> int:
+        count = self.restarts.get(round_index, 0) + 1
+        self.restarts[round_index] = count
+        return count
 
 
 @dataclass
@@ -37,6 +78,12 @@ class AlignmentReport:
     rounds: list[AlignmentRound] = field(default_factory=list)
     converged: bool = False
     validator_violations: list[str] = field(default_factory=list)
+    #: What the resilience layer absorbed (all-zero when chaos is off).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    checkpoint: AlignmentCheckpoint = field(
+        default_factory=AlignmentCheckpoint
+    )
+    chaos_profile: str = "off"
 
     @property
     def total_divergences(self) -> int:
@@ -56,6 +103,40 @@ class AlignmentReport:
         )
 
 
+def _run_round(
+    round_index: int,
+    module: ast.SpecModule,
+    notfound_codes: dict[str, str],
+    service_doc: ServiceDoc,
+    llm,
+    cloud_factory,
+    skip_transient: bool,
+) -> AlignmentRound:
+    """One full iteration: enumerate, trace, diff, diagnose, repair."""
+    builder = TraceBuilder(module)
+    traces, coverage = builder.build_all()
+    cloud = cloud_factory()
+    emulator = Emulator(module, notfound_codes=notfound_codes)
+    diff = diff_traces(cloud, emulator, traces,
+                       skip_transient=skip_transient)
+    round_report = AlignmentRound(
+        index=round_index, traces=len(traces), diff=diff,
+        coverage=coverage,
+    )
+    repaired_targets: set[tuple[str, str]] = set()
+    for divergence in diff.divergences:
+        diagnosis = diagnose(divergence, module, service_doc, llm)
+        round_report.diagnoses.append(diagnosis)
+        key = (diagnosis.sm, diagnosis.api)
+        if key in repaired_targets:
+            continue
+        repair = apply_repair(diagnosis, module, service_doc)
+        if repair is not None:
+            round_report.repairs.append(repair)
+            repaired_targets.add(key)
+    return round_report
+
+
 def align_module(
     module: ast.SpecModule,
     notfound_codes: dict[str, str],
@@ -64,6 +145,9 @@ def align_module(
     cloud_factory=None,
     cloud_seed: int = 11,
     max_rounds: int = 4,
+    chaos: ChaosProfile | str | None = None,
+    resilience_policy: RetryPolicy | None = None,
+    max_round_restarts: int = 3,
 ) -> AlignmentReport:
     """Run the alignment loop in place on ``module``.
 
@@ -78,37 +162,74 @@ def align_module(
     the cloud enforces behaviour the documentation may not mention.
     When ``cloud_factory`` is omitted, the reference cloud for the
     module's service catalog is used.
+
+    ``chaos`` selects a fault-injection profile (a profile, a name, or
+    ``None`` to read ``REPRO_CHAOS_PROFILE`` / default off).  Under an
+    active profile the cloud and the LLM are wrapped in the chaos +
+    retry layers; a fault that still escapes restarts only the current
+    round (completed rounds are checkpointed), and a round that faults
+    more than ``max_round_restarts`` times is marked ``faulted`` and
+    skipped rather than crashing the loop.
     """
     if cloud_factory is None:
         from ..docs import build_catalog
 
         catalog = build_catalog(module.service)
         cloud_factory = lambda: ReferenceCloud(catalog, seed=cloud_seed)  # noqa: E731
-    report = AlignmentReport()
-    for round_index in range(max_rounds):
-        builder = TraceBuilder(module)
-        traces, coverage = builder.build_all()
-        cloud = cloud_factory()
-        emulator = Emulator(module, notfound_codes=notfound_codes)
-        diff = diff_traces(cloud, emulator, traces)
-        round_report = AlignmentRound(
-            index=round_index, traces=len(traces), diff=diff,
-            coverage=coverage,
+
+    profile = resolve_profile(chaos)
+    stats = ResilienceStats()
+    chaotic = profile.active
+    if chaotic:
+        engine = ChaosEngine(profile, seed=cloud_seed)
+        llm = ResilientLLM(
+            ChaosLLM(llm, engine),
+            policy=resilience_policy,
+            stats=stats,
+            seed=cloud_seed,
         )
+        base_factory = cloud_factory
+        cloud_factory = lambda: ResilientBackend(  # noqa: E731
+            _chaos_wrap(base_factory(), engine),
+            policy=resilience_policy,
+            stats=stats,
+            seed=cloud_seed,
+        )
+
+    report = AlignmentReport(resilience=stats, chaos_profile=profile.name)
+    checkpoint = report.checkpoint
+    round_index = 0
+    while round_index < max_rounds:
+        try:
+            round_report = _run_round(
+                round_index, module, notfound_codes, service_doc, llm,
+                cloud_factory, skip_transient=chaotic,
+            )
+        except ResilienceError as fault:
+            # Mid-round fault: resume from the checkpoint — completed
+            # rounds (and their repairs) stand; only this round re-runs.
+            stats.round_restarts += 1
+            if checkpoint.record_fault(round_index) > max_round_restarts:
+                report.rounds.append(
+                    AlignmentRound(
+                        index=round_index, traces=0, diff=DiffReport(),
+                        faulted=str(fault),
+                    )
+                )
+                round_index += 1
+            continue
         report.rounds.append(round_report)
-        if not diff.divergences:
+        checkpoint.completed_rounds.append(round_index)
+        if not round_report.diff.divergences:
             report.converged = True
             break
-        repaired_targets: set[tuple[str, str]] = set()
-        for divergence in diff.divergences:
-            diagnosis = diagnose(divergence, module, service_doc, llm)
-            round_report.diagnoses.append(diagnosis)
-            key = (diagnosis.sm, diagnosis.api)
-            if key in repaired_targets:
-                continue
-            repair = apply_repair(diagnosis, module, service_doc)
-            if repair is not None:
-                round_report.repairs.append(repair)
-                repaired_targets.add(key)
+        round_index += 1
     report.validator_violations = collect_violations(module)
     return report
+
+
+def _chaos_wrap(backend, engine: ChaosEngine):
+    """Wrap a backend in chaos unless the factory already did."""
+    if isinstance(backend, ChaosProxy):
+        return backend
+    return ChaosProxy(backend, engine)

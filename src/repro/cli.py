@@ -26,19 +26,33 @@ def _cmd_build(args: argparse.Namespace) -> int:
     from .core import build_learned_emulator
     from .core.store import save_build
 
-    build = build_learned_emulator(
-        args.service, mode=args.mode, seed=args.seed,
-        align=not args.no_align,
-    )
+    try:
+        build = build_learned_emulator(
+            args.service, mode=args.mode, seed=args.seed,
+            align=not args.no_align, chaos=args.chaos,
+        )
+    except ValueError as error:
+        # e.g. an unknown profile name in $REPRO_CHAOS_PROFILE.
+        print(f"repro build: error: {error}", file=sys.stderr)
+        return 2
     print(f"service:   {args.service}")
     print(f"machines:  {len(build.module.machines)}")
     print(f"apis:      {build.api_count}")
     print(f"llm calls: {build.llm.usage.requests} "
-          f"({build.llm.usage.prompt_tokens} prompt tokens)")
+          f"({build.llm.usage.prompt_tokens} prompt tokens, "
+          f"{build.llm.usage.failed_requests} failed)")
     if build.alignment is not None:
         print(f"alignment: {len(build.alignment.rounds)} round(s), "
               f"{build.alignment.total_repairs} repair(s), "
               f"converged={build.alignment.converged}")
+    resilience = build.resilience
+    if not resilience.clean:
+        quarantined = build.extraction.quarantined
+        print(f"resilience: {resilience.retries} retried, "
+              f"{resilience.gave_ups} gave up, "
+              f"{resilience.round_restarts} round restart(s), "
+              f"{len(quarantined)} quarantined"
+              + (f" ({', '.join(quarantined)})" if quarantined else ""))
     if args.out:
         path = save_build(build, args.out)
         print(f"saved to:  {path}")
@@ -167,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
                                 "perfect"))
     build.add_argument("--seed", type=int, default=7)
     build.add_argument("--no-align", action="store_true")
+    build.add_argument("--chaos", default=None,
+                       choices=("off", "mild", "hostile"),
+                       help="fault-injection profile (default: "
+                            "$REPRO_CHAOS_PROFILE or off)")
     build.add_argument("--out", help="directory to save the emulator to")
     build.set_defaults(func=_cmd_build)
 

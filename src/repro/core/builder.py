@@ -17,6 +17,9 @@ from ..docs.model import ServiceDoc
 from ..extraction.pipeline import ExtractionOutcome, run_extraction
 from ..interpreter.emulator import Emulator
 from ..llm.client import make_llm, SimulatedLLM
+from ..resilience.chaos import ChaosProfile, resolve_profile
+from ..resilience.policy import RetryPolicy
+from ..resilience.stats import ResilienceStats
 
 
 @dataclass
@@ -36,6 +39,15 @@ class LearnedEmulatorBuild:
     def api_count(self) -> int:
         return len(self.module.api_names())
 
+    @property
+    def resilience(self) -> ResilienceStats:
+        """Combined resilience accounting across both pipeline phases."""
+        stats = ResilienceStats()
+        stats.merge(self.extraction.resilience)
+        if self.alignment is not None:
+            stats.merge(self.alignment.resilience)
+        return stats
+
     def make_backend(self) -> Emulator:
         """A fresh emulator instance over the learned specification."""
         return Emulator(self.module,
@@ -50,13 +62,21 @@ def build_learned_emulator(
     checks_enabled: bool = True,
     alignment_rounds: int = 4,
     service_doc: ServiceDoc | None = None,
+    chaos: ChaosProfile | str | None = None,
+    resilience_policy: RetryPolicy | None = None,
 ) -> LearnedEmulatorBuild:
     """Run the full learned-emulator workflow for one service.
 
     ``mode`` selects the generation configuration (``constrained``,
     ``reprompt``, ``direct``, ``perfect``); ``align=False`` stops after
     extraction + checks (the "without alignment" variant of §5).
+
+    ``chaos`` selects a fault-injection profile for both phases (a
+    profile, a name, or ``None`` to read ``REPRO_CHAOS_PROFILE`` /
+    default off); each phase wraps its remote dependency independently
+    and reports what its resilience layer absorbed.
     """
+    profile = resolve_profile(chaos)
     llm = make_llm(mode, seed=seed)
     if service_doc is None:
         catalog = build_catalog(service)
@@ -68,6 +88,8 @@ def build_learned_emulator(
         llm=llm,
         service_doc=service_doc,
         checks_enabled=checks_enabled,
+        chaos=profile,
+        resilience_policy=resilience_policy,
     )
     alignment: AlignmentReport | None = None
     if align:
@@ -78,6 +100,8 @@ def build_learned_emulator(
             llm,
             cloud_factory=lambda: make_cloud(service),
             max_rounds=alignment_rounds,
+            chaos=profile,
+            resilience_policy=resilience_policy,
         )
     return LearnedEmulatorBuild(
         service=service, extraction=extraction, alignment=alignment, llm=llm

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..docs.model import ServiceDoc
+from ..docs.model import ResourceDoc, ServiceDoc
 from ..llm.client import SimulatedLLM
 from ..llm.prompting import synthesize_with_reprompt, SynthesisResult
-from ..llm.synthesis import HelperRequirement
+from ..llm.synthesis import (
+    attribute_state_type,
+    GenerationReport,
+    HelperRequirement,
+)
+from ..resilience.errors import ResilienceError
+from ..resilience.stats import ResilienceStats
 from ..spec import ast
+from ..spec.errors import SpecSyntaxError
 from .dependency import extraction_order
 
 
@@ -29,6 +36,10 @@ class ExtractionState:
     helper_requirements: list[HelperRequirement] = field(default_factory=list)
     results: dict[str, SynthesisResult] = field(default_factory=dict)
     order: list[str] = field(default_factory=list)
+    #: Resources whose generation failed persistently; their specs are
+    #: stubs (state only, no transitions) so the rest of the service
+    #: stays usable — graceful degradation instead of a crashed run.
+    quarantined: list[str] = field(default_factory=list)
 
     @property
     def total_attempts(self) -> int:
@@ -42,12 +53,60 @@ class ExtractionState:
         ]
 
 
+def stub_spec(resource: ResourceDoc) -> ast.SMSpec:
+    """A degraded stand-in SM for a resource generation gave up on.
+
+    Carries the documented state variables (so helper patching and
+    linking still work when other SMs reference it) but no
+    transitions: the emulator answers ``InvalidAction`` for its APIs
+    instead of the whole service build crashing.
+    """
+    states = [
+        ast.StateDecl(attr.name, attribute_state_type(attr), None)
+        for attr in resource.attributes
+    ]
+    return ast.SMSpec(
+        name=resource.name,
+        states=states,
+        transitions={},
+        parent=resource.parent,
+        doc=f"quarantined stub for {resource.name}",
+    )
+
+
+def quarantine_resource(
+    state: ExtractionState,
+    resource: ResourceDoc,
+    attempts: int,
+    stats: ResilienceStats | None = None,
+) -> None:
+    """Record a persistently failing resource and install its stub."""
+    if resource.name not in state.quarantined:
+        state.quarantined.append(resource.name)
+    if stats is not None:
+        stats.quarantined += 1
+    spec = stub_spec(resource)
+    report = GenerationReport(resource=resource.name, quarantined=True)
+    state.specs[resource.name] = spec
+    state.results[resource.name] = SynthesisResult(
+        spec=spec, report=report, attempts=attempts
+    )
+
+
 def extract_incrementally(
     llm: SimulatedLLM,
     service_doc: ServiceDoc,
     max_attempts: int = 4,
+    quarantine: bool = False,
+    stats: ResilienceStats | None = None,
 ) -> ExtractionState:
-    """Generate one SM per documented resource, dependencies first."""
+    """Generate one SM per documented resource, dependencies first.
+
+    With ``quarantine`` enabled, a resource whose generation fails
+    persistently (syntax budget exhausted, retries exhausted, breaker
+    open) is stubbed out and listed in ``state.quarantined`` instead
+    of aborting the whole service.
+    """
     state = ExtractionState(
         service=service_doc.name, provider=service_doc.provider
     )
@@ -55,7 +114,13 @@ def extract_incrementally(
     by_name = {res.name: res for res in service_doc.resources}
     for name in state.order:
         resource = by_name[name]
-        result = synthesize_with_reprompt(llm, resource, max_attempts)
+        try:
+            result = synthesize_with_reprompt(llm, resource, max_attempts)
+        except (SpecSyntaxError, ResilienceError):
+            if not quarantine:
+                raise
+            quarantine_resource(state, resource, max_attempts, stats)
+            continue
         state.specs[name] = result.spec
         state.results[name] = result
         state.helper_requirements.extend(result.report.helpers_needed)

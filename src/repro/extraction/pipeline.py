@@ -14,10 +14,20 @@ from ..docs import build_catalog, render_docs, wrangle
 from ..docs.model import ServiceDoc
 from ..interpreter.emulator import Emulator
 from ..llm.client import make_llm, SimulatedLLM
+from ..resilience.chaos import ChaosEngine, ChaosLLM, ChaosProfile, resolve_profile
+from ..resilience.errors import ResilienceError
+from ..resilience.policy import RetryPolicy
+from ..resilience.resilient import ResilientLLM
+from ..resilience.stats import ResilienceStats
 from ..spec import ast
 from ..spec.validator import collect_violations
 from .checks import CheckViolation, run_checks
-from .incremental import extract_incrementally, ExtractionState, regenerate_resource
+from .incremental import (
+    extract_incrementally,
+    ExtractionState,
+    quarantine_resource,
+    regenerate_resource,
+)
 from .linking import link_module, LinkResult
 
 
@@ -34,6 +44,10 @@ class ExtractionOutcome:
     remaining_violations: list[CheckViolation] = field(default_factory=list)
     corrected_resources: list[str] = field(default_factory=list)
     validator_violations: list[str] = field(default_factory=list)
+    #: What the resilience layer absorbed (all-zero when chaos is off).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: The chaos profile the run was executed under.
+    chaos_profile: str = "off"
 
     def build_emulator(self) -> Emulator:
         """Instantiate a fresh emulator over the extracted module."""
@@ -42,6 +56,11 @@ class ExtractionOutcome:
     @property
     def total_llm_attempts(self) -> int:
         return self.state.total_attempts
+
+    @property
+    def quarantined(self) -> list[str]:
+        """Resources degraded to stubs after persistent failures."""
+        return list(self.state.quarantined)
 
 
 def run_extraction(
@@ -53,6 +72,8 @@ def run_extraction(
     checks_enabled: bool = True,
     correction_rounds: int = 3,
     max_attempts: int = 4,
+    chaos: ChaosProfile | str | None = None,
+    resilience_policy: RetryPolicy | None = None,
 ) -> ExtractionOutcome:
     """Run the full pipeline for one service.
 
@@ -60,6 +81,13 @@ def run_extraction(
     otherwise the catalog is built, rendered to provider text, and
     wrangled back — the LLM only ever sees what documentation pages
     carry.
+
+    ``chaos`` selects a fault-injection profile (a profile, a name, or
+    ``None`` to read ``REPRO_CHAOS_PROFILE`` / default off).  Under an
+    active profile the LLM is wrapped in the chaos + retry layers, and
+    resources whose generation fails persistently are quarantined with
+    stub specs instead of aborting the service; the absorbed weather
+    is reported in ``outcome.resilience``.
     """
     if service_doc is None:
         catalog = build_catalog(service)
@@ -72,7 +100,22 @@ def run_extraction(
     if llm is None:
         llm = make_llm(mode, seed=seed)
 
-    state = extract_incrementally(llm, service_doc, max_attempts=max_attempts)
+    profile = resolve_profile(chaos)
+    stats = ResilienceStats()
+    chaotic = profile.active
+    if chaotic:
+        engine = ChaosEngine(profile, seed=seed)
+        llm = ResilientLLM(
+            ChaosLLM(llm, engine),
+            policy=resilience_policy,
+            stats=stats,
+            seed=seed,
+        )
+
+    state = extract_incrementally(
+        llm, service_doc, max_attempts=max_attempts,
+        quarantine=chaotic, stats=stats,
+    )
     link = link_module(state, service_doc)
     outcome = ExtractionOutcome(
         service=service,
@@ -80,6 +123,8 @@ def run_extraction(
         notfound_codes=link.notfound_codes,
         state=state,
         link=link,
+        resilience=stats,
+        chaos_profile=profile.name,
     )
 
     if not checks_enabled:
@@ -92,10 +137,22 @@ def run_extraction(
     while violations and rounds < correction_rounds:
         flagged = sorted({v.resource for v in violations if v.resource})
         for resource_name in flagged:
-            if resource_name in state.specs:
+            if (
+                resource_name not in state.specs
+                or resource_name in state.quarantined
+            ):
+                continue
+            try:
                 regenerate_resource(llm, service_doc, state, resource_name)
-                if resource_name not in outcome.corrected_resources:
-                    outcome.corrected_resources.append(resource_name)
+            except ResilienceError:
+                # Targeted correction kept failing: degrade to a stub
+                # rather than abort the service build.
+                quarantine_resource(
+                    state, service_doc.resource(resource_name), 1, stats
+                )
+                continue
+            if resource_name not in outcome.corrected_resources:
+                outcome.corrected_resources.append(resource_name)
         link = link_module(state, service_doc)
         outcome.module = link.module
         outcome.notfound_codes = link.notfound_codes

@@ -9,6 +9,8 @@ evaluation in a transaction so failures roll back atomically.
 
 from __future__ import annotations
 
+from ..resilience.errors import TransientServiceError
+from ..resilience.policy import Deadline
 from ..spec import ast
 from .errors import (
     ApiResponse,
@@ -66,9 +68,26 @@ class Emulator:
         """Drop all emulated resources (fresh mock cloud)."""
         self.registry = Registry()
 
-    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
-        """Invoke a cloud API against the mock backend."""
+    def invoke(
+        self,
+        api: str,
+        params: dict | None = None,
+        deadline: Deadline | None = None,
+    ) -> ApiResponse:
+        """Invoke a cloud API against the mock backend.
+
+        ``deadline`` bounds the call the way a client-side timeout
+        does: an already-expired deadline fails with ``RequestTimeout``
+        before dispatch (and before any state changes), matching the
+        fail-fast semantics the resilience layer's injected timeouts
+        have.
+        """
         params = params or {}
+        if deadline is not None and deadline.expired():
+            return ApiResponse.fail(
+                "RequestTimeout",
+                f"The call to {api} exceeded its deadline.",
+            )
         entry = self._index.get(api)
         if api.startswith("_"):
             entry = None  # helper transitions are not externally callable
@@ -97,6 +116,12 @@ class Emulator:
                 payload.setdefault(f"{sm_name}_id", subject.id)
         except CloudError as error:
             return error.to_response()
+        except TransientServiceError as error:
+            # An injected (or transport-level) fault inside dispatch:
+            # pass its cloud error code through unchanged so resilient
+            # clients classify it correctly; the transaction is simply
+            # not committed, so state rolls back atomically.
+            return ApiResponse.fail(error.code, error.message)
         txn.commit()
         return ApiResponse.ok(payload)
 

@@ -32,17 +32,30 @@ from .synthesis import GenerationReport, SpecSynthesizer
 
 @dataclass
 class LLMUsage:
-    """Token accounting, for the cost/latency aspects of §5."""
+    """Token accounting, for the cost/latency aspects of §5.
+
+    Failed and retried calls are counted separately in
+    ``failed_requests`` — a request that errored or produced an
+    unusable completion still consumed (and billed) its prompt
+    tokens, so cost accounting must not hide them.
+    """
 
     requests: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    failed_requests: int = 0
 
     def record(self, prompt: str, completion: str) -> None:
         self.requests += 1
         # The standard rough heuristic of ~4 characters per token.
         self.prompt_tokens += max(1, len(prompt) // 4)
         self.completion_tokens += max(1, len(completion) // 4)
+
+    def record_failure(self, prompt: str) -> None:
+        """A call that never returned a usable completion."""
+        self.requests += 1
+        self.failed_requests += 1
+        self.prompt_tokens += max(1, len(prompt) // 4)
 
 
 class LLMClient(Protocol):

@@ -79,6 +79,11 @@ def synthesize_with_reprompt(
         except SpecSyntaxError as error:
             last_error = error
             feedback = str(error)
+            # The attempt consumed tokens but produced nothing usable;
+            # keep the cost accounting honest.
+            usage = getattr(llm, "usage", None)
+            if usage is not None:
+                usage.failed_requests += 1
             continue
         return SynthesisResult(spec=spec, report=report, attempts=attempt + 1)
     raise last_error or SpecSyntaxError("generation failed to parse")

@@ -121,11 +121,18 @@ class GenerationReport:
     helpers_needed: list[HelperRequirement] = field(default_factory=list)
     faults: dict[str, FaultDecision] = field(default_factory=dict)
     dropped_attributes: list[str] = field(default_factory=list)
+    #: Transient model failures absorbed while generating this resource.
+    transient_retries: int = 0
+    #: True when generation failed persistently and this resource's
+    #: spec is a stub (see extraction quarantine).
+    quarantined: bool = False
 
     @property
     def clean(self) -> bool:
-        return not self.dropped_attributes and all(
-            decision.clean for decision in self.faults.values()
+        return (
+            not self.quarantined
+            and not self.dropped_attributes
+            and all(decision.clean for decision in self.faults.values())
         )
 
 

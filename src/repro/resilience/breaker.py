@@ -1,0 +1,108 @@
+"""Per-resource circuit breakers.
+
+When one resource's remote calls fail persistently, hammering it with
+further retries wastes budget and (against a throttling cloud) makes
+the weather worse for every other resource.  The breaker trips after a
+run of consecutive failures, fails fast while open, lets one probe
+through after a cooldown (half-open), and closes again on success.
+
+Time comes from the same clock abstraction the retry policy uses, so
+cooldown behaviour is deterministic and instantly testable.
+"""
+
+from __future__ import annotations
+
+from .errors import CircuitOpenError
+from .policy import VirtualClock
+from .stats import ResilienceStats
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One target's breaker (a resource, an API, a model endpoint)."""
+
+    def __init__(
+        self,
+        target: str = "",
+        failure_threshold: int = 8,
+        cooldown: float = 5.0,
+        clock: VirtualClock | None = None,
+        stats: ResilienceStats | None = None,
+    ):
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock or VirtualClock()
+        self.stats = stats
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def before_call(self) -> None:
+        """Gate a call: raise :class:`CircuitOpenError` while open."""
+        if self.state == OPEN:
+            if self.clock.now() - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN  # admit one probe
+            else:
+                raise CircuitOpenError(self.target)
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.opened_at = self.clock.now()
+        self.trips += 1
+        if self.stats is not None:
+            self.stats.breaker_trips += 1
+
+
+class BreakerBoard:
+    """The per-target breaker registry one resilient client holds."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 8,
+        cooldown: float = 5.0,
+        clock: VirtualClock | None = None,
+        stats: ResilienceStats | None = None,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock or VirtualClock()
+        self.stats = stats
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, target: str) -> CircuitBreaker:
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                target=target,
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+                clock=self.clock,
+                stats=self.stats,
+            )
+            self._breakers[target] = breaker
+        return breaker
+
+    @property
+    def open_targets(self) -> list[str]:
+        return sorted(
+            name
+            for name, breaker in self._breakers.items()
+            if breaker.state == OPEN
+        )

@@ -1,0 +1,93 @@
+"""The failure taxonomy the resilience layer speaks.
+
+Both remote dependencies of the reproduction — the reference cloud the
+alignment loop diffs against (§4.3) and the LLM the extraction loop
+prompts (§4.2) — fail the way real services fail: throttling, transient
+5xx weather, timeouts, and (for the model) truncated completions.  The
+taxonomy here separates *transient* failures, which a caller should
+retry, from *terminal* ones, which it should surface or degrade around.
+
+Error codes follow the cloud convention the rest of the system already
+uses: retryability is a property of the *code*, mirroring how real SDK
+retry policies classify responses.
+"""
+
+from __future__ import annotations
+
+#: Error codes that indicate infrastructure weather rather than
+#: behaviour: a well-behaved client retries these, and the alignment
+#: differ must never attribute them to the specification.
+TRANSIENT_CODES = frozenset(
+    {
+        "RequestLimitExceeded",
+        "Throttling",
+        "ThrottlingException",
+        "InternalError",
+        "InternalFailure",
+        "ServiceUnavailable",
+        "RequestTimeout",
+        "ModelOverloaded",
+    }
+)
+
+
+def is_transient_code(code: str) -> bool:
+    """Whether an error code names a retryable infrastructure failure."""
+    return code in TRANSIENT_CODES
+
+
+def is_notfound_code(code: str) -> bool:
+    """Whether an error code is a not-found — possibly eventual-
+    consistency lag on a just-created resource, which waiters absorb."""
+    return code.endswith(".NotFound") or code.endswith("NotFoundException")
+
+
+class ResilienceError(Exception):
+    """Base class for everything the resilience layer raises."""
+
+
+class TransientServiceError(ResilienceError):
+    """A retryable remote failure, carrying its cloud error code.
+
+    Raised by fault injection (and by real transports, were one
+    plugged in) *before* the remote operation takes effect, so a
+    retry is always safe.
+    """
+
+    def __init__(self, code: str, message: str = ""):
+        self.code = code
+        self.message = message
+        super().__init__(f"{code}: {message}" if message else code)
+
+
+class CallTimeout(TransientServiceError):
+    """A single call exceeded its transport timeout."""
+
+    def __init__(self, message: str = "the call timed out"):
+        super().__init__("RequestTimeout", message)
+
+
+class DeadlineExceeded(ResilienceError):
+    """The per-call deadline expired before the call could complete."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker for this target is open: fail fast."""
+
+    def __init__(self, target: str):
+        self.target = target
+        super().__init__(f"circuit open for {target!r}")
+
+
+class RetriesExhausted(ResilienceError):
+    """Every attempt failed transiently; the caller must degrade.
+
+    Carries the last underlying error so quarantine / checkpoint
+    logic can report what it gave up on.
+    """
+
+    def __init__(self, attempts: int, last: Exception | None = None):
+        self.attempts = attempts
+        self.last = last
+        detail = f" (last: {last})" if last is not None else ""
+        super().__init__(f"gave up after {attempts} attempt(s){detail}")

@@ -1,0 +1,98 @@
+"""Retry policy: exponential backoff, seeded full jitter, deadlines.
+
+Everything here is deterministic and clock-abstracted.  Delays are
+drawn from a seeded hash (the same construction the fault models use),
+so a retried run is exactly reproducible; time is read from a clock
+object, and the default :class:`VirtualClock` *advances instead of
+sleeping*, so resilience behaviour — backoff growth, deadline expiry,
+breaker cooldowns — is testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def seeded_fraction(seed: int, *key: object) -> float:
+    """Deterministic pseudo-random float in [0, 1) for a keyed event."""
+    digest = hashlib.sha256(
+        ("|".join(str(part) for part in (seed,) + key)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class VirtualClock:
+    """A clock that advances when told to, instead of sleeping.
+
+    The resilience layer only ever reads ``now()`` and calls
+    ``sleep()``; under this clock a hostile run with thousands of
+    backoff waits completes instantly and deterministically.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self._now += max(0.0, float(seconds))
+
+
+@dataclass
+class Deadline:
+    """An absolute point in clock time a call must finish by."""
+
+    clock: VirtualClock
+    expires_at: float
+
+    @classmethod
+    def after(cls, clock: VirtualClock, seconds: float) -> "Deadline":
+        return cls(clock=clock, expires_at=clock.now() + seconds)
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock.now()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a caller retries transient failures.
+
+    ``deadline`` bounds one *logical* call — all attempts plus the
+    backoff waits between them — in clock seconds; ``None`` disables
+    the bound.  ``jitter`` selects full jitter (delay uniform in
+    ``[0, ceiling)``, the AWS-recommended scheme) or none (the exact
+    exponential ceiling, useful in timing tests).
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: str = "full"  # "full" | "none"
+    deadline: float | None = 30.0
+
+    def backoff_ceiling(self, retry_index: int) -> float:
+        """The exponential cap for the ``retry_index``-th retry."""
+        return min(
+            self.max_delay, self.base_delay * self.multiplier**retry_index
+        )
+
+    def backoff_delay(self, retry_index: int, seed: int = 0,
+                      key: tuple = ()) -> float:
+        """The actual wait before the ``retry_index``-th retry."""
+        ceiling = self.backoff_ceiling(retry_index)
+        if self.jitter == "none":
+            return ceiling
+        return ceiling * seeded_fraction(seed, "backoff", *key, retry_index)
+
+
+#: Sensible default for talking to either remote dependency.
+DEFAULT_POLICY = RetryPolicy()
+
+#: A policy that never retries — used to express "resilience off".
+NO_RETRY_POLICY = RetryPolicy(max_attempts=1, deadline=None)

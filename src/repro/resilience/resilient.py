@@ -1,0 +1,186 @@
+"""Resilient client wrappers for the two remote dependencies.
+
+:class:`ResilientLLM` wraps any LLM client; :class:`ResilientBackend`
+wraps any cloud backend.  Both absorb the transient slice of the
+failure taxonomy with the shared retry machinery — exponential backoff
+with seeded full jitter, per-call deadlines, per-target circuit
+breakers — and account for everything in a :class:`ResilienceStats`.
+
+A *terminal* failure (an application-level error response, a
+non-transient exception) passes through unchanged: resilience must be
+invisible when the weather is calm, and with chaos off these wrappers
+are never even constructed.
+"""
+
+from __future__ import annotations
+
+from ..interpreter.errors import ApiResponse
+from .breaker import BreakerBoard
+from .errors import (
+    CircuitOpenError,
+    is_notfound_code,
+    is_transient_code,
+)
+from .policy import Deadline, RetryPolicy, VirtualClock
+from .retry import retry_call
+from .stats import ResilienceStats
+
+
+class ResilientLLM:
+    """Retries transient model failures around any LLM client.
+
+    Truncated completions are *not* retried here: they surface as
+    parse failures, and the existing parse-and-re-prompt loop (§4.2)
+    is the correct recovery path for them.  Each resource gets its own
+    circuit breaker, so one persistently failing resource cannot
+    starve the rest of the extraction pass.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        stats: ResilienceStats | None = None,
+        clock: VirtualClock | None = None,
+        seed: int = 0,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.clock = clock or VirtualClock()
+        self.seed = seed
+        self.breakers = BreakerBoard(clock=self.clock, stats=self.stats)
+
+    @property
+    def usage(self):
+        return self.inner.usage
+
+    def _call(self, fn, target: str, key: tuple):
+        return retry_call(
+            fn,
+            policy=self.policy,
+            clock=self.clock,
+            seed=self.seed,
+            key=key,
+            stats=self.stats,
+            breaker=self.breakers.get(target),
+        )
+
+    def generate_spec(self, resource, prompt: str, attempt: int = 0):
+        return self._call(
+            lambda: self.inner.generate_spec(resource, prompt, attempt),
+            target=resource.name,
+            key=("generate", resource.name, attempt),
+        )
+
+    def regenerate_clean(self, resource, prompt: str):
+        return self._call(
+            lambda: self.inner.regenerate_clean(resource, prompt),
+            target=resource.name,
+            key=("regenerate", resource.name),
+        )
+
+    def diagnose_error_message(self, message: str):
+        return self._call(
+            lambda: self.inner.diagnose_error_message(message),
+            target="_diagnosis",
+            key=("diagnose", message[:40]),
+        )
+
+
+class ResilientBackend:
+    """Retries transient failure *responses* around any cloud backend.
+
+    Cloud backends report failures as :class:`ApiResponse` values, not
+    exceptions, so this wrapper classifies response codes: transient
+    codes retry with backoff; a not-found directly after resource
+    creation may be eventual-consistency lag and is retried a small
+    bounded number of times (waiter semantics — a genuinely missing
+    resource still comes back not-found, just a couple of attempts
+    later); any other failure is the backend's real answer and returns
+    unchanged.  ``invoke`` never raises: when the budget runs out the
+    last response is returned and the give-up is accounted, so a trace
+    runner degrades instead of crashing.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        stats: ResilienceStats | None = None,
+        clock: VirtualClock | None = None,
+        seed: int = 0,
+        consistency_retries: int = 3,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.clock = clock or VirtualClock()
+        self.seed = seed
+        self.consistency_retries = consistency_retries
+        self.breakers = BreakerBoard(clock=self.clock, stats=self.stats)
+        self._seq = 0
+
+    # -- delegated surface -------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return self.inner.api_names()
+
+    def supports(self, api: str) -> bool:
+        return self.inner.supports(api)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    # -- resilient dispatch ------------------------------------------------
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        self._seq += 1
+        breaker = self.breakers.get(api)
+        try:
+            breaker.before_call()
+        except CircuitOpenError:
+            return ApiResponse.fail(
+                "ServiceUnavailable", f"circuit open for {api}"
+            )
+        deadline = (
+            Deadline.after(self.clock, self.policy.deadline)
+            if self.policy.deadline is not None
+            else None
+        )
+        transient_tries = 0
+        notfound_tries = 0
+        response = ApiResponse.fail("InternalError", "no attempt made")
+        while True:
+            self.stats.attempts += 1
+            response = self.inner.invoke(api, params)
+            if response.success:
+                breaker.record_success()
+                return response
+            code = response.error_code
+            if is_transient_code(code):
+                self.stats.record_fault(code)
+                breaker.record_failure()
+                transient_tries += 1
+                if transient_tries >= self.policy.max_attempts:
+                    self.stats.gave_ups += 1
+                    return response
+            elif is_notfound_code(code) and (
+                notfound_tries < self.consistency_retries
+            ):
+                # Possible eventual-consistency lag: wait it out.
+                notfound_tries += 1
+            else:
+                # An application-level failure is the real answer; the
+                # transport worked, so the breaker sees a success.
+                breaker.record_success()
+                return response
+            retry_index = transient_tries + notfound_tries - 1
+            delay = self.policy.backoff_delay(
+                max(0, retry_index), seed=self.seed, key=(api, self._seq)
+            )
+            if deadline is not None and delay >= deadline.remaining():
+                self.stats.deadline_hits += 1
+                return response
+            self.clock.sleep(delay)
+            self.stats.retries += 1

@@ -1,0 +1,96 @@
+"""``retry_call``: the one retry loop everything else reuses.
+
+Retries only :class:`TransientServiceError` (or whatever ``retryable``
+says), waits exponential-backoff-with-seeded-full-jitter between
+attempts, honours a per-call deadline, and cooperates with an optional
+circuit breaker.  All activity lands in a :class:`ResilienceStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from .breaker import CircuitBreaker
+from .errors import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    TransientServiceError,
+)
+from .policy import Deadline, RetryPolicy, VirtualClock
+from .stats import ResilienceStats
+
+T = TypeVar("T")
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy | None = None,
+    clock: VirtualClock | None = None,
+    seed: int = 0,
+    key: tuple = (),
+    stats: ResilienceStats | None = None,
+    breaker: CircuitBreaker | None = None,
+    retryable: Callable[[Exception], bool] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds, retrying transient failures.
+
+    Raises:
+        DeadlineExceeded: the per-call deadline ran out between
+            attempts (counted in ``stats.deadline_hits``).
+        RetriesExhausted: every attempt in the budget failed
+            transiently (counted in ``stats.gave_ups``).
+        CircuitOpenError: the breaker rejected the call outright.
+        Exception: any non-retryable error propagates unchanged.
+    """
+    policy = policy or RetryPolicy()
+    clock = clock or VirtualClock()
+    stats = stats if stats is not None else ResilienceStats()
+    is_retryable = retryable or (
+        lambda error: isinstance(error, TransientServiceError)
+    )
+    deadline = (
+        Deadline.after(clock, policy.deadline)
+        if policy.deadline is not None
+        else None
+    )
+    last: Exception | None = None
+    for attempt in range(policy.max_attempts):
+        if breaker is not None:
+            breaker.before_call()
+        if deadline is not None and deadline.expired():
+            stats.deadline_hits += 1
+            raise DeadlineExceeded(
+                f"deadline expired after {attempt} attempt(s)"
+            )
+        stats.attempts += 1
+        if attempt > 0:
+            stats.retries += 1
+        try:
+            result = fn()
+        except Exception as error:  # noqa: BLE001 - classified below
+            if not is_retryable(error):
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            last = error
+            if isinstance(error, TransientServiceError):
+                stats.record_fault(error.code)
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.backoff_delay(attempt, seed=seed, key=key)
+            if deadline is not None and delay >= deadline.remaining():
+                stats.deadline_hits += 1
+                raise DeadlineExceeded(
+                    f"deadline would expire during backoff "
+                    f"(attempt {attempt + 1})"
+                ) from error
+            clock.sleep(delay)
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        return result
+    stats.gave_ups += 1
+    raise RetriesExhausted(policy.max_attempts, last)

@@ -1,0 +1,73 @@
+"""Resilience accounting: what the retry/degradation machinery did.
+
+Graceful degradation must be visible, not silent — every pipeline
+report that absorbs faults carries one of these, so a run that
+retried its way to a clean result still shows the weather it went
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResilienceStats:
+    """Counters for one pipeline run's resilience activity."""
+
+    #: Individual call attempts made through a resilient wrapper.
+    attempts: int = 0
+    #: Attempts that were retries of a previous transient failure.
+    retries: int = 0
+    #: Logical calls abandoned after the full retry budget.
+    gave_ups: int = 0
+    #: Circuit-breaker closed->open (or half-open->open) transitions.
+    breaker_trips: int = 0
+    #: Calls cut short because their deadline expired.
+    deadline_hits: int = 0
+    #: Alignment rounds restarted from checkpoint after a fault.
+    round_restarts: int = 0
+    #: Resources stubbed out after persistent generation failure.
+    quarantined: int = 0
+    #: Transient error codes observed, by code.
+    faults_seen: dict[str, int] = field(default_factory=dict)
+
+    def record_fault(self, code: str) -> None:
+        self.faults_seen[code] = self.faults_seen.get(code, 0) + 1
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Fold another phase's counters into this one."""
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.gave_ups += other.gave_ups
+        self.breaker_trips += other.breaker_trips
+        self.deadline_hits += other.deadline_hits
+        self.round_restarts += other.round_restarts
+        self.quarantined += other.quarantined
+        for code, count in other.faults_seen.items():
+            self.faults_seen[code] = self.faults_seen.get(code, 0) + count
+
+    @property
+    def clean(self) -> bool:
+        """True when the run never saw a fault at all."""
+        return not (
+            self.retries
+            or self.gave_ups
+            or self.breaker_trips
+            or self.deadline_hits
+            or self.round_restarts
+            or self.quarantined
+            or self.faults_seen
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "gave_ups": self.gave_ups,
+            "breaker_trips": self.breaker_trips,
+            "deadline_hits": self.deadline_hits,
+            "round_restarts": self.round_restarts,
+            "quarantined": self.quarantined,
+            "faults_seen": dict(self.faults_seen),
+        }

@@ -1,0 +1,364 @@
+"""Tests for the resilience layer: retry/backoff/deadline machinery,
+circuit breakers, chaos injection, and the pipelines' graceful
+degradation under the mild and hostile profiles."""
+
+import pytest
+
+from repro.alignment.loop import align_module
+from repro.docs import build_catalog, render_docs, wrangle
+from repro.extraction.pipeline import run_extraction
+from repro.interpreter.emulator import Emulator
+from repro.llm.client import make_llm
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceStats,
+    RetriesExhausted,
+    retry_call,
+    RetryPolicy,
+    TransientServiceError,
+    VirtualClock,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.resilience.chaos import (
+    ChaosEngine,
+    ChaosProxy,
+    chaos_profile,
+    HOSTILE_PROFILE,
+    MILD_PROFILE,
+    resolve_profile,
+)
+from repro.resilience.errors import CircuitOpenError
+from repro.resilience.resilient import ResilientBackend
+
+
+def wrangled(service="ec2"):
+    catalog = build_catalog(service)
+    return wrangle(render_docs(catalog), provider=catalog.provider,
+                   service=service)
+
+
+class TestBackoffTiming:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                             jitter="none")
+        delays = [policy.backoff_delay(i) for i in range(5)]
+        assert delays == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+            pytest.approx(0.8), pytest.approx(1.6),
+        ]
+
+    def test_ceiling_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=3.0,
+                             jitter="none")
+        assert policy.backoff_delay(10) == pytest.approx(3.0)
+
+    def test_full_jitter_stays_under_ceiling_and_is_seeded(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=8.0)
+        for retry_index in range(6):
+            ceiling = policy.backoff_ceiling(retry_index)
+            delay = policy.backoff_delay(retry_index, seed=3, key=("x",))
+            again = policy.backoff_delay(retry_index, seed=3, key=("x",))
+            assert 0.0 <= delay < ceiling
+            assert delay == again  # deterministic for a fixed seed/key
+        differently = policy.backoff_delay(2, seed=4, key=("x",))
+        assert differently != policy.backoff_delay(2, seed=3, key=("x",))
+
+    def test_retry_call_waits_between_attempts(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, max_delay=8.0,
+                             jitter="none", deadline=None)
+        calls = []
+
+        def flaky():
+            calls.append(clock.now())
+            if len(calls) < 4:
+                raise TransientServiceError("InternalError")
+            return "ok"
+
+        stats = ResilienceStats()
+        assert retry_call(flaky, policy=policy, clock=clock,
+                          stats=stats) == "ok"
+        # Waits of 1, 2, 4 virtual seconds between the four attempts.
+        assert calls == [0.0, 1.0, 3.0, 7.0]
+        assert stats.attempts == 4 and stats.retries == 3
+        assert stats.gave_ups == 0
+        assert stats.faults_seen == {"InternalError": 3}
+
+    def test_retry_call_gives_up_after_budget(self):
+        policy = RetryPolicy(max_attempts=3, jitter="none", deadline=None)
+        stats = ResilienceStats()
+
+        def always_down():
+            raise TransientServiceError("ServiceUnavailable")
+
+        with pytest.raises(RetriesExhausted):
+            retry_call(always_down, policy=policy, stats=stats)
+        assert stats.gave_ups == 1 and stats.attempts == 3
+
+    def test_non_transient_errors_pass_through(self):
+        policy = RetryPolicy(max_attempts=5)
+        stats = ResilienceStats()
+
+        def broken():
+            raise ValueError("a real bug, not weather")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, policy=policy, stats=stats)
+        assert stats.attempts == 1 and stats.retries == 0
+
+
+class TestDeadlines:
+    def test_deadline_expires_on_virtual_clock(self):
+        clock = VirtualClock()
+        deadline = Deadline.after(clock, 5.0)
+        assert not deadline.expired()
+        clock.sleep(5.0)
+        assert deadline.expired()
+
+    def test_retry_stops_when_backoff_would_blow_deadline(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=10, base_delay=4.0, max_delay=4.0,
+                             jitter="none", deadline=10.0)
+        stats = ResilienceStats()
+
+        def always_down():
+            raise TransientServiceError("RequestTimeout")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(always_down, policy=policy, clock=clock, stats=stats)
+        assert stats.deadline_hits == 1
+        # Two 4s waits fit in a 10s budget; the third would not.
+        assert stats.attempts == 3
+        assert clock.now() == pytest.approx(8.0)
+
+    def test_emulator_rejects_expired_deadline_before_dispatch(self):
+        outcome = run_extraction("ec2", mode="perfect")
+        emulator = outcome.build_emulator()
+        clock = VirtualClock()
+        deadline = Deadline.after(clock, 1.0)
+        clock.sleep(2.0)
+        response = emulator.invoke(
+            "CreateVpc", {"CidrBlock": "10.0.0.0/16"}, deadline=deadline
+        )
+        assert not response.success
+        assert response.error_code == "RequestTimeout"
+        # Fail-fast: nothing was created.
+        assert list(emulator.registry.of_type("vpc")) == []
+
+
+class TestCircuitBreaker:
+    def make(self, clock=None):
+        return CircuitBreaker(target="vpc", failure_threshold=3,
+                              cooldown=10.0, clock=clock or VirtualClock())
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN and breaker.trips == 1
+
+    def test_open_rejects_until_cooldown(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        clock.sleep(10.0)
+        breaker.before_call()  # cooldown elapsed: probe admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_closes_on_success(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.sleep(10.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_reopens_on_failure(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.sleep(10.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN and breaker.trips == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_success_resets_failure_run(self):
+        breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never three in a row
+
+
+class TestChaosInjection:
+    def test_profiles_resolve_by_name_and_env(self, monkeypatch):
+        assert chaos_profile("mild") is MILD_PROFILE
+        assert resolve_profile("hostile") is HOSTILE_PROFILE
+        assert resolve_profile(MILD_PROFILE) is MILD_PROFILE
+        monkeypatch.setenv("REPRO_CHAOS_PROFILE", "mild")
+        assert resolve_profile(None) is MILD_PROFILE
+        monkeypatch.delenv("REPRO_CHAOS_PROFILE")
+        assert not resolve_profile(None).active
+        with pytest.raises(ValueError):
+            chaos_profile("apocalyptic")
+
+    def test_injection_is_deterministic(self):
+        outcome = run_extraction("ec2", mode="perfect")
+
+        def codes(seed):
+            proxy = ChaosProxy(
+                outcome.build_emulator(), ChaosEngine(HOSTILE_PROFILE, seed)
+            )
+            return [
+                proxy.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+                .error_code
+                for _ in range(30)
+            ]
+
+        assert codes(5) == codes(5)
+        assert codes(5) != codes(6)
+
+    def test_injected_faults_fire_before_the_backend_mutates(self):
+        outcome = run_extraction("ec2", mode="perfect")
+        emulator = outcome.build_emulator()
+        proxy = ChaosProxy(emulator, ChaosEngine(HOSTILE_PROFILE, seed=5))
+        created = 0
+        for _ in range(40):
+            response = proxy.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+            if response.success:
+                created += 1
+        # Failed calls left no trace in the wrapped backend.
+        assert len(list(emulator.registry.of_type("vpc"))) == created
+        assert created < 40  # hostile weather actually fired
+
+    def test_resilient_backend_absorbs_hostile_weather(self):
+        outcome = run_extraction("ec2", mode="perfect")
+        stats = ResilienceStats()
+        backend = ResilientBackend(
+            ChaosProxy(outcome.build_emulator(),
+                       ChaosEngine(HOSTILE_PROFILE, seed=5)),
+            stats=stats, seed=5,
+        )
+        vpc = backend.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
+        assert vpc.success
+        # Eventual-consistency lag + throttles are retried away: the
+        # resource is visible immediately through the resilient client.
+        described = backend.invoke("DescribeVpcs", {"VpcId": vpc.data["id"]})
+        assert described.success
+        assert stats.retries > 0 and stats.gave_ups == 0
+
+    def test_real_failures_are_not_retried(self):
+        outcome = run_extraction("ec2", mode="perfect")
+        stats = ResilienceStats()
+        backend = ResilientBackend(outcome.build_emulator(), stats=stats)
+        response = backend.invoke("DeleteVpc", {"VpcId": "vpc-99999999"})
+        assert not response.success
+        assert response.error_code == "InvalidVpcID.NotFound"
+        # Bounded waiter retries only; the answer itself is terminal.
+        assert stats.gave_ups == 0
+
+
+class TestGracefulDegradation:
+    @pytest.fixture(scope="class")
+    def service_doc(self):
+        return wrangled("ec2")
+
+    def test_mild_chaos_converges_to_the_fault_free_report(
+        self, service_doc
+    ):
+        def aligned(chaos):
+            llm = make_llm("constrained", seed=7)
+            outcome = run_extraction(
+                "ec2", llm=llm, service_doc=service_doc, chaos=chaos
+            )
+            assert outcome.quarantined == []
+            return align_module(
+                outcome.module, outcome.notfound_codes, service_doc, llm,
+                chaos=chaos,
+            )
+
+        calm = aligned("off")
+        stormy = aligned("mild")
+        # Identical alignment outcomes: retry + seeded jitter fully
+        # absorb mild weather, they do not change behaviour.
+        assert stormy.converged == calm.converged
+        assert stormy.total_divergences == calm.total_divergences
+        assert stormy.total_repairs == calm.total_repairs
+        assert [len(r.repairs) for r in stormy.rounds] == [
+            len(r.repairs) for r in calm.rounds
+        ]
+        # ...but the weather was real, and it is accounted.
+        assert calm.resilience.clean
+        assert stormy.resilience.retries > 0
+        assert stormy.resilience.gave_ups == 0
+
+    def test_hostile_extraction_quarantines_instead_of_crashing(
+        self, service_doc
+    ):
+        outcome = run_extraction(
+            "ec2", mode="constrained", seed=7, service_doc=service_doc,
+            chaos="hostile",
+        )
+        assert outcome.quarantined  # persistent failures degraded...
+        for name in outcome.quarantined:
+            spec = outcome.module.machines[name]
+            assert spec.transitions == {}  # ...to stub machines
+            assert not outcome.state.results[name].report.clean
+        survivors = set(outcome.module.machines) - set(outcome.quarantined)
+        assert survivors  # the rest of the service still extracted
+        assert outcome.resilience.quarantined == len(outcome.quarantined)
+        # The stubbed module is still executable.
+        emulator = outcome.build_emulator()
+        assert emulator.invoke(
+            "CreateVpc", {"CidrBlock": "10.0.0.0/16"}
+        ).success
+
+    def test_hostile_alignment_finishes_all_rounds(self, service_doc):
+        llm = make_llm("constrained", seed=7)
+        outcome = run_extraction(
+            "ec2", llm=llm, service_doc=service_doc, chaos="hostile"
+        )
+        report = align_module(
+            outcome.module, outcome.notfound_codes, service_doc, llm,
+            chaos="hostile",
+        )
+        assert report.converged
+        assert report.resilience.retries > 0
+        assert report.chaos_profile == "hostile"
+        # Completed rounds were checkpointed in order.
+        assert report.checkpoint.completed_rounds == [
+            r.index for r in report.rounds if not r.faulted
+        ]
+
+    def test_chaos_off_is_byte_identical(self, service_doc, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_PROFILE", raising=False)
+
+        def build(chaos):
+            llm = make_llm("constrained", seed=7)
+            outcome = run_extraction(
+                "ec2", llm=llm, service_doc=service_doc, chaos=chaos
+            )
+            from repro.spec.serializer import serialize_module
+
+            return serialize_module(outcome.module), outcome
+
+        off_text, off_outcome = build("off")
+        default_text, default_outcome = build(None)
+        assert off_text == default_text
+        assert off_outcome.resilience.clean
+        assert off_outcome.chaos_profile == "off"
