@@ -11,16 +11,18 @@ from repro.cloud import make_cloud
 from repro.scenarios import evaluation_traces, run_trace
 
 
-def test_invoke_latency(benchmark, learned_builds):
+def test_invoke_latency(benchmark, learned_builds, bench_metrics):
     emulator = learned_builds["ec2"].make_backend()
     vpc = emulator.invoke("CreateVpc", {"CidrBlock": "10.0.0.0/16"})
     params = {"VpcId": vpc.data["id"]}
 
     result = benchmark(emulator.invoke, "DescribeVpcs", params)
     assert result.success
+    bench_metrics.observe("invoke_latency_s", benchmark, api="DescribeVpcs")
 
 
-def test_create_heavy_workload(benchmark, learned_builds):
+def test_create_heavy_workload(benchmark, learned_builds,
+                               bench_metrics):
     """A create-modify-delete churn loop through the SM interpreter."""
     emulator = learned_builds["ec2"].make_backend()
 
@@ -40,9 +42,11 @@ def test_create_heavy_workload(benchmark, learned_builds):
 
     leftover = benchmark(churn)
     assert leftover == 0
+    bench_metrics.observe("churn_loop_s", benchmark)
 
 
-def test_trace_replay_throughput(benchmark, learned_builds):
+def test_trace_replay_throughput(benchmark, learned_builds,
+                                 bench_metrics):
     emulator = learned_builds["ec2"].make_backend()
     trace = next(
         t for t in evaluation_traces() if t.name == "provision_network"
@@ -50,9 +54,12 @@ def test_trace_replay_throughput(benchmark, learned_builds):
 
     run = benchmark(run_trace, emulator, trace)
     assert all(r.response.success for r in run.results)
+    bench_metrics.observe("trace_replay_s", benchmark,
+                          trace="provision_network")
 
 
-def test_differential_pass_throughput(benchmark, learned_builds):
+def test_differential_pass_throughput(benchmark, learned_builds,
+                                      bench_metrics):
     """One full symbolic-trace differential pass over the EC2 module."""
     module = learned_builds["ec2"].module
     notfound = learned_builds["ec2"].extraction.notfound_codes
@@ -71,3 +78,5 @@ def test_differential_pass_throughput(benchmark, learned_builds):
     print(f"\nDifferential pass: {report.compared} traces, "
           f"{len(report.divergences)} divergence(s)")
     assert report.compared > 200
+    bench_metrics.observe("differential_pass_s", benchmark)
+    bench_metrics.gauge("differential_pass_traces", report.compared)

@@ -6,8 +6,6 @@ grows.  Measures bulk creation, lookups at depth, and the cost of a
 dependency check scanning a large child list.
 """
 
-from repro.core import build_learned_emulator
-
 FLEET = 500
 
 
@@ -31,7 +29,7 @@ def _populated_backend(build):
     return emulator, vpc_id, subnet_ids
 
 
-def test_bulk_creation(benchmark, learned_builds):
+def test_bulk_creation(benchmark, learned_builds, bench_metrics):
     build = learned_builds["ec2"]
 
     def create_fleet():
@@ -42,9 +40,11 @@ def test_bulk_creation(benchmark, learned_builds):
                                              iterations=1)
     assert count == FLEET + 1
     assert len(set(subnet_ids)) == FLEET
+    bench_metrics.observe("bulk_creation_s", benchmark, fleet=FLEET)
 
 
-def test_lookup_in_large_registry(benchmark, learned_builds):
+def test_lookup_in_large_registry(benchmark, learned_builds,
+                                  bench_metrics):
     build = learned_builds["ec2"]
     emulator, __, subnet_ids = _populated_backend(build)
     target = subnet_ids[FLEET // 2]
@@ -52,9 +52,11 @@ def test_lookup_in_large_registry(benchmark, learned_builds):
     response = benchmark(emulator.invoke, "DescribeSubnets",
                          {"SubnetId": target})
     assert response.success
+    bench_metrics.observe("lookup_latency_s", benchmark, fleet=FLEET)
 
 
-def test_dependency_check_scans_large_list(benchmark, learned_builds):
+def test_dependency_check_scans_large_list(benchmark, learned_builds,
+                                           bench_metrics):
     """DeleteVpc must reject while 500 subnet CIDRs are tracked —
     and answer quickly."""
     build = learned_builds["ec2"]
@@ -62,9 +64,11 @@ def test_dependency_check_scans_large_list(benchmark, learned_builds):
 
     response = benchmark(emulator.invoke, "DeleteVpc", {"VpcId": vpc_id})
     assert response.error_code == "DependencyViolation"
+    bench_metrics.observe("dependency_check_s", benchmark, fleet=FLEET)
 
 
-def test_overlap_check_against_many_siblings(benchmark, learned_builds):
+def test_overlap_check_against_many_siblings(benchmark, learned_builds,
+                                             bench_metrics):
     """Subnet creation checks its CIDR against every tracked sibling."""
     build = learned_builds["ec2"]
     emulator, vpc_id, __ = _populated_backend(build)
@@ -77,3 +81,4 @@ def test_overlap_check_against_many_siblings(benchmark, learned_builds):
 
     response = benchmark(conflicting_create)
     assert response.error_code == "InvalidSubnet.Conflict"
+    bench_metrics.observe("overlap_check_s", benchmark, fleet=FLEET)

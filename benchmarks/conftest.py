@@ -4,11 +4,57 @@ Expensive artifacts (learned emulators, evaluation setups) are built
 once per session; each bench then measures and reports its own
 table/figure.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
 see the reproduced tables alongside the timings.
+
+Each module also gets a ``bench_metrics`` recorder backed by the
+telemetry :class:`~repro.telemetry.MetricsRegistry`; on teardown its
+snapshot (count/min/mean/p50/p95/max per series) lands in
+``BENCH_<module>.json`` next to the working directory (override with
+``$REPRO_BENCH_DIR``), so CI can archive machine-readable numbers
+alongside pytest-benchmark's own output.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.core import build_learned_emulator, EvaluationSetup
+from repro.telemetry import MetricsRegistry
+
+
+class BenchRecorder:
+    """Folds pytest-benchmark timings into a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def observe(self, name, benchmark, **labels):
+        """Record one benchmark's raw per-round timings (seconds)."""
+        histogram = self.registry.histogram(name, **labels)
+        stats = getattr(benchmark.stats, "stats", None)
+        for value in getattr(stats, "data", None) or []:
+            histogram.observe(value)
+        return histogram
+
+    def gauge(self, name, value, **labels):
+        self.registry.gauge(name, **labels).set(value)
+
+
+@pytest.fixture(scope="module")
+def bench_metrics(request):
+    """Per-module metrics recorder; writes ``BENCH_<module>.json``."""
+    recorder = BenchRecorder(MetricsRegistry())
+    yield recorder
+    snapshot = recorder.registry.snapshot()
+    if not snapshot:
+        return
+    name = request.module.__name__.removeprefix("bench_")
+    target = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

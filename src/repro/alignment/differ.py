@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..interpreter.errors import ApiResponse
 from ..scenarios.model import run_trace, Trace
+from ..telemetry import ensure_telemetry
 from .compare import compare_runs, is_transient_failure, TraceComparison
 
 
@@ -73,7 +74,8 @@ class DiffReport:
 
 
 def diff_traces(
-    cloud, emulator, traces: list[Trace], skip_transient: bool = False
+    cloud, emulator, traces: list[Trace], skip_transient: bool = False,
+    telemetry=None,
 ) -> DiffReport:
     """Run every trace on both backends and collect divergences.
 
@@ -84,31 +86,41 @@ def diff_traces(
     repair machinery never "fixes" the spec against infrastructure
     noise.
     """
+    tele = ensure_telemetry(telemetry)
     report = DiffReport()
     for trace in traces:
-        cloud_run = run_trace(cloud, trace)
-        emulator_run = run_trace(emulator, trace)
-        comparison = compare_runs(cloud_run, emulator_run)
-        report.compared += 1
-        report.comparisons.append(comparison)
-        if comparison.aligned:
-            report.aligned += 1
-            continue
-        index = comparison.divergent_step_index
-        if skip_transient and is_transient_failure(
-            cloud_run.results[index].response
-        ):
-            report.transient_skips += 1
-            continue
-        report.divergences.append(
-            Divergence(
-                trace=trace,
-                step_index=index,
-                api=cloud_run.results[index].api,
-                reason=comparison.steps[index].reason,
-                cloud_response=cloud_run.results[index].response,
-                emulator_response=emulator_run.results[index].response,
-                resolved_params=cloud_run.results[index].resolved_params,
+        with tele.span(
+            "diff.trace", kind="trace", trace=trace.name,
+            scenario=trace.scenario,
+        ) as span:
+            cloud_run = run_trace(cloud, trace)
+            emulator_run = run_trace(emulator, trace)
+            comparison = compare_runs(cloud_run, emulator_run)
+            report.compared += 1
+            report.comparisons.append(comparison)
+            span.set("aligned", comparison.aligned)
+            if comparison.aligned:
+                report.aligned += 1
+                continue
+            index = comparison.divergent_step_index
+            if skip_transient and is_transient_failure(
+                cloud_run.results[index].response
+            ):
+                report.transient_skips += 1
+                span.set("transient_skip", True)
+                continue
+            span.set("divergent_api", cloud_run.results[index].api)
+            report.divergences.append(
+                Divergence(
+                    trace=trace,
+                    step_index=index,
+                    api=cloud_run.results[index].api,
+                    reason=comparison.steps[index].reason,
+                    cloud_response=cloud_run.results[index].response,
+                    emulator_response=emulator_run.results[index].response,
+                    resolved_params=cloud_run.results[index].resolved_params,
+                )
             )
-        )
+    tele.counter("diff.traces_compared").inc(report.compared)
+    tele.counter("diff.divergences").inc(len(report.divergences))
     return report

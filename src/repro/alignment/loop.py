@@ -31,6 +31,7 @@ from ..resilience.resilient import ResilientBackend, ResilientLLM
 from ..resilience.stats import ResilienceStats
 from ..spec import ast
 from ..spec.validator import collect_violations
+from ..telemetry import ensure_telemetry
 from .diagnose import apply_repair, diagnose, Diagnosis, Repair
 from .differ import diff_traces, DiffReport
 from .symbolic import ClassCoverage
@@ -111,29 +112,41 @@ def _run_round(
     llm,
     cloud_factory,
     skip_transient: bool,
+    telemetry=None,
 ) -> AlignmentRound:
     """One full iteration: enumerate, trace, diff, diagnose, repair."""
-    builder = TraceBuilder(module)
-    traces, coverage = builder.build_all()
+    tele = ensure_telemetry(telemetry)
+    with tele.span("alignment.tracegen", kind="tracegen") as span:
+        builder = TraceBuilder(module)
+        traces, coverage = builder.build_all()
+        span.set("classes_covered", len(coverage.covered))
+        span.set("classes_skipped", len(coverage.skipped))
     cloud = cloud_factory()
-    emulator = Emulator(module, notfound_codes=notfound_codes)
+    emulator = Emulator(module, notfound_codes=notfound_codes,
+                        telemetry=telemetry)
     diff = diff_traces(cloud, emulator, traces,
-                       skip_transient=skip_transient)
+                       skip_transient=skip_transient, telemetry=telemetry)
     round_report = AlignmentRound(
         index=round_index, traces=len(traces), diff=diff,
         coverage=coverage,
     )
     repaired_targets: set[tuple[str, str]] = set()
     for divergence in diff.divergences:
-        diagnosis = diagnose(divergence, module, service_doc, llm)
-        round_report.diagnoses.append(diagnosis)
-        key = (diagnosis.sm, diagnosis.api)
-        if key in repaired_targets:
-            continue
-        repair = apply_repair(diagnosis, module, service_doc)
-        if repair is not None:
-            round_report.repairs.append(repair)
-            repaired_targets.add(key)
+        with tele.span(
+            "alignment.diagnose", kind="diagnosis",
+            api=divergence.api, reason=divergence.reason,
+        ) as span:
+            diagnosis = diagnose(divergence, module, service_doc, llm)
+            round_report.diagnoses.append(diagnosis)
+            key = (diagnosis.sm, diagnosis.api)
+            if key in repaired_targets:
+                continue
+            repair = apply_repair(diagnosis, module, service_doc)
+            if repair is not None:
+                round_report.repairs.append(repair)
+                repaired_targets.add(key)
+                span.set("repair", repair.kind)
+                tele.counter("alignment.repairs", kind=repair.kind).inc()
     return round_report
 
 
@@ -148,6 +161,7 @@ def align_module(
     chaos: ChaosProfile | str | None = None,
     resilience_policy: RetryPolicy | None = None,
     max_round_restarts: int = 3,
+    telemetry=None,
 ) -> AlignmentReport:
     """Run the alignment loop in place on ``module``.
 
@@ -177,6 +191,7 @@ def align_module(
         catalog = build_catalog(module.service)
         cloud_factory = lambda: ReferenceCloud(catalog, seed=cloud_seed)  # noqa: E731
 
+    tele = ensure_telemetry(telemetry)
     profile = resolve_profile(chaos)
     stats = ResilienceStats()
     chaotic = profile.active
@@ -187,6 +202,8 @@ def align_module(
             policy=resilience_policy,
             stats=stats,
             seed=cloud_seed,
+            clock=tele.clock,
+            telemetry=telemetry,
         )
         base_factory = cloud_factory
         cloud_factory = lambda: ResilientBackend(  # noqa: E731
@@ -194,36 +211,59 @@ def align_module(
             policy=resilience_policy,
             stats=stats,
             seed=cloud_seed,
+            clock=tele.clock,
+            telemetry=telemetry,
         )
 
     report = AlignmentReport(resilience=stats, chaos_profile=profile.name)
     checkpoint = report.checkpoint
-    round_index = 0
-    while round_index < max_rounds:
-        try:
-            round_report = _run_round(
-                round_index, module, notfound_codes, service_doc, llm,
-                cloud_factory, skip_transient=chaotic,
-            )
-        except ResilienceError as fault:
-            # Mid-round fault: resume from the checkpoint — completed
-            # rounds (and their repairs) stand; only this round re-runs.
-            stats.round_restarts += 1
-            if checkpoint.record_fault(round_index) > max_round_restarts:
-                report.rounds.append(
-                    AlignmentRound(
-                        index=round_index, traces=0, diff=DiffReport(),
-                        faulted=str(fault),
+    with tele.span(
+        "alignment", kind="phase", service=module.service,
+        chaos=profile.name,
+    ) as phase:
+        round_index = 0
+        while round_index < max_rounds:
+            with tele.span(
+                "alignment.round", kind="round", index=round_index
+            ) as round_span:
+                try:
+                    round_report = _run_round(
+                        round_index, module, notfound_codes, service_doc,
+                        llm, cloud_factory, skip_transient=chaotic,
+                        telemetry=telemetry,
                     )
-                )
-                round_index += 1
-            continue
-        report.rounds.append(round_report)
-        checkpoint.completed_rounds.append(round_index)
-        if not round_report.diff.divergences:
-            report.converged = True
-            break
-        round_index += 1
+                except ResilienceError as fault:
+                    # Mid-round fault: resume from the checkpoint —
+                    # completed rounds (and their repairs) stand; only
+                    # this round re-runs.
+                    stats.round_restarts += 1
+                    round_span.set("restarted", True)
+                    tele.event("round_restart", round=round_index,
+                               fault=str(fault))
+                    if (
+                        checkpoint.record_fault(round_index)
+                        > max_round_restarts
+                    ):
+                        report.rounds.append(
+                            AlignmentRound(
+                                index=round_index, traces=0,
+                                diff=DiffReport(), faulted=str(fault),
+                            )
+                        )
+                        round_index += 1
+                    continue
+                round_span.set("traces", round_report.traces)
+                round_span.set("divergences",
+                               len(round_report.diff.divergences))
+                round_span.set("repairs", len(round_report.repairs))
+            report.rounds.append(round_report)
+            checkpoint.completed_rounds.append(round_index)
+            if not round_report.diff.divergences:
+                report.converged = True
+                break
+            round_index += 1
+        phase.set("rounds", len(report.rounds))
+        phase.set("converged", report.converged)
     report.validator_violations = collect_violations(module)
     return report
 

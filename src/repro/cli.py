@@ -9,6 +9,9 @@ Commands:
 - ``complexity`` print Fig. 4 data (SM complexity per service);
 - ``traces``     run the evaluation traces for one service against the
                  cloud and a learned emulator;
+- ``report``     generate the full reproduction report, or render a
+                 saved telemetry JSONL trace as a phase/cost/fault
+                 breakdown;
 - ``decode``     demonstrate rich error decoding on a saved emulator.
 """
 
@@ -23,39 +26,41 @@ AWS_SERVICES = ("ec2", "network_firewall", "dynamodb")
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    import json
+
     from .core import build_learned_emulator
     from .core.store import save_build
+    from .telemetry import RunReport, Telemetry, write_trace
 
+    telemetry = Telemetry(service=args.service) if args.telemetry else None
     try:
         build = build_learned_emulator(
             args.service, mode=args.mode, seed=args.seed,
             align=not args.no_align, chaos=args.chaos,
+            telemetry=telemetry,
         )
     except ValueError as error:
         # e.g. an unknown profile name in $REPRO_CHAOS_PROFILE.
         print(f"repro build: error: {error}", file=sys.stderr)
         return 2
-    print(f"service:   {args.service}")
-    print(f"machines:  {len(build.module.machines)}")
-    print(f"apis:      {build.api_count}")
-    print(f"llm calls: {build.llm.usage.requests} "
-          f"({build.llm.usage.prompt_tokens} prompt tokens, "
-          f"{build.llm.usage.failed_requests} failed)")
-    if build.alignment is not None:
-        print(f"alignment: {len(build.alignment.rounds)} round(s), "
-              f"{build.alignment.total_repairs} repair(s), "
-              f"converged={build.alignment.converged}")
-    resilience = build.resilience
-    if not resilience.clean:
-        quarantined = build.extraction.quarantined
-        print(f"resilience: {resilience.retries} retried, "
-              f"{resilience.gave_ups} gave up, "
-              f"{resilience.round_restarts} round restart(s), "
-              f"{len(quarantined)} quarantined"
-              + (f" ({', '.join(quarantined)})" if quarantined else ""))
-    if args.out:
-        path = save_build(build, args.out)
-        print(f"saved to:  {path}")
+    report = RunReport.from_build(build, telemetry=telemetry)
+    saved_to = save_build(build, args.out) if args.out else None
+    trace_path = None
+    if telemetry is not None:
+        trace_path = write_trace(telemetry, args.telemetry, report=report)
+    if args.json:
+        payload = report.to_dict()
+        if saved_to is not None:
+            payload["saved_to"] = str(saved_to)
+        if trace_path is not None:
+            payload["telemetry"] = str(trace_path)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(report.render_console())
+    if saved_to is not None:
+        print(f"saved to:  {saved_to}")
+    if trace_path is not None:
+        print(f"telemetry: {trace_path}")
     return 0
 
 
@@ -154,6 +159,22 @@ def _cmd_decode(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace:
+        from .telemetry import load_trace, render_trace_report, TraceError
+
+        try:
+            data = load_trace(args.trace)
+        except (OSError, TraceError) as error:
+            print(f"repro report: error: {error}", file=sys.stderr)
+            return 2
+        try:
+            print(render_trace_report(data))
+        except BrokenPipeError:  # e.g. `repro report run.jsonl | head`
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
     from .core.report import generate_report
 
     text = generate_report(seed=args.seed,
@@ -186,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="fault-injection profile (default: "
                             "$REPRO_CHAOS_PROFILE or off)")
     build.add_argument("--out", help="directory to save the emulator to")
+    build.add_argument("--telemetry", metavar="PATH",
+                       help="write the build's telemetry trace (spans, "
+                            "metrics, run report) to a JSONL file")
+    build.add_argument("--json", action="store_true",
+                       help="emit the run report as JSON instead of prose")
     build.set_defaults(func=_cmd_build)
 
     coverage = sub.add_parser("coverage", help="print Table 1")
@@ -207,7 +233,12 @@ def main(argv: list[str] | None = None) -> int:
     traces.set_defaults(func=_cmd_traces)
 
     report = sub.add_parser("report",
-                            help="generate the full reproduction report")
+                            help="generate the full reproduction report, "
+                                 "or render a saved telemetry trace")
+    report.add_argument("trace", nargs="?",
+                        help="a telemetry JSONL file (from repro build "
+                             "--telemetry) to render as a phase/cost/"
+                             "fault breakdown")
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--out", help="write the Markdown to a file")
     report.add_argument("--no-multicloud", action="store_true")

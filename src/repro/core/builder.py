@@ -20,6 +20,7 @@ from ..llm.client import make_llm, SimulatedLLM
 from ..resilience.chaos import ChaosProfile, resolve_profile
 from ..resilience.policy import RetryPolicy
 from ..resilience.stats import ResilienceStats
+from ..telemetry import ensure_telemetry
 
 
 @dataclass
@@ -48,10 +49,15 @@ class LearnedEmulatorBuild:
             stats.merge(self.alignment.resilience)
         return stats
 
-    def make_backend(self) -> Emulator:
-        """A fresh emulator instance over the learned specification."""
+    def make_backend(self, telemetry=None) -> Emulator:
+        """A fresh emulator instance over the learned specification.
+
+        ``telemetry`` (optional) gives the served emulator a run sink
+        of its own: per-API-call spans with error codes.
+        """
         return Emulator(self.module,
-                        notfound_codes=self.extraction.notfound_codes)
+                        notfound_codes=self.extraction.notfound_codes,
+                        telemetry=telemetry)
 
 
 def build_learned_emulator(
@@ -64,6 +70,7 @@ def build_learned_emulator(
     service_doc: ServiceDoc | None = None,
     chaos: ChaosProfile | str | None = None,
     resilience_policy: RetryPolicy | None = None,
+    telemetry=None,
 ) -> LearnedEmulatorBuild:
     """Run the full learned-emulator workflow for one service.
 
@@ -75,34 +82,53 @@ def build_learned_emulator(
     profile, a name, or ``None`` to read ``REPRO_CHAOS_PROFILE`` /
     default off); each phase wraps its remote dependency independently
     and reports what its resilience layer absorbed.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry`, or ``None``
+    for the no-op sink) records the whole build as a span tree —
+    extraction pass, per-resource generation, LLM requests, alignment
+    rounds, differential traces, emulated API calls — plus token and
+    fault metrics.  The disabled path is byte-identical to a build
+    without instrumentation.
     """
     profile = resolve_profile(chaos)
+    tele = ensure_telemetry(telemetry)
     llm = make_llm(mode, seed=seed)
-    if service_doc is None:
-        catalog = build_catalog(service)
-        service_doc = wrangle(
-            render_docs(catalog), provider=catalog.provider, service=service
-        )
-    extraction = run_extraction(
-        service=service,
-        llm=llm,
-        service_doc=service_doc,
-        checks_enabled=checks_enabled,
-        chaos=profile,
-        resilience_policy=resilience_policy,
-    )
-    alignment: AlignmentReport | None = None
-    if align:
-        alignment = align_module(
-            extraction.module,
-            extraction.notfound_codes,
-            service_doc,
-            llm,
-            cloud_factory=lambda: make_cloud(service),
-            max_rounds=alignment_rounds,
+    llm.telemetry = telemetry
+    with tele.span(
+        "build", kind="build", service=service, mode=mode, seed=seed,
+        chaos=profile.name,
+    ) as span:
+        if service_doc is None:
+            with tele.span("docs.wrangle", kind="docs", service=service):
+                catalog = build_catalog(service)
+                service_doc = wrangle(
+                    render_docs(catalog), provider=catalog.provider,
+                    service=service,
+                )
+        extraction = run_extraction(
+            service=service,
+            llm=llm,
+            service_doc=service_doc,
+            checks_enabled=checks_enabled,
             chaos=profile,
             resilience_policy=resilience_policy,
+            telemetry=telemetry,
         )
+        alignment: AlignmentReport | None = None
+        if align:
+            alignment = align_module(
+                extraction.module,
+                extraction.notfound_codes,
+                service_doc,
+                llm,
+                cloud_factory=lambda: make_cloud(service),
+                max_rounds=alignment_rounds,
+                chaos=profile,
+                resilience_policy=resilience_policy,
+                telemetry=telemetry,
+            )
+            span.set("converged", alignment.converged)
+        span.set("machines", len(extraction.module.machines))
     return LearnedEmulatorBuild(
         service=service, extraction=extraction, alignment=alignment, llm=llm
     )

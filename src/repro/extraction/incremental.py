@@ -21,6 +21,7 @@ from ..llm.synthesis import (
 )
 from ..resilience.errors import ResilienceError
 from ..resilience.stats import ResilienceStats
+from ..telemetry import ensure_telemetry
 from ..spec import ast
 from ..spec.errors import SpecSyntaxError
 from .dependency import extraction_order
@@ -99,6 +100,7 @@ def extract_incrementally(
     max_attempts: int = 4,
     quarantine: bool = False,
     stats: ResilienceStats | None = None,
+    telemetry=None,
 ) -> ExtractionState:
     """Generate one SM per documented resource, dependencies first.
 
@@ -107,6 +109,7 @@ def extract_incrementally(
     open) is stubbed out and listed in ``state.quarantined`` instead
     of aborting the whole service.
     """
+    tele = ensure_telemetry(telemetry)
     state = ExtractionState(
         service=service_doc.name, provider=service_doc.provider
     )
@@ -114,13 +117,22 @@ def extract_incrementally(
     by_name = {res.name: res for res in service_doc.resources}
     for name in state.order:
         resource = by_name[name]
-        try:
-            result = synthesize_with_reprompt(llm, resource, max_attempts)
-        except (SpecSyntaxError, ResilienceError):
-            if not quarantine:
-                raise
-            quarantine_resource(state, resource, max_attempts, stats)
-            continue
+        with tele.span(
+            "extraction.resource", kind="resource", resource=name
+        ) as span:
+            try:
+                result = synthesize_with_reprompt(
+                    llm, resource, max_attempts
+                )
+            except (SpecSyntaxError, ResilienceError) as error:
+                if not quarantine:
+                    raise
+                span.set("quarantined", True)
+                tele.event("quarantined", resource=name,
+                           reason=type(error).__name__)
+                quarantine_resource(state, resource, max_attempts, stats)
+                continue
+            span.set("attempts", result.attempts)
         state.specs[name] = result.spec
         state.results[name] = result
         state.helper_requirements.extend(result.report.helpers_needed)

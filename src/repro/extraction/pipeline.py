@@ -21,6 +21,7 @@ from ..resilience.resilient import ResilientLLM
 from ..resilience.stats import ResilienceStats
 from ..spec import ast
 from ..spec.validator import collect_violations
+from ..telemetry import ensure_telemetry
 from .checks import CheckViolation, run_checks
 from .incremental import (
     extract_incrementally,
@@ -74,6 +75,7 @@ def run_extraction(
     max_attempts: int = 4,
     chaos: ChaosProfile | str | None = None,
     resilience_policy: RetryPolicy | None = None,
+    telemetry=None,
 ) -> ExtractionOutcome:
     """Run the full pipeline for one service.
 
@@ -99,6 +101,9 @@ def run_extraction(
         # the header fields; behaviour rules come from prose alone.
     if llm is None:
         llm = make_llm(mode, seed=seed)
+    if telemetry is not None and isinstance(llm, SimulatedLLM):
+        llm.telemetry = telemetry
+    tele = ensure_telemetry(telemetry)
 
     profile = resolve_profile(chaos)
     stats = ResilienceStats()
@@ -110,55 +115,74 @@ def run_extraction(
             policy=resilience_policy,
             stats=stats,
             seed=seed,
+            clock=tele.clock,
+            telemetry=telemetry,
         )
 
-    state = extract_incrementally(
-        llm, service_doc, max_attempts=max_attempts,
-        quarantine=chaotic, stats=stats,
-    )
-    link = link_module(state, service_doc)
-    outcome = ExtractionOutcome(
-        service=service,
-        module=link.module,
-        notfound_codes=link.notfound_codes,
-        state=state,
-        link=link,
-        resilience=stats,
-        chaos_profile=profile.name,
-    )
-
-    if not checks_enabled:
-        outcome.validator_violations = collect_violations(link.module)
-        return outcome
-
-    violations = run_checks(link.module, service_doc)
-    outcome.initial_violations = list(violations)
-    rounds = 0
-    while violations and rounds < correction_rounds:
-        flagged = sorted({v.resource for v in violations if v.resource})
-        for resource_name in flagged:
-            if (
-                resource_name not in state.specs
-                or resource_name in state.quarantined
-            ):
-                continue
-            try:
-                regenerate_resource(llm, service_doc, state, resource_name)
-            except ResilienceError:
-                # Targeted correction kept failing: degrade to a stub
-                # rather than abort the service build.
-                quarantine_resource(
-                    state, service_doc.resource(resource_name), 1, stats
-                )
-                continue
-            if resource_name not in outcome.corrected_resources:
-                outcome.corrected_resources.append(resource_name)
+    with tele.span(
+        "extraction", kind="phase", service=service, chaos=profile.name
+    ) as phase:
+        state = extract_incrementally(
+            llm, service_doc, max_attempts=max_attempts,
+            quarantine=chaotic, stats=stats, telemetry=telemetry,
+        )
         link = link_module(state, service_doc)
-        outcome.module = link.module
-        outcome.notfound_codes = link.notfound_codes
-        outcome.link = link
+        outcome = ExtractionOutcome(
+            service=service,
+            module=link.module,
+            notfound_codes=link.notfound_codes,
+            state=state,
+            link=link,
+            resilience=stats,
+            chaos_profile=profile.name,
+        )
+        tele.counter("extraction.resources").inc(len(state.specs))
+
+        if not checks_enabled:
+            outcome.validator_violations = collect_violations(link.module)
+            return outcome
+
         violations = run_checks(link.module, service_doc)
-        rounds += 1
-    outcome.remaining_violations = violations
-    outcome.validator_violations = collect_violations(outcome.module)
-    return outcome
+        outcome.initial_violations = list(violations)
+        rounds = 0
+        while violations and rounds < correction_rounds:
+            flagged = sorted({v.resource for v in violations if v.resource})
+            with tele.span(
+                "extraction.correction", kind="correction",
+                round=rounds, flagged=len(flagged),
+            ):
+                for resource_name in flagged:
+                    if (
+                        resource_name not in state.specs
+                        or resource_name in state.quarantined
+                    ):
+                        continue
+                    try:
+                        regenerate_resource(
+                            llm, service_doc, state, resource_name
+                        )
+                    except ResilienceError:
+                        # Targeted correction kept failing: degrade to a
+                        # stub rather than abort the service build.
+                        tele.event("quarantined", resource=resource_name,
+                                   reason="correction")
+                        quarantine_resource(
+                            state, service_doc.resource(resource_name), 1,
+                            stats,
+                        )
+                        continue
+                    if resource_name not in outcome.corrected_resources:
+                        outcome.corrected_resources.append(resource_name)
+                        tele.counter("extraction.corrections").inc()
+                link = link_module(state, service_doc)
+                outcome.module = link.module
+                outcome.notfound_codes = link.notfound_codes
+                outcome.link = link
+                violations = run_checks(link.module, service_doc)
+            rounds += 1
+        outcome.remaining_violations = violations
+        outcome.validator_violations = collect_violations(outcome.module)
+        phase.set("resources", len(state.specs))
+        phase.set("quarantined", len(state.quarantined))
+        phase.set("corrections", len(outcome.corrected_resources))
+        return outcome

@@ -47,11 +47,15 @@ class Emulator:
         self,
         module: ast.SpecModule,
         notfound_codes: dict[str, str] | None = None,
+        telemetry=None,
     ):
         self.module = module
         self.notfound_codes = dict(notfound_codes or {})
         self.registry = Registry()
         self._index = module.transition_index()
+        #: Optional run sink; ``None`` keeps the dispatch hot path
+        #: exactly as fast as an un-instrumented emulator.
+        self._telemetry = telemetry
 
     # -- public API ------------------------------------------------------------
 
@@ -82,6 +86,27 @@ class Emulator:
         fail-fast semantics the resilience layer's injected timeouts
         have.
         """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._invoke(api, params, deadline)
+        with telemetry.span(
+            "emulator.invoke", kind="api_call", api=api
+        ) as span:
+            response = self._invoke(api, params, deadline)
+            telemetry.metrics.counter("emulator.calls").inc()
+            if not response.success:
+                span.set("error_code", response.error_code)
+                telemetry.metrics.counter(
+                    "emulator.errors", code=response.error_code
+                ).inc()
+        return response
+
+    def _invoke(
+        self,
+        api: str,
+        params: dict | None,
+        deadline: Deadline | None,
+    ) -> ApiResponse:
         params = params or {}
         if deadline is not None and deadline.expired():
             return ApiResponse.fail(

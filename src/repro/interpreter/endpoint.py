@@ -38,6 +38,8 @@ class JsonEndpoint:
 
     backend: object
     seed: int = 1
+    #: Optional run sink; per-request spans and counters land here.
+    telemetry: object | None = None
     _counter: int = field(default=0, repr=False)
 
     def _request_id(self) -> str:
@@ -62,7 +64,18 @@ class JsonEndpoint:
             parameters = {}
         if not isinstance(parameters, dict):
             raise ProtocolError("'Parameters' must be a JSON object")
-        response = self.backend.invoke(action, parameters)
+        telemetry = self.telemetry
+        if telemetry is None:
+            response = self.backend.invoke(action, parameters)
+        else:
+            with telemetry.span(
+                "endpoint.request", kind="endpoint", action=action
+            ) as span:
+                response = self.backend.invoke(action, parameters)
+                telemetry.metrics.counter("endpoint.requests").inc()
+                if not response.success:
+                    span.set("error_code", response.error_code)
+                    telemetry.metrics.counter("endpoint.errors").inc()
         return self._envelope(response)
 
     def _envelope(self, response: ApiResponse) -> dict:

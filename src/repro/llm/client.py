@@ -98,15 +98,32 @@ class SimulatedLLM:
     constrained: bool = True
     seed: int = 7
     usage: LLMUsage = field(default_factory=LLMUsage)
+    #: Optional run sink; per-request spans and token metrics land
+    #: here when set (see :mod:`repro.telemetry`).
+    telemetry: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._fault_model = FaultModel(self.profile, seed=self.seed)
         self._synthesizer = SpecSynthesizer(self._fault_model)
 
+    def _record_telemetry(self, span, op: str, prompt: str,
+                          completion: str) -> None:
+        prompt_tokens = max(1, len(prompt) // 4)
+        completion_tokens = max(1, len(completion) // 4) if completion else 0
+        span.set("prompt_tokens", prompt_tokens)
+        span.set("completion_tokens", completion_tokens)
+        metrics = self.telemetry.metrics
+        metrics.counter("llm.requests", op=op).inc()
+        metrics.counter("llm.prompt_tokens").inc(prompt_tokens)
+        metrics.counter("llm.completion_tokens").inc(completion_tokens)
+        metrics.histogram("llm.completion_tokens_per_request").observe(
+            completion_tokens
+        )
+
     # -- generation -------------------------------------------------------
 
-    def generate_spec(
-        self, resource: ResourceDoc, prompt: str, attempt: int = 0
+    def _generate_text(
+        self, resource: ResourceDoc, attempt: int
     ) -> tuple[str, GenerationReport]:
         text, report = self._synthesizer.synthesize_text(
             resource, attempt=attempt
@@ -115,7 +132,22 @@ class SimulatedLLM:
             resource.name, attempt
         ):
             text = _corrupt_syntax(text, attempt)
-        self.usage.record(prompt, text)
+        return text, report
+
+    def generate_spec(
+        self, resource: ResourceDoc, prompt: str, attempt: int = 0
+    ) -> tuple[str, GenerationReport]:
+        if self.telemetry is None:
+            text, report = self._generate_text(resource, attempt)
+            self.usage.record(prompt, text)
+            return text, report
+        with self.telemetry.span(
+            "llm.generate", kind="llm_call",
+            resource=resource.name, attempt=attempt,
+        ) as span:
+            text, report = self._generate_text(resource, attempt)
+            self.usage.record(prompt, text)
+            self._record_telemetry(span, "generate", prompt, text)
         return text, report
 
     def regenerate_clean(
@@ -127,6 +159,11 @@ class SimulatedLLM:
         clean = SpecSynthesizer(FaultModel(PERFECT_PROFILE, seed=self.seed))
         text, report = clean.synthesize_text(resource)
         self.usage.record(prompt, text)
+        if self.telemetry is not None:
+            with self.telemetry.span(
+                "llm.regenerate", kind="llm_call", resource=resource.name,
+            ) as span:
+                self._record_telemetry(span, "regenerate", prompt, text)
         return text, report
 
     # -- diagnosis ----------------------------------------------------------
@@ -140,6 +177,11 @@ class SimulatedLLM:
         message carries no actionable structure.
         """
         self.usage.record(message, "")
+        if self.telemetry is not None:
+            with self.telemetry.span(
+                "llm.diagnose", kind="llm_call",
+            ) as span:
+                self._record_telemetry(span, "diagnose", message, "")
         return parse_rule(message)
 
 

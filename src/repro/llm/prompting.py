@@ -84,6 +84,13 @@ def synthesize_with_reprompt(
             usage = getattr(llm, "usage", None)
             if usage is not None:
                 usage.failed_requests += 1
+            telemetry = getattr(llm, "telemetry", None)
+            if telemetry is not None:
+                telemetry.event(
+                    "llm_parse_failure",
+                    resource=resource.name, attempt=attempt,
+                )
+                telemetry.counter("llm.parse_failures").inc()
             continue
         return SynthesisResult(spec=spec, report=report, attempts=attempt + 1)
     raise last_error or SpecSyntaxError("generation failed to parse")

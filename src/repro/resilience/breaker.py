@@ -31,12 +31,14 @@ class CircuitBreaker:
         cooldown: float = 5.0,
         clock: VirtualClock | None = None,
         stats: ResilienceStats | None = None,
+        telemetry=None,
     ):
         self.target = target
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock or VirtualClock()
         self.stats = stats
+        self.telemetry = telemetry
         self.state = CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
@@ -68,6 +70,8 @@ class CircuitBreaker:
         self.trips += 1
         if self.stats is not None:
             self.stats.breaker_trips += 1
+        if self.telemetry is not None:
+            self.telemetry.event("breaker_trip", target=self.target)
 
 
 class BreakerBoard:
@@ -79,11 +83,13 @@ class BreakerBoard:
         cooldown: float = 5.0,
         clock: VirtualClock | None = None,
         stats: ResilienceStats | None = None,
+        telemetry=None,
     ):
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock or VirtualClock()
         self.stats = stats
+        self.telemetry = telemetry
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def get(self, target: str) -> CircuitBreaker:
@@ -95,6 +101,7 @@ class BreakerBoard:
                 cooldown=self.cooldown,
                 clock=self.clock,
                 stats=self.stats,
+                telemetry=self.telemetry,
             )
             self._breakers[target] = breaker
         return breaker

@@ -252,6 +252,10 @@ class ChaosLLM:
     def usage(self):
         return self.inner.usage
 
+    @property
+    def telemetry(self):
+        return getattr(self.inner, "telemetry", None)
+
     def _check_transient(self, prompt: str, *key: object) -> None:
         profile, engine = self.engine.profile, self.engine
         if engine.decide(profile.llm_transient, "llm5xx", *key):

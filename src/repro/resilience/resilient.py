@@ -43,13 +43,22 @@ class ResilientLLM:
         stats: ResilienceStats | None = None,
         clock: VirtualClock | None = None,
         seed: int = 0,
+        telemetry=None,
     ):
         self.inner = inner
         self.policy = policy or RetryPolicy()
         self.stats = stats if stats is not None else ResilienceStats()
         self.clock = clock or VirtualClock()
         self.seed = seed
-        self.breakers = BreakerBoard(clock=self.clock, stats=self.stats)
+        # Fall back to whatever sink the wrapped client already
+        # carries, so wrapping never silences an instrumented model.
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else getattr(inner, "telemetry", None)
+        )
+        self.breakers = BreakerBoard(
+            clock=self.clock, stats=self.stats, telemetry=self.telemetry
+        )
 
     @property
     def usage(self):
@@ -64,6 +73,7 @@ class ResilientLLM:
             key=key,
             stats=self.stats,
             breaker=self.breakers.get(target),
+            telemetry=self.telemetry,
         )
 
     def generate_spec(self, resource, prompt: str, attempt: int = 0):
@@ -111,6 +121,7 @@ class ResilientBackend:
         clock: VirtualClock | None = None,
         seed: int = 0,
         consistency_retries: int = 3,
+        telemetry=None,
     ):
         self.inner = inner
         self.policy = policy or RetryPolicy()
@@ -118,7 +129,10 @@ class ResilientBackend:
         self.clock = clock or VirtualClock()
         self.seed = seed
         self.consistency_retries = consistency_retries
-        self.breakers = BreakerBoard(clock=self.clock, stats=self.stats)
+        self.telemetry = telemetry
+        self.breakers = BreakerBoard(
+            clock=self.clock, stats=self.stats, telemetry=telemetry
+        )
         self._seq = 0
 
     # -- delegated surface -------------------------------------------------
@@ -164,6 +178,8 @@ class ResilientBackend:
                 transient_tries += 1
                 if transient_tries >= self.policy.max_attempts:
                     self.stats.gave_ups += 1
+                    if self.telemetry is not None:
+                        self.telemetry.event("gave_up", api=api, code=code)
                     return response
             elif is_notfound_code(code) and (
                 notfound_tries < self.consistency_retries
@@ -181,6 +197,10 @@ class ResilientBackend:
             )
             if deadline is not None and delay >= deadline.remaining():
                 self.stats.deadline_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.event("deadline_hit", api=api, code=code)
                 return response
             self.clock.sleep(delay)
             self.stats.retries += 1
+            if self.telemetry is not None:
+                self.telemetry.event("retry", api=api, code=code)

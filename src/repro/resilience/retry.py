@@ -32,8 +32,12 @@ def retry_call(
     stats: ResilienceStats | None = None,
     breaker: CircuitBreaker | None = None,
     retryable: Callable[[Exception], bool] | None = None,
+    telemetry=None,
 ) -> T:
     """Call ``fn`` until it succeeds, retrying transient failures.
+
+    ``telemetry`` (duck-typed, optional) receives one span event per
+    retry / give-up / deadline hit, mirroring the ``stats`` counters.
 
     Raises:
         DeadlineExceeded: the per-call deadline ran out between
@@ -60,12 +64,19 @@ def retry_call(
             breaker.before_call()
         if deadline is not None and deadline.expired():
             stats.deadline_hits += 1
+            if telemetry is not None:
+                telemetry.event("deadline_hit", target=str(key))
             raise DeadlineExceeded(
                 f"deadline expired after {attempt} attempt(s)"
             )
         stats.attempts += 1
         if attempt > 0:
             stats.retries += 1
+            if telemetry is not None:
+                telemetry.event(
+                    "retry", target=str(key), attempt=attempt,
+                    code=getattr(last, "code", ""),
+                )
         try:
             result = fn()
         except Exception as error:  # noqa: BLE001 - classified below
@@ -83,6 +94,8 @@ def retry_call(
             delay = policy.backoff_delay(attempt, seed=seed, key=key)
             if deadline is not None and delay >= deadline.remaining():
                 stats.deadline_hits += 1
+                if telemetry is not None:
+                    telemetry.event("deadline_hit", target=str(key))
                 raise DeadlineExceeded(
                     f"deadline would expire during backoff "
                     f"(attempt {attempt + 1})"
@@ -93,4 +106,8 @@ def retry_call(
             breaker.record_success()
         return result
     stats.gave_ups += 1
+    if telemetry is not None:
+        telemetry.event(
+            "gave_up", target=str(key), code=getattr(last, "code", ""),
+        )
     raise RetriesExhausted(policy.max_attempts, last)

@@ -1,0 +1,54 @@
+"""Observability for the learn/align/serve pipeline.
+
+One :class:`Telemetry` object per run carries three instruments:
+
+- **spans** — a hierarchical trace of where the run spent its
+  (virtual) time: build -> extraction pass -> resource -> LLM call,
+  alignment round -> differential trace -> emulated API call;
+- **metrics** — a registry of counters, gauges and histograms
+  (p50/p95/max) with dotted names and label dimensions;
+- **events** — point-in-time facts (retries, breaker trips,
+  quarantines) attached to whichever span was open.
+
+Instrumented code accepts ``telemetry=None``; the
+:data:`NULL_TELEMETRY` sink makes the disabled path allocation-light
+and output-free, so the default build is byte-identical to an
+un-instrumented one.  Traces export to JSONL (``repro build
+--telemetry run.jsonl``) and render back as a phase/cost/fault
+breakdown (``repro report run.jsonl``).
+"""
+
+from .core import ensure_telemetry, NULL_TELEMETRY, NullTelemetry, Telemetry
+from .export import (
+    load_trace,
+    render_span_tree,
+    trace_records,
+    TraceData,
+    TraceError,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_trace_report, RunReport
+from .spans import Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "ensure_telemetry",
+    "Gauge",
+    "Histogram",
+    "load_trace",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "render_span_tree",
+    "render_trace_report",
+    "RunReport",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "trace_records",
+    "TraceData",
+    "TraceError",
+    "Tracer",
+    "write_trace",
+]

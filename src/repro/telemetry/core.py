@@ -1,0 +1,153 @@
+"""The telemetry facade and its no-op twin.
+
+A :class:`Telemetry` instance is one run's sink: a tracer (span tree
+on the virtual clock), a metrics registry, and a structured event
+log.  Instrumented code takes ``telemetry=None`` and goes through
+:func:`ensure_telemetry`, so the disabled path costs a single ``is
+None`` check (or a call into the shared :data:`NULL_TELEMETRY`
+singleton, which allocates nothing per call) and produces no output
+at all — a build without a sink is byte-identical to one before
+telemetry existed.
+"""
+
+from __future__ import annotations
+
+from ..resilience.policy import VirtualClock
+from .metrics import MetricsRegistry
+from .spans import SpanEvent, Tracer
+
+
+class Telemetry:
+    """One run's telemetry sink: spans + metrics + events."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        service: str = "",
+        clock: VirtualClock | None = None,
+    ):
+        self.service = service
+        #: Shared with the run's resilience wrappers, so backoff waits
+        #: and breaker cooldowns advance span time.
+        self.clock = clock or VirtualClock()
+        self.tracer = Tracer(self.clock)
+        self.metrics = MetricsRegistry()
+        #: Events recorded while no span was open.
+        self.orphan_events: list[SpanEvent] = []
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, kind: str = "", **attributes: object):
+        """Open a span for the ``with`` body (see :class:`Tracer`)."""
+        return self.tracer.span(name, kind=kind, **attributes)
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Record a point-in-time fact on the innermost open span."""
+        current = self.tracer.current
+        if current is not None:
+            current.event(name, self.clock.now(), **attributes)
+        else:
+            self.orphan_events.append(
+                SpanEvent(name=name, time=self.clock.now(),
+                          attributes=dict(attributes))
+            )
+
+    def iter_events(self):
+        """Every event in the run, span-attached and orphan alike."""
+        for span in self.tracer.walk():
+            yield from span.events
+        yield from self.orphan_events
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter(self, name: str, **labels: object):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object):
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object):
+        return self.metrics.histogram(name, **labels)
+
+
+class _NullSpan:
+    """Accepts the :class:`~repro.telemetry.spans.Span` write surface."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def event(self, name: str, time: float = 0.0, **attributes: object):
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class _NullInstrument:
+    """Accepts every instrument's write surface and drops it."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullTelemetry:
+    """The disabled sink: same surface, zero state, zero output.
+
+    Every method returns a module-level shared object, so the hot
+    path never allocates; ``clock`` is ``None`` on purpose, so
+    callers that would share the telemetry clock with the resilience
+    layer fall back to the exact wiring they used before telemetry
+    existed.
+    """
+
+    enabled = False
+    clock = None
+
+    def span(self, name: str, kind: str = "", **attributes: object):
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attributes: object) -> None:
+        pass
+
+    def iter_events(self):
+        return iter(())
+
+    def counter(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+_NULL_INSTRUMENT = _NullInstrument()
+
+#: The shared disabled sink every un-instrumented run goes through.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure_telemetry(telemetry) -> "Telemetry | NullTelemetry":
+    """Normalize an optional telemetry argument to a usable sink."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

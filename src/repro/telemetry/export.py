@@ -1,0 +1,162 @@
+"""Exporters: JSONL for machines, an indented tree for humans.
+
+The JSONL schema is one JSON object per line, discriminated by
+``type``:
+
+- ``meta``    — first line: schema version, service, record counts;
+- ``span``    — one span, pre-order (parents before children), with
+  ``id``/``parent`` linking, virtual-clock ``start``/``end``/
+  ``duration``, ``status``, ``attributes`` and inline ``events``;
+- ``event``   — an event recorded outside any span;
+- ``metric``  — one instrument's final state (``metric`` carries the
+  ``name{label=value}`` key, ``data`` the type-specific summary);
+- ``report``  — last line: the folded :class:`RunReport` dict.
+
+A saved trace reloads with :func:`load_trace` and renders with
+:func:`~repro.telemetry.report.render_trace_report` (exposed as
+``repro report <trace.jsonl>``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def trace_records(telemetry, report=None) -> list[dict]:
+    """Everything one sink holds, as JSONL-ready dicts."""
+    spans = [span.to_dict() for span in telemetry.tracer.walk()]
+    metrics = telemetry.metrics.snapshot()
+    records: list[dict] = [{
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "service": telemetry.service,
+        "clock": "virtual",
+        "spans": len(spans),
+        "metrics": len(metrics),
+    }]
+    records.extend({"type": "span", **span} for span in spans)
+    records.extend(
+        {"type": "event", **event.to_dict()}
+        for event in telemetry.orphan_events
+    )
+    records.extend(
+        {"type": "metric", "metric": key, "data": data}
+        for key, data in metrics.items()
+    )
+    if report is not None:
+        records.append({"type": "report", "report": report.to_dict()})
+    return records
+
+
+def write_trace(telemetry, path, report=None) -> Path:
+    """Serialize one run's telemetry to a JSONL file."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in trace_records(telemetry, report=report):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+@dataclass
+class TraceData:
+    """A reloaded JSONL trace, grouped by record type."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    report: dict | None = None
+
+    def span_children(self) -> dict:
+        """Parent span id -> child span dicts (``None`` key = roots)."""
+        children: dict = {}
+        for span in self.spans:
+            children.setdefault(span.get("parent"), []).append(span)
+        return children
+
+    def iter_span_events(self):
+        for span in self.spans:
+            yield from span.get("events", ())
+        yield from self.events
+
+
+class TraceError(ValueError):
+    """The file is not a telemetry JSONL trace."""
+
+
+def load_trace(path) -> TraceData:
+    """Read a JSONL trace back into grouped records."""
+    data = TraceData()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{line_number}: not JSON: {error.msg}"
+                ) from None
+            kind = record.get("type") if isinstance(record, dict) else None
+            if kind == "meta":
+                data.meta = record
+            elif kind == "span":
+                data.spans.append(record)
+            elif kind == "event":
+                data.events.append(record)
+            elif kind == "metric":
+                data.metrics[record.get("metric", "")] = record.get(
+                    "data", {}
+                )
+            elif kind == "report":
+                data.report = record.get("report")
+            else:
+                raise TraceError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
+    if not data.meta and not data.spans:
+        raise TraceError(f"{path}: no telemetry records found")
+    return data
+
+
+def render_span_tree(data: TraceData, max_children: int = 12) -> str:
+    """An indented human-readable view of a trace's span tree.
+
+    Sibling runs larger than ``max_children`` are elided with a count
+    line, so a thousand-API-call alignment round stays readable.
+    """
+    children = data.span_children()
+    lines: list[str] = []
+
+    def emit(span: dict, depth: int) -> None:
+        label = span.get("name", "?")
+        attributes = span.get("attributes", {})
+        for key in ("resource", "api", "trace", "action", "index"):
+            if key in attributes:
+                label += f":{attributes[key]}"
+                break
+        kind = span.get("kind", "")
+        status = span.get("status", "ok")
+        suffix = f" [{kind}]" if kind else ""
+        if status != "ok":
+            suffix += f" !{status}"
+        lines.append(
+            f"{'  ' * depth}{label}{suffix} "
+            f"({span.get('duration', 0.0):.3f}s)"
+        )
+        kids = children.get(span.get("id"), [])
+        shown = kids[:max_children]
+        for kid in shown:
+            emit(kid, depth + 1)
+        hidden = len(kids) - len(shown)
+        if hidden > 0:
+            lines.append(f"{'  ' * (depth + 1)}... {hidden} more span(s)")
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)

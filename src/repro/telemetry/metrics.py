@@ -1,0 +1,157 @@
+"""The metrics registry: counters, gauges, histograms.
+
+Metric names are dotted, lowercase, and unit-suffixed where the unit
+is not obvious (``llm.prompt_tokens``, ``emulator.calls``,
+``invoke_latency_s``); dimensions ride in labels, so one registry can
+hold e.g. ``emulator.errors{code=DependencyViolation}`` next to
+``emulator.errors{code=InvalidVpcID.NotFound}`` without inventing new
+names.  Everything is plain in-process accounting — instruments are
+created on first use and snapshot to JSON-ready dicts.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+
+
+def _render_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def summary(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A distribution of observations, summarized as p50/p95/max.
+
+    Observations are kept raw (pipeline runs observe thousands of
+    values, not millions) and percentiles use the nearest-rank rule,
+    so the summary is exact and deterministic.
+    """
+
+    __slots__ = ("name", "labels", "values")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @contextmanager
+    def timer(self, clock=time.perf_counter):
+        """Observe the duration of the ``with`` body, in seconds.
+
+        Uses host wall time by default — this is the benchmark-facing
+        instrument; pipeline spans use the virtual clock instead.
+        """
+        start = clock()
+        try:
+            yield self
+        finally:
+            self.observe(clock() - start)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of everything observed so far."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        total = sum(self.values)
+        return {
+            "count": len(self.values),
+            "sum": total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": total / len(self.values),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """All of one run's instruments, keyed by name + labels."""
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, factory, name: str, labels: dict):
+        key = _render_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Every instrument's current state, JSON-ready, sorted."""
+        out: dict[str, dict] = {}
+        for key in sorted(self._instruments):
+            instrument = self._instruments[key]
+            record = {"type": instrument.kind}
+            record.update(instrument.summary())
+            out[key] = record
+        return out

@@ -1,0 +1,245 @@
+"""The run report: one folded view of what a build did and cost.
+
+:class:`RunReport` collapses a finished
+:class:`~repro.core.builder.LearnedEmulatorBuild` — module shape,
+:class:`~repro.llm.client.LLMUsage`,
+:class:`~repro.resilience.stats.ResilienceStats`, alignment outcome —
+plus the run's metrics snapshot into one structure with three
+renderings: the CLI's console summary, machine-readable JSON
+(``repro build --json``), and the JSONL trailer record.
+
+:func:`render_trace_report` is the offline counterpart: it takes a
+reloaded JSONL trace and renders the per-phase latency / token /
+fault breakdown (``repro report <trace.jsonl>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .export import render_span_tree, TraceData
+
+
+@dataclass
+class RunReport:
+    """Everything one build produced, summarized."""
+
+    service: str
+    machines: int
+    apis: int
+    llm: dict
+    alignment: dict | None
+    resilience: dict
+    quarantined: list[str] = field(default_factory=list)
+    chaos_profile: str = "off"
+    #: Filled only when the build ran with a live telemetry sink.
+    spans: int = 0
+    metrics: dict | None = None
+
+    @classmethod
+    def from_build(cls, build, telemetry=None) -> "RunReport":
+        """Fold a finished build (duck-typed) into a report."""
+        usage = build.llm.usage
+        alignment = None
+        if build.alignment is not None:
+            alignment = {
+                "rounds": len(build.alignment.rounds),
+                "repairs": build.alignment.total_repairs,
+                "divergences": build.alignment.total_divergences,
+                "doc_gaps": build.alignment.doc_gaps_learned,
+                "converged": build.alignment.converged,
+            }
+        resilience = build.resilience
+        report = cls(
+            service=build.service,
+            machines=len(build.module.machines),
+            apis=build.api_count,
+            llm={
+                "requests": usage.requests,
+                "prompt_tokens": usage.prompt_tokens,
+                "completion_tokens": usage.completion_tokens,
+                "total_tokens": usage.prompt_tokens
+                + usage.completion_tokens,
+                "failed_requests": usage.failed_requests,
+            },
+            alignment=alignment,
+            resilience={**resilience.as_dict(), "clean": resilience.clean},
+            quarantined=list(build.extraction.quarantined),
+            chaos_profile=build.extraction.chaos_profile,
+        )
+        if telemetry is not None and telemetry.enabled:
+            report.spans = telemetry.tracer.span_count
+            report.metrics = telemetry.metrics.snapshot()
+        return report
+
+    def to_dict(self) -> dict:
+        record = {
+            "service": self.service,
+            "machines": self.machines,
+            "apis": self.apis,
+            "llm": dict(self.llm),
+            "alignment": dict(self.alignment) if self.alignment else None,
+            "resilience": dict(self.resilience),
+            "quarantined": list(self.quarantined),
+            "chaos_profile": self.chaos_profile,
+        }
+        if self.spans:
+            record["spans"] = self.spans
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
+
+    def render_console(self) -> str:
+        """The ``repro build`` summary block."""
+        llm = self.llm
+        lines = [
+            f"service:   {self.service}",
+            f"machines:  {self.machines}",
+            f"apis:      {self.apis}",
+            f"llm calls: {llm['requests']} "
+            f"({llm['prompt_tokens']} prompt + "
+            f"{llm['completion_tokens']} completion = "
+            f"{llm['total_tokens']} tokens, "
+            f"{llm['failed_requests']} failed)",
+        ]
+        if self.alignment is not None:
+            lines.append(
+                f"alignment: {self.alignment['rounds']} round(s), "
+                f"{self.alignment['repairs']} repair(s), "
+                f"converged={self.alignment['converged']}"
+            )
+        if not self.resilience.get("clean", True):
+            quarantined = self.quarantined
+            lines.append(
+                f"resilience: {self.resilience['retries']} retried, "
+                f"{self.resilience['gave_ups']} gave up, "
+                f"{self.resilience['round_restarts']} round restart(s), "
+                f"{len(quarantined)} quarantined"
+                + (f" ({', '.join(quarantined)})" if quarantined else "")
+            )
+        return "\n".join(lines)
+
+
+#: The event names the resilience layer emits, in display order.
+FAULT_EVENTS = ("retry", "breaker_trip", "gave_up", "deadline_hit",
+                "round_restart", "quarantined", "llm_parse_failure")
+
+
+def _phase_rows(data: TraceData) -> list[tuple[str, int, dict, float]]:
+    """(name, depth, kind-counts, duration) for build + phase spans."""
+    children = data.span_children()
+
+    def subtree_counts(span: dict) -> dict:
+        counts: dict[str, int] = {}
+        pending = [span]
+        while pending:
+            node = pending.pop()
+            kind = node.get("kind") or "span"
+            counts[kind] = counts.get(kind, 0) + 1
+            pending.extend(children.get(node.get("id"), ()))
+        return counts
+
+    rows: list[tuple[str, int, dict, float]] = []
+    for root in children.get(None, []):
+        rows.append((root.get("name", "?"), 0, subtree_counts(root),
+                     root.get("duration", 0.0)))
+        for child in children.get(root.get("id"), []):
+            if child.get("kind") != "phase":
+                continue
+            rows.append((child.get("name", "?"), 1, subtree_counts(child),
+                         child.get("duration", 0.0)))
+    return rows
+
+
+def render_trace_report(data: TraceData, tree: bool = True) -> str:
+    """Render a reloaded JSONL trace as a phase/cost/fault breakdown."""
+    report = data.report or {}
+    service = report.get("service") or data.meta.get("service") or "?"
+    chaos = report.get("chaos_profile", "off")
+    lines = [
+        f"Telemetry report — service {service} (chaos {chaos}, "
+        f"schema {data.meta.get('schema', '?')})",
+        "",
+    ]
+
+    # -- phases ------------------------------------------------------------
+    rows = _phase_rows(data)
+    if rows:
+        lines.append(f"{'phase':28} {'virtual-s':>10} {'spans':>7}")
+        for name, depth, counts, duration in rows:
+            label = "  " * depth + name
+            lines.append(
+                f"{label:28} {duration:>10.3f} "
+                f"{sum(counts.values()):>7}"
+            )
+        lines.append("")
+
+    # -- cost --------------------------------------------------------------
+    llm = report.get("llm")
+    if llm is None:
+        # No report trailer: fall back to the llm.* counters.
+        def metric(name: str) -> int:
+            return int(data.metrics.get(name, {}).get("value", 0))
+
+        llm = {
+            "requests": sum(
+                int(value.get("value", 0))
+                for key, value in data.metrics.items()
+                if key.startswith("llm.requests")
+            ),
+            "prompt_tokens": metric("llm.prompt_tokens"),
+            "completion_tokens": metric("llm.completion_tokens"),
+            "failed_requests": metric("llm.parse_failures"),
+        }
+    lines.append(
+        f"llm: {llm.get('requests', 0)} request(s), "
+        f"{llm.get('prompt_tokens', 0)} prompt + "
+        f"{llm.get('completion_tokens', 0)} completion tokens, "
+        f"{llm.get('failed_requests', 0)} failed"
+    )
+
+    # -- API calls ---------------------------------------------------------
+    api_calls = [s for s in data.spans if s.get("kind") == "api_call"]
+    error_codes: dict[str, int] = {}
+    for span in api_calls:
+        code = span.get("attributes", {}).get("error_code")
+        if code:
+            error_codes[code] = error_codes.get(code, 0) + 1
+    top = sorted(error_codes.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    suffix = ""
+    if top:
+        suffix = " (top: " + ", ".join(
+            f"{code}×{count}" for code, count in top
+        ) + ")"
+    lines.append(
+        f"api calls: {len(api_calls)} span(s), "
+        f"{sum(error_codes.values())} error(s){suffix}"
+    )
+
+    # -- faults ------------------------------------------------------------
+    fault_counts = {name: 0 for name in FAULT_EVENTS}
+    for event in data.iter_span_events():
+        name = event.get("name")
+        if name in fault_counts:
+            fault_counts[name] += 1
+    lines.append(
+        "faults: " + ", ".join(
+            f"{count} {name.replace('_', ' ')}(s)"
+            for name, count in fault_counts.items()
+        )
+    )
+    resilience = report.get("resilience")
+    if resilience:
+        lines.append(
+            f"resilience stats: {resilience.get('retries', 0)} retried, "
+            f"{resilience.get('gave_ups', 0)} gave up, "
+            f"{resilience.get('breaker_trips', 0)} breaker trip(s), "
+            f"{resilience.get('quarantined', 0)} quarantined"
+        )
+    lines.append("")
+
+    # -- span tree ---------------------------------------------------------
+    if tree and data.spans:
+        lines.append("span tree:")
+        lines.append(render_span_tree(data, max_children=6))
+    return "\n".join(lines)

@@ -4,7 +4,6 @@ trace generation, diagnosis, the repair loop, and error decoding."""
 import pytest
 
 from repro.alignment import (
-    align_module,
     classify_assert,
     compare_responses,
     diff_traces,
@@ -14,9 +13,8 @@ from repro.alignment import (
     TraceBuilder,
 )
 from repro.cloud import make_cloud
-from repro.core import build_learned_emulator, wrangled_docs
+from repro.core import build_learned_emulator
 from repro.interpreter import ApiResponse
-from repro.llm import make_llm
 from repro.scenarios import evaluation_traces, run_trace
 from repro.spec import parse_sm
 

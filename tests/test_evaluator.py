@@ -1,7 +1,5 @@
 """Deeper evaluator semantics: the grammar's corners."""
 
-import pytest
-
 from repro.interpreter import Emulator
 from repro.spec import parse_module
 

@@ -5,7 +5,6 @@ import pytest
 from repro.docs import build_catalog, render_docs, wrangle
 from repro.llm import (
     build_prompt,
-    CONSTRAINED_PROFILE,
     DIRECT_PROFILE,
     FaultModel,
     make_llm,
@@ -14,7 +13,7 @@ from repro.llm import (
     SUBTLE_CHECK_KINDS,
     synthesize_with_reprompt,
 )
-from repro.spec import parse_sm, SpecSyntaxError, validate_sm
+from repro.spec import parse_sm, validate_sm
 from repro.spec.serializer import serialize_sm
 
 

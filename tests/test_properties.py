@@ -5,7 +5,6 @@ from hypothesis import given, HealthCheck, settings, strategies as st
 
 from repro.alignment import normalize_value
 from repro.core import wrangled_docs
-from repro.interpreter import Emulator
 from repro.llm import FaultModel, PERFECT_PROFILE, SpecSynthesizer
 from repro.spec import ast, parse_sm, serialize_sm
 from repro.spec.parser import parse_module

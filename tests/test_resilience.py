@@ -7,7 +7,6 @@ import pytest
 from repro.alignment.loop import align_module
 from repro.docs import build_catalog, render_docs, wrangle
 from repro.extraction.pipeline import run_extraction
-from repro.interpreter.emulator import Emulator
 from repro.llm.client import make_llm
 from repro.resilience import (
     CircuitBreaker,
