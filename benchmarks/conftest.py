@@ -11,6 +11,12 @@ snapshot (count/min/mean/p50/p95/max per series) lands in
 ``BENCH_<module>.json`` next to the working directory (override with
 ``$REPRO_BENCH_DIR``), so CI can archive machine-readable numbers
 alongside pytest-benchmark's own output.
+
+The perf trajectory is self-recording: the first run of a module also
+writes its snapshot into the shared ``BENCH_baseline.json`` (one
+section per module, never overwritten), and every later run embeds a
+``speedup_vs_previous`` section — previous-snapshot mean over current
+mean, per timing series — into the module's ``BENCH_<module>.json``.
 """
 
 import json
@@ -41,6 +47,26 @@ class BenchRecorder:
         self.registry.gauge(name, **labels).set(value)
 
 
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _speedups(previous: dict | None, current: dict) -> dict:
+    """Per-series mean speedup of ``current`` over ``previous``."""
+    out: dict[str, float] = {}
+    for key, record in current.items():
+        if record.get("type") != "histogram" or not record.get("mean"):
+            continue
+        before = (previous or {}).get(key)
+        if not isinstance(before, dict) or not before.get("mean"):
+            continue
+        out[key] = round(before["mean"] / record["mean"], 3)
+    return out
+
+
 @pytest.fixture(scope="module")
 def bench_metrics(request):
     """Per-module metrics recorder; writes ``BENCH_<module>.json``."""
@@ -53,8 +79,26 @@ def bench_metrics(request):
     target = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     target.mkdir(parents=True, exist_ok=True)
     path = target / f"BENCH_{name}.json"
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+
+    previous = _load_json(path)
+    speedups = _speedups(previous, snapshot)
+    payload = dict(snapshot)
+    if speedups:
+        payload["speedup_vs_previous"] = speedups
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+
+    # A module's first-ever snapshot becomes its permanent baseline;
+    # later runs leave the baseline file's section untouched, so the
+    # trajectory always has a fixed starting point to compare against.
+    baseline_path = target / "BENCH_baseline.json"
+    baselines = _load_json(baseline_path) or {}
+    if name not in baselines:
+        baselines[name] = snapshot
+        baseline_path.write_text(
+            json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
 
 @pytest.fixture(scope="session")

@@ -4,10 +4,17 @@ Each generated trace runs on the reference cloud and on the emulator;
 the comparator reports the first step where behaviour differs, together
 with both responses — the "delta" that diagnosis feeds to the LLM
 (§4.3).
+
+Traces are independent (each run resets its backend first), so the
+pass can be *sharded*: contiguous chunks of the trace list run
+concurrently, each against its own freshly built backend pair, and the
+per-trace outcomes merge back in trace order.  The merged report is
+identical to a sequential pass over fresh backends.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..interpreter.errors import ApiResponse
@@ -73,9 +80,52 @@ class DiffReport:
         return self.aligned / self.compared if self.compared else 1.0
 
 
+def _diff_one(cloud, emulator, trace: Trace, skip_transient: bool, tele):
+    """Diff one trace: (comparison, divergence | None, transient_skip)."""
+    with tele.span(
+        "diff.trace", kind="trace", trace=trace.name,
+        scenario=trace.scenario,
+    ) as span:
+        cloud_run = run_trace(cloud, trace)
+        emulator_run = run_trace(emulator, trace)
+        comparison = compare_runs(cloud_run, emulator_run)
+        span.set("aligned", comparison.aligned)
+        if comparison.aligned:
+            return comparison, None, False
+        index = comparison.divergent_step_index
+        if skip_transient and is_transient_failure(
+            cloud_run.results[index].response
+        ):
+            span.set("transient_skip", True)
+            return comparison, None, True
+        span.set("divergent_api", cloud_run.results[index].api)
+        divergence = Divergence(
+            trace=trace,
+            step_index=index,
+            api=cloud_run.results[index].api,
+            reason=comparison.steps[index].reason,
+            cloud_response=cloud_run.results[index].response,
+            emulator_response=emulator_run.results[index].response,
+            resolved_params=cloud_run.results[index].resolved_params,
+        )
+        return comparison, divergence, False
+
+
+def _shards(items: list, count: int) -> list[list]:
+    """Split into at most ``count`` contiguous, balanced chunks."""
+    count = min(count, len(items))
+    size, extra = divmod(len(items), count)
+    shards, start = [], 0
+    for index in range(count):
+        end = start + size + (1 if index < extra else 0)
+        shards.append(items[start:end])
+        start = end
+    return shards
+
+
 def diff_traces(
     cloud, emulator, traces: list[Trace], skip_transient: bool = False,
-    telemetry=None,
+    telemetry=None, parallel: int = 1, backend_factory=None,
 ) -> DiffReport:
     """Run every trace on both backends and collect divergences.
 
@@ -85,42 +135,53 @@ def diff_traces(
     in ``transient_skips`` instead of becoming a divergence, so the
     repair machinery never "fixes" the spec against infrastructure
     noise.
+
+    With ``parallel > 1`` and a ``backend_factory`` (returning a fresh
+    ``(cloud, emulator)`` pair), the trace list is split into
+    contiguous shards, each executed on its own backend pair; per-trace
+    outcomes merge back in trace order, so the report does not depend
+    on scheduling.  Without a factory the pass stays sequential (the
+    caller's backends are stateful and cannot be shared across
+    threads).
     """
     tele = ensure_telemetry(telemetry)
+    workers = max(1, int(parallel))
+    if workers > 1 and backend_factory is not None and len(traces) > 1:
+        shards = _shards(list(traces), workers)
+
+        def run_shard(shard: list[Trace]):
+            shard_cloud, shard_emulator = backend_factory()
+            return [
+                _diff_one(shard_cloud, shard_emulator, trace,
+                          skip_transient, tele)
+                for trace in shard
+            ]
+
+        with tele.anchored():
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                # ``map`` preserves shard order; shards are contiguous,
+                # so the flattened outcomes are in trace order.
+                outcomes = [
+                    outcome
+                    for shard_outcomes in pool.map(run_shard, shards)
+                    for outcome in shard_outcomes
+                ]
+    else:
+        outcomes = [
+            _diff_one(cloud, emulator, trace, skip_transient, tele)
+            for trace in traces
+        ]
+
     report = DiffReport()
-    for trace in traces:
-        with tele.span(
-            "diff.trace", kind="trace", trace=trace.name,
-            scenario=trace.scenario,
-        ) as span:
-            cloud_run = run_trace(cloud, trace)
-            emulator_run = run_trace(emulator, trace)
-            comparison = compare_runs(cloud_run, emulator_run)
-            report.compared += 1
-            report.comparisons.append(comparison)
-            span.set("aligned", comparison.aligned)
-            if comparison.aligned:
-                report.aligned += 1
-                continue
-            index = comparison.divergent_step_index
-            if skip_transient and is_transient_failure(
-                cloud_run.results[index].response
-            ):
-                report.transient_skips += 1
-                span.set("transient_skip", True)
-                continue
-            span.set("divergent_api", cloud_run.results[index].api)
-            report.divergences.append(
-                Divergence(
-                    trace=trace,
-                    step_index=index,
-                    api=cloud_run.results[index].api,
-                    reason=comparison.steps[index].reason,
-                    cloud_response=cloud_run.results[index].response,
-                    emulator_response=emulator_run.results[index].response,
-                    resolved_params=cloud_run.results[index].resolved_params,
-                )
-            )
+    for comparison, divergence, transient_skip in outcomes:
+        report.compared += 1
+        report.comparisons.append(comparison)
+        if comparison.aligned:
+            report.aligned += 1
+        elif transient_skip:
+            report.transient_skips += 1
+        elif divergence is not None:
+            report.divergences.append(divergence)
     tele.counter("diff.traces_compared").inc(report.compared)
     tele.counter("diff.divergences").inc(len(report.divergences))
     return report

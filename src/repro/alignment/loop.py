@@ -12,10 +12,12 @@ from scratch.  Everything absorbed is accounted in the report's
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..cloud.engine import ReferenceCloud
 from ..docs.model import ServiceDoc
+from ..interpreter.compiler import compile_module
 from ..interpreter.emulator import Emulator
 from ..llm.client import SimulatedLLM
 from ..resilience.chaos import (
@@ -113,6 +115,8 @@ def _run_round(
     cloud_factory,
     skip_transient: bool,
     telemetry=None,
+    parallel: int = 1,
+    compile: bool = True,
 ) -> AlignmentRound:
     """One full iteration: enumerate, trace, diff, diagnose, repair."""
     tele = ensure_telemetry(telemetry)
@@ -121,11 +125,22 @@ def _run_round(
         traces, coverage = builder.build_all()
         span.set("classes_covered", len(coverage.covered))
         span.set("classes_skipped", len(coverage.skipped))
-    cloud = cloud_factory()
-    emulator = Emulator(module, notfound_codes=notfound_codes,
-                        telemetry=telemetry)
+
+    compiled = compile_module(module) if compile else None
+
+    def make_pair():
+        return (
+            cloud_factory(),
+            Emulator(module, notfound_codes=notfound_codes,
+                     telemetry=telemetry, compile=compile,
+                     compiled=compiled),
+        )
+
+    cloud, emulator = make_pair()
     diff = diff_traces(cloud, emulator, traces,
-                       skip_transient=skip_transient, telemetry=telemetry)
+                       skip_transient=skip_transient, telemetry=telemetry,
+                       parallel=parallel,
+                       backend_factory=make_pair if parallel > 1 else None)
     round_report = AlignmentRound(
         index=round_index, traces=len(traces), diff=diff,
         coverage=coverage,
@@ -162,6 +177,8 @@ def align_module(
     resilience_policy: RetryPolicy | None = None,
     max_round_restarts: int = 3,
     telemetry=None,
+    parallel: int = 1,
+    compile: bool = True,
 ) -> AlignmentReport:
     """Run the alignment loop in place on ``module``.
 
@@ -184,6 +201,11 @@ def align_module(
     round (completed rounds are checkpointed), and a round that faults
     more than ``max_round_restarts`` times is marked ``faulted`` and
     skipped rather than crashing the loop.
+
+    ``parallel`` shards each round's differential pass across that
+    many backend pairs (see :func:`~repro.alignment.differ.diff_traces`);
+    ``compile`` selects the emulator's compiled fast path (on by
+    default) versus the tree-walking evaluator.
     """
     if cloud_factory is None:
         from ..docs import build_catalog
@@ -194,6 +216,8 @@ def align_module(
     tele = ensure_telemetry(telemetry)
     profile = resolve_profile(chaos)
     stats = ResilienceStats()
+    backend_stats: list[ResilienceStats] = []
+    backend_stats_lock = threading.Lock()
     chaotic = profile.active
     if chaotic:
         engine = ChaosEngine(profile, seed=cloud_seed)
@@ -206,14 +230,24 @@ def align_module(
             telemetry=telemetry,
         )
         base_factory = cloud_factory
-        cloud_factory = lambda: ResilientBackend(  # noqa: E731
-            _chaos_wrap(base_factory(), engine),
-            policy=resilience_policy,
-            stats=stats,
-            seed=cloud_seed,
-            clock=tele.clock,
-            telemetry=telemetry,
-        )
+
+        def cloud_factory():
+            # Each backend gets its own stats ledger (and, when the
+            # diff pass is sharded, its own proxy call counter via
+            # _chaos_wrap), so concurrent shards never race on shared
+            # counters; ledgers are summed into ``stats`` at the end,
+            # and the sum is order-independent.
+            ledger = ResilienceStats()
+            with backend_stats_lock:
+                backend_stats.append(ledger)
+            return ResilientBackend(
+                _chaos_wrap(base_factory(), engine),
+                policy=resilience_policy,
+                stats=ledger,
+                seed=cloud_seed,
+                clock=tele.clock,
+                telemetry=telemetry,
+            )
 
     report = AlignmentReport(resilience=stats, chaos_profile=profile.name)
     checkpoint = report.checkpoint
@@ -230,7 +264,8 @@ def align_module(
                     round_report = _run_round(
                         round_index, module, notfound_codes, service_doc,
                         llm, cloud_factory, skip_transient=chaotic,
-                        telemetry=telemetry,
+                        telemetry=telemetry, parallel=parallel,
+                        compile=compile,
                     )
                 except ResilienceError as fault:
                     # Mid-round fault: resume from the checkpoint —
@@ -264,6 +299,8 @@ def align_module(
             round_index += 1
         phase.set("rounds", len(report.rounds))
         phase.set("converged", report.converged)
+    for ledger in backend_stats:
+        stats.merge(ledger)
     report.validator_violations = collect_violations(module)
     return report
 

@@ -37,7 +37,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         build = build_learned_emulator(
             args.service, mode=args.mode, seed=args.seed,
             align=not args.no_align, chaos=args.chaos,
-            telemetry=telemetry,
+            telemetry=telemetry, parallel=args.parallel,
+            compile=not args.no_compile, llm_cache=args.llm_cache,
         )
     except ValueError as error:
         # e.g. an unknown profile name in $REPRO_CHAOS_PROFILE.
@@ -206,6 +207,16 @@ def main(argv: list[str] | None = None) -> int:
                        choices=("off", "mild", "hostile"),
                        help="fault-injection profile (default: "
                             "$REPRO_CHAOS_PROFILE or off)")
+    build.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="extraction-wave / diff-shard thread count "
+                            "(the build result is identical at any N)")
+    build.add_argument("--no-compile", action="store_true",
+                       help="serve with the tree-walking evaluator "
+                            "instead of the compiled fast path")
+    build.add_argument("--llm-cache", metavar="PATH",
+                       help="persistent prompt->completion cache file; "
+                            "warm rebuilds skip (and stop billing) "
+                            "repeated LLM work")
     build.add_argument("--out", help="directory to save the emulator to")
     build.add_argument("--telemetry", metavar="PATH",
                        help="write the build's telemetry trace (spans, "

@@ -25,6 +25,7 @@ import hashlib
 import ipaddress
 from copy import deepcopy
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..docs.model import ApiDoc, ResourceDoc, Rule, ServiceDoc
 from ..docs.prose import render_rule
@@ -42,6 +43,28 @@ class _CloudFailure(Exception):
 
 def _normalize(key: str) -> str:
     return key.replace("_", "").replace("-", "").lower()
+
+
+@lru_cache(maxsize=4096)
+def _parse_cidr_str(value: str) -> ipaddress.IPv4Network | None:
+    if "/" not in value:
+        return None
+    try:
+        return ipaddress.IPv4Network(value, strict=False)
+    except ValueError:
+        return None
+
+
+def _parse_cidr(value: object) -> ipaddress.IPv4Network | None:
+    """Parsed (immutable, safely shareable) network, or ``None``.
+
+    CIDR strings recur heavily across checks — every subnet create
+    re-validates against every tracked sibling — so parses are
+    memoized process-wide.
+    """
+    if not isinstance(value, str):
+        return None
+    return _parse_cidr_str(value)
 
 
 def _camel_to_prefix(name: str) -> str:
@@ -80,6 +103,9 @@ class ReferenceCloud:
         self.seed = seed
         self.entities: dict[str, Entity] = {}
         self._counter = 0
+        #: Active undo journal: (created entity ids, id -> (entity,
+        #: pre-call state)).  Only set for the duration of one invoke.
+        self._journal: tuple[list[str], dict[str, tuple[Entity, dict]]] | None = None
         self._index: dict[str, tuple[ResourceDoc, ApiDoc]] = {}
         for res in service_doc.resources:
             for api in res.apis:
@@ -114,14 +140,27 @@ class ReferenceCloud:
             return ApiResponse.ok({"ids": ids, "count": len(ids)})
 
         request = {_normalize(k): v for k, v in params.items()}
-        snapshot = deepcopy(self.entities)
+        # Failure rollback is an undo journal, not a registry snapshot:
+        # entities created and entity states touched by this call are
+        # recorded lazily (see ``_touch``) and restored on failure.  A
+        # shallow ``state`` copy is a faithful undo because every
+        # effect branch rebinds attributes to *fresh* containers —
+        # ``_apply`` never mutates an existing list/dict in place.
+        created: list[str] = []
+        touched: dict[str, tuple[Entity, dict]] = {}
+        self._journal = (created, touched)
         try:
             refs = self._resolve_references(api_doc, request)
             subject = self._resolve_subject(res, api_doc, request)
             data = self._execute(res, api_doc, subject, request, refs)
         except _CloudFailure as failure:
-            self.entities = snapshot
+            for entity_id in created:
+                self.entities.pop(entity_id, None)
+            for entity, saved in touched.values():
+                entity.state = saved
             return ApiResponse.fail(failure.code, failure.message)
+        finally:
+            self._journal = None
         if api_doc.category == "destroy":
             self.entities.pop(subject.id, None)
         if api_doc.category == "create":
@@ -174,6 +213,8 @@ class ReferenceCloud:
                 state=_default_state(res),
             )
             self.entities[entity.id] = entity
+            if self._journal is not None:
+                self._journal[0].append(entity.id)
             return entity
         subject_key = _normalize(f"{res.name}_id")
         value = request.get(subject_key)
@@ -218,6 +259,12 @@ class ReferenceCloud:
     def _fail(self, behaviour: Rule) -> None:
         raise _CloudFailure(behaviour.error_code, render_rule(behaviour))
 
+    def _touch(self, entity: Entity) -> None:
+        """Journal ``entity``'s state before its first mutation."""
+        journal = self._journal
+        if journal is not None and entity.id not in journal[1]:
+            journal[1][entity.id] = (entity, entity.state.copy())
+
     def _check(self, behaviour: Rule, subject: Entity, param_value, refs) -> None:
         kind = behaviour.kind
         if kind == "require_param":
@@ -247,24 +294,23 @@ class ReferenceCloud:
                 self._fail(behaviour)
                 return
             outer = ref.state.get(str(behaviour["ref_attr"]))
-            if not (self._is_cidr(value) and self._is_cidr(outer)):
+            inner_net = _parse_cidr(value)
+            outer_net = _parse_cidr(outer)
+            if inner_net is None or outer_net is None:
                 self._fail(behaviour)
                 return
-            inner_net = ipaddress.IPv4Network(value, strict=False)
-            outer_net = ipaddress.IPv4Network(outer, strict=False)
             if not inner_net.subnet_of(outer_net):
                 self._fail(behaviour)
         elif kind == "check_no_overlap":
             value = param_value(str(behaviour["param"]))
             ref = refs.get(str(behaviour["ref"]))
-            if ref is None or value is None or not self._is_cidr(value):
+            net = _parse_cidr(value) if ref is not None else None
+            if net is None:
                 return
             blocks = ref.state.get(str(behaviour["list_attr"])) or []
-            net = ipaddress.IPv4Network(value, strict=False)
             for other in blocks:
-                if self._is_cidr(other) and net.overlaps(
-                    ipaddress.IPv4Network(other, strict=False)
-                ):
+                other_net = _parse_cidr(other)
+                if other_net is not None and net.overlaps(other_net):
                     self._fail(behaviour)
         elif kind == "check_attr_is":
             if subject.state.get(str(behaviour["attr"])) != behaviour["value"]:
@@ -335,6 +381,7 @@ class ReferenceCloud:
         data: dict,
     ) -> None:
         kind = behaviour.kind
+        self._touch(subject)
         if kind == "set_attr_param":
             value = param_value(str(behaviour["param"]))
             if value is not None:
@@ -393,6 +440,7 @@ class ReferenceCloud:
         elif kind == "track_in_ref":
             ref = refs.get(str(behaviour["param"]))
             if ref is not None:
+                self._touch(ref)
                 source = self._source_value(behaviour, subject, param_value)
                 items = list(
                     ref.state.get(str(behaviour["list_attr"])) or []
@@ -403,6 +451,7 @@ class ReferenceCloud:
             target_id = subject.state.get(str(behaviour["attr"]))
             target = self.entities.get(str(target_id)) if target_id else None
             if target is not None:
+                self._touch(target)
                 source = self._source_value(behaviour, subject, param_value)
                 items = list(
                     target.state.get(str(behaviour["list_attr"])) or []
@@ -452,16 +501,9 @@ class ReferenceCloud:
 
     @staticmethod
     def _is_cidr(value: object) -> bool:
-        if not isinstance(value, str) or "/" not in value:
-            return False
-        try:
-            ipaddress.IPv4Network(value, strict=False)
-        except ValueError:
-            return False
-        return True
+        return _parse_cidr(value) is not None
 
     @classmethod
     def _prefix(cls, value: object) -> int | None:
-        if not cls._is_cidr(value):
-            return None
-        return ipaddress.IPv4Network(value, strict=False).prefixlen
+        network = _parse_cidr(value)
+        return None if network is None else network.prefixlen

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..alignment.loop import align_module, AlignmentReport
-from ..cloud import make_cloud
+from ..cloud import ReferenceCloud
 from ..docs import build_catalog, render_docs, wrangle
 from ..docs.model import ServiceDoc
 from ..extraction.pipeline import ExtractionOutcome, run_extraction
@@ -31,6 +31,8 @@ class LearnedEmulatorBuild:
     extraction: ExtractionOutcome
     alignment: AlignmentReport | None
     llm: SimulatedLLM
+    #: Whether backends made from this build compile by default.
+    compile: bool = True
 
     @property
     def module(self):
@@ -49,15 +51,19 @@ class LearnedEmulatorBuild:
             stats.merge(self.alignment.resilience)
         return stats
 
-    def make_backend(self, telemetry=None) -> Emulator:
+    def make_backend(self, telemetry=None,
+                     compile: bool | None = None) -> Emulator:
         """A fresh emulator instance over the learned specification.
 
         ``telemetry`` (optional) gives the served emulator a run sink
-        of its own: per-API-call spans with error codes.
+        of its own: per-API-call spans with error codes.  ``compile``
+        selects the compiled fast path versus the tree-walking
+        evaluator (``None``: the build's own default).
         """
+        use_compile = self.compile if compile is None else compile
         return Emulator(self.module,
                         notfound_codes=self.extraction.notfound_codes,
-                        telemetry=telemetry)
+                        telemetry=telemetry, compile=use_compile)
 
 
 def build_learned_emulator(
@@ -71,6 +77,10 @@ def build_learned_emulator(
     chaos: ChaosProfile | str | None = None,
     resilience_policy: RetryPolicy | None = None,
     telemetry=None,
+    parallel: int = 1,
+    compile: bool = True,
+    llm_cache=None,
+    llm_latency: float = 0.0,
 ) -> LearnedEmulatorBuild:
     """Run the full learned-emulator workflow for one service.
 
@@ -89,10 +99,24 @@ def build_learned_emulator(
     rounds, differential traces, emulated API calls — plus token and
     fault metrics.  The disabled path is byte-identical to a build
     without instrumentation.
+
+    ``parallel`` fans out both build phases: extraction waves run on a
+    thread pool and each alignment round's differential pass is
+    sharded.  ``llm_cache`` (a :class:`~repro.llm.PromptCache` or a
+    path) replays repeated prompts; ``compile=False`` falls back to the
+    tree-walking evaluator in every emulator the build runs.  The
+    learned module — specs, quarantine set, repairs, convergence — is
+    identical at any ``parallel`` width; under chaos, only the
+    *accounting* of injected weather in the sharded diff pass may vary
+    (each shard carries its own fault lane).
+
+    ``llm_latency`` (seconds per generation call) makes the simulated
+    LLM cost real wall-clock time, the way a remote model API does —
+    see :attr:`~repro.llm.client.SimulatedLLM.latency`.
     """
     profile = resolve_profile(chaos)
     tele = ensure_telemetry(telemetry)
-    llm = make_llm(mode, seed=seed)
+    llm = make_llm(mode, seed=seed, latency=llm_latency)
     llm.telemetry = telemetry
     with tele.span(
         "build", kind="build", service=service, mode=mode, seed=seed,
@@ -107,28 +131,38 @@ def build_learned_emulator(
                 )
         extraction = run_extraction(
             service=service,
+            seed=seed,
             llm=llm,
             service_doc=service_doc,
             checks_enabled=checks_enabled,
             chaos=profile,
             resilience_policy=resilience_policy,
             telemetry=telemetry,
+            parallel=parallel,
+            llm_cache=llm_cache,
         )
         alignment: AlignmentReport | None = None
         if align:
+            # Build the ground-truth catalog once; the factory only
+            # instantiates fresh state over it (sharded diff passes
+            # call it once per shard per round).
+            cloud_catalog = build_catalog(service)
             alignment = align_module(
                 extraction.module,
                 extraction.notfound_codes,
                 service_doc,
                 llm,
-                cloud_factory=lambda: make_cloud(service),
+                cloud_factory=lambda: ReferenceCloud(cloud_catalog),
                 max_rounds=alignment_rounds,
                 chaos=profile,
                 resilience_policy=resilience_policy,
                 telemetry=telemetry,
+                parallel=parallel,
+                compile=compile,
             )
             span.set("converged", alignment.converged)
         span.set("machines", len(extraction.module.machines))
     return LearnedEmulatorBuild(
-        service=service, extraction=extraction, alignment=alignment, llm=llm
+        service=service, extraction=extraction, alignment=alignment,
+        llm=llm, compile=compile,
     )

@@ -69,6 +69,31 @@ def extraction_order(service_doc: ServiceDoc) -> list[str]:
     return order
 
 
+def extraction_waves(service_doc: ServiceDoc) -> list[list[str]]:
+    """Resources grouped into dependency waves, bottom-up.
+
+    Resources in the same wave have no dependency path between them,
+    so a wave can be extracted concurrently; each wave only depends on
+    resources from earlier waves.  Flattening the waves yields a valid
+    dependencies-first order (names are sorted within a wave, so the
+    schedule is deterministic).  Cycles are condensed first; mutually
+    referencing resources land in the same wave.
+    """
+    graph = build_dependency_graph(service_doc)
+    local = {res.name for res in service_doc.resources}
+    subgraph = graph.subgraph(local).copy()
+    condensed = nx.condensation(subgraph)
+    # Edges point dependent -> dependency; reverse so generations come
+    # out dependencies-first.
+    waves: list[list[str]] = []
+    for generation in nx.topological_generations(condensed.reverse()):
+        members: list[str] = []
+        for component_id in generation:
+            members.extend(condensed.nodes[component_id]["members"])
+        waves.append(sorted(members))
+    return waves
+
+
 def transitive_dependencies(service_doc: ServiceDoc, root: str) -> set[str]:
     """The transitive closure of ``root``'s dependencies."""
     graph = build_dependency_graph(service_doc)

@@ -5,15 +5,27 @@ at a time.  Cross-SM effects (list maintenance on a parent, association
 callbacks) compile to calls into helper transitions that may not exist
 yet; those are recorded as :class:`HelperRequirement` stubs for the
 linking pass to patch.
+
+Extraction is scheduled in dependency *waves* (see
+:func:`~repro.extraction.dependency.extraction_waves`): resources in
+the same wave do not depend on each other, so a wave can fan out onto
+a thread pool.  Results are merged back in the wave's sorted order, so
+the produced :class:`ExtractionState` is identical whether a wave runs
+on one thread or eight.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..docs.model import ResourceDoc, ServiceDoc
 from ..llm.client import SimulatedLLM
-from ..llm.prompting import synthesize_with_reprompt, SynthesisResult
+from ..llm.prompting import (
+    spec_parser,
+    synthesize_with_reprompt,
+    SynthesisResult,
+)
 from ..llm.synthesis import (
     attribute_state_type,
     GenerationReport,
@@ -24,7 +36,7 @@ from ..resilience.stats import ResilienceStats
 from ..telemetry import ensure_telemetry
 from ..spec import ast
 from ..spec.errors import SpecSyntaxError
-from .dependency import extraction_order
+from .dependency import extraction_waves
 
 
 @dataclass
@@ -101,6 +113,8 @@ def extract_incrementally(
     quarantine: bool = False,
     stats: ResilienceStats | None = None,
     telemetry=None,
+    parallel: int = 1,
+    llm_for=None,
 ) -> ExtractionState:
     """Generate one SM per documented resource, dependencies first.
 
@@ -108,21 +122,33 @@ def extract_incrementally(
     persistently (syntax budget exhausted, retries exhausted, breaker
     open) is stubbed out and listed in ``state.quarantined`` instead
     of aborting the whole service.
+
+    ``parallel`` sets the thread-pool width for each dependency wave;
+    ``llm_for`` optionally maps a resource name to the client that
+    should generate it (the pipeline uses per-resource chaos lanes so
+    fault injection stays deterministic regardless of thread timing).
+    Results merge back in wave order, so the returned state does not
+    depend on ``parallel``.
     """
     tele = ensure_telemetry(telemetry)
     state = ExtractionState(
         service=service_doc.name, provider=service_doc.provider
     )
-    state.order = extraction_order(service_doc)
+    waves = extraction_waves(service_doc)
+    state.order = [name for wave in waves for name in wave]
     by_name = {res.name: res for res in service_doc.resources}
-    for name in state.order:
+    client_for = llm_for if llm_for is not None else (lambda name: llm)
+
+    def generate(name: str):
+        """One resource's synthesis: (name, result | None, error | None)."""
         resource = by_name[name]
+        client = client_for(name)
         with tele.span(
             "extraction.resource", kind="resource", resource=name
         ) as span:
             try:
                 result = synthesize_with_reprompt(
-                    llm, resource, max_attempts
+                    client, resource, max_attempts
                 )
             except (SpecSyntaxError, ResilienceError) as error:
                 if not quarantine:
@@ -130,12 +156,30 @@ def extract_incrementally(
                 span.set("quarantined", True)
                 tele.event("quarantined", resource=name,
                            reason=type(error).__name__)
-                quarantine_resource(state, resource, max_attempts, stats)
-                continue
+                return name, None, error
             span.set("attempts", result.attempts)
-        state.specs[name] = result.spec
-        state.results[name] = result
-        state.helper_requirements.extend(result.report.helpers_needed)
+        return name, result, None
+
+    workers = max(1, int(parallel))
+    for wave in waves:
+        if workers == 1 or len(wave) == 1:
+            outcomes = [generate(name) for name in wave]
+        else:
+            with tele.anchored():
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(wave))
+                ) as pool:
+                    # ``map`` preserves input order, so the merge below
+                    # runs in the wave's sorted order regardless of
+                    # which worker finished first.
+                    outcomes = list(pool.map(generate, wave))
+        for name, result, _error in outcomes:
+            if result is None:
+                quarantine_resource(state, by_name[name], max_attempts, stats)
+                continue
+            state.specs[name] = result.spec
+            state.results[name] = result
+            state.helper_requirements.extend(result.report.helpers_needed)
     return state
 
 
@@ -153,11 +197,10 @@ def regenerate_resource(
     """
     resource = service_doc.resource(resource_name)
     from ..llm.prompting import build_prompt
-    from ..spec.parser import parse_sm
 
     prompt = build_prompt(resource, feedback="consistency check failed")
     text, report = llm.regenerate_clean(resource, prompt)
-    spec = parse_sm(text)
+    spec = spec_parser(llm)(text)
     state.specs[resource_name] = spec
     state.results[resource_name] = SynthesisResult(
         spec=spec, report=report, attempts=1

@@ -8,11 +8,14 @@ emulator.  Alignment (the right half of Fig. 2) lives in
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..docs import build_catalog, render_docs, wrangle
 from ..docs.model import ServiceDoc
 from ..interpreter.emulator import Emulator
+from ..llm.cache import CachingLLM, PromptCache
 from ..llm.client import make_llm, SimulatedLLM
 from ..resilience.chaos import ChaosEngine, ChaosLLM, ChaosProfile, resolve_profile
 from ..resilience.errors import ResilienceError
@@ -50,9 +53,10 @@ class ExtractionOutcome:
     #: The chaos profile the run was executed under.
     chaos_profile: str = "off"
 
-    def build_emulator(self) -> Emulator:
+    def build_emulator(self, compile: bool = True) -> Emulator:
         """Instantiate a fresh emulator over the extracted module."""
-        return Emulator(self.module, notfound_codes=self.notfound_codes)
+        return Emulator(self.module, notfound_codes=self.notfound_codes,
+                        compile=compile)
 
     @property
     def total_llm_attempts(self) -> int:
@@ -62,6 +66,11 @@ class ExtractionOutcome:
     def quarantined(self) -> list[str]:
         """Resources degraded to stubs after persistent failures."""
         return list(self.state.quarantined)
+
+
+def _lane_seed(seed: int, resource_name: str) -> int:
+    """A stable per-resource chaos seed (``hash()`` is salted per run)."""
+    return seed ^ zlib.crc32(resource_name.encode("utf-8"))
 
 
 def run_extraction(
@@ -76,6 +85,8 @@ def run_extraction(
     chaos: ChaosProfile | str | None = None,
     resilience_policy: RetryPolicy | None = None,
     telemetry=None,
+    parallel: int = 1,
+    llm_cache: "PromptCache | str | Path | None" = None,
 ) -> ExtractionOutcome:
     """Run the full pipeline for one service.
 
@@ -86,10 +97,20 @@ def run_extraction(
 
     ``chaos`` selects a fault-injection profile (a profile, a name, or
     ``None`` to read ``REPRO_CHAOS_PROFILE`` / default off).  Under an
-    active profile the LLM is wrapped in the chaos + retry layers, and
-    resources whose generation fails persistently are quarantined with
-    stub specs instead of aborting the service; the absorbed weather
-    is reported in ``outcome.resilience``.
+    active profile each resource gets its own chaos *lane* — a chaos +
+    retry wrapper whose engine is seeded from (seed, resource name) —
+    so injected weather depends only on the resource's own call
+    history, never on scheduling.  That makes chaotic runs identical
+    at any ``parallel`` width; resources whose generation fails
+    persistently are quarantined with stub specs instead of aborting
+    the service, and the absorbed weather is reported (lane counters
+    merged in sorted resource order) in ``outcome.resilience``.
+
+    ``parallel`` fans each dependency wave of the extraction pass onto
+    a thread pool.  ``llm_cache`` (a :class:`PromptCache` or a path)
+    replays previously seen completions and memoizes parses; the cache
+    sits inside the chaos wrappers, so warm runs still exercise the
+    full injected weather.
     """
     if service_doc is None:
         catalog = build_catalog(service)
@@ -105,19 +126,36 @@ def run_extraction(
         llm.telemetry = telemetry
     tele = ensure_telemetry(telemetry)
 
+    cache: PromptCache | None = None
+    if llm_cache is not None:
+        cache = (llm_cache if isinstance(llm_cache, PromptCache)
+                 else PromptCache(llm_cache))
+        llm = CachingLLM(llm, cache)
+
     profile = resolve_profile(chaos)
     stats = ResilienceStats()
     chaotic = profile.active
+    llm_for = None
+    lanes: dict[str, ResilientLLM] = {}
+    lane_stats: dict[str, ResilienceStats] = {}
     if chaotic:
-        engine = ChaosEngine(profile, seed=seed)
-        llm = ResilientLLM(
-            ChaosLLM(llm, engine),
-            policy=resilience_policy,
-            stats=stats,
-            seed=seed,
-            clock=tele.clock,
-            telemetry=telemetry,
-        )
+        base_llm = llm
+
+        def llm_for(resource_name: str) -> ResilientLLM:
+            lane = lanes.get(resource_name)
+            if lane is None:
+                lane_seed = _lane_seed(seed, resource_name)
+                lane_stats[resource_name] = ResilienceStats()
+                lane = ResilientLLM(
+                    ChaosLLM(base_llm, ChaosEngine(profile, seed=lane_seed)),
+                    policy=resilience_policy,
+                    stats=lane_stats[resource_name],
+                    seed=lane_seed,
+                    clock=tele.clock,
+                    telemetry=telemetry,
+                )
+                lanes[resource_name] = lane
+            return lane
 
     with tele.span(
         "extraction", kind="phase", service=service, chaos=profile.name
@@ -125,6 +163,7 @@ def run_extraction(
         state = extract_incrementally(
             llm, service_doc, max_attempts=max_attempts,
             quarantine=chaotic, stats=stats, telemetry=telemetry,
+            parallel=parallel, llm_for=llm_for,
         )
         link = link_module(state, service_doc)
         outcome = ExtractionOutcome(
@@ -137,10 +176,22 @@ def run_extraction(
             chaos_profile=profile.name,
         )
         tele.counter("extraction.resources").inc(len(state.specs))
+        correcting_llm = llm_for if llm_for is not None else (lambda name: llm)
+
+        def finish(outcome: ExtractionOutcome) -> ExtractionOutcome:
+            # Lane counters merge in sorted resource order, so the
+            # aggregate is independent of scheduling.
+            for resource_name in sorted(lane_stats):
+                stats.merge(lane_stats[resource_name])
+            if cache is not None:
+                cache.save()
+                for key, value in cache.stats().items():
+                    tele.gauge(f"llm.cache.{key}").set(value)
+            return outcome
 
         if not checks_enabled:
             outcome.validator_violations = collect_violations(link.module)
-            return outcome
+            return finish(outcome)
 
         violations = run_checks(link.module, service_doc)
         outcome.initial_violations = list(violations)
@@ -159,7 +210,8 @@ def run_extraction(
                         continue
                     try:
                         regenerate_resource(
-                            llm, service_doc, state, resource_name
+                            correcting_llm(resource_name), service_doc,
+                            state, resource_name,
                         )
                     except ResilienceError:
                         # Targeted correction kept failing: degrade to a
@@ -185,4 +237,4 @@ def run_extraction(
         phase.set("resources", len(state.specs))
         phase.set("quarantined", len(state.quarantined))
         phase.set("corrections", len(outcome.corrected_resources))
-        return outcome
+        return finish(outcome)

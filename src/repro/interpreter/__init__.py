@@ -6,6 +6,11 @@ behaviour comes from specs; nothing here knows what a VPC is.
 """
 
 from .builtins import PURE_BUILTINS
+from .compiler import (
+    compile_module,
+    CompiledModule,
+    CompiledTransition,
+)
 from .emulator import Emulator, normalize_key
 from .endpoint import JsonEndpoint, ProtocolError
 from .errors import (
@@ -24,6 +29,9 @@ from .machine import Handle, MachineInstance, Registry, Transaction
 __all__ = [
     "ApiResponse",
     "CloudError",
+    "compile_module",
+    "CompiledModule",
+    "CompiledTransition",
     "default_notfound_code",
     "DEPENDENCY_VIOLATION",
     "Emulator",

@@ -10,28 +10,45 @@ runs are deterministic and replayable.
 from __future__ import annotations
 
 import ipaddress
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def _parse_network(value: str) -> ipaddress.IPv4Network | None:
+    """Parse-and-memoize a CIDR string (``None`` when invalid).
+
+    CIDR predicates dominate constraint checking (every subnet create
+    compares its block against all tracked siblings), and the same few
+    strings are parsed over and over; `ipaddress` parsing is by far
+    the most expensive thing a builtin does.
+    """
+    try:
+        return ipaddress.IPv4Network(value, strict=False)
+    except ValueError:
+        return None
 
 
 def valid_cidr(value: object) -> bool:
     """True when ``value`` is a syntactically valid IPv4 CIDR block."""
     if not isinstance(value, str):
         return False
+    return _parse_network(value) is not None and "/" in value
+
+
+@lru_cache(maxsize=4096)
+def _valid_ip_str(value: str) -> bool:
     try:
-        ipaddress.IPv4Network(value, strict=False)
+        ipaddress.IPv4Address(value)
     except ValueError:
         return False
-    return "/" in value
+    return True
 
 
 def valid_ip(value: object) -> bool:
     """True when ``value`` is a valid IPv4 address."""
     if not isinstance(value, str):
         return False
-    try:
-        ipaddress.IPv4Address(value)
-    except ValueError:
-        return False
-    return True
+    return _valid_ip_str(value)
 
 
 def prefix_len(value: object) -> int:
@@ -42,25 +59,21 @@ def prefix_len(value: object) -> int:
     """
     if not valid_cidr(value):
         return -1
-    return ipaddress.IPv4Network(value, strict=False).prefixlen
+    return _parse_network(value).prefixlen
 
 
 def cidr_within(inner: object, outer: object) -> bool:
     """True when CIDR ``inner`` is wholly contained in CIDR ``outer``."""
     if not (valid_cidr(inner) and valid_cidr(outer)):
         return False
-    inner_net = ipaddress.IPv4Network(inner, strict=False)
-    outer_net = ipaddress.IPv4Network(outer, strict=False)
-    return inner_net.subnet_of(outer_net)
+    return _parse_network(inner).subnet_of(_parse_network(outer))
 
 
 def cidr_overlaps(left: object, right: object) -> bool:
     """True when two CIDR blocks overlap."""
     if not (valid_cidr(left) and valid_cidr(right)):
         return False
-    left_net = ipaddress.IPv4Network(left, strict=False)
-    right_net = ipaddress.IPv4Network(right, strict=False)
-    return left_net.overlaps(right_net)
+    return _parse_network(left).overlaps(_parse_network(right))
 
 
 def length(value: object) -> int:

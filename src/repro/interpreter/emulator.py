@@ -2,16 +2,27 @@
 
 This is the component a DevOps program talks to instead of the real
 cloud.  It dispatches each API call to the owning SM's transition
-(via the module's transition index), manages instance lifecycle
-(create/destroy categories), binds request parameters, and wraps
-evaluation in a transaction so failures roll back atomically.
+(via a dispatch table precomputed at construction), manages instance
+lifecycle (create/destroy categories), binds request parameters, and
+wraps evaluation in a transaction so failures roll back atomically.
+
+Two execution paths share the same dispatch and binding code:
+
+- the default ``compile=True`` path runs transition bodies lowered to
+  Python closures (:mod:`repro.interpreter.compiler`);
+- ``compile=False`` keeps everything on the tree-walking
+  :class:`~repro.interpreter.evaluator.Evaluator`, the reference
+  implementation the compiler must match observably.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..resilience.errors import TransientServiceError
 from ..resilience.policy import Deadline
 from ..spec import ast
+from .compiler import compile_module, CompiledModule, Runtime
 from .errors import (
     ApiResponse,
     CloudError,
@@ -21,12 +32,79 @@ from .errors import (
     UNKNOWN_API,
 )
 from .evaluator import Evaluator, evaluate_defaults
-from .machine import Handle, Registry, Transaction
+from .machine import Handle, ReadOnlyView, Registry, Transaction
 
 
+@lru_cache(maxsize=4096)
 def normalize_key(key: str) -> str:
-    """Normalize a parameter key: ``VpcId`` == ``vpc_id`` == ``vpcid``."""
+    """Normalize a parameter key: ``VpcId`` == ``vpc_id`` == ``vpcid``.
+
+    Memoized: the same few dozen parameter names arrive on every call,
+    and request keys come from a similarly small client vocabulary
+    (the cache is bounded in case they do not).
+    """
     return key.replace("_", "").replace("-", "").lower()
+
+
+class _DispatchEntry:
+    """Everything ``invoke`` needs about one API, resolved once.
+
+    Hoists the per-call work the old dispatch loop repeated on every
+    invocation: spec lookup, category tests, parameter-name
+    normalization, subject-resolution strategy, and the not-found
+    error code.
+    """
+
+    __slots__ = (
+        "api", "sm_name", "spec", "transition", "bare_describe",
+        "is_create", "is_destroy", "param_plan", "id_key", "id_params",
+        "self_params", "notfound", "compiled", "pure_compiled",
+    )
+
+    def __init__(self, api: str, sm_name: str, spec: ast.SMSpec,
+                 transition: ast.Transition, notfound: str, compiled):
+        self.api = api
+        self.sm_name = sm_name
+        self.spec = spec
+        self.transition = transition
+        self.notfound = notfound
+        self.compiled = compiled
+        self.bare_describe = (
+            transition.category == "describe" and not transition.params
+        )
+        self.is_create = transition.category == "create"
+        self.is_destroy = transition.category == "destroy"
+        # Effect-free non-lifecycle transitions may dispatch without a
+        # transaction (creates allocate, destroys mark-delete — both
+        # need one regardless of the body).
+        self.pure_compiled = (
+            compiled
+            if (
+                compiled is not None
+                and compiled.pure
+                and not self.is_create
+                and not self.is_destroy
+            )
+            else None
+        )
+        self.param_plan = tuple(
+            (
+                param.name,
+                normalize_key(param.name),
+                param.type.kind == "sm",
+                param.type.sm_name,
+            )
+            for param in transition.params
+        )
+        self.id_key = normalize_key(f"{spec.name}_id")
+        self.id_params = tuple(
+            param.name for param in transition.params
+            if normalize_key(param.name) == self.id_key
+        )
+        self.self_params = tuple(
+            param.name for param in transition.params
+            if param.type.kind == "sm" and param.type.sm_name == spec.name
+        )
 
 
 class Emulator:
@@ -41,6 +119,16 @@ class Emulator:
         extracted from documentation (e.g. DynamoDB uses
         ``ResourceNotFoundException`` instead of the EC2-style
         ``InvalidVpcID.NotFound``).
+    compile:
+        Lower transition bodies to closures at construction (default).
+        Transitions the compiler cannot lower — or whose bodies are
+        mutated after construction — transparently run on the
+        evaluator instead.
+    compiled:
+        A :func:`compile_module` result for this same ``module``, to
+        share between emulator instances (closures are stateless, so
+        e.g. sharded differential passes compile once per round, not
+        once per shard).  Overrides ``compile``.
     """
 
     def __init__(
@@ -48,29 +136,63 @@ class Emulator:
         module: ast.SpecModule,
         notfound_codes: dict[str, str] | None = None,
         telemetry=None,
+        compile: bool = True,
+        compiled: CompiledModule | None = None,
     ):
         self.module = module
         self.notfound_codes = dict(notfound_codes or {})
         self.registry = Registry()
         self._index = module.transition_index()
+        self._compiled: CompiledModule | None = (
+            compiled if compiled is not None
+            else compile_module(module) if compile
+            else None
+        )
+        self._dispatch: dict[str, _DispatchEntry] = {}
+        for api, (sm_name, transition) in self._index.items():
+            if api.startswith("_"):
+                continue  # helper transitions are not externally callable
+            self._dispatch[api] = _DispatchEntry(
+                api, sm_name, module.machines[sm_name], transition,
+                self._notfound(sm_name),
+                self._compiled.lookup(sm_name, api)
+                if self._compiled is not None else None,
+            )
+        self._roview = ReadOnlyView(self.registry)
+        self._ro_rt = (
+            Runtime(
+                self._roview, self.registry, module.machines, self._compiled
+            )
+            if self._compiled is not None
+            else None
+        )
         #: Optional run sink; ``None`` keeps the dispatch hot path
         #: exactly as fast as an un-instrumented emulator.
         self._telemetry = telemetry
 
     # -- public API ------------------------------------------------------------
 
+    @property
+    def compiled(self) -> bool:
+        """Whether this emulator runs the compiled fast path."""
+        return self._compiled is not None
+
     def api_names(self) -> list[str]:
         """Every public cloud API this emulator responds to."""
-        return sorted(
-            name for name in self._index if not name.startswith("_")
-        )
+        return sorted(self._dispatch)
 
     def supports(self, api: str) -> bool:
-        return api in self._index and not api.startswith("_")
+        return api in self._dispatch
 
     def reset(self) -> None:
         """Drop all emulated resources (fresh mock cloud)."""
         self.registry = Registry()
+        self._roview = ReadOnlyView(self.registry)
+        if self._compiled is not None:
+            self._ro_rt = Runtime(
+                self._roview, self.registry, self.module.machines,
+                self._compiled,
+            )
 
     def invoke(
         self,
@@ -113,32 +235,54 @@ class Emulator:
                 "RequestTimeout",
                 f"The call to {api} exceeded its deadline.",
             )
-        entry = self._index.get(api)
-        if api.startswith("_"):
-            entry = None  # helper transitions are not externally callable
+        entry = self._dispatch.get(api)
         if entry is None:
             return ApiResponse.fail(
                 UNKNOWN_API, f"The action {api} is not valid for this endpoint."
             )
-        sm_name, transition = entry
-        spec = self.module.machines[sm_name]
         # List-class APIs: describe transitions with no parameters
         # enumerate all instances of the resource type.
-        if transition.category == "describe" and not transition.params:
+        if entry.bare_describe:
             ids = sorted(
-                instance.id for instance in self.registry.of_type(sm_name)
+                instance.id
+                for instance in self.registry.of_type(entry.sm_name)
             )
             return ApiResponse.ok({"ids": ids, "count": len(ids)})
+        pure = entry.pure_compiled
+        if pure is not None and pure.fresh(entry.transition):
+            # Effect-free body: dispatch against the shared read-only
+            # view — no transaction to build, nothing to commit.
+            try:
+                subject, args = self._bind(entry, params, self._roview)
+                payload = pure.run(self._ro_rt, subject, args)
+            except CloudError as error:
+                return error.to_response()
+            except TransientServiceError as error:
+                return ApiResponse.fail(error.code, error.message)
+            # ``payload`` is freshly built per call; constructing the
+            # response directly skips ``ok``'s defensive copy.
+            return ApiResponse(True, payload)
         txn = Transaction(self.registry)
-        evaluator = Evaluator(txn, self.module.machines, self.registry)
         try:
-            subject, args = self._bind(spec, transition, params, txn)
-            payload = evaluator.run_transition(subject, transition, args)
-            if transition.category == "destroy":
+            subject, args = self._bind(entry, params, txn)
+            compiled = entry.compiled
+            if compiled is not None and compiled.fresh(entry.transition):
+                rt = Runtime(
+                    txn, self.registry, self.module.machines, self._compiled
+                )
+                payload = compiled.run(rt, subject, args)
+            else:
+                evaluator = Evaluator(
+                    txn, self.module.machines, self.registry
+                )
+                payload = evaluator.run_transition(
+                    subject, entry.transition, args
+                )
+            if entry.is_destroy:
                 txn.mark_deleted(subject.id)
-            if transition.category == "create" or txn.is_created_here(subject.id):
+            if entry.is_create or txn.is_created_here(subject.id):
                 payload.setdefault("id", subject.id)
-                payload.setdefault(f"{sm_name}_id", subject.id)
+                payload.setdefault(f"{entry.sm_name}_id", subject.id)
         except CloudError as error:
             return error.to_response()
         except TransientServiceError as error:
@@ -148,58 +292,65 @@ class Emulator:
             # not committed, so state rolls back atomically.
             return ApiResponse.fail(error.code, error.message)
         txn.commit()
-        return ApiResponse.ok(payload)
+        return ApiResponse(True, payload)
 
     # -- binding ---------------------------------------------------------------
 
     def _notfound(self, sm_name: str) -> str:
         return self.notfound_codes.get(sm_name, default_notfound_code(sm_name))
 
+    def _defaults(self, entry: _DispatchEntry) -> dict[str, object]:
+        if self._compiled is not None:
+            compiled_spec = self._compiled.specs.get(entry.sm_name)
+            if compiled_spec is not None and compiled_spec.spec is entry.spec:
+                return compiled_spec.defaults()
+        return evaluate_defaults(entry.spec)
+
     def _bind(
         self,
-        spec: ast.SMSpec,
-        transition: ast.Transition,
+        entry: _DispatchEntry,
         params: dict,
-        txn: Transaction,
+        txn: Transaction | ReadOnlyView,
     ) -> tuple[Handle, dict[str, object]]:
         """Resolve the subject instance and bind request parameters."""
         request = {normalize_key(key): value for key, value in params.items()}
         args: dict[str, object] = {}
-        for param in transition.params:
-            value = request.get(normalize_key(param.name))
-            if value is not None and param.type.kind == "sm":
-                value = self._resolve_reference(param.type.sm_name, value, txn)
+        for name, norm, is_sm, sm_ref in entry.param_plan:
+            value = request.get(norm)
+            if value is not None and is_sm:
+                value = self._resolve_reference(sm_ref, value, txn)
             # Scalar parameters are deliberately not type-checked here:
             # cloud APIs validate *semantics* (via the documented
             # checks), and a framework-level type error would diverge
             # from cloud behaviour the documentation never promises.
-            args[param.name] = value
+            args[name] = value
 
-        if transition.category == "create":
-            parent_id = self._find_parent(spec, args)
+        if entry.is_create:
+            parent_id = self._find_parent(entry.spec, args)
             instance = self.registry.create(
-                spec, evaluate_defaults(spec), parent_id=parent_id
+                entry.spec, self._defaults(entry), parent_id=parent_id
             )
             txn.create(instance)
             return Handle(txn, instance.id), args
 
-        subject_id = self._subject_id(spec, transition, request, args)
+        subject_id = self._subject_id(entry, request, args)
         if subject_id is None:
             raise CloudError(
                 MISSING_PARAMETER,
-                f"The request must contain the parameter {spec.name}_id",
+                f"The request must contain the parameter {entry.spec.name}_id",
             )
         if isinstance(subject_id, Handle):
             return subject_id, args
         instance = txn.instance(str(subject_id))
-        if instance is None or instance.type_name != spec.name:
+        if instance is None or instance.type_name != entry.spec.name:
             raise CloudError(
-                self._notfound(spec.name),
-                f"The {spec.name} ID '{subject_id}' does not exist",
+                entry.notfound,
+                f"The {entry.spec.name} ID '{subject_id}' does not exist",
             )
         return Handle(txn, instance.id), args
 
-    def _resolve_reference(self, sm_name: str, value: object, txn: Transaction):
+    def _resolve_reference(self, sm_name: str, value: object,
+                           txn: Transaction | ReadOnlyView):
         if isinstance(value, Handle):
             return value
         if not isinstance(value, str):
@@ -224,24 +375,18 @@ class Emulator:
 
     def _subject_id(
         self,
-        spec: ast.SMSpec,
-        transition: ast.Transition,
+        entry: _DispatchEntry,
         request: dict,
         args: dict[str, object],
     ):
-        id_key = normalize_key(f"{spec.name}_id")
         # Preferred: a declared parameter named <sm>_id.
-        for param in transition.params:
-            if normalize_key(param.name) == id_key and args.get(param.name):
-                return args[param.name]
+        for name in entry.id_params:
+            if args.get(name):
+                return args[name]
         # Next: a declared parameter typed SM<own-type>.
-        for param in transition.params:
-            if (
-                param.type.kind == "sm"
-                and param.type.sm_name == spec.name
-                and isinstance(args.get(param.name), Handle)
-            ):
-                return args[param.name]
+        for name in entry.self_params:
+            if isinstance(args.get(name), Handle):
+                return args[name]
         # Last resort: the raw request carries the id even though the
         # generated signature omitted it (a fault alignment can detect).
-        return request.get(id_key)
+        return request.get(entry.id_key)

@@ -32,8 +32,13 @@ def _truthy(value: object) -> bool:
 
 def _plain(value: object) -> object:
     """Convert a runtime value to its storable/response form."""
+    if value is None:
+        return value
+    cls = value.__class__
+    if cls is str or cls is int or cls is bool or cls is float:
+        return value  # the overwhelmingly common case — already plain
     if isinstance(value, Handle):
-        return value.id
+        return value.instance_id
     if isinstance(value, list):
         return [_plain(item) for item in value]
     return value

@@ -62,6 +62,22 @@ class Transaction:
             raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
         return instance.state.get(name)
 
+    def state_of(self, instance_id: str) -> dict[str, object]:
+        """The instance's state as one mapping (overlay merged in).
+
+        Compiled fused reads fetch this once per run of consecutive
+        reads instead of paying the per-name overlay lookup.  The
+        merge only copies when the transaction has pending writes for
+        the instance; the result must be treated as read-only.
+        """
+        instance = self.instance(instance_id)
+        if instance is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
+        pending = self._writes.get(instance_id)
+        if pending:
+            return {**instance.state, **pending}
+        return instance.state
+
     def set_state(self, instance_id: str, name: str, value: object) -> None:
         if self.instance(instance_id) is None:
             raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
@@ -91,6 +107,40 @@ class Transaction:
                 target.state.update(writes)
         for instance_id in self._deleted:
             self.registry.instances.pop(instance_id, None)
+
+
+class ReadOnlyView:
+    """A transaction-shaped, zero-overlay view over a registry.
+
+    The compiled fast path uses one (shared, stateless) instance per
+    emulator to dispatch statically effect-free transitions — mostly
+    describes — without paying for a :class:`Transaction` that could
+    never accumulate writes.  It implements exactly the read subset of
+    the transaction interface that such transitions can reach.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: "Registry"):
+        self.registry = registry
+
+    def instance(self, instance_id: str) -> MachineInstance | None:
+        return self.registry.instances.get(instance_id)
+
+    def get_state(self, instance_id: str, name: str) -> object:
+        instance = self.registry.instances.get(instance_id)
+        if instance is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
+        return instance.state.get(name)
+
+    def state_of(self, instance_id: str) -> dict[str, object]:
+        instance = self.registry.instances.get(instance_id)
+        if instance is None:
+            raise CloudError(INTERNAL_FAILURE, f"dangling reference {instance_id}")
+        return instance.state
+
+    def is_created_here(self, instance_id: str) -> bool:
+        return False
 
 
 class Handle:

@@ -5,6 +5,12 @@ DESIGN.md for the substitution argument; see :mod:`repro.llm.faults`
 for the fault taxonomy that reproduces §5's error categories.
 """
 
+from .cache import (
+    CachingLLM,
+    PromptCache,
+    report_from_json,
+    report_to_json,
+)
 from .client import LLMClient, LLMUsage, make_llm, SimulatedLLM
 from .constrained import (
     ConstrainedDecoder,
@@ -43,6 +49,7 @@ from .synthesis import (
 __all__ = [
     "attribute_state_type",
     "build_prompt",
+    "CachingLLM",
     "CONSTRAINED_PROFILE",
     "ConstrainedDecoder",
     "DecodeResult",
@@ -59,6 +66,9 @@ __all__ = [
     "make_llm",
     "param_state_type",
     "PERFECT_PROFILE",
+    "PromptCache",
+    "report_from_json",
+    "report_to_json",
     "REPROMPT_PROFILE",
     "RuleCompiler",
     "SHALLOW_CHECK_KINDS",

@@ -1,0 +1,323 @@
+"""Content-addressed prompt→completion cache for the extraction LLM.
+
+Repeated builds of the same service re-issue the same prompts: the
+documentation is deterministic, so the completions are too.  The cache
+keys each request by everything that determines the model's answer —
+operation, prompt text, attempt number, and the model's *fingerprint*
+(fault profile, decoding mode, seed) — and replays the stored
+completion plus its :class:`~repro.llm.synthesis.GenerationReport`
+without re-running (or re-billing) the model.
+
+Two design decisions matter for correctness:
+
+- :class:`CachingLLM` is the *innermost* wrapper: chaos and resilience
+  wrap around it, so a warm run still experiences exactly the injected
+  weather a cold run does — only the model work is elided.  Cache hits
+  do not record usage (a replayed completion costs no tokens).
+- The cache also memoizes *parsing*: profiling shows ``parse_sm``
+  dominates warm extraction, so each distinct completion is parsed
+  once and replayed as a cheap structural clone
+  (:func:`repro.spec.ast.clone_spec` — fresh mutable shells over
+  shared frozen nodes, so later linking/repairs cannot leak between
+  clones).
+
+All state is guarded by a lock; extraction may drive the cache from a
+wave-parallel thread pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+
+from ..docs.model import Rule
+from ..spec import ast
+from ..spec.parser import parse_sm
+from .faults import FaultDecision
+from .synthesis import GenerationReport, HelperRequirement
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Report serialization (JSON round-trip, value-faithful)
+# ---------------------------------------------------------------------------
+
+def _rule_to_json(rule: Rule) -> dict:
+    return {
+        "kind": rule.kind,
+        "fields": [[name, value] for name, value in rule.fields],
+        "documented": rule.documented,
+    }
+
+
+def _field_value(value: object) -> object:
+    # Sequence-valued rule fields are tuples in the catalogs ("values",
+    # VM size lists); JSON stores them as lists, so restore tuples.
+    if isinstance(value, list):
+        return tuple(_field_value(item) for item in value)
+    return value
+
+
+def _rule_from_json(data: dict) -> Rule:
+    return Rule(
+        kind=data["kind"],
+        fields=tuple(
+            (name, _field_value(value)) for name, value in data["fields"]
+        ),
+        documented=data["documented"],
+    )
+
+
+def _decision_to_json(decision: FaultDecision) -> dict:
+    return {
+        "dropped_rules": [_rule_to_json(r) for r in decision.dropped_rules],
+        "miscoded_rules": [_rule_to_json(r) for r in decision.miscoded_rules],
+        "dropped_attributes": list(decision.dropped_attributes),
+        "describe_write_attr": decision.describe_write_attr,
+    }
+
+
+def _decision_from_json(data: dict) -> FaultDecision:
+    return FaultDecision(
+        dropped_rules=[_rule_from_json(r) for r in data["dropped_rules"]],
+        miscoded_rules=[_rule_from_json(r) for r in data["miscoded_rules"]],
+        dropped_attributes=list(data["dropped_attributes"]),
+        describe_write_attr=data["describe_write_attr"],
+    )
+
+
+def report_to_json(report: GenerationReport) -> dict:
+    """Serialize a generation report for cache persistence."""
+    return {
+        "resource": report.resource,
+        "helpers_needed": [
+            {
+                "target": helper.target,
+                "name": helper.name,
+                "list_attr": helper.list_attr,
+                "op": helper.op,
+            }
+            for helper in report.helpers_needed
+        ],
+        "faults": {
+            api: _decision_to_json(decision)
+            for api, decision in report.faults.items()
+        },
+        "dropped_attributes": list(report.dropped_attributes),
+        "transient_retries": report.transient_retries,
+        "quarantined": report.quarantined,
+    }
+
+
+def report_from_json(data: dict) -> GenerationReport:
+    """Rebuild a generation report from its cached form."""
+    return GenerationReport(
+        resource=data["resource"],
+        helpers_needed=[
+            HelperRequirement(
+                target=helper["target"],
+                name=helper["name"],
+                list_attr=helper["list_attr"],
+                op=helper["op"],
+            )
+            for helper in data["helpers_needed"]
+        ],
+        faults={
+            api: _decision_from_json(decision)
+            for api, decision in data["faults"].items()
+        },
+        dropped_attributes=list(data["dropped_attributes"]),
+        transient_retries=data["transient_retries"],
+        quarantined=data["quarantined"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+def _digest(*parts: object) -> str:
+    payload = json.dumps(parts, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PromptCache:
+    """Content-addressed completion store with optional file backing.
+
+    ``path=None`` keeps the cache purely in-memory (one process's
+    repeated builds); with a path, :meth:`save` persists entries as
+    JSON and a later construction reloads them.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[str, dict] = {}
+        self._parsed: dict[str, ast.SMSpec] = {}
+        self._lock = threading.Lock()
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self.parse_hits = 0
+        self.parse_misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self) -> None:
+        data = json.loads(self.path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            return  # stale format: start empty rather than misread it
+        self._entries = dict(data.get("entries", {}))
+
+    def save(self) -> None:
+        """Persist to ``path`` (no-op when in-memory or unchanged)."""
+        if self.path is None:
+            return
+        with self._lock:
+            if not self._dirty:
+                return
+            payload = {
+                "version": _FORMAT_VERSION,
+                "entries": self._entries,
+            }
+            self._dirty = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- completion store --------------------------------------------------
+
+    def key(self, op: str, fingerprint: tuple, prompt: str,
+            attempt: int = 0) -> str:
+        return _digest(op, list(fingerprint), prompt, attempt)
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+        }
+
+    # -- parse memo --------------------------------------------------------
+
+    def parse_spec(self, text: str) -> ast.SMSpec:
+        """Parse ``text`` once; replay later parses as cheap clones.
+
+        Raises whatever :func:`parse_sm` raises for unparsable text —
+        failures are *not* memoized (they are cheap: the parser stops
+        at the first error).
+        """
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        with self._lock:
+            spec = self._parsed.get(digest)
+        if spec is None:
+            spec = parse_sm(text)
+            with self._lock:
+                self._parsed.setdefault(digest, spec)
+                self.parse_misses += 1
+        else:
+            with self._lock:
+                self.parse_hits += 1
+        return ast.clone_spec(spec)
+
+
+class CachingLLM:
+    """Replays cached completions around any :class:`SimulatedLLM`.
+
+    Must wrap the bare model (inside chaos/resilience), so injected
+    faults behave identically on warm and cold runs.  Hits skip the
+    wrapped model entirely, including its usage accounting.
+    """
+
+    def __init__(self, inner, cache: PromptCache):
+        self.inner = inner
+        self.cache = cache
+        self._fingerprint = self._make_fingerprint(inner)
+
+    @staticmethod
+    def _make_fingerprint(inner) -> tuple:
+        profile = getattr(inner, "profile", None)
+        return (
+            getattr(profile, "name", repr(profile)),
+            bool(getattr(inner, "constrained", True)),
+            getattr(inner, "seed", 0),
+        )
+
+    # The pipeline reaches through for accounting and instrumentation.
+    @property
+    def usage(self):
+        return self.inner.usage
+
+    @property
+    def telemetry(self):
+        return getattr(self.inner, "telemetry", None)
+
+    def parse_spec(self, text: str) -> ast.SMSpec:
+        return self.cache.parse_spec(text)
+
+    def _hit_telemetry(self, op: str) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.counter("llm.cache_hits", op=op).inc()
+
+    def generate_spec(self, resource, prompt: str, attempt: int = 0):
+        key = self.cache.key("generate", self._fingerprint, prompt, attempt)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self._hit_telemetry("generate")
+            return entry["completion"], report_from_json(entry["report"])
+        text, report = self.inner.generate_spec(resource, prompt, attempt)
+        self.cache.put(
+            key, {"completion": text, "report": report_to_json(report)}
+        )
+        return text, report
+
+    def regenerate_clean(self, resource, prompt: str):
+        key = self.cache.key("regenerate", self._fingerprint, prompt)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self._hit_telemetry("regenerate")
+            return entry["completion"], report_from_json(entry["report"])
+        text, report = self.inner.regenerate_clean(resource, prompt)
+        self.cache.put(
+            key, {"completion": text, "report": report_to_json(report)}
+        )
+        return text, report
+
+    def diagnose_error_message(self, message: str):
+        key = self.cache.key("diagnose", self._fingerprint, message)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self._hit_telemetry("diagnose")
+            rule = entry["rule"]
+            return _rule_from_json(rule) if rule is not None else None
+        rule = self.inner.diagnose_error_message(message)
+        self.cache.put(
+            key, {"rule": _rule_to_json(rule) if rule is not None else None}
+        )
+        return rule

@@ -14,6 +14,8 @@ generated artifacts exactly as it would a real model's output.
 from __future__ import annotations
 
 import re
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -44,18 +46,24 @@ class LLMUsage:
     prompt_tokens: int = 0
     completion_tokens: int = 0
     failed_requests: int = 0
+    # Wave-parallel extraction records from several threads at once.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, prompt: str, completion: str) -> None:
-        self.requests += 1
-        # The standard rough heuristic of ~4 characters per token.
-        self.prompt_tokens += max(1, len(prompt) // 4)
-        self.completion_tokens += max(1, len(completion) // 4)
+        with self._lock:
+            self.requests += 1
+            # The standard rough heuristic of ~4 characters per token.
+            self.prompt_tokens += max(1, len(prompt) // 4)
+            self.completion_tokens += max(1, len(completion) // 4)
 
     def record_failure(self, prompt: str) -> None:
         """A call that never returned a usable completion."""
-        self.requests += 1
-        self.failed_requests += 1
-        self.prompt_tokens += max(1, len(prompt) // 4)
+        with self._lock:
+            self.requests += 1
+            self.failed_requests += 1
+            self.prompt_tokens += max(1, len(prompt) // 4)
 
 
 class LLMClient(Protocol):
@@ -97,6 +105,12 @@ class SimulatedLLM:
     profile: FaultProfile = CONSTRAINED_PROFILE
     constrained: bool = True
     seed: int = 7
+    #: Seconds of real wall-clock per generation call, modelling the
+    #: network + decoding round-trip a remote LLM costs.  Zero (the
+    #: default) keeps tests instant; scale benchmarks switch it on so
+    #: build-path concurrency and prompt caching measure against the
+    #: I/O-bound behaviour an actual deployment has.
+    latency: float = 0.0
     usage: LLMUsage = field(default_factory=LLMUsage)
     #: Optional run sink; per-request spans and token metrics land
     #: here when set (see :mod:`repro.telemetry`).
@@ -125,6 +139,8 @@ class SimulatedLLM:
     def _generate_text(
         self, resource: ResourceDoc, attempt: int
     ) -> tuple[str, GenerationReport]:
+        if self.latency:
+            time.sleep(self.latency)
         text, report = self._synthesizer.synthesize_text(
             resource, attempt=attempt
         )
@@ -156,6 +172,8 @@ class SimulatedLLM:
         """Targeted correction (§4.2): regenerate with the violation
         called out in the prompt, which the simulation models as a
         fault-free pass for this resource."""
+        if self.latency:
+            time.sleep(self.latency)
         clean = SpecSynthesizer(FaultModel(PERFECT_PROFILE, seed=self.seed))
         text, report = clean.synthesize_text(resource)
         self.usage.record(prompt, text)
@@ -185,7 +203,7 @@ class SimulatedLLM:
         return parse_rule(message)
 
 
-def make_llm(mode: str, seed: int = 7) -> SimulatedLLM:
+def make_llm(mode: str, seed: int = 7, latency: float = 0.0) -> SimulatedLLM:
     """Build a simulated LLM for one of the evaluation modes.
 
     - ``constrained``: grammar-constrained decoding (our approach);
@@ -193,13 +211,20 @@ def make_llm(mode: str, seed: int = 7) -> SimulatedLLM:
       and-re-prompt (the prototype's §5 configuration);
     - ``direct``: the D2C baseline's generation quality;
     - ``perfect``: an oracle generator (used in tests and ablations).
+
+    ``latency`` (seconds per generation call) models the remote API
+    round-trip; see :attr:`SimulatedLLM.latency`.
     """
     if mode == "constrained":
-        return SimulatedLLM(CONSTRAINED_PROFILE, constrained=True, seed=seed)
+        return SimulatedLLM(CONSTRAINED_PROFILE, constrained=True, seed=seed,
+                            latency=latency)
     if mode == "reprompt":
-        return SimulatedLLM(REPROMPT_PROFILE, constrained=False, seed=seed)
+        return SimulatedLLM(REPROMPT_PROFILE, constrained=False, seed=seed,
+                            latency=latency)
     if mode == "direct":
-        return SimulatedLLM(DIRECT_PROFILE, constrained=False, seed=seed)
+        return SimulatedLLM(DIRECT_PROFILE, constrained=False, seed=seed,
+                            latency=latency)
     if mode == "perfect":
-        return SimulatedLLM(PERFECT_PROFILE, constrained=True, seed=seed)
+        return SimulatedLLM(PERFECT_PROFILE, constrained=True, seed=seed,
+                            latency=latency)
     raise ValueError(f"unknown LLM mode {mode!r}")

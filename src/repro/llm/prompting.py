@@ -60,6 +60,22 @@ class SynthesisResult:
     attempts: int
 
 
+def spec_parser(llm):
+    """The parse function the pipeline should use for ``llm``'s output.
+
+    A caching client (at any depth of the chaos/resilience wrapper
+    chain) exposes ``parse_spec``, which memoizes parses of repeated
+    completions; everything else parses from scratch.
+    """
+    probe = llm
+    while probe is not None:
+        parse = getattr(probe, "parse_spec", None)
+        if parse is not None:
+            return parse
+        probe = getattr(probe, "inner", None)
+    return parse_sm
+
+
 def synthesize_with_reprompt(
     llm: SimulatedLLM, resource: ResourceDoc, max_attempts: int = 4
 ) -> SynthesisResult:
@@ -71,11 +87,12 @@ def synthesize_with_reprompt(
     """
     feedback = ""
     last_error: SpecSyntaxError | None = None
+    parse = spec_parser(llm)
     for attempt in range(max_attempts):
         prompt = build_prompt(resource, feedback)
         text, report = llm.generate_spec(resource, prompt, attempt=attempt)
         try:
-            spec = parse_sm(text)
+            spec = parse(text)
         except SpecSyntaxError as error:
             last_error = error
             feedback = str(error)

@@ -22,6 +22,7 @@ injected fault is always safe (no at-most-once hazard).
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 
 from ..interpreter.errors import ApiResponse
@@ -124,6 +125,10 @@ class ChaosEngine:
         self.seed = seed
         #: Injected fault counts by class, for visibility.
         self.injected: dict[str, int] = {}
+        # One engine may serve several sharded proxies concurrently;
+        # decisions are pure functions of (seed, key), only this
+        # counter needs guarding.
+        self._lock = threading.Lock()
 
     def decide(self, rate: float, *key: object) -> bool:
         return rate > 0 and seeded_fraction(self.seed, *key) < rate
@@ -132,7 +137,10 @@ class ChaosEngine:
         return seeded_fraction(self.seed, *key)
 
     def count(self, fault_class: str) -> None:
-        self.injected[fault_class] = self.injected.get(fault_class, 0) + 1
+        with self._lock:
+            self.injected[fault_class] = (
+                self.injected.get(fault_class, 0) + 1
+            )
 
 
 class ChaosProxy:

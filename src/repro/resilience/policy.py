@@ -11,6 +11,7 @@ breaker cooldowns — is testable without wall-clock waits.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 
 
@@ -32,12 +33,16 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
 
     def sleep(self, seconds: float) -> None:
-        self._now += max(0.0, float(seconds))
+        # Concurrent sleepers (wave-parallel extraction) each advance
+        # the shared clock; the lock keeps advances from being lost.
+        with self._lock:
+            self._now += max(0.0, float(seconds))
 
 
 @dataclass

@@ -15,6 +15,8 @@ from .ast import (
     Attr,
     Call,
     CATEGORIES,
+    clone_spec,
+    clone_transition,
     Compare,
     Emit,
     Expr,
@@ -65,6 +67,8 @@ __all__ = [
     "BUILTIN_FUNCTIONS",
     "Call",
     "CATEGORIES",
+    "clone_spec",
+    "clone_transition",
     "Compare",
     "collect_violations",
     "Emit",

@@ -434,3 +434,43 @@ class SpecModule:
             name for name in self.transition_index()
             if not name.startswith("_")
         )
+
+
+# ---------------------------------------------------------------------------
+# Cheap structural clones
+# ---------------------------------------------------------------------------
+#
+# Expressions, predicates, statements and params are frozen and freely
+# shareable; only the mutable shells (Transition, StateDecl, SMSpec)
+# need fresh identity.  This is what makes a parse-memo cache safe:
+# linking and alignment repairs replace ``transition.body`` wholesale
+# on the shell, never mutating shared nodes in place, so clones from
+# one memoized parse cannot observe each other's patches.
+
+
+def clone_transition(transition: Transition) -> Transition:
+    """A fresh Transition shell sharing the frozen params/body nodes."""
+    return Transition(
+        name=transition.name,
+        params=transition.params,
+        body=transition.body,
+        category=transition.category,
+        is_stub=transition.is_stub,
+    )
+
+
+def clone_spec(spec: SMSpec) -> SMSpec:
+    """A fresh SMSpec (fresh decl/transition shells, shared leaves)."""
+    return SMSpec(
+        name=spec.name,
+        states=[
+            StateDecl(decl.name, decl.type, decl.default)
+            for decl in spec.states
+        ],
+        transitions={
+            name: clone_transition(transition)
+            for name, transition in spec.transitions.items()
+        },
+        parent=spec.parent,
+        doc=spec.doc,
+    )

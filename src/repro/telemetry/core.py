@@ -42,6 +42,15 @@ class Telemetry:
         """Open a span for the ``with`` body (see :class:`Tracer`)."""
         return self.tracer.span(name, kind=kind, **attributes)
 
+    def anchored(self):
+        """Attach spans opened by worker threads under the current span.
+
+        Wrap a thread-pool fan-out with this so each worker's root span
+        becomes a child of the orchestrating span (see
+        :meth:`Tracer.anchored <repro.telemetry.spans.Tracer.anchored>`).
+        """
+        return self.tracer.anchored()
+
     def event(self, name: str, **attributes: object) -> None:
         """Record a point-in-time fact on the innermost open span."""
         current = self.tracer.current
@@ -122,6 +131,9 @@ class NullTelemetry:
     clock = None
 
     def span(self, name: str, kind: str = "", **attributes: object):
+        return _NULL_SPAN_CONTEXT
+
+    def anchored(self):
         return _NULL_SPAN_CONTEXT
 
     def event(self, name: str, **attributes: object) -> None:

@@ -12,6 +12,7 @@ created on first use and snapshot to JSON-ready dicts.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 
@@ -24,18 +25,20 @@ def _render_key(name: str, labels: dict) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (increments are thread-safe)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def summary(self) -> dict:
         return {"value": self.value}
@@ -120,18 +123,20 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, factory, name: str, labels: dict):
         key = _render_key(name, labels)
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory(name, labels)
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, factory):
-            raise TypeError(
-                f"metric {key!r} already registered as "
-                f"{type(instrument).__name__}"
-            )
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(name, labels)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, factory):
+                raise TypeError(
+                    f"metric {key!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
         return instrument
 
     def counter(self, name: str, **labels: object) -> Counter:

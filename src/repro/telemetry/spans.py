@@ -15,6 +15,7 @@ seconds — backoff waits, breaker cooldowns — not host wall time.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -98,45 +99,77 @@ class Span:
 class Tracer:
     """Builds the span tree for one run.
 
-    Strictly nested usage (``with tracer.span(...)``) is the only
-    supported shape, which is exactly what a single-threaded pipeline
-    produces; ids are sequential, so two runs of the same build emit
-    identical trees.
+    Strictly nested usage (``with tracer.span(...)``) per thread is
+    the only supported shape.  The span stack is thread-local, so a
+    pipeline that fans work out onto a thread pool keeps each worker's
+    spans properly nested; a worker's *root* span attaches to the
+    anchor span (see :meth:`anchored`) its orchestrator set before the
+    fan-out, so the finished tree still mirrors the run's structure.
+    Ids stay sequential under a lock; their assignment order between
+    concurrent workers is the only nondeterminism a parallel run adds.
     """
 
     def __init__(self, clock):
         self.clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._anchor: Span | None = None
         self._count = 0
 
     @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def span_count(self) -> int:
         return self._count
 
     @contextmanager
+    def anchored(self):
+        """Anchor worker-thread root spans to the caller's current span.
+
+        Used around a thread-pool fan-out: spans opened by a thread
+        with an empty stack become children of the span that was
+        current here, instead of disconnected roots.
+        """
+        previous = self._anchor
+        self._anchor = self.current
+        try:
+            yield
+        finally:
+            self._anchor = previous
+
+    @contextmanager
     def span(self, name: str, kind: str = "", **attributes: object):
         """Open a child span of the current span for the ``with`` body."""
-        self._count += 1
-        parent = self.current
-        record = Span(
-            name=name,
-            kind=kind,
-            span_id=f"s{self._count}",
-            parent_id=parent.span_id if parent is not None else None,
-            start=self.clock.now(),
-            attributes=attributes,
-        )
-        if parent is not None:
-            parent.children.append(record)
-        else:
-            self.roots.append(record)
-        self._stack.append(record)
+        stack = self._stack
+        parent = stack[-1] if stack else self._anchor
+        with self._lock:
+            self._count += 1
+            span_id = f"s{self._count}"
+            record = Span(
+                name=name,
+                kind=kind,
+                span_id=span_id,
+                parent_id=parent.span_id if parent is not None else None,
+                start=self.clock.now(),
+                attributes=attributes,
+            )
+            if parent is not None:
+                parent.children.append(record)
+            else:
+                self.roots.append(record)
+        stack.append(record)
         try:
             yield record
         except BaseException as error:
@@ -145,7 +178,7 @@ class Tracer:
             raise
         finally:
             record.end = self.clock.now()
-            self._stack.pop()
+            stack.pop()
 
     def walk(self):
         """Every finished-or-open span, pre-order (parents first)."""
