@@ -25,6 +25,7 @@ from ..resilience.chaos import (
     ChaosLLM,
     ChaosProfile,
     ChaosProxy,
+    kill_point,
     resolve_profile,
 )
 from ..resilience.errors import ResilienceError
@@ -32,6 +33,8 @@ from ..resilience.policy import RetryPolicy
 from ..resilience.resilient import ResilientBackend, ResilientLLM
 from ..resilience.stats import ResilienceStats
 from ..spec import ast
+from ..spec.parser import parse_sm
+from ..spec.serializer import serialize_sm
 from ..spec.validator import collect_violations
 from ..telemetry import ensure_telemetry
 from .diagnose import apply_repair, diagnose, Diagnosis, Repair
@@ -53,6 +56,12 @@ class AlignmentRound:
     #: Set when the round was abandoned after repeated faults: the
     #: loop degraded past it instead of crashing the whole run.
     faulted: str = ""
+    #: True when the round was reinstated from the build journal on
+    #: resume instead of being executed.
+    replayed: bool = False
+    #: Journaled divergence count for replayed rounds, whose
+    #: ``DiffReport`` is empty because the traces were not re-diffed.
+    divergence_count: int | None = None
 
 
 @dataclass
@@ -90,7 +99,12 @@ class AlignmentReport:
 
     @property
     def total_divergences(self) -> int:
-        return sum(len(r.diff.divergences) for r in self.rounds)
+        return sum(
+            r.divergence_count
+            if r.divergence_count is not None
+            else len(r.diff.divergences)
+            for r in self.rounds
+        )
 
     @property
     def total_repairs(self) -> int:
@@ -179,6 +193,7 @@ def align_module(
     telemetry=None,
     parallel: int = 1,
     compile: bool = True,
+    journal=None,
 ) -> AlignmentReport:
     """Run the alignment loop in place on ``module``.
 
@@ -206,6 +221,14 @@ def align_module(
     many backend pairs (see :func:`~repro.alignment.differ.diff_traces`);
     ``compile`` selects the emulator's compiled fast path (on by
     default) versus the tree-walking evaluator.
+
+    ``journal`` (a :class:`~repro.durability.BuildJournal`, already
+    started or resumed by the caller) makes each completed round
+    durable — the post-round machine texts, applied repairs, and the
+    usage/chaos counters the round consumed.  Rounds it already holds
+    are reinstated (machines overwritten from the journaled text)
+    instead of re-run, so a resumed loop continues exactly where the
+    crashed one stopped and converges to the same module.
     """
     if cloud_factory is None:
         from ..docs import build_catalog
@@ -219,10 +242,13 @@ def align_module(
     backend_stats: list[ResilienceStats] = []
     backend_stats_lock = threading.Lock()
     chaotic = profile.active
+    chaos_llm: ChaosLLM | None = None
+    base_usage = getattr(llm, "usage", None)
     if chaotic:
         engine = ChaosEngine(profile, seed=cloud_seed)
+        chaos_llm = ChaosLLM(llm, engine)
         llm = ResilientLLM(
-            ChaosLLM(llm, engine),
+            chaos_llm,
             policy=resilience_policy,
             stats=stats,
             seed=cloud_seed,
@@ -251,12 +277,76 @@ def align_module(
 
     report = AlignmentReport(resilience=stats, chaos_profile=profile.name)
     checkpoint = report.checkpoint
+
+    def round_delta() -> dict:
+        """Usage + chaos counters one round (attempt) consumed — what a
+        resumed run must fast-forward past to stay byte-identical."""
+        extra: dict = {}
+        if base_usage is not None:
+            current = base_usage.as_dict()
+            extra["usage"] = {
+                key: current[key] - usage_before.get(key, 0)
+                for key in current
+            }
+        if chaos_llm is not None:
+            extra["calls"] = chaos_llm._calls
+        return extra
+
+    replayed_rounds: list[dict] = []
+    if journal is not None:
+        # Rebuild the fault ledger and fast-forward the counters the
+        # interrupted run burned, so the live loop's give-up thresholds
+        # and injected weather match an uninterrupted run's exactly.
+        for record in journal.records:
+            record_type = record.get("type")
+            if record_type == "round_fault":
+                stats.round_restarts += 1
+                checkpoint.record_fault(record["index"])
+            elif record_type != "round":
+                continue
+            if base_usage is not None:
+                base_usage.add(record.get("usage") or {})
+            if chaos_llm is not None and record.get("calls"):
+                chaos_llm._calls = max(chaos_llm._calls, record["calls"])
+        replayed_rounds = journal.round_records()
+
     with tele.span(
         "alignment", kind="phase", service=module.service,
         chaos=profile.name,
     ) as phase:
-        round_index = 0
-        while round_index < max_rounds:
+        for record in replayed_rounds:
+            # Machines carry the journaled round's applied repairs;
+            # overwriting existing keys preserves module order.
+            for name, text in record["machines"].items():
+                spec = parse_sm(text)
+                existing = module.machines.get(name)
+                if existing is not None and not spec.doc:
+                    # Doc strings serialize as comments, which the
+                    # parser drops; rounds never touch them, so the
+                    # pre-round doc is the post-round doc.
+                    spec.doc = existing.doc
+                module.machines[name] = spec
+            report.rounds.append(
+                AlignmentRound(
+                    index=record["index"], traces=record["traces"],
+                    diff=DiffReport(),
+                    repairs=[Repair(**fix) for fix in record["repairs"]],
+                    faulted=record.get("faulted", ""),
+                    replayed=True,
+                    divergence_count=record["divergences"],
+                )
+            )
+            if not record.get("faulted"):
+                checkpoint.completed_rounds.append(record["index"])
+            if record.get("converged"):
+                report.converged = True
+            journal.replayed()
+
+        round_index = len(replayed_rounds)
+        while round_index < max_rounds and not report.converged:
+            usage_before = (
+                base_usage.as_dict() if base_usage is not None else {}
+            )
             with tele.span(
                 "alignment.round", kind="round", index=round_index
             ) as round_span:
@@ -275,6 +365,9 @@ def align_module(
                     round_span.set("restarted", True)
                     tele.event("round_restart", round=round_index,
                                fault=str(fault))
+                    if journal is not None:
+                        journal.append("round_fault", index=round_index,
+                                       **round_delta())
                     if (
                         checkpoint.record_fault(round_index)
                         > max_round_restarts
@@ -285,14 +378,43 @@ def align_module(
                                 diff=DiffReport(), faulted=str(fault),
                             )
                         )
+                        if journal is not None:
+                            journal.append(
+                                "round", index=round_index, traces=0,
+                                divergences=0, converged=False,
+                                faulted=str(fault), repairs=[], machines={},
+                            )
                         round_index += 1
                     continue
                 round_span.set("traces", round_report.traces)
                 round_span.set("divergences",
                                len(round_report.diff.divergences))
                 round_span.set("repairs", len(round_report.repairs))
+                # The crash window the journal exists for: the round's
+                # work is done but not yet durable, so a resumed run
+                # must redo it — and lands on the same result.
+                kill_point("mid-alignment-round")
             report.rounds.append(round_report)
             checkpoint.completed_rounds.append(round_index)
+            if journal is not None:
+                journal.append(
+                    "round", index=round_index,
+                    traces=round_report.traces,
+                    divergences=len(round_report.diff.divergences),
+                    converged=not round_report.diff.divergences,
+                    faulted="",
+                    repairs=[vars(fix) for fix in round_report.repairs],
+                    # A round only mutates the machines its repairs
+                    # name; journaling just those keeps the record (and
+                    # the fsync behind it) proportional to the work.
+                    machines={
+                        name: serialize_sm(module.machines[name])
+                        for name in sorted(
+                            {fix.sm for fix in round_report.repairs}
+                        )
+                    },
+                    **round_delta(),
+                )
             if not round_report.diff.divergences:
                 report.converged = True
                 break

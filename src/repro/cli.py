@@ -30,8 +30,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
     from .core import build_learned_emulator
     from .core.store import save_build
+    from .durability import DurabilityError
     from .telemetry import RunReport, Telemetry, write_trace
 
+    if args.resume and not args.journal:
+        print("repro build: error: --resume requires --journal DIR",
+              file=sys.stderr)
+        return 2
     telemetry = Telemetry(service=args.service) if args.telemetry else None
     try:
         build = build_learned_emulator(
@@ -39,9 +44,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
             align=not args.no_align, chaos=args.chaos,
             telemetry=telemetry, parallel=args.parallel,
             compile=not args.no_compile, llm_cache=args.llm_cache,
+            journal=args.journal, resume=args.resume,
         )
     except ValueError as error:
         # e.g. an unknown profile name in $REPRO_CHAOS_PROFILE.
+        print(f"repro build: error: {error}", file=sys.stderr)
+        return 2
+    except DurabilityError as error:
+        # e.g. resuming a journal written by a different build config.
         print(f"repro build: error: {error}", file=sys.stderr)
         return 2
     report = RunReport.from_build(build, telemetry=telemetry)
@@ -217,6 +227,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="persistent prompt->completion cache file; "
                             "warm rebuilds skip (and stop billing) "
                             "repeated LLM work")
+    build.add_argument("--journal", metavar="DIR",
+                       help="journal completed build work to DIR so an "
+                            "interrupted build can be resumed")
+    build.add_argument("--resume", action="store_true",
+                       help="replay the journal in --journal DIR and "
+                            "continue from the first incomplete unit")
     build.add_argument("--out", help="directory to save the emulator to")
     build.add_argument("--telemetry", metavar="PATH",
                        help="write the build's telemetry trace (spans, "

@@ -8,12 +8,13 @@ loop against the cloud.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..alignment.loop import align_module, AlignmentReport
 from ..cloud import ReferenceCloud
 from ..docs import build_catalog, render_docs, wrangle
 from ..docs.model import ServiceDoc
+from ..durability.journal import as_journal, DurabilityStats
 from ..extraction.pipeline import ExtractionOutcome, run_extraction
 from ..interpreter.emulator import Emulator
 from ..llm.client import make_llm, SimulatedLLM
@@ -33,6 +34,8 @@ class LearnedEmulatorBuild:
     llm: SimulatedLLM
     #: Whether backends made from this build compile by default.
     compile: bool = True
+    #: Journal accounting for journaled builds (all-zero otherwise).
+    durability: DurabilityStats = field(default_factory=DurabilityStats)
 
     @property
     def module(self):
@@ -81,6 +84,8 @@ def build_learned_emulator(
     compile: bool = True,
     llm_cache=None,
     llm_latency: float = 0.0,
+    journal=None,
+    resume: bool = False,
 ) -> LearnedEmulatorBuild:
     """Run the full learned-emulator workflow for one service.
 
@@ -113,56 +118,87 @@ def build_learned_emulator(
     ``llm_latency`` (seconds per generation call) makes the simulated
     LLM cost real wall-clock time, the way a remote model API does —
     see :attr:`~repro.llm.client.SimulatedLLM.latency`.
+
+    ``journal`` (a directory path or a
+    :class:`~repro.durability.BuildJournal`) makes the build crash
+    safe: every completed extraction resource, targeted correction,
+    and alignment round is recorded in an append-only fsync'd journal
+    before the next one starts.  ``resume=True`` replays a prior
+    journal instead of starting fresh — finished work is reinstated
+    without the LLM and the build continues from the first incomplete
+    unit, producing a byte-identical result to an uninterrupted run.
+    The journal header fingerprints the build configuration; resuming
+    with different parameters raises
+    :class:`~repro.durability.DurabilityError`.
     """
     profile = resolve_profile(chaos)
     tele = ensure_telemetry(telemetry)
     llm = make_llm(mode, seed=seed, latency=llm_latency)
     llm.telemetry = telemetry
-    with tele.span(
-        "build", kind="build", service=service, mode=mode, seed=seed,
-        chaos=profile.name,
-    ) as span:
-        if service_doc is None:
-            with tele.span("docs.wrangle", kind="docs", service=service):
-                catalog = build_catalog(service)
-                service_doc = wrangle(
-                    render_docs(catalog), provider=catalog.provider,
-                    service=service,
-                )
-        extraction = run_extraction(
-            service=service,
-            seed=seed,
-            llm=llm,
-            service_doc=service_doc,
-            checks_enabled=checks_enabled,
-            chaos=profile,
-            resilience_policy=resilience_policy,
-            telemetry=telemetry,
-            parallel=parallel,
-            llm_cache=llm_cache,
-        )
-        alignment: AlignmentReport | None = None
-        if align:
-            # Build the ground-truth catalog once; the factory only
-            # instantiates fresh state over it (sharded diff passes
-            # call it once per shard per round).
-            cloud_catalog = build_catalog(service)
-            alignment = align_module(
-                extraction.module,
-                extraction.notfound_codes,
-                service_doc,
-                llm,
-                cloud_factory=lambda: ReferenceCloud(cloud_catalog),
-                max_rounds=alignment_rounds,
+    jrnl = as_journal(journal, telemetry=telemetry)
+    if jrnl is not None:
+        fingerprint = {
+            "service": service, "mode": mode, "seed": seed,
+            "chaos": profile.name, "align": align,
+            "checks_enabled": checks_enabled,
+            "alignment_rounds": alignment_rounds,
+        }
+        if resume:
+            jrnl.resume(fingerprint)
+        else:
+            jrnl.start(fingerprint)
+    try:
+        with tele.span(
+            "build", kind="build", service=service, mode=mode, seed=seed,
+            chaos=profile.name,
+        ) as span:
+            if service_doc is None:
+                with tele.span("docs.wrangle", kind="docs", service=service):
+                    catalog = build_catalog(service)
+                    service_doc = wrangle(
+                        render_docs(catalog), provider=catalog.provider,
+                        service=service,
+                    )
+            extraction = run_extraction(
+                service=service,
+                seed=seed,
+                llm=llm,
+                service_doc=service_doc,
+                checks_enabled=checks_enabled,
                 chaos=profile,
                 resilience_policy=resilience_policy,
                 telemetry=telemetry,
                 parallel=parallel,
-                compile=compile,
+                llm_cache=llm_cache,
+                journal=jrnl,
             )
-            span.set("converged", alignment.converged)
-        span.set("machines", len(extraction.module.machines))
+            alignment: AlignmentReport | None = None
+            if align:
+                # Build the ground-truth catalog once; the factory only
+                # instantiates fresh state over it (sharded diff passes
+                # call it once per shard per round).
+                cloud_catalog = build_catalog(service)
+                alignment = align_module(
+                    extraction.module,
+                    extraction.notfound_codes,
+                    service_doc,
+                    llm,
+                    cloud_factory=lambda: ReferenceCloud(cloud_catalog),
+                    max_rounds=alignment_rounds,
+                    chaos=profile,
+                    resilience_policy=resilience_policy,
+                    telemetry=telemetry,
+                    parallel=parallel,
+                    compile=compile,
+                    journal=jrnl,
+                )
+                span.set("converged", alignment.converged)
+            span.set("machines", len(extraction.module.machines))
+    finally:
+        if jrnl is not None:
+            jrnl.close()
     return LearnedEmulatorBuild(
         service=service, extraction=extraction, alignment=alignment,
         llm=llm, compile=compile,
+        durability=jrnl.stats if jrnl is not None else DurabilityStats(),
     )

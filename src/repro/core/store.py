@@ -19,8 +19,10 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..durability.atomic import atomic_write
 from ..interpreter.emulator import Emulator
 from ..spec import ast
+from ..spec.errors import SpecSyntaxError
 from ..spec.parser import parse_sm
 from ..spec.serializer import serialize_sm
 from ..spec.validator import validate_module
@@ -57,9 +59,12 @@ def save_module(
     specs_dir = root / "specs"
     specs_dir.mkdir(parents=True, exist_ok=True)
     order = []
+    # Every file lands via tmp-file + fsync + rename: a crash mid-save
+    # leaves either the previous artifact or the new one, never a
+    # half-written spec that would fail to parse on reload.
     for name, spec in module.machines.items():
-        (specs_dir / f"{name}{SPEC_SUFFIX}").write_text(
-            serialize_sm(spec) + "\n"
+        atomic_write(
+            specs_dir / f"{name}{SPEC_SUFFIX}", serialize_sm(spec) + "\n"
         )
         order.append(name)
     manifest = {
@@ -70,8 +75,34 @@ def save_module(
         "notfound_codes": dict(notfound_codes),
     }
     manifest.update(extra_manifest or {})
-    (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    atomic_write(root / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n")
     return root
+
+
+def _validate_manifest(manifest: dict) -> None:
+    """Schema-check a manifest before trusting any field in it.
+
+    A manifest that parses as JSON can still be structurally wrong
+    (hand-edited, produced by a future tool, damaged storage); failing
+    here with a precise message beats an ``AttributeError`` three
+    layers down.
+    """
+    machines = manifest.get("machines", [])
+    if not isinstance(machines, list) or not all(
+        isinstance(name, str) for name in machines
+    ):
+        raise StoreError("manifest 'machines' must be a list of SM names")
+    notfound = manifest.get("notfound_codes", {})
+    if not isinstance(notfound, dict) or not all(
+        isinstance(key, str) and isinstance(value, str)
+        for key, value in notfound.items()
+    ):
+        raise StoreError(
+            "manifest 'notfound_codes' must map resource names to codes"
+        )
+    for key in ("service", "provider"):
+        if key in manifest and not isinstance(manifest[key], str):
+            raise StoreError(f"manifest {key!r} must be a string")
 
 
 def load_module(directory: str | Path) -> SavedEmulator:
@@ -88,6 +119,7 @@ def load_module(directory: str | Path) -> SavedEmulator:
         raise StoreError(
             f"unsupported format version {manifest.get('format_version')!r}"
         )
+    _validate_manifest(manifest)
     module = ast.SpecModule(
         service=manifest.get("service", ""),
         provider=manifest.get("provider", "aws"),
@@ -96,7 +128,12 @@ def load_module(directory: str | Path) -> SavedEmulator:
         spec_path = root / "specs" / f"{name}{SPEC_SUFFIX}"
         if not spec_path.exists():
             raise StoreError(f"missing spec file for SM {name!r}")
-        module.add(parse_sm(spec_path.read_text()))
+        try:
+            module.add(parse_sm(spec_path.read_text()))
+        except SpecSyntaxError as error:
+            raise StoreError(
+                f"corrupt spec file for SM {name!r}: {error}"
+            ) from error
     validate_module(module)
     return SavedEmulator(
         module=module,

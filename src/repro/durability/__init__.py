@@ -1,0 +1,59 @@
+"""Crash-safe durability: atomic writes, the build journal, emulator
+snapshots and the write-ahead mutation log.
+
+Every persistence path in the system routes through here so that a
+process death at any instant — injected by the kill-point chaos layer
+or delivered by the real world — loses at most the unit of work that
+was in flight, never a completed one and never the integrity of an
+artifact on disk.
+"""
+
+from .atomic import atomic_write, fsync_dir
+from .harness import CrashRun, crash_resume_build, dir_digest, file_digest
+from .journal import (
+    BuildJournal,
+    DurabilityError,
+    DurabilityStats,
+    JOURNAL_FORMAT_VERSION,
+    JOURNAL_NAME,
+    JournalWriter,
+    as_journal,
+    scan_records,
+)
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    read_snapshot,
+    registry_diff,
+    registry_dump,
+    restore_registry,
+    snapshot_registry,
+    write_snapshot,
+)
+from .wal import WAL_NAME, MutationLog, replay_mutations
+
+__all__ = [
+    "atomic_write",
+    "fsync_dir",
+    "BuildJournal",
+    "DurabilityError",
+    "DurabilityStats",
+    "JOURNAL_FORMAT_VERSION",
+    "JOURNAL_NAME",
+    "JournalWriter",
+    "as_journal",
+    "scan_records",
+    "SNAPSHOT_FORMAT_VERSION",
+    "read_snapshot",
+    "registry_diff",
+    "registry_dump",
+    "restore_registry",
+    "snapshot_registry",
+    "write_snapshot",
+    "WAL_NAME",
+    "MutationLog",
+    "replay_mutations",
+    "CrashRun",
+    "crash_resume_build",
+    "dir_digest",
+    "file_digest",
+]

@@ -1,0 +1,61 @@
+"""Atomic, durable file writes: tmp file + ``os.replace`` + fsync.
+
+Every artifact the system persists — saved-emulator manifests and spec
+files, the prompt cache, telemetry traces, snapshots — goes through
+:func:`atomic_write`, so a crash at any instant leaves either the old
+file or the new one, never a torn half of each.  ``os.replace`` is
+atomic on POSIX and Windows; the directory fsync makes the rename
+itself durable (without it, a power loss can roll back the rename even
+though the data blocks hit disk).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """Flush a directory entry to stable storage (no-op where unsupported)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows directories cannot be opened for fsync
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: str | Path,
+    data: str | bytes,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> Path:
+    """Write ``data`` to ``path`` so a crash never leaves a torn file.
+
+    The data lands in a same-directory temporary file first (rename is
+    only atomic within one filesystem), is fsync'd, and then replaces
+    the target in one step.  ``fsync=False`` skips the durability
+    flushes (kept for tests and for artifacts whose loss is
+    acceptable); atomicity of the replace is preserved either way.
+    """
+    target = Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    if fsync:
+        fsync_dir(target.parent)
+    return target

@@ -1,0 +1,209 @@
+"""Versioned emulator snapshots: the registry, deep-dumped to JSON.
+
+A snapshot captures everything a serving emulator accumulated — every
+machine instance's identity, type, parent link and state variables,
+plus the deterministic ID counters — so a fresh process can
+:meth:`~repro.interpreter.emulator.Emulator.restore` it and continue
+exactly where the dead one stopped.  Combined with the write-ahead
+mutation log (:mod:`repro.durability.wal`), restore-then-replay
+reaches the precise pre-crash state; :func:`registry_diff` is the
+equivalence check that proves it.
+
+State values are encoded with a small tagged codec because SM state is
+Python data, not JSON: tuples, sets and non-string dict keys all occur
+in principle and must round-trip exactly (a tuple that comes back as a
+list would change ``in``/equality semantics inside transition bodies).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..interpreter.machine import MachineInstance, Registry
+from .atomic import atomic_write
+from .journal import DurabilityError
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_TAG = "$repro"
+
+
+def encode_value(value: object) -> object:
+    """Lower one state value to JSON-safe data, losslessly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, set):
+        items = [encode_value(item) for item in value]
+        # Sets are unordered; sort the encodings so identical sets
+        # produce identical snapshots (byte-level diffing depends on it).
+        items.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {_TAG: "set", "v": items}
+    if isinstance(value, dict):
+        if _TAG in value or not all(isinstance(k, str) for k in value):
+            return {
+                _TAG: "dict",
+                "v": [
+                    [encode_value(k), encode_value(v)]
+                    for k, v in value.items()
+                ],
+            }
+        return {key: encode_value(item) for key, item in value.items()}
+    # A transaction Handle leaking into committed state is stored by
+    # identity, matching how the evaluator flattens it on assignment.
+    instance_id = getattr(value, "instance_id", None)
+    if isinstance(instance_id, str):
+        return instance_id
+    raise DurabilityError(
+        f"cannot snapshot state value of type {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def decode_value(value: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in value["v"])
+        if tag == "set":
+            return {decode_value(item) for item in value["v"]}
+        if tag == "dict":
+            return {
+                decode_value(k): decode_value(v) for k, v in value["v"]
+            }
+        return {key: decode_value(item) for key, item in value.items()}
+    return value
+
+
+def registry_dump(registry: Registry) -> dict:
+    """One registry as deterministic plain data (insertion order kept).
+
+    Instance order matters: the registry's dict order *is* creation
+    order, and dependency scans iterate it — a restore that reordered
+    instances would be observably different.
+    """
+    return {
+        "counters": dict(registry._counters),
+        "instances": [
+            {
+                "id": instance.id,
+                "sm": instance.type_name,
+                "parent_id": instance.parent_id,
+                "state": {
+                    name: encode_value(value)
+                    for name, value in instance.state.items()
+                },
+            }
+            for instance in registry.instances.values()
+        ],
+    }
+
+
+def snapshot_registry(registry: Registry, wal_seq: int = 0) -> dict:
+    """A versioned, restorable snapshot of one emulator's registry."""
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "wal_seq": wal_seq,
+        **registry_dump(registry),
+    }
+
+
+def restore_registry(snapshot: dict, machines: dict) -> Registry:
+    """Rebuild a registry from a snapshot against its spec module.
+
+    Specs are not serialized into the snapshot — they live in the saved
+    module; the snapshot references them by SM name and a restore into
+    a module that lacks one of those SMs is refused.
+    """
+    version = snapshot.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise DurabilityError(
+            f"snapshot format {version!r} is not supported "
+            f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    registry = Registry()
+    registry._counters.update(snapshot.get("counters", {}))
+    for entry in snapshot.get("instances", []):
+        sm_name = entry["sm"]
+        spec = machines.get(sm_name)
+        if spec is None:
+            raise DurabilityError(
+                f"snapshot references SM {sm_name!r} which the loaded "
+                "module does not define"
+            )
+        instance = MachineInstance(
+            id=entry["id"],
+            spec=spec,
+            state={
+                name: decode_value(value)
+                for name, value in entry["state"].items()
+            },
+            parent_id=entry.get("parent_id", ""),
+        )
+        registry.instances[instance.id] = instance
+    return registry
+
+
+def registry_diff(expected: dict, actual: dict) -> list[str]:
+    """Human-readable divergences between two registry dumps.
+
+    Empty list == byte-equivalent registries; this is the
+    replay-equivalence check for snapshot + WAL restore.
+    """
+    diffs: list[str] = []
+    if expected.get("counters") != actual.get("counters"):
+        diffs.append(
+            f"id counters differ: {expected.get('counters')} != "
+            f"{actual.get('counters')}"
+        )
+    left = expected.get("instances", [])
+    right = actual.get("instances", [])
+    left_ids = [entry["id"] for entry in left]
+    right_ids = [entry["id"] for entry in right]
+    if left_ids != right_ids:
+        missing = set(left_ids) - set(right_ids)
+        extra = set(right_ids) - set(left_ids)
+        if missing:
+            diffs.append(f"instances missing after restore: {sorted(missing)}")
+        if extra:
+            diffs.append(f"unexpected instances after restore: {sorted(extra)}")
+        if not missing and not extra:
+            diffs.append("instance creation order differs")
+        return diffs
+    for want, got in zip(left, right):
+        for key in ("sm", "parent_id", "state"):
+            if want.get(key) != got.get(key):
+                diffs.append(
+                    f"{want['id']}: {key} differs: "
+                    f"{want.get(key)!r} != {got.get(key)!r}"
+                )
+    return diffs
+
+
+def write_snapshot(path: str | Path, snapshot: dict) -> Path:
+    """Persist a snapshot atomically (crash leaves old or new, whole)."""
+    return atomic_write(
+        path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def read_snapshot(path: str | Path) -> dict:
+    target = Path(path)
+    try:
+        snapshot = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise DurabilityError(f"no snapshot at {target}") from None
+    except json.JSONDecodeError as error:
+        raise DurabilityError(
+            f"snapshot {target} is corrupt: {error}"
+        ) from None
+    if not isinstance(snapshot, dict):
+        raise DurabilityError(f"snapshot {target} is not a JSON object")
+    return snapshot

@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..docs.model import ResourceDoc, ServiceDoc
+from ..llm.cache import report_from_json, report_to_json
 from ..llm.client import SimulatedLLM
 from ..llm.prompting import (
     spec_parser,
@@ -31,11 +32,13 @@ from ..llm.synthesis import (
     GenerationReport,
     HelperRequirement,
 )
+from ..resilience.chaos import kill_point
 from ..resilience.errors import ResilienceError
 from ..resilience.stats import ResilienceStats
-from ..telemetry import ensure_telemetry
 from ..spec import ast
 from ..spec.errors import SpecSyntaxError
+from ..spec.serializer import serialize_sm
+from ..telemetry import ensure_telemetry
 from .dependency import extraction_waves
 
 
@@ -106,6 +109,32 @@ def quarantine_resource(
     )
 
 
+def install_journaled_resource(
+    state: ExtractionState,
+    record: dict,
+    resource: ResourceDoc,
+    parse,
+    stats: ResilienceStats | None = None,
+) -> None:
+    """Re-install one journaled extraction result without the LLM.
+
+    The journal stores the serialized *pre-linking* spec text; the
+    serializer guarantees ``parse(serialize(spec))`` round-trips, so
+    re-parsing reproduces the exact state the crashed run merged.
+    """
+    name = record["name"]
+    if record.get("quarantined"):
+        quarantine_resource(state, resource, record["attempts"], stats)
+        return
+    spec = parse(record["spec"])
+    report = report_from_json(record["report"])
+    state.specs[name] = spec
+    state.results[name] = SynthesisResult(
+        spec=spec, report=report, attempts=record["attempts"]
+    )
+    state.helper_requirements.extend(report.helpers_needed)
+
+
 def extract_incrementally(
     llm: SimulatedLLM,
     service_doc: ServiceDoc,
@@ -115,6 +144,10 @@ def extract_incrementally(
     telemetry=None,
     parallel: int = 1,
     llm_for=None,
+    journal=None,
+    replay: dict | None = None,
+    journal_extra=None,
+    on_replay=None,
 ) -> ExtractionState:
     """Generate one SM per documented resource, dependencies first.
 
@@ -129,6 +162,14 @@ def extract_incrementally(
     fault injection stays deterministic regardless of thread timing).
     Results merge back in wave order, so the returned state does not
     depend on ``parallel``.
+
+    ``journal`` (a :class:`~repro.durability.BuildJournal`) makes each
+    merged resource durable before the next one starts; ``replay``
+    maps resource names to journaled records from an interrupted run,
+    which are re-installed instead of re-generated.  ``journal_extra``
+    supplies per-resource journal fields the pipeline owns (usage
+    delta, chaos-lane call count); ``on_replay`` lets it fast-forward
+    that state when a record is replayed.
     """
     tele = ensure_telemetry(telemetry)
     state = ExtractionState(
@@ -138,6 +179,8 @@ def extract_incrementally(
     state.order = [name for wave in waves for name in wave]
     by_name = {res.name: res for res in service_doc.resources}
     client_for = llm_for if llm_for is not None else (lambda name: llm)
+    replay = replay or {}
+    parse = spec_parser(llm)
 
     def generate(name: str):
         """One resource's synthesis: (name, result | None, error | None)."""
@@ -162,24 +205,55 @@ def extract_incrementally(
 
     workers = max(1, int(parallel))
     for wave in waves:
-        if workers == 1 or len(wave) == 1:
-            outcomes = [generate(name) for name in wave]
+        pending = [name for name in wave if name not in replay]
+        if workers == 1 or len(pending) <= 1:
+            outcomes = {name: generate(name) for name in pending}
         else:
             with tele.anchored():
                 with ThreadPoolExecutor(
-                    max_workers=min(workers, len(wave))
+                    max_workers=min(workers, len(pending))
                 ) as pool:
-                    # ``map`` preserves input order, so the merge below
-                    # runs in the wave's sorted order regardless of
-                    # which worker finished first.
-                    outcomes = list(pool.map(generate, wave))
-        for name, result, _error in outcomes:
+                    outcomes = {
+                        out[0]: out for out in pool.map(generate, pending)
+                    }
+        # Merge strictly in the wave's sorted order — replayed and
+        # fresh results interleaved — so spec insertion order (and
+        # therefore every downstream artifact) is identical whether
+        # the run was interrupted zero times or many.
+        for name in wave:
+            record = replay.get(name)
+            if record is not None:
+                install_journaled_resource(
+                    state, record, by_name[name], parse, stats
+                )
+                if on_replay is not None:
+                    on_replay(record)
+                if journal is not None:
+                    journal.replayed()
+                continue
+            __, result, _error = outcomes[name]
             if result is None:
                 quarantine_resource(state, by_name[name], max_attempts, stats)
-                continue
-            state.specs[name] = result.spec
-            state.results[name] = result
-            state.helper_requirements.extend(result.report.helpers_needed)
+            else:
+                state.specs[name] = result.spec
+                state.results[name] = result
+                state.helper_requirements.extend(result.report.helpers_needed)
+            if journal is not None:
+                extra = journal_extra(name) if journal_extra else {}
+                if result is None:
+                    journal.append(
+                        "resource", name=name, quarantined=True,
+                        attempts=max_attempts, **extra,
+                    )
+                else:
+                    journal.append(
+                        "resource", name=name, quarantined=False,
+                        attempts=result.attempts,
+                        spec=serialize_sm(result.spec),
+                        report=report_to_json(result.report),
+                        **extra,
+                    )
+            kill_point("post-extraction-of-resource")
     return state
 
 

@@ -15,20 +15,29 @@ from pathlib import Path
 from ..docs import build_catalog, render_docs, wrangle
 from ..docs.model import ServiceDoc
 from ..interpreter.emulator import Emulator
-from ..llm.cache import CachingLLM, PromptCache
-from ..llm.client import make_llm, SimulatedLLM
-from ..resilience.chaos import ChaosEngine, ChaosLLM, ChaosProfile, resolve_profile
+from ..llm.cache import CachingLLM, PromptCache, report_to_json
+from ..llm.client import LLMUsage, make_llm, SimulatedLLM
+from ..llm.prompting import spec_parser
+from ..resilience.chaos import (
+    ChaosEngine,
+    ChaosLLM,
+    ChaosProfile,
+    kill_point,
+    resolve_profile,
+)
 from ..resilience.errors import ResilienceError
 from ..resilience.policy import RetryPolicy
 from ..resilience.resilient import ResilientLLM
 from ..resilience.stats import ResilienceStats
 from ..spec import ast
+from ..spec.serializer import serialize_sm
 from ..spec.validator import collect_violations
 from ..telemetry import ensure_telemetry
 from .checks import CheckViolation, run_checks
 from .incremental import (
     extract_incrementally,
     ExtractionState,
+    install_journaled_resource,
     quarantine_resource,
     regenerate_resource,
 )
@@ -87,6 +96,7 @@ def run_extraction(
     telemetry=None,
     parallel: int = 1,
     llm_cache: "PromptCache | str | Path | None" = None,
+    journal=None,
 ) -> ExtractionOutcome:
     """Run the full pipeline for one service.
 
@@ -111,6 +121,13 @@ def run_extraction(
     replays previously seen completions and memoizes parses; the cache
     sits inside the chaos wrappers, so warm runs still exercise the
     full injected weather.
+
+    ``journal`` (a :class:`~repro.durability.BuildJournal`, already
+    started or resumed by the caller) makes each completed resource
+    and targeted correction durable; any records it already holds are
+    replayed instead of re-executed, with the per-resource usage and
+    chaos-lane counters fast-forwarded so the run continues exactly
+    where the crashed one stopped.
     """
     if service_doc is None:
         catalog = build_catalog(service)
@@ -126,6 +143,7 @@ def run_extraction(
         llm.telemetry = telemetry
     tele = ensure_telemetry(telemetry)
 
+    sim = llm if isinstance(llm, SimulatedLLM) else None
     cache: PromptCache | None = None
     if llm_cache is not None:
         cache = (llm_cache if isinstance(llm_cache, PromptCache)
@@ -138,6 +156,28 @@ def run_extraction(
     llm_for = None
     lanes: dict[str, ResilientLLM] = {}
     lane_stats: dict[str, ResilienceStats] = {}
+
+    # Journaled builds give each resource an output-identical *clone*
+    # of the model with a private usage meter: completed units journal
+    # their exact usage delta, and a resumed run fast-forwards the
+    # shared meter past replayed work — so the final accounting (which
+    # the saved manifest embeds) is byte-identical to an uninterrupted
+    # build's.
+    journaling = journal is not None and sim is not None
+    unit_clones: dict[str, object] = {}
+    unit_meters: dict[str, LLMUsage] = {}
+    unit_reported: dict[str, dict] = {}
+
+    def unit_client(resource_name: str):
+        client = unit_clones.get(resource_name)
+        if client is None:
+            clone = sim.metered_clone()
+            unit_meters[resource_name] = clone.usage
+            unit_reported[resource_name] = {}
+            client = CachingLLM(clone, cache) if cache is not None else clone
+            unit_clones[resource_name] = client
+        return client
+
     if chaotic:
         base_llm = llm
 
@@ -146,8 +186,10 @@ def run_extraction(
             if lane is None:
                 lane_seed = _lane_seed(seed, resource_name)
                 lane_stats[resource_name] = ResilienceStats()
+                inner = (unit_client(resource_name) if journaling
+                         else base_llm)
                 lane = ResilientLLM(
-                    ChaosLLM(base_llm, ChaosEngine(profile, seed=lane_seed)),
+                    ChaosLLM(inner, ChaosEngine(profile, seed=lane_seed)),
                     policy=resilience_policy,
                     stats=lane_stats[resource_name],
                     seed=lane_seed,
@@ -156,6 +198,32 @@ def run_extraction(
                 )
                 lanes[resource_name] = lane
             return lane
+    elif journaling:
+        llm_for = unit_client
+
+    def journal_extra(resource_name: str) -> dict:
+        """Usage delta + chaos-lane call count for one finished unit."""
+        if not journaling or resource_name not in unit_meters:
+            return {}
+        current = unit_meters[resource_name].as_dict()
+        last = unit_reported.get(resource_name) or {}
+        delta = {key: current[key] - last.get(key, 0) for key in current}
+        unit_reported[resource_name] = current
+        sim.usage.add(delta)
+        extra: dict = {"usage": delta}
+        lane = lanes.get(resource_name)
+        if lane is not None:
+            extra["calls"] = lane.inner._calls
+        return extra
+
+    def on_replay(record: dict) -> None:
+        """Fast-forward shared state past one journaled unit."""
+        if sim is not None:
+            sim.usage.add(record.get("usage") or {})
+        calls = record.get("calls") or 0
+        if chaotic and calls and llm_for is not None:
+            lane = llm_for(record["name"])
+            lane.inner._calls = max(lane.inner._calls, calls)
 
     with tele.span(
         "extraction", kind="phase", service=service, chaos=profile.name
@@ -164,6 +232,10 @@ def run_extraction(
             llm, service_doc, max_attempts=max_attempts,
             quarantine=chaotic, stats=stats, telemetry=telemetry,
             parallel=parallel, llm_for=llm_for,
+            journal=journal,
+            replay=journal.resource_replay() if journal is not None else None,
+            journal_extra=journal_extra if journaling else None,
+            on_replay=on_replay if journal is not None else None,
         )
         link = link_module(state, service_doc)
         outcome = ExtractionOutcome(
@@ -195,6 +267,10 @@ def run_extraction(
 
         violations = run_checks(link.module, service_doc)
         outcome.initial_violations = list(violations)
+        correction_replay = (
+            journal.correction_replay() if journal is not None else {}
+        )
+        parse = spec_parser(llm)
         rounds = 0
         while violations and rounds < correction_rounds:
             flagged = sorted({v.resource for v in violations if v.resource})
@@ -207,6 +283,22 @@ def run_extraction(
                         resource_name not in state.specs
                         or resource_name in state.quarantined
                     ):
+                        continue
+                    record = correction_replay.get((rounds, resource_name))
+                    if record is not None:
+                        install_journaled_resource(
+                            state, record,
+                            service_doc.resource(resource_name), parse, stats,
+                        )
+                        on_replay(record)
+                        journal.replayed()
+                        if (
+                            not record.get("quarantined")
+                            and resource_name
+                            not in outcome.corrected_resources
+                        ):
+                            outcome.corrected_resources.append(resource_name)
+                            tele.counter("extraction.corrections").inc()
                         continue
                     try:
                         regenerate_resource(
@@ -222,10 +314,28 @@ def run_extraction(
                             state, service_doc.resource(resource_name), 1,
                             stats,
                         )
+                        if journal is not None:
+                            journal.append(
+                                "correction", round=rounds,
+                                name=resource_name, quarantined=True,
+                                attempts=1, **journal_extra(resource_name),
+                            )
+                        kill_point("post-extraction-of-resource")
                         continue
                     if resource_name not in outcome.corrected_resources:
                         outcome.corrected_resources.append(resource_name)
                         tele.counter("extraction.corrections").inc()
+                    if journal is not None:
+                        journal.append(
+                            "correction", round=rounds, name=resource_name,
+                            quarantined=False, attempts=1,
+                            spec=serialize_sm(state.specs[resource_name]),
+                            report=report_to_json(
+                                state.results[resource_name].report
+                            ),
+                            **journal_extra(resource_name),
+                        )
+                    kill_point("post-extraction-of-resource")
                 link = link_module(state, service_doc)
                 outcome.module = link.module
                 outcome.notfound_codes = link.notfound_codes

@@ -33,6 +33,7 @@ import threading
 from pathlib import Path
 
 from ..docs.model import Rule
+from ..durability.atomic import atomic_write
 from ..spec import ast
 from ..spec.parser import parse_sm
 from .faults import FaultDecision
@@ -186,9 +187,11 @@ class PromptCache:
             }
             self._dirty = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(
+        # Atomic replace: a crash mid-save leaves the previous cache
+        # intact instead of a torn JSON file the next run chokes on.
+        atomic_write(
+            self.path,
             json.dumps(payload, indent=1, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
 
     # -- completion store --------------------------------------------------

@@ -65,6 +65,25 @@ class LLMUsage:
             self.failed_requests += 1
             self.prompt_tokens += max(1, len(prompt) // 4)
 
+    def as_dict(self) -> dict:
+        """A plain snapshot of the counters (journal records use it)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "prompt_tokens": self.prompt_tokens,
+                "completion_tokens": self.completion_tokens,
+                "failed_requests": self.failed_requests,
+            }
+
+    def add(self, delta: dict) -> None:
+        """Fold a counter delta in (merging per-unit meters, or
+        fast-forwarding past journaled work on resume)."""
+        with self._lock:
+            self.requests += delta.get("requests", 0)
+            self.prompt_tokens += delta.get("prompt_tokens", 0)
+            self.completion_tokens += delta.get("completion_tokens", 0)
+            self.failed_requests += delta.get("failed_requests", 0)
+
 
 class LLMClient(Protocol):
     """What the extraction pipeline requires of a language model."""
@@ -132,6 +151,24 @@ class SimulatedLLM:
         metrics.counter("llm.completion_tokens").inc(completion_tokens)
         metrics.histogram("llm.completion_tokens_per_request").observe(
             completion_tokens
+        )
+
+    def metered_clone(self) -> "SimulatedLLM":
+        """An output-identical client with a private usage meter.
+
+        Generation is a pure function of (profile, constrained, seed,
+        resource, attempt), so a clone produces byte-identical text —
+        only the token accounting is isolated.  The journaled build
+        path gives each resource one, so per-unit usage deltas can be
+        recorded and replayed exactly on resume.
+        """
+        return SimulatedLLM(
+            profile=self.profile,
+            constrained=self.constrained,
+            seed=self.seed,
+            latency=self.latency,
+            usage=LLMUsage(),
+            telemetry=self.telemetry,
         )
 
     # -- generation -------------------------------------------------------

@@ -29,6 +29,8 @@ class ResilienceStats:
     round_restarts: int = 0
     #: Resources stubbed out after persistent generation failure.
     quarantined: int = 0
+    #: Simulated process deaths raised by an armed kill switch.
+    crashes_injected: int = 0
     #: Transient error codes observed, by code.
     faults_seen: dict[str, int] = field(default_factory=dict)
 
@@ -44,6 +46,7 @@ class ResilienceStats:
         self.deadline_hits += other.deadline_hits
         self.round_restarts += other.round_restarts
         self.quarantined += other.quarantined
+        self.crashes_injected += other.crashes_injected
         for code, count in other.faults_seen.items():
             self.faults_seen[code] = self.faults_seen.get(code, 0) + count
 
@@ -57,6 +60,7 @@ class ResilienceStats:
             or self.deadline_hits
             or self.round_restarts
             or self.quarantined
+            or self.crashes_injected
             or self.faults_seen
         )
 
@@ -69,5 +73,6 @@ class ResilienceStats:
             "deadline_hits": self.deadline_hits,
             "round_restarts": self.round_restarts,
             "quarantined": self.quarantined,
+            "crashes_injected": self.crashes_injected,
             "faults_seen": dict(self.faults_seen),
         }

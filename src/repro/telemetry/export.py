@@ -23,6 +23,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..durability.atomic import atomic_write
+
 SCHEMA_VERSION = 1
 
 
@@ -53,12 +55,18 @@ def trace_records(telemetry, report=None) -> list[dict]:
 
 
 def write_trace(telemetry, path, report=None) -> Path:
-    """Serialize one run's telemetry to a JSONL file."""
+    """Serialize one run's telemetry to a JSONL file.
+
+    Written atomically (tmp file + rename): a crash mid-export leaves
+    the previous trace, never a truncated JSONL that breaks replay
+    tooling.
+    """
     target = Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        for record in trace_records(telemetry, report=report):
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-    return target
+    lines = [
+        json.dumps(record, sort_keys=True) + "\n"
+        for record in trace_records(telemetry, report=report)
+    ]
+    return atomic_write(target, "".join(lines))
 
 
 @dataclass

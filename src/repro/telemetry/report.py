@@ -32,6 +32,8 @@ class RunReport:
     resilience: dict
     quarantined: list[str] = field(default_factory=list)
     chaos_profile: str = "off"
+    #: Journal/crash-recovery counters; ``None`` for unjournaled runs.
+    durability: dict | None = None
     #: Filled only when the build ran with a live telemetry sink.
     spans: int = 0
     metrics: dict | None = None
@@ -67,6 +69,9 @@ class RunReport:
             quarantined=list(build.extraction.quarantined),
             chaos_profile=build.extraction.chaos_profile,
         )
+        durability = getattr(build, "durability", None)
+        if durability is not None and not durability.untouched:
+            report.durability = durability.as_dict()
         if telemetry is not None and telemetry.enabled:
             report.spans = telemetry.tracer.span_count
             report.metrics = telemetry.metrics.snapshot()
@@ -83,6 +88,8 @@ class RunReport:
             "quarantined": list(self.quarantined),
             "chaos_profile": self.chaos_profile,
         }
+        if self.durability is not None:
+            record["durability"] = dict(self.durability)
         if self.spans:
             record["spans"] = self.spans
         if self.metrics is not None:
@@ -116,6 +123,15 @@ class RunReport:
                 f"{self.resilience['round_restarts']} round restart(s), "
                 f"{len(quarantined)} quarantined"
                 + (f" ({', '.join(quarantined)})" if quarantined else "")
+            )
+        if self.durability is not None:
+            durability = self.durability
+            lines.append(
+                f"durability: {durability['journal_appends']} journal "
+                f"append(s), {durability['journal_replays']} replayed, "
+                f"{durability['resumes']} resume(s), "
+                f"{durability['torn_records_dropped']} torn record(s) "
+                f"dropped"
             )
         return "\n".join(lines)
 
@@ -235,6 +251,19 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
             f"{resilience.get('gave_ups', 0)} gave up, "
             f"{resilience.get('breaker_trips', 0)} breaker trip(s), "
             f"{resilience.get('quarantined', 0)} quarantined"
+        )
+    durability = report.get("durability")
+    if durability:
+        lines.append(
+            "durability: "
+            f"{durability.get('journal_appends', 0)} journal append(s), "
+            f"{durability.get('journal_replays', 0)} replayed, "
+            f"{durability.get('resumes', 0)} resume(s), "
+            f"{durability.get('replayed_mutations', 0)} mutation(s) "
+            "replayed, "
+            f"{durability.get('crashes_injected', 0)} crash(es) injected, "
+            f"{durability.get('torn_records_dropped', 0)} torn record(s) "
+            "dropped"
         )
     lines.append("")
 

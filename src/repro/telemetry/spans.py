@@ -175,6 +175,13 @@ class Tracer:
         except BaseException as error:
             record.status = "error"
             record.attributes.setdefault("exception", type(error).__name__)
+            # A simulated process death carries its kill site; stamping
+            # it on the span makes crash-injection runs greppable in
+            # the exported trace (duck-typed: no import of the chaos
+            # layer from here).
+            site = getattr(error, "site", None)
+            if site is not None:
+                record.attributes.setdefault("crash_site", site)
             raise
         finally:
             record.end = self.clock.now()
