@@ -35,7 +35,7 @@ def test_guided_vs_fuzzing(benchmark):
           "(unaligned EC2 emulator; ground truth: 2 divergent APIs)")
     print(f"  {'strategy':10} {'API calls':>10} {'divergent APIs':>15}")
     guided_apis = {d.api for d in guided.divergences}
-    fuzz_apis = {api for api, __ in fuzz.divergences}
+    fuzz_apis = {d.api for d in fuzz.divergences}
     print(f"  {'guided':10} {guided_calls:>10} {len(guided_apis):>15}")
     print(f"  {'fuzzing':10} {fuzz.calls:>10} {len(fuzz_apis):>15}")
     assert guided_apis == {"StartInstances", "ModifyVpcAttribute"}

@@ -21,7 +21,7 @@ from .diagnose import (
 )
 from .differ import diff_traces, DiffReport, Divergence
 from .errordecode import ErrorDecoder, ErrorExplanation
-from .fuzz import FuzzReport, RandomFuzzer
+from .fuzz import FuzzDivergence, FuzzReport, RandomFuzzer
 from .loop import align_module, AlignmentReport, AlignmentRound
 from .symbolic import (
     AssertPattern,
@@ -51,6 +51,7 @@ __all__ = [
     "DOC_GAP",
     "ErrorDecoder",
     "ErrorExplanation",
+    "FuzzDivergence",
     "FuzzReport",
     "measure_accuracy",
     "RandomFuzzer",

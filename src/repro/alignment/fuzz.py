@@ -6,6 +6,12 @@ implements that baseline so the claim is measurable: a seeded random
 fuzzer that invokes arbitrary APIs with semi-plausible parameters, to
 be compared against the guided symbolic trace generator on
 divergences found per API call spent.
+
+Reports are actionable: each divergence records the exact parameters
+that triggered it (so it can be replayed by hand or turned into a
+regression trace) and repeated ``(api, error_code)`` pairs are folded
+into the first sighting's ``duplicates`` counter instead of flooding
+the list.
 """
 
 from __future__ import annotations
@@ -18,11 +24,57 @@ from ..spec import ast
 
 
 @dataclass
+class FuzzDivergence:
+    """One distinct behavioural difference the fuzzer triggered."""
+
+    api: str
+    #: The code alignment keys on (the cloud's, falling back to the
+    #: emulator's when the cloud succeeded and the emulator failed).
+    error_code: str
+    cloud_code: str
+    emulator_code: str
+    #: The exact parameters of the first call that triggered it —
+    #: enough to replay the divergence by hand.
+    params: dict = field(default_factory=dict)
+    #: 1-based call number of the first sighting (the efficiency axis).
+    call_index: int = 0
+    #: How many further calls re-triggered this same (api, code) pair.
+    duplicates: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.api, self.error_code)
+
+
+@dataclass
 class FuzzReport:
     """What a fuzzing campaign found and what it cost."""
 
     calls: int = 0
-    divergences: list[tuple[str, str]] = field(default_factory=list)
+    #: Distinct divergences, deduped on ``(api, error_code)``; the
+    #: recorded params are the *first* triggering call's.
+    divergences: list[FuzzDivergence] = field(default_factory=list)
+    #: Re-sightings folded away by the dedupe.
+    duplicate_divergences: int = 0
+    _seen: dict = field(default_factory=dict, repr=False)
+
+    def record(self, api: str, cloud_code: str, emulator_code: str,
+               params: dict) -> FuzzDivergence:
+        """Record one divergent call, deduping on (api, code)."""
+        code = cloud_code or emulator_code
+        known = self._seen.get((api, code))
+        if known is not None:
+            known.duplicates += 1
+            self.duplicate_divergences += 1
+            return known
+        divergence = FuzzDivergence(
+            api=api, error_code=code, cloud_code=cloud_code,
+            emulator_code=emulator_code, params=dict(params),
+            call_index=self.calls,
+        )
+        self._seen[(api, code)] = divergence
+        self.divergences.append(divergence)
+        return divergence
 
     @property
     def divergence_count(self) -> int:
@@ -30,8 +82,10 @@ class FuzzReport:
 
     @property
     def calls_per_divergence(self) -> float:
+        """Average spend per distinct divergence; 0.0 when the
+        campaign found nothing (finite, so reports can render it)."""
         if not self.divergences:
-            return float("inf")
+            return 0.0
         return self.calls / len(self.divergences)
 
 
@@ -106,9 +160,11 @@ class RandomFuzzer:
                 and cloud_response.error_code
                 != emulator_response.error_code
             ):
-                report.divergences.append(
-                    (api, cloud_response.error_code
-                     or emulator_response.error_code)
+                report.record(
+                    api,
+                    cloud_response.error_code,
+                    emulator_response.error_code,
+                    params_template,
                 )
             if cloud_response.success and emulator_response.success:
                 cloud_id = cloud_response.data.get("id")
@@ -119,4 +175,4 @@ class RandomFuzzer:
         return report
 
     def unique_divergent_apis(self, report: FuzzReport) -> set[str]:
-        return {api for api, __ in report.divergences}
+        return {divergence.api for divergence in report.divergences}

@@ -9,6 +9,9 @@ Commands:
 - ``complexity`` print Fig. 4 data (SM complexity per service);
 - ``traces``     run the evaluation traces for one service against the
                  cloud and a learned emulator;
+- ``serve-bench`` drive deterministic concurrent load through the
+                 hardened serving layer (tenants, validation, admission
+                 control) and verify linearizability by serial replay;
 - ``report``     generate the full reproduction report, or render a
                  saved telemetry JSONL trace as a phase/cost/fault
                  breakdown;
@@ -169,6 +172,73 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import build_learned_emulator
+    from .resilience.chaos import ChaosEngine, ChaosProxy, resolve_profile
+    from .serve import FrontDoor, LoadGenerator
+    from .telemetry import Telemetry, write_trace
+
+    try:
+        profile = resolve_profile(args.chaos)
+    except ValueError as error:
+        print(f"repro serve-bench: error: {error}", file=sys.stderr)
+        return 2
+    build = build_learned_emulator(args.service, seed=args.seed, align=False)
+    telemetry = Telemetry(service=args.service)
+    wrap = None
+    if profile.active:
+        engine = ChaosEngine(profile, seed=args.seed)
+        wrap = lambda backend: ChaosProxy(backend, engine)  # noqa: E731
+    front = FrontDoor(
+        build.module, build.make_backend, telemetry=telemetry, wrap=wrap,
+        rate=args.rate, burst=args.burst, seed=args.seed,
+    )
+    per_worker = max(1, -(-args.requests // args.workers))
+    generator = LoadGenerator(
+        front, seed=args.seed, workers=args.workers,
+        requests_per_worker=per_worker, read_ratio=args.read_ratio,
+        tenants=args.tenants, offered_rate=args.offered_rate,
+    )
+    report = generator.run()
+    log_path = front.admitted.dump_jsonl(args.log) if args.log else None
+    trace_path = (
+        write_trace(telemetry, args.telemetry) if args.telemetry else None
+    )
+    if args.json:
+        payload = report.as_dict()
+        payload["service"] = args.service
+        payload["chaos"] = profile.name
+        if log_path is not None:
+            payload["admitted_log"] = str(log_path)
+        if trace_path is not None:
+            payload["telemetry"] = str(trace_path)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"serve-bench: {args.service}  "
+              f"({report.workers} workers, {report.tenants} tenants, "
+              f"chaos={profile.name})")
+        print(f"  requests:    {report.requests} "
+              f"({report.reads} reads / {report.writes} writes)")
+        print(f"  throughput:  {report.throughput_rps:,.0f} req/s "
+              f"over {report.wall_seconds:.2f}s")
+        print(f"  shed:        {report.shed}")
+        for code in sorted(report.by_code):
+            label = code or "(success)"
+            print(f"    {label:34} {report.by_code[code]:>7}")
+        print(f"  admitted writes logged: {report.admitted_writes}")
+        verdict = "PASS" if report.linearizable else "FAIL"
+        print(f"  linearizable: {verdict}")
+        for mismatch in report.mismatches:
+            print(f"    {mismatch}")
+        if log_path is not None:
+            print(f"  admitted log: {log_path}")
+        if trace_path is not None:
+            print(f"  telemetry:    {trace_path}")
+    return 0 if report.linearizable else 3
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.trace:
         from .telemetry import load_trace, render_trace_report, TraceError
@@ -258,6 +328,42 @@ def main(argv: list[str] | None = None) -> int:
     traces.add_argument("service", choices=sorted(CATALOGS))
     traces.add_argument("--seed", type=int, default=7)
     traces.set_defaults(func=_cmd_traces)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="drive concurrent load through the hardened serving layer "
+             "and verify linearizability by serial replay")
+    serve_bench.add_argument("service", choices=sorted(CATALOGS))
+    serve_bench.add_argument("--workers", type=int, default=8)
+    serve_bench.add_argument("--requests", type=int, default=2000,
+                             help="total requests across all workers")
+    serve_bench.add_argument("--read-ratio", type=float, default=0.7)
+    serve_bench.add_argument("--tenants", type=int, default=2,
+                             help="number of tenant API keys to spread "
+                                  "traffic across")
+    serve_bench.add_argument("--rate", type=float, default=50.0,
+                             help="token-bucket refill rate per tenant "
+                                  "(requests per virtual second)")
+    serve_bench.add_argument("--burst", type=float, default=20.0)
+    serve_bench.add_argument("--offered-rate", type=float, default=None,
+                             help="offered load in requests per virtual "
+                                  "second (default: unconstrained, the "
+                                  "buckets never shed)")
+    serve_bench.add_argument("--chaos", default=None,
+                             choices=("off", "mild", "hostile"),
+                             help="wrap every tenant backend in a fault "
+                                  "injector (default: "
+                                  "$REPRO_CHAOS_PROFILE or off)")
+    serve_bench.add_argument("--seed", type=int, default=11)
+    serve_bench.add_argument("--log", metavar="PATH",
+                             help="write the admitted-request log as "
+                                  "JSONL (the linearizability witness)")
+    serve_bench.add_argument("--telemetry", metavar="PATH",
+                             help="write the serve telemetry trace "
+                                  "(shed/validation counters, queue "
+                                  "depth) to a JSONL file")
+    serve_bench.add_argument("--json", action="store_true")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     report = sub.add_parser("report",
                             help="generate the full reproduction report, "

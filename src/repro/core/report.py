@@ -31,6 +31,8 @@ class ReportData:
     versus_manual: list = field(default_factory=list)
     multicloud: dict = field(default_factory=dict)
     alignment: dict = field(default_factory=dict)
+    #: variant -> FuzzReport (the §4.3 random-fuzzing baseline).
+    fuzzing: dict = field(default_factory=dict)
 
 
 def collect_report_data(seed: int = 7,
@@ -59,6 +61,23 @@ def collect_report_data(seed: int = 7,
             catalog_coverage(service, build.make_backend()),
         ))
     data.fig4_summary = comparison.summary()
+
+    # §4.3 baseline: random fuzzing against the aligned and unaligned
+    # EC2 emulators (modest budget; the point is the efficiency ratio,
+    # not exhaustiveness).
+    from ..alignment import RandomFuzzer
+    from ..cloud import make_cloud
+
+    unaligned = build_learned_emulator("ec2", mode="constrained",
+                                       seed=seed, align=False)
+    fuzz_budget = 600
+    data.fuzzing["unaligned"] = RandomFuzzer(
+        unaligned.module, seed=seed
+    ).run(make_cloud("ec2"), unaligned.make_backend(), budget=fuzz_budget)
+    data.fuzzing["aligned"] = RandomFuzzer(
+        builds["ec2"].module, seed=seed
+    ).run(make_cloud("ec2"), builds["ec2"].make_backend(),
+          budget=fuzz_budget)
 
     if include_multicloud:
         for service in ("azure_network", "gcp_compute"):
@@ -128,6 +147,19 @@ def render_report(data: ReportData) -> str:
             for variant, accuracy in results.items():
                 aligned, total = accuracy.total
                 emit(f"| {service} | {variant} | {aligned}/{total} |")
+        emit("")
+
+    if data.fuzzing:
+        emit("## §4.3 random-fuzzing baseline efficiency")
+        emit("")
+        emit("| EC2 emulator | calls | distinct divergences | "
+             "duplicates folded | calls/divergence |")
+        emit("|---|---:|---:|---:|---:|")
+        for variant, fuzz in data.fuzzing.items():
+            emit(f"| {variant} | {fuzz.calls} | "
+                 f"{fuzz.divergence_count} | "
+                 f"{fuzz.duplicate_divergences} | "
+                 f"{fuzz.calls_per_divergence:.1f} |")
         emit("")
 
     emit("## Alignment internals (§4.3)")

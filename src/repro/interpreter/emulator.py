@@ -205,6 +205,25 @@ class Emulator:
     def supports(self, api: str) -> bool:
         return api in self._dispatch
 
+    def read_only(self, api: str) -> bool:
+        """Whether ``api`` can never mutate the registry.
+
+        True for bare describes (list-class APIs), for transitions the
+        compiler proved effect-free (the pure route), and for unknown
+        APIs (which fail before touching state).  The serving layer
+        uses this to route read traffic through a shared lock while
+        writes serialize — the classification must therefore be
+        *conservative*: a transition whose compiled body has gone
+        stale (mutated after construction) re-classifies as a write.
+        """
+        entry = self._dispatch.get(api)
+        if entry is None:
+            return True
+        if entry.bare_describe:
+            return True
+        pure = entry.pure_compiled
+        return pure is not None and pure.fresh(entry.transition)
+
     def reset(self) -> None:
         """Drop all emulated resources (fresh mock cloud)."""
         self.registry = Registry()

@@ -13,12 +13,18 @@ The envelope follows the query-API convention::
     success:  {"ResponseMetadata": {"RequestId": ...}, <data fields>}
     failure:  {"ResponseMetadata": {"RequestId": ...},
                "Error": {"Code": ..., "Message": ...}}
+
+The endpoint is thread-safe: the serving layer shares one instance
+across worker threads, so request-id allocation is serialized (each id
+is still a pure function of the endpoint seed and its position in the
+admission order — recorded traffic replays byte-identically).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 
 from .errors import ApiResponse
@@ -26,6 +32,33 @@ from .errors import ApiResponse
 
 class ProtocolError(Exception):
     """The request envelope itself is malformed."""
+
+
+class RequestIdSequence:
+    """Deterministic, thread-safe request-id allocation.
+
+    Ids are a hash of ``(seed, counter)``, formatted UUID-style.  The
+    counter increment is atomic so concurrent callers never mint
+    duplicate ids; the *sequence* of ids is fixed by the seed, and
+    which request gets which id is fixed by admission order.
+    """
+
+    __slots__ = ("seed", "_counter", "_lock")
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
+        digest = hashlib.sha256(
+            f"{self.seed}:{counter}".encode()
+        ).hexdigest()
+        return (f"{digest[:8]}-{digest[8:12]}-{digest[12:16]}-"
+                f"{digest[16:20]}-{digest[20:32]}")
 
 
 @dataclass
@@ -40,15 +73,14 @@ class JsonEndpoint:
     seed: int = 1
     #: Optional run sink; per-request spans and counters land here.
     telemetry: object | None = None
-    _counter: int = field(default=0, repr=False)
+    _ids: RequestIdSequence = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._ids is None:
+            self._ids = RequestIdSequence(self.seed)
 
     def _request_id(self) -> str:
-        self._counter += 1
-        digest = hashlib.sha256(
-            f"{self.seed}:{self._counter}".encode()
-        ).hexdigest()
-        return (f"{digest[:8]}-{digest[8:12]}-{digest[12:16]}-"
-                f"{digest[16:20]}-{digest[20:32]}")
+        return self._ids.next()
 
     # -- dict envelope -----------------------------------------------------
 
@@ -89,38 +121,53 @@ class JsonEndpoint:
                 "Code": response.error_code,
                 "Message": response.error_message,
             }
+            # Failure responses normally carry no data; the serving
+            # layer uses the slot for throttle metadata (Retry-After
+            # hints), which rides inside the error object the way the
+            # cloud's own throttle annotations do.
+            if response.data:
+                body["Error"].update(response.data)
         return body
 
     # -- text envelope -----------------------------------------------------------
 
-    def handle(self, payload: str) -> str:
+    def handle(self, payload: "str | bytes") -> str:
         """Handle one JSON-encoded request; always returns valid JSON.
 
-        Envelope problems come back as a 400-style ``SerializationError``
-        rather than an exception: wire front doors don't crash on bad
-        input.
+        Envelope problems — undecodable bytes, unparsable JSON, a
+        non-object top level, a missing or mistyped ``Action`` or
+        ``Parameters`` — come back as a 400-style
+        ``SerializationException`` rather than an exception: wire front
+        doors don't crash on bad input.
         """
+        if isinstance(payload, (bytes, bytearray)):
+            try:
+                payload = bytes(payload).decode("utf-8")
+            except UnicodeDecodeError:
+                return json.dumps(self._serialization_error(
+                    "request body is not valid UTF-8"
+                ))
         try:
             request = json.loads(payload)
-        except json.JSONDecodeError as error:
-            return json.dumps({
-                "ResponseMetadata": {"RequestId": self._request_id()},
-                "Error": {
-                    "Code": "SerializationException",
-                    "Message": f"could not parse request: {error.msg}",
-                },
-            })
+        except (json.JSONDecodeError, ValueError) as error:
+            message = getattr(error, "msg", str(error))
+            return json.dumps(self._serialization_error(
+                f"could not parse request: {message}"
+            ))
         try:
             body = self.dispatch(request)
         except ProtocolError as error:
-            body = {
-                "ResponseMetadata": {"RequestId": self._request_id()},
-                "Error": {
-                    "Code": "SerializationException",
-                    "Message": str(error),
-                },
-            }
+            body = self._serialization_error(str(error))
         return json.dumps(body)
+
+    def _serialization_error(self, message: str) -> dict:
+        return {
+            "ResponseMetadata": {"RequestId": self._request_id()},
+            "Error": {
+                "Code": "SerializationException",
+                "Message": message,
+            },
+        }
 
     @staticmethod
     def is_error(body: dict) -> bool:

@@ -39,6 +39,7 @@ from .policy import (
     seeded_fraction,
     VirtualClock,
 )
+from .ratelimit import TokenBucket
 from .retry import retry_call
 from .stats import ResilienceStats
 
@@ -85,6 +86,7 @@ __all__ = [
     "RetriesExhausted",
     "retry_call",
     "RetryPolicy",
+    "TokenBucket",
     "seeded_fraction",
     "TransientServiceError",
     "TRANSIENT_CODES",

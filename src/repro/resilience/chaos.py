@@ -159,6 +159,9 @@ class ChaosProxy:
         self._calls = 0
         #: id -> proxy call count at which it becomes visible.
         self._invisible_until: dict[str, int] = {}
+        # The serving layer drives one proxy from many worker threads;
+        # the call counter and lag table are the only shared state.
+        self._state_lock = threading.Lock()
 
     # -- delegated surface -------------------------------------------------
 
@@ -168,15 +171,21 @@ class ChaosProxy:
     def supports(self, api: str) -> bool:
         return self.inner.supports(api)
 
+    def read_only(self, api: str) -> bool:
+        return self.inner.read_only(api)
+
     def reset(self) -> None:
-        self._invisible_until.clear()
+        with self._state_lock:
+            self._invisible_until.clear()
         self.inner.reset()
 
     # -- chaotic dispatch --------------------------------------------------
 
     def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
-        self._calls += 1
-        profile, engine, call = self.engine.profile, self.engine, self._calls
+        with self._state_lock:
+            self._calls += 1
+            call = self._calls
+        profile, engine = self.engine.profile, self.engine
         if engine.decide(profile.throttle, "throttle", api, call):
             engine.count("throttle")
             return ApiResponse.fail(
@@ -193,7 +202,7 @@ class ChaosProxy:
             return ApiResponse.fail(
                 "RequestTimeout", "The request timed out before completing."
             )
-        lagged = self._lagged_reference(params)
+        lagged = self._lagged_reference(params, call)
         if lagged is not None:
             engine.count("consistency_lag")
             return ApiResponse.fail(
@@ -201,25 +210,28 @@ class ChaosProxy:
                 f"The ID '{lagged}' does not exist",
             )
         response = self.inner.invoke(api, params)
-        self._maybe_lag_created(api, response)
+        self._maybe_lag_created(api, response, call)
         return response
 
-    def _lagged_reference(self, params: dict | None) -> str | None:
+    def _lagged_reference(self, params: dict | None,
+                          call: int) -> str | None:
         """The first parameter naming a still-propagating resource."""
         if not self._invisible_until or not params:
             return None
-        for value in params.values():
-            if not isinstance(value, str):
-                continue
-            visible_at = self._invisible_until.get(value)
-            if visible_at is None:
-                continue
-            if self._calls < visible_at:
-                return value
-            del self._invisible_until[value]
+        with self._state_lock:
+            for value in params.values():
+                if not isinstance(value, str):
+                    continue
+                visible_at = self._invisible_until.get(value)
+                if visible_at is None:
+                    continue
+                if call < visible_at:
+                    return value
+                del self._invisible_until[value]
         return None
 
-    def _maybe_lag_created(self, api: str, response: ApiResponse) -> None:
+    def _maybe_lag_created(self, api: str, response: ApiResponse,
+                           call: int) -> None:
         """Decide whether a freshly created resource propagates slowly."""
         if not response.success:
             return
@@ -227,12 +239,13 @@ class ChaosProxy:
         if not isinstance(created, str) or not created:
             return
         profile, engine = self.engine.profile, self.engine
-        if engine.decide(profile.consistency_lag, "lag", api, self._calls):
+        if engine.decide(profile.consistency_lag, "lag", api, call):
             steps = 1 + int(
                 engine.fraction("lagsteps", created)
                 * max(1, profile.max_lag_steps)
             )
-            self._invisible_until[created] = self._calls + steps
+            with self._state_lock:
+                self._invisible_until[created] = call + steps
 
 
 def _truncate(text: str, fraction: float) -> str:

@@ -1,0 +1,78 @@
+"""Token-bucket rate limiting on the shared clock abstraction.
+
+Real cloud front doors meter every tenant: a bucket of request tokens
+refills at a steady rate, bursts drain it, and an empty bucket answers
+``RequestLimitExceeded`` with a hint about when to come back.  The
+serving layer applies one bucket per tenant; the same primitive is
+usable anywhere the resilience layer already uses the clock (the
+bucket, like backoff and breaker cooldowns, never sleeps — it reads
+``clock.now()`` and computes, so overload scenarios are deterministic
+and instantly testable).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .policy import VirtualClock
+
+
+class TokenBucket:
+    """A classic token bucket over a :class:`VirtualClock`.
+
+    ``rate`` is tokens per clock-second; ``burst`` caps the bucket.
+    ``try_take`` never blocks: it either debits and admits, or refuses
+    and lets the caller shed with :meth:`retry_after`'s hint — the
+    serving layer turns that into a cloud-style throttle response
+    rather than queueing unboundedly.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: VirtualClock | None = None,
+        initial: float | None = None,
+    ):
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.clock = clock or VirtualClock()
+        self._tokens = self.burst if initial is None else float(initial)
+        self._refilled_at = self.clock.now()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self.clock.now()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+        self._refilled_at = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Debit ``amount`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Clock-seconds until ``amount`` tokens will be available."""
+        with self._lock:
+            self._refill_locked()
+            deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """The current token balance (after refill accrual)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens

@@ -143,6 +143,9 @@ class ResilientBackend:
     def supports(self, api: str) -> bool:
         return self.inner.supports(api)
 
+    def read_only(self, api: str) -> bool:
+        return self.inner.read_only(api)
+
     def reset(self) -> None:
         self.inner.reset()
 

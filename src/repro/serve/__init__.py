@@ -1,0 +1,60 @@
+"""The hardened concurrent serving layer.
+
+``repro.serve`` turns a single-threaded learned emulator into a
+production-shaped, multi-tenant service front end:
+
+- :mod:`locks` — a writer-preferring reader/writer lock;
+- :mod:`concurrency` — thread-safe dispatch and the commit-ordered
+  admitted-request log;
+- :mod:`validation` — spec-derived request validation;
+- :mod:`admission` — per-tenant token buckets, the bounded admission
+  queue and degraded-mode overload shedding;
+- :mod:`tenancy` — per-API-key registry namespaces;
+- :mod:`frontdoor` — the composed stack;
+- :mod:`loadgen` — the deterministic seeded load generator and the
+  serial-replay linearizability check behind ``repro serve-bench``.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    OVERLOADED,
+    THROTTLED,
+    TenantMeter,
+)
+from .concurrency import AdmittedLog, ConcurrentEmulator
+from .frontdoor import FrontDoor
+from .loadgen import LoadGenerator, LoadReport, verify_linearizable
+from .locks import RWLock
+from .tenancy import (
+    AuthError,
+    DEFAULT_TENANT,
+    MISSING_TOKEN,
+    Tenant,
+    TenantRouter,
+    UNRECOGNIZED_CLIENT,
+)
+from .validation import RequestValidator, VALIDATION_ERROR
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmittedLog",
+    "AuthError",
+    "ConcurrentEmulator",
+    "DEFAULT_TENANT",
+    "FrontDoor",
+    "LoadGenerator",
+    "LoadReport",
+    "MISSING_TOKEN",
+    "OVERLOADED",
+    "RWLock",
+    "RequestValidator",
+    "THROTTLED",
+    "Tenant",
+    "TenantMeter",
+    "TenantRouter",
+    "UNRECOGNIZED_CLIENT",
+    "VALIDATION_ERROR",
+    "verify_linearizable",
+]

@@ -1,0 +1,228 @@
+"""Admission control and overload shedding for the serve path.
+
+A production front door defends itself in layers, all deterministic
+on the virtual clock so overload scenarios are testable without wall
+time:
+
+- **per-tenant token buckets** (the resilience layer's
+  :class:`~repro.resilience.ratelimit.TokenBucket`) meter sustained
+  rate with a burst allowance; an empty bucket sheds with
+  ``RequestLimitExceeded`` and a ``RetryAfterSeconds`` hint computed
+  from the refill rate;
+- a **bounded admission queue**: requests beyond the concurrency
+  target wait their turn implicitly (on the emulator's RW lock), but
+  only ``queue_depth`` of them may be in the building at once — the
+  excess sheds with ``ServiceUnavailable`` instead of growing an
+  unbounded backlog;
+- **degraded mode**: a tenant that keeps hammering an empty bucket
+  flips to degraded — writes shed immediately with
+  ``ServiceUnavailable`` while reads bypass the bucket and stay
+  alive (reads ride the lock-free pure route and are cheap; keeping
+  them up is what lets operators *see* an overloaded system).  The
+  tenant recovers the moment its bucket has tokens again.
+
+Shed responses are :class:`~repro.interpreter.errors.ApiResponse`
+failures carrying the hint in ``data``; the JSON endpoint folds that
+into the error envelope (``Error.RetryAfterSeconds``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..interpreter.errors import ApiResponse
+from ..resilience.policy import VirtualClock
+from ..resilience.ratelimit import TokenBucket
+
+#: Shed codes (both are transient: well-behaved clients back off).
+THROTTLED = "RequestLimitExceeded"
+OVERLOADED = "ServiceUnavailable"
+
+
+def _shed(code: str, message: str, retry_after: float) -> ApiResponse:
+    data = {}
+    if retry_after > 0:
+        data["RetryAfterSeconds"] = round(retry_after, 6)
+    return ApiResponse(
+        success=False, data=data, error_code=code, error_message=message
+    )
+
+
+@dataclass
+class AdmissionDecision:
+    """What the controller decided for one request."""
+
+    admitted: bool
+    response: ApiResponse | None = None  # the shed answer, if any
+
+
+class TenantMeter:
+    """One tenant's bucket plus its degraded-mode bookkeeping."""
+
+    __slots__ = ("bucket", "degraded", "_consecutive_sheds", "_lock")
+
+    def __init__(self, bucket: TokenBucket):
+        self.bucket = bucket
+        self.degraded = False
+        self._consecutive_sheds = 0
+        self._lock = threading.Lock()
+
+    def note_shed(self, degrade_after: int) -> bool:
+        """Count a shed; returns True if the tenant just degraded."""
+        with self._lock:
+            self._consecutive_sheds += 1
+            if not self.degraded and (
+                self._consecutive_sheds >= degrade_after
+            ):
+                self.degraded = True
+                return True
+            return False
+
+    def note_token(self) -> bool:
+        """A token was available; returns True if tenant recovered."""
+        with self._lock:
+            recovered = self.degraded
+            self.degraded = False
+            self._consecutive_sheds = 0
+            return recovered
+
+
+class AdmissionController:
+    """Meters, bounds and sheds the traffic of every tenant.
+
+    ``max_concurrent`` is the in-service target; ``queue_depth`` bounds
+    how many further requests may wait.  ``degrade_after`` consecutive
+    bucket misses flip a tenant into degraded mode.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        rate: float = 50.0,
+        burst: float = 20.0,
+        max_concurrent: int = 16,
+        queue_depth: int = 64,
+        degrade_after: int = 8,
+        telemetry=None,
+    ):
+        self.clock = clock or VirtualClock()
+        self.rate = rate
+        self.burst = burst
+        self.max_concurrent = max_concurrent
+        self.queue_depth = queue_depth
+        self.degrade_after = degrade_after
+        self.telemetry = telemetry
+        self._meters: dict[str, TenantMeter] = {}
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    # -- tenant meters -------------------------------------------------------
+
+    def meter(self, tenant: str) -> TenantMeter:
+        with self._lock:
+            meter = self._meters.get(tenant)
+            if meter is None:
+                meter = TenantMeter(TokenBucket(
+                    rate=self.rate, burst=self.burst, clock=self.clock
+                ))
+                self._meters[tenant] = meter
+        return meter
+
+    def degraded(self, tenant: str) -> bool:
+        return self.meter(tenant).degraded
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, tenant: str, api: str,
+              read_only: bool) -> AdmissionDecision:
+        """Decide one request; pair every admit with :meth:`release`."""
+        # Layer 1: the building is full — shed before any queueing.
+        with self._lock:
+            capacity = self.max_concurrent + self.queue_depth
+            if self._in_flight >= capacity:
+                self._count_shed(tenant, OVERLOADED, api)
+                return AdmissionDecision(False, _shed(
+                    OVERLOADED,
+                    "The admission queue is full; reduce your request "
+                    "rate and retry.",
+                    retry_after=1.0 / max(self.rate, 1e-9),
+                ))
+            self._in_flight += 1
+            waiting = max(0, self._in_flight - self.max_concurrent)
+        self._observe_queue(waiting)
+
+        meter = self.meter(tenant)
+        # Layer 2: degraded mode — reads ride free, writes shed flat.
+        if meter.degraded:
+            if read_only:
+                self._count(tenant, "serve.degraded_reads")
+                return AdmissionDecision(True)
+            retry_after = meter.bucket.retry_after()
+            if not meter.bucket.try_take():
+                self._release_slot()
+                self._count_shed(tenant, OVERLOADED, api)
+                return AdmissionDecision(False, _shed(
+                    OVERLOADED,
+                    "The service is in degraded mode; writes are "
+                    "temporarily shed.",
+                    retry_after=retry_after,
+                ))
+            self._note_recovery(tenant, meter)
+            return AdmissionDecision(True)
+
+        # Layer 3: the token bucket.
+        if meter.bucket.try_take():
+            meter.note_token()
+            return AdmissionDecision(True)
+        retry_after = meter.bucket.retry_after()
+        if meter.note_shed(self.degrade_after):
+            self._count(tenant, "serve.degraded_entries")
+            if self.telemetry is not None:
+                self.telemetry.event("tenant_degraded", tenant=tenant)
+        if read_only and self.meter(tenant).degraded:
+            # The shed that tipped the tenant over still answers reads.
+            self._count(tenant, "serve.degraded_reads")
+            return AdmissionDecision(True)
+        self._release_slot()
+        self._count_shed(tenant, THROTTLED, api)
+        return AdmissionDecision(False, _shed(
+            THROTTLED,
+            "Request limit exceeded.",
+            retry_after=retry_after,
+        ))
+
+    def release(self) -> None:
+        """A previously admitted request finished."""
+        self._release_slot()
+
+    # -- internals -----------------------------------------------------------
+
+    def _note_recovery(self, tenant: str, meter: TenantMeter) -> None:
+        if meter.note_token() and self.telemetry is not None:
+            self.telemetry.event("tenant_recovered", tenant=tenant)
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def _observe_queue(self, waiting: int) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.metrics.gauge("serve.queue_depth").set(waiting)
+        self.telemetry.metrics.histogram(
+            "serve.queue_depth_samples"
+        ).observe(float(waiting))
+
+    def _count(self, tenant: str, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, tenant=tenant).inc()
+
+    def _count_shed(self, tenant: str, code: str, api: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "serve.shed", code=code, tenant=tenant
+            ).inc()
+            self.telemetry.event(
+                "request_shed", tenant=tenant, code=code, api=api
+            )

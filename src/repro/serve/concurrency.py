@@ -1,0 +1,146 @@
+"""Thread-safe concurrent dispatch over one emulator.
+
+:class:`ConcurrentEmulator` lets N worker threads issue mixed
+read/write traffic against a single :class:`~repro.interpreter.Emulator`
+without corrupting the registry, the WAL ordering or the ID allocator:
+
+- read-only APIs (bare describes and the compiler's pure route, as
+  classified by :meth:`Emulator.read_only`) dispatch under a *shared*
+  lock, so reads run concurrently with each other;
+- mutating APIs take the *exclusive* side, serializing transaction
+  build, WAL append and commit — the write history of the emulator is
+  therefore a total order;
+- every write *attempt* that reaches the interpreter is appended to
+  the :class:`AdmittedLog` while the exclusive lock is still held, so
+  the log's per-tenant order is exactly the commit order.  Failed
+  attempts are logged too: a failed create still burns a deterministic
+  ID, so serial replay must repeat the failure to reproduce the
+  allocator state byte-for-byte.
+
+The wrapper sits at the *bottom* of the backend stack, directly around
+the emulator.  Chaos and resilience proxies belong outside it: their
+injected faults fire before the lock is taken and are therefore never
+logged as admitted work — which is exactly right, because an injected
+throttle mutates nothing.
+
+Linearizability falls out: replaying one tenant's admitted log
+serially against a fresh emulator of the same module reproduces the
+concurrent run's final registry exactly (see
+:func:`repro.serve.loadgen.verify_linearizable`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from ..interpreter.errors import ApiResponse
+from .locks import RWLock
+
+
+class AdmittedLog:
+    """The serially-ordered record of write attempts the serve path
+    admitted — one entry per attempt, in commit order per tenant."""
+
+    def __init__(self):
+        self._records: list[dict] = []
+        self._lock = threading.Lock()
+
+    def append(self, tenant: str, api: str, params: dict,
+               success: bool) -> int:
+        with self._lock:
+            seq = len(self._records) + 1
+            self._records.append({
+                "seq": seq,
+                "tenant": tenant,
+                "api": api,
+                "params": dict(params or {}),
+                "success": success,
+            })
+        return seq
+
+    @property
+    def records(self) -> list[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def per_tenant(self, tenant: str) -> list[dict]:
+        return [r for r in self.records if r["tenant"] == tenant]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def dump_jsonl(self, path: "str | Path") -> Path:
+        """Write the log as JSONL (the CI stress job's artifact)."""
+        target = Path(path)
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return target
+
+
+class ConcurrentEmulator:
+    """An emulator wrapper that makes ``invoke`` thread-safe.
+
+    ``inner`` must expose the emulator classification surface
+    (``read_only``); in practice it is an
+    :class:`~repro.interpreter.Emulator`.
+    """
+
+    def __init__(self, inner, tenant: str = "default",
+                 log: AdmittedLog | None = None,
+                 lock: RWLock | None = None):
+        if not hasattr(inner, "read_only"):
+            raise TypeError(
+                "ConcurrentEmulator wraps the emulator itself "
+                f"(chaos/resilience proxies go outside it), got "
+                f"{type(inner).__name__}"
+            )
+        self.inner = inner
+        self.tenant = tenant
+        self.log = log
+        self.lock = lock or RWLock()
+
+    # -- delegated surface ---------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return self.inner.api_names()
+
+    def supports(self, api: str) -> bool:
+        return self.inner.supports(api)
+
+    def read_only(self, api: str) -> bool:
+        return self.inner.read_only(api)
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def reset(self) -> None:
+        with self.lock.write():
+            self.inner.reset()
+            if self.log is not None:
+                self.log.append(self.tenant, "_Reset", {}, True)
+
+    def snapshot(self) -> dict:
+        """A registry snapshot taken under the shared lock (readers
+        may run concurrently; writers are excluded, so the snapshot is
+        never torn)."""
+        with self.lock.read():
+            return self.inner.snapshot()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        if self.inner.read_only(api):
+            with self.lock.read():
+                return self.inner.invoke(api, params)
+        with self.lock.write():
+            response = self.inner.invoke(api, params)
+            if self.log is not None:
+                self.log.append(
+                    self.tenant, api, params or {}, response.success
+                )
+            return response

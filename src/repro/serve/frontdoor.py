@@ -1,0 +1,188 @@
+"""The production-shaped front door over any backend.
+
+``FrontDoor`` composes the serving layers in the order a real cloud
+edge does::
+
+    JSON envelope  (per-tenant JsonEndpoint: request ids, error shape)
+      -> authentication       (TenantRouter: per-key namespaces)
+      -> request validation   (RequestValidator: spec-derived types)
+      -> admission control    (AdmissionController: buckets, queue,
+                               degraded mode)
+      -> [chaos / resilience proxies, if configured]
+      -> concurrent dispatch  (ConcurrentEmulator: RW lock, admitted
+                               log)
+      -> the emulator
+
+Every layer speaks :class:`~repro.interpreter.errors.ApiResponse`, so
+a shed, a validation reject and an interpreter error all come back
+through the same wire envelope a success does — clients cannot tell
+the front door from the cloud's except by behaviour, which is the
+paper's bar for the emulator itself (§2).
+"""
+
+from __future__ import annotations
+
+from ..interpreter.endpoint import RequestIdSequence
+from ..interpreter.errors import ApiResponse
+from ..resilience.policy import VirtualClock
+from ..spec import ast
+from .admission import AdmissionController
+from .tenancy import AuthError, Tenant, TenantRouter
+from .validation import RequestValidator
+
+
+class _GuardedBackend:
+    """Validation + admission in front of one tenant's backend stack."""
+
+    __slots__ = ("frontdoor", "tenant_name", "inner")
+
+    def __init__(self, frontdoor: "FrontDoor", tenant_name: str, inner):
+        self.frontdoor = frontdoor
+        self.tenant_name = tenant_name
+        self.inner = inner
+
+    # -- delegated surface -------------------------------------------------
+
+    def api_names(self) -> list[str]:
+        return self.inner.api_names()
+
+    def supports(self, api: str) -> bool:
+        return self.inner.supports(api)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def read_only(self, api: str) -> bool:
+        return self.inner.read_only(api)
+
+    # -- guarded dispatch --------------------------------------------------
+
+    def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        front = self.frontdoor
+        params = params or {}
+        if front.telemetry is not None:
+            front.telemetry.metrics.counter(
+                "serve.requests", tenant=self.tenant_name
+            ).inc()
+        rejected = front.validator.validate(api, params)
+        if rejected is not None:
+            return rejected
+        read_only = self.inner.read_only(api)
+        decision = front.admission.admit(
+            self.tenant_name, api, read_only=read_only
+        )
+        if not decision.admitted:
+            return decision.response
+        try:
+            return self.inner.invoke(api, params)
+        finally:
+            front.admission.release()
+
+
+class FrontDoor:
+    """A hardened, multi-tenant serving layer over learned emulators.
+
+    Parameters
+    ----------
+    module:
+        The spec module every tenant serves (validation derives from
+        it).
+    emulator_factory:
+        Zero-argument callable building one fresh base emulator per
+        tenant; also used by the linearizability check to build clean
+        replicas for serial replay.
+    wrap:
+        Optional proxy stack (e.g. a chaos wrapper) interposed between
+        admission and the concurrency layer, per tenant.
+    rate / burst / max_concurrent / queue_depth / degrade_after:
+        Admission-control knobs (see :class:`AdmissionController`).
+    """
+
+    def __init__(
+        self,
+        module: ast.SpecModule,
+        emulator_factory,
+        clock: VirtualClock | None = None,
+        telemetry=None,
+        wrap=None,
+        rate: float = 50.0,
+        burst: float = 20.0,
+        max_concurrent: int = 16,
+        queue_depth: int = 64,
+        degrade_after: int = 8,
+        max_tenants: int = 32,
+        require_key: bool = False,
+        seed: int = 1,
+    ):
+        self.module = module
+        self.telemetry = telemetry
+        self.clock = clock or (
+            telemetry.clock if telemetry is not None else VirtualClock()
+        )
+        self.validator = RequestValidator(module, telemetry=telemetry)
+        self.admission = AdmissionController(
+            clock=self.clock, rate=rate, burst=burst,
+            max_concurrent=max_concurrent, queue_depth=queue_depth,
+            degrade_after=degrade_after, telemetry=telemetry,
+        )
+        self.router = TenantRouter(
+            emulator_factory, max_tenants=max_tenants,
+            require_key=require_key, wrap=wrap,
+            guard=lambda name, backend: _GuardedBackend(
+                self, name, backend
+            ),
+            telemetry=telemetry, seed=seed,
+        )
+        self.emulator_factory = emulator_factory
+        #: Request ids for envelopes minted before tenant resolution
+        #: (authentication failures).
+        self._auth_ids = RequestIdSequence(seed)
+
+    # -- wire surface --------------------------------------------------------
+
+    @property
+    def admitted(self):
+        """The commit-ordered admitted-request log (all tenants)."""
+        return self.router.admitted
+
+    def tenant(self, api_key: str | None = None) -> Tenant:
+        """Resolve (or create) the tenant for an API key."""
+        return self.router.resolve(api_key)
+
+    def dispatch(self, request: dict, api_key: str | None = None) -> dict:
+        """Handle one decoded request envelope for one tenant."""
+        try:
+            tenant = self.router.resolve(api_key)
+        except AuthError as error:
+            return self._auth_envelope(error)
+        return tenant.endpoint.dispatch(request)
+
+    def handle(self, payload: "str | bytes",
+               api_key: str | None = None) -> str:
+        """Handle one JSON-encoded request; always returns valid JSON."""
+        import json
+
+        try:
+            tenant = self.router.resolve(api_key)
+        except AuthError as error:
+            return json.dumps(self._auth_envelope(error))
+        return tenant.endpoint.handle(payload)
+
+    def invoke(self, api: str, params: dict | None = None,
+               api_key: str | None = None) -> ApiResponse:
+        """The response-typed path (no JSON envelope), still guarded."""
+        try:
+            tenant = self.router.resolve(api_key)
+        except AuthError as error:
+            return error.to_response()
+        return tenant.backend.invoke(api, params)
+
+    def _auth_envelope(self, error: AuthError) -> dict:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "serve.auth_rejects", code=error.code
+            ).inc()
+        return {
+            "ResponseMetadata": {"RequestId": self._auth_ids.next()},
+            "Error": {"Code": error.code, "Message": error.message},
+        }

@@ -1,0 +1,296 @@
+"""Deterministic seeded load generation and the linearizability check.
+
+``serve-bench`` drives open-loop traffic at configurable concurrency
+and read/write mix through a :class:`~repro.serve.frontdoor.FrontDoor`
+— optionally under a chaos profile — then *proves* the concurrent run
+was linearizable: the admitted-request log, replayed serially against
+a fresh emulator, must produce a registry byte-identical to the
+concurrent run's final snapshot.  Zero lost, duplicated or torn
+mutations, by construction checked rather than asserted.
+
+Traffic is deterministic per ``(seed, worker)``: each worker derives
+its own RNG stream, so the *offered* request sequence never depends on
+thread scheduling (the interleaving does, which is the point — the
+check must hold for every interleaving).  Virtual time advances
+``1/offered_rate`` clock-seconds per request, so the token buckets see
+a load expressed as a rate, not as wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..interpreter.emulator import normalize_key
+from ..spec import ast
+
+
+@dataclass
+class LoadReport:
+    """What one load run offered, received and proved."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    by_code: dict = field(default_factory=dict)  # "" = success
+    shed: int = 0
+    admitted_writes: int = 0
+    workers: int = 0
+    tenants: int = 0
+    wall_seconds: float = 0.0
+    linearizable: bool | None = None
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "reads": self.reads,
+            "writes": self.writes,
+            "by_code": dict(sorted(self.by_code.items())),
+            "shed": self.shed,
+            "admitted_writes": self.admitted_writes,
+            "workers": self.workers,
+            "tenants": self.tenants,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "linearizable": self.linearizable,
+            "mismatches": list(self.mismatches),
+        }
+
+
+#: Shed codes the admission layer produces.
+SHED_CODES = frozenset({"RequestLimitExceeded", "ServiceUnavailable"})
+
+
+class _TrafficModel:
+    """Seeded request synthesis over one module's API surface."""
+
+    def __init__(self, module: ast.SpecModule, classifier):
+        self.module = module
+        self._index = {
+            api: (sm_name, transition)
+            for api, (sm_name, transition)
+            in module.transition_index().items()
+            if not api.startswith("_")
+        }
+        self.reads = sorted(
+            api for api in self._index if classifier(api)
+        )
+        self.creates = sorted(
+            api for api, (__, t) in self._index.items()
+            if t.category == "create"
+        )
+        self.other_writes = sorted(
+            api for api in self._index
+            if api not in self.reads and api not in self.creates
+        )
+
+    def owning_sm(self, api: str) -> str:
+        return self._index[api][0]
+
+    def _value(self, rng, param, ids_by_sm: dict) -> object:
+        type_ = param.type
+        norm = normalize_key(param.name)
+        if type_.kind == "sm" or norm.endswith("id"):
+            pool = ids_by_sm.get(type_.sm_name) if type_.sm_name else None
+            if not pool:
+                pool = [
+                    value
+                    for values in ids_by_sm.values() for value in values
+                ]
+            if pool and rng.random() < 0.9:
+                return rng.choice(pool[-8:])
+            return f"missing-{norm}"
+        if "cidr" in norm:
+            return rng.choice((
+                "10.0.0.0/16", "10.1.0.0/16", "10.0.1.0/24",
+                "10.0.2.0/24", "192.168.0.0/20",
+            ))
+        if type_.kind == "bool":
+            return rng.random() < 0.5
+        if type_.kind == "int":
+            return rng.randrange(1, 8)
+        if type_.kind == "enum" and type_.enum_values:
+            return rng.choice(type_.enum_values)
+        if type_.kind == "list":
+            return []
+        if type_.kind == "map":
+            return {"Name": f"lg-{rng.randrange(100)}"}
+        return rng.choice(("name", "default", "standard", "primary"))
+
+    def request(self, rng, read_ratio: float,
+                ids_by_sm: dict) -> tuple[str, dict, bool]:
+        """One deterministic request: (api, params, is_read)."""
+        if self.reads and rng.random() < read_ratio:
+            api = rng.choice(self.reads)
+            is_read = True
+        elif self.creates and (not ids_by_sm or rng.random() < 0.6):
+            api = rng.choice(self.creates)
+            is_read = False
+        elif self.other_writes:
+            api = rng.choice(self.other_writes)
+            is_read = False
+        else:
+            api = rng.choice(self.creates or self.reads)
+            is_read = not self.creates
+        __, transition = self._index[api]
+        params = {
+            param.name: self._value(rng, param, ids_by_sm)
+            for param in transition.params
+            if rng.random() >= 0.05  # occasionally omit one
+        }
+        return api, params, is_read
+
+
+class LoadGenerator:
+    """Drives deterministic concurrent traffic through a front door."""
+
+    def __init__(
+        self,
+        frontdoor,
+        seed: int = 11,
+        workers: int = 8,
+        requests_per_worker: int = 250,
+        read_ratio: float = 0.7,
+        tenants: int = 1,
+        offered_rate: float | None = None,
+        latency: float = 0.0,
+    ):
+        self.frontdoor = frontdoor
+        self.seed = seed
+        self.workers = workers
+        self.requests_per_worker = requests_per_worker
+        self.read_ratio = read_ratio
+        self.tenant_names = [
+            f"tenant-{index}" for index in range(max(1, tenants))
+        ]
+        #: Requests per virtual clock-second offered to the buckets
+        #: (None: advance the clock generously so rate never sheds).
+        self.offered_rate = offered_rate
+        self.latency = latency
+        probe = frontdoor.emulator_factory()
+        self.model = _TrafficModel(frontdoor.module, probe.read_only)
+
+    # -- drive ---------------------------------------------------------------
+
+    def _worker(self, worker_index: int, report: LoadReport,
+                lock: threading.Lock) -> None:
+        import random
+
+        rng = random.Random(self.seed * 1_000_003 + worker_index)
+        clock = self.frontdoor.clock
+        pace = (
+            1.0 / self.offered_rate if self.offered_rate else None
+        )
+        ids_by_sm: dict[str, list[str]] = {}
+        local_codes: dict[str, int] = {}
+        reads = writes = sheds = 0
+        for __ in range(self.requests_per_worker):
+            tenant = rng.choice(self.tenant_names)
+            api, params, is_read = self.model.request(
+                rng, self.read_ratio, ids_by_sm
+            )
+            if pace is not None:
+                clock.sleep(pace)
+            else:
+                clock.sleep(1.0)  # unconstrained: buckets never empty
+            if self.latency:
+                time.sleep(self.latency)
+            body = self.frontdoor.dispatch(
+                {"Action": api, "Parameters": params}, api_key=tenant
+            )
+            error = body.get("Error")
+            code = error.get("Code", "") if error else ""
+            local_codes[code] = local_codes.get(code, 0) + 1
+            if is_read:
+                reads += 1
+            else:
+                writes += 1
+            if code in SHED_CODES:
+                sheds += 1
+            if not error:
+                created = body.get("id")
+                if isinstance(created, str) and created:
+                    sm = self.model.owning_sm(api)
+                    ids_by_sm.setdefault(sm, []).append(created)
+        with lock:
+            report.requests += reads + writes
+            report.reads += reads
+            report.writes += writes
+            report.shed += sheds
+            for code, count in local_codes.items():
+                report.by_code[code] = report.by_code.get(code, 0) + count
+
+    def run(self, verify: bool = True) -> LoadReport:
+        """Run the full load, then (optionally) prove linearizability."""
+        report = LoadReport(
+            workers=self.workers, tenants=len(self.tenant_names)
+        )
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(index, report, lock),
+                name=f"loadgen-{index}", daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report.wall_seconds = time.perf_counter() - start
+        report.admitted_writes = len(self.frontdoor.admitted)
+        if verify:
+            ok, mismatches = verify_linearizable(self.frontdoor)
+            report.linearizable = ok
+            report.mismatches = mismatches
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Linearizability: serial replay of the admitted log
+# ---------------------------------------------------------------------------
+
+
+def _canonical(snapshot: dict) -> str:
+    snapshot = dict(snapshot)
+    snapshot["wal_seq"] = 0  # replicas never carry a WAL
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def verify_linearizable(frontdoor) -> tuple[bool, list[str]]:
+    """Serial replay of each tenant's admitted log == live registry?
+
+    For every tenant: build a fresh emulator from the front door's own
+    factory, replay that tenant's admitted write attempts in log
+    order, and compare canonical snapshots byte-for-byte.  A lost,
+    duplicated, torn or re-ordered mutation anywhere in the concurrent
+    run shows up as a diff (IDs, state values and allocator counters
+    are all in the snapshot).
+    """
+    mismatches: list[str] = []
+    for tenant in frontdoor.router.tenants():
+        replica = frontdoor.emulator_factory()
+        for record in frontdoor.admitted.per_tenant(tenant.name):
+            if record["api"] == "_Reset":
+                replica.reset()
+            else:
+                replica.invoke(record["api"], record["params"])
+        live = _canonical(tenant.emulator.snapshot())
+        replayed = _canonical(replica.snapshot())
+        if live != replayed:
+            mismatches.append(
+                f"tenant {tenant.name}: serial replay diverges from "
+                f"the concurrent registry "
+                f"(live {len(live)}B != replay {len(replayed)}B)"
+            )
+    return (not mismatches), mismatches

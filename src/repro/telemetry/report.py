@@ -156,7 +156,24 @@ def _phase_rows(data: TraceData) -> list[tuple[str, int, dict, float]]:
         return counts
 
     rows: list[tuple[str, int, dict, float]] = []
-    for root in children.get(None, []):
+    roots = children.get(None, [])
+    if len(roots) > 12:
+        # Serve traces have one root span per request; fold the flood
+        # into one aggregate row per span name.
+        grouped: dict[str, tuple[int, dict, float]] = {}
+        for root in roots:
+            name = root.get("name", "?")
+            count, counts, duration = grouped.get(name, (0, {}, 0.0))
+            for kind, n in subtree_counts(root).items():
+                counts[kind] = counts.get(kind, 0) + n
+            grouped[name] = (
+                count + 1, counts, duration + root.get("duration", 0.0)
+            )
+        for name in sorted(grouped):
+            count, counts, duration = grouped[name]
+            rows.append((f"{name} ×{count}", 0, counts, duration))
+        return rows
+    for root in roots:
         rows.append((root.get("name", "?"), 0, subtree_counts(root),
                      root.get("duration", 0.0)))
         for child in children.get(root.get("id"), []):
@@ -164,6 +181,59 @@ def _phase_rows(data: TraceData) -> list[tuple[str, int, dict, float]]:
                 continue
             rows.append((child.get("name", "?"), 1, subtree_counts(child),
                          child.get("duration", 0.0)))
+    return rows
+
+
+def _serving_rows(metrics: dict) -> list[str]:
+    """Fold ``serve.*`` metrics into report fragments (empty when the
+    trace did not come from the serving layer)."""
+
+    def total(prefix: str, by_label: str | None = None) -> "int | dict":
+        flat = 0
+        grouped: dict[str, int] = {}
+        for key, record in metrics.items():
+            if not key.startswith(prefix):
+                continue
+            if key != prefix and not key.startswith(prefix + "{"):
+                continue
+            value = int(record.get("value", 0))
+            flat += value
+            if by_label is not None:
+                __, brace, labels = key.partition("{")
+                for pair in labels.rstrip("}").split(",") if brace else ():
+                    label, __, label_value = pair.partition("=")
+                    if label == by_label:
+                        grouped[label_value] = (
+                            grouped.get(label_value, 0) + value
+                        )
+        return grouped if by_label is not None else flat
+
+    requests = total("serve.requests")
+    if not requests:
+        return []
+    rows = [f"{requests} request(s)"]
+    shed_by_code = total("serve.shed", by_label="code")
+    if shed_by_code:
+        rows.append("shed " + " + ".join(
+            f"{count} {code}"
+            for code, count in sorted(shed_by_code.items())
+        ))
+    rejects = total("serve.validation_rejects")
+    if rejects:
+        rows.append(f"{rejects} validation reject(s)")
+    degraded_reads = total("serve.degraded_reads")
+    if degraded_reads:
+        rows.append(f"{degraded_reads} degraded read(s)")
+    samples = metrics.get("serve.queue_depth_samples", {})
+    if samples.get("count"):
+        rows.append(
+            f"queue depth max {samples.get('max', 0):.0f} "
+            f"(mean {samples.get('mean', 0):.2f} "
+            f"over {samples['count']} sample(s))"
+        )
+    tenants = total("serve.tenants")
+    if tenants:
+        rows.append(f"{tenants} tenant(s)")
     return rows
 
 
@@ -252,6 +322,9 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
             f"{resilience.get('breaker_trips', 0)} breaker trip(s), "
             f"{resilience.get('quarantined', 0)} quarantined"
         )
+    serving = _serving_rows(data.metrics)
+    if serving:
+        lines.append("serving: " + ", ".join(serving))
     durability = report.get("durability")
     if durability:
         lines.append(
@@ -268,7 +341,13 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
     lines.append("")
 
     # -- span tree ---------------------------------------------------------
-    if tree and data.spans:
+    roots = data.span_children().get(None, [])
+    if tree and data.spans and len(roots) <= 12:
         lines.append("span tree:")
         lines.append(render_span_tree(data, max_children=6))
+    elif tree and data.spans:
+        lines.append(
+            f"span tree: {len(roots)} root span(s) — omitted "
+            "(per-request serve trace)"
+        )
     return "\n".join(lines)

@@ -93,6 +93,99 @@ class TestEnvelope:
         assert not JsonEndpoint.is_error(body)
 
 
+class TestEnvelopeEdgeCases:
+    """Hostile wire input: the text handler must always come back with
+    a ``SerializationException`` envelope, never a raised exception."""
+
+    @staticmethod
+    def _expect_serialization_error(endpoint, payload):
+        reply = endpoint.handle(payload)
+        body = json.loads(reply)
+        assert body["Error"]["Code"] == "SerializationException"
+        assert body["ResponseMetadata"]["RequestId"]
+        return body
+
+    @pytest.mark.parametrize("payload", [
+        json.dumps(["not", "an", "object"]),
+        json.dumps("just a string"),
+        json.dumps(42),
+        json.dumps(None),
+    ])
+    def test_non_object_top_level(self, endpoint, payload):
+        self._expect_serialization_error(endpoint, payload)
+
+    @pytest.mark.parametrize("request_body", [
+        {},                                      # no Action at all
+        {"Action": ""},                          # empty Action
+        {"Action": None},                        # null Action
+        {"Action": 7},                           # non-string Action
+        {"Action": "ListFirewalls", "Parameters": ["a", "b"]},
+        {"Action": "ListFirewalls", "Parameters": "oops"},
+        {"Action": "ListFirewalls", "Parameters": 3},
+    ])
+    def test_bad_action_or_parameters(self, endpoint, request_body):
+        self._expect_serialization_error(
+            endpoint, json.dumps(request_body)
+        )
+
+    def test_null_parameters_means_empty(self, endpoint):
+        reply = endpoint.handle(json.dumps(
+            {"Action": "ListFirewalls", "Parameters": None}
+        ))
+        assert not JsonEndpoint.is_error(json.loads(reply))
+
+    def test_invalid_utf8_bytes(self, endpoint):
+        self._expect_serialization_error(endpoint, b"\xff\xfe{}")
+
+    def test_invalid_json_text(self, endpoint):
+        body = self._expect_serialization_error(
+            endpoint, "{this is not json"
+        )
+        assert "could not parse" in body["Error"]["Message"]
+
+    def test_valid_utf8_bytes_round_trip(self, endpoint):
+        reply = endpoint.handle(json.dumps({
+            "Action": "CreateFirewallPolicy",
+            "Parameters": {"PolicyName": "p"},
+        }).encode("utf-8"))
+        body = json.loads(reply)
+        assert body["id"].startswith("fp-")
+
+    def test_edge_cases_still_mint_unique_request_ids(self, endpoint):
+        ids = {
+            json.loads(endpoint.handle(payload))[
+                "ResponseMetadata"]["RequestId"]
+            for payload in (b"\xff", "{bad", json.dumps([]), "null")
+        }
+        assert len(ids) == 4
+
+    def test_request_ids_atomic_under_threads(self, build):
+        """The id counter increments atomically: N threads hammering
+        one endpoint never mint a duplicate request id."""
+        import threading
+
+        endpoint = JsonEndpoint(backend=build.make_backend(), seed=3)
+        minted: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [
+                endpoint.dispatch({"Action": "ListFirewalls"})[
+                    "ResponseMetadata"]["RequestId"]
+                for __ in range(50)
+            ]
+            with lock:
+                minted.extend(local)
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(minted) == 400
+        assert len(set(minted)) == 400
+
+
 class TestMetamorphicParameterCasing:
     """Outcomes must be invariant to the client's key spelling —
     CamelCase SDKs and snake_case SDKs see the same cloud."""
