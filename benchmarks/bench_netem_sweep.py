@@ -1,0 +1,112 @@
+"""Network emulation cost: transmit rate, cell wall time, sweep scale.
+
+The netem layer's claim is that network weather is *free-ish*: every
+RTT, loss draw and partition check is a couple of seeded hashes plus a
+virtual-clock advance, so a sweep cell that emulates seconds of WAN
+traffic should finish in a fraction of that wall time.  The bench pins
+that down with three numbers, recorded in ``BENCH_netem_sweep.json``:
+
+- raw ``NetEm.transmit`` throughput (messages per wall second);
+- one hostile sweep cell (5% loss, partitions) end to end, with the
+  virtual-seconds-emulated over wall-seconds-spent compression ratio;
+- a small multi-cell sweep, to price the full harness per cell.
+"""
+
+import time
+
+from repro.netem import (
+    FaultTimeline,
+    NetEm,
+    SweepConfig,
+    SweepGrid,
+    run_sweep,
+    seeded_partitions,
+    uniform_topology,
+)
+from repro.resilience.policy import VirtualClock
+from repro.scenarios.geo import (
+    noisy_cross_region_replication,
+    partition_heal_convergence,
+)
+
+REGIONS = ("us-east-1", "us-west-2", "eu-west-1")
+
+
+def test_transmit_throughput(bench_metrics):
+    """A transmit is two seeded hashes and a clock bump — it must be
+    cheap enough to charge on every served request."""
+    clock = VirtualClock()
+    topology = uniform_topology(REGIONS, base_rtt=0.04, loss=0.02)
+    timeline = FaultTimeline(seeded_partitions(
+        REGIONS, seed=11, horizon=1e9, duration=5.0, period=50.0,
+    ))
+    netem = NetEm(topology, clock=clock, timeline=timeline, seed=11)
+    messages = 20_000
+    pairs = [(a, b) for a in REGIONS for b in REGIONS if a != b]
+    start = time.perf_counter()
+    for index in range(messages):
+        src, dst = pairs[index % len(pairs)]
+        netem.transmit(src, dst, key=index)
+    elapsed = time.perf_counter() - start
+    rate = messages / elapsed
+    print(f"\nnetem transmit: {rate:,.0f} msg/s wall "
+          f"({clock.now():,.0f} virtual seconds emulated)")
+    bench_metrics.gauge("transmit_msgs_per_s", round(rate, 1))
+    bench_metrics.gauge("transmit_virtual_seconds", round(clock.now(), 1))
+    assert netem.stats.delivered > 0
+    assert rate > 5_000, f"transmit path too slow: {rate:,.0f}/s"
+
+
+def test_hostile_cell_wall_time(learned_builds, bench_metrics):
+    """One worst-corner sweep cell, timed: emulated WAN seconds must
+    come far cheaper than real ones, and the cell must stay
+    linearizable."""
+    build = learned_builds["ec2"]
+    start = time.perf_counter()
+    result = noisy_cross_region_replication(
+        build, seed=7, loss=0.05, base_rtt=0.08, partition_duration=5.0,
+    )
+    wall = time.perf_counter() - start
+    assert result["ok"], result["load"].get("mismatches")
+    virtual = result["net"]["latency_total"]
+    ratio = virtual / wall if wall > 0 else 0.0
+    print(f"\nhostile cell: {wall:.2f}s wall for {virtual:.2f}s of "
+          f"virtual WAN latency ({ratio:.1f}x compression), "
+          f"{result['net']['messages']} messages, "
+          f"{result['net']['partition_rejects']} partition rejects")
+    bench_metrics.gauge("hostile_cell_wall_s", round(wall, 3))
+    bench_metrics.gauge("hostile_cell_virtual_s", round(virtual, 3))
+    bench_metrics.gauge("hostile_cell_compression", round(ratio, 2))
+
+
+def test_sweep_per_cell_cost(learned_builds, bench_metrics):
+    """A 2x2x2 sweep end to end: the harness's per-cell price."""
+    build = learned_builds["ec2"]
+    grid = SweepGrid(losses=(0.0, 0.05), rtts=(0.02, 0.08),
+                     partition_durations=(0.0, 5.0))
+    config = SweepConfig(workers=3, requests_per_worker=20, tenants=2,
+                         seed=7)
+    start = time.perf_counter()
+    payload = run_sweep(build, grid, config)
+    wall = time.perf_counter() - start
+    per_cell = wall / len(grid)
+    print(f"\nsweep: {len(grid)} cells in {wall:.2f}s "
+          f"({per_cell:.2f}s/cell), "
+          f"all_linearizable={payload['all_linearizable']}")
+    bench_metrics.gauge("sweep_cells", len(grid))
+    bench_metrics.gauge("sweep_wall_s", round(wall, 3))
+    bench_metrics.gauge("sweep_per_cell_s", round(per_cell, 3))
+    assert payload["all_linearizable"] is True
+
+
+def test_convergence_proof_cost(learned_builds, bench_metrics):
+    """The partition-then-heal convergence check (full registry diffs
+    against every replica) must stay cheap enough for CI."""
+    build = learned_builds["ec2"]
+    start = time.perf_counter()
+    result = partition_heal_convergence(build, seed=7)
+    wall = time.perf_counter() - start
+    assert result["ok"], result
+    print(f"\nconvergence proof: {wall:.2f}s wall, "
+          f"{result['replications']} replications")
+    bench_metrics.gauge("convergence_wall_s", round(wall, 3))

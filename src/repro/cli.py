@@ -239,6 +239,94 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report.linearizable else 3
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import build_learned_emulator
+    from .netem.sweep import (
+        render_heatmap, run_sweep, SweepConfig, SweepGrid,
+    )
+    from .scenarios.geo import (
+        multi_region_failover, partition_heal_convergence,
+    )
+
+    def _axis(raw: str) -> tuple:
+        try:
+            return tuple(float(part) for part in raw.split(",") if part)
+        except ValueError:
+            raise SystemExit(
+                f"repro sweep: error: bad axis value {raw!r} "
+                "(expected comma-separated numbers)"
+            )
+
+    grid = SweepGrid(
+        losses=_axis(args.losses),
+        rtts=_axis(args.rtts),
+        partition_durations=_axis(args.partitions),
+    )
+    config = SweepConfig(
+        workers=args.workers,
+        requests_per_worker=max(1, -(-args.requests // args.workers)),
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    build = build_learned_emulator(args.service, seed=args.seed,
+                                   align=False)
+
+    def progress(index: int, total: int, record: dict) -> None:
+        if not args.json:
+            verdict = "ok" if record["ok"] else "FAIL"
+            print(f"  cell {index + 1}/{total}  "
+                  f"loss={record['loss']:g} rtt={record['base_rtt']:g}s "
+                  f"partition={record['partition_duration']:g}s  "
+                  f"error_rate={record['error_rate']:.3f}  {verdict}")
+
+    payload = run_sweep(build, grid, config, progress=progress)
+    if args.convergence:
+        traces = {}
+        if args.telemetry:
+            import os
+
+            os.makedirs(args.telemetry, exist_ok=True)
+            traces = {
+                name: os.path.join(args.telemetry, f"{name}.jsonl")
+                for name in ("multi_region_failover",
+                             "partition_heal_convergence")
+            }
+        failover = multi_region_failover(
+            build, seed=args.seed,
+            trace=traces.get("multi_region_failover"),
+        )
+        convergence = partition_heal_convergence(
+            build, seed=args.seed,
+            trace=traces.get("partition_heal_convergence"),
+        )
+        payload["geo"] = {
+            "multi_region_failover": failover,
+            "partition_heal_convergence": convergence,
+        }
+        payload["all_ok"] = bool(
+            payload["all_ok"] and failover["ok"] and convergence["ok"]
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.json:
+            print(f"sweep written to {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print()
+        print(render_heatmap(payload, metric=args.metric))
+        if args.convergence:
+            geo = payload["geo"]
+            for name, result in geo.items():
+                verdict = "PASS" if result["ok"] else "FAIL"
+                print(f"  {name}: {verdict}")
+    return 0 if payload["all_ok"] else 3
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.trace:
         from .telemetry import load_trace, render_trace_report, TraceError
@@ -364,6 +452,45 @@ def main(argv: list[str] | None = None) -> int:
                                   "depth) to a JSONL file")
     serve_bench.add_argument("--json", action="store_true")
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the geo scenario catalog across a (loss x RTT x "
+             "partition) grid and emit heatmap-ready JSON per cell")
+    sweep.add_argument("service", choices=sorted(CATALOGS))
+    sweep.add_argument("--losses", default="0,0.02,0.05",
+                       help="comma-separated per-message loss "
+                            "probabilities (default: 0,0.02,0.05)")
+    sweep.add_argument("--rtts", default="0.01,0.04,0.08",
+                       help="comma-separated base RTTs in virtual "
+                            "seconds (default: 0.01,0.04,0.08)")
+    sweep.add_argument("--partitions", default="0,5",
+                       help="comma-separated partition durations in "
+                            "virtual seconds; 0 disables partitions "
+                            "for that cell (default: 0,5)")
+    sweep.add_argument("--workers", type=int, default=4)
+    sweep.add_argument("--requests", type=int, default=160,
+                       help="total requests per cell across all workers")
+    sweep.add_argument("--tenants", type=int, default=2)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--metric", default="error_rate",
+                       choices=("error_rate", "timeout_rate",
+                                "unavailable_rate", "stale_ratio",
+                                "mean_net_latency"),
+                       help="which cell metric the ASCII heatmap colors")
+    sweep.add_argument("--convergence", action="store_true",
+                       help="also run the failover and partition-heal "
+                            "convergence scenarios and fold their "
+                            "verdicts into the exit code")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="write the sweep JSON document to a file")
+    sweep.add_argument("--telemetry", metavar="DIR",
+                       help="with --convergence: write each geo "
+                            "scenario's telemetry trace (JSONL) into "
+                            "this directory")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the full JSON instead of the heatmap")
+    sweep.set_defaults(func=_cmd_sweep)
 
     report = sub.add_parser("report",
                             help="generate the full reproduction report, "

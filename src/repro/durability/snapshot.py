@@ -89,7 +89,7 @@ def registry_dump(registry: Registry) -> dict:
     order, and dependency scans iterate it — a restore that reordered
     instances would be observably different.
     """
-    return {
+    dump = {
         "counters": dict(registry._counters),
         "instances": [
             {
@@ -104,6 +104,13 @@ def registry_dump(registry: Registry) -> dict:
             for instance in registry.instances.values()
         ],
     }
+    # Region placements ride along only when a regional front door
+    # assigned any, so non-regional snapshots stay byte-identical to
+    # the pre-netem format.
+    placements = getattr(registry, "placements", None)
+    if placements:
+        dump["placements"] = dict(placements)
+    return dump
 
 
 def snapshot_registry(registry: Registry, wal_seq: int = 0) -> dict:
@@ -130,6 +137,7 @@ def restore_registry(snapshot: dict, machines: dict) -> Registry:
         )
     registry = Registry()
     registry._counters.update(snapshot.get("counters", {}))
+    registry.placements.update(snapshot.get("placements", {}))
     for entry in snapshot.get("instances", []):
         sm_name = entry["sm"]
         spec = machines.get(sm_name)
@@ -162,6 +170,11 @@ def registry_diff(expected: dict, actual: dict) -> list[str]:
         diffs.append(
             f"id counters differ: {expected.get('counters')} != "
             f"{actual.get('counters')}"
+        )
+    if expected.get("placements", {}) != actual.get("placements", {}):
+        diffs.append(
+            f"region placements differ: {expected.get('placements', {})} "
+            f"!= {actual.get('placements', {})}"
         )
     left = expected.get("instances", [])
     right = actual.get("instances", [])

@@ -201,6 +201,11 @@ class Registry:
     def __init__(self):
         self.instances: dict[str, MachineInstance] = {}
         self._counters: dict[str, int] = {}
+        #: resource id -> home region, for network-realistic serving
+        #: (:mod:`repro.netem`).  Empty unless a regional front door is
+        #: placing resources; snapshots carry it only when non-empty,
+        #: so non-regional runs stay byte-identical to before.
+        self.placements: dict[str, str] = {}
 
     def new_id(self, sm_name: str) -> str:
         count = self._counters.get(sm_name, 0) + 1
@@ -220,6 +225,16 @@ class Registry:
             parent_id=parent_id,
         )
         return instance
+
+    def place(self, instance_id: str, region: str) -> None:
+        """Record (or move) a resource's home region."""
+        if region:
+            self.placements[instance_id] = region
+        else:
+            self.placements.pop(instance_id, None)
+
+    def region_of(self, instance_id: str, default: str = "") -> str:
+        return self.placements.get(instance_id, default)
 
     def get(self, instance_id: str) -> MachineInstance | None:
         return self.instances.get(instance_id)

@@ -1,0 +1,78 @@
+"""Network-realistic fault topology on the virtual clock.
+
+``repro.netem`` gives the serving stack a *shape* for its failures:
+named regions joined by directed links carrying RTT, jitter,
+bandwidth and loss; scripted fault timelines that degrade, partition
+and heal those links at virtual times; per-resource region placement;
+asynchronous cross-region replication with bounded staleness; and a
+parameter-sweep harness that runs the scenario catalog across a grid
+of network weather.
+
+Everything runs on the shared :class:`~repro.resilience.policy.VirtualClock`
+— network latency advances the same clock that retry deadlines, token
+buckets and breaker cooldowns read, so the network is observable by
+every other layer without a single real sleep.
+"""
+
+from .engine import Delivery, LOSS, NetEm, NetStats, PARTITION
+from .placement import Placer, REGION_HINT_KEYS
+from .replication import ReplicaSet
+from .routing import LOST_CODE, PARTITIONED_CODE, RegionGate
+from .sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SweepConfig,
+    SweepGrid,
+    render_heatmap,
+    run_sweep,
+    validate_sweep,
+)
+from .timeline import (
+    EVENT_KINDS,
+    FaultTimeline,
+    NetworkEvent,
+    degrade_window,
+    partition_window,
+    seeded_partitions,
+)
+from .topology import (
+    DEFAULT_REGIONS,
+    LOCAL_RTT,
+    Link,
+    LinkSpec,
+    NetworkTopology,
+    three_region_topology,
+    uniform_topology,
+)
+
+__all__ = [
+    "DEFAULT_REGIONS",
+    "Delivery",
+    "EVENT_KINDS",
+    "FaultTimeline",
+    "LOCAL_RTT",
+    "LOSS",
+    "LOST_CODE",
+    "Link",
+    "LinkSpec",
+    "NetEm",
+    "NetStats",
+    "NetworkEvent",
+    "NetworkTopology",
+    "PARTITION",
+    "PARTITIONED_CODE",
+    "Placer",
+    "REGION_HINT_KEYS",
+    "RegionGate",
+    "ReplicaSet",
+    "SWEEP_SCHEMA_VERSION",
+    "SweepConfig",
+    "SweepGrid",
+    "degrade_window",
+    "partition_window",
+    "render_heatmap",
+    "run_sweep",
+    "seeded_partitions",
+    "three_region_topology",
+    "uniform_topology",
+    "validate_sweep",
+]

@@ -1,0 +1,188 @@
+"""The transmit engine: one message, one path, one seeded outcome.
+
+:class:`NetEm` is the decision core the serving layer consults for
+every request: given a (client-region, resource-region) pair it
+advances the fault timeline to the current virtual time, resolves the
+directed link, and produces a :class:`Delivery` — delivered with a
+latency charge, lost (latency burned, then a timeout), or rejected
+outright by a partition.  Loss and jitter draws come from the same
+seeded-hash construction the chaos layer uses, so a run under any
+topology is exactly reproducible.
+
+Latency is charged by *advancing the shared virtual clock*, which is
+what makes network weather observable everywhere else: retry
+deadlines shrink by the RTT a slow path cost, token buckets refill
+during cross-region waits, and breaker cooldowns tick at the same
+rate the network does.
+
+Bandwidth is max-min fair per link: a transfer registers as a flow
+for its duration and pays ``size / (bandwidth / concurrent_flows)``,
+so N bulk transfers on one link each see roughly a 1/N share — the
+CloudSim-style sharing model, collapsed onto the virtual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..resilience.policy import VirtualClock, seeded_fraction
+from .timeline import FaultTimeline
+from .topology import NetworkTopology
+
+#: Delivery failure reasons.
+LOSS = "loss"
+PARTITION = "partition"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What happened to one message on its path."""
+
+    delivered: bool
+    latency: float = 0.0
+    reason: str = ""  # "" | "loss" | "partition"
+    src: str = ""
+    dst: str = ""
+
+
+@dataclass
+class NetStats:
+    """Network-layer counters for one run."""
+
+    messages: int = 0
+    delivered: int = 0
+    lost: int = 0
+    partition_rejects: int = 0
+    stale_reads: int = 0
+    replications: int = 0
+    latency_total: float = 0.0
+    by_link: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "partition_rejects": self.partition_rejects,
+            "stale_reads": self.stale_reads,
+            "replications": self.replications,
+            "latency_total": round(self.latency_total, 6),
+            "by_link": {
+                name: dict(counts)
+                for name, counts in sorted(self.by_link.items())
+            },
+        }
+
+
+class NetEm:
+    """Network emulation over a topology, a timeline and the clock."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        clock: VirtualClock | None = None,
+        timeline: FaultTimeline | None = None,
+        seed: int = 17,
+        telemetry=None,
+    ):
+        self.topology = topology
+        self.clock = clock or VirtualClock()
+        self.timeline = timeline or FaultTimeline()
+        if telemetry is not None and self.timeline.telemetry is None:
+            self.timeline.telemetry = telemetry
+        self.seed = seed
+        self.telemetry = telemetry
+        self.stats = NetStats()
+        self._sequence = 0
+        self._lock = threading.Lock()
+
+    @property
+    def regions(self) -> list[str]:
+        return list(self.topology.regions)
+
+    def next_key(self) -> int:
+        """A process-unique message key for the seeded draws."""
+        with self._lock:
+            self._sequence += 1
+            return self._sequence
+
+    def advance(self) -> None:
+        """Apply every timeline event due at the current clock time."""
+        self.timeline.advance(self.topology, self.clock.now())
+
+    def partitioned(self, a: str, b: str) -> bool:
+        self.advance()
+        return self.topology.partitioned(a, b)
+
+    # -- transmit ------------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, key: object = None,
+                 size_mb: float = 0.0) -> Delivery:
+        """Send one request/response exchange from ``src`` to ``dst``.
+
+        The exchange pays the link's effective RTT (plus the fair-share
+        transfer time for ``size_mb`` of payload) by advancing the
+        shared clock.  A lost message still burns its RTT — the caller
+        waited for an answer that never came — while a partitioned
+        link rejects immediately: connection refused, not a timeout.
+        """
+        self.advance()
+        link = self.topology.link(src, dst)
+        if key is None:
+            key = self.next_key()
+        self._count_link(link.name, "messages")
+        self.stats.messages += 1
+
+        if link.partitioned or self.topology.link(dst, src).partitioned:
+            self.stats.partition_rejects += 1
+            self._count_link(link.name, "partition_rejects")
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "net.partition_rejects", link=link.name
+                ).inc()
+            return Delivery(False, 0.0, PARTITION, src, dst)
+
+        rtt = link.effective_rtt(
+            seeded_fraction(self.seed, "jitter", src, dst, key)
+        )
+        lost = (
+            link.effective_loss > 0.0
+            and seeded_fraction(self.seed, "netloss", src, dst, key)
+            < link.effective_loss
+        )
+        latency = rtt
+        if not lost and size_mb > 0:
+            sharers = link.begin_flow()
+            try:
+                latency += link.transfer_seconds(size_mb, sharers)
+            finally:
+                link.end_flow()
+        self.clock.sleep(latency)
+        self.stats.latency_total += latency
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(
+                "net.rtt", link=link.name
+            ).observe(latency)
+        if lost:
+            self.stats.lost += 1
+            self._count_link(link.name, "lost")
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "net.lost", link=link.name
+                ).inc()
+            return Delivery(False, latency, LOSS, src, dst)
+        self.stats.delivered += 1
+        return Delivery(True, latency, "", src, dst)
+
+    def transfer(self, src: str, dst: str, size_mb: float,
+                 key: object = None) -> Delivery:
+        """A bulk payload move (replication, snapshot shipping)."""
+        return self.transmit(src, dst, key=key, size_mb=size_mb)
+
+    # -- internals -----------------------------------------------------------
+
+    def _count_link(self, name: str, what: str) -> None:
+        with self._lock:
+            counts = self.stats.by_link.setdefault(name, {})
+            counts[what] = counts.get(what, 0) + 1

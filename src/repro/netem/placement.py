@@ -1,0 +1,104 @@
+"""Per-resource region placement.
+
+Every resource a regional emulator creates lives *somewhere*: the
+placer decides where, and the registry remembers it (see
+:meth:`repro.interpreter.machine.Registry.place`), so the front door
+can route each request over the (client-region → resource-region)
+path its parameters imply.
+
+Placement is deterministic and parameter-driven: a request that names
+a region-ish parameter (``Region``, ``AvailabilityZone``,
+``Location``) is placed there — an AZ like ``us-east-1a`` folds onto
+its region, an unknown region string hashes stably onto the topology —
+and everything else exhibits data gravity: resources land in the
+calling client's region.  Determinism matters doubly here: the
+linearizability check replays the admitted log serially, and the
+replayed registry must make identical placement decisions.
+"""
+
+from __future__ import annotations
+
+from ..interpreter.emulator import normalize_key
+from ..resilience.policy import seeded_fraction
+
+#: Normalized request-parameter names that carry a location intent.
+REGION_HINT_KEYS = ("region", "availabilityzone", "location")
+
+
+class Placer:
+    """Maps creates to home regions and requests to resource regions."""
+
+    def __init__(self, regions: "list[str] | tuple[str, ...]",
+                 seed: int = 17, default_region: str | None = None,
+                 data_gravity: bool = True):
+        if not regions:
+            raise ValueError("a placer needs at least one region")
+        self.regions = list(regions)
+        self.seed = seed
+        self.default_region = default_region or self.regions[0]
+        #: With data gravity, un-hinted creates land in the calling
+        #: client's region; without it they all land in the default
+        #: (primary) region — the single-home deployment shape.
+        self.data_gravity = data_gravity
+
+    # -- region resolution ---------------------------------------------------
+
+    def fold_hint(self, value: str) -> str:
+        """A region-ish request value -> a topology region, stably."""
+        if value in self.regions:
+            return value
+        # An availability zone is its region plus a trailing letter.
+        trimmed = value.rstrip("abcdef")
+        if trimmed in self.regions:
+            return trimmed
+        for region in self.regions:
+            if value.startswith(region) or region.startswith(value):
+                return region
+        index = int(
+            seeded_fraction(self.seed, "fold", value) * len(self.regions)
+        ) % len(self.regions)
+        return self.regions[index]
+
+    def hint_from(self, params: dict) -> str | None:
+        """The first location-intent parameter in a request, folded."""
+        for key, value in params.items():
+            if not isinstance(value, str) or not value:
+                continue
+            if normalize_key(key) in REGION_HINT_KEYS:
+                return self.fold_hint(value)
+        return None
+
+    def client_region(self, tenant: str) -> str:
+        """Where a tenant's traffic originates (stable per tenant)."""
+        index = int(
+            seeded_fraction(self.seed, "client", tenant)
+            * len(self.regions)
+        ) % len(self.regions)
+        return self.regions[index]
+
+    def region_for_create(self, api: str, params: dict,
+                          client_region: str) -> str:
+        """Where a freshly created resource should live."""
+        hinted = self.hint_from(params)
+        if hinted is not None:
+            return hinted
+        if self.data_gravity and client_region in self.regions:
+            return client_region
+        return self.default_region
+
+    def resource_region(self, registry, params: dict,
+                        fallback: str) -> str:
+        """The home region of the resource a request addresses.
+
+        The first parameter naming an already-placed resource wins;
+        requests that address nothing placed (creates, list calls)
+        fall back to ``fallback``.
+        """
+        placements = getattr(registry, "placements", None)
+        if placements:
+            for value in params.values():
+                if isinstance(value, str):
+                    region = placements.get(value)
+                    if region:
+                        return region
+        return fallback

@@ -1,0 +1,138 @@
+"""Asynchronous cross-region replication with bounded staleness.
+
+The authoritative registry of a regional tenant lives at each
+resource's home region; every other region keeps a full *replica*
+that trails the home by a replication lag.  The model is snapshot
+shipping: each committed write publishes a registry snapshot, and a
+replica applies the newest snapshot whose ``publish_time + lag`` has
+passed — unless the link from the home region is partitioned, in
+which case the replica freezes and its staleness grows until the
+partition heals, at which point the next sync catches it up in one
+step.
+
+That heal-then-converge step is the scenario catalog's proof
+obligation: after a partition heals and a sync runs, every replica's
+registry dump must diff byte-identical against the home registry
+(:func:`repro.durability.snapshot.registry_diff`), placements and ID
+counters included.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..durability.snapshot import registry_diff, registry_dump
+from .engine import NetEm
+
+
+class ReplicaSet:
+    """Per-region trailing replicas of one tenant's emulator."""
+
+    def __init__(
+        self,
+        home_region: str,
+        regions: "list[str] | tuple[str, ...]",
+        replica_factory,
+        lag: float = 0.25,
+    ):
+        self.home_region = home_region
+        self.lag = max(0.0, float(lag))
+        self._replicas = {
+            region: replica_factory()
+            for region in regions
+            if region != home_region
+        }
+        #: region -> ordered [(ready_at, version, snapshot), ...]
+        self._pending: dict[str, list[tuple[float, int, dict]]] = {
+            region: [] for region in self._replicas
+        }
+        self._applied: dict[str, int] = {
+            region: 0 for region in self._replicas
+        }
+        self._version = 0
+        self._lock = threading.Lock()
+        #: Serializes snapshot application against stale reads: a
+        #: replica registry mid-restore must never serve a request.
+        self._apply = threading.Lock()
+
+    @property
+    def regions(self) -> list[str]:
+        return list(self._replicas)
+
+    def replica(self, region: str):
+        """The trailing emulator for a region (home has none)."""
+        return self._replicas.get(region)
+
+    def invoke(self, region: str, api: str, params: dict):
+        """Serve one request from a region's replica (``None`` if the
+        region has no replica).  Held against concurrent snapshot
+        application so reads never see a half-restored registry."""
+        emulator = self._replicas.get(region)
+        if emulator is None:
+            return None
+        with self._apply:
+            return emulator.invoke(api, params)
+
+    def version_of(self, region: str) -> int:
+        with self._lock:
+            return self._applied.get(region, 0)
+
+    # -- publish / sync ------------------------------------------------------
+
+    def publish(self, snapshot: dict, now: float) -> int:
+        """Queue one home snapshot for every replica; returns its
+        version.  The snapshot becomes applicable ``lag`` seconds from
+        now — sooner syncs see the previous state, which is the
+        bounded-staleness contract."""
+        with self._lock:
+            self._version += 1
+            version = self._version
+            ready_at = now + self.lag
+            for queue in self._pending.values():
+                queue.append((ready_at, version, snapshot))
+        return version
+
+    def sync(self, netem: NetEm, now: float) -> int:
+        """Apply every due snapshot on every reachable replica.
+
+        Returns how many replicas advanced.  A region whose link from
+        the home is partitioned applies nothing (its queue keeps
+        accumulating); the first sync after the heal applies the
+        newest due snapshot, which is the convergence step.
+        """
+        advanced = 0
+        for region, emulator in self._replicas.items():
+            if netem.partitioned(self.home_region, region):
+                continue
+            due = None
+            with self._lock:
+                queue = self._pending[region]
+                while queue and queue[0][0] <= now:
+                    due = queue.pop(0)
+                if due is not None:
+                    self._applied[region] = due[1]
+            if due is not None:
+                with self._apply:
+                    emulator.restore(due[2])
+                advanced += 1
+                netem.stats.replications += 1
+                if netem.telemetry is not None:
+                    netem.telemetry.metrics.counter(
+                        "net.replications", region=region
+                    ).inc()
+        return advanced
+
+    # -- convergence ---------------------------------------------------------
+
+    def divergence(self, home_emulator) -> dict[str, list[str]]:
+        """Per-region registry diffs against the home (empty == converged)."""
+        home = registry_dump(home_emulator.registry)
+        report: dict[str, list[str]] = {}
+        for region, emulator in self._replicas.items():
+            diffs = registry_diff(home, registry_dump(emulator.registry))
+            if diffs:
+                report[region] = diffs
+        return report
+
+    def converged(self, home_emulator) -> bool:
+        return not self.divergence(home_emulator)

@@ -1,0 +1,254 @@
+"""The parameter-sweep harness: scenario runs across a weather grid.
+
+``repro sweep`` runs the noisy cross-region scenario once per cell of
+a (loss x base RTT x partition duration) grid and emits one JSON
+document with a flat, heatmap-ready record per cell: the axes, the
+verdicts (linearizable? converged?) and the rates a heatmap would
+color by (error rate, timeout rate, stale-read ratio, mean network
+latency).  Everything is seeded, so a sweep is a pure function of
+``(build, grid, seed)`` and two runs produce identical JSON.
+
+The document is validated against a hand-rolled schema
+(:func:`validate_sweep`) rather than a jsonschema dependency; the CI
+soak job refuses to upload an artifact that fails it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+SWEEP_SCHEMA_VERSION = "repro.netem.sweep/1"
+
+#: Every cell record must carry these keys (the flat heatmap row).
+_CELL_KEYS = (
+    "loss", "base_rtt", "partition_duration",
+    "ok", "linearizable",
+    "requests", "errors", "shed", "stale_reads",
+    "net_messages", "net_lost", "net_partition_rejects",
+    "error_rate", "timeout_rate", "unavailable_rate", "stale_ratio",
+    "mean_net_latency",
+)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The knob axes one sweep explores."""
+
+    losses: tuple = (0.0, 0.02, 0.05)
+    rtts: tuple = (0.01, 0.04, 0.08)
+    partition_durations: tuple = (0.0, 10.0)
+
+    def cells(self) -> list[dict]:
+        return [
+            {"loss": loss, "base_rtt": rtt, "partition_duration": dur}
+            for loss, rtt, dur in itertools.product(
+                self.losses, self.rtts, self.partition_durations
+            )
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "losses": list(self.losses),
+            "rtts": list(self.rtts),
+            "partition_durations": list(self.partition_durations),
+        }
+
+    def __len__(self) -> int:
+        return (len(self.losses) * len(self.rtts)
+                * len(self.partition_durations))
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Load shape shared by every cell."""
+
+    workers: int = 4
+    requests_per_worker: int = 40
+    tenants: int = 2
+    seed: int = 7
+    extra: dict = field(default_factory=dict)
+
+
+def _cell_record(cell: dict, result: dict) -> dict:
+    load = result["load"]
+    net = result["net"]
+    requests = max(1, load["requests"])
+    messages = max(1, net["messages"])
+    by_code = load["by_code"]
+    errors = sum(
+        count for code, count in by_code.items() if code
+    )
+    record = dict(cell)
+    record.update({
+        "ok": bool(result["ok"]),
+        "linearizable": bool(load["linearizable"]),
+        "requests": load["requests"],
+        "errors": errors,
+        "shed": load["shed"],
+        "stale_reads": net["stale_reads"],
+        "net_messages": net["messages"],
+        "net_lost": net["lost"],
+        "net_partition_rejects": net["partition_rejects"],
+        "error_rate": round(errors / requests, 6),
+        "timeout_rate": round(
+            by_code.get("RequestTimeout", 0) / requests, 6
+        ),
+        "unavailable_rate": round(
+            by_code.get("ServiceUnavailable", 0) / requests, 6
+        ),
+        "stale_ratio": round(net["stale_reads"] / requests, 6),
+        "mean_net_latency": round(
+            net["latency_total"] / messages, 6
+        ),
+        "by_code": dict(by_code),
+    })
+    return record
+
+
+def run_sweep(build, grid: SweepGrid | None = None,
+              config: SweepConfig | None = None,
+              progress=None) -> dict:
+    """Run the noisy-replication scenario across every grid cell.
+
+    ``progress`` (optional) is called with ``(index, total, record)``
+    after each cell — the CLI uses it for live output.
+    """
+    from ..scenarios.geo import noisy_cross_region_replication
+
+    grid = grid or SweepGrid()
+    config = config or SweepConfig()
+    records: list[dict] = []
+    cells = grid.cells()
+    for index, cell in enumerate(cells):
+        result = noisy_cross_region_replication(
+            build,
+            seed=config.seed,
+            loss=cell["loss"],
+            base_rtt=cell["base_rtt"],
+            partition_duration=cell["partition_duration"],
+            workers=config.workers,
+            requests_per_worker=config.requests_per_worker,
+            tenants=config.tenants,
+            **config.extra,
+        )
+        record = _cell_record(cell, result)
+        records.append(record)
+        if progress is not None:
+            progress(index, len(cells), record)
+    payload = {
+        "schema": SWEEP_SCHEMA_VERSION,
+        "service": getattr(build, "service", ""),
+        "seed": config.seed,
+        "grid": grid.as_dict(),
+        "load": {
+            "workers": config.workers,
+            "requests_per_worker": config.requests_per_worker,
+            "tenants": config.tenants,
+        },
+        "cells": records,
+        "all_linearizable": all(r["linearizable"] for r in records),
+        "all_ok": all(r["ok"] for r in records),
+    }
+    problems = validate_sweep(payload)
+    if problems:
+        raise ValueError(
+            "sweep produced schema-invalid output: " + "; ".join(problems)
+        )
+    return payload
+
+
+def validate_sweep(payload: dict) -> list[str]:
+    """Schema-check one sweep document; empty list == valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["sweep payload is not a JSON object"]
+    if payload.get("schema") != SWEEP_SCHEMA_VERSION:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, "
+            f"expected {SWEEP_SCHEMA_VERSION!r}"
+        )
+    grid = payload.get("grid")
+    if not isinstance(grid, dict):
+        problems.append("grid is missing")
+        grid = {}
+    expected_cells = 1
+    for axis in ("losses", "rtts", "partition_durations"):
+        values = grid.get(axis)
+        if not isinstance(values, list) or not values:
+            problems.append(f"grid.{axis} must be a non-empty list")
+        else:
+            expected_cells *= len(values)
+            if any(not isinstance(v, (int, float)) for v in values):
+                problems.append(f"grid.{axis} must be numeric")
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        problems.append("cells is missing")
+        return problems
+    if not problems and len(cells) != expected_cells:
+        problems.append(
+            f"expected {expected_cells} cells "
+            f"(the grid's cross product), found {len(cells)}"
+        )
+    for index, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{index}] is not an object")
+            continue
+        for key in _CELL_KEYS:
+            if key not in cell:
+                problems.append(f"cells[{index}] lacks {key!r}")
+        for key in ("error_rate", "timeout_rate", "unavailable_rate",
+                    "stale_ratio"):
+            value = cell.get(key)
+            if isinstance(value, (int, float)) and not (
+                0.0 <= float(value) <= 1.0
+            ):
+                problems.append(
+                    f"cells[{index}].{key} = {value} is not a rate"
+                )
+    return problems
+
+
+def render_heatmap(payload: dict, metric: str = "error_rate",
+                   partition_duration: float | None = None) -> str:
+    """One (loss x RTT) slice of a sweep as an ASCII heatmap.
+
+    Rows are loss values, columns are base RTTs; cells show the chosen
+    metric at the requested partition duration (default: the largest
+    swept, where the weather is worst).
+    """
+    grid = payload["grid"]
+    durations = grid["partition_durations"]
+    if partition_duration is None:
+        partition_duration = max(durations)
+    index = {
+        (cell["loss"], cell["base_rtt"]): cell
+        for cell in payload["cells"]
+        if cell["partition_duration"] == partition_duration
+    }
+    lines = [
+        f"{metric} @ partition_duration={partition_duration:g}s "
+        f"(service={payload.get('service', '?')})"
+    ]
+    header = "loss \\ rtt " + "".join(
+        f"{rtt * 1000.0:>9.0f}ms" for rtt in grid["rtts"]
+    )
+    lines.append(header)
+    for loss in grid["losses"]:
+        row = [f"{loss * 100.0:>9.1f}% "]
+        for rtt in grid["rtts"]:
+            cell = index.get((loss, rtt))
+            if cell is None:
+                row.append(f"{'-':>11}")
+                continue
+            value = cell.get(metric, 0.0)
+            mark = "" if cell.get("linearizable") else "!"
+            if isinstance(value, float) and value < 1:
+                row.append(f"{value:>10.3f}{mark or ' '}")
+            else:
+                row.append(f"{value!s:>10}{mark or ' '}")
+        lines.append("".join(row))
+    lines.append(
+        "('!' marks a cell that failed the linearizability check)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Scriptable fault timelines: the network's weather forecast.
+
+A :class:`FaultTimeline` is an ordered script of
+:class:`NetworkEvent` items — partition, heal, degrade, restore —
+applied to a topology as virtual time passes.  The engine calls
+:meth:`FaultTimeline.advance` before every transmit, so a scenario
+author writes *when* links fail and the traffic discovers it the way
+real callers do: mid-request.
+
+Timelines are plain data, so they are trivially seeded: the sweep
+harness synthesizes deterministic partition schedules from
+``(seed, cell)`` and two runs of the same cell see byte-identical
+weather.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..resilience.policy import seeded_fraction
+from .topology import NetworkTopology
+
+#: The event kinds a timeline may script.
+EVENT_KINDS = ("partition", "heal", "degrade", "restore")
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One scripted change to a region pair's link weather."""
+
+    at: float
+    kind: str  # partition | heal | degrade | restore
+    src: str
+    dst: str
+    rtt_multiplier: float = 1.0
+    extra_loss: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown network event kind {self.kind!r}; "
+                f"expected one of {list(EVENT_KINDS)}"
+            )
+
+
+def partition_window(src: str, dst: str, start: float,
+                     duration: float) -> list[NetworkEvent]:
+    """A partition that heals: the scenario catalog's workhorse."""
+    return [
+        NetworkEvent(at=start, kind="partition", src=src, dst=dst),
+        NetworkEvent(at=start + duration, kind="heal", src=src, dst=dst),
+    ]
+
+
+def degrade_window(src: str, dst: str, start: float, duration: float,
+                   rtt_multiplier: float = 4.0,
+                   extra_loss: float = 0.05) -> list[NetworkEvent]:
+    """A lossy, slow spell on one region pair that later clears."""
+    return [
+        NetworkEvent(at=start, kind="degrade", src=src, dst=dst,
+                     rtt_multiplier=rtt_multiplier, extra_loss=extra_loss),
+        NetworkEvent(at=start + duration, kind="restore", src=src, dst=dst),
+    ]
+
+
+def seeded_partitions(
+    regions: "list[str] | tuple[str, ...]",
+    seed: int,
+    horizon: float,
+    duration: float,
+    period: float | None = None,
+) -> list[NetworkEvent]:
+    """A deterministic partition schedule for a sweep cell.
+
+    Every ``period`` clock-seconds (default: one window per third of
+    the horizon) one region pair — chosen by the seeded hash — loses
+    connectivity for ``duration`` seconds, then heals.  ``duration``
+    <= 0 yields an empty schedule (the no-partition cell).
+    """
+    if duration <= 0 or len(regions) < 2:
+        return []
+    period = period or max(duration * 2.0, horizon / 3.0)
+    pairs = [
+        (a, b)
+        for i, a in enumerate(regions)
+        for b in list(regions)[i + 1:]
+    ]
+    events: list[NetworkEvent] = []
+    window = 0
+    start = period * 0.5
+    while start < horizon:
+        pair = pairs[
+            int(seeded_fraction(seed, "partition_pair", window) * len(pairs))
+            % len(pairs)
+        ]
+        events.extend(partition_window(pair[0], pair[1], start, duration))
+        window += 1
+        start += period
+    return events
+
+
+class FaultTimeline:
+    """An ordered, replay-once script of network events.
+
+    ``advance`` applies every not-yet-applied event whose time has
+    come; it is idempotent per event and thread-safe (the serve path
+    calls it from many workers).  Applied events are kept for the
+    scenario reports.
+    """
+
+    def __init__(self, events: "list[NetworkEvent] | None" = None,
+                 telemetry=None):
+        self._events = sorted(events or [], key=lambda e: e.at)
+        self._next = 0
+        self._lock = threading.Lock()
+        self.telemetry = telemetry
+        self.applied: list[NetworkEvent] = []
+
+    def add(self, *events: NetworkEvent) -> "FaultTimeline":
+        with self._lock:
+            self._events = sorted(
+                self._events[self._next:] + list(events), key=lambda e: e.at
+            )
+            self._next = 0
+        return self
+
+    def extend(self, events: "list[NetworkEvent]") -> "FaultTimeline":
+        return self.add(*events)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._events) - self._next
+
+    def advance(self, topology: NetworkTopology, now: float) -> int:
+        """Apply every due event; returns how many fired."""
+        fired = 0
+        while True:
+            with self._lock:
+                if self._next >= len(self._events):
+                    return fired
+                event = self._events[self._next]
+                if event.at > now:
+                    return fired
+                self._next += 1
+                self.applied.append(event)
+            self._apply(topology, event)
+            fired += 1
+
+    def _apply(self, topology: NetworkTopology,
+               event: NetworkEvent) -> None:
+        if event.kind == "partition":
+            topology.partition(event.src, event.dst, event.at)
+        elif event.kind == "heal":
+            topology.heal(event.src, event.dst, event.at)
+        elif event.kind == "degrade":
+            topology.degrade(event.src, event.dst,
+                             rtt_multiplier=event.rtt_multiplier,
+                             extra_loss=event.extra_loss)
+        else:
+            topology.restore(event.src, event.dst)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                f"net_{event.kind}", src=event.src, dst=event.dst,
+                at=event.at,
+            )
+            self.telemetry.metrics.counter(
+                "net.events", kind=event.kind
+            ).inc()

@@ -1,0 +1,267 @@
+"""Regions, zones and directed links: the static shape of the network.
+
+Real clouds fail along *paths*: a caller in one region reaching a
+resource homed in another crosses a link with its own round-trip
+time, jitter, bandwidth and loss floor — and that link can degrade,
+partition and heal while requests are in flight.  The topology layer
+models exactly that shape on the virtual clock: named regions,
+directed :class:`Link` objects carrying a static :class:`LinkSpec`
+plus *dynamic* state (an RTT multiplier, extra loss, a partition
+flag), and bookkeeping for fair bandwidth sharing across the
+transfers currently riding each link.
+
+Everything here is passive data; the decision core that consumes it
+(seeded loss draws, latency charging) lives in
+:mod:`repro.netem.engine`, and the scripted evolution of the dynamic
+state lives in :mod:`repro.netem.timeline`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """The static parameters of one directed region-to-region link.
+
+    ``base_rtt`` and ``jitter`` are virtual-clock seconds (one request/
+    response exchange costs ``base_rtt + U[0, jitter)``); ``bandwidth``
+    is payload megabytes per virtual second, shared fairly across
+    concurrent transfers; ``loss`` is the per-message loss probability
+    on a healthy link.
+    """
+
+    src: str
+    dst: str
+    base_rtt: float = 0.002
+    jitter: float = 0.0005
+    bandwidth: float = 1000.0
+    loss: float = 0.0
+
+
+#: What a same-region hop costs: a LAN round trip, effectively free
+#: bandwidth, and no loss floor.
+LOCAL_RTT = 0.0005
+
+
+class Link:
+    """One directed link: static spec plus mutable weather.
+
+    The dynamic fields are what fault timelines move: ``rtt_multiplier``
+    and ``extra_loss`` model degradation (congestion, a flapping
+    middlebox), ``partitioned`` models a full connectivity cut.  Flow
+    accounting (``begin_flow`` / ``end_flow``) tracks how many
+    transfers currently share the link so the engine can charge each
+    one its max-min fair share of the bandwidth.
+    """
+
+    __slots__ = (
+        "spec", "rtt_multiplier", "extra_loss", "partitioned",
+        "partition_windows", "_flows", "_lock",
+    )
+
+    def __init__(self, spec: LinkSpec):
+        self.spec = spec
+        self.rtt_multiplier = 1.0
+        self.extra_loss = 0.0
+        self.partitioned = False
+        #: Closed ``(start, end)`` partition windows plus, while
+        #: partitioned, one open ``(start, None)`` tail — the
+        #: telemetry report renders these as the partition history.
+        self.partition_windows: list[tuple[float, float | None]] = []
+        self._flows = 0
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.src}->{self.spec.dst}"
+
+    # -- weather -----------------------------------------------------------
+
+    def effective_rtt(self, fraction: float) -> float:
+        """The RTT one exchange pays, given a jitter draw in [0, 1)."""
+        spec = self.spec
+        return (spec.base_rtt + spec.jitter * fraction) * self.rtt_multiplier
+
+    @property
+    def effective_loss(self) -> float:
+        return min(1.0, self.spec.loss + self.extra_loss)
+
+    def degrade(self, rtt_multiplier: float = 1.0,
+                extra_loss: float = 0.0) -> None:
+        self.rtt_multiplier = max(1.0, float(rtt_multiplier))
+        self.extra_loss = max(0.0, float(extra_loss))
+
+    def restore(self) -> None:
+        """Clear degradation (partitions heal separately)."""
+        self.rtt_multiplier = 1.0
+        self.extra_loss = 0.0
+
+    def partition(self, now: float) -> None:
+        if not self.partitioned:
+            self.partitioned = True
+            self.partition_windows.append((now, None))
+
+    def heal(self, now: float) -> None:
+        if self.partitioned:
+            self.partitioned = False
+            start, __ = self.partition_windows[-1]
+            self.partition_windows[-1] = (start, now)
+
+    # -- bandwidth sharing -------------------------------------------------
+
+    def begin_flow(self) -> int:
+        """Register a transfer; returns how many flows now share the
+        link (this one included) — its fair-share divisor."""
+        with self._lock:
+            self._flows += 1
+            return self._flows
+
+    def end_flow(self) -> None:
+        with self._lock:
+            self._flows = max(0, self._flows - 1)
+
+    @property
+    def flows(self) -> int:
+        with self._lock:
+            return self._flows
+
+    def transfer_seconds(self, size_mb: float, sharers: int) -> float:
+        """Clock-seconds to move ``size_mb`` at the fair share of the
+        link bandwidth among ``sharers`` concurrent transfers."""
+        if size_mb <= 0 or self.spec.bandwidth <= 0:
+            return 0.0
+        return size_mb / (self.spec.bandwidth / max(1, sharers))
+
+
+class NetworkTopology:
+    """Named regions plus the directed links between them.
+
+    Links not declared explicitly are synthesized on first use from
+    ``default`` (or, for a same-region hop, from the LAN profile), so
+    a topology is total: every (src, dst) pair resolves to a link.
+    """
+
+    def __init__(self, regions: "list[str] | tuple[str, ...]",
+                 default: LinkSpec | None = None):
+        if not regions:
+            raise ValueError("a topology needs at least one region")
+        self.regions = list(dict.fromkeys(regions))
+        self.default = default or LinkSpec(src="", dst="")
+        self._links: dict[tuple[str, str], Link] = {}
+        self._lock = threading.Lock()
+
+    def add_link(self, spec: LinkSpec) -> Link:
+        link = Link(spec)
+        self._links[(spec.src, spec.dst)] = link
+        return link
+
+    def connect(self, a: str, b: str, **spec_kwargs: object) -> None:
+        """Declare the symmetric pair of directed links between two
+        regions with identical parameters."""
+        self.add_link(LinkSpec(src=a, dst=b, **spec_kwargs))
+        self.add_link(LinkSpec(src=b, dst=a, **spec_kwargs))
+
+    def link(self, src: str, dst: str) -> Link:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is not None:
+            return link
+        with self._lock:
+            link = self._links.get(key)
+            if link is None:
+                if src == dst:
+                    spec = LinkSpec(src=src, dst=dst, base_rtt=LOCAL_RTT,
+                                    jitter=0.0001, bandwidth=10_000.0,
+                                    loss=0.0)
+                else:
+                    spec = LinkSpec(
+                        src=src, dst=dst,
+                        base_rtt=self.default.base_rtt,
+                        jitter=self.default.jitter,
+                        bandwidth=self.default.bandwidth,
+                        loss=self.default.loss,
+                    )
+                link = Link(spec)
+                self._links[key] = link
+        return link
+
+    def links(self) -> list[Link]:
+        with self._lock:
+            return list(self._links.values())
+
+    # -- pairwise weather ---------------------------------------------------
+
+    def partition(self, a: str, b: str, now: float) -> None:
+        """Cut both directions between two regions."""
+        self.link(a, b).partition(now)
+        self.link(b, a).partition(now)
+
+    def heal(self, a: str, b: str, now: float) -> None:
+        self.link(a, b).heal(now)
+        self.link(b, a).heal(now)
+
+    def degrade(self, a: str, b: str, rtt_multiplier: float = 1.0,
+                extra_loss: float = 0.0) -> None:
+        self.link(a, b).degrade(rtt_multiplier, extra_loss)
+        self.link(b, a).degrade(rtt_multiplier, extra_loss)
+
+    def restore(self, a: str, b: str) -> None:
+        self.link(a, b).restore()
+        self.link(b, a).restore()
+
+    def partitioned(self, a: str, b: str) -> bool:
+        if a == b:
+            return False
+        return self.link(a, b).partitioned or self.link(b, a).partitioned
+
+    def partition_report(self) -> dict[str, list[tuple[float, float | None]]]:
+        """Per-link partition windows (the outage history)."""
+        return {
+            link.name: list(link.partition_windows)
+            for link in self.links()
+            if link.partition_windows
+        }
+
+
+def uniform_topology(
+    regions: "list[str] | tuple[str, ...]",
+    base_rtt: float = 0.04,
+    jitter: float = 0.01,
+    bandwidth: float = 200.0,
+    loss: float = 0.0,
+) -> NetworkTopology:
+    """All cross-region links identical — the sweep harness's knob set."""
+    topology = NetworkTopology(
+        regions,
+        default=LinkSpec(src="", dst="", base_rtt=base_rtt, jitter=jitter,
+                         bandwidth=bandwidth, loss=loss),
+    )
+    ordered = topology.regions
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            topology.connect(a, b, base_rtt=base_rtt, jitter=jitter,
+                             bandwidth=bandwidth, loss=loss)
+    return topology
+
+
+#: The default three regions the geo scenarios place traffic across.
+DEFAULT_REGIONS = ("us-east-1", "us-west-2", "eu-west-1")
+
+
+def three_region_topology() -> NetworkTopology:
+    """A realistic-ish three-region WAN: short hop coast-to-coast,
+    long hop across the Atlantic."""
+    topology = NetworkTopology(list(DEFAULT_REGIONS))
+    topology.connect("us-east-1", "us-west-2",
+                     base_rtt=0.065, jitter=0.008, bandwidth=400.0,
+                     loss=0.0005)
+    topology.connect("us-east-1", "eu-west-1",
+                     base_rtt=0.080, jitter=0.010, bandwidth=250.0,
+                     loss=0.001)
+    topology.connect("us-west-2", "eu-west-1",
+                     base_rtt=0.140, jitter=0.015, bandwidth=150.0,
+                     loss=0.001)
+    return topology

@@ -89,6 +89,19 @@ def retry_call(
                 stats.record_fault(error.code)
             if breaker is not None:
                 breaker.record_failure()
+            # The attempt itself may have burned virtual time — e.g.
+            # network RTT charged by the emulated WAN before the fault
+            # surfaced.  That time counts against the call deadline,
+            # so check it here rather than only before the next
+            # attempt: a deadline that died in flight beats both the
+            # backoff and the retries-exhausted verdict.
+            if deadline is not None and deadline.expired():
+                stats.deadline_hits += 1
+                if telemetry is not None:
+                    telemetry.event("deadline_hit", target=str(key))
+                raise DeadlineExceeded(
+                    f"deadline expired during attempt {attempt + 1}"
+                ) from error
             if attempt + 1 >= policy.max_attempts:
                 break
             delay = policy.backoff_delay(attempt, seed=seed, key=key)
@@ -104,6 +117,20 @@ def retry_call(
             continue
         if breaker is not None:
             breaker.record_success()
+        # A success that lands after the deadline is still a timeout
+        # to the caller: the network (virtual) latency the call paid
+        # counts against its budget even on the happy path.  The
+        # breaker keeps the success — the dependency answered; the
+        # budget was the caller's problem.
+        if deadline is not None and deadline.expired():
+            stats.deadline_hits += 1
+            if telemetry is not None:
+                telemetry.event("deadline_hit", target=str(key),
+                                late_success=True)
+            raise DeadlineExceeded(
+                f"response arrived after the deadline "
+                f"(attempt {attempt + 1})"
+            )
         return result
     stats.gave_ups += 1
     if telemetry is not None:

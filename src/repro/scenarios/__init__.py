@@ -1,10 +1,18 @@
-"""Evaluation scenarios: the traces behind Fig. 3 and §5."""
+"""Evaluation scenarios: the traces behind Fig. 3 and §5, plus the
+geo-distributed serving scenarios behind ``repro sweep``."""
 
 from .catalog import (
     azure_traces,
     basic_functionality_trace,
     evaluation_traces,
     gcp_traces,
+)
+from .geo import (
+    GEO_SCENARIOS,
+    multi_region_failover,
+    noisy_cross_region_replication,
+    partition_heal_convergence,
+    run_geo_scenarios,
 )
 from .model import run_trace, StepResult, Trace, TraceRun, TraceStep
 
@@ -13,6 +21,11 @@ __all__ = [
     "basic_functionality_trace",
     "evaluation_traces",
     "gcp_traces",
+    "GEO_SCENARIOS",
+    "multi_region_failover",
+    "noisy_cross_region_replication",
+    "partition_heal_convergence",
+    "run_geo_scenarios",
     "run_trace",
     "StepResult",
     "Trace",

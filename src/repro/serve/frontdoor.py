@@ -8,6 +8,9 @@ edge does::
       -> request validation   (RequestValidator: spec-derived types)
       -> admission control    (AdmissionController: buckets, queue,
                                degraded mode)
+      -> [network routing, if a NetEm is configured: the request
+          crosses the (client-region -> resource-region) link and can
+          pay RTT, get lost, or bounce off a partition]
       -> [chaos / resilience proxies, if configured]
       -> concurrent dispatch  (ConcurrentEmulator: RW lock, admitted
                                log)
@@ -34,12 +37,22 @@ from .validation import RequestValidator
 class _GuardedBackend:
     """Validation + admission in front of one tenant's backend stack."""
 
-    __slots__ = ("frontdoor", "tenant_name", "inner")
+    __slots__ = ("frontdoor", "tenant_name", "inner", "_emulator")
 
     def __init__(self, frontdoor: "FrontDoor", tenant_name: str, inner):
         self.frontdoor = frontdoor
         self.tenant_name = tenant_name
         self.inner = inner
+        self._emulator = None
+
+    def _concurrent(self):
+        """This tenant's concurrency-layer emulator (for the region
+        gate: placement lookups and post-write snapshot publishes)."""
+        if self._emulator is None:
+            tenant = self.frontdoor.router.get(self.tenant_name)
+            if tenant is not None:
+                self._emulator = tenant.emulator
+        return self._emulator
 
     # -- delegated surface -------------------------------------------------
 
@@ -74,6 +87,13 @@ class _GuardedBackend:
         if not decision.admitted:
             return decision.response
         try:
+            gate = front.region_gate
+            emulator = self._concurrent() if gate is not None else None
+            if gate is not None and emulator is not None:
+                return gate.route(
+                    self.tenant_name, emulator, api, params, read_only,
+                    lambda: self.inner.invoke(api, params),
+                )
             return self.inner.invoke(api, params)
         finally:
             front.admission.release()
@@ -96,6 +116,17 @@ class FrontDoor:
         admission and the concurrency layer, per tenant.
     rate / burst / max_concurrent / queue_depth / degrade_after:
         Admission-control knobs (see :class:`AdmissionController`).
+    network:
+        Optional :class:`~repro.netem.NetEm`.  When given, every
+        admitted request is routed over the (client-region ->
+        resource-region) path by a
+        :class:`~repro.netem.routing.RegionGate`: latency is charged
+        on the shared clock, lossy links time requests out,
+        partitioned links reject writes with ``ServiceUnavailable``
+        and (when ``stale_reads``) fail reads over to the client
+        region's trailing replica, ``replication_lag`` virtual seconds
+        behind the authority.  The network's clock should be the front
+        door's clock — pass the same instance to both.
     """
 
     def __init__(
@@ -105,6 +136,12 @@ class FrontDoor:
         clock: VirtualClock | None = None,
         telemetry=None,
         wrap=None,
+        network=None,
+        home_region: str | None = None,
+        client_regions: dict[str, str] | None = None,
+        stale_reads: bool = True,
+        replication_lag: float = 0.25,
+        placer=None,
         rate: float = 50.0,
         burst: float = 20.0,
         max_concurrent: int = 16,
@@ -116,9 +153,14 @@ class FrontDoor:
     ):
         self.module = module
         self.telemetry = telemetry
-        self.clock = clock or (
-            telemetry.clock if telemetry is not None else VirtualClock()
-        )
+        if clock is not None:
+            self.clock = clock
+        elif telemetry is not None:
+            self.clock = telemetry.clock
+        elif network is not None:
+            self.clock = network.clock
+        else:
+            self.clock = VirtualClock()
         self.validator = RequestValidator(module, telemetry=telemetry)
         self.admission = AdmissionController(
             clock=self.clock, rate=rate, burst=burst,
@@ -134,6 +176,20 @@ class FrontDoor:
             telemetry=telemetry, seed=seed,
         )
         self.emulator_factory = emulator_factory
+        self.network = network
+        self.region_gate = None
+        if network is not None:
+            from ..netem.routing import RegionGate
+
+            self.region_gate = RegionGate(
+                network, emulator_factory,
+                home_region=home_region,
+                placer=placer,
+                client_regions=client_regions,
+                stale_reads=stale_reads,
+                replication_lag=replication_lag,
+                telemetry=telemetry,
+            )
         #: Request ids for envelopes minted before tenant resolution
         #: (authentication failures).
         self._auth_ids = RequestIdSequence(seed)

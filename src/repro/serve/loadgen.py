@@ -42,6 +42,14 @@ class LoadReport:
     wall_seconds: float = 0.0
     linearizable: bool | None = None
     mismatches: list = field(default_factory=list)
+    #: Reads answered from a trailing replica (netem stale serving).
+    stale_reads: int = 0
+    #: Retry-After honoring: how many shed responses carried a hint
+    #: the generator slept on, the virtual seconds slept, and a
+    #: bounded sample of the honored request records.
+    retry_after_honored: int = 0
+    retry_after_seconds: float = 0.0
+    retry_after_log: list = field(default_factory=list)
 
     @property
     def throughput_rps(self) -> float:
@@ -63,6 +71,10 @@ class LoadReport:
             "throughput_rps": round(self.throughput_rps, 3),
             "linearizable": self.linearizable,
             "mismatches": list(self.mismatches),
+            "stale_reads": self.stale_reads,
+            "retry_after_honored": self.retry_after_honored,
+            "retry_after_seconds": round(self.retry_after_seconds, 6),
+            "retry_after_log": list(self.retry_after_log),
         }
 
 
@@ -163,6 +175,8 @@ class LoadGenerator:
         tenants: int = 1,
         offered_rate: float | None = None,
         latency: float = 0.0,
+        honor_retry_after: bool = True,
+        max_retry_after: float = 5.0,
     ):
         self.frontdoor = frontdoor
         self.seed = seed
@@ -176,6 +190,11 @@ class LoadGenerator:
         #: (None: advance the clock generously so rate never sheds).
         self.offered_rate = offered_rate
         self.latency = latency
+        #: Back off by the admission layer's own Retry-After hint
+        #: (clamped to ``max_retry_after``) instead of re-offering at
+        #: the fixed pace — what a well-behaved SDK client does.
+        self.honor_retry_after = honor_retry_after
+        self.max_retry_after = max_retry_after
         probe = frontdoor.emulator_factory()
         self.model = _TrafficModel(frontdoor.module, probe.read_only)
 
@@ -192,7 +211,10 @@ class LoadGenerator:
         )
         ids_by_sm: dict[str, list[str]] = {}
         local_codes: dict[str, int] = {}
-        reads = writes = sheds = 0
+        local_honored: list[dict] = []
+        reads = writes = sheds = stale = 0
+        honored = 0
+        honored_seconds = 0.0
         for __ in range(self.requests_per_worker):
             tenant = rng.choice(self.tenant_names)
             api, params, is_read = self.model.request(
@@ -216,7 +238,27 @@ class LoadGenerator:
                 writes += 1
             if code in SHED_CODES:
                 sheds += 1
+                hint = error.get("RetryAfterSeconds")
+                if (
+                    self.honor_retry_after
+                    and isinstance(hint, (int, float))
+                    and hint > 0
+                ):
+                    delay = min(float(hint), self.max_retry_after)
+                    clock.sleep(delay)
+                    honored += 1
+                    honored_seconds += delay
+                    if len(local_honored) < 25:
+                        local_honored.append({
+                            "worker": worker_index,
+                            "api": api,
+                            "code": code,
+                            "hint": round(float(hint), 6),
+                            "honored": round(delay, 6),
+                        })
             if not error:
+                if body.get("Stale") is True:
+                    stale += 1
                 created = body.get("id")
                 if isinstance(created, str) and created:
                     sm = self.model.owning_sm(api)
@@ -226,6 +268,13 @@ class LoadGenerator:
             report.reads += reads
             report.writes += writes
             report.shed += sheds
+            report.stale_reads += stale
+            report.retry_after_honored += honored
+            report.retry_after_seconds += honored_seconds
+            # Keep the honored-delay log bounded across workers.
+            room = 50 - len(report.retry_after_log)
+            if room > 0:
+                report.retry_after_log.extend(local_honored[:room])
             for code, count in local_codes.items():
                 report.by_code[code] = report.by_code.get(code, 0) + count
 
@@ -264,6 +313,11 @@ class LoadGenerator:
 def _canonical(snapshot: dict) -> str:
     snapshot = dict(snapshot)
     snapshot["wal_seq"] = 0  # replicas never carry a WAL
+    # Region placements are assigned by the front door's network gate,
+    # which the serial-replay replica runs without; they are routing
+    # metadata, not API-visible state, so they are excluded from the
+    # linearizability comparison.
+    snapshot.pop("placements", None)
     return json.dumps(snapshot, sort_keys=True)
 
 

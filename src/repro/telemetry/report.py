@@ -184,29 +184,35 @@ def _phase_rows(data: TraceData) -> list[tuple[str, int, dict, float]]:
     return rows
 
 
+def _metric_total(metrics: dict, prefix: str,
+                  by_label: str | None = None) -> "int | dict":
+    """Sum one counter family, flat or grouped by a label value."""
+    flat = 0
+    grouped: dict[str, int] = {}
+    for key, record in metrics.items():
+        if not key.startswith(prefix):
+            continue
+        if key != prefix and not key.startswith(prefix + "{"):
+            continue
+        value = int(record.get("value", 0))
+        flat += value
+        if by_label is not None:
+            __, brace, labels = key.partition("{")
+            for pair in labels.rstrip("}").split(",") if brace else ():
+                label, __, label_value = pair.partition("=")
+                if label == by_label:
+                    grouped[label_value] = (
+                        grouped.get(label_value, 0) + value
+                    )
+    return grouped if by_label is not None else flat
+
+
 def _serving_rows(metrics: dict) -> list[str]:
     """Fold ``serve.*`` metrics into report fragments (empty when the
     trace did not come from the serving layer)."""
 
     def total(prefix: str, by_label: str | None = None) -> "int | dict":
-        flat = 0
-        grouped: dict[str, int] = {}
-        for key, record in metrics.items():
-            if not key.startswith(prefix):
-                continue
-            if key != prefix and not key.startswith(prefix + "{"):
-                continue
-            value = int(record.get("value", 0))
-            flat += value
-            if by_label is not None:
-                __, brace, labels = key.partition("{")
-                for pair in labels.rstrip("}").split(",") if brace else ():
-                    label, __, label_value = pair.partition("=")
-                    if label == by_label:
-                        grouped[label_value] = (
-                            grouped.get(label_value, 0) + value
-                        )
-        return grouped if by_label is not None else flat
+        return _metric_total(metrics, prefix, by_label)
 
     requests = total("serve.requests")
     if not requests:
@@ -234,6 +240,53 @@ def _serving_rows(metrics: dict) -> list[str]:
     tenants = total("serve.tenants")
     if tenants:
         rows.append(f"{tenants} tenant(s)")
+    return rows
+
+
+def _network_rows(metrics: dict) -> list[str]:
+    """Fold ``net.*`` metrics into report fragments (empty when the
+    trace did not cross an emulated network)."""
+    links = []
+    for key, record in metrics.items():
+        if not key.startswith("net.rtt{"):
+            continue
+        label = key[len("net.rtt{"):-1]
+        link = dict(
+            pair.partition("=")[::2] for pair in label.split(",")
+        ).get("link", label)
+        if record.get("count"):
+            links.append((record["count"], link, record))
+    if not links and not _metric_total(metrics, "net.events"):
+        return []
+    rows = []
+    total_messages = sum(count for count, __, ___ in links)
+    if links:
+        rows.append(
+            f"{total_messages} message(s) over {len(links)} link(s)"
+        )
+        for count, link, record in sorted(links, reverse=True)[:3]:
+            rows.append(
+                f"{link} rtt p50 {record.get('p50', 0) * 1000:.1f}ms "
+                f"p95 {record.get('p95', 0) * 1000:.1f}ms "
+                f"({count} msg(s))"
+            )
+    lost = _metric_total(metrics, "net.lost")
+    if lost:
+        rows.append(f"{lost} lost")
+    rejects = _metric_total(metrics, "net.partition_rejects")
+    if rejects:
+        rows.append(f"{rejects} partition reject(s)")
+    events = _metric_total(metrics, "net.events", by_label="kind")
+    if events:
+        rows.append("weather " + " + ".join(
+            f"{count} {kind}" for kind, count in sorted(events.items())
+        ))
+    stale = _metric_total(metrics, "net.stale_reads")
+    if stale:
+        rows.append(f"{stale} stale read(s)")
+    replications = _metric_total(metrics, "net.replications")
+    if replications:
+        rows.append(f"{replications} replication(s)")
     return rows
 
 
@@ -325,6 +378,9 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
     serving = _serving_rows(data.metrics)
     if serving:
         lines.append("serving: " + ", ".join(serving))
+    network = _network_rows(data.metrics)
+    if network:
+        lines.append("network: " + ", ".join(network))
     durability = report.get("durability")
     if durability:
         lines.append(
