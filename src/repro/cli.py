@@ -14,7 +14,15 @@ Commands:
                  control) and verify linearizability by serial replay;
 - ``report``     generate the full reproduction report, or render a
                  saved telemetry JSONL trace as a phase/cost/fault
-                 breakdown;
+                 breakdown (``--trace-id`` jumps to one sampled
+                 request's span tree);
+- ``slo``        evaluate a schema-2 trace's SLO record and exit
+                 non-zero when any error budget is exhausted — the CI
+                 gate for "did the run stay inside its objectives";
+- ``top``        run the noisy cross-region scenario with the full
+                 observability plane attached and replay it as an
+                 ASCII dashboard (per-tenant rates, SLO budgets,
+                 breaker states, partition weather);
 - ``decode``     demonstrate rich error decoding on a saved emulator.
 """
 
@@ -172,6 +180,19 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 2
 
 
+def _load_slo_specs(path: str) -> list:
+    """Read a reference SLO spec file (JSON list, or ``{"slos": [...]}``)."""
+    import json
+
+    from .obs import SLOSpec
+
+    with open(path, encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if isinstance(raw, dict):
+        raw = raw.get("slos", [])
+    return [SLOSpec.from_dict(record) for record in raw]
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -187,6 +208,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 2
     build = build_learned_emulator(args.service, seed=args.seed, align=False)
     telemetry = Telemetry(service=args.service)
+    if args.obs or args.slo:
+        from .obs import default_slos, ObsPlane
+
+        try:
+            tenant_names = [
+                f"tenant-{index}" for index in range(max(1, args.tenants))
+            ]
+            specs = (_load_slo_specs(args.slo) if args.slo
+                     else default_slos(tenant_names,
+                                       period=args.slo_period))
+        except (OSError, KeyError, ValueError) as error:
+            print(f"repro serve-bench: error: bad SLO spec: {error}",
+                  file=sys.stderr)
+            return 2
+        ObsPlane(telemetry, seed=args.seed, slos=specs,
+                 sample_keep=args.sample_keep,
+                 drift_rate=args.drift_rate)
     wrap = None
     if profile.active:
         engine = ChaosEngine(profile, seed=args.seed)
@@ -228,6 +266,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             label = code or "(success)"
             print(f"    {label:34} {report.by_code[code]:>7}")
         print(f"  admitted writes logged: {report.admitted_writes}")
+        if report.obs is not None:
+            from .telemetry.report import _slo_rows
+
+            sampling = report.obs.get("sampling") or {}
+            print(f"  obs: {report.obs.get('series', 0)} series, sampler "
+                  f"kept {sampling.get('kept', 0)}/{sampling.get('seen', 0)}"
+                  f" traces")
+            if report.obs.get("slo"):
+                for row in _slo_rows(report.obs["slo"]):
+                    print(row)
         verdict = "PASS" if report.linearizable else "FAIL"
         print(f"  linearizable: {verdict}")
         for mismatch in report.mismatches:
@@ -327,9 +375,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if payload["all_ok"] else 3
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import load_trace, TraceError
+    from .telemetry.report import _slo_rows
+
+    try:
+        data = load_trace(args.trace)
+    except (OSError, TraceError) as error:
+        print(f"repro slo: error: {error}", file=sys.stderr)
+        return 2
+    if data.slo is None:
+        print(f"repro slo: error: {args.trace}: no SLO record — re-run "
+              "with the observability plane attached (serve-bench --obs, "
+              "repro top, or a scenario with SLO specs)", file=sys.stderr)
+        return 2
+    exhausted = data.slo.get("exhausted", [])
+    if args.json:
+        print(json.dumps(data.slo, indent=2, sort_keys=True))
+    else:
+        print(f"SLO report at t={data.slo.get('at', 0.0):.2f}s virtual")
+        for row in _slo_rows(data.slo):
+            print(row)
+        verdict = ("FAIL (budget exhausted: " + ", ".join(exhausted) + ")"
+                   if exhausted else "PASS")
+        print(f"  verdict: {verdict}")
+    return 4 if exhausted else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import build_learned_emulator
+    from .obs import record_frames
+    from .scenarios.geo import noisy_cross_region_replication
+
+    slos = None
+    if args.slo:
+        try:
+            slos = _load_slo_specs(args.slo)
+        except (OSError, KeyError, ValueError) as error:
+            print(f"repro top: error: bad SLO spec: {error}",
+                  file=sys.stderr)
+            return 2
+    build = build_learned_emulator(args.service, seed=args.seed,
+                                   align=False)
+    capture: dict = {}
+    per_worker = max(1, -(-args.requests // args.workers))
+    result = noisy_cross_region_replication(
+        build, seed=args.seed, loss=args.loss, base_rtt=args.rtt,
+        partition_duration=args.partition, workers=args.workers,
+        requests_per_worker=per_worker, tenants=args.tenants,
+        slos=slos, slo_period=args.slo_period,
+        sample_keep=args.sample_keep, drift_rate=args.drift_rate,
+        trace=args.telemetry, capture=capture,
+    )
+    plane, netem = capture["plane"], capture["netem"]
+    frames = record_frames(
+        plane, interval=args.interval, lookback=args.lookback,
+        netem=netem,
+    )
+    if args.record:
+        payload = {
+            "service": args.service,
+            "seed": args.seed,
+            "interval": args.interval,
+            "lookback": args.lookback,
+            "frames": frames,
+            "result": result,
+        }
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        shown = frames if args.all_frames else frames[-1:]
+        for index, frame in enumerate(shown):
+            if index:
+                print()
+            print(frame["frame"])
+        if args.record:
+            print(f"\n{len(frames)} frame(s) recorded to {args.record}")
+        if args.telemetry:
+            print(f"telemetry: {args.telemetry}")
+    slo = (result.get("load", {}).get("obs") or {}).get("slo") or {}
+    exhausted = slo.get("exhausted", [])
+    if not result["ok"]:
+        return 3
+    return 4 if exhausted else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.trace:
-        from .telemetry import load_trace, render_trace_report, TraceError
+        from .telemetry import (
+            load_trace, render_trace, render_trace_report, TraceError,
+        )
 
         try:
             data = load_trace(args.trace)
@@ -337,6 +479,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"repro report: error: {error}", file=sys.stderr)
             return 2
         try:
+            if args.trace_id:
+                print(render_trace(data, args.trace_id))
+                return 0 if data.find_trace(args.trace_id) else 1
             print(render_trace_report(data))
         except BrokenPipeError:  # e.g. `repro report run.jsonl | head`
             import os
@@ -450,8 +595,81 @@ def main(argv: list[str] | None = None) -> int:
                              help="write the serve telemetry trace "
                                   "(shed/validation counters, queue "
                                   "depth) to a JSONL file")
+    serve_bench.add_argument("--obs", action="store_true",
+                             help="attach the serving observability "
+                                  "plane: windowed series, SLO budgets, "
+                                  "tail-sampled traces (schema-2 "
+                                  "records in --telemetry output)")
+    serve_bench.add_argument("--slo", metavar="PATH",
+                             help="JSON SLO spec file (a list of spec "
+                                  "dicts, or {\"slos\": [...]}); "
+                                  "implies --obs")
+    serve_bench.add_argument("--slo-period", type=float, default=60.0,
+                             help="error-budget period in virtual "
+                                  "seconds for the default SLO set")
+    serve_bench.add_argument("--sample-keep", type=float, default=0.05,
+                             help="tail-sampler probabilistic keep rate "
+                                  "(errors/sheds/slow always kept)")
+    serve_bench.add_argument("--drift-rate", type=float, default=0.0,
+                             help="fraction of read requests re-executed "
+                                  "on the reference evaluator to detect "
+                                  "compiled-route drift")
     serve_bench.add_argument("--json", action="store_true")
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate a schema-2 trace's SLO record; exits 4 when any "
+             "error budget is exhausted")
+    slo.add_argument("trace",
+                     help="a telemetry JSONL file written with the "
+                          "observability plane attached")
+    slo.add_argument("--json", action="store_true",
+                     help="print the raw SLO record instead of prose")
+    slo.set_defaults(func=_cmd_slo)
+
+    top = sub.add_parser(
+        "top",
+        help="run the noisy cross-region scenario with the full "
+             "observability plane and replay it as an ASCII dashboard")
+    top.add_argument("service", choices=sorted(CATALOGS))
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--loss", type=float, default=0.05,
+                     help="per-message loss on every cross-region link")
+    top.add_argument("--rtt", type=float, default=0.04,
+                     help="base RTT in virtual seconds")
+    top.add_argument("--partition", type=float, default=10.0,
+                     help="seeded partition duration in virtual seconds")
+    top.add_argument("--workers", type=int, default=4)
+    top.add_argument("--requests", type=int, default=240,
+                     help="total requests across all workers")
+    top.add_argument("--tenants", type=int, default=2)
+    top.add_argument("--slo", metavar="PATH",
+                     help="JSON SLO spec file (default: the reference "
+                          "per-tenant availability + latency set)")
+    top.add_argument("--slo-period", type=float, default=1440.0,
+                     help="error-budget period in virtual seconds for "
+                          "the default SLO set")
+    top.add_argument("--sample-keep", type=float, default=0.05)
+    top.add_argument("--drift-rate", type=float, default=0.0)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="virtual seconds between dashboard frames")
+    top.add_argument("--lookback", type=float, default=5.0,
+                     help="rate/percentile window per frame, in virtual "
+                          "seconds")
+    top.add_argument("--all-frames", action="store_true",
+                     help="print every frame of the replay instead of "
+                          "just the final one")
+    top.add_argument("--record", metavar="PATH",
+                     help="write the full frame-by-frame replay (plus "
+                          "the scenario result) as JSON")
+    top.add_argument("--telemetry", metavar="PATH",
+                     help="also export the schema-2 telemetry JSONL "
+                          "(feeds repro slo / repro report)")
+    top.add_argument("--json", action="store_true",
+                     help="print the scenario result dict instead of "
+                          "the dashboard")
+    top.set_defaults(func=_cmd_top)
 
     sweep = sub.add_parser(
         "sweep",
@@ -499,6 +717,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="a telemetry JSONL file (from repro build "
                              "--telemetry) to render as a phase/cost/"
                              "fault breakdown")
+    report.add_argument("--trace-id", metavar="ID",
+                        help="with a trace file: render one sampled "
+                             "request's span tree (ids surface as "
+                             "exemplars in the slowest-requests table)")
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--out", help="write the Markdown to a file")
     report.add_argument("--no-multicloud", action="store_true")

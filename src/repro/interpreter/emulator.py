@@ -311,6 +311,48 @@ class Emulator:
                 ).inc()
         return response
 
+    def reference_invoke(self, api: str,
+                         params: dict | None = None) -> ApiResponse:
+        """Run one API through the tree-walking evaluator, read-only.
+
+        The reference semantics for drift monitoring: the compiled
+        routes (pure closures and compiled transitions) are bypassed
+        entirely and the transition runs under the
+        :class:`Evaluator` on an *uncommitted* transaction, so the
+        call can never mutate the registry.  Intended for read-only
+        APIs — the serve path's drift monitor compares this against
+        the live compiled dispatch under one lock hold (see
+        :meth:`ConcurrentEmulator.drift_check
+        <repro.serve.concurrency.ConcurrentEmulator.drift_check>`).
+        """
+        params = params or {}
+        entry = self._dispatch.get(api)
+        if entry is None:
+            return ApiResponse.fail(
+                UNKNOWN_API,
+                f"The action {api} is not valid for this endpoint.",
+            )
+        if entry.bare_describe:
+            ids = sorted(
+                instance.id
+                for instance in self.registry.of_type(entry.sm_name)
+            )
+            return ApiResponse.ok({"ids": ids, "count": len(ids)})
+        txn = Transaction(self.registry)
+        try:
+            subject, args = self._bind(entry, params, txn)
+            evaluator = Evaluator(txn, self.module.machines, self.registry)
+            payload = evaluator.run_transition(
+                subject, entry.transition, args
+            )
+        except CloudError as error:
+            return error.to_response()
+        except TransientServiceError as error:
+            return ApiResponse.fail(error.code, error.message)
+        # Deliberately no commit: reference evaluation observes, never
+        # mutates.
+        return ApiResponse(True, payload)
+
     def _invoke(
         self,
         api: str,

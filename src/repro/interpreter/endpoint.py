@@ -97,7 +97,11 @@ class JsonEndpoint:
         if not isinstance(parameters, dict):
             raise ProtocolError("'Parameters' must be a JSON object")
         telemetry = self.telemetry
-        if telemetry is None:
+        if telemetry is None or getattr(telemetry, "obs", None) is not None:
+            # Under the serving observability plane the front door has
+            # already opened this request's root span; a second
+            # per-request span here would only double the span count
+            # the tail sampler is bounding.
             response = self.backend.invoke(action, parameters)
         else:
             with telemetry.span(

@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 
 from ..interpreter.errors import ApiResponse
+from ..obs.tracectx import current_request
 from .engine import NetEm
 from .placement import Placer
 from .replication import ReplicaSet
@@ -127,6 +128,15 @@ class RegionGate:
             )
         delivery = self.netem.transmit(client, resource_region)
         now = self.netem.clock.now()
+        ctx = current_request()
+        if ctx is not None:
+            ctx.client_region = client
+            ctx.resource_region = resource_region
+            ctx.add_hop(
+                client, resource_region, delivery.latency,
+                delivered=delivery.delivered,
+                reason=delivery.reason or "", at=now,
+            )
         if state.replicas is not None:
             state.replicas.sync(self.netem, now)
 
@@ -188,6 +198,13 @@ class RegionGate:
         response = state.replicas.invoke(client, api, params)
         if response is None:
             return self._partitioned(tenant, api, client, resource_region)
+        ctx = current_request()
+        if ctx is not None:
+            ctx.failover = True
+            ctx.add_hop(
+                resource_region, client, 0.0, delivered=True,
+                reason="replica_failover", at=self.netem.clock.now(),
+            )
         self.netem.stats.stale_reads += 1
         if self.telemetry is not None:
             self.telemetry.metrics.counter(

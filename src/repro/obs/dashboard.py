@@ -1,0 +1,170 @@
+"""``repro top``: the ASCII serving dashboard.
+
+Renders the observability plane's windowed store as the terminal view
+an operator would watch: per-tenant RPS / shed rate / p50 / p99, SLO
+budget bars with firing burn alerts, breaker states, and the region
+weather (open partitions).  Everything reads from virtual time, so a
+"live" frame and a post-run replay of the same instant are identical
+— ``--record`` simply replays the run's timeline at a fixed frame
+interval and emits every frame, which is what the acceptance tests
+diff against.
+"""
+
+from __future__ import annotations
+
+from .plane import ObsPlane
+
+#: The sparkline-ish budget bar alphabet, emptiest first.
+_BAR = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int = 12) -> str:
+    """A unicode budget bar: ``fraction`` full, ``width`` cells."""
+    fraction = min(1.0, max(0.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    partial = int((cells - full) * (len(_BAR) - 1))
+    bar = "█" * full
+    if full < width and partial:
+        bar += _BAR[partial]
+    return bar.ljust(width)
+
+
+def _fmt_latency(value: float | None) -> str:
+    if value is None:
+        return "     -"
+    return f"{value * 1000.0:>5.1f}ms" if value < 9.95 else f"{value:>6.2f}s"
+
+
+def _tenant_rows(plane: ObsPlane, now: float, lookback: float) -> list[str]:
+    store = plane.store
+    rows = [
+        f"{'tenant':<12} {'rps':>7} {'shed%':>6} {'err%':>6} "
+        f"{'p50':>7} {'p99':>7}  worst-trace"
+    ]
+    for tenant in store.label_values("serve.requests", "tenant"):
+        total = store.total("serve.requests", lookback, now, tenant=tenant)
+        if total == 0:
+            continue
+        shed = store.total(
+            "serve.requests", lookback, now, tenant=tenant, outcome="shed"
+        )
+        errors = store.total(
+            "serve.requests", lookback, now, tenant=tenant, outcome="error"
+        )
+        p50 = store.quantile(
+            "serve.requests", 0.50, lookback, now, tenant=tenant
+        )
+        p99 = store.quantile(
+            "serve.requests", 0.99, lookback, now, tenant=tenant
+        )
+        exemplar = store.exemplar(
+            "serve.requests", lookback, now, tenant=tenant
+        )
+        rows.append(
+            f"{tenant:<12} {total / lookback:>7.1f} "
+            f"{100.0 * shed / total:>5.1f}% {100.0 * errors / total:>5.1f}% "
+            f"{_fmt_latency(p50):>7} {_fmt_latency(p99):>7}  {exemplar}"
+        )
+    if len(rows) == 1:
+        rows.append("(no traffic in window)")
+    return rows
+
+
+def _slo_rows(plane: ObsPlane, now: float) -> list[str]:
+    if not plane.slo.specs:
+        return []
+    rows = ["", "SLO budgets (period burn):"]
+    for status in plane.slo.evaluate(now):
+        spec = status.spec
+        firing = ",".join(a.severity for a in status.firing) or "-"
+        state = "EXHAUSTED" if status.exhausted else f"alerts:{firing}"
+        rows.append(
+            f"  {spec.name:<20} [{_bar(status.budget_spent)}] "
+            f"{100.0 * min(1.0, status.budget_spent):>5.1f}% "
+            f"good {status.good}/{status.total}  {state}"
+        )
+    return rows
+
+
+def _breaker_rows(plane: ObsPlane, now: float) -> list[str]:
+    series = plane.store.select("resilience.breaker_state")
+    if not series:
+        return []
+    rows = ["", "breakers:"]
+    for stream in sorted(series, key=lambda s: s.key):
+        # The latest transition at or before ``now`` is the state.
+        windows = stream.windows(0.0, now)
+        if not windows:
+            continue
+        last = windows[-1]
+        state = {0.0: "closed", 1.0: "half_open", 2.0: "open"}.get(
+            (last.values or [0.0])[-1], "?"
+        )
+        target = stream.labels.get("target", "?")
+        rows.append(f"  {target:<28} {state}")
+    return rows
+
+
+def _weather_rows(netem, now: float) -> list[str]:
+    if netem is None:
+        return []
+    open_links = []
+    for link, windows in netem.topology.partition_report().items():
+        for start, end in windows:
+            if start <= now and (end is None or now < end):
+                until = "?" if end is None else f"{end:.2f}s"
+                open_links.append(f"  {link:<28} PARTITIONED until {until}")
+    rows = ["", "region weather:"]
+    rows.extend(open_links or ["  all links healthy"])
+    return rows
+
+
+def render_frame(plane: ObsPlane, now: float | None = None,
+                 lookback: float = 5.0, netem=None) -> str:
+    """One dashboard frame at a virtual instant (default: now)."""
+    now = plane.clock.now() if now is None else now
+    good = plane.store.total("serve.requests", lookback, now)
+    lines = [
+        f"repro top · t={now:.2f}s virtual · window {lookback:g}s · "
+        f"{good:.0f} req · {len(plane.store)} series",
+        "",
+    ]
+    lines.extend(_tenant_rows(plane, now, lookback))
+    lines.extend(_slo_rows(plane, now))
+    lines.extend(_breaker_rows(plane, now))
+    lines.extend(_weather_rows(netem, now))
+    sampling = plane.sampler
+    if sampling.seen:
+        lines.append("")
+        lines.append(
+            f"traces: kept {sampling.kept}/{sampling.seen} "
+            f"({dict(sorted(sampling.kept_by_reason.items()))})"
+        )
+    return "\n".join(lines)
+
+
+def record_frames(plane: ObsPlane, until: float | None = None,
+                  interval: float = 2.0, lookback: float = 5.0,
+                  netem=None) -> list[dict]:
+    """Replay the run as dashboard frames (``repro top --record``).
+
+    Because every input is virtual-time, replaying after the run
+    produces exactly the frames a live tail would have shown.  Each
+    record carries the frame's instant and its rendered text.
+    """
+    until = plane.clock.now() if until is None else until
+    frames = []
+    ticks = max(1, int(until / interval))
+    for tick in range(1, ticks + 1):
+        at = min(tick * interval, until)
+        frames.append({
+            "at": round(at, 9),
+            "frame": render_frame(
+                plane, now=at, lookback=lookback, netem=netem
+            ),
+        })
+    return frames
+
+
+__all__ = ["record_frames", "render_frame"]

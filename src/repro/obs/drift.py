@@ -1,0 +1,89 @@
+"""Compiled-vs-evaluator drift sampling on the serve path.
+
+The emulator serves reads through compiled closures
+(:mod:`repro.interpreter.compiler`); the tree-walking
+:class:`~repro.interpreter.evaluator.Evaluator` is the reference
+semantics.  The two are proven equivalent at build time, but the
+paper's trust argument wants the check to keep running *in
+production*: the :class:`DriftMonitor` re-executes a seeded fraction
+of live read requests through the evaluator
+(:meth:`Emulator.reference_invoke
+<repro.interpreter.emulator.Emulator.reference_invoke>`) and counts
+agreement into the windowed store, where ``repro top`` and the SLO
+report surface it.
+
+Both executions happen under one shared-lock hold
+(:meth:`ConcurrentEmulator.drift_check
+<repro.serve.concurrency.ConcurrentEmulator.drift_check>`), so a
+concurrent writer can never make the pair diverge spuriously.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+class DriftMonitor:
+    """Samples live reads back through the reference evaluator."""
+
+    __slots__ = ("plane", "rate", "seed", "checks", "divergences",
+                 "samples")
+
+    def __init__(self, plane, rate: float = 0.02, seed: int = 7):
+        self.plane = plane
+        self.rate = min(1.0, max(0.0, rate))
+        self.seed = seed
+        self.checks = 0
+        self.divergences = 0
+        #: A bounded sample of divergence records for the report.
+        self.samples: list[dict] = []
+
+    def _draw(self, trace_id: str) -> float:
+        payload = f"drift:{self.seed}:{trace_id}".encode()
+        return (zlib.crc32(payload) & 0xFFFFFFFF) / 4294967296.0
+
+    def maybe_check(self, ctx, emulator, api: str, params: dict) -> None:
+        """Re-run one read through the evaluator, if this trace drew it.
+
+        ``emulator`` is the tenant's concurrency-wrapped emulator
+        (:class:`~repro.serve.concurrency.ConcurrentEmulator`); the
+        draw is seeded by trace id so the set of probed requests is a
+        deterministic function of the run, independent of the tail
+        sampler's keep rate.
+        """
+        if self._draw(ctx.trace_id) >= self.rate:
+            return
+        if not hasattr(emulator, "drift_check"):
+            return
+        with self.plane.telemetry.span(
+            "obs.drift_probe", kind="obs", api=api,
+            trace_id=ctx.trace_id,
+        ):
+            match, detail = emulator.drift_check(api, params)
+        self.checks += 1
+        now = self.plane.clock.now()
+        self.plane.store.counter(
+            "obs.drift", api=api,
+            result="match" if match else "diverged",
+        ).record(now)
+        if not match:
+            self.divergences += 1
+            self.plane.telemetry.event(
+                "drift_divergence", api=api,
+                trace_id=ctx.trace_id, detail=detail,
+            )
+            if len(self.samples) < 20:
+                self.samples.append({
+                    "api": api,
+                    "trace_id": ctx.trace_id,
+                    "at": round(now, 9),
+                    "detail": detail,
+                })
+
+    def as_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "checks": self.checks,
+            "divergences": self.divergences,
+            "samples": list(self.samples),
+        }

@@ -1,0 +1,410 @@
+"""Declarative SLOs with multi-window, multi-burn-rate alerting.
+
+An :class:`SLOSpec` states an objective over a virtual-time period —
+availability ("99.9% of requests succeed") or latency ("99% of
+requests finish under 250ms") — scoped to one tenant or to the whole
+service.  The :class:`SLOEngine` evaluates specs against the windowed
+store and reports error-budget consumption plus burn-rate alerts.
+
+Alerting follows the SRE-workbook shape, scaled from wall time to the
+spec's virtual period.  The canonical 30-day recipe pairs a long and a
+short window per severity so alerts are both fast and un-flappy:
+
+==========  ==========  ============  ===========
+severity    long        short         burn rate
+==========  ==========  ============  ===========
+page        1h          5m            14.4
+ticket      3d          6h            1.0
+==========  ==========  ============  ===========
+
+Virtual periods are rarely 30 days, so windows scale as *fractions of
+the period*: the page's long window is ``period / 720`` (1h of 30d),
+its short window ``period / 8640`` (5m of 30d), and so on.  Burn
+rates are dimensionless and carry over unchanged.  An alert fires
+only while **both** of its windows burn above threshold, which is
+what keeps a single bad window from paging.
+
+Everything is deterministic: the engine reads windows of virtual time
+and :meth:`SLOEngine.sweep` replays the run's timeline at window
+resolution, so "the page alert fired at t=14.25s" is a stable,
+seed-reproducible fact a test can assert.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from .windows import WindowedStore
+
+#: Outcomes that count as *good* for availability objectives: the
+#: service answered the caller correctly.  ``client_error`` is good —
+#: a validation reject or a missing resource is the caller's fault —
+#: while ``error`` (infra codes) and ``shed`` burn budget.
+GOOD_OUTCOMES = ("ok", "client_error")
+
+#: The canonical SRE window shapes, as fractions of the SLO period
+#: (from the 30-day recipe: 5m/1h page at burn 14.4, 6h/3d ticket at
+#: burn 1.0).
+ALERT_SHAPES = (
+    {"severity": "page", "long_fraction": 1.0 / 720.0,
+     "short_fraction": 1.0 / 8640.0, "burn_rate": 14.4},
+    {"severity": "ticket", "long_fraction": 1.0 / 10.0,
+     "short_fraction": 1.0 / 120.0, "burn_rate": 1.0},
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: availability or latency, per tenant or global.
+
+    ``objective`` is the target good-fraction (0.999 = "three nines").
+    For ``kind="latency"``, a request is *good* when it finishes under
+    ``threshold_s`` — the classic latency-as-availability encoding, so
+    one burn-rate machinery serves both kinds.  ``period`` is the
+    error-budget period in virtual seconds; ``tenant=""`` means the
+    spec spans every tenant.
+    """
+
+    name: str
+    kind: str = "availability"  # "availability" | "latency"
+    objective: float = 0.999
+    threshold_s: float = 0.25  # latency specs only
+    period: float = 3600.0
+    tenant: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+        if self.period <= 0:
+            raise ValueError("SLO period must be positive")
+
+    @property
+    def budget_fraction(self) -> float:
+        """The error budget as a fraction of all requests (1-objective)."""
+        return 1.0 - self.objective
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "period": self.period,
+        }
+        if self.kind == "latency":
+            record["threshold_s"] = self.threshold_s
+        if self.tenant:
+            record["tenant"] = self.tenant
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SLOSpec":
+        return cls(
+            name=record["name"],
+            kind=record.get("kind", "availability"),
+            objective=float(record.get("objective", 0.999)),
+            threshold_s=float(record.get("threshold_s", 0.25)),
+            period=float(record.get("period", 3600.0)),
+            tenant=record.get("tenant", ""),
+        )
+
+
+@dataclass
+class BurnAlert:
+    """One severity's firing state for one spec at one instant."""
+
+    severity: str
+    burn_rate: float  # threshold, from the shape
+    long_window: float
+    short_window: float
+    long_burn: float = 0.0
+    short_burn: float = 0.0
+    firing: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "burn_rate": self.burn_rate,
+            "long_window": round(self.long_window, 9),
+            "short_window": round(self.short_window, 9),
+            "long_burn": round(self.long_burn, 4),
+            "short_burn": round(self.short_burn, 4),
+            "firing": self.firing,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One spec evaluated at one virtual instant."""
+
+    spec: SLOSpec
+    at: float
+    good: int = 0
+    total: int = 0
+    budget_spent: float = 0.0  # fraction of the error budget consumed
+    alerts: list[BurnAlert] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.budget_spent >= 1.0
+
+    @property
+    def firing(self) -> list[BurnAlert]:
+        return [alert for alert in self.alerts if alert.firing]
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.spec.as_dict(),
+            "at": round(self.at, 9),
+            "good": self.good,
+            "total": self.total,
+            "budget_spent": round(self.budget_spent, 4),
+            "exhausted": self.exhausted,
+            "alerts": [alert.as_dict() for alert in self.alerts],
+        }
+
+
+class _PrefixCounts:
+    """Sorted window indices with cumulative (good, total) sums."""
+
+    __slots__ = ("indices", "good", "total")
+
+    def __init__(self, counts: dict):
+        self.indices = sorted(counts)
+        good = total = 0
+        self.good, self.total = [], []
+        for index in self.indices:
+            good += counts[index][0]
+            total += counts[index][1]
+            self.good.append(good)
+            self.total.append(total)
+
+    @property
+    def first_index(self) -> int:
+        return self.indices[0]
+
+    @property
+    def last_index(self) -> int:
+        return self.indices[-1]
+
+    def between(self, first: int, last: int) -> tuple[int, int]:
+        """(good, total) over window indices in ``[first, last]``."""
+        lo = bisect_left(self.indices, first)
+        hi = bisect_right(self.indices, last) - 1
+        if hi < lo:
+            return 0, 0
+        good = self.good[hi] - (self.good[lo - 1] if lo else 0)
+        total = self.total[hi] - (self.total[lo - 1] if lo else 0)
+        return good, total
+
+
+class SLOEngine:
+    """Evaluates SLO specs against the windowed request series.
+
+    The engine reads the ``serve.requests`` histogram family the
+    observability plane records per request — labels carry tenant and
+    outcome, values carry latency — so availability and latency specs
+    share one data source and stay consistent with each other.
+    """
+
+    def __init__(self, store: WindowedStore, specs: list[SLOSpec]):
+        self.store = store
+        self.specs = list(specs)
+
+    # -- counting ------------------------------------------------------------
+
+    def _counts(self, spec: SLOSpec, lookback: float,
+                now: float) -> tuple[int, int]:
+        """(good, total) requests for a spec over a trailing lookback."""
+        where = {"tenant": spec.tenant} if spec.tenant else {}
+        good = total = 0
+        for series in self.store.select("serve.requests", **where):
+            outcome_good = series.labels.get("outcome") in GOOD_OUTCOMES
+            for window in series.windows(now - lookback, now):
+                total += window.count
+                if not outcome_good:
+                    continue  # errors and sheds burn both budgets
+                if spec.kind == "availability":
+                    good += window.count
+                else:
+                    # Latency specs only credit good requests that
+                    # also beat the threshold.
+                    good += sum(
+                        1 for value in (window.values or [])
+                        if value < spec.threshold_s
+                    )
+        return good, total
+
+    def _burn(self, spec: SLOSpec, lookback: float, now: float) -> float:
+        """Budget burn rate over a window: 1.0 = exactly on budget."""
+        good, total = self._counts(spec, lookback, now)
+        if total == 0:
+            return 0.0
+        bad_fraction = (total - good) / total
+        return bad_fraction / spec.budget_fraction
+
+    # -- evaluation ----------------------------------------------------------
+
+    def status(self, spec: SLOSpec, now: float) -> SLOStatus:
+        """One spec's budget and alert state at a virtual instant."""
+        good, total = self._counts(spec, spec.period, now)
+        bad = total - good
+        budget = spec.budget_fraction * total
+        status = SLOStatus(
+            spec=spec, at=now, good=good, total=total,
+            budget_spent=(bad / budget) if budget > 0 else 0.0,
+        )
+        for shape in ALERT_SHAPES:
+            long_window = spec.period * shape["long_fraction"]
+            short_window = spec.period * shape["short_fraction"]
+            alert = BurnAlert(
+                severity=shape["severity"],
+                burn_rate=shape["burn_rate"],
+                long_window=long_window,
+                short_window=short_window,
+                long_burn=self._burn(spec, long_window, now),
+                short_burn=self._burn(spec, short_window, now),
+            )
+            alert.firing = (alert.long_burn >= alert.burn_rate
+                            and alert.short_burn >= alert.burn_rate)
+            status.alerts.append(alert)
+        return status
+
+    def evaluate(self, now: float) -> list[SLOStatus]:
+        """Every spec's status at one instant, in spec order."""
+        return [self.status(spec, now) for spec in self.specs]
+
+    def _index_counts(self, spec: SLOSpec) -> "_PrefixCounts | None":
+        """One spec's per-window (good, total) counts as prefix sums.
+
+        Folding the series scan into sorted prefix arrays once lets
+        :meth:`sweep` answer any trailing-window burn query in
+        O(log windows) instead of re-walking every series per tick.
+        """
+        where = {"tenant": spec.tenant} if spec.tenant else {}
+        counts: dict[int, list[int]] = {}
+        for series in self.store.select("serve.requests", **where):
+            outcome_good = series.labels.get("outcome") in GOOD_OUTCOMES
+            for window in series.live_windows():
+                bucket = counts.setdefault(window.index, [0, 0])
+                bucket[1] += window.count
+                if not outcome_good:
+                    continue
+                if spec.kind == "availability":
+                    bucket[0] += window.count
+                else:
+                    bucket[0] += sum(
+                        1 for value in (window.values or [])
+                        if value < spec.threshold_s
+                    )
+        if not counts:
+            return None
+        return _PrefixCounts(counts)
+
+    def sweep(self, now: float, step: float | None = None) -> list[dict]:
+        """Alert state *transitions* over the whole run so far.
+
+        Replays the timeline at ``step`` resolution (default: the
+        store's window resolution) and records every edge — each dict
+        carries the spec, severity, ``firing`` flag and the virtual
+        time ``at`` which the edge occurred.  This is what makes "the
+        page fired when the partition opened" a testable,
+        deterministic assertion.
+
+        The replay only visits ticks that can change an alert: from
+        the first live window to one long-window past the last, with
+        burn queries answered from per-spec prefix sums — so cost
+        follows the data span, not the raw virtual duration (a
+        chaos-stretched clock would otherwise make this quadratic).
+        """
+        step = step or self.store.resolution
+        resolution = self.store.resolution
+        per_spec = [
+            (spec, self._index_counts(spec)) for spec in self.specs
+        ]
+        live = [counts for __, counts in per_spec if counts is not None]
+        if not live:
+            return []
+        first_time = min(c.first_index for c in live) * resolution
+        last_time = (max(c.last_index for c in live) + 1) * resolution
+        longest_window = max(
+            spec.period * shape["long_fraction"]
+            for spec, __ in per_spec for shape in ALERT_SHAPES
+        )
+        ticks = int(now / step) + 1
+        start_tick = max(1, int(first_time / step))
+        end_tick = min(ticks, int((last_time + longest_window) / step) + 1)
+        transitions: list[dict] = []
+        state: dict[tuple[str, str], bool] = {}
+        for tick in range(start_tick, end_tick + 1):
+            at = min(tick * step, now)
+            for spec, counts in per_spec:
+                if counts is None:
+                    continue
+                for shape in ALERT_SHAPES:
+                    key = (spec.name, shape["severity"])
+                    burns = []
+                    for window in (spec.period * shape["long_fraction"],
+                                   spec.period * shape["short_fraction"]):
+                        good, total = counts.between(
+                            int((at - window) / resolution),
+                            int(at / resolution),
+                        )
+                        burns.append(
+                            0.0 if total == 0
+                            else ((total - good) / total)
+                            / spec.budget_fraction
+                        )
+                    firing = all(
+                        burn >= shape["burn_rate"] for burn in burns
+                    )
+                    if firing != state.get(key, False):
+                        state[key] = firing
+                        transitions.append({
+                            "slo": spec.name,
+                            "severity": shape["severity"],
+                            "firing": firing,
+                            "at": round(at, 9),
+                            "long_burn": round(burns[0], 4),
+                            "short_burn": round(burns[1], 4),
+                        })
+        return transitions
+
+    def report(self, now: float) -> dict:
+        """The full SLO report: per-spec status plus alert history."""
+        statuses = self.evaluate(now)
+        return {
+            "at": round(now, 9),
+            "slos": [status.as_dict() for status in statuses],
+            "transitions": self.sweep(now),
+            "exhausted": [
+                status.spec.name for status in statuses
+                if status.exhausted
+            ],
+        }
+
+
+def default_slos(tenants: list[str] | None = None,
+                 period: float = 60.0) -> list[SLOSpec]:
+    """A reasonable reference spec set for serving scenarios.
+
+    Per-tenant availability at 99% plus a global latency objective —
+    deliberately loose enough that a healthy run holds them and a
+    partitioned run visibly burns them.
+    """
+    specs = [
+        SLOSpec(name="availability", kind="availability",
+                objective=0.99, period=period),
+        SLOSpec(name="latency-p99", kind="latency", objective=0.99,
+                threshold_s=1.0, period=period),
+    ]
+    for tenant in tenants or []:
+        specs.append(SLOSpec(
+            name=f"availability-{tenant}", kind="availability",
+            objective=0.99, period=period, tenant=tenant,
+        ))
+    return specs

@@ -20,6 +20,10 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
 
+#: Gauge encoding of breaker states (``resilience.breaker_state``):
+#: ordered by severity so dashboards can threshold on it.
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
 
 class CircuitBreaker:
     """One target's breaker (a resource, an API, a model endpoint)."""
@@ -48,13 +52,13 @@ class CircuitBreaker:
         """Gate a call: raise :class:`CircuitOpenError` while open."""
         if self.state == OPEN:
             if self.clock.now() - self.opened_at >= self.cooldown:
-                self.state = HALF_OPEN  # admit one probe
+                self._set_state(HALF_OPEN)  # admit one probe
             else:
                 raise CircuitOpenError(self.target)
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
-        self.state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
@@ -64,9 +68,39 @@ class CircuitBreaker:
         ):
             self._trip()
 
+    def _set_state(self, state: str) -> None:
+        """Transition the breaker, exporting the edge when it moves.
+
+        Every actual change is a structured ``breaker_state`` span
+        event (from/to/at, in virtual time), updates the
+        ``resilience.breaker_state`` gauge, and — when a serving
+        observability plane is attached — lands in the windowed store
+        so ``repro top`` can show current breaker states.
+        """
+        previous = self.state
+        if state == previous:
+            return
+        self.state = state
+        if self.telemetry is None:
+            return
+        now = self.clock.now()
+        value = STATE_VALUES[state]
+        self.telemetry.event(
+            "breaker_state", target=self.target,
+            **{"from": previous, "to": state, "at": round(now, 9)},
+        )
+        self.telemetry.metrics.gauge(
+            "resilience.breaker_state", target=self.target
+        ).set(value)
+        obs = getattr(self.telemetry, "obs", None)
+        if obs is not None:
+            obs.store.histogram(
+                "resilience.breaker_state", target=self.target
+            ).record(now, value)
+
     def _trip(self) -> None:
-        self.state = OPEN
         self.opened_at = self.clock.now()
+        self._set_state(OPEN)
         self.trips += 1
         if self.stats is not None:
             self.stats.breaker_trips += 1

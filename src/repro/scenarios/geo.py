@@ -273,6 +273,13 @@ def noisy_cross_region_replication(
     workers: int = 4,
     requests_per_worker: int = 60,
     tenants: int = 2,
+    obs: bool = True,
+    slos: "list | None" = None,
+    slo_period: float = 1440.0,
+    sample_keep: float = 0.05,
+    drift_rate: float = 0.0,
+    trace: str | None = None,
+    capture: dict | None = None,
 ) -> dict:
     """Concurrent multi-tenant load over a hostile WAN, proved safe.
 
@@ -281,6 +288,15 @@ def noisy_cross_region_replication(
     serving layer's own: the admitted log, replayed serially, must
     reproduce the live registry byte-for-byte — zero linearizability
     violations no matter what the network dropped.
+
+    With ``obs`` (the default) the run carries a full
+    :class:`~repro.obs.ObsPlane`: per-tenant SLOs over ``slo_period``
+    virtual seconds (or caller-supplied ``slos``), tail sampling at
+    ``sample_keep``, and optional evaluator ``drift_rate``.  The
+    plane's summary lands in ``load.obs``; passing ``capture`` (a
+    dict) hands back the live plane/netem/front-door objects so
+    ``repro top --record`` can replay the dashboard, and ``trace``
+    exports the schema-2 JSONL.
     """
     clock = VirtualClock()
     telemetry = Telemetry(service=build.service, clock=clock)
@@ -302,6 +318,18 @@ def noisy_cross_region_replication(
     ))
     netem = NetEm(topology, clock=clock, timeline=timeline, seed=seed,
                   telemetry=telemetry)
+    plane = None
+    if obs:
+        from ..obs import default_slos, ObsPlane
+
+        tenant_names = [f"tenant-{index}" for index in range(tenants)]
+        plane = ObsPlane(
+            telemetry, seed=seed,
+            slos=(slos if slos is not None
+                  else default_slos(tenant_names, period=slo_period)),
+            sample_keep=sample_keep,
+            drift_rate=drift_rate,
+        )
     front = _frontdoor(build, netem, telemetry, seed=seed,
                        replication_lag=0.25)
     generator = LoadGenerator(
@@ -310,6 +338,15 @@ def noisy_cross_region_replication(
         tenants=tenants, offered_rate=offered_rate,
     )
     report = generator.run(verify=True)
+    if capture is not None:
+        capture.update(
+            plane=plane, netem=netem, frontdoor=front,
+            telemetry=telemetry, clock=clock,
+        )
+    if trace:
+        from ..telemetry.export import write_trace
+
+        write_trace(telemetry, trace)
     return {
         "name": "noisy_cross_region_replication",
         "load": report.as_dict(),

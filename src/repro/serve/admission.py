@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 
 from ..interpreter.errors import ApiResponse
+from ..obs.tracectx import current_request
 from ..resilience.policy import VirtualClock
 from ..resilience.ratelimit import TokenBucket
 
@@ -207,6 +208,9 @@ class AdmissionController:
             self._in_flight -= 1
 
     def _observe_queue(self, waiting: int) -> None:
+        ctx = current_request()
+        if ctx is not None:
+            ctx.queue_depth = waiting
         if self.telemetry is None:
             return
         self.telemetry.metrics.gauge("serve.queue_depth").set(waiting)
@@ -219,6 +223,9 @@ class AdmissionController:
             self.telemetry.metrics.counter(name, tenant=tenant).inc()
 
     def _count_shed(self, tenant: str, code: str, api: str) -> None:
+        ctx = current_request()
+        if ctx is not None:
+            ctx.shed = True
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
                 "serve.shed", code=code, tenant=tenant

@@ -34,8 +34,10 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
+from time import perf_counter
 
 from ..interpreter.errors import ApiResponse
+from ..obs.tracectx import current_request
 from .locks import RWLock
 
 
@@ -134,13 +136,48 @@ class ConcurrentEmulator:
     # -- dispatch --------------------------------------------------------------
 
     def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
+        ctx = current_request()
+        waited = perf_counter() if ctx is not None else 0.0
         if self.inner.read_only(api):
             with self.lock.read():
+                if ctx is not None:
+                    ctx.lock_wait_s += perf_counter() - waited
                 return self.inner.invoke(api, params)
         with self.lock.write():
+            if ctx is not None:
+                ctx.lock_wait_s += perf_counter() - waited
             response = self.inner.invoke(api, params)
             if self.log is not None:
                 self.log.append(
                     self.tenant, api, params or {}, response.success
                 )
             return response
+
+    def drift_check(self, api: str,
+                    params: dict | None = None) -> tuple[bool, str]:
+        """Compiled-vs-evaluator agreement for one read, atomically.
+
+        Runs the live (compiled) dispatch and the reference
+        tree-walking evaluation under a *single* shared-lock hold, so
+        no concurrent writer can slip between the two and fake a
+        divergence.  Returns ``(match, detail)``; ``detail`` names the
+        first disagreement found.
+        """
+        with self.lock.read():
+            live = self.inner.invoke(api, params)
+            reference = self.inner.reference_invoke(api, params)
+        if live.success != reference.success:
+            return False, (
+                f"compiled success={live.success} "
+                f"evaluator success={reference.success}"
+            )
+        if not live.success:
+            if live.error_code == reference.error_code:
+                return True, ""
+            return False, (
+                f"compiled error {live.error_code!r} != "
+                f"evaluator error {reference.error_code!r}"
+            )
+        if live.data == reference.data:
+            return True, ""
+        return False, "payload mismatch between compiled and evaluator"

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from ..interpreter.endpoint import RequestIdSequence
 from ..interpreter.errors import ApiResponse
+from ..obs.tracectx import current_request
 from ..resilience.policy import VirtualClock
 from ..spec import ast
 from .admission import AdmissionController
@@ -90,13 +91,34 @@ class _GuardedBackend:
             gate = front.region_gate
             emulator = self._concurrent() if gate is not None else None
             if gate is not None and emulator is not None:
-                return gate.route(
+                response = gate.route(
                     self.tenant_name, emulator, api, params, read_only,
                     lambda: self.inner.invoke(api, params),
                 )
-            return self.inner.invoke(api, params)
+            else:
+                response = self.inner.invoke(api, params)
+            if read_only:
+                self._maybe_drift(api, params)
+            return response
         finally:
             front.admission.release()
+
+    def _maybe_drift(self, api: str, params: dict) -> None:
+        """Offer this read to the drift monitor, when one is attached.
+
+        The probe runs against the tenant's concurrency-wrapped
+        emulator directly — *inside* any chaos proxies — so injected
+        faults can never masquerade as compiled/evaluator divergence.
+        """
+        obs = getattr(self.frontdoor.telemetry, "obs", None)
+        if obs is None or obs.drift is None:
+            return
+        ctx = current_request()
+        if ctx is None:
+            return
+        emulator = self._concurrent()
+        if emulator is not None:
+            obs.drift.maybe_check(ctx, emulator, api, params)
 
 
 class FrontDoor:
@@ -211,7 +233,17 @@ class FrontDoor:
             tenant = self.router.resolve(api_key)
         except AuthError as error:
             return self._auth_envelope(error)
-        return tenant.endpoint.dispatch(request)
+        obs = getattr(self.telemetry, "obs", None)
+        if obs is None:
+            return tenant.endpoint.dispatch(request)
+        api = ""
+        if isinstance(request, dict):
+            api = str(request.get("Action", ""))
+        with obs.request(tenant.name, api) as ctx:
+            body = tenant.endpoint.dispatch(request)
+            error_body = body.get("Error") if isinstance(body, dict) else None
+            obs.classify(ctx, (error_body or {}).get("Code", ""))
+        return body
 
     def handle(self, payload: "str | bytes",
                api_key: str | None = None) -> str:
@@ -231,7 +263,15 @@ class FrontDoor:
             tenant = self.router.resolve(api_key)
         except AuthError as error:
             return error.to_response()
-        return tenant.backend.invoke(api, params)
+        obs = getattr(self.telemetry, "obs", None)
+        if obs is None:
+            return tenant.backend.invoke(api, params)
+        with obs.request(tenant.name, api) as ctx:
+            response = tenant.backend.invoke(api, params)
+            obs.classify(
+                ctx, "" if response.success else response.error_code
+            )
+        return response
 
     def _auth_envelope(self, error: AuthError) -> dict:
         if self.telemetry is not None:

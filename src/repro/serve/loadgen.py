@@ -50,6 +50,9 @@ class LoadReport:
     retry_after_honored: int = 0
     retry_after_seconds: float = 0.0
     retry_after_log: list = field(default_factory=list)
+    #: The observability plane's summary (SLO budgets, burn alerts,
+    #: sampling, drift) when one was attached to the front door.
+    obs: dict | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -75,6 +78,7 @@ class LoadReport:
             "retry_after_honored": self.retry_after_honored,
             "retry_after_seconds": round(self.retry_after_seconds, 6),
             "retry_after_log": list(self.retry_after_log),
+            "obs": self.obs,
         }
 
 
@@ -298,6 +302,9 @@ class LoadGenerator:
             thread.join()
         report.wall_seconds = time.perf_counter() - start
         report.admitted_writes = len(self.frontdoor.admitted)
+        obs = getattr(self.frontdoor.telemetry, "obs", None)
+        if obs is not None:
+            report.obs = obs.report()
         if verify:
             ok, mismatches = verify_linearizable(self.frontdoor)
             report.linearizable = ok

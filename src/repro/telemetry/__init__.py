@@ -27,8 +27,8 @@ from .export import (
     TraceError,
     write_trace,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .report import render_trace_report, RunReport
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, quantile
+from .report import render_trace, render_trace_report, RunReport
 from .spans import Span, SpanEvent, Tracer
 
 __all__ = [
@@ -40,7 +40,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "quantile",
     "render_span_tree",
+    "render_trace",
     "render_trace_report",
     "RunReport",
     "Span",

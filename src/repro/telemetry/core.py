@@ -35,6 +35,11 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         #: Events recorded while no span was open.
         self.orphan_events: list[SpanEvent] = []
+        #: The serving-time observability plane, when attached (see
+        #: :class:`repro.obs.ObsPlane`).  ``None`` for batch runs —
+        #: instrumented code probes with ``getattr``/``is None`` so
+        #: build pipelines pay nothing for the serving plane.
+        self.obs = None
 
     # -- spans -------------------------------------------------------------
 
@@ -129,6 +134,7 @@ class NullTelemetry:
 
     enabled = False
     clock = None
+    obs = None
 
     def span(self, name: str, kind: str = "", **attributes: object):
         return _NULL_SPAN_CONTEXT

@@ -12,6 +12,24 @@ The JSONL schema is one JSON object per line, discriminated by
   ``name{label=value}`` key, ``data`` the type-specific summary);
 - ``report``  — last line: the folded :class:`RunReport` dict.
 
+Schema **2** adds the serving observability plane's records, emitted
+only when a :class:`~repro.obs.ObsPlane` is attached:
+
+- ``series``   — one windowed time series (resolution, per-window
+  count/sum/max and exemplar trace ids);
+- ``slo``      — the SLO report: per-spec budget status plus the
+  burn-rate alert transition history;
+- ``sampling`` — the tail sampler's decision totals (keep rate, kept
+  by reason), so a reader knows exactly how the span set was bounded;
+- ``drift``    — compiled-vs-evaluator agreement counts, when the
+  drift monitor ran.
+
+Schema-2 request spans carry trace context in ``attributes``
+(``trace_id``, ``tenant``, ``outcome``, ``sampled``/``sample_reason``,
+region fields) and their ``net.hop``/``replica.failover`` children
+carry per-hop RTT; aggregates always come from ``metric``/``series``
+records, so they are identical at any sampling keep rate.
+
 A saved trace reloads with :func:`load_trace` and renders with
 :func:`~repro.telemetry.report.render_trace_report` (exposed as
 ``repro report <trace.jsonl>``).
@@ -25,13 +43,14 @@ from pathlib import Path
 
 from ..durability.atomic import atomic_write
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def trace_records(telemetry, report=None) -> list[dict]:
     """Everything one sink holds, as JSONL-ready dicts."""
     spans = [span.to_dict() for span in telemetry.tracer.walk()]
     metrics = telemetry.metrics.snapshot()
+    obs = getattr(telemetry, "obs", None)
     records: list[dict] = [{
         "type": "meta",
         "schema": SCHEMA_VERSION,
@@ -39,6 +58,7 @@ def trace_records(telemetry, report=None) -> list[dict]:
         "clock": "virtual",
         "spans": len(spans),
         "metrics": len(metrics),
+        "obs": obs is not None,
     }]
     records.extend({"type": "span", **span} for span in spans)
     records.extend(
@@ -49,6 +69,15 @@ def trace_records(telemetry, report=None) -> list[dict]:
         {"type": "metric", "metric": key, "data": data}
         for key, data in metrics.items()
     )
+    if obs is not None:
+        records.extend(
+            {"type": "series", **series} for series in obs.store.export()
+        )
+        if obs.slo.specs:
+            records.append({"type": "slo", "slo": obs.slo_report()})
+        records.append({"type": "sampling", "sampling": obs.sampler.as_dict()})
+        if obs.drift is not None:
+            records.append({"type": "drift", "drift": obs.drift.as_dict()})
     if report is not None:
         records.append({"type": "report", "report": report.to_dict()})
     return records
@@ -78,6 +107,11 @@ class TraceData:
     events: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     report: dict | None = None
+    #: Schema-2 observability records (absent from v1 traces).
+    series: list[dict] = field(default_factory=list)
+    slo: dict | None = None
+    sampling: dict | None = None
+    drift: dict | None = None
 
     def span_children(self) -> dict:
         """Parent span id -> child span dicts (``None`` key = roots)."""
@@ -90,6 +124,35 @@ class TraceData:
         for span in self.spans:
             yield from span.get("events", ())
         yield from self.events
+
+    def find_trace(self, trace_id: str) -> list[dict]:
+        """One sampled request's full span tree, pre-order.
+
+        ``trace_id`` is the propagated context id stamped on schema-2
+        request spans (and surfaced as windowed-histogram exemplars),
+        so ``repro report --trace-id`` can jump straight from a "p99
+        regressed" cell to the offending tree.
+        """
+        by_id = {span.get("id"): span for span in self.spans}
+
+        def tagged(span: dict) -> bool:
+            return span.get("attributes", {}).get("trace_id") == trace_id
+
+        roots = [
+            span for span in self.spans
+            if tagged(span) and not tagged(by_id.get(span.get("parent"), {}))
+        ]
+        children = self.span_children()
+        out: list[dict] = []
+
+        def walk(span: dict) -> None:
+            out.append(span)
+            for kid in children.get(span.get("id"), []):
+                walk(kid)
+
+        for root in roots:
+            walk(root)
+        return out
 
 
 class TraceError(ValueError):
@@ -123,6 +186,14 @@ def load_trace(path) -> TraceData:
                 )
             elif kind == "report":
                 data.report = record.get("report")
+            elif kind == "series":
+                data.series.append(record)
+            elif kind == "slo":
+                data.slo = record.get("slo")
+            elif kind == "sampling":
+                data.sampling = record.get("sampling")
+            elif kind == "drift":
+                data.drift = record.get("drift")
             else:
                 raise TraceError(
                     f"{path}:{line_number}: unknown record type {kind!r}"

@@ -17,6 +17,32 @@ import time
 from contextlib import contextmanager
 
 
+def quantile(ordered: "list[float]", q: float) -> float | None:
+    """Quantile by linear interpolation between closest ranks.
+
+    The single shared implementation behind :class:`Histogram` and the
+    windowed store (:mod:`repro.obs.windows`): ``ordered`` must be
+    sorted ascending.  Returns ``None`` for an empty window — callers
+    must not render an absent distribution as ``0.0``, which reads
+    like a real (excellent) latency — and the lone sample for a
+    single-sample window.  Interpolation fixes the nearest-rank edge
+    artifacts small windows used to show (p50 of ``[10, 1000]`` was
+    ``10``, and p95 collapsed onto p50 for any window under 10
+    samples).
+    """
+    count = len(ordered)
+    if count == 0:
+        return None
+    if count == 1:
+        return ordered[0]
+    q = min(1.0, max(0.0, q))
+    position = q * (count - 1)
+    low = math.floor(position)
+    high = min(count - 1, low + 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
 def _render_key(name: str, labels: dict) -> str:
     if not labels:
         return name
@@ -63,11 +89,13 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observations, summarized as p50/p95/max.
+    """A distribution of observations, summarized as p50/p95/p99/max.
 
     Observations are kept raw (pipeline runs observe thousands of
-    values, not millions) and percentiles use the nearest-rank rule,
-    so the summary is exact and deterministic.
+    values, not millions) and percentiles interpolate linearly between
+    closest ranks (:func:`quantile`), so the summary is exact,
+    deterministic, and free of the nearest-rank collapse small windows
+    used to show.
     """
 
     __slots__ = ("name", "labels", "values")
@@ -95,26 +123,29 @@ class Histogram:
             self.observe(clock() - start)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile of everything observed so far."""
-        if not self.values:
-            return 0.0
-        ordered = sorted(self.values)
-        rank = max(1, math.ceil(q * len(ordered)))
-        return ordered[rank - 1]
+        """Interpolated percentile of everything observed so far.
+
+        Returns ``0.0`` when nothing has been observed (the summary
+        keeps ``count`` alongside, so an empty window is detectable).
+        """
+        value = quantile(sorted(self.values), q)
+        return 0.0 if value is None else value
 
     def summary(self) -> dict:
         if not self.values:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         total = sum(self.values)
+        ordered = sorted(self.values)
         return {
-            "count": len(self.values),
+            "count": len(ordered),
             "sum": total,
-            "min": min(self.values),
-            "max": max(self.values),
-            "mean": total / len(self.values),
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": quantile(ordered, 0.50),
+            "p95": quantile(ordered, 0.95),
+            "p99": quantile(ordered, 0.99),
         }
 
 

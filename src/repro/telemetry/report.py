@@ -290,6 +290,76 @@ def _network_rows(metrics: dict) -> list[str]:
     return rows
 
 
+def _slo_rows(slo: dict) -> list[str]:
+    """Fold a schema-2 ``slo`` record into report lines."""
+    rows = []
+    for status in slo.get("slos", []):
+        spec = status.get("slo", {})
+        firing = [
+            alert["severity"] for alert in status.get("alerts", [])
+            if alert.get("firing")
+        ]
+        suffix = " EXHAUSTED" if status.get("exhausted") else ""
+        if firing:
+            suffix += " firing:" + ",".join(firing)
+        rows.append(
+            f"  {spec.get('name', '?')}: "
+            f"{100.0 * min(1.0, status.get('budget_spent', 0.0)):.1f}% "
+            f"of budget spent, good {status.get('good', 0)}/"
+            f"{status.get('total', 0)}{suffix}"
+        )
+    transitions = slo.get("transitions", [])
+    for transition in transitions[:8]:
+        verb = "fired" if transition.get("firing") else "cleared"
+        rows.append(
+            f"    {transition.get('slo', '?')}/"
+            f"{transition.get('severity', '?')} {verb} "
+            f"at t={transition.get('at', 0.0):.2f}s"
+        )
+    if len(transitions) > 8:
+        rows.append(f"    ... {len(transitions) - 8} more transition(s)")
+    return rows
+
+
+def _exemplar_rows(series: list[dict]) -> list[str]:
+    """The slowest windowed-histogram exemplars: latency -> trace id."""
+    worst: list[tuple[float, str, str]] = []
+    for record in series:
+        if not record.get("series", "").startswith("serve.requests"):
+            continue
+        for window in record.get("windows", []):
+            if window.get("exemplar") and "max" in window:
+                worst.append((
+                    window["max"], window["exemplar"], record["series"]
+                ))
+    worst.sort(key=lambda row: (-row[0], row[1]))
+    return [
+        f"  {value * 1000.0:.1f}ms trace {trace}  {key}"
+        for value, trace, key in worst[:3]
+    ]
+
+
+def render_trace(data: TraceData, trace_id: str) -> str:
+    """One sampled request's tree (``repro report --trace-id``)."""
+    spans = data.find_trace(trace_id)
+    if not spans:
+        return (
+            f"trace {trace_id}: not in this file — either mistyped or "
+            "dropped by the tail sampler (errors and sheds are always "
+            "kept)"
+        )
+    subset = TraceData(meta=data.meta, spans=spans)
+    root = spans[0].get("attributes", {})
+    lines = [
+        f"trace {trace_id} — tenant {root.get('tenant', '?')}, "
+        f"api {root.get('api', '?')}, outcome {root.get('outcome', '?')}"
+    ]
+    if "rtt_total_s" in root:
+        lines[0] += f", rtt {root['rtt_total_s'] * 1000.0:.1f}ms"
+    lines.append(render_span_tree(subset, max_children=24))
+    return "\n".join(lines)
+
+
 def render_trace_report(data: TraceData, tree: bool = True) -> str:
     """Render a reloaded JSONL trace as a phase/cost/fault breakdown."""
     report = data.report or {}
@@ -381,6 +451,35 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
     network = _network_rows(data.metrics)
     if network:
         lines.append("network: " + ", ".join(network))
+    if data.slo:
+        lines.append("slo:")
+        lines.extend(_slo_rows(data.slo))
+    if data.sampling:
+        sampling = data.sampling
+        reasons = sampling.get("kept_by_reason", {})
+        suffix = ""
+        if reasons:
+            suffix = " (" + ", ".join(
+                f"{count} {reason}"
+                for reason, count in sorted(reasons.items())
+            ) + ")"
+        lines.append(
+            f"sampling: kept {sampling.get('kept', 0)}/"
+            f"{sampling.get('seen', 0)} trace(s) at keep rate "
+            f"{sampling.get('keep_rate', 0)}{suffix}"
+        )
+    if data.drift:
+        drift = data.drift
+        lines.append(
+            f"drift: {drift.get('checks', 0)} evaluator check(s), "
+            f"{drift.get('divergences', 0)} divergence(s)"
+        )
+    exemplars = _exemplar_rows(data.series)
+    if exemplars:
+        lines.append(
+            "slowest exemplars (repro report --trace-id <id>):"
+        )
+        lines.extend(exemplars)
     durability = report.get("durability")
     if durability:
         lines.append(

@@ -187,6 +187,21 @@ class Tracer:
             record.end = self.clock.now()
             stack.pop()
 
+    def discard_root(self, span: Span) -> bool:
+        """Drop a finished root span (and its subtree) from the trace.
+
+        The tail sampler's eviction hook: a request tree it decides
+        not to keep is removed wholesale, so the exported trace stays
+        bounded under load.  Returns whether the span was actually a
+        root (an attached child cannot be discarded this way).
+        """
+        with self._lock:
+            try:
+                self.roots.remove(span)
+            except ValueError:
+                return False
+        return True
+
     def walk(self):
         """Every finished-or-open span, pre-order (parents first)."""
         pending = list(reversed(self.roots))

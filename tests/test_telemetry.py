@@ -12,6 +12,7 @@ from repro.telemetry import (
     load_trace,
     MetricsRegistry,
     NULL_TELEMETRY,
+    quantile,
     render_trace_report,
     RunReport,
     Telemetry,
@@ -96,16 +97,33 @@ class TestMetrics:
         with pytest.raises(TypeError):
             registry.gauge("x")
 
-    def test_histogram_percentiles_nearest_rank(self):
+    def test_histogram_percentiles_interpolate(self):
         registry = MetricsRegistry()
         hist = registry.histogram("latency")
         for value in range(1, 101):
             hist.observe(float(value))
         summary = hist.summary()
         assert summary["count"] == 100
-        assert summary["p50"] == 50.0
-        assert summary["p95"] == 95.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
         assert summary["max"] == 100.0
+
+    def test_histogram_window_edges(self):
+        # Empty and single-sample windows must not fabricate a
+        # distribution: empty stays all-zero with count 0, a lone
+        # sample is every quantile, and a two-sample window
+        # interpolates instead of collapsing p50 onto the minimum.
+        assert quantile([], 0.95) is None
+        assert quantile([7.0], 0.5) == quantile([7.0], 0.99) == 7.0
+        assert quantile([10.0, 1000.0], 0.5) == pytest.approx(505.0)
+        hist = MetricsRegistry().histogram("empty")
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p95"] == 0.0
+        hist.observe(3.0)
+        lone = hist.summary()
+        assert lone["p50"] == lone["p95"] == lone["p99"] == 3.0
 
     def test_histogram_timer_observes_duration(self):
         hist = MetricsRegistry().histogram("t")
@@ -222,7 +240,8 @@ class TestExportAndReport:
         lines = path.read_text().splitlines()
         records = [json.loads(line) for line in lines]
         assert records[0]["type"] == "meta"
-        assert records[0]["schema"] == 1
+        assert records[0]["schema"] == 2
+        assert records[0]["obs"] is False  # batch build: no serving plane
         assert records[-1]["type"] == "report"
         data = load_trace(path)
         assert data.meta["service"] == "network_firewall"
