@@ -229,8 +229,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if profile.active:
         engine = ChaosEngine(profile, seed=args.seed)
         wrap = lambda backend: ChaosProxy(backend, engine)  # noqa: E731
+    backend_factory = (
+        (lambda: build.make_backend(mvcc=False)) if args.no_mvcc
+        else build.make_backend
+    )
     front = FrontDoor(
-        build.module, build.make_backend, telemetry=telemetry, wrap=wrap,
+        build.module, backend_factory, telemetry=telemetry, wrap=wrap,
         rate=args.rate, burst=args.burst, seed=args.seed,
     )
     per_worker = max(1, -(-args.requests // args.workers))
@@ -266,6 +270,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             label = code or "(success)"
             print(f"    {label:34} {report.by_code[code]:>7}")
         print(f"  admitted writes logged: {report.admitted_writes}")
+        if report.mvcc and report.mvcc.get("mvcc_tenants"):
+            print(f"  mvcc:        "
+                  f"{report.mvcc['publishes']} publish(es), "
+                  f"{report.mvcc['reclaimed']} reclaimed, "
+                  f"{report.mvcc['pinned_reads']} pinned read(s), "
+                  f"{report.mvcc['read_lock_acquisitions']} read-lock "
+                  f"acquisition(s)")
         if report.obs is not None:
             from .telemetry.report import _slo_rows
 
@@ -614,6 +625,10 @@ def main(argv: list[str] | None = None) -> int:
                              help="fraction of read requests re-executed "
                                   "on the reference evaluator to detect "
                                   "compiled-route drift")
+    serve_bench.add_argument("--no-mvcc", action="store_true",
+                             help="serve through the RW-lock fallback "
+                                  "instead of lock-free MVCC reads "
+                                  "(for A/B comparisons)")
     serve_bench.add_argument("--json", action="store_true")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 

@@ -44,8 +44,9 @@ class SavedEmulator:
     notfound_codes: dict[str, str]
     manifest: dict
 
-    def make_backend(self) -> Emulator:
-        return Emulator(self.module, notfound_codes=self.notfound_codes)
+    def make_backend(self, mvcc: bool = True) -> Emulator:
+        return Emulator(self.module, notfound_codes=self.notfound_codes,
+                        mvcc=mvcc)
 
 
 def save_module(

@@ -82,15 +82,15 @@ def decode_value(value: object) -> object:
     return value
 
 
-def registry_dump(registry: Registry) -> dict:
-    """One registry as deterministic plain data (insertion order kept).
+def _dump_state(counters: dict, instances: dict, placements: dict) -> dict:
+    """The shared dump body: counters, encoded instances, placements.
 
-    Instance order matters: the registry's dict order *is* creation
+    Instance order matters: the instances dict order *is* creation
     order, and dependency scans iterate it — a restore that reordered
     instances would be observably different.
     """
     dump = {
-        "counters": dict(registry._counters),
+        "counters": dict(counters),
         "instances": [
             {
                 "id": instance.id,
@@ -101,16 +101,35 @@ def registry_dump(registry: Registry) -> dict:
                     for name, value in instance.state.items()
                 },
             }
-            for instance in registry.instances.values()
+            for instance in instances.values()
         ],
     }
     # Region placements ride along only when a regional front door
     # assigned any, so non-regional snapshots stay byte-identical to
     # the pre-netem format.
-    placements = getattr(registry, "placements", None)
     if placements:
         dump["placements"] = dict(placements)
     return dump
+
+
+def registry_dump(registry: Registry) -> dict:
+    """One live registry as deterministic plain data."""
+    return _dump_state(
+        registry._counters, registry.instances,
+        getattr(registry, "placements", None) or {},
+    )
+
+
+def version_dump(version) -> dict:
+    """One pinned :class:`~repro.interpreter.machine.RegistryVersion`
+    as deterministic plain data — same format as :func:`registry_dump`.
+
+    A version is immutable, so this dump needs no locking: the MVCC
+    serve path uses it to snapshot a serving emulator while writers
+    keep publishing, and the result can never be torn.
+    """
+    return _dump_state(version.counters, version.instances,
+                       version.placements)
 
 
 def snapshot_registry(registry: Registry, wal_seq: int = 0) -> dict:
@@ -119,6 +138,20 @@ def snapshot_registry(registry: Registry, wal_seq: int = 0) -> dict:
         "format_version": SNAPSHOT_FORMAT_VERSION,
         "wal_seq": wal_seq,
         **registry_dump(registry),
+    }
+
+
+def snapshot_version(version, wal_seq: int | None = None) -> dict:
+    """A restorable snapshot of one *pinned* registry version.
+
+    Byte-identical to what :func:`snapshot_registry` would have
+    produced at the moment the version was published; ``wal_seq``
+    defaults to the sequence stamped onto the version at publish.
+    """
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "wal_seq": version.wal_seq if wal_seq is None else wal_seq,
+        **version_dump(version),
     }
 
 

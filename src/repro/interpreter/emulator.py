@@ -149,8 +149,16 @@ class Emulator:
         compile: bool = True,
         compiled: CompiledModule | None = None,
         wal: "MutationLog | str | None" = None,
+        mvcc: bool = True,
     ):
         self.module = module
+        #: Whether the serving layer may read this emulator through
+        #: pinned registry versions with zero locking.  ``mvcc=False``
+        #: keeps the RW-lock fallback in
+        #: :class:`~repro.serve.concurrency.ConcurrentEmulator`.
+        #: Single-threaded use ignores the flag entirely — nothing is
+        #: published until a concurrency wrapper asks for a version.
+        self.mvcc = bool(mvcc)
         self.notfound_codes = dict(notfound_codes or {})
         self.registry = Registry()
         self._index = module.transition_index()
@@ -226,7 +234,11 @@ class Emulator:
 
     def reset(self) -> None:
         """Drop all emulated resources (fresh mock cloud)."""
+        prior = self.registry.version
         self.registry = Registry()
+        # Carry the published-version counter across the swap so the
+        # serve layer's version chain stays monotonic over resets.
+        self.registry.version = prior
         self._rebind_registry()
         if self._wal is not None:
             self._wal_seq = self._wal.log_reset()
@@ -250,8 +262,16 @@ class Emulator:
         return snapshot_registry(self.registry, wal_seq=self._wal_seq)
 
     def restore(self, snapshot: dict) -> None:
-        """Replace all live state with a snapshot's (same module)."""
+        """Replace all live state with a snapshot's (same module).
+
+        Restoring never mutates a published version: the registry
+        object is swapped wholesale, so readers pinned to an older
+        version keep reading it untouched, and the next publish comes
+        out as a *new* (still monotonically numbered) version.
+        """
+        prior = self.registry.version
         self.registry = restore_registry(snapshot, self.module.machines)
+        self.registry.version = prior
         self._rebind_registry()
         self._wal_seq = snapshot.get("wal_seq", 0)
 
@@ -282,6 +302,116 @@ class Emulator:
             ).inc(replayed)
         return replayed
 
+    # -- MVCC ------------------------------------------------------------------
+
+    @property
+    def wal_seq(self) -> int:
+        """The sequence of the last WAL record this state includes."""
+        return self._wal_seq
+
+    def publish_version(self):
+        """Publish (or reuse) the current registry state as an
+        immutable :class:`~repro.interpreter.machine.RegistryVersion`.
+
+        Must be called with writers excluded — the serve layer does so
+        under its writer mutex after every mutating dispatch.  The
+        returned version is stamped with the WAL cursor it covers, so
+        a snapshot dumped from it recovers correctly.
+        """
+        version = self.registry.publish()
+        version.wal_seq = self._wal_seq
+        return version
+
+    def _version_runtime(self, version):
+        """The (view, runtime) pair for pure dispatch at a version.
+
+        Cached on the version object itself: a version is immutable
+        and belongs to exactly one registry, so the cache can never go
+        stale.  Two readers racing to build it is benign — both
+        results are equivalent and the attribute stores are atomic.
+        """
+        rt = version._rt
+        if rt is None or rt.compiled is not self._compiled:
+            view = ReadOnlyView(version)
+            rt = Runtime(view, version, self.module.machines,
+                         self._compiled)
+            version._view = view
+            version._rt = rt
+        return version._view, version._rt
+
+    def invoke_at(self, version, api: str,
+                  params: dict | None = None) -> ApiResponse:
+        """Invoke a *read-only* cloud API against a pinned version.
+
+        The lock-free serve read path: bare describes enumerate the
+        version's instances, the compiled pure route dispatches
+        against a read-only view of it, and nothing here ever touches
+        the live registry, a lock, or the ID allocator.  The caller
+        classified ``api`` via :meth:`read_only` before pinning; a
+        body whose compiled form went stale between classification and
+        dispatch falls back to an *uncommitted* evaluator pass over
+        the version — observably identical for an effect-free body.
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._invoke_at(version, api, params)
+        with telemetry.span(
+            "emulator.invoke", kind="api_call", api=api
+        ) as span:
+            response = self._invoke_at(version, api, params)
+            telemetry.metrics.counter("emulator.calls").inc()
+            if not response.success:
+                span.set("error_code", response.error_code)
+                telemetry.metrics.counter(
+                    "emulator.errors", code=response.error_code
+                ).inc()
+        return response
+
+    def _invoke_at(self, version, api: str,
+                   params: dict | None) -> ApiResponse:
+        params = params or {}
+        entry = self._dispatch.get(api)
+        if entry is None:
+            return ApiResponse.fail(
+                UNKNOWN_API,
+                f"The action {api} is not valid for this endpoint.",
+            )
+        if entry.bare_describe:
+            ids = sorted(
+                instance.id
+                for instance in version.of_type(entry.sm_name)
+            )
+            return ApiResponse.ok({"ids": ids, "count": len(ids)})
+        pure = entry.pure_compiled
+        if (
+            pure is not None
+            and pure.fresh(entry.transition)
+            and self._compiled is not None
+        ):
+            view, rt = self._version_runtime(version)
+            try:
+                subject, args = self._bind(entry, params, view)
+                payload = pure.run(rt, subject, args)
+            except CloudError as error:
+                return error.to_response()
+            except TransientServiceError as error:
+                return ApiResponse.fail(error.code, error.message)
+            return ApiResponse(True, payload)
+        # Stale-compiled or uncompiled read: reference semantics over
+        # an overlay that is never committed.
+        txn = Transaction(version)
+        try:
+            subject, args = self._bind(entry, params, txn)
+            evaluator = Evaluator(txn, self.module.machines, version)
+            payload = evaluator.run_transition(
+                subject, entry.transition, args
+            )
+        except CloudError as error:
+            return error.to_response()
+        except TransientServiceError as error:
+            return ApiResponse.fail(error.code, error.message)
+        return ApiResponse(True, payload)
+
     def invoke(
         self,
         api: str,
@@ -311,8 +441,8 @@ class Emulator:
                 ).inc()
         return response
 
-    def reference_invoke(self, api: str,
-                         params: dict | None = None) -> ApiResponse:
+    def reference_invoke(self, api: str, params: dict | None = None,
+                         at=None) -> ApiResponse:
         """Run one API through the tree-walking evaluator, read-only.
 
         The reference semantics for drift monitoring: the compiled
@@ -321,11 +451,15 @@ class Emulator:
         :class:`Evaluator` on an *uncommitted* transaction, so the
         call can never mutate the registry.  Intended for read-only
         APIs — the serve path's drift monitor compares this against
-        the live compiled dispatch under one lock hold (see
+        the live compiled dispatch over one pinned version (``at``, a
+        :class:`~repro.interpreter.machine.RegistryVersion`) so no
+        concurrent writer can fake a divergence; without ``at`` it
+        reads the live registry (see
         :meth:`ConcurrentEmulator.drift_check
         <repro.serve.concurrency.ConcurrentEmulator.drift_check>`).
         """
         params = params or {}
+        source = self.registry if at is None else at
         entry = self._dispatch.get(api)
         if entry is None:
             return ApiResponse.fail(
@@ -335,13 +469,13 @@ class Emulator:
         if entry.bare_describe:
             ids = sorted(
                 instance.id
-                for instance in self.registry.of_type(entry.sm_name)
+                for instance in source.of_type(entry.sm_name)
             )
             return ApiResponse.ok({"ids": ids, "count": len(ids)})
-        txn = Transaction(self.registry)
+        txn = Transaction(source)
         try:
             subject, args = self._bind(entry, params, txn)
-            evaluator = Evaluator(txn, self.module.machines, self.registry)
+            evaluator = Evaluator(txn, self.module.machines, source)
             payload = evaluator.run_transition(
                 subject, entry.transition, args
             )

@@ -36,9 +36,14 @@ class Transaction:
     Reads see pending writes; :meth:`commit` publishes writes, creations
     and deletions atomically.  Abandoning the transaction (on a
     :class:`CloudError`) leaves the registry untouched.
+
+    ``registry`` may also be a pinned :class:`RegistryVersion` for
+    overlay *reads* that are never committed (the reference evaluation
+    the drift monitor runs against a version); such transactions must
+    never reach :meth:`commit`.
     """
 
-    def __init__(self, registry: "Registry"):
+    def __init__(self, registry: "Registry | RegistryVersion"):
         self.registry = registry
         self._writes: dict[str, dict[str, object]] = {}
         self._created: dict[str, MachineInstance] = {}
@@ -95,18 +100,44 @@ class Transaction:
     # -- lifecycle -------------------------------------------------------------
 
     def commit(self) -> None:
+        """Publish writes, creations and deletions atomically.
+
+        Commit is copy-on-write: an instance that existed before this
+        transaction is *replaced* by a fresh :class:`MachineInstance`
+        carrying the merged state, never mutated in place.  A
+        published :class:`RegistryVersion` therefore shares untouched
+        instances with the live registry structurally, and a pinned
+        reader can never observe a half-applied commit — the MVCC
+        serve path depends on it.  (State *values* are already safe to
+        share: the spec language treats lists and maps as values, so
+        builtins return fresh objects instead of mutating.)
+        """
+        registry = self.registry
+        instances = registry.instances
         for instance in self._created.values():
-            self.registry.instances[instance.id] = instance
+            instances[instance.id] = instance
         for instance_id, writes in self._writes.items():
             if instance_id in self._deleted:
                 continue
-            target = self.registry.instances.get(instance_id)
-            if target is None:
-                target = self._created.get(instance_id)
+            if instance_id in self._created:
+                # Created in this same transaction: the object is
+                # fresh, no published version can reference it yet.
+                self._created[instance_id].state.update(writes)
+                continue
+            target = instances.get(instance_id)
             if target is not None:
-                target.state.update(writes)
+                # Replacing at an existing key keeps dict (creation)
+                # order, which snapshots and dependency scans rely on.
+                instances[instance_id] = MachineInstance(
+                    id=target.id,
+                    spec=target.spec,
+                    state={**target.state, **writes},
+                    parent_id=target.parent_id,
+                )
         for instance_id in self._deleted:
-            self.registry.instances.pop(instance_id, None)
+            instances.pop(instance_id, None)
+        if self._created or self._writes or self._deleted:
+            registry.mutations += 1
 
 
 class ReadOnlyView:
@@ -117,11 +148,16 @@ class ReadOnlyView:
     describes — without paying for a :class:`Transaction` that could
     never accumulate writes.  It implements exactly the read subset of
     the transaction interface that such transitions can reach.
+
+    ``registry`` may be the live :class:`Registry` or a pinned
+    :class:`RegistryVersion` — only the ``instances`` map is read, so
+    the MVCC serve path reuses this view unchanged over immutable
+    versions.
     """
 
     __slots__ = ("registry",)
 
-    def __init__(self, registry: "Registry"):
+    def __init__(self, registry: "Registry | RegistryVersion"):
         self.registry = registry
 
     def instance(self, instance_id: str) -> MachineInstance | None:
@@ -190,12 +226,95 @@ class Handle:
         return f"Handle({self.instance_id})"
 
 
+class RegistryVersion:
+    """One immutable published registry state (MVCC read snapshot).
+
+    Built by :meth:`Registry.publish` under the serve layer's writer
+    mutex and handed to readers, which dispatch against it with zero
+    locking.  The ``instances`` map is a shallow copy of the live
+    registry's — safe because :meth:`Transaction.commit` replaces
+    rather than mutates committed instances — so publishing is O(live
+    instances) pointer copies, and consecutive versions share every
+    untouched instance structurally.
+
+    ``wal_seq`` is stamped by the owning emulator at publish time so a
+    snapshot dumped from a pinned version carries the correct recovery
+    cursor.  ``_view``/``_rt`` cache the read-only dispatch plumbing
+    for the compiled pure route (built lazily by the first reader; the
+    benign publish race just builds it twice).
+    """
+
+    __slots__ = (
+        "version", "instances", "counters", "placements", "wal_seq",
+        "_view", "_rt",
+    )
+
+    def __init__(self, version: int, instances: dict[str, MachineInstance],
+                 counters: dict[str, int], placements: dict[str, str]):
+        self.version = version
+        self.instances = instances
+        self.counters = counters
+        self.placements = placements
+        self.wal_seq = 0
+        self._view = None
+        self._rt = None
+
+    # -- the Registry read surface (duck-typed) ------------------------------
+
+    def get(self, instance_id: str) -> MachineInstance | None:
+        return self.instances.get(instance_id)
+
+    def of_type(self, sm_name: str) -> list[MachineInstance]:
+        return [
+            instance
+            for instance in self.instances.values()
+            if instance.type_name == sm_name
+        ]
+
+    def children_of(self, instance_id: str) -> list[MachineInstance]:
+        return [
+            instance
+            for instance in self.instances.values()
+            if instance.parent_id == instance_id
+        ]
+
+    def region_of(self, instance_id: str, default: str = "") -> str:
+        return self.placements.get(instance_id, default)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    # -- mutation surface: refused loudly ------------------------------------
+
+    def _immutable(self, op: str):
+        raise RuntimeError(
+            f"registry version {self.version} is immutable: {op} must "
+            "run against the live registry under the writer mutex"
+        )
+
+    def new_id(self, sm_name: str) -> str:
+        self._immutable("new_id")
+
+    def create(self, spec, defaults, parent_id: str = ""):
+        self._immutable("create")
+
+    def place(self, instance_id: str, region: str) -> None:
+        self._immutable("place")
+
+
 class Registry:
     """All live resources of one emulated cloud, plus ID generation.
 
     IDs are deterministic per resource type (``vpc-00000001``), so two
     runs of the same DevOps program produce identical traces — a
     property both the tests and the alignment differ rely on.
+
+    The registry is also the MVCC publication point: every observable
+    mutation bumps ``mutations``, and :meth:`publish` turns the
+    current state into an immutable :class:`RegistryVersion` (cached
+    while nothing changed).  Publishing is only ever done by the serve
+    layer's single writer; plain single-threaded use never pays for
+    it.
     """
 
     def __init__(self):
@@ -206,10 +325,40 @@ class Registry:
         #: placing resources; snapshots carry it only when non-empty,
         #: so non-regional runs stay byte-identical to before.
         self.placements: dict[str, str] = {}
+        #: Monotonic mutation tick: bumped by ID allocation, commit
+        #: and placement, so :meth:`publish` knows when the cached
+        #: version is still current.
+        self.mutations = 0
+        #: The number of the most recently published version.  The
+        #: emulator carries it across :meth:`reset`/``restore`` so the
+        #: serve layer's version chain stays monotonic.
+        self.version = 0
+        self._published: RegistryVersion | None = None
+        self._published_tick = -1
+
+    def publish(self) -> RegistryVersion:
+        """The current state as an immutable version (cached).
+
+        Must be called with writes excluded (the serve layer's writer
+        mutex); readers then pin the returned object and never touch
+        the live registry again.
+        """
+        published = self._published
+        if published is not None and self._published_tick == self.mutations:
+            return published
+        self.version += 1
+        published = RegistryVersion(
+            self.version, dict(self.instances), dict(self._counters),
+            dict(self.placements),
+        )
+        self._published = published
+        self._published_tick = self.mutations
+        return published
 
     def new_id(self, sm_name: str) -> str:
         count = self._counters.get(sm_name, 0) + 1
         self._counters[sm_name] = count
+        self.mutations += 1
         prefix = "".join(part[0] for part in sm_name.split("_")) if len(
             sm_name
         ) > 12 else sm_name
@@ -232,6 +381,7 @@ class Registry:
             self.placements[instance_id] = region
         else:
             self.placements.pop(instance_id, None)
+        self.mutations += 1
 
     def region_of(self, instance_id: str, default: str = "") -> str:
         return self.placements.get(instance_id, default)

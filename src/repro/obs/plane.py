@@ -171,6 +171,11 @@ class ObsPlane:
             root.set("queue_depth", ctx.queue_depth)
         if ctx.lock_wait_s:
             root.set("lock_wait_s", round(ctx.lock_wait_s, 6))
+        if ctx.registry_version:
+            # The single published version this request observed
+            # (pinned for reads, published for writes) on the MVCC
+            # serve path.
+            root.set("registry.version", ctx.registry_version)
 
         if decision["sampled"]:
             root.set("sampled", True)

@@ -31,7 +31,7 @@ class RequestContext:
         "trace_id", "tenant", "api", "start", "root",
         "client_region", "resource_region", "hops",
         "queue_depth", "queue_wait_s", "lock_wait_s",
-        "outcome", "error_code", "shed", "failover",
+        "registry_version", "outcome", "error_code", "shed", "failover",
     )
 
     def __init__(self, trace_id: str, tenant: str, api: str,
@@ -50,6 +50,10 @@ class RequestContext:
         self.queue_depth = 0
         self.queue_wait_s = 0.0
         self.lock_wait_s = 0.0
+        #: The published registry version this request observed (MVCC
+        #: serve path: readers pin exactly one; writers record the one
+        #: they published).  0 = not versioned (fallback lock path).
+        self.registry_version = 0
         self.outcome = "ok"       # "ok" | "error" | "shed"
         self.error_code = ""
         self.shed = False

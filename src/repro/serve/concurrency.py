@@ -2,31 +2,50 @@
 
 :class:`ConcurrentEmulator` lets N worker threads issue mixed
 read/write traffic against a single :class:`~repro.interpreter.Emulator`
-without corrupting the registry, the WAL ordering or the ID allocator:
+without corrupting the registry, the WAL ordering or the ID allocator.
+It runs in one of two modes, chosen at construction:
 
-- read-only APIs (bare describes and the compiler's pure route, as
-  classified by :meth:`Emulator.read_only`) dispatch under a *shared*
-  lock, so reads run concurrently with each other;
-- mutating APIs take the *exclusive* side, serializing transaction
-  build, WAL append and commit — the write history of the emulator is
-  therefore a total order;
+**MVCC (default).**  When the inner emulator supports versioned reads
+(``Emulator(mvcc=True)``, which is the default), reads never take a
+lock at all: each read pins the newest published
+:class:`~repro.interpreter.machine.RegistryVersion` — an immutable,
+structurally shared snapshot of the registry — and dispatches against
+it via :meth:`Emulator.invoke_at`, including through the compiled pure
+route.  Writes serialize under a small writer mutex: dispatch, WAL
+append, admitted-log append, then an atomic publish of the new version
+into the :class:`~repro.serve.mvcc.VersionChain`, which also runs
+epoch-based reclamation of superseded versions (a retired version is
+dropped once no reader pins it or anything older).  A writer therefore
+never stalls a reader and a reader never delays a writer; read
+throughput scales with cores until the GIL, not until the lock.
+
+**RW-lock fallback.**  With ``Emulator(mvcc=False)`` — or an inner
+backend that lacks the versioned-read surface — reads share a
+:class:`~repro.serve.locks.RWLock` and writes take its exclusive side,
+exactly the pre-MVCC behaviour.
+
+In both modes:
+
+- mutating APIs are a total order (writer mutex or exclusive lock);
 - every write *attempt* that reaches the interpreter is appended to
-  the :class:`AdmittedLog` while the exclusive lock is still held, so
-  the log's per-tenant order is exactly the commit order.  Failed
+  the :class:`AdmittedLog` while writers are still excluded, so the
+  log's per-tenant order is exactly the commit order.  Failed
   attempts are logged too: a failed create still burns a deterministic
   ID, so serial replay must repeat the failure to reproduce the
   allocator state byte-for-byte.
 
 The wrapper sits at the *bottom* of the backend stack, directly around
 the emulator.  Chaos and resilience proxies belong outside it: their
-injected faults fire before the lock is taken and are therefore never
+injected faults fire before any pin or lock and are therefore never
 logged as admitted work — which is exactly right, because an injected
 throttle mutates nothing.
 
 Linearizability falls out: replaying one tenant's admitted log
 serially against a fresh emulator of the same module reproduces the
 concurrent run's final registry exactly (see
-:func:`repro.serve.loadgen.verify_linearizable`).
+:func:`repro.serve.loadgen.verify_linearizable`) — and under MVCC each
+read additionally observed exactly one published version, recorded on
+its trace as ``registry.version``.
 """
 
 from __future__ import annotations
@@ -36,9 +55,11 @@ import threading
 from pathlib import Path
 from time import perf_counter
 
+from ..durability.snapshot import snapshot_version
 from ..interpreter.errors import ApiResponse
 from ..obs.tracectx import current_request
 from .locks import RWLock
+from .mvcc import ReaderSlots, VersionChain
 
 
 class AdmittedLog:
@@ -89,11 +110,20 @@ class ConcurrentEmulator:
     ``inner`` must expose the emulator classification surface
     (``read_only``); in practice it is an
     :class:`~repro.interpreter.Emulator`.
+
+    ``mvcc`` defaults to auto-detection: lock-free versioned reads are
+    used exactly when the inner backend opts in (``inner.mvcc``) *and*
+    exposes the versioned dispatch surface (``invoke_at`` /
+    ``publish_version``); anything else — including modeled-latency
+    bench wrappers that only forward ``invoke`` — falls back to the
+    RW lock.  Pass ``mvcc=False`` to force the fallback.
     """
 
     def __init__(self, inner, tenant: str = "default",
                  log: AdmittedLog | None = None,
-                 lock: RWLock | None = None):
+                 lock: RWLock | None = None,
+                 mvcc: bool | None = None,
+                 telemetry=None):
         if not hasattr(inner, "read_only"):
             raise TypeError(
                 "ConcurrentEmulator wraps the emulator itself "
@@ -104,6 +134,29 @@ class ConcurrentEmulator:
         self.tenant = tenant
         self.log = log
         self.lock = lock or RWLock()
+        self.telemetry = telemetry
+        if mvcc is None:
+            mvcc = bool(getattr(inner, "mvcc", False)) and hasattr(
+                inner, "invoke_at"
+            )
+        elif mvcc and not hasattr(inner, "invoke_at"):
+            raise TypeError(
+                f"mvcc=True requires a versioned-read backend; "
+                f"{type(inner).__name__} has no invoke_at"
+            )
+        self.mvcc = bool(mvcc)
+        if self.mvcc:
+            #: Serializes mutating dispatch and version publish.  Much
+            #: smaller than the RW lock: readers never touch it, so it
+            #: is only ever contended writer-vs-writer.
+            self._writer = threading.Lock()
+            self._slots = ReaderSlots()
+            self._chain = VersionChain(inner.publish_version(),
+                                       self._slots)
+        else:
+            self._writer = None
+            self._slots = None
+            self._chain = None
 
     # -- delegated surface ---------------------------------------------------
 
@@ -121,28 +174,118 @@ class ConcurrentEmulator:
         return self.inner.registry
 
     def reset(self) -> None:
+        if self.mvcc:
+            with self._writer:
+                self.inner.reset()
+                if self.log is not None:
+                    self.log.append(self.tenant, "_Reset", {}, True)
+                self._publish()
+            return
         with self.lock.write():
             self.inner.reset()
             if self.log is not None:
                 self.log.append(self.tenant, "_Reset", {}, True)
 
     def snapshot(self) -> dict:
-        """A registry snapshot taken under the shared lock (readers
-        may run concurrently; writers are excluded, so the snapshot is
-        never torn)."""
+        """A registry snapshot that is never torn.
+
+        Under MVCC this pins the newest published version and dumps it
+        without any locking — writers keep publishing while the dump
+        runs, and the result is byte-identical to what a stop-the-world
+        snapshot at publish time would have produced.  The fallback
+        takes the shared lock (readers run concurrently, writers are
+        excluded)."""
+        if self.mvcc:
+            slot = self._slots.slot()
+            version = self._chain.pin(slot)
+            try:
+                return snapshot_version(version)
+            finally:
+                slot.pinned = None
+                slot.reads += 1
         with self.lock.read():
             return self.inner.snapshot()
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a snapshot as a *new* published version.
+
+        Readers pinned to older versions keep reading them untouched
+        (the emulator swaps the registry wholesale; see
+        :meth:`Emulator.restore`), and every read started after this
+        returns observes the restored state."""
+        if self.mvcc:
+            with self._writer:
+                self.inner.restore(snapshot)
+                self._publish()
+            return
+        with self.lock.write():
+            self.inner.restore(snapshot)
+
+    def recover(self, snapshot: dict,
+                records: list[dict] | None = None) -> int:
+        """Snapshot restore + WAL tail replay, published atomically:
+        readers observe either the pre-recovery version or the fully
+        recovered one, never a mid-replay state."""
+        if self.mvcc:
+            with self._writer:
+                replayed = self.inner.recover(snapshot, records)
+                self._publish()
+            return replayed
+        with self.lock.write():
+            return self.inner.recover(snapshot, records)
+
+    def place(self, instance_id: str, region: str) -> None:
+        """Record a region placement and republish, so replica
+        snapshots taken right after a regional write already carry the
+        placement (the netem front door calls this instead of poking
+        ``registry.place`` directly)."""
+        if self.mvcc:
+            with self._writer:
+                self.inner.registry.place(instance_id, region)
+                self._publish()
+            return
+        with self.lock.write():
+            self.inner.registry.place(instance_id, region)
 
     # -- dispatch --------------------------------------------------------------
 
     def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
         ctx = current_request()
-        waited = perf_counter() if ctx is not None else 0.0
         if self.inner.read_only(api):
+            if self.mvcc:
+                # Lock-free read: pin the newest published version
+                # (two atomic attribute operations) and dispatch
+                # against it.  No mutex, no condition variable, no
+                # contention with writers — and zero lock_wait_s.
+                slot = self._slots.slot()
+                version = self._chain.pin(slot)
+                try:
+                    response = self.inner.invoke_at(version, api, params)
+                finally:
+                    slot.pinned = None
+                    slot.reads += 1
+                if ctx is not None:
+                    ctx.registry_version = version.version
+                return response
+            waited = perf_counter() if ctx is not None else 0.0
             with self.lock.read():
                 if ctx is not None:
                     ctx.lock_wait_s += perf_counter() - waited
                 return self.inner.invoke(api, params)
+        waited = perf_counter() if ctx is not None else 0.0
+        if self.mvcc:
+            with self._writer:
+                if ctx is not None:
+                    ctx.lock_wait_s += perf_counter() - waited
+                response = self.inner.invoke(api, params)
+                if self.log is not None:
+                    self.log.append(
+                        self.tenant, api, params or {}, response.success
+                    )
+                version = self._publish()
+            if ctx is not None:
+                ctx.registry_version = version.version
+            return response
         with self.lock.write():
             if ctx is not None:
                 ctx.lock_wait_s += perf_counter() - waited
@@ -153,19 +296,80 @@ class ConcurrentEmulator:
                 )
             return response
 
+    def _publish(self):
+        """Publish the post-write registry state into the version
+        chain.  Caller holds the writer mutex."""
+        version = self.inner.publish_version()
+        swung = version is not self._chain.current
+        freed = self._chain.publish(version)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if freed:
+                telemetry.metrics.counter("serve.reclaimed").inc(freed)
+            # A failed write leaves the registry untouched: the cached
+            # publish returns the same version object and the chain
+            # no-ops — don't count (or trace) a publish that didn't
+            # happen.
+            if swung:
+                telemetry.metrics.counter("serve.version_publishes").inc()
+                telemetry.metrics.gauge("serve.versions_live").set(
+                    self._chain.live
+                )
+                with telemetry.span(
+                    "serve.publish", kind="serve", tenant=self.tenant
+                ) as span:
+                    span.set("registry.version", version.version)
+                    span.set("reclaimed", freed)
+                    span.set("versions_live", self._chain.live)
+        return version
+
+    def version_stats(self) -> dict:
+        """Version-churn and lock accounting for this tenant.
+
+        ``read_lock_acquisitions`` is the lock-free proof: under MVCC
+        it must stay exactly zero (reads never touch the RW lock), and
+        the benches and CI assert it does."""
+        stats = {
+            "mvcc": self.mvcc,
+            "read_lock_acquisitions": self.lock.read_acquisitions,
+            "write_lock_acquisitions": self.lock.write_acquisitions,
+        }
+        if self.mvcc:
+            stats.update(
+                publishes=self._chain.publishes,
+                reclaimed=self._chain.reclaimed,
+                versions_live=self._chain.live,
+                pinned_reads=self._slots.reads(),
+                reader_threads=len(self._slots),
+            )
+        return stats
+
     def drift_check(self, api: str,
                     params: dict | None = None) -> tuple[bool, str]:
         """Compiled-vs-evaluator agreement for one read, atomically.
 
-        Runs the live (compiled) dispatch and the reference
-        tree-walking evaluation under a *single* shared-lock hold, so
-        no concurrent writer can slip between the two and fake a
-        divergence.  Returns ``(match, detail)``; ``detail`` names the
-        first disagreement found.
+        Under MVCC both evaluations run against a *single* pinned
+        version, so consistency is structural — no locking needed and
+        no concurrent writer can fake a divergence.  The fallback gets
+        the same guarantee by holding one shared-lock acquisition
+        across both runs.  Returns ``(match, detail)``; ``detail``
+        names the first disagreement found.
         """
-        with self.lock.read():
-            live = self.inner.invoke(api, params)
-            reference = self.inner.reference_invoke(api, params)
+        if self.mvcc:
+            slot = self._slots.slot()
+            version = self._chain.pin(slot)
+            try:
+                live = self.inner.invoke_at(version, api, params)
+                reference = self.inner.reference_invoke(
+                    api, params, at=version
+                )
+            finally:
+                slot.pinned = None
+                slot.reads += 1
+        else:
+            with self.lock.read():
+                live = self.inner.invoke(api, params)
+                reference = self.inner.reference_invoke(api, params)
         if live.success != reference.success:
             return False, (
                 f"compiled success={live.success} "

@@ -53,6 +53,11 @@ class LoadReport:
     #: The observability plane's summary (SLO budgets, burn alerts,
     #: sampling, drift) when one was attached to the front door.
     obs: dict | None = None
+    #: Aggregated MVCC version accounting across tenants (publishes,
+    #: reclaimed, pinned reads, lock acquisitions) — ``None`` until a
+    #: verifying run collects it.  ``read_lock_acquisitions`` must be
+    #: 0 when every tenant ran the lock-free path.
+    mvcc: dict | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -79,6 +84,7 @@ class LoadReport:
             "retry_after_seconds": round(self.retry_after_seconds, 6),
             "retry_after_log": list(self.retry_after_log),
             "obs": self.obs,
+            "mvcc": self.mvcc,
         }
 
 
@@ -309,6 +315,7 @@ class LoadGenerator:
             ok, mismatches = verify_linearizable(self.frontdoor)
             report.linearizable = ok
             report.mismatches = mismatches
+            report.mvcc = mvcc_stats(self.frontdoor)
         return report
 
 
@@ -328,6 +335,46 @@ def _canonical(snapshot: dict) -> str:
     return json.dumps(snapshot, sort_keys=True)
 
 
+def mvcc_stats(frontdoor) -> dict:
+    """Aggregate version accounting across the front door's tenants.
+
+    Sums each tenant's :meth:`ConcurrentEmulator.version_stats
+    <repro.serve.concurrency.ConcurrentEmulator.version_stats>`:
+    publishes, reclaimed versions, pinned reads, and — the lock-free
+    proof — RW-lock acquisition counts, which must be zero on the read
+    side when every tenant ran MVCC.
+    """
+    stats = {
+        "tenants": 0,
+        "mvcc_tenants": 0,
+        "publishes": 0,
+        "reclaimed": 0,
+        "versions_live": 0,
+        "pinned_reads": 0,
+        "read_lock_acquisitions": 0,
+        "write_lock_acquisitions": 0,
+    }
+    for tenant in frontdoor.router.tenants():
+        version_stats = getattr(tenant.emulator, "version_stats", None)
+        if version_stats is None:
+            continue
+        per_tenant = version_stats()
+        stats["tenants"] += 1
+        if per_tenant.get("mvcc"):
+            stats["mvcc_tenants"] += 1
+            stats["publishes"] += per_tenant.get("publishes", 0)
+            stats["reclaimed"] += per_tenant.get("reclaimed", 0)
+            stats["versions_live"] += per_tenant.get("versions_live", 0)
+            stats["pinned_reads"] += per_tenant.get("pinned_reads", 0)
+        stats["read_lock_acquisitions"] += per_tenant.get(
+            "read_lock_acquisitions", 0
+        )
+        stats["write_lock_acquisitions"] += per_tenant.get(
+            "write_lock_acquisitions", 0
+        )
+    return stats
+
+
 def verify_linearizable(frontdoor) -> tuple[bool, list[str]]:
     """Serial replay of each tenant's admitted log == live registry?
 
@@ -337,6 +384,13 @@ def verify_linearizable(frontdoor) -> tuple[bool, list[str]]:
     duplicated, torn or re-ordered mutation anywhere in the concurrent
     run shows up as a diff (IDs, state values and allocator counters
     are all in the snapshot).
+
+    MVCC tenants are additionally held to the lock-free contract: if a
+    tenant ran the versioned read path but its RW lock recorded *any*
+    read acquisition, something routed a read through the fallback —
+    reported as a mismatch even when the registries agree, because the
+    performance claim (reads never lock) is part of what this check
+    certifies.
     """
     mismatches: list[str] = []
     for tenant in frontdoor.router.tenants():
@@ -354,4 +408,11 @@ def verify_linearizable(frontdoor) -> tuple[bool, list[str]]:
                 f"the concurrent registry "
                 f"(live {len(live)}B != replay {len(replayed)}B)"
             )
+        if getattr(tenant.emulator, "mvcc", False):
+            reads_locked = tenant.emulator.lock.read_acquisitions
+            if reads_locked:
+                mismatches.append(
+                    f"tenant {tenant.name}: MVCC mode but "
+                    f"{reads_locked} read(s) took the RW lock"
+                )
     return (not mismatches), mismatches

@@ -6,6 +6,23 @@ transitions must serialize — the registry, the WAL and the ID
 allocator all assume one writer at a time.  This lock gives shared
 read access and exclusive write access, with writer preference so a
 read-heavy mix cannot starve writes indefinitely.
+
+Since the MVCC refactor this class is the *fallback* path: the serve
+layer only routes through it when the inner emulator opted out of
+versioned reads (``Emulator(mvcc=False)``) or does not expose them.
+It also keeps the acquisition counters the benches and CI use to
+prove the MVCC read path is lock-free (``read_acquisitions`` must
+stay zero there).
+
+Writer-preference alone has a starvation edge: a continuous read
+stream (the mix degraded-mode shedding admits) keeps the condition's
+monitor lock churning, and a queued writer may not even get to
+*register* ``_writers_waiting`` — the gate readers check — for an
+unbounded time.  The fairness bound closes it: after ``fairness_bound``
+consecutive read admissions with no intervening write, the next
+reader briefly yields the monitor (a timed wait) before admitting
+itself, guaranteeing a blocked writer a window to register and flip
+the gate.
 """
 
 from __future__ import annotations
@@ -15,19 +32,47 @@ from contextlib import contextmanager
 
 
 class RWLock:
-    """Shared-read / exclusive-write lock (writer-preferring)."""
+    """Shared-read / exclusive-write lock (writer-preferring).
 
-    def __init__(self):
+    ``fairness_bound`` caps how many reads may be admitted back-to-back
+    before the lock forces a yield window for queued writers; the
+    ``fairness_yields`` counter records how often the bound fired.
+    """
+
+    def __init__(self, fairness_bound: int = 64,
+                 yield_s: float = 0.0005):
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self._read_streak = 0
+        self.fairness_bound = fairness_bound
+        self.yield_s = yield_s
+        #: Accounting (written under the monitor, so exact).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.fairness_yields = 0
 
     def acquire_read(self) -> None:
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
+            if (
+                self._read_streak >= self.fairness_bound
+                and self._readers
+            ):
+                # Long unbroken read streak with readers still inside:
+                # a writer may be stuck outside the monitor.  Release
+                # it briefly so the writer can register its intent,
+                # then re-check the admission gate.
+                self.fairness_yields += 1
+                self._read_streak = 0
+                self._cond.wait(self.yield_s)
+                while self._writer or self._writers_waiting:
+                    self._cond.wait()
             self._readers += 1
+            self._read_streak += 1
+            self.read_acquisitions += 1
 
     def release_read(self) -> None:
         with self._cond:
@@ -44,10 +89,12 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+            self.write_acquisitions += 1
 
     def release_write(self) -> None:
         with self._cond:
             self._writer = False
+            self._read_streak = 0
             self._cond.notify_all()
 
     @contextmanager

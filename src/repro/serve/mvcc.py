@@ -1,0 +1,142 @@
+"""Lock-free read plumbing for the MVCC serve path.
+
+The concurrency layer publishes immutable
+:class:`~repro.interpreter.machine.RegistryVersion` objects (one per
+committed mutation batch, built under a small writer mutex) and reads
+pin the newest one with **zero locking**:
+
+- every reader thread owns a :class:`_ReaderSlot`; pinning is two
+  atomic attribute stores (read the chain's ``current`` reference,
+  publish its number into the slot), so the read path never touches a
+  mutex, a condition variable, or the live registry;
+- the writer, after swinging ``current`` to a freshly published
+  version, retires the old one and runs epoch-based reclamation: a
+  retired version is dropped as soon as no reader slot pins a version
+  at or below it, so the set of live versions stays bounded under
+  write churn no matter how read-heavy the mix is.
+
+Reclamation here is *accounting-grade* — CPython's reference counting
+already guarantees a pinned version's memory survives exactly as long
+as some reader holds it — but the chain makes the lifecycle
+observable (``serve.version_publishes`` / ``serve.versions_live`` /
+``serve.reclaimed``) and bounds the structure a debugger or the
+report would otherwise watch grow without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class _ReaderSlot:
+    """One reader thread's pin: written only by its owning thread.
+
+    ``pinned`` is the version number the thread is currently reading
+    (``None`` between reads); ``reads`` counts completed pinned reads
+    — contention-free because no other thread ever writes the slot.
+    """
+
+    __slots__ = ("pinned", "reads")
+
+    def __init__(self):
+        self.pinned: int | None = None
+        self.reads = 0
+
+
+class ReaderSlots:
+    """The per-thread pin table the reclaimer scans.
+
+    Slot registration (first read on a new thread) appends to a plain
+    list — atomic under the GIL — so even the cold path acquires no
+    lock.  Slots are never removed: the table is bounded by the
+    process's peak thread count, and a dead thread's slot simply reads
+    as unpinned forever.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self._slots: list[_ReaderSlot] = []
+
+    def slot(self) -> _ReaderSlot:
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            slot = _ReaderSlot()
+            self._local.slot = slot
+            self._slots.append(slot)
+        return slot
+
+    def min_pinned(self) -> int | None:
+        """The oldest version any reader currently pins (the epoch
+        floor), or ``None`` when every slot is idle."""
+        floor = None
+        for slot in self._slots:
+            pinned = slot.pinned
+            if pinned is not None and (floor is None or pinned < floor):
+                floor = pinned
+        return floor
+
+    def reads(self) -> int:
+        """Total pinned reads completed across all threads, exact —
+        each slot is incremented only by its owner."""
+        return sum(slot.reads for slot in self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class VersionChain:
+    """The published-version lifecycle: current → retired → reclaimed.
+
+    All mutation happens on the writer side (under the concurrency
+    layer's writer mutex); readers only ever load ``current``, which
+    is a single atomic reference read.
+    """
+
+    def __init__(self, first, slots: ReaderSlots):
+        self.current = first
+        self.slots = slots
+        self._retired: list = []
+        #: Writer-side accounting (exact: single writer at a time).
+        self.publishes = 1
+        self.reclaimed = 0
+
+    def pin(self, slot: _ReaderSlot):
+        """Pin the newest published version into ``slot`` and return
+        it.  Lock-free: two attribute operations.  A publish racing
+        between them can at worst retire the version just pinned —
+        harmless, because the returned reference keeps it alive and
+        the pin only steers reclamation accounting."""
+        version = self.current
+        slot.pinned = version.version
+        return version
+
+    def publish(self, version) -> int:
+        """Swing ``current`` to ``version`` (no-op when unchanged),
+        retire the predecessor, reclaim what no reader pins.  Returns
+        the number of versions reclaimed by this publish."""
+        if version is self.current:
+            return self.reclaim()
+        self._retired.append(self.current)
+        self.current = version
+        self.publishes += 1
+        return self.reclaim()
+
+    def reclaim(self) -> int:
+        """Drop retired versions below the epoch floor."""
+        if not self._retired:
+            return 0
+        floor = self.slots.min_pinned()
+        if floor is None:
+            freed = len(self._retired)
+            self._retired.clear()
+        else:
+            kept = [v for v in self._retired if v.version >= floor]
+            freed = len(self._retired) - len(kept)
+            self._retired = kept
+        self.reclaimed += freed
+        return freed
+
+    @property
+    def live(self) -> int:
+        """Versions currently held by the chain (current + retired)."""
+        return 1 + len(self._retired)

@@ -127,7 +127,8 @@ class TenantRouter:
 
     def _make_tenant(self, name: str) -> Tenant:
         concurrent = ConcurrentEmulator(
-            self.emulator_factory(), tenant=name, log=self.admitted
+            self.emulator_factory(), tenant=name, log=self.admitted,
+            telemetry=self.telemetry,
         )
         backend = concurrent if self.wrap is None else self.wrap(concurrent)
         guarded = (

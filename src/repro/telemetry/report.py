@@ -240,6 +240,17 @@ def _serving_rows(metrics: dict) -> list[str]:
     tenants = total("serve.tenants")
     if tenants:
         rows.append(f"{tenants} tenant(s)")
+    publishes = total("serve.version_publishes")
+    if publishes:
+        # MVCC version churn: how many versions writers published, how
+        # many reclamation freed, and how many are still live (the
+        # gauge reads high when long-pinned readers lag the writers).
+        live = metrics.get("serve.versions_live", {}).get("value", 0)
+        reclaimed = total("serve.reclaimed")
+        rows.append(
+            f"{publishes} version publish(es) "
+            f"({reclaimed} reclaimed, {live:.0f} live)"
+        )
     return rows
 
 
