@@ -233,18 +233,54 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         (lambda: build.make_backend(mvcc=False)) if args.no_mvcc
         else build.make_backend
     )
-    front = FrontDoor(
-        build.module, backend_factory, telemetry=telemetry, wrap=wrap,
-        rate=args.rate, burst=args.burst, seed=args.seed,
-    )
+    if args.shards:
+        from .serve import ShardedFrontDoor, parse_kill_schedule
+
+        kill_schedules = None
+        if args.kill_schedule:
+            try:
+                kill_schedules = parse_kill_schedule(args.kill_schedule)
+            except ValueError as error:
+                print(f"repro serve-bench: error: {error}",
+                      file=sys.stderr)
+                return 2
+        front = ShardedFrontDoor(
+            build.module, backend_factory, shards=args.shards,
+            data_dir=args.shard_dir, kill_schedules=kill_schedules,
+            heartbeat=True, telemetry=telemetry, wrap=wrap,
+            rate=args.rate, burst=args.burst, seed=args.seed,
+        )
+    else:
+        front = FrontDoor(
+            build.module, backend_factory, telemetry=telemetry, wrap=wrap,
+            rate=args.rate, burst=args.burst, seed=args.seed,
+        )
     per_worker = max(1, -(-args.requests // args.workers))
     generator = LoadGenerator(
         front, seed=args.seed, workers=args.workers,
         requests_per_worker=per_worker, read_ratio=args.read_ratio,
         tenants=args.tenants, offered_rate=args.offered_rate,
     )
-    report = generator.run()
-    log_path = front.admitted.dump_jsonl(args.log) if args.log else None
+    shard_summary = None
+    log_path = None
+    try:
+        report = generator.run()
+        # Dump before close in sharded mode: the logs live worker-side.
+        log_path = front.admitted.dump_jsonl(args.log) if args.log else None
+        if args.shards:
+            supervisor = front.supervisor
+            shard_summary = {
+                "shards": supervisor.shards,
+                "restarts": supervisor.restarts,
+                "restart_log": list(supervisor.restart_log),
+                "recovery_failures": list(supervisor.recovery_failures),
+                "data_dir": str(supervisor.data_dir),
+            }
+    finally:
+        if args.shards:
+            # Graceful close: drains in-flight requests and flushes
+            # every shard's final snapshots.
+            front.close()
     trace_path = (
         write_trace(telemetry, args.telemetry) if args.telemetry else None
     )
@@ -252,6 +288,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         payload = report.as_dict()
         payload["service"] = args.service
         payload["chaos"] = profile.name
+        if shard_summary is not None:
+            payload["sharding"] = shard_summary
         if log_path is not None:
             payload["admitted_log"] = str(log_path)
         if trace_path is not None:
@@ -277,6 +315,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                   f"{report.mvcc['pinned_reads']} pinned read(s), "
                   f"{report.mvcc['read_lock_acquisitions']} read-lock "
                   f"acquisition(s)")
+        if shard_summary is not None:
+            print(f"  shards:      {shard_summary['shards']} worker "
+                  f"process(es), {shard_summary['restarts']} restart(s), "
+                  f"{report.failover_honored} failover wait(s) honored "
+                  f"({report.failover_seconds:.2f}s virtual)")
+            for entry in shard_summary["restart_log"]:
+                print(f"    shard-{entry['shard']} gen {entry['generation']}"
+                      f": recovered in {entry['recovery_seconds']:.2f}s "
+                      f"({entry['replayed']} attempt(s) replayed)")
+            for failure in shard_summary["recovery_failures"]:
+                print(f"    RECOVERY FAILURE: {failure}")
         if report.obs is not None:
             from .telemetry.report import _slo_rows
 
@@ -625,6 +674,18 @@ def main(argv: list[str] | None = None) -> int:
                              help="fraction of read requests re-executed "
                                   "on the reference evaluator to detect "
                                   "compiled-route drift")
+    serve_bench.add_argument("--shards", type=int, default=0,
+                             help="serve from N crash-supervised worker "
+                                  "processes (0: single-process serving)")
+    serve_bench.add_argument("--kill-schedule", default=None,
+                             metavar="SHARD:SITE:HIT[,..]",
+                             help="seeded worker-death schedule, e.g. "
+                                  "0:mid-publish:3,1:mid-serve-wal-append:2 "
+                                  "(each repeat of a shard arms its next "
+                                  "restart generation)")
+    serve_bench.add_argument("--shard-dir", default=None, metavar="DIR",
+                             help="per-shard WAL + snapshot root "
+                                  "(default: a fresh temp dir)")
     serve_bench.add_argument("--no-mvcc", action="store_true",
                              help="serve through the RW-lock fallback "
                                   "instead of lock-free MVCC reads "

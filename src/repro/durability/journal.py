@@ -153,15 +153,20 @@ def scan_records(path: str | Path) -> JournalScan:
 class JournalWriter:
     """Append-only, fsync'd writer over the CRC framing.
 
-    Shared by the build journal and the emulator's write-ahead
-    mutation log.  ``append`` is the ``mid-journal-append`` kill site:
-    an injected crash there leaves a deliberately torn tail (half a
-    line, flushed but not fsync'd) that the reader must tolerate.
+    Shared by the build journal, the emulator's write-ahead mutation
+    log and the shard workers' attempt logs.  ``append`` is a kill
+    site — ``mid-journal-append`` by default; the serve layer's logs
+    pass ``kill_site="mid-serve-wal-append"`` so schedules can target
+    them independently.  An injected crash there leaves a deliberately
+    torn tail (half a line, flushed but not fsync'd) that the reader
+    must tolerate.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True):
+    def __init__(self, path: str | Path, fsync: bool = True,
+                 kill_site: str = "mid-journal-append"):
         self.path = Path(path)
         self.fsync = fsync
+        self.kill_site = kill_site
         self._handle = None
 
     def open(self, truncate_to: int | None = None) -> None:
@@ -180,7 +185,7 @@ class JournalWriter:
             self.open()
         data = encode_record(record)
         try:
-            kill_point("mid-journal-append")
+            kill_point(self.kill_site)
         except SimulatedCrash:
             # Model the torn write a real crash produces: part of the
             # line reaches the file, the fsync never happens.

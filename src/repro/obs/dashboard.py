@@ -106,6 +106,44 @@ def _breaker_rows(plane: ObsPlane, now: float) -> list[str]:
     return rows
 
 
+def _shard_rows(plane: ObsPlane, now: float) -> list[str]:
+    """Shard fleet health: restarts (with recovery time) and heartbeat
+    misses, from the windowed series the supervisor records."""
+    restarts = plane.store.select("shard.restart_seconds")
+    misses = plane.store.select("shard.heartbeat_miss")
+    if not restarts and not misses:
+        return []
+    rows = ["", "shards:"]
+    missed_by_shard = {
+        stream.labels.get("shard", "?"): sum(
+            len(window.values or ())
+            for window in stream.windows(0.0, now)
+        )
+        for stream in misses
+    }
+    seen = set()
+    for stream in sorted(restarts, key=lambda s: s.key):
+        shard = stream.labels.get("shard", "?")
+        seen.add(shard)
+        values = [
+            value
+            for window in stream.windows(0.0, now)
+            for value in (window.values or ())
+        ]
+        last = f"{values[-1]:.2f}s" if values else "?"
+        missed = missed_by_shard.get(shard, 0)
+        rows.append(
+            f"  shard-{shard:<22} {len(values)} restart(s), "
+            f"last recovery {last}, {missed} heartbeat miss(es)"
+        )
+    for shard in sorted(set(missed_by_shard) - seen):
+        rows.append(
+            f"  shard-{shard:<22} 0 restart(s), "
+            f"{missed_by_shard[shard]} heartbeat miss(es)"
+        )
+    return rows
+
+
 def _weather_rows(netem, now: float) -> list[str]:
     if netem is None:
         return []
@@ -133,6 +171,7 @@ def render_frame(plane: ObsPlane, now: float | None = None,
     lines.extend(_tenant_rows(plane, now, lookback))
     lines.extend(_slo_rows(plane, now))
     lines.extend(_breaker_rows(plane, now))
+    lines.extend(_shard_rows(plane, now))
     lines.extend(_weather_rows(netem, now))
     sampling = plane.sampler
     if sampling.seen:

@@ -330,6 +330,11 @@ KILL_SITES = (
     "mid-alignment-round",
     "mid-transition-commit",
     "mid-journal-append",
+    # Serve-layer sites (whole-worker death in sharded serving):
+    # after a write commits but before its registry version publishes,
+    # and mid-append of the shard's write-attempt log (torn half-line).
+    "mid-publish",
+    "mid-serve-wal-append",
 )
 
 

@@ -1,5 +1,6 @@
-"""Evaluation scenarios: the traces behind Fig. 3 and §5, plus the
-geo-distributed serving scenarios behind ``repro sweep``."""
+"""Evaluation scenarios: the traces behind Fig. 3 and §5, the
+geo-distributed serving scenarios behind ``repro sweep``, and the
+process-fault shard failover drill."""
 
 from .catalog import (
     azure_traces,
@@ -15,6 +16,11 @@ from .geo import (
     run_geo_scenarios,
 )
 from .model import run_trace, StepResult, Trace, TraceRun, TraceStep
+from .shardfault import (
+    SHARD_SCENARIOS,
+    run_shard_scenarios,
+    shard_worker_failover,
+)
 
 __all__ = [
     "azure_traces",
@@ -26,7 +32,10 @@ __all__ = [
     "noisy_cross_region_replication",
     "partition_heal_convergence",
     "run_geo_scenarios",
+    "run_shard_scenarios",
     "run_trace",
+    "SHARD_SCENARIOS",
+    "shard_worker_failover",
     "StepResult",
     "Trace",
     "TraceRun",

@@ -12,7 +12,10 @@ production-shaped, multi-tenant service front end:
 - :mod:`tenancy` — per-API-key registry namespaces;
 - :mod:`frontdoor` — the composed stack;
 - :mod:`loadgen` — the deterministic seeded load generator and the
-  serial-replay linearizability check behind ``repro serve-bench``.
+  serial-replay linearizability check behind ``repro serve-bench``;
+- :mod:`shard` — crash-tolerant multi-process sharding: the worker
+  supervisor, heartbeat failure detection, WAL-replay shard recovery
+  and the sharded front door behind ``serve-bench --shards``.
 """
 
 from .admission import (
@@ -26,6 +29,15 @@ from .concurrency import AdmittedLog, ConcurrentEmulator
 from .frontdoor import FrontDoor
 from .loadgen import LoadGenerator, LoadReport, verify_linearizable
 from .locks import RWLock
+from .shard import (
+    ShardConfig,
+    ShardedFrontDoor,
+    ShardLog,
+    ShardSupervisor,
+    ShardTenantRouter,
+    parse_kill_schedule,
+    shard_for,
+)
 from .tenancy import (
     AuthError,
     DEFAULT_TENANT,
@@ -50,11 +62,18 @@ __all__ = [
     "OVERLOADED",
     "RWLock",
     "RequestValidator",
+    "ShardConfig",
+    "ShardLog",
+    "ShardSupervisor",
+    "ShardTenantRouter",
+    "ShardedFrontDoor",
     "THROTTLED",
     "Tenant",
     "TenantMeter",
     "TenantRouter",
     "UNRECOGNIZED_CLIENT",
     "VALIDATION_ERROR",
+    "parse_kill_schedule",
+    "shard_for",
     "verify_linearizable",
 ]

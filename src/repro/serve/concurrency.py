@@ -58,6 +58,7 @@ from time import perf_counter
 from ..durability.snapshot import snapshot_version
 from ..interpreter.errors import ApiResponse
 from ..obs.tracectx import current_request
+from ..resilience.chaos import kill_point
 from .locks import RWLock
 from .mvcc import ReaderSlots, VersionChain
 
@@ -298,7 +299,13 @@ class ConcurrentEmulator:
 
     def _publish(self):
         """Publish the post-write registry state into the version
-        chain.  Caller holds the writer mutex."""
+        chain.  Caller holds the writer mutex.
+
+        ``mid-publish`` is a kill site: a shard worker dying here has
+        committed the write but never published its version — recovery
+        must replay the logged attempt and converge on the same
+        registry anyway."""
+        kill_point("mid-publish")
         version = self.inner.publish_version()
         swung = version is not self._chain.current
         freed = self._chain.publish(version)

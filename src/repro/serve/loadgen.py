@@ -50,6 +50,13 @@ class LoadReport:
     retry_after_honored: int = 0
     retry_after_seconds: float = 0.0
     retry_after_log: list = field(default_factory=list)
+    #: Shard-failover backoff, accounted separately from admission
+    #: sheds: responses carrying the ``ShardUnavailable`` marker whose
+    #: Retry-After the generator slept on, the virtual seconds waited,
+    #: and a bounded per-request log of the failover waits.
+    failover_honored: int = 0
+    failover_seconds: float = 0.0
+    failover_log: list = field(default_factory=list)
     #: The observability plane's summary (SLO budgets, burn alerts,
     #: sampling, drift) when one was attached to the front door.
     obs: dict | None = None
@@ -83,6 +90,9 @@ class LoadReport:
             "retry_after_honored": self.retry_after_honored,
             "retry_after_seconds": round(self.retry_after_seconds, 6),
             "retry_after_log": list(self.retry_after_log),
+            "failover_honored": self.failover_honored,
+            "failover_seconds": round(self.failover_seconds, 6),
+            "failover_log": list(self.failover_log),
             "obs": self.obs,
             "mvcc": self.mvcc,
         }
@@ -222,9 +232,12 @@ class LoadGenerator:
         ids_by_sm: dict[str, list[str]] = {}
         local_codes: dict[str, int] = {}
         local_honored: list[dict] = []
+        local_failover: list[dict] = []
         reads = writes = sheds = stale = 0
         honored = 0
         honored_seconds = 0.0
+        failover = 0
+        failover_seconds = 0.0
         for __ in range(self.requests_per_worker):
             tenant = rng.choice(self.tenant_names)
             api, params, is_read = self.model.request(
@@ -258,14 +271,25 @@ class LoadGenerator:
                     clock.sleep(delay)
                     honored += 1
                     honored_seconds += delay
-                    if len(local_honored) < 25:
-                        local_honored.append({
-                            "worker": worker_index,
-                            "api": api,
-                            "code": code,
-                            "hint": round(float(hint), 6),
-                            "honored": round(delay, 6),
-                        })
+                    entry = {
+                        "worker": worker_index,
+                        "api": api,
+                        "code": code,
+                        "hint": round(float(hint), 6),
+                        "honored": round(delay, 6),
+                    }
+                    # A shard-unavailable shed is a *failover* wait —
+                    # honored the same way, accounted separately so a
+                    # run can tell backpressure from a dying worker.
+                    if error.get("ShardUnavailable"):
+                        failover += 1
+                        failover_seconds += delay
+                        if len(local_failover) < 25:
+                            local_failover.append(
+                                {**entry, "shard": error.get("Shard")}
+                            )
+                    elif len(local_honored) < 25:
+                        local_honored.append(entry)
             if not error:
                 if body.get("Stale") is True:
                     stale += 1
@@ -281,10 +305,15 @@ class LoadGenerator:
             report.stale_reads += stale
             report.retry_after_honored += honored
             report.retry_after_seconds += honored_seconds
-            # Keep the honored-delay log bounded across workers.
+            report.failover_honored += failover
+            report.failover_seconds += failover_seconds
+            # Keep the honored-delay logs bounded across workers.
             room = 50 - len(report.retry_after_log)
             if room > 0:
                 report.retry_after_log.extend(local_honored[:room])
+            room = 50 - len(report.failover_log)
+            if room > 0:
+                report.failover_log.extend(local_failover[:room])
             for code, count in local_codes.items():
                 report.by_code[code] = report.by_code.get(code, 0) + count
 
@@ -312,10 +341,20 @@ class LoadGenerator:
         if obs is not None:
             report.obs = obs.report()
         if verify:
-            ok, mismatches = verify_linearizable(self.frontdoor)
+            # A front door may supply its own checks (the sharded one
+            # replays merged per-shard attempt logs over RPC); default
+            # to the in-process serial replay otherwise.
+            verifier = getattr(self.frontdoor, "verify_linearizable", None)
+            ok, mismatches = (
+                verifier() if callable(verifier)
+                else verify_linearizable(self.frontdoor)
+            )
             report.linearizable = ok
             report.mismatches = mismatches
-            report.mvcc = mvcc_stats(self.frontdoor)
+            stats = getattr(self.frontdoor, "mvcc_stats", None)
+            report.mvcc = (
+                stats() if callable(stats) else mvcc_stats(self.frontdoor)
+            )
         return report
 
 

@@ -138,7 +138,8 @@ class RunReport:
 
 #: The event names the resilience layer emits, in display order.
 FAULT_EVENTS = ("retry", "breaker_trip", "gave_up", "deadline_hit",
-                "round_restart", "quarantined", "llm_parse_failure")
+                "round_restart", "quarantined", "llm_parse_failure",
+                "shard.restart", "shard.heartbeat_miss")
 
 
 def _phase_rows(data: TraceData) -> list[tuple[str, int, dict, float]]:
@@ -251,6 +252,28 @@ def _serving_rows(metrics: dict) -> list[str]:
             f"{publishes} version publish(es) "
             f"({reclaimed} reclaimed, {live:.0f} live)"
         )
+    return rows
+
+
+def _shard_rows(metrics: dict) -> list[str]:
+    """Fold ``shard.*`` metrics into report fragments (empty when the
+    trace did not come from a sharded serving run)."""
+    requests = _metric_total(metrics, "shard.requests", by_label="shard")
+    restarts = _metric_total(metrics, "shard.restarts", by_label="shard")
+    misses = _metric_total(metrics, "shard.heartbeat_misses")
+    if not requests and not restarts and not misses:
+        return []
+    rows = []
+    if requests:
+        total = sum(requests.values())
+        rows.append(f"{total} request(s) over {len(requests)} shard(s)")
+    if restarts:
+        rows.append("restarts " + " + ".join(
+            f"{count}×shard-{shard}"
+            for shard, count in sorted(restarts.items())
+        ))
+    if misses:
+        rows.append(f"{misses} heartbeat miss(es)")
     return rows
 
 
@@ -459,6 +482,9 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
     serving = _serving_rows(data.metrics)
     if serving:
         lines.append("serving: " + ", ".join(serving))
+    shards = _shard_rows(data.metrics)
+    if shards:
+        lines.append("shards: " + ", ".join(shards))
     network = _network_rows(data.metrics)
     if network:
         lines.append("network: " + ", ".join(network))

@@ -240,9 +240,15 @@ SITE_HITS = {
     "mid-journal-append": 5,
 }
 
+#: The sites reachable from the build path.  The serve-layer sites
+#: (``mid-publish``, ``mid-serve-wal-append``) never fire during a
+#: build — their crash/recovery coverage lives in the shard worker
+#: tests (tests/test_shard.py).
+BUILD_SITES = tuple(SITE_HITS)
+
 
 class TestCrashResume:
-    @pytest.mark.parametrize("site", KILL_SITES)
+    @pytest.mark.parametrize("site", BUILD_SITES)
     @pytest.mark.parametrize("profile", ["mild", "hostile"])
     def test_resumed_build_is_byte_identical(
         self, site, profile, control_digests, tmp_path
@@ -466,6 +472,83 @@ class TestMutationLog:
         assert len(log.records) == 2
         assert stats.torn_records_dropped == 1
         log.close()
+
+
+# ---------------------------------------------------------------------------
+# Serve-layer kill sites (MVCC publish + shard WAL append)
+# ---------------------------------------------------------------------------
+
+class TestServeLayerKillSites:
+    """The sharded-serving kill sites compose with the durability
+    chaos machinery: a crash mid-publish commits but never publishes,
+    a crash mid-transition-commit under MVCC leaves the published view
+    clean, and the serve WAL's append site tears independently of the
+    build journal's."""
+
+    def test_serve_sites_are_registered(self):
+        assert "mid-publish" in KILL_SITES
+        assert "mid-serve-wal-append" in KILL_SITES
+
+    def _concurrent(self):
+        from repro.serve import ConcurrentEmulator
+
+        module = parse_module(PUBLIC_IP_MODULE, service="toy")
+        inner = Emulator(module, mvcc=True)
+        return inner, ConcurrentEmulator(inner, tenant="t", log=None)
+
+    def test_mid_publish_crash_commits_but_never_publishes(self):
+        inner, concurrent = self._concurrent()
+        concurrent.invoke("CreatePublicIP", {"region": "us-east"})
+        published = concurrent.snapshot()
+        install_kill_switch({"mid-publish": 1})
+        with pytest.raises(SimulatedCrash):
+            concurrent.invoke("CreateNIC", {"zone": "us-east"})
+        clear_kill_switch()
+        # The write reached the live registry (commit happened)...
+        assert registry_diff(
+            published, registry_dump(inner.registry)
+        ) != []
+        # ...but readers still see the last published version: the
+        # crash fired before the new version entered the chain.
+        assert registry_diff(published, concurrent.snapshot()) == []
+
+    def test_mid_transition_commit_under_mvcc_publish(self):
+        inner, concurrent = self._concurrent()
+        concurrent.invoke("CreatePublicIP", {"region": "us-east"})
+        published = concurrent.snapshot()
+        install_kill_switch({"mid-transition-commit": 1})
+        with pytest.raises(SimulatedCrash):
+            concurrent.invoke("CreateNIC", {"zone": "us-east"})
+        clear_kill_switch()
+        # Nothing committed, nothing published: both views unchanged.
+        assert registry_diff(published, concurrent.snapshot()) == []
+        # The wrapper recovers: the next write commits and publishes.
+        response = concurrent.invoke("CreateNIC", {"zone": "us-east"})
+        assert response.success
+        assert registry_diff(published, concurrent.snapshot()) != []
+
+    def test_serve_wal_append_site_tears_independently(self, tmp_path):
+        from repro.durability.journal import JournalWriter
+
+        serve_log = JournalWriter(
+            tmp_path / "serve.wal", fsync=False,
+            kill_site="mid-serve-wal-append",
+        )
+        build_log = JournalWriter(tmp_path / "build.wal", fsync=False)
+        install_kill_switch({"mid-serve-wal-append": 1})
+        # The build-journal site does not fire on a serve schedule.
+        build_log.append({"seq": 1})
+        with pytest.raises(SimulatedCrash):
+            serve_log.append({"seq": 1})
+        clear_kill_switch()
+        serve_log.close()
+        build_log.close()
+        # The serve log holds a torn half-line the scan drops; the
+        # build log's record survived intact.
+        torn = scan_records(tmp_path / "serve.wal")
+        assert torn.records == [] and torn.dropped == 1
+        clean = scan_records(tmp_path / "build.wal")
+        assert clean.records == [{"seq": 1}] and clean.dropped == 0
 
 
 # ---------------------------------------------------------------------------
