@@ -233,6 +233,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         (lambda: build.make_backend(mvcc=False)) if args.no_mvcc
         else build.make_backend
     )
+    allocation = None
+    if args.fair:
+        from .serve import AllocationConfig
+
+        tenant_count = max(1, args.tenants)
+        weights = {}
+        if args.aggressor:
+            weights["tenant-0"] = args.aggressor_weight
+        allocation = AllocationConfig(
+            total_rate=args.rate * tenant_count,
+            total_burst=args.burst * tenant_count,
+            weights=weights,
+        )
     if args.shards:
         from .serve import ShardedFrontDoor, parse_kill_schedule
 
@@ -249,22 +262,31 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             data_dir=args.shard_dir, kill_schedules=kill_schedules,
             heartbeat=True, telemetry=telemetry, wrap=wrap,
             rate=args.rate, burst=args.burst, seed=args.seed,
+            allocation=allocation,
         )
     else:
         front = FrontDoor(
             build.module, backend_factory, telemetry=telemetry, wrap=wrap,
             rate=args.rate, burst=args.burst, seed=args.seed,
+            allocation=allocation,
         )
     per_worker = max(1, -(-args.requests // args.workers))
     generator = LoadGenerator(
         front, seed=args.seed, workers=args.workers,
         requests_per_worker=per_worker, read_ratio=args.read_ratio,
         tenants=args.tenants, offered_rate=args.offered_rate,
+        aggressor="tenant-0" if args.aggressor else None,
+        aggressor_weight=args.aggressor_weight,
+        deadline=args.deadline,
+        retry_shed=args.retry_shed,
     )
     shard_summary = None
+    fairness = None
     log_path = None
     try:
         report = generator.run()
+        if front.allocator is not None:
+            fairness = front.allocator.snapshot()
         # Dump before close in sharded mode: the logs live worker-side.
         log_path = front.admitted.dump_jsonl(args.log) if args.log else None
         if args.shards:
@@ -290,6 +312,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         payload["chaos"] = profile.name
         if shard_summary is not None:
             payload["sharding"] = shard_summary
+        if fairness is not None:
+            payload["fairness"] = fairness
         if log_path is not None:
             payload["admitted_log"] = str(log_path)
         if trace_path is not None:
@@ -326,6 +350,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                       f"({entry['replayed']} attempt(s) replayed)")
             for failure in shard_summary["recovery_failures"]:
                 print(f"    RECOVERY FAILURE: {failure}")
+        if fairness is not None:
+            print(f"  fairness:    {fairness['reallocations']} "
+                  f"reallocation(s), pool {fairness['total_rate']:.0f} rps"
+                  + (f", shards down {fairness['shards_down']}"
+                     if fairness["shards_down"] else ""))
+            for name, alloc in fairness["tenants"].items():
+                print(f"    {name:<22} granted {alloc['granted_rate']:>8.1f}"
+                      f" rps  (fair {alloc['fair_share']:.1f}, "
+                      f"demand {alloc['demand']:.1f}, "
+                      f"admitted {alloc['admitted']})")
+            if report.by_tenant:
+                for name, split in sorted(report.by_tenant.items()):
+                    print(f"    {name:<22} offered {split['requests']:>6}"
+                          f"  ok {split['ok']:>6}  shed {split['shed']:>6}")
+            if report.deadline_expired:
+                print(f"    deadline expired: {report.deadline_expired}")
+            if report.retries_sent:
+                print(f"    retries: {report.retries_sent} sent, "
+                      f"{report.retry_budget_exhausted} over budget")
         if report.obs is not None:
             from .telemetry.report import _slo_rows
 
@@ -690,6 +733,32 @@ def main(argv: list[str] | None = None) -> int:
                              help="serve through the RW-lock fallback "
                                   "instead of lock-free MVCC reads "
                                   "(for A/B comparisons)")
+    serve_bench.add_argument("--fair", action="store_true",
+                             help="admit through the holistic weighted "
+                                  "max-min allocator (one shared "
+                                  "rate/slot/queue pool, re-granted "
+                                  "from observed demand) instead of "
+                                  "independent per-tenant buckets")
+    serve_bench.add_argument("--aggressor", action="store_true",
+                             help="make tenant-0 a noisy neighbor: "
+                                  "offered --aggressor-weight times "
+                                  "more traffic than each other tenant "
+                                  "(pair with --fair to watch victims "
+                                  "keep their fair share)")
+    serve_bench.add_argument("--aggressor-weight", type=float,
+                             default=10.0,
+                             help="the aggressor's offered-load "
+                                  "multiplier")
+    serve_bench.add_argument("--deadline", type=float, default=None,
+                             metavar="SECONDS",
+                             help="attach DeadlineSeconds to every "
+                                  "request; expired requests shed with "
+                                  "ExpiredBeforeDispatch instead of "
+                                  "doing wasted work")
+    serve_bench.add_argument("--retry-shed", action="store_true",
+                             help="re-offer each shed request once "
+                                  "marked Retry: true, exercising the "
+                                  "capped per-tenant retry budget")
     serve_bench.add_argument("--json", action="store_true")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 

@@ -33,6 +33,7 @@ import threading
 
 from ..interpreter.errors import ApiResponse
 from ..obs.tracectx import current_request
+from ..serve.deadline import current_meta, expired_response
 from .engine import NetEm
 from .placement import Placer
 from .replication import ReplicaSet
@@ -118,6 +119,10 @@ class RegionGate:
         """
         state = self.tenant_net(tenant)
         client = state.client_region
+        meta = current_meta()
+        if meta is not None and meta.expired(self.netem.clock.now()):
+            # The budget died before the wire: no transmit, no RTT.
+            return self._expired(tenant, "netem")
         if read_only or "create" not in api.lower():
             resource_region = self.placer.resource_region(
                 emulator.registry, params, fallback=self.home_region
@@ -155,6 +160,11 @@ class RegionGate:
                 "retry your request.",
             )
 
+        if meta is not None and meta.expired(self.netem.clock.now()):
+            # The RTT ate the remaining budget: the client has already
+            # given up, so dispatching now is pure wasted work (and a
+            # write the caller would never see committed).
+            return self._expired(tenant, "netem")
         response = proceed()
         if response.success and not read_only:
             created = response.data.get("id")
@@ -176,6 +186,17 @@ class RegionGate:
         return response
 
     # -- failure shapes ------------------------------------------------------
+
+    def _expired(self, tenant: str, stage: str) -> ApiResponse:
+        ctx = current_request()
+        if ctx is not None:
+            ctx.shed = True
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "allocation.deadline_expired", tenant=tenant,
+                stage=stage,
+            ).inc()
+        return expired_response(stage)
 
     def _partitioned(self, tenant: str, api: str, client: str,
                      resource_region: str) -> ApiResponse:

@@ -144,6 +144,41 @@ def _shard_rows(plane: ObsPlane, now: float) -> list[str]:
     return rows
 
 
+def _fairness_rows(plane: ObsPlane, now: float) -> list[str]:
+    """The allocator's live grant table: latest granted rate and
+    observed demand per tenant, from the reallocation-time series."""
+    granted = plane.store.select("allocation.granted_rate")
+    if not granted:
+        return []
+    demand_latest = {}
+    for stream in plane.store.select("allocation.demand"):
+        windows = stream.windows(0.0, now)
+        values = [
+            value
+            for window in windows
+            for value in (window.values or ())
+        ]
+        if values:
+            demand_latest[stream.labels.get("tenant", "?")] = values[-1]
+    rows = ["", "fairness:"]
+    for stream in sorted(granted, key=lambda s: s.key):
+        tenant = stream.labels.get("tenant", "?")
+        values = [
+            value
+            for window in stream.windows(0.0, now)
+            for value in (window.values or ())
+        ]
+        if not values:
+            continue
+        demand = demand_latest.get(tenant)
+        suffix = f", demand {demand:.1f}" if demand is not None else ""
+        rows.append(
+            f"  {tenant:<28} granted {values[-1]:.1f} rps{suffix} "
+            f"({len(values)} regrant(s))"
+        )
+    return rows if len(rows) > 2 else []
+
+
 def _weather_rows(netem, now: float) -> list[str]:
     if netem is None:
         return []
@@ -172,6 +207,7 @@ def render_frame(plane: ObsPlane, now: float | None = None,
     lines.extend(_slo_rows(plane, now))
     lines.extend(_breaker_rows(plane, now))
     lines.extend(_shard_rows(plane, now))
+    lines.extend(_fairness_rows(plane, now))
     lines.extend(_weather_rows(netem, now))
     sampling = plane.sampler
     if sampling.seen:

@@ -52,6 +52,23 @@ class TokenBucket:
             )
         self._refilled_at = now
 
+    def configure(self, rate: float, burst: float) -> None:
+        """Re-point the bucket at a new rate/burst without resetting.
+
+        Accrued tokens are settled at the *old* rate first, then the
+        balance is clamped to the new burst — so the serve layer's
+        holistic allocator can re-grant budgets every interval while
+        each tenant's in-flight balance stays continuous (no free
+        refill, no confiscation beyond the new cap).
+        """
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        with self._lock:
+            self._refill_locked()
+            self.rate = float(rate)
+            self.burst = max(1.0, float(burst))
+            self._tokens = min(self._tokens, self.burst)
+
     def try_take(self, amount: float = 1.0) -> bool:
         """Debit ``amount`` tokens if available; never blocks."""
         with self._lock:

@@ -8,6 +8,12 @@ from .catalog import (
     evaluation_traces,
     gcp_traces,
 )
+from .fairness import (
+    FAIRNESS_SCENARIOS,
+    drive_fair_load,
+    noisy_neighbor,
+    shard_kill_inheritance,
+)
 from .geo import (
     GEO_SCENARIOS,
     multi_region_failover,
@@ -25,9 +31,13 @@ from .shardfault import (
 __all__ = [
     "azure_traces",
     "basic_functionality_trace",
+    "drive_fair_load",
     "evaluation_traces",
+    "FAIRNESS_SCENARIOS",
     "gcp_traces",
     "GEO_SCENARIOS",
+    "noisy_neighbor",
+    "shard_kill_inheritance",
     "multi_region_failover",
     "noisy_cross_region_replication",
     "partition_heal_convergence",

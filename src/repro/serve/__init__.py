@@ -15,7 +15,12 @@ production-shaped, multi-tenant service front end:
   serial-replay linearizability check behind ``repro serve-bench``;
 - :mod:`shard` — crash-tolerant multi-process sharding: the worker
   supervisor, heartbeat failure detection, WAL-replay shard recovery
-  and the sharded front door behind ``serve-bench --shards``.
+  and the sharded front door behind ``serve-bench --shards``;
+- :mod:`allocation` — holistic weighted max-min fair allocation of
+  rate/slot/queue budgets across tenants and shards, with per-tenant
+  retry side-budgets (``serve-bench --fair``);
+- :mod:`deadline` — request-meta deadline propagation and the
+  ``ExpiredBeforeDispatch`` shed shape.
 """
 
 from .admission import (
@@ -25,8 +30,21 @@ from .admission import (
     THROTTLED,
     TenantMeter,
 )
+from .allocation import (
+    AllocationConfig,
+    HolisticAllocator,
+    TenantAllocation,
+)
 from .concurrency import AdmittedLog, ConcurrentEmulator
-from .frontdoor import FrontDoor
+from .deadline import (
+    DeadlineError,
+    EXPIRED_CODE,
+    EXPIRED_MARKER,
+    RequestMeta,
+    current_meta,
+    request_meta,
+)
+from .frontdoor import ConfigError, FrontDoor
 from .loadgen import LoadGenerator, LoadReport, verify_linearizable
 from .locks import RWLock
 from .shard import (
@@ -52,10 +70,16 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmittedLog",
+    "AllocationConfig",
     "AuthError",
     "ConcurrentEmulator",
+    "ConfigError",
+    "DeadlineError",
     "DEFAULT_TENANT",
+    "EXPIRED_CODE",
+    "EXPIRED_MARKER",
     "FrontDoor",
+    "HolisticAllocator",
     "LoadGenerator",
     "LoadReport",
     "MISSING_TOKEN",
@@ -69,11 +93,15 @@ __all__ = [
     "ShardedFrontDoor",
     "THROTTLED",
     "Tenant",
+    "TenantAllocation",
     "TenantMeter",
     "TenantRouter",
+    "RequestMeta",
     "UNRECOGNIZED_CLIENT",
     "VALIDATION_ERROR",
+    "current_meta",
     "parse_kill_schedule",
+    "request_meta",
     "shard_for",
     "verify_linearizable",
 ]

@@ -31,8 +31,20 @@ from ..obs.tracectx import current_request
 from ..resilience.policy import VirtualClock
 from ..spec import ast
 from .admission import AdmissionController
+from .deadline import DeadlineError, envelope_meta, request_meta
 from .tenancy import AuthError, Tenant, TenantRouter
 from .validation import RequestValidator
+
+
+class ConfigError(ValueError):
+    """A front-door composition the serving layer cannot honor.
+
+    Raised at construction time — never mid-request — when two
+    features are configured together that do not compose yet, with a
+    message naming the gap and the roadmap item tracking it.  The
+    canonical case today: :class:`~repro.serve.shard.ShardedFrontDoor`
+    with ``network=`` (shard × region placement, ROADMAP item 1).
+    """
 
 
 class _GuardedBackend:
@@ -101,7 +113,7 @@ class _GuardedBackend:
                 self._maybe_drift(api, params)
             return response
         finally:
-            front.admission.release()
+            front.admission.release(self.tenant_name)
 
     def _maybe_drift(self, api: str, params: dict) -> None:
         """Offer this read to the drift monitor, when one is attached.
@@ -136,8 +148,18 @@ class FrontDoor:
     wrap:
         Optional proxy stack (e.g. a chaos wrapper) interposed between
         admission and the concurrency layer, per tenant.
-    rate / burst / max_concurrent / queue_depth / degrade_after:
+    rate / burst / max_concurrent / queue_depth / degrade_after /
+    recover_after:
         Admission-control knobs (see :class:`AdmissionController`).
+    allocation:
+        Optional :class:`~repro.serve.allocation.AllocationConfig`.
+        When given, admission switches from independent per-tenant
+        buckets to the holistic weighted max-min allocator: one shared
+        pool of rate/slot/queue budget, work-conserving redistribution
+        of unused grant, per-tenant retry side-budgets, and (under the
+        sharded front door) shard-health-aware rebalancing.  ``rate``/
+        ``burst`` are ignored in this mode — the pool is the config's
+        ``total_rate``/``total_burst``.
     network:
         Optional :class:`~repro.netem.NetEm`.  When given, every
         admitted request is routed over the (client-region ->
@@ -169,6 +191,8 @@ class FrontDoor:
         max_concurrent: int = 16,
         queue_depth: int = 64,
         degrade_after: int = 8,
+        recover_after: int = 1,
+        allocation=None,
         max_tenants: int = 32,
         require_key: bool = False,
         seed: int = 1,
@@ -184,10 +208,25 @@ class FrontDoor:
         else:
             self.clock = VirtualClock()
         self.validator = RequestValidator(module, telemetry=telemetry)
+        allocator = None
+        if allocation is not None:
+            from .allocation import AllocationConfig, HolisticAllocator
+
+            if allocation is True:
+                allocation = AllocationConfig()
+            allocator = HolisticAllocator(
+                clock=self.clock, config=allocation,
+                telemetry=telemetry,
+            )
+            # The pool's totals *are* the building's global bounds.
+            max_concurrent = allocation.total_slots
+            queue_depth = allocation.total_queue
+        self.allocator = allocator
         self.admission = AdmissionController(
             clock=self.clock, rate=rate, burst=burst,
             max_concurrent=max_concurrent, queue_depth=queue_depth,
-            degrade_after=degrade_after, telemetry=telemetry,
+            degrade_after=degrade_after, recover_after=recover_after,
+            allocator=allocator, telemetry=telemetry,
         )
         self.router = TenantRouter(
             emulator_factory, max_tenants=max_tenants,
@@ -228,19 +267,49 @@ class FrontDoor:
         return self.router.resolve(api_key)
 
     def dispatch(self, request: dict, api_key: str | None = None) -> dict:
-        """Handle one decoded request envelope for one tenant."""
+        """Handle one decoded request envelope for one tenant.
+
+        The envelope may carry ``DeadlineSeconds`` (the client's
+        remaining budget, minted into an absolute virtual deadline at
+        arrival) and ``Retry: true`` (the request is a retry, drawn
+        from the tenant's capped retry side-budget under the holistic
+        allocator); both propagate through every serving layer on the
+        request-meta context.
+        """
         try:
             tenant = self.router.resolve(api_key)
         except AuthError as error:
             return self._auth_envelope(error)
+        try:
+            deadline, retry = (
+                envelope_meta(request, self.clock)
+                if isinstance(request, dict) else (None, False)
+            )
+        except DeadlineError as error:
+            return {
+                "ResponseMetadata": {
+                    "RequestId": self._auth_ids.next()
+                },
+                "Error": {
+                    "Code": "InvalidParameterValue",
+                    "Message": str(error),
+                },
+            }
         obs = getattr(self.telemetry, "obs", None)
         if obs is None:
-            return tenant.endpoint.dispatch(request)
+            if deadline is None and not retry:
+                return tenant.endpoint.dispatch(request)
+            with request_meta(deadline, retry):
+                return tenant.endpoint.dispatch(request)
         api = ""
         if isinstance(request, dict):
             api = str(request.get("Action", ""))
         with obs.request(tenant.name, api) as ctx:
-            body = tenant.endpoint.dispatch(request)
+            if deadline is None and not retry:
+                body = tenant.endpoint.dispatch(request)
+            else:
+                with request_meta(deadline, retry):
+                    body = tenant.endpoint.dispatch(request)
             error_body = body.get("Error") if isinstance(body, dict) else None
             obs.classify(ctx, (error_body or {}).get("Code", ""))
         return body
@@ -257,17 +326,37 @@ class FrontDoor:
         return tenant.endpoint.handle(payload)
 
     def invoke(self, api: str, params: dict | None = None,
-               api_key: str | None = None) -> ApiResponse:
-        """The response-typed path (no JSON envelope), still guarded."""
+               api_key: str | None = None,
+               deadline: float | None = None,
+               retry: bool = False) -> ApiResponse:
+        """The response-typed path (no JSON envelope), still guarded.
+
+        ``deadline`` is relative seconds of remaining client budget
+        (minted absolute here, at arrival); ``retry`` marks the call
+        as drawing from the tenant's retry side-budget.
+        """
         try:
             tenant = self.router.resolve(api_key)
         except AuthError as error:
             return error.to_response()
+        absolute = None
+        if deadline is not None:
+            # A non-positive budget is an already-expired deadline,
+            # not the absence of one — admission sheds it honestly.
+            now = self.clock.now()
+            absolute = now + deadline if deadline > 0 else now
         obs = getattr(self.telemetry, "obs", None)
         if obs is None:
-            return tenant.backend.invoke(api, params)
+            if absolute is None and not retry:
+                return tenant.backend.invoke(api, params)
+            with request_meta(absolute, retry):
+                return tenant.backend.invoke(api, params)
         with obs.request(tenant.name, api) as ctx:
-            response = tenant.backend.invoke(api, params)
+            if absolute is None and not retry:
+                response = tenant.backend.invoke(api, params)
+            else:
+                with request_meta(absolute, retry):
+                    response = tenant.backend.invoke(api, params)
             obs.classify(
                 ctx, "" if response.success else response.error_code
             )

@@ -57,6 +57,17 @@ class LoadReport:
     failover_honored: int = 0
     failover_seconds: float = 0.0
     failover_log: list = field(default_factory=list)
+    #: Per-tenant outcome splits — the raw material of fairness
+    #: claims: ``{tenant: {"requests", "ok", "shed"}}``.
+    by_tenant: dict = field(default_factory=dict)
+    #: Requests shed with ``ExpiredBeforeDispatch`` (the propagated
+    #: deadline died before any layer did work).
+    deadline_expired: int = 0
+    #: Retries the generator re-offered (``Retry: true``) after
+    #: honoring a shed's Retry-After, and how many of those bounced
+    #: off an exhausted retry side-budget.
+    retries_sent: int = 0
+    retry_budget_exhausted: int = 0
     #: The observability plane's summary (SLO budgets, burn alerts,
     #: sampling, drift) when one was attached to the front door.
     obs: dict | None = None
@@ -93,6 +104,13 @@ class LoadReport:
             "failover_honored": self.failover_honored,
             "failover_seconds": round(self.failover_seconds, 6),
             "failover_log": list(self.failover_log),
+            "by_tenant": {
+                tenant: dict(split)
+                for tenant, split in sorted(self.by_tenant.items())
+            },
+            "deadline_expired": self.deadline_expired,
+            "retries_sent": self.retries_sent,
+            "retry_budget_exhausted": self.retry_budget_exhausted,
             "obs": self.obs,
             "mvcc": self.mvcc,
         }
@@ -197,6 +215,10 @@ class LoadGenerator:
         latency: float = 0.0,
         honor_retry_after: bool = True,
         max_retry_after: float = 5.0,
+        aggressor: str | None = None,
+        aggressor_weight: float = 10.0,
+        deadline: float | None = None,
+        retry_shed: bool = False,
     ):
         self.frontdoor = frontdoor
         self.seed = seed
@@ -210,13 +232,34 @@ class LoadGenerator:
         #: (None: advance the clock generously so rate never sheds).
         self.offered_rate = offered_rate
         self.latency = latency
-        #: Back off by the admission layer's own Retry-After hint
-        #: (clamped to ``max_retry_after``) instead of re-offering at
-        #: the fixed pace — what a well-behaved SDK client does.
+        #: Back off by the admission layer's own Retry-After hint —
+        #: *full-jittered*: the actual wait is uniform in
+        #: ``[0, min(hint, max_retry_after)]``, so a cohort of shed
+        #: clients desynchronizes instead of returning as one
+        #: thundering herd when the hint elapses.
         self.honor_retry_after = honor_retry_after
         self.max_retry_after = max_retry_after
+        #: The noisy neighbor: this tenant is offered
+        #: ``aggressor_weight`` times more traffic than each victim.
+        self.aggressor = aggressor
+        self.aggressor_weight = aggressor_weight
+        #: When set, every envelope carries ``DeadlineSeconds`` — the
+        #: propagated budget the serving layers shed against.
+        self.deadline = deadline
+        #: Re-offer each shed request once, marked ``Retry: true``, so
+        #: runs exercise the capped retry side-budget.
+        self.retry_shed = retry_shed
         probe = frontdoor.emulator_factory()
         self.model = _TrafficModel(frontdoor.module, probe.read_only)
+
+    def _pick_tenant(self, rng) -> str:
+        if self.aggressor and self.aggressor in self.tenant_names:
+            weights = [
+                self.aggressor_weight if name == self.aggressor else 1.0
+                for name in self.tenant_names
+            ]
+            return rng.choices(self.tenant_names, weights=weights)[0]
+        return rng.choice(self.tenant_names)
 
     # -- drive ---------------------------------------------------------------
 
@@ -231,6 +274,7 @@ class LoadGenerator:
         )
         ids_by_sm: dict[str, list[str]] = {}
         local_codes: dict[str, int] = {}
+        local_tenants: dict[str, dict] = {}
         local_honored: list[dict] = []
         local_failover: list[dict] = []
         reads = writes = sheds = stale = 0
@@ -238,8 +282,11 @@ class LoadGenerator:
         honored_seconds = 0.0
         failover = 0
         failover_seconds = 0.0
+        expired = 0
+        retries = 0
+        retry_exhausted = 0
         for __ in range(self.requests_per_worker):
-            tenant = rng.choice(self.tenant_names)
+            tenant = self._pick_tenant(rng)
             api, params, is_read = self.model.request(
                 rng, self.read_ratio, ids_by_sm
             )
@@ -249,25 +296,40 @@ class LoadGenerator:
                 clock.sleep(1.0)  # unconstrained: buckets never empty
             if self.latency:
                 time.sleep(self.latency)
-            body = self.frontdoor.dispatch(
-                {"Action": api, "Parameters": params}, api_key=tenant
-            )
+            envelope = {"Action": api, "Parameters": params}
+            if self.deadline is not None:
+                envelope["DeadlineSeconds"] = self.deadline
+            body = self.frontdoor.dispatch(envelope, api_key=tenant)
             error = body.get("Error")
             code = error.get("Code", "") if error else ""
             local_codes[code] = local_codes.get(code, 0) + 1
+            split = local_tenants.setdefault(
+                tenant, {"requests": 0, "ok": 0, "shed": 0}
+            )
+            split["requests"] += 1
+            if not error:
+                split["ok"] += 1
             if is_read:
                 reads += 1
             else:
                 writes += 1
+            if error and error.get("ExpiredBeforeDispatch") is True:
+                expired += 1
+                split["shed"] += 1
             if code in SHED_CODES:
                 sheds += 1
+                split["shed"] += 1
                 hint = error.get("RetryAfterSeconds")
                 if (
                     self.honor_retry_after
                     and isinstance(hint, (int, float))
                     and hint > 0
                 ):
-                    delay = min(float(hint), self.max_retry_after)
+                    # Full jitter (AWS-style): sleep uniform in
+                    # [0, min(hint, cap)] so a cohort of shed clients
+                    # returns spread out, not as a synchronized herd.
+                    cap = min(float(hint), self.max_retry_after)
+                    delay = rng.uniform(0.0, cap)
                     clock.sleep(delay)
                     honored += 1
                     honored_seconds += delay
@@ -277,6 +339,7 @@ class LoadGenerator:
                         "code": code,
                         "hint": round(float(hint), 6),
                         "honored": round(delay, 6),
+                        "jittered": round(delay, 6),
                     }
                     # A shard-unavailable shed is a *failover* wait —
                     # honored the same way, accounted separately so a
@@ -290,6 +353,21 @@ class LoadGenerator:
                             )
                     elif len(local_honored) < 25:
                         local_honored.append(entry)
+                if self.retry_shed:
+                    retries += 1
+                    retry_env = dict(envelope)
+                    retry_env["Retry"] = True
+                    retry_body = self.frontdoor.dispatch(
+                        retry_env, api_key=tenant
+                    )
+                    retry_error = retry_body.get("Error") or {}
+                    if retry_error.get("RetryBudgetExhausted") is True:
+                        retry_exhausted += 1
+                    elif not retry_body.get("Error"):
+                        created = retry_body.get("id")
+                        if isinstance(created, str) and created:
+                            sm = self.model.owning_sm(api)
+                            ids_by_sm.setdefault(sm, []).append(created)
             if not error:
                 if body.get("Stale") is True:
                     stale += 1
@@ -307,6 +385,15 @@ class LoadGenerator:
             report.retry_after_seconds += honored_seconds
             report.failover_honored += failover
             report.failover_seconds += failover_seconds
+            report.deadline_expired += expired
+            report.retries_sent += retries
+            report.retry_budget_exhausted += retry_exhausted
+            for tenant, split in local_tenants.items():
+                merged = report.by_tenant.setdefault(
+                    tenant, {"requests": 0, "ok": 0, "shed": 0}
+                )
+                for key, value in split.items():
+                    merged[key] += value
             # Keep the honored-delay logs bounded across workers.
             room = 50 - len(report.retry_after_log)
             if room > 0:

@@ -69,7 +69,8 @@ from ..resilience.chaos import (
 from ..resilience.policy import VirtualClock
 from ..spec import parse_module, serialize_module
 from .concurrency import ConcurrentEmulator
-from .frontdoor import FrontDoor, _GuardedBackend
+from .deadline import current_meta, expired_response
+from .frontdoor import ConfigError, FrontDoor, _GuardedBackend
 from .loadgen import _canonical
 from .tenancy import Tenant, TenantRouter
 
@@ -410,17 +411,29 @@ def _worker_main(config: ShardConfig, conn) -> None:
         op = message.get("op")
         try:
             if op == "invoke":
-                response = worker.invoke(
-                    message["tenant"], message["api"],
-                    dict(message.get("params") or {}),
-                )
-                reply = {
-                    "id": mid, "ok": True,
-                    "success": response.success,
-                    "data": encode_value(response.data),
-                    "error_code": response.error_code,
-                    "error_message": response.error_message,
-                }
+                remaining = message.get("deadline_remaining")
+                if remaining is not None and remaining <= 0:
+                    # The budget died in transit: answer honestly
+                    # before the WAL or the emulator spend any work.
+                    expired = expired_response("shard")
+                    reply = {
+                        "id": mid, "ok": True, "success": False,
+                        "data": encode_value(expired.data),
+                        "error_code": expired.error_code,
+                        "error_message": expired.error_message,
+                    }
+                else:
+                    response = worker.invoke(
+                        message["tenant"], message["api"],
+                        dict(message.get("params") or {}),
+                    )
+                    reply = {
+                        "id": mid, "ok": True,
+                        "success": response.success,
+                        "data": encode_value(response.data),
+                        "error_code": response.error_code,
+                        "error_message": response.error_message,
+                    }
             elif op == "ping":
                 reply = {"id": mid, "ok": True, "pid": os.getpid()}
             elif op == "snapshot":
@@ -565,6 +578,11 @@ class ShardSupervisor:
         self._closed = False
         self._restart_threads: list[threading.Thread] = []
         self.restart_log: list[dict] = []
+        #: Callables ``(shard_index, alive)`` notified on health flips
+        #: — the holistic allocator subscribes here so a dead shard's
+        #: budget is redistributed to survivors the moment the parent
+        #: detects the death (and restored when the shard returns).
+        self.health_listeners: list = []
         #: Recovery self-checks that failed byte-identity, across every
         #: generation of every shard (folded into linearizability).
         self.recovery_failures: list[str] = []
@@ -704,6 +722,7 @@ class ShardSupervisor:
                 generation=handle.generation,
                 at=round(self.clock.now(), 9),
             )
+        self._notify_health(handle.index, alive=False)
         if self._closed or not self.auto_restart or handle.restarting:
             return
         handle.restarting = True
@@ -763,7 +782,15 @@ class ShardSupervisor:
             "at": round(self.clock.now(), 9),
         })
         self._export_restart(handle, seconds, replayed)
+        self._notify_health(handle.index, alive=True)
         return True
+
+    def _notify_health(self, index: int, alive: bool) -> None:
+        for listener in list(self.health_listeners):
+            try:
+                listener(index, alive)
+            except Exception:
+                pass  # a broken listener must never sink the parent
 
     def _export_restart(self, handle: _ShardHandle, seconds: float,
                         replayed: int) -> None:
@@ -1066,10 +1093,26 @@ class _ShardBackend:
     # -- remote dispatch ----------------------------------------------------
 
     def invoke(self, api: str, params: dict | None = None) -> ApiResponse:
-        reply = self.supervisor.request(self.shard, {
+        payload = {
             "op": "invoke", "tenant": self.tenant, "api": api,
             "params": dict(params or {}),
-        })
+        }
+        meta = current_meta()
+        if meta is not None and meta.deadline is not None:
+            # The deadline crosses the RPC hop as *remaining budget* —
+            # the worker has no shared clock, only what the parent
+            # measures at send time.
+            remaining = meta.remaining(self.supervisor.clock.now())
+            if remaining is not None and remaining <= 0:
+                telemetry = self.supervisor.telemetry
+                if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "allocation.deadline_expired",
+                        tenant=self.tenant, stage="shard",
+                    ).inc()
+                return expired_response("shard")
+            payload["deadline_remaining"] = remaining
+        reply = self.supervisor.request(self.shard, payload)
         if reply is None:
             return self._unavailable()
         if not reply.get("ok"):
@@ -1177,9 +1220,16 @@ class ShardedFrontDoor(FrontDoor):
         **kwargs,
     ):
         if kwargs.get("network") is not None:
-            raise ValueError(
-                "sharded serving does not compose with netem region "
-                "routing yet (ROADMAP: shard x region placement)"
+            raise ConfigError(
+                "ShardedFrontDoor does not compose with netem region "
+                "routing (network=) yet: shard placement (tenant -> "
+                "worker process) and region placement (resource -> "
+                "region replica) are separate maps with no "
+                "cross-product routing — a request would need a "
+                "(shard, region) pair the RPC layer cannot address.  "
+                "Track ROADMAP item 1 (shard x region placement); "
+                "until then run the network on a single-process "
+                "FrontDoor."
             )
         super().__init__(module, emulator_factory, **kwargs)
         probe = emulator_factory()
@@ -1216,6 +1266,16 @@ class ShardedFrontDoor(FrontDoor):
             telemetry=self.telemetry,
             seed=base.seed,
         )
+        if self.allocator is not None:
+            # Shard-health-aware fairness: the allocator learns the
+            # placement map and follows every health flip, so a dead
+            # shard's budget flows to tenants on surviving shards.
+            self.allocator.bind_shards(
+                self.supervisor.shard_for, self.supervisor.shards
+            )
+            self.supervisor.health_listeners.append(
+                self.allocator.set_shard_health
+            )
 
     # -- merged wire surface -----------------------------------------------
 

@@ -277,6 +277,58 @@ def _shard_rows(metrics: dict) -> list[str]:
     return rows
 
 
+def _gauge_by_label(metrics: dict, prefix: str,
+                    by_label: str) -> dict:
+    """Latest gauge value per label value for one gauge family."""
+    grouped: dict[str, float] = {}
+    for key, record in metrics.items():
+        if not key.startswith(prefix + "{"):
+            continue
+        labels = key[len(prefix) + 1:].rstrip("}")
+        for pair in labels.split(","):
+            label, __, label_value = pair.partition("=")
+            if label == by_label:
+                grouped[label_value] = float(record.get("value", 0.0))
+    return grouped
+
+
+def _fairness_rows(metrics: dict) -> list[str]:
+    """Fold ``allocation.*`` metrics into report fragments (empty when
+    the trace did not come from a holistic-allocator run)."""
+    reallocations = _metric_total(metrics, "allocation.reallocations")
+    granted = _gauge_by_label(
+        metrics, "allocation.granted_rate", "tenant"
+    )
+    if not reallocations and not granted:
+        return []
+    rows = [f"{reallocations} reallocation(s)"]
+    fair = _gauge_by_label(metrics, "allocation.fair_share", "tenant")
+    demand = _gauge_by_label(metrics, "allocation.demand", "tenant")
+    used = _metric_total(metrics, "allocation.used", by_label="tenant")
+    for tenant in sorted(granted):
+        fragment = (
+            f"{tenant} granted {granted[tenant]:.1f} rps "
+            f"(fair {fair.get(tenant, 0.0):.1f}, "
+            f"demand {demand.get(tenant, 0.0):.1f}"
+        )
+        if tenant in used:
+            fragment += f", used {used[tenant]}"
+        rows.append(fragment + ")")
+    retry_exhausted = _metric_total(
+        metrics, "allocation.retry_budget_exhausted"
+    )
+    if retry_exhausted:
+        rows.append(f"{retry_exhausted} retry-budget exhaustion(s)")
+    expired = _metric_total(
+        metrics, "allocation.deadline_expired", by_label="stage"
+    )
+    if expired:
+        rows.append("deadline expired " + " + ".join(
+            f"{count}@{stage}" for stage, count in sorted(expired.items())
+        ))
+    return rows
+
+
 def _network_rows(metrics: dict) -> list[str]:
     """Fold ``net.*`` metrics into report fragments (empty when the
     trace did not cross an emulated network)."""
@@ -485,6 +537,9 @@ def render_trace_report(data: TraceData, tree: bool = True) -> str:
     shards = _shard_rows(data.metrics)
     if shards:
         lines.append("shards: " + ", ".join(shards))
+    fairness = _fairness_rows(data.metrics)
+    if fairness:
+        lines.append("fairness: " + ", ".join(fairness))
     network = _network_rows(data.metrics)
     if network:
         lines.append("network: " + ", ".join(network))

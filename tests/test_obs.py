@@ -607,6 +607,54 @@ class TestDashboard:
         assert first == render_frame(capture["plane"], now=at,
                                      lookback=5.0)
 
+    def test_fairness_panel_shows_allocator_grants(self, build):
+        from repro.serve import AllocationConfig
+
+        telemetry = Telemetry(service=build.service)
+        plane = ObsPlane(telemetry)
+        front = FrontDoor(
+            build.module, build.make_backend, telemetry=telemetry,
+            seed=7,
+            allocation=AllocationConfig(total_rate=40.0,
+                                        total_burst=16.0,
+                                        realloc_interval=0.5),
+        )
+        vpcs = {}
+        for tenant in ("hog", "quiet"):
+            created = front.invoke(
+                "CreateVpc", {"cidr_block": "10.0.0.0/16"},
+                api_key=tenant,
+            )
+            assert created.success, created.error_code
+            vpcs[tenant] = created.data["vpc_id"]
+        for _ in range(20):
+            for tenant, calls in (("hog", 5), ("quiet", 1)):
+                for _ in range(calls):
+                    response = front.invoke(
+                        "DescribeVpcs", {"vpc_id": vpcs[tenant]},
+                        api_key=tenant,
+                    )
+                    assert response.success, response.error_code
+            front.clock.sleep(0.25)
+            front.allocator.maybe_realloc()
+        frame = render_frame(plane, lookback=5.0)
+        lines = frame.splitlines()
+        assert "fairness:" in lines
+        panel = lines[lines.index("fairness:") + 1:]
+        grants = {}
+        for line in panel:
+            if "granted" not in line:
+                break
+            assert "demand" in line and "regrant" in line
+            tenant = line.split()[0]
+            grants[tenant] = float(
+                line.split("granted")[1].split("rps")[0]
+            )
+        # Both tenants show up, and the hungrier one holds the
+        # larger grant.
+        assert set(grants) == {"hog", "quiet"}
+        assert grants["hog"] > grants["quiet"]
+
 
 class TestObsParity:
     def test_plane_does_not_perturb_serving_behavior(self, build):

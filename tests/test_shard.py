@@ -426,11 +426,19 @@ class TestShardedFrontDoorFailover:
             assert error["RetryAfterSeconds"] > 0
 
     def test_rejects_netem_composition(self):
+        """shard x region is a config gap, named as one: a typed
+        ConfigError at construction (still a ValueError for old
+        callers) whose message points at the roadmap item."""
+        from repro.serve.frontdoor import ConfigError
+
         module = toy_module()
-        with pytest.raises(ValueError, match="netem"):
+        with pytest.raises(ConfigError, match="netem") as excinfo:
             ShardedFrontDoor(
                 module, lambda: Emulator(module), network=object()
             )
+        assert isinstance(excinfo.value, ValueError)
+        assert "ROADMAP" in str(excinfo.value)
+        assert "shard x region" in str(excinfo.value)
 
     def test_loadgen_honors_failover_retry_after(self, tmp_path):
         """Killing the only shard mid-run makes well-behaved clients
